@@ -1,0 +1,49 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper's §5 at the
+paper's data-set scale, prints it side-by-side with the paper's published
+numbers, and asserts the paper's qualitative conclusions (the *shape*:
+who wins, by roughly what factor, where crossovers fall).
+
+Simulated executions are deterministic, so each measurement runs exactly
+once (``benchmark.pedantic(rounds=1)``); the pytest-benchmark timing that
+is recorded is the wall-clock cost of regenerating the artifact.
+
+Set ``REPRO_BENCH_PROCS`` (comma-separated) to sweep a reduced processor
+list during development; the default is the paper's 1,2,4,8,16,24,32.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+from repro.lab import PAPER_PROCS
+
+
+def bench_procs() -> List[int]:
+    env = os.environ.get("REPRO_BENCH_PROCS")
+    if env:
+        return [int(x) for x in env.split(",")]
+    return list(PAPER_PROCS)
+
+
+def once(benchmark, fn):
+    """Run a deterministic experiment exactly once under the benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def show(text: str) -> None:
+    """Print an artifact block (visible with pytest -s and in CI logs)."""
+    print("\n" + text + "\n")
+
+
+def by_procs(rows, level: str, value) -> Dict[int, float]:
+    """Extract {procs: value(row)} for one level label."""
+    return {r.procs: value(r) for r in rows if r.level == level}
+
+
+def monotone_speedup(times: Dict[int, float], lo: int, hi: int,
+                     factor: float) -> bool:
+    """True when scaling lo→hi processors speeds up by at least ``factor``."""
+    return times[lo] / times[hi] >= factor

@@ -1,0 +1,60 @@
+"""Figures 2–5: percentage of tasks executed on the target processor, DASH.
+
+Shape assertions (§5.2.1): "The task locality percentage at the Locality
+optimization level for both String and Water is 100 percent ... The task
+locality percentage at Locality for Panel Cholesky and Ocean ... is
+substantially less than 100 percent [for Cholesky in our model; see
+EXPERIMENTS.md for Ocean] ... At Task Placement the task locality
+percentage goes back up to 100 percent ... At No Locality the task
+locality percentage drops quickly as the number of processors increases."
+"""
+
+import pytest
+
+from repro.apps import MachineKind
+from repro.lab import locality_sweep, render_series, rows_to_series
+
+from _support import bench_procs, once, show
+
+
+def _series(app):
+    procs = bench_procs()
+    rows = locality_sweep(app, MachineKind.DASH, procs)
+    return procs, rows_to_series(rows, lambda r: r.metrics.task_locality_pct)
+
+
+def test_fig02_water_locality_pct(benchmark):
+    procs, series = once(benchmark, lambda: _series("water"))
+    show(render_series("Figure 2: Task Locality % — Water on DASH", procs, series, "%"))
+    for p in procs:
+        assert series["locality"][p] == pytest.approx(100.0)
+    assert series["no_locality"][32] < 25.0
+
+
+def test_fig03_string_locality_pct(benchmark):
+    procs, series = once(benchmark, lambda: _series("string"))
+    show(render_series("Figure 3: Task Locality % — String on DASH", procs, series, "%"))
+    for p in procs:
+        assert series["locality"][p] == pytest.approx(100.0)
+    assert series["no_locality"][32] < 25.0
+
+
+def test_fig04_ocean_locality_pct(benchmark):
+    procs, series = once(benchmark, lambda: _series("ocean"))
+    show(render_series("Figure 4: Task Locality % — Ocean on DASH", procs, series, "%"))
+    for p in procs:
+        assert series["task_placement"][p] == pytest.approx(100.0)
+        assert series["locality"][p] >= series["no_locality"][p] - 1e-9
+    assert series["no_locality"][32] < 30.0
+
+
+def test_fig05_cholesky_locality_pct(benchmark):
+    procs, series = once(benchmark, lambda: _series("cholesky"))
+    show(render_series("Figure 5: Task Locality % — Panel Cholesky on DASH",
+                       procs, series, "%"))
+    for p in procs:
+        assert series["task_placement"][p] == pytest.approx(100.0)
+    # The load balancer moves a significant number of tasks off their
+    # targets at small-to-mid processor counts.
+    assert series["locality"][2] < 99.0
+    assert series["no_locality"][32] < 30.0

@@ -1,0 +1,64 @@
+"""Figures 6–9: total task execution time on DASH.
+
+"On DASH all shared object communication takes place during the execution
+of tasks as they access shared objects: differences in the communication
+show up as differences in the execution times of the tasks." (§5.2.1)
+
+Shape assertions: task time rises with processor count (more total
+communication); for Water and String the locality level makes a very small
+relative difference, for Ocean and Panel Cholesky a large one.
+"""
+
+import pytest
+
+from repro.apps import MachineKind
+from repro.lab import locality_sweep, render_series, rows_to_series
+
+from _support import bench_procs, once, show
+
+
+def _series(app):
+    procs = bench_procs()
+    rows = locality_sweep(app, MachineKind.DASH, procs)
+    return procs, rows_to_series(rows, lambda r: r.metrics.task_time_total)
+
+
+def _relative_gap(series, p):
+    base = series["locality"][p]
+    return (series["no_locality"][p] - base) / base
+
+
+def test_fig06_water_task_time(benchmark):
+    procs, series = once(benchmark, lambda: _series("water"))
+    show(render_series("Figure 6: Total Task Execution Time — Water on DASH",
+                       procs, series, "s"))
+    # Communication is a tiny fraction of Water's compute: levels within 2%.
+    assert abs(_relative_gap(series, 32)) < 0.02
+    # More processors → more total communication inside tasks.
+    assert series["locality"][32] > series["locality"][1]
+
+
+def test_fig07_string_task_time(benchmark):
+    procs, series = once(benchmark, lambda: _series("string"))
+    show(render_series("Figure 7: Total Task Execution Time — String on DASH",
+                       procs, series, "s"))
+    assert abs(_relative_gap(series, 32)) < 0.02
+    assert series["locality"][32] > series["locality"][1]
+
+
+def test_fig08_ocean_task_time(benchmark):
+    procs, series = once(benchmark, lambda: _series("ocean"))
+    show(render_series("Figure 8: Total Task Execution Time — Ocean on DASH",
+                       procs, series, "s"))
+    # Ocean accesses potentially-remote objects frequently: the level gap
+    # is large (paper Figure 8 shows ~2x between extremes at 32).
+    assert _relative_gap(series, 32) > 0.15
+    assert series["no_locality"][32] > series["no_locality"][1] * 1.2
+
+
+def test_fig09_cholesky_task_time(benchmark):
+    procs, series = once(benchmark, lambda: _series("cholesky"))
+    show(render_series("Figure 9: Total Task Execution Time — Panel Cholesky on DASH",
+                       procs, series, "s"))
+    assert _relative_gap(series, 32) > 0.15
+    assert series["task_placement"][32] <= series["no_locality"][32]

@@ -1,0 +1,39 @@
+"""Figures 10–11: task management percentage on DASH (Ocean, Cholesky).
+
+"We quantitatively evaluate the task management overhead by executing a
+work-free version of the program ... The task management percentage is the
+execution time of the work-free version divided by the execution time of
+the original version." (§5.2.1)  Both figures run at the Task Placement
+level and show the percentage rising dramatically with processor count.
+"""
+
+from repro.apps import MachineKind
+from repro.lab import mgmt_percentage_sweep, render_series
+
+from _support import bench_procs, once, show
+
+
+def _series(app):
+    procs = bench_procs()
+    rows = mgmt_percentage_sweep(app, MachineKind.DASH, procs)
+    return procs, {"task_placement": {r.procs: r.extra["mgmt_pct"] for r in rows}}
+
+
+def test_fig10_ocean_mgmt_pct_dash(benchmark):
+    procs, series = once(benchmark, lambda: _series("ocean"))
+    show(render_series("Figure 10: Task Management % — Ocean on DASH",
+                       procs, series, "%"))
+    pct = series["task_placement"]
+    # Rises dramatically with the number of processors.
+    assert pct[32] > pct[1] * 4
+    assert pct[32] > 30.0
+    assert pct[1] < 10.0
+
+
+def test_fig11_cholesky_mgmt_pct_dash(benchmark):
+    procs, series = once(benchmark, lambda: _series("cholesky"))
+    show(render_series("Figure 11: Task Management % — Panel Cholesky on DASH",
+                       procs, series, "%"))
+    pct = series["task_placement"]
+    assert pct[32] > pct[1] * 2
+    assert pct[32] > 40.0

@@ -1,0 +1,61 @@
+"""Figures 12–15: task locality percentage on the iPSC/860.
+
+"As for DASH, the task locality percentages for the Locality versions are
+100 percent for Water and String, and somewhat less for Ocean and Panel
+Cholesky.  For the Task Placement versions they go up to 100 percent for
+Ocean, and to 92 percent for Panel Cholesky ... because the computation
+starts out with the current version of all panels owned by the main
+processor, which just initialized them." (§5.2.2)
+"""
+
+import pytest
+
+from repro.apps import MachineKind
+from repro.lab import locality_sweep, render_series, rows_to_series
+
+from _support import bench_procs, once, show
+
+
+def _series(app):
+    procs = bench_procs()
+    rows = locality_sweep(app, MachineKind.IPSC860, procs)
+    return procs, rows_to_series(rows, lambda r: r.metrics.task_locality_pct)
+
+
+def test_fig12_water_locality_pct_ipsc(benchmark):
+    procs, series = once(benchmark, lambda: _series("water"))
+    show(render_series("Figure 12: Task Locality % — Water on the iPSC/860",
+                       procs, series, "%"))
+    for p in procs:
+        assert series["locality"][p] == pytest.approx(100.0)
+    assert series["no_locality"][32] < 25.0
+
+
+def test_fig13_string_locality_pct_ipsc(benchmark):
+    procs, series = once(benchmark, lambda: _series("string"))
+    show(render_series("Figure 13: Task Locality % — String on the iPSC/860",
+                       procs, series, "%"))
+    for p in procs:
+        assert series["locality"][p] == pytest.approx(100.0)
+    assert series["no_locality"][32] < 25.0
+
+
+def test_fig14_ocean_locality_pct_ipsc(benchmark):
+    procs, series = once(benchmark, lambda: _series("ocean"))
+    show(render_series("Figure 14: Task Locality % — Ocean on the iPSC/860",
+                       procs, series, "%"))
+    for p in procs:
+        assert series["task_placement"][p] == pytest.approx(100.0)
+    assert series["no_locality"][32] < 30.0
+
+
+def test_fig15_cholesky_locality_pct_ipsc(benchmark):
+    procs, series = once(benchmark, lambda: _series("cholesky"))
+    show(render_series("Figure 15: Task Locality % — Panel Cholesky on the iPSC/860",
+                       procs, series, "%"))
+    # §5.2.2: about 92% at Task Placement — the first task to touch each
+    # panel targets the main processor (its initializer) but is placed
+    # elsewhere.
+    for p in (8, 16, 24, 32):
+        assert 85.0 < series["task_placement"][p] < 100.0
+    assert series["no_locality"][32] < 35.0

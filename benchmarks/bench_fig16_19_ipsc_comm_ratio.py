@@ -1,0 +1,63 @@
+"""Figures 16–19: communication-to-computation ratio on the iPSC/860.
+
+"... divide the total size of the messages (in Mbytes) by the total task
+execution time (in seconds) to obtain the communication to computation
+ratio ... The Water and String applications have very small ratios
+relative to the communication bandwidth on the iPSC/860 (2.8 Mbytes/second
+per link), while Ocean and Panel Cholesky have much larger ratios."
+(§5.2.2)  Lower ratios correspond directly to higher task locality.
+"""
+
+from repro.apps import MachineKind
+from repro.lab import locality_sweep, render_series, rows_to_series
+
+from _support import bench_procs, once, show
+
+
+def _series(app):
+    procs = bench_procs()
+    rows = locality_sweep(app, MachineKind.IPSC860, procs)
+    return procs, rows_to_series(rows, lambda r: r.metrics.comm_to_comp_ratio)
+
+
+FMT = lambda v: f"{v:8.4f}"
+
+
+def test_fig16_water_comm_ratio(benchmark):
+    procs, series = once(benchmark, lambda: _series("water"))
+    show(render_series("Figure 16: Comm(MB)/Comp(s) — Water on the iPSC/860",
+                       procs, series, "MB/s", fmt=FMT))
+    # Very small ratios (paper's axis tops out at 0.10).
+    assert series["locality"][32] < 0.10
+    assert series["no_locality"][32] < 0.15
+
+
+def test_fig17_string_comm_ratio(benchmark):
+    procs, series = once(benchmark, lambda: _series("string"))
+    show(render_series("Figure 17: Comm(MB)/Comp(s) — String on the iPSC/860",
+                       procs, series, "MB/s", fmt=FMT))
+    assert series["locality"][32] < 0.10
+
+
+def test_fig18_ocean_comm_ratio(benchmark):
+    procs, series = once(benchmark, lambda: _series("ocean"))
+    show(render_series("Figure 18: Comm(MB)/Comp(s) — Ocean on the iPSC/860",
+                       procs, series, "MB/s", fmt=FMT))
+    # Much larger ratios than Water/String, ordered by locality level.
+    # (The real Ocean touches ~two dozen arrays per task and reaches
+    # ratios of 6–24 MB/s; our single-state-array model preserves the
+    # ordering and the orders-of-magnitude gap to Water/String.)
+    assert series["no_locality"][32] > 0.5
+    assert series["no_locality"][32] > series["task_placement"][32]
+    # Orders of magnitude above Water's ratio.
+    water_rows = locality_sweep("water", MachineKind.IPSC860, [32])
+    water_ratio = max(r.metrics.comm_to_comp_ratio for r in water_rows)
+    assert series["no_locality"][32] > 10 * water_ratio
+
+
+def test_fig19_cholesky_comm_ratio(benchmark):
+    procs, series = once(benchmark, lambda: _series("cholesky"))
+    show(render_series("Figure 19: Comm(MB)/Comp(s) — Panel Cholesky on the iPSC/860",
+                       procs, series, "MB/s", fmt=FMT))
+    assert series["no_locality"][32] > 1.0
+    assert series["no_locality"][8] > series["task_placement"][8]

@@ -1,0 +1,38 @@
+"""Figures 20–21: task management percentage on the iPSC/860.
+
+"At 16 processors and above, the task management overhead is the limiting
+factor on the overall performance [of Ocean]" and for Panel Cholesky "the
+task management overhead significantly limits the overall performance."
+(§5.2.2)
+"""
+
+from repro.apps import MachineKind
+from repro.lab import mgmt_percentage_sweep, render_series
+
+from _support import bench_procs, once, show
+
+
+def _series(app):
+    procs = bench_procs()
+    rows = mgmt_percentage_sweep(app, MachineKind.IPSC860, procs)
+    return procs, {"task_placement": {r.procs: r.extra["mgmt_pct"] for r in rows}}
+
+
+def test_fig20_ocean_mgmt_pct_ipsc(benchmark):
+    procs, series = once(benchmark, lambda: _series("ocean"))
+    show(render_series("Figure 20: Task Management % — Ocean on the iPSC/860",
+                       procs, series, "%"))
+    pct = series["task_placement"]
+    # Task management dominates at 16 processors and above.
+    assert pct[16] > 50.0
+    assert pct[32] > 70.0
+    assert pct[1] < 15.0
+
+
+def test_fig21_cholesky_mgmt_pct_ipsc(benchmark):
+    procs, series = once(benchmark, lambda: _series("cholesky"))
+    show(render_series("Figure 21: Task Management % — Panel Cholesky on the iPSC/860",
+                       procs, series, "%"))
+    pct = series["task_placement"]
+    assert pct[32] > 60.0
+    assert pct[32] > pct[1]

@@ -1,0 +1,48 @@
+"""§5.1: replication is the indispensable optimization.
+
+"In the current application set replication is a crucial optimization.
+All of the applications contain at least one shared object read by all of
+the tasks in the important parallel sections ... Eliminating replication
+would serialize all of the applications."
+
+The bench runs Water with replication disabled (single exclusively-held
+copies, see the communicator) and shows the parallel phases collapse to
+near-serial execution, while the replicated run speeds up almost linearly.
+"""
+
+from repro.apps import MachineKind
+from repro.lab import render_table, run_app
+from repro.runtime import RuntimeOptions
+from repro.runtime.options import LocalityLevel
+
+from _support import once, show
+
+PROCS = [1, 4, 8]
+
+
+def test_sec51_no_replication_serializes_water(benchmark):
+    def run():
+        series = {"Replication": {}, "No Replication": {}}
+        for p in PROCS:
+            series["Replication"][p] = run_app(
+                "water", p, MachineKind.IPSC860, LocalityLevel.LOCALITY,
+                RuntimeOptions(),
+            ).elapsed
+            series["No Replication"][p] = run_app(
+                "water", p, MachineKind.IPSC860, LocalityLevel.LOCALITY,
+                RuntimeOptions(replication=False, adaptive_broadcast=False,
+                               eager_update=False),
+            ).elapsed
+        return series
+
+    series = once(benchmark, run)
+    show(render_table("§5.1: Water with and without replication (seconds)",
+                      PROCS, series))
+
+    rep, norep = series["Replication"], series["No Replication"]
+    # Replicated: near-linear. Non-replicated: every task of a phase reads
+    # the positions object through one exclusively-held copy → the phases
+    # serialize and adding processors barely helps.
+    assert rep[1] / rep[8] > 6.0
+    assert norep[1] / norep[8] < 2.0
+    assert norep[8] > rep[8] * 3.0

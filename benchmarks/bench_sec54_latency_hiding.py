@@ -1,0 +1,31 @@
+"""§5.4: hiding latency with excess concurrency has virtually no effect.
+
+"Panel Cholesky does generate more tasks than processors, and it may
+initially seem plausible that the optimization would have an effect on the
+performance.  But turning the optimization on (setting the target number
+of tasks per processor to two) has virtually no effect."
+"""
+
+import pytest
+
+from repro.lab import latency_hiding_sweep, render_table, rows_to_series
+
+from _support import bench_procs, once, show
+
+
+def test_sec54_latency_hiding_cholesky(benchmark):
+    procs = bench_procs()
+
+    def run():
+        rows = latency_hiding_sweep("cholesky", procs)
+        return rows_to_series(rows, lambda r: r.metrics.elapsed)
+
+    series = once(benchmark, run)
+    show(render_table(
+        "§5.4: Panel Cholesky on the iPSC/860, latency hiding off/on (seconds)",
+        procs, series,
+    ))
+    base, hidden = series["target=1"], series["target=2"]
+    # Virtually no effect: within a few percent at every processor count.
+    for p in procs:
+        assert hidden[p] == pytest.approx(base[p], rel=0.08)

@@ -1,0 +1,44 @@
+"""Table 1: serial and stripped execution times on DASH.
+
+"The serial version is the original serial version of the application with
+no Jade modifications.  The stripped version is the Jade version with all
+Jade constructs automatically stripped out ..." (§5.2.1)
+"""
+
+import pytest
+
+from repro.apps import MachineKind
+from repro.lab import PAPER_TABLES, render_table, serial_and_stripped
+
+from _support import once, show
+
+APPS = ["water", "string", "ocean", "cholesky"]
+
+
+def test_table01_serial_and_stripped_dash(benchmark):
+    def run():
+        return {app: serial_and_stripped(app, MachineKind.DASH) for app in APPS}
+
+    rows = once(benchmark, run)
+    table = {
+        version: {app: rows[app][version] for app in APPS}
+        for version in ("serial", "stripped")
+    }
+    paper = {
+        version: {app: PAPER_TABLES[1][app][version] for app in APPS}
+        for version in ("serial", "stripped")
+    }
+    show(render_table("Table 1: Serial and Stripped times on DASH (seconds)",
+                      APPS, table, paper=paper))
+
+    # The stripped times are the calibration anchors: exact by construction.
+    for app in APPS:
+        assert rows[app]["stripped"] == pytest.approx(
+            PAPER_TABLES[1][app]["stripped"], rel=1e-3
+        )
+    # Serial-vs-stripped direction matches the paper: the Jade conversion
+    # slightly *helped* Panel Cholesky's serial code and slightly hurt the
+    # other three.
+    assert rows["cholesky"]["serial"] < rows["cholesky"]["stripped"]
+    for app in ("water", "string", "ocean"):
+        assert rows[app]["serial"] > rows[app]["stripped"]

@@ -1,0 +1,36 @@
+"""Table 6: serial and stripped execution times on the iPSC/860."""
+
+import pytest
+
+from repro.apps import MachineKind
+from repro.lab import PAPER_TABLES, render_table, serial_and_stripped
+
+from _support import once, show
+
+APPS = ["water", "string", "ocean", "cholesky"]
+
+
+def test_table06_serial_and_stripped_ipsc(benchmark):
+    def run():
+        return {app: serial_and_stripped(app, MachineKind.IPSC860) for app in APPS}
+
+    rows = once(benchmark, run)
+    table = {
+        version: {app: rows[app][version] for app in APPS}
+        for version in ("serial", "stripped")
+    }
+    paper = {
+        version: {app: PAPER_TABLES[6][app][version] for app in APPS}
+        for version in ("serial", "stripped")
+    }
+    show(render_table("Table 6: Serial and Stripped times on the iPSC/860 (seconds)",
+                      APPS, table, paper=paper))
+
+    for app in APPS:
+        assert rows[app]["stripped"] == pytest.approx(
+            PAPER_TABLES[6][app]["stripped"], rel=1e-3
+        )
+    # Ocean and Cholesky's stripped versions are *slower* than the
+    # original serial code on the iPSC/860 (Table 6's surprise).
+    assert rows["ocean"]["serial"] < rows["ocean"]["stripped"]
+    assert rows["cholesky"]["serial"] < rows["cholesky"]["stripped"]

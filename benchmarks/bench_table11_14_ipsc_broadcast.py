@@ -1,0 +1,76 @@
+"""Tables 11–14: adaptive broadcast on/off on the iPSC/860 (§5.3).
+
+Shapes: a large benefit for Water at high processor counts (serially
+distributing the 165,888-byte positions object costs 31 × 0.07 s per
+phase, the broadcast 0.31 s); a small benefit for String (its parallel
+phases are ~106 s, so saving ~4 s of distribution hardly shows); no effect
+for Ocean and Panel Cholesky above one processor; and a *degradation* of
+their single-processor runs (the degenerate case where the one processor
+accesses every version, so every update triggers broadcast bookkeeping).
+"""
+
+import pytest
+
+from repro.apps import MachineKind
+from repro.lab import PAPER_TABLES, broadcast_sweep, render_table, rows_to_series
+
+from _support import bench_procs, once, show
+
+LABELS = {"broadcast": "Adaptive Broadcast", "no-broadcast": "No Adaptive Broadcast"}
+
+
+def _run(app):
+    procs = bench_procs()
+    rows = broadcast_sweep(app, procs)
+    series = rows_to_series(rows, lambda r: r.metrics.elapsed)
+    return procs, {LABELS[k]: v for k, v in series.items()}
+
+
+def _show(table_no, app, procs, series):
+    show(render_table(
+        f"Table {table_no}: {app.capitalize()} with/without Adaptive Broadcast "
+        f"on the iPSC/860 (seconds)",
+        procs, series, paper=PAPER_TABLES[table_no],
+    ))
+
+
+def test_table11_water_broadcast(benchmark):
+    procs, series = once(benchmark, lambda: _run("water"))
+    _show(11, "water", procs, series)
+    on, off = series["Adaptive Broadcast"], series["No Adaptive Broadcast"]
+    # Substantial benefit at scale (paper: 91.53 vs 122.74 at 32).
+    assert off[32] > on[32] * 1.15
+    assert off[24] > on[24] * 1.10
+    # Negligible at small counts.
+    assert off[2] < on[2] * 1.05
+
+
+def test_table12_string_broadcast(benchmark):
+    procs, series = once(benchmark, lambda: _run("string"))
+    _show(12, "string", procs, series)
+    on, off = series["Adaptive Broadcast"], series["No Adaptive Broadcast"]
+    # A much smaller effect than Water's (paper: ~1.6% at 32).
+    assert off[32] >= on[32] * 0.999
+    assert off[32] < on[32] * 1.08
+
+
+def test_table13_ocean_broadcast(benchmark):
+    procs, series = once(benchmark, lambda: _run("ocean"))
+    _show(13, "ocean", procs, series)
+    on, off = series["Adaptive Broadcast"], series["No Adaptive Broadcast"]
+    # Above one processor: no effect (the same version is never read
+    # everywhere, so the algorithm never triggers).
+    for p in (2, 4, 8, 16, 24, 32):
+        assert on[p] == pytest.approx(off[p], rel=0.05)
+    # The single-processor degenerate case degrades with broadcast on.
+    assert on[1] > off[1] * 1.10
+
+
+def test_table14_cholesky_broadcast(benchmark):
+    procs, series = once(benchmark, lambda: _run("cholesky"))
+    _show(14, "cholesky", procs, series)
+    on, off = series["Adaptive Broadcast"], series["No Adaptive Broadcast"]
+    for p in (2, 4, 8, 16, 24, 32):
+        assert on[p] == pytest.approx(off[p], rel=0.05)
+    # Paper: 54.56 with vs 37.25 without at one processor.
+    assert on[1] > off[1] * 1.20

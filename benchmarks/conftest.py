@@ -1,0 +1,6 @@
+"""Make the benchmark support module importable as a sibling."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Panel Cholesky: a real sparse factorization through the Jade runtime.
+
+Builds a synthetic sparse SPD matrix, runs the panel-granularity symbolic
+factorization to get the internal/external task DAG, executes the real
+numeric factorization through the message-passing Jade runtime, and
+verifies L·Lᵀ = A.  Also prints the DAG statistics that drive the paper's
+Panel Cholesky results (task counts, critical-path shape, panel sizes).
+
+Run:  python examples/cholesky_factorization.py [--n 96] [--width 12]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.apps import CholeskyConfig, PanelCholesky
+from repro.apps import sparse
+from repro.runtime import RuntimeOptions, run_message_passing
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=96)
+    parser.add_argument("--width", type=int, default=12)
+    parser.add_argument("--procs", type=int, default=4)
+    args = parser.parse_args()
+
+    config = CholeskyConfig(n=args.n, panel_width=args.width)
+    app = PanelCholesky(config)
+
+    nnz = sparse.pattern_nnz(app.pattern)
+    externals = sum(len(t) for t in app.struct)
+    print(f"matrix: n={config.n}, stored nonzeros={nnz}")
+    print(f"panels: {len(app.panels)} of width {config.panel_width}")
+    print(f"tasks:  {len(app.panels)} internal + {externals} external "
+          f"updates (one per overlapping panel pair, incl. fill)")
+    fanouts = [len(t) for t in app.struct]
+    print(f"fan-out per panel: min={min(fanouts)} "
+          f"mean={np.mean(fanouts):.1f} max={max(fanouts)}")
+
+    program = app.build(args.procs)
+    metrics = run_message_passing(program, args.procs, RuntimeOptions())
+    print(f"\nexecuted {metrics.tasks_executed} tasks on {args.procs} "
+          f"simulated iPSC/860 nodes in {metrics.elapsed * 1e3:.1f} simulated ms")
+    print(f"shared-object traffic: {metrics.object_messages} messages, "
+          f"{metrics.object_bytes / 1024:.0f} KB")
+
+    err = app.verify_factorization(metrics.final_store)
+    print(f"\nfactorization verified: max |L·Lᵀ - A| = {err:.2e}")
+    expected = np.linalg.cholesky(app.matrix)
+    ours = app.assemble_factor(metrics.final_store)
+    print(f"matches numpy.linalg.cholesky: "
+          f"{np.allclose(ours, expected, atol=1e-8)}")
+
+
+if __name__ == "__main__":
+    main()

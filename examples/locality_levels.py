@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""The three locality optimization levels, side by side (§5.2).
+
+Runs one application across Task Placement / Locality / No Locality on
+either simulated machine and prints execution time, task locality
+percentage and (for the message-passing machine) shared-object traffic —
+the three quantities the paper's locality evaluation revolves around.
+
+Run:  python examples/locality_levels.py --app cholesky --machine ipsc860
+"""
+
+import argparse
+
+from repro.apps import MachineKind
+from repro.lab import levels_for, run_app
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--app", default="cholesky",
+                        choices=["water", "string", "ocean", "cholesky"])
+    parser.add_argument("--machine", default="ipsc860",
+                        choices=["dash", "ipsc860"])
+    parser.add_argument("--procs", type=int, default=16)
+    parser.add_argument("--scale", choices=["tiny", "paper"], default="paper")
+    args = parser.parse_args()
+
+    machine = MachineKind(args.machine)
+    print(f"{args.app} on the simulated {args.machine}, "
+          f"{args.procs} processors ({args.scale} data set)\n")
+    print(f"{'level':<16} {'elapsed':>10} {'locality %':>11} {'object MB':>10}")
+    for level in levels_for(args.app):
+        m = run_app(args.app, args.procs, machine, level, scale=args.scale)
+        mb = m.object_bytes / (1024 * 1024)
+        print(f"{level.value:<16} {m.elapsed:>9.2f}s "
+              f"{m.task_locality_pct:>10.1f}% {mb:>9.2f}")
+
+    print(
+        "\nLower locality percentages mean more tasks ran away from the"
+        "\nowner of their locality object — and more object traffic."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Ocean: where the time goes when tasks are small.
+
+Ocean decomposes a 192×192 grid into one column block per worker, so its
+tasks shrink as processors are added while the main processor's per-task
+work (creation, assignment, completion handling) stays constant.  The
+result is the paper's U-shaped scaling curve (Table 9) and a task
+management percentage that climbs toward 100% (Figure 20).
+
+This example reproduces both on the simulated iPSC/860, using the paper's
+work-free methodology: re-run the identical concurrency pattern with no
+computation and no shared-object communication, and divide.
+
+Run:  python examples/ocean_task_management.py
+"""
+
+from repro.apps import MachineKind
+from repro.lab import mgmt_percentage_sweep
+from repro.runtime.options import LocalityLevel
+
+
+def bar(pct: float, width: int = 30) -> str:
+    filled = int(round(pct / 100.0 * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def main():
+    procs = [1, 2, 4, 8, 16, 24, 32]
+    print("Ocean on the simulated iPSC/860 (paper data set, Task Placement)\n")
+    print(f"{'procs':>6} {'elapsed':>10} {'work-free':>10} {'mgmt %':>7}")
+    rows = mgmt_percentage_sweep("ocean", MachineKind.IPSC860, procs)
+    for row in rows:
+        pct = row.extra["mgmt_pct"]
+        print(f"{row.procs:>6} {row.metrics.elapsed:>9.2f}s "
+              f"{row.extra['workfree_elapsed']:>9.2f}s {pct:>6.1f}%  {bar(pct)}")
+
+    best = min(rows, key=lambda r: r.metrics.elapsed)
+    print(
+        f"\nThe sweet spot is {best.procs} processors ({best.metrics.elapsed:.2f} s)."
+        "\nBeyond it, each added processor adds a column block — and a task"
+        "\nper iteration — so serialized task management on the main"
+        "\nprocessor grows linearly while per-task compute shrinks: the"
+        "\ncurve turns back up, exactly as in the paper's Table 9."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Static analysis: why Panel Cholesky cannot scale like Water.
+
+§5.2.1 attributes part of Panel Cholesky's limited performance to "an
+inherent lack of concurrency in the basic parallel computation".  This
+example quantifies that for all four applications: total work, critical
+path, the resulting upper bound on speedup, and the average parallelism
+of an idealized infinite-processor schedule.
+
+Run:  python examples/program_analysis.py [--scale tiny|paper]
+"""
+
+import argparse
+
+from repro.apps import MachineKind
+from repro.lab import make_application
+from repro.lab.analysis import summarize
+from repro.runtime.options import LocalityLevel
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=["tiny", "paper"], default="paper")
+    parser.add_argument("--procs", type=int, default=32,
+                        help="decomposition width for the phase-structured apps")
+    args = parser.parse_args()
+
+    print(f"Inherent concurrency of the paper's applications "
+          f"({args.scale} data sets, {args.procs}-way decomposition)\n")
+    print(f"{'app':<10} {'tasks':>6} {'work (s)':>10} {'crit.path':>10} "
+          f"{'max speedup':>12} {'avg parallel':>13}")
+    for app_name in ("water", "string", "ocean", "cholesky"):
+        app = make_application(app_name, args.scale)
+        program = app.build(args.procs, machine=MachineKind.IPSC860,
+                            level=LocalityLevel.LOCALITY)
+        info = summarize(program)
+        print(f"{app_name:<10} {int(info['tasks']):>6} "
+              f"{info['total_work_s']:>10.2f} {info['critical_path_s']:>10.2f} "
+              f"{info['max_speedup']:>12.1f} {info['average_parallelism']:>13.1f}")
+
+    print(
+        "\nWater and String expose exactly as much parallelism as the"
+        "\ndecomposition asks for; Ocean's neighbour conflicts and Panel"
+        "\nCholesky's factorization DAG cap the achievable speedup no"
+        "\nmatter how many processors are thrown at them — the §5.2.1"
+        "\nobservation, derived here directly from the access"
+        "\nspecifications."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Quickstart: write a Jade program, run it on both simulated machines.
+
+A Jade program is a serial program plus access declarations.  This example
+builds a tiny pipeline — produce a grid, process slices of it in parallel,
+reduce the results — and executes it three ways:
+
+1. stripped serial execution (the correctness oracle);
+2. on the shared-memory machine (Stanford DASH model);
+3. on the message-passing machine (Intel iPSC/860 model).
+
+All three produce identical numeric results; the two parallel runs report
+the machine-level behaviour (time, locality, messages).
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    AccessSpec,
+    JadeBuilder,
+    RuntimeOptions,
+    run_message_passing,
+    run_shared_memory,
+    run_stripped,
+)
+
+
+def build_program(num_workers: int = 8):
+    jade = JadeBuilder()
+
+    # Shared objects: the grid everyone reads, one result slot per worker,
+    # and the final answer.  `home=` hints where each object lives.
+    grid = jade.object("grid", initial=np.zeros(1024), sim_nbytes=64 * 1024)
+    slots = [
+        jade.object(f"slot{w}", initial=np.zeros(1), home=w)
+        for w in range(num_workers)
+    ]
+    answer = jade.object("answer", initial=np.zeros(1))
+
+    # A serial section produces the grid (the main thread runs this).
+    def produce(ctx):
+        ctx.wr(grid)[:] = np.sin(np.arange(1024) * 0.01)
+
+    jade.serial("produce", body=produce, wr=[grid], cost=1e-3)
+
+    # `withonly` tasks declare exactly what they access.  Declaring the
+    # written slot first makes it the task's locality object, so the
+    # schedulers place each worker with its slot.
+    def work(w):
+        lo, hi = w * 128, (w + 1) * 128
+
+        def body(ctx):
+            ctx.wr(slots[w])[0] = float(np.sum(ctx.rd(grid)[lo:hi] ** 2))
+
+        return body
+
+    for w in range(num_workers):
+        jade.withonly(
+            f"work{w}", body=work(w),
+            spec=AccessSpec().wr(slots[w]).rd(grid),
+            cost=5e-3,
+        )
+
+    # A final serial reduction reads every slot.
+    def reduce(ctx):
+        ctx.wr(answer)[0] = sum(ctx.rd(s)[0] for s in slots)
+
+    jade.serial("reduce", body=reduce, rd=slots, wr=[answer], cost=1e-3)
+    return jade.finish("quickstart"), grid, answer
+
+
+def main():
+    # 1. The stripped serial run: Jade's semantics guarantee every
+    #    parallel execution reproduces exactly this result.
+    program, grid, answer = build_program()
+    serial = run_stripped(program)
+    expected = serial.payload(answer)[0]
+    print(f"stripped serial answer: {expected:.6f} "
+          f"(took {serial.time * 1e3:.1f} simulated ms)")
+
+    # 2. Shared memory (DASH): communication is implicit cache traffic.
+    program, grid, answer = build_program()
+    sm = run_shared_memory(program, num_processors=8)
+    assert sm.final_store.get(answer.object_id)[0] == expected
+    print(f"DASH (8 procs):     {sm.elapsed * 1e3:7.1f} ms elapsed, "
+          f"{sm.tasks_executed} tasks, "
+          f"{sm.task_locality_pct:.0f}% on their target processor")
+
+    # 3. Message passing (iPSC/860): the runtime replicates, fetches and
+    #    broadcasts objects explicitly.
+    program, grid, answer = build_program()
+    mp = run_message_passing(program, num_processors=8,
+                             options=RuntimeOptions())
+    assert mp.final_store.get(answer.object_id)[0] == expected
+    print(f"iPSC/860 (8 procs): {mp.elapsed * 1e3:7.1f} ms elapsed, "
+          f"{mp.total_messages} messages, "
+          f"{mp.object_bytes / 1024:.0f} KB of shared objects moved")
+
+    print("\nall three executions agree — Jade's serial semantics hold")
+
+
+if __name__ == "__main__":
+    main()

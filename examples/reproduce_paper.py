@@ -1,0 +1,164 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper's evaluation section.
+
+Produces the full paper-vs-measured record (the content of
+EXPERIMENTS.md): Tables 1–14 with the paper's rows interleaved, Figures
+2–21 as data series, and the §5.1/§5.4/§5.5 analyses.
+
+Run:  python examples/reproduce_paper.py [--output EXPERIMENTS-new.md]
+      (takes a few minutes; set REPRO_BENCH_PROCS=1,8,32 for a fast pass)
+"""
+
+import argparse
+import io
+import os
+import sys
+
+from repro.apps import MachineKind
+from repro.lab import (
+    PAPER_PROCS,
+    PAPER_TABLES,
+    broadcast_sweep,
+    fetch_latency_rows,
+    latency_hiding_sweep,
+    locality_sweep,
+    mgmt_percentage_sweep,
+    render_series,
+    render_table,
+    rows_to_series,
+    run_app,
+    serial_and_stripped,
+)
+from repro.runtime import RuntimeOptions
+from repro.runtime.options import LocalityLevel
+
+APPS = ["water", "string", "ocean", "cholesky"]
+LEVEL_LABELS = {
+    "task_placement": "Task Placement",
+    "locality": "Locality",
+    "no_locality": "No Locality",
+}
+BCAST_LABELS = {"broadcast": "Adaptive Broadcast",
+                "no-broadcast": "No Adaptive Broadcast"}
+
+
+def procs_list():
+    env = os.environ.get("REPRO_BENCH_PROCS")
+    if env:
+        return [int(x) for x in env.split(",")]
+    return list(PAPER_PROCS)
+
+
+def emit(out, text):
+    out.write(text + "\n\n")
+    print(text, flush=True)
+    print()
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default=None,
+                        help="also write the artifact blocks to this file")
+    args = parser.parse_args()
+    out = io.StringIO()
+    procs = procs_list()
+
+    # Tables 1 / 6 ------------------------------------------------------
+    for table_no, machine in ((1, MachineKind.DASH), (6, MachineKind.IPSC860)):
+        rows = {app: serial_and_stripped(app, machine) for app in APPS}
+        data = {v: {app: rows[app][v] for app in APPS}
+                for v in ("serial", "stripped")}
+        paper = {v: {app: PAPER_TABLES[table_no][app][v] for app in APPS}
+                 for v in ("serial", "stripped")}
+        emit(out, render_table(
+            f"Table {table_no}: Serial and Stripped times on "
+            f"{'DASH' if machine is MachineKind.DASH else 'the iPSC/860'} (s)",
+            APPS, data, paper=paper))
+
+    # Locality sweeps: Tables 2-5 / 7-10, Figures 2-9 / 12-19 -----------
+    for machine, table_base, fig_loc, fig_extra in (
+        (MachineKind.DASH, 2, 2, ("task time", 6)),
+        (MachineKind.IPSC860, 7, 12, ("comm ratio", 16)),
+    ):
+        mname = "DASH" if machine is MachineKind.DASH else "the iPSC/860"
+        for i, app in enumerate(APPS):
+            rows = locality_sweep(app, machine, procs)
+            elapsed = {LEVEL_LABELS[k]: v for k, v in
+                       rows_to_series(rows, lambda r: r.metrics.elapsed).items()}
+            emit(out, render_table(
+                f"Table {table_base + i}: Execution Times for "
+                f"{app.capitalize()} on {mname} (s)",
+                procs, elapsed, paper=PAPER_TABLES[table_base + i]))
+            pct = rows_to_series(rows, lambda r: r.metrics.task_locality_pct)
+            emit(out, render_series(
+                f"Figure {fig_loc + i}: Task Locality % — {app.capitalize()} "
+                f"on {mname}", procs, pct, "%"))
+            kind, fig_base = fig_extra
+            if kind == "task time":
+                extra = rows_to_series(rows, lambda r: r.metrics.task_time_total)
+                emit(out, render_series(
+                    f"Figure {fig_base + i}: Total Task Execution Time — "
+                    f"{app.capitalize()} on DASH", procs, extra, "s"))
+            else:
+                extra = rows_to_series(rows, lambda r: r.metrics.comm_to_comp_ratio)
+                emit(out, render_series(
+                    f"Figure {fig_base + i}: Comm(MB)/Comp(s) — "
+                    f"{app.capitalize()} on the iPSC/860", procs, extra,
+                    "MB/s", fmt=lambda v: f"{v:8.4f}"))
+
+    # Figures 10/11 and 20/21: task management percentages --------------
+    for fig, machine, app in ((10, MachineKind.DASH, "ocean"),
+                              (11, MachineKind.DASH, "cholesky"),
+                              (20, MachineKind.IPSC860, "ocean"),
+                              (21, MachineKind.IPSC860, "cholesky")):
+        mname = "DASH" if machine is MachineKind.DASH else "the iPSC/860"
+        rows = mgmt_percentage_sweep(app, machine, procs)
+        series = {"task_placement": {r.procs: r.extra["mgmt_pct"] for r in rows}}
+        emit(out, render_series(
+            f"Figure {fig}: Task Management % — {app.capitalize()} on {mname}",
+            procs, series, "%"))
+
+    # Tables 11-14: adaptive broadcast -----------------------------------
+    for i, app in enumerate(APPS):
+        rows = broadcast_sweep(app, procs)
+        series = {BCAST_LABELS[k]: v for k, v in
+                  rows_to_series(rows, lambda r: r.metrics.elapsed).items()}
+        emit(out, render_table(
+            f"Table {11 + i}: {app.capitalize()} with/without Adaptive "
+            f"Broadcast on the iPSC/860 (s)",
+            procs, series, paper=PAPER_TABLES[11 + i]))
+
+    # §5.1: replication ---------------------------------------------------
+    rep = {"Replication": {}, "No Replication": {}}
+    for p in (1, 4, 8):
+        rep["Replication"][p] = run_app(
+            "water", p, MachineKind.IPSC860, LocalityLevel.LOCALITY,
+            RuntimeOptions()).elapsed
+        rep["No Replication"][p] = run_app(
+            "water", p, MachineKind.IPSC860, LocalityLevel.LOCALITY,
+            RuntimeOptions(replication=False, adaptive_broadcast=False)).elapsed
+    emit(out, render_table("§5.1: Water with/without replication (s)",
+                           [1, 4, 8], rep))
+
+    # §5.4: latency hiding ------------------------------------------------
+    rows = latency_hiding_sweep("cholesky", procs)
+    series = rows_to_series(rows, lambda r: r.metrics.elapsed)
+    emit(out, render_table(
+        "§5.4: Panel Cholesky, latency hiding off/on (s)", procs, series))
+
+    # §5.5: concurrent fetches ---------------------------------------------
+    rows = fetch_latency_rows(APPS, 16)
+    table = {r.app: {"object/task latency ratio": r.extra["latency_ratio"]}
+             for r in rows}
+    emit(out, render_table("§5.5: fetch-latency ratios (16 procs, Locality)",
+                           ["object/task latency ratio"], table,
+                           fmt=lambda v: f"{v:.3f}"))
+
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(out.getvalue())
+        print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Water on the iPSC/860: the adaptive broadcast optimization at work.
+
+Reproduces the paper's §5.3 analysis interactively.  Water's serial phases
+update the 165,888-byte molecule-positions object, and every task of the
+following parallel phase reads it.  Without broadcast the main processor
+serially sends the object to every other node (31 × 0.07 s at 32 nodes);
+with the adaptive algorithm the communicator notices the object is read by
+everyone and switches to a log₂(P)-stage broadcast (0.31 s).
+
+Run:  python examples/water_broadcast.py [--procs 32] [--scale tiny|paper]
+"""
+
+import argparse
+
+from repro.apps import MachineKind
+from repro.lab import run_app
+from repro.runtime import RuntimeOptions
+from repro.runtime.options import LocalityLevel
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--procs", type=int, nargs="*", default=[8, 16, 32])
+    parser.add_argument("--scale", choices=["tiny", "paper"], default="paper")
+    args = parser.parse_args()
+
+    print(f"Water on the simulated iPSC/860 ({args.scale} data set)\n")
+    print(f"{'procs':>6} {'broadcast on':>14} {'broadcast off':>14} "
+          f"{'saved':>8} {'broadcasts':>11}")
+    for p in args.procs:
+        on = run_app("water", p, MachineKind.IPSC860, LocalityLevel.LOCALITY,
+                     RuntimeOptions(adaptive_broadcast=True), scale=args.scale)
+        off = run_app("water", p, MachineKind.IPSC860, LocalityLevel.LOCALITY,
+                      RuntimeOptions(adaptive_broadcast=False), scale=args.scale)
+        saved = 100.0 * (off.elapsed - on.elapsed) / off.elapsed
+        print(f"{p:>6} {on.elapsed:>12.2f} s {off.elapsed:>12.2f} s "
+              f"{saved:>7.1f}% {on.broadcasts:>11}")
+
+    print(
+        "\nThe benefit grows with the processor count: serial distribution"
+        "\ncosts (P-1) sends per phase, the broadcast about log2(P)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""repro — a reproduction of Rinard, "Communication Optimizations for
+Parallel Computing Using Data Access Information" (Supercomputing 1995).
+
+The package provides:
+
+* a Python embedding of the **Jade** implicitly-parallel language
+  (:mod:`repro.core`): shared objects, ``withonly`` tasks with access
+  specifications, and the queue-based synchronizer that extracts
+  concurrency from the serial program order;
+* deterministic models of the paper's two machines
+  (:mod:`repro.machines`): the Stanford DASH and the Intel iPSC/860;
+* the two Jade implementations (:mod:`repro.runtime`) with the paper's
+  five communication optimizations — replication, locality scheduling,
+  adaptive broadcast, concurrent fetches and latency hiding;
+* the four evaluated applications (:mod:`repro.apps`): Water, String,
+  Ocean and Panel Cholesky;
+* the experiment harness (:mod:`repro.lab`) that regenerates every table
+  and figure of the paper's evaluation.
+
+Quick start::
+
+    import numpy as np
+    from repro import JadeBuilder, RuntimeOptions, run_message_passing, run_stripped
+
+    jade = JadeBuilder()
+    grid = jade.object("grid", initial=np.zeros(64))
+    jade.task("fill", body=lambda ctx: ctx.wr(grid).fill(1.0), wr=[grid], cost=1e-3)
+    program = jade.finish("demo")
+
+    serial = run_stripped(program)
+    parallel = run_message_passing(program, num_processors=4)
+    assert np.array_equal(serial.payload(grid), parallel.final_store.get(grid.object_id))
+"""
+
+from repro.core import (
+    AccessMode,
+    AccessSpec,
+    JadeBuilder,
+    JadeProgram,
+    ObjectRegistry,
+    ObjectStore,
+    SharedObject,
+    Synchronizer,
+    TaskContext,
+    TaskSpec,
+    run_stripped,
+)
+from repro.machines import DashMachine, Ipsc860Machine, WorkstationFarm
+from repro.runtime import (
+    LocalityLevel,
+    MessagePassingRuntime,
+    RunMetrics,
+    RuntimeOptions,
+    SharedMemoryRuntime,
+    make_work_free,
+    run_message_passing,
+    run_shared_memory,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessMode",
+    "AccessSpec",
+    "JadeBuilder",
+    "JadeProgram",
+    "ObjectRegistry",
+    "ObjectStore",
+    "SharedObject",
+    "Synchronizer",
+    "TaskContext",
+    "TaskSpec",
+    "run_stripped",
+    "DashMachine",
+    "Ipsc860Machine",
+    "WorkstationFarm",
+    "LocalityLevel",
+    "MessagePassingRuntime",
+    "RunMetrics",
+    "RuntimeOptions",
+    "SharedMemoryRuntime",
+    "make_work_free",
+    "run_message_passing",
+    "run_shared_memory",
+    "__version__",
+]

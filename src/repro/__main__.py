@@ -1,0 +1,134 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``run``       execute one application configuration and print its metrics
+``sweep``     locality-level sweep for one app/machine (a paper table)
+``analyze``   static concurrency analysis of an application's program
+``describe``  list applications, machines, optimization switches
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps import ALL_APPLICATIONS, MachineKind
+from repro.lab import (
+    PAPER_PROCS,
+    levels_for,
+    locality_sweep,
+    make_application,
+    render_table,
+    rows_to_series,
+    run_app,
+)
+from repro.lab.analysis import summarize
+from repro.runtime import RuntimeOptions
+from repro.runtime.options import LocalityLevel
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--app", required=True, choices=sorted(ALL_APPLICATIONS))
+    parser.add_argument("--machine", default="ipsc860",
+                        choices=["dash", "ipsc860"])
+    parser.add_argument("--scale", default="paper", choices=["tiny", "paper"])
+
+
+def cmd_run(args) -> int:
+    options = RuntimeOptions(
+        locality=LocalityLevel(args.level),
+        adaptive_broadcast=not args.no_broadcast,
+        replication=not args.no_replication,
+        concurrent_fetches=not args.serial_fetches,
+        target_tasks_per_processor=args.target_tasks,
+        eager_update=args.eager_update,
+        work_free=args.work_free,
+    )
+    metrics = run_app(args.app, args.procs, MachineKind(args.machine),
+                      options.locality, options, args.scale)
+    print(f"{args.app} on {args.machine}, {args.procs} processors "
+          f"[{options.describe()}]")
+    for key, value in metrics.summary().items():
+        print(f"  {key:<14} {value:.6g}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    machine = MachineKind(args.machine)
+    procs = args.procs or PAPER_PROCS
+    rows = locality_sweep(args.app, machine, procs, args.scale)
+    series = rows_to_series(rows, lambda r: r.metrics.elapsed)
+    print(render_table(
+        f"{args.app} on {args.machine}: execution times (s)", procs, series))
+    pct = rows_to_series(rows, lambda r: r.metrics.task_locality_pct)
+    print()
+    print(render_table(
+        f"{args.app} on {args.machine}: task locality (%)", procs, pct,
+        fmt=lambda v: f"{v:.1f}"))
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    app = make_application(args.app, args.scale)
+    program = app.build(args.procs, machine=MachineKind(args.machine))
+    print(f"{args.app} ({args.scale}, {args.procs}-way decomposition)")
+    for key, value in summarize(program).items():
+        print(f"  {key:<22} {value:.6g}")
+    return 0
+
+
+def cmd_describe(_args) -> int:
+    print("applications:")
+    for name in sorted(ALL_APPLICATIONS):
+        app = make_application(name, "tiny")
+        levels = ", ".join(l.value for l in levels_for(name))
+        print(f"  {name:<10} levels: {levels}")
+    print("machines: dash (shared memory), ipsc860 (message passing),")
+    print("          workstations (heterogeneous farm; library API only)")
+    print("optimization switches: replication, adaptive_broadcast,")
+    print("          concurrent_fetches, target_tasks_per_processor,")
+    print("          eager_update, work_free  (see RuntimeOptions)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="execute one configuration")
+    _add_common(run_p)
+    run_p.add_argument("--procs", type=int, default=8)
+    run_p.add_argument("--level", default="locality",
+                       choices=[l.value for l in LocalityLevel])
+    run_p.add_argument("--no-broadcast", action="store_true")
+    run_p.add_argument("--no-replication", action="store_true")
+    run_p.add_argument("--serial-fetches", action="store_true")
+    run_p.add_argument("--target-tasks", type=int, default=1)
+    run_p.add_argument("--eager-update", action="store_true")
+    run_p.add_argument("--work-free", action="store_true")
+    run_p.set_defaults(func=cmd_run)
+
+    sweep_p = sub.add_parser("sweep", help="locality-level sweep (paper table)")
+    _add_common(sweep_p)
+    sweep_p.add_argument("--procs", type=int, nargs="*", default=None)
+    sweep_p.set_defaults(func=cmd_sweep)
+
+    an_p = sub.add_parser("analyze", help="static concurrency analysis")
+    _add_common(an_p)
+    an_p.add_argument("--procs", type=int, default=32)
+    an_p.set_defaults(func=cmd_analyze)
+
+    de_p = sub.add_parser("describe", help="list apps/machines/switches")
+    de_p.set_defaults(func=cmd_describe)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

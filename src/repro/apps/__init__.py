@@ -1,0 +1,52 @@
+"""The paper's application set (§4).
+
+Three complete scientific applications and one computational kernel:
+
+* :mod:`repro.apps.water` — Water: forces and potentials in a system of
+  water molecules in the liquid state (O(N²) pairwise phases with serial
+  update phases between them);
+* :mod:`repro.apps.string_app` — String: seismic tomography between two
+  oil wells (ray tracing + backprojection, one parallel phase per
+  iteration);
+* :mod:`repro.apps.ocean` — Ocean: eddy/boundary-current simulation
+  (five-point-stencil iteration over a block-decomposed grid);
+* :mod:`repro.apps.cholesky` — Panel Cholesky: sparse positive-definite
+  panel factorization (internal/external update task DAG), on the
+  :mod:`repro.apps.sparse` substrate (synthetic BCSSTK15-profile matrix
+  plus panel-granularity symbolic factorization).
+
+Every application separates its *real* geometry (small arrays the task
+bodies genuinely compute on — validated against serial execution) from its
+*cost* geometry (the paper's data-set sizes, which drive the simulated
+times and object sizes).  ``Config.tiny()`` makes both small for tests;
+``Config.paper()`` sets the cost geometry to the paper's data sets.
+"""
+
+from repro.apps.base import Application, MachineKind
+from repro.apps.water import Water, WaterConfig
+from repro.apps.string_app import String, StringConfig
+from repro.apps.ocean import Ocean, OceanConfig
+from repro.apps.cholesky import PanelCholesky, CholeskyConfig
+from repro.apps import sparse
+
+__all__ = [
+    "Application",
+    "MachineKind",
+    "Water",
+    "WaterConfig",
+    "String",
+    "StringConfig",
+    "Ocean",
+    "OceanConfig",
+    "PanelCholesky",
+    "CholeskyConfig",
+    "sparse",
+]
+
+#: The four applications keyed by their paper names.
+ALL_APPLICATIONS = {
+    "water": Water,
+    "string": String,
+    "ocean": Ocean,
+    "cholesky": PanelCholesky,
+}

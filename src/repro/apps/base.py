@@ -1,0 +1,66 @@
+"""Application interface shared by the four paper applications."""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.core.program import JadeProgram
+from repro.runtime.options import LocalityLevel
+
+
+class MachineKind(enum.Enum):
+    """Which machine's cost constants an elaborated program should carry."""
+
+    DASH = "dash"
+    IPSC860 = "ipsc860"
+
+
+class Application:
+    """One paper application.
+
+    Subclasses set :attr:`name`, :attr:`supports_task_placement` and
+    implement :meth:`build`.  An application object is configured once
+    (with a ``Config`` carrying the real and cost geometries) and can then
+    elaborate programs for any processor count / machine / locality level.
+
+    ``build`` returns a fresh :class:`JadeProgram` each call — programs
+    hold live payload state, so runs must not share them.
+    """
+
+    #: The paper's name for the application ("water", "string", ...).
+    name: str = "application"
+    #: Whether the programmer can improve locality with explicit task
+    #: placement (§5.2: true for Ocean and Panel Cholesky; Water and
+    #: String "cannot improve the locality ... using explicit task
+    #: placement").
+    supports_task_placement: bool = False
+
+    def build(
+        self,
+        num_processors: int,
+        machine: MachineKind = MachineKind.IPSC860,
+        level: LocalityLevel = LocalityLevel.LOCALITY,
+    ) -> JadeProgram:
+        """Elaborate the Jade program for this configuration."""
+        raise NotImplementedError
+
+    def serial_overhead_factor(self, machine: MachineKind) -> float:
+        """Ratio of the original *serial* version's time to the stripped
+        version's (Tables 1 and 6 report both; the difference is the data
+        structure modifications introduced by the Jade conversion)."""
+        return 1.0
+
+    def check_placement_supported(self, level: LocalityLevel) -> None:
+        if level is LocalityLevel.TASK_PLACEMENT and not self.supports_task_placement:
+            raise ValueError(
+                f"{self.name} has no explicit task placement (§5.2: the "
+                "programmer cannot improve its locality that way)"
+            )
+
+
+def placement_for(level: LocalityLevel, processor: Optional[int]) -> Optional[int]:
+    """Helper: explicit placements apply only at the Task Placement level."""
+    if level is LocalityLevel.TASK_PLACEMENT:
+        return processor
+    return None

@@ -1,0 +1,235 @@
+"""Panel Cholesky: sparse SPD factorization kernel (§4 of the paper).
+
+"The Panel Cholesky computation decomposes the matrix into a set of
+panels.  Each panel contains several adjacent columns.  The algorithm
+generates two kinds of tasks: internal update tasks, which update one
+panel, and external update tasks, which read a panel and update another
+panel.  The computation generates one internal update task for each panel
+and one external update task for each pair of panels with overlapping
+nonzero patterns.  The locality object for each task is the updated
+panel."
+
+The program opens with a serial section that initializes every panel —
+this is why, on the message-passing machine, "the computation starts out
+with the current version of all panels owned by the main processor, which
+just initialized them" and the Task Placement runs top out at ~92% task
+locality (§5.2.2).  Timing-wise the initialization and the symbolic
+factorization are free (the paper's numbers "only measure the actual
+numerical factorization").
+
+Two modes, selected by the config:
+
+* ``real_numeric=True`` (tiny/test configs): panels carry real dense
+  column-slices of a synthetic SPD matrix; internal tasks factor their
+  diagonal block, external tasks apply rank-w updates, and the test-suite
+  validates ``L·Lᵀ = A`` against ``numpy``/``scipy``.
+* ``real_numeric=False`` (paper-scale config, n = 3948): bodies are empty
+  and the program carries the task DAG and the calibrated cost model only
+  — running 3948-column dense-block numerics in pure Python would add
+  minutes per bench run without changing any measured quantity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+import scipy.linalg
+
+from repro.apps import sparse
+from repro.apps.base import Application, MachineKind
+from repro.core.access import AccessSpec
+from repro.core.program import JadeBuilder, JadeProgram
+from repro.runtime.options import LocalityLevel
+
+
+@dataclass
+class CholeskyConfig:
+    """Geometry and calibration for one Panel Cholesky instance."""
+
+    #: Matrix order (the paper's BCSSTK15 is 3948).
+    n: int = 96
+    #: Columns per panel.
+    panel_width: int = 12
+    #: Pattern parameters for the synthetic SPD matrix.
+    band: int = 24
+    extras_per_col: float = 1.0
+    #: Whether task bodies perform the real factorization numerics.
+    real_numeric: bool = True
+    #: Target stripped execution time per machine (Tables 1 / 6).
+    stripped_seconds: Dict[MachineKind, float] = field(
+        default_factory=lambda: {MachineKind.DASH: 0.05, MachineKind.IPSC860: 0.05}
+    )
+    seed: int = 23
+
+    @classmethod
+    def tiny(cls) -> "CholeskyConfig":
+        return cls()
+
+    @classmethod
+    def paper(cls) -> "CholeskyConfig":
+        """BCSSTK15-profile: n=3948, ≈60k stored nonzeros, 16-col panels."""
+        return cls(
+            n=3948,
+            panel_width=16,
+            band=48,
+            extras_per_col=2.0,
+            real_numeric=False,
+            stripped_seconds={
+                MachineKind.DASH: 28.91,     # Table 1, "Stripped"
+                MachineKind.IPSC860: 28.53,  # Table 6, "Stripped"
+            },
+        )
+
+
+class PanelCholesky(Application):
+    """The Panel Cholesky kernel."""
+
+    name = "cholesky"
+    supports_task_placement = True
+
+    def __init__(self, config: CholeskyConfig = None) -> None:
+        self.config = config or CholeskyConfig.tiny()
+        cfg = self.config
+        self.pattern = sparse.synthetic_spd_pattern(
+            cfg.n, cfg.band, cfg.extras_per_col, cfg.seed
+        )
+        self.panels = sparse.panelize(cfg.n, cfg.panel_width)
+        #: Panel DAG from the (free) symbolic factorization.
+        self.struct = sparse.panel_dag(self.pattern, self.panels)
+        self.flops = sparse.panel_flops(self.panels, self.struct)
+        self.matrix: Optional[np.ndarray] = (
+            sparse.build_spd_matrix(self.pattern, cfg.seed + 1)
+            if cfg.real_numeric else None
+        )
+
+    def serial_overhead_factor(self, machine: MachineKind) -> float:
+        # Table 1: 26.67 / 28.91; Table 6: 27.60 / 28.53 (the stripped
+        # version is slower than the original serial code on DASH).
+        return 0.923 if machine is MachineKind.DASH else 0.967
+
+    def task_count(self) -> int:
+        """Internal + external tasks the factorization generates."""
+        return len(self.panels) + sum(len(t) for t in self.struct)
+
+    # ------------------------------------------------------------------ #
+    def build(
+        self,
+        num_processors: int,
+        machine: MachineKind = MachineKind.IPSC860,
+        level: LocalityLevel = LocalityLevel.LOCALITY,
+    ) -> JadeProgram:
+        cfg = self.config
+        P = num_processors
+        B = len(self.panels)
+        jade = JadeBuilder()
+
+        def panel_home(k: int) -> int:
+            # Panels map round-robin omitting the main processor (§5.2).
+            return 0 if P == 1 else 1 + k % (P - 1)
+
+        scale = (self.stripped_target(machine)) / self.flops.total()
+
+        nnz_estimates = sparse.panel_nnz_estimates(self.panels, self.struct)
+        panel_objs = []
+        for k, (lo, hi) in enumerate(self.panels):
+            initial = (self.matrix[lo:, lo:hi].copy()
+                       if self.matrix is not None else np.zeros(1))
+            panel_objs.append(jade.object(
+                f"panel{k}", initial=initial,
+                sim_nbytes=int(nnz_estimates[k] * 8), home=panel_home(k),
+            ))
+
+        def init_body(ctx) -> None:
+            # Touch every panel: the main thread "just initialized them".
+            for obj in panel_objs:
+                payload = ctx.wr(obj)
+                if isinstance(payload, np.ndarray):
+                    payload *= 1.0
+
+        jade.serial("init", body=init_body, rw=panel_objs, cost=0.0)
+
+        for k in range(B):
+            placement = (panel_home(k)
+                         if level is LocalityLevel.TASK_PLACEMENT else None)
+            jade.task(
+                f"internal.{k}",
+                body=self._internal_body(k) if cfg.real_numeric else None,
+                spec=AccessSpec().rw(panel_objs[k]),
+                cost=self.flops.internal[k] * scale,
+                placement=placement, phase="factor",
+                metadata={"kind": "internal", "panel": k},
+            )
+            for j in self.struct[k]:
+                placement_j = (panel_home(j)
+                               if level is LocalityLevel.TASK_PLACEMENT else None)
+                jade.task(
+                    f"external.{k}.{j}",
+                    body=self._external_body(k, j) if cfg.real_numeric else None,
+                    spec=AccessSpec().rw(panel_objs[j]).rd(panel_objs[k]),
+                    cost=self.flops.external[(k, j)] * scale,
+                    placement=placement_j, phase="factor",
+                    metadata={"kind": "external", "src": k, "dst": j},
+                )
+
+        self._panel_objs = panel_objs
+        return jade.finish("cholesky")
+
+    def stripped_target(self, machine: MachineKind) -> float:
+        return self.config.stripped_seconds[machine]
+
+    # ------------------------------------------------------------------ #
+    # numeric bodies (right-looking panel factorization)
+    # ------------------------------------------------------------------ #
+    def _internal_body(self, k: int):
+        lo, hi = self.panels[k]
+        w = hi - lo
+
+        def body(ctx) -> None:
+            panel = ctx.wr(ctx.task.spec.objects()[0])
+            diag = np.linalg.cholesky(panel[:w, :w])
+            panel[:w, :w] = np.tril(diag)
+            if panel.shape[0] > w:
+                # Solve L_kk · Xᵀ = Aᵀ for the subdiagonal rows.
+                panel[w:, :] = scipy.linalg.solve_triangular(
+                    diag, panel[w:, :].T, lower=True
+                ).T
+
+        return body
+
+    def _external_body(self, k: int, j: int):
+        lo_k, hi_k = self.panels[k]
+        lo_j, hi_j = self.panels[j]
+        wj = hi_j - lo_j
+
+        def body(ctx) -> None:
+            target = ctx.wr(ctx.task.spec.objects()[0])
+            source = ctx.rd(ctx.task.spec.objects()[1])
+            rows = source[lo_j - lo_k:, :]          # L rows lo_j..n, panel k
+            diag_rows = source[lo_j - lo_k: lo_j - lo_k + wj, :]
+            target[:, :] -= rows @ diag_rows.T
+
+        return body
+
+    # ------------------------------------------------------------------ #
+    # validation helpers
+    # ------------------------------------------------------------------ #
+    def assemble_factor(self, store) -> np.ndarray:
+        """Rebuild the dense L from the panel payloads in ``store``."""
+        if self.matrix is None:
+            raise ValueError("structure-only configuration has no numerics")
+        n = self.config.n
+        L = np.zeros((n, n))
+        for k, (lo, hi) in enumerate(self.panels):
+            payload = store.get(self._panel_objs[k].object_id)
+            L[lo:, lo:hi] = payload
+        return np.tril(L)
+
+    def verify_factorization(self, store, atol: float = 1e-8) -> float:
+        """Assert L·Lᵀ reconstructs A; returns the max abs error."""
+        L = self.assemble_factor(store)
+        err = float(np.max(np.abs(L @ L.T - self.matrix)))
+        if err > atol:
+            raise AssertionError(f"factorization error {err} exceeds {atol}")
+        return err

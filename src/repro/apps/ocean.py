@@ -1,0 +1,256 @@
+"""Ocean: eddy and boundary-current simulation (§4 of the paper).
+
+"The computationally intensive section of Ocean uses an iterative method
+to solve a set of discretized spatial partial differential equations. ...
+the programmer decomposed the array into a set of interior blocks and
+boundary blocks.  Each block consists of a set of columns.  The size of
+the interior blocks determines the granularity of the computation and is
+adjusted to the number of processors executing the application.  There is
+one boundary block two columns wide between every two adjacent interior
+blocks.  At every iteration the application generates a set of tasks to
+compute the new array values in parallel.  There is one task per interior
+block; that task updates all of the elements in the interior block and one
+column of elements in each of the border blocks.  The locality object is
+the interior block."
+
+Reproduced exactly, including the decomposition arithmetic: ``P-1``
+interior blocks for ``P`` processors (the programmer devotes the main
+processor to task creation), each a ``rows × width`` column block, with
+2-column boundary blocks between neighbours.  Adjacent tasks conflict on
+their shared boundary block — the object-granularity dependence that makes
+Ocean communication-sensitive — and iterations pipeline through those
+conflicts.  The main thread creates all iterations' tasks as fast as
+creation allows; with the small tasks this grid produces, task management
+on the main processor becomes the bottleneck at scale (Figures 10, 20).
+
+Real numerics: a five-point-stencil sweep (Gauss–Seidel-flavoured, since
+blocks update in place in dependence order) with fixed boundary columns;
+parallel executions must equal the stripped serial sweep bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.apps.base import Application, MachineKind
+from repro.core.access import AccessSpec
+from repro.core.program import JadeBuilder, JadeProgram
+from repro.runtime.options import LocalityLevel
+from repro.util.rng import substream
+
+
+@dataclass
+class OceanConfig:
+    """Geometry and calibration for one Ocean instance."""
+
+    #: Real grid (rows, cols) the bodies compute on.
+    real_grid: Tuple[int, int] = (16, 32)
+    #: Iterations of the solve.
+    iterations: int = 4
+    #: Cost-model grid (the paper ran a square 192 × 192 grid).
+    cost_grid: Tuple[int, int] = (16, 32)
+    #: Target stripped execution time per machine (Tables 1 / 6).
+    stripped_seconds: Dict[MachineKind, float] = field(
+        default_factory=lambda: {MachineKind.DASH: 0.04, MachineKind.IPSC860: 0.04}
+    )
+    seed: int = 22
+
+    @classmethod
+    def tiny(cls) -> "OceanConfig":
+        return cls()
+
+    @classmethod
+    def paper(cls) -> "OceanConfig":
+        """The paper's 192 × 192 grid.  Iteration count chosen so that the
+        per-cell update cost implied by the Table 1 / 6 stripped times is
+        a plausible handful of flops per point on each machine."""
+        return cls(
+            # Wide enough to decompose into 31 interior blocks (32-proc
+            # runs); bodies stay cheap because the rows are few.
+            real_grid=(16, 128),
+            iterations=120,
+            cost_grid=(192, 192),
+            stripped_seconds={
+                MachineKind.DASH: 100.03,    # Table 1, "Stripped"
+                MachineKind.IPSC860: 60.99,  # Table 6, "Stripped"
+            },
+        )
+
+    def cell_cost(self, machine: MachineKind) -> float:
+        rows, cols = self.cost_grid
+        return self.stripped_seconds[machine] / (self.iterations * rows * cols)
+
+
+@dataclass
+class _Decomposition:
+    """Column decomposition into interior and boundary blocks."""
+
+    interior_cols: List[Tuple[int, int]]
+    boundary_cols: List[Tuple[int, int]]
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.interior_cols)
+
+
+def decompose(cols: int, num_blocks: int) -> _Decomposition:
+    """Split ``cols`` columns into interior blocks with 2-column boundary
+    blocks between adjacent ones (plus one fixed column at each edge).
+
+    >>> d = decompose(32, 3)
+    >>> d.interior_cols
+    [(1, 10), (12, 21), (23, 31)]
+    >>> d.boundary_cols
+    [(10, 12), (21, 23)]
+    """
+    if num_blocks < 1:
+        raise ValueError("need at least one interior block")
+    inner = cols - 2 - 2 * (num_blocks - 1)
+    if inner < num_blocks:
+        raise ValueError(
+            f"grid of {cols} columns too narrow for {num_blocks} blocks"
+        )
+    bounds = np.linspace(0, inner, num_blocks + 1).astype(int)
+    interior, boundary = [], []
+    offset = 1
+    for b in range(num_blocks):
+        width = int(bounds[b + 1] - bounds[b])
+        interior.append((offset, offset + width))
+        offset += width
+        if b < num_blocks - 1:
+            boundary.append((offset, offset + 2))
+            offset += 2
+    return _Decomposition(interior, boundary)
+
+
+class Ocean(Application):
+    """The Ocean application."""
+
+    name = "ocean"
+    supports_task_placement = True
+
+    def __init__(self, config: OceanConfig = None) -> None:
+        self.config = config or OceanConfig.tiny()
+
+    def serial_overhead_factor(self, machine: MachineKind) -> float:
+        # Table 1: 102.99 / 100.03; Table 6: 54.19 / 60.99 (the stripped
+        # version is *slower* on the iPSC/860 — the Jade data structure
+        # changes hurt the i860's small cache).
+        return 1.030 if machine is MachineKind.DASH else 0.889
+
+    def num_blocks(self, num_processors: int) -> int:
+        """One task per interior block; the main processor only creates
+        tasks (§5.2: the programmer "omits the main processor")."""
+        return max(1, num_processors - 1)
+
+    # ------------------------------------------------------------------ #
+    def build(
+        self,
+        num_processors: int,
+        machine: MachineKind = MachineKind.IPSC860,
+        level: LocalityLevel = LocalityLevel.LOCALITY,
+    ) -> JadeProgram:
+        cfg = self.config
+        P = num_processors
+        B = self.num_blocks(P)
+        rows, cols = cfg.real_grid
+        crows, ccols = cfg.cost_grid
+        real = decompose(cols, B)
+        cost = decompose(ccols, B)
+        jade = JadeBuilder()
+
+        rng = substream(cfg.seed, "ocean.state")
+        grid0 = rng.random((rows, cols))
+
+        def block_home(b: int) -> int:
+            return 0 if P == 1 else 1 + b % (P - 1)
+
+        interior = [
+            jade.object(
+                f"interior{b}",
+                initial=grid0[:, lo:hi].copy(),
+                sim_nbytes=crows * (cost.interior_cols[b][1] - cost.interior_cols[b][0]) * 8,
+                home=block_home(b),
+            )
+            for b, (lo, hi) in enumerate(real.interior_cols)
+        ]
+        boundary = [
+            jade.object(
+                f"boundary{b}",
+                initial=grid0[:, lo:hi].copy(),
+                sim_nbytes=crows * 2 * 8,
+                home=block_home(b),
+            )
+            for b, (lo, hi) in enumerate(real.boundary_cols)
+        ]
+        # Fixed edge columns, read-only parameters of the stencil.
+        edges = jade.object(
+            "edges", initial=np.stack([grid0[:, 0], grid0[:, -1]]),
+            sim_nbytes=crows * 2 * 8, home=0,
+        )
+        result = jade.object("result", initial=np.zeros(1), home=0)
+
+        def update_body(b: int):
+            def body(ctx) -> None:
+                own = ctx.wr(interior[b])
+                left = ctx.wr(boundary[b - 1]) if b > 0 else None
+                right = ctx.wr(boundary[b]) if b < B - 1 else None
+                edge = ctx.rd(edges)
+                # Assemble the block's neighbourhood: [left ghost | interior
+                # | right ghost], update interior plus one column of each
+                # adjacent boundary block (§4), five-point stencil.
+                lcol = left[:, 1] if left is not None else edge[0]
+                rcol = right[:, 0] if right is not None else edge[1]
+                panel = np.column_stack([lcol, own, rcol])
+                _stencil_sweep(panel)
+                own[:, :] = panel[:, 1:-1]
+                if left is not None:
+                    left[:, 1] = panel[:, 0]
+                if right is not None:
+                    right[:, 0] = panel[:, -1]
+            return body
+
+        def gather_body(ctx) -> None:
+            total = sum(float(np.sum(ctx.rd(block))) for block in interior)
+            total += sum(float(np.sum(ctx.rd(block))) for block in boundary)
+            ctx.wr(result)[0] = total
+
+        cell_cost = cfg.cell_cost(machine)
+        for it in range(cfg.iterations):
+            for b in range(B):
+                clo, chi = cost.interior_cols[b]
+                cells = crows * (chi - clo + 2)  # interior + 2 border columns
+                spec = AccessSpec().rw(interior[b])
+                if b > 0:
+                    spec.rw(boundary[b - 1])
+                if b < B - 1:
+                    spec.rw(boundary[b])
+                spec.rd(edges)
+                jade.task(
+                    f"relax.{it}.{b}", body=update_body(b), spec=spec,
+                    cost=cells * cell_cost, phase=f"iter.{it}",
+                    placement=(block_home(b)
+                               if level is LocalityLevel.TASK_PLACEMENT else None),
+                )
+        jade.serial("gather", body=gather_body,
+                    rd=interior + boundary, wr=[result], cost=0.0)
+        return jade.finish("ocean")
+
+
+def _stencil_sweep(panel: np.ndarray) -> None:
+    """One in-place five-point relaxation over the panel's interior.
+
+    Top/bottom rows are fixed; the first and last columns are the ghost
+    columns whose *new* values this task owns one of (§4's "one column of
+    elements in each of the border blocks" — the caller writes them back).
+    """
+    interior = panel[1:-1, 1:-1]
+    interior[:, :] = 0.25 * (
+        panel[0:-2, 1:-1] + panel[2:, 1:-1] + panel[1:-1, 0:-2] + panel[1:-1, 2:]
+    )
+    # The ghost columns' interior rows relax against their own neighbours.
+    panel[1:-1, 0] = 0.5 * panel[1:-1, 0] + 0.5 * panel[1:-1, 1]
+    panel[1:-1, -1] = 0.5 * panel[1:-1, -1] + 0.5 * panel[1:-1, -2]

@@ -1,0 +1,258 @@
+"""String: seismic tomography between two oil wells (§4 of the paper).
+
+"The parallel phases trace rays through a discretized velocity model,
+computing the difference between the simulated and experimentally observed
+travel times of the rays.  After tracing each ray the computation
+backprojects the difference linearly along the path of the ray.  Each task
+traces a group of rays, reading an array storing the velocity model and
+updating an explicitly replicated difference array ... Each serial phase
+uses the comprehensive difference array generated in the previous parallel
+phase to generate an updated velocity model.  The locality object for each
+task is the copy of the replicated difference array that it will update."
+
+Substitution: the paper's data set is a proprietary West Texas oil-field
+survey (185 ft × 450 ft at 1-ft resolution).  We synthesize an equivalent:
+a hidden "true" slowness model produces the observed travel times, and the
+program runs the same straight-ray trace + linear backprojection loop
+(SIRT) against a uniform starting model.  The parallel/serial structure,
+object sizes (the 383,528-byte velocity model of §5.3) and compute/
+communication ratios are what the paper's results depend on, and all are
+preserved; the seismic data values are not, and are not needed.
+
+Real numerics: each ray is sampled along its straight path with a fixed
+per-cell step; travel time is the line integral of slowness.  Iterating
+provably reduces the residual against the synthetic observations (tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.apps.base import Application, MachineKind
+from repro.core.access import AccessSpec
+from repro.core.program import JadeBuilder, JadeProgram
+from repro.runtime.options import LocalityLevel
+from repro.util.rng import substream
+
+#: §5.3: the updated velocity-model object is 383,528 bytes.
+_PAPER_MODEL_NBYTES = 383_528
+
+
+@dataclass
+class StringConfig:
+    """Geometry and calibration for one String instance."""
+
+    #: Real grid the bodies compute on (depth cells, width cells).
+    real_grid: Tuple[int, int] = (12, 18)
+    #: Real rays traced by the bodies (sources on one well, receivers on
+    #: the other, all pairs).
+    real_sources: int = 6
+    real_receivers: int = 6
+    #: Iterations, one parallel phase each (the paper ran six).
+    iterations: int = 3
+    #: Cost-model grid (the paper's 185 × 450 at 1-ft resolution).
+    cost_grid: Tuple[int, int] = (12, 18)
+    #: Cost-model ray count per iteration.
+    cost_rays: int = 36
+    #: Target stripped execution time per machine (Tables 1 / 6).
+    stripped_seconds: Dict[MachineKind, float] = field(
+        default_factory=lambda: {MachineKind.DASH: 0.08, MachineKind.IPSC860: 0.08}
+    )
+    #: Fraction of the stripped time in the serial update phases; the
+    #: paper's mean parallel phase length (106 s of ~113 s per iteration
+    #: at 32 processors → backprojection dominates) bounds it small.
+    serial_fraction: float = 0.004
+    #: Velocity-model object size for the cost model; ``None`` derives it
+    #: from ``cost_grid`` (4-byte floats + header).
+    model_nbytes: int = None
+    seed: int = 21
+
+    @classmethod
+    def tiny(cls) -> "StringConfig":
+        return cls()
+
+    @classmethod
+    def paper(cls) -> "StringConfig":
+        """The paper's data set: 185×450 ft at 1 ft, six iterations."""
+        return cls(
+            real_grid=(12, 18),
+            real_sources=6,
+            real_receivers=6,
+            iterations=6,
+            cost_grid=(185, 450),
+            cost_rays=32_000,
+            stripped_seconds={
+                MachineKind.DASH: 19_314.80,   # Table 1, "Stripped"
+                MachineKind.IPSC860: 19_629.42,  # Table 6, "Stripped"
+            },
+            model_nbytes=_PAPER_MODEL_NBYTES,
+        )
+
+    # -- derived ---------------------------------------------------------
+    def velocity_nbytes(self) -> int:
+        if self.model_nbytes is not None:
+            return self.model_nbytes
+        return self.cost_grid[0] * self.cost_grid[1] * 4 + 128
+
+    def diff_nbytes(self) -> int:
+        # The difference array stores a correction and a hit count per cell.
+        return self.cost_grid[0] * self.cost_grid[1] * 8 + 128
+
+    def phase_work_seconds(self, machine: MachineKind) -> float:
+        return self.stripped_seconds[machine] * (1.0 - self.serial_fraction) \
+            / self.iterations
+
+    def serial_section_seconds(self, machine: MachineKind) -> float:
+        return self.stripped_seconds[machine] * self.serial_fraction \
+            / self.iterations
+
+
+class String(Application):
+    """The String application."""
+
+    name = "string"
+    supports_task_placement = False
+
+    def __init__(self, config: StringConfig = None) -> None:
+        self.config = config or StringConfig.tiny()
+
+    def serial_overhead_factor(self, machine: MachineKind) -> float:
+        # Table 1: 20594.50 / 19314.80; Table 6: 20270.45 / 19629.42.
+        return 1.066 if machine is MachineKind.DASH else 1.033
+
+    # ------------------------------------------------------------------ #
+    def build(
+        self,
+        num_processors: int,
+        machine: MachineKind = MachineKind.IPSC860,
+        level: LocalityLevel = LocalityLevel.LOCALITY,
+    ) -> JadeProgram:
+        self.check_placement_supported(level)
+        cfg = self.config
+        P = num_processors
+        nz, nx = cfg.real_grid
+        jade = JadeBuilder()
+
+        rays = _ray_endpoints(nz, nx, cfg.real_sources, cfg.real_receivers)
+        observed = _observed_times(nz, nx, rays, cfg.seed)
+
+        velocity = jade.object(
+            "velocity", initial=np.full((nz, nx), 1.0),
+            sim_nbytes=cfg.velocity_nbytes(), home=0,
+        )
+        observations = jade.object(
+            "observations", initial=observed, sim_nbytes=8 * len(rays) + 128, home=0,
+        )
+        residual = jade.object("residual", initial=np.zeros(1), home=0)
+        diffs = [
+            jade.object(
+                f"diff{t}", initial=np.zeros((2, nz, nx)),
+                sim_nbytes=cfg.diff_nbytes(), home=t % P,
+            )
+            for t in range(P)
+        ]
+
+        groups = _ray_groups(len(rays), P)
+        task_cost = cfg.phase_work_seconds(machine) / P
+        serial_cost = cfg.serial_section_seconds(machine)
+
+        def trace_body(t: int):
+            lo, hi = groups[t]
+
+            def body(ctx) -> None:
+                slowness = ctx.rd(velocity)
+                obs = ctx.rd(observations)
+                out = ctx.wr(diffs[t])
+                out[:] = 0.0
+                for r in range(lo, hi):
+                    cells, lengths = _trace(rays[r], nz, nx)
+                    simulated = float(np.sum(slowness[cells[:, 0], cells[:, 1]] * lengths))
+                    delta = obs[r] - simulated
+                    total_len = float(np.sum(lengths))
+                    if total_len <= 0.0:
+                        continue
+                    # Linear backprojection of the travel-time difference
+                    # along the ray path (§4).
+                    out[0, cells[:, 0], cells[:, 1]] += delta * lengths / total_len
+                    out[1, cells[:, 0], cells[:, 1]] += 1.0
+
+            return body
+
+        def update_body(ctx) -> None:
+            total = np.zeros((2, nz, nx))
+            for d in diffs:
+                total += ctx.rd(d)
+            counts = np.maximum(total[1], 1.0)
+            model = ctx.wr(velocity)
+            model += 0.5 * total[0] / counts
+            np.clip(model, 0.2, 5.0, out=model)
+            ctx.wr(residual)[0] = float(np.sum(np.abs(total[0])))
+
+        for it in range(cfg.iterations):
+            for t in range(P):
+                jade.task(
+                    f"trace.{it}.{t}", body=trace_body(t),
+                    spec=(AccessSpec().wr(diffs[t]).rd(velocity)
+                          .rd(observations)),
+                    cost=task_cost, phase=f"trace.{it}",
+                )
+            jade.serial(
+                f"update-model.{it}", body=update_body,
+                rd=diffs, rw=[velocity], wr=[residual], cost=serial_cost,
+                phase=f"serial.{it}",
+            )
+        return jade.finish("string")
+
+
+# ---------------------------------------------------------------------- #
+# ray geometry (pure helpers, reusable and unit-tested)
+# ---------------------------------------------------------------------- #
+def _ray_endpoints(nz: int, nx: int, sources: int, receivers: int
+                   ) -> List[Tuple[float, float, float, float]]:
+    """All source→receiver rays between the two wells (x=0 and x=nx)."""
+    zs = np.linspace(0.5, nz - 0.5, sources)
+    zr = np.linspace(0.5, nz - 0.5, receivers)
+    return [(float(a), 0.0, float(b), float(nx)) for a in zs for b in zr]
+
+
+def _trace(ray, nz: int, nx: int, step: float = 0.25):
+    """Sample a straight ray; return (cells, per-cell path lengths).
+
+    Fixed-step sampling: each sample contributes ``step`` of path length
+    to the cell it falls in.  Duplicate consecutive cells accumulate, so
+    the result is a compact (cells, lengths) pair.
+    """
+    z0, x0, z1, x1 = ray
+    length = float(np.hypot(z1 - z0, x1 - x0))
+    n = max(2, int(length / step))
+    ts = (np.arange(n) + 0.5) / n
+    zc = np.clip((z0 + (z1 - z0) * ts).astype(int), 0, nz - 1)
+    xc = np.clip((x0 + (x1 - x0) * ts).astype(int), 0, nx - 1)
+    seg = length / n
+    flat = zc * nx + xc
+    uniq, counts = np.unique(flat, return_counts=True)
+    cells = np.stack([uniq // nx, uniq % nx], axis=1)
+    return cells, counts * seg
+
+
+def _observed_times(nz: int, nx: int, rays, seed: int) -> np.ndarray:
+    """Travel times through a hidden 'true' model (the synthetic survey)."""
+    rng = substream(seed, "string.true-model")
+    true_model = 1.0 + 0.4 * rng.random((nz, nx))
+    # A smooth low-slowness channel, so the inversion has structure to find.
+    zc = nz / 2.0
+    for z in range(nz):
+        true_model[z, :] -= 0.3 * np.exp(-((z - zc) ** 2) / (nz / 4.0) ** 2)
+    out = np.empty(len(rays))
+    for r, ray in enumerate(rays):
+        cells, lengths = _trace(ray, nz, nx)
+        out[r] = float(np.sum(true_model[cells[:, 0], cells[:, 1]] * lengths))
+    return out
+
+
+def _ray_groups(n_rays: int, parts: int):
+    bounds = np.linspace(0, n_rays, parts + 1).astype(int)
+    return [(int(bounds[i]), int(bounds[i + 1])) for i in range(parts)]

@@ -1,0 +1,234 @@
+"""Water: molecular dynamics of liquid water (§4 of the paper).
+
+"Water performs an interleaved sequence of parallel and serial phases.
+The parallel phases compute the intermolecular interactions of all pairs
+of molecules; each serial phase uses the results of the previous parallel
+phase to update an overall property of the set of molecules such as the
+positions of the molecules.  Each parallel task reads the array containing
+the molecule positions and updates an explicitly replicated contribution
+array. ... At the end of the parallel phase the computation performs a
+parallel reduction of the replicated contribution arrays ...  The locality
+object for each task is the copy of the replicated contribution array that
+it will write."
+
+Structure reproduced exactly: per iteration, a force phase and a potential
+phase, each of ``P`` tasks (the paper's programmer "matches the amount of
+exposed concurrency to the number of processors" — §5.4), each followed by
+a serial reduction/update section on the main processor.  The positions
+object is updated in every serial section and read by every task of the
+following parallel phase — it is *the* adaptive-broadcast candidate, and
+its paper-scale size is the 165,888 bytes of §5.3.
+
+Real numerics: a soft-sphere pairwise interaction on a small molecule set
+(``real_molecules``), validated bit-for-bit against the stripped serial
+execution.  Costs and object sizes come from the paper's 1728-molecule
+data set via ``cost_molecules``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+from repro.apps.base import Application, MachineKind
+from repro.core.access import AccessSpec
+from repro.core.program import JadeBuilder, JadeProgram
+from repro.runtime.options import LocalityLevel
+from repro.util.rng import substream
+
+#: Bytes per molecule in the positions object: 1728 molecules → the
+#: 165,888-byte updated object of §5.3.
+_POSITION_BYTES_PER_MOLECULE = 96
+#: Bytes per molecule in a contribution array (forces + energy).
+_CONTRIB_BYTES_PER_MOLECULE = 24
+
+
+@dataclass
+class WaterConfig:
+    """Geometry and calibration for one Water instance."""
+
+    #: Molecules the task bodies actually simulate (real numpy arrays).
+    real_molecules: int = 24
+    #: Molecules of the cost model (the paper ran 1728).
+    cost_molecules: int = 24
+    #: Iterations; each has two parallel phases (the paper ran 8).
+    iterations: int = 2
+    #: Target stripped (zero-overhead serial) execution time per machine,
+    #: from Tables 1 and 6 of the paper for the paper-scale config.
+    stripped_seconds: Dict[MachineKind, float] = field(
+        default_factory=lambda: {MachineKind.DASH: 0.08, MachineKind.IPSC860: 0.08}
+    )
+    #: Fraction of the stripped time spent in the serial phases.  The
+    #: serial work is O(N) against the phases' O(N²); at N=1728 that is a
+    #: fraction of a percent (the paper's near-linear 32-way speedups
+    #: bound it from above).
+    serial_fraction: float = 0.0015
+    #: RNG seed for the initial molecule placement.
+    seed: int = 20
+
+    @classmethod
+    def tiny(cls) -> "WaterConfig":
+        """Small everything: unit tests."""
+        return cls()
+
+    @classmethod
+    def paper(cls) -> "WaterConfig":
+        """The paper's data set: 1728 molecules, 8 iterations (§4), with
+        Table 1 / Table 6 stripped times as the cost calibration."""
+        return cls(
+            real_molecules=48,
+            cost_molecules=1728,
+            iterations=8,
+            stripped_seconds={
+                MachineKind.DASH: 3285.90,   # Table 1, "Stripped"
+                MachineKind.IPSC860: 2406.72,  # Table 6, "Stripped"
+            },
+        )
+
+    # -- derived cost quantities ----------------------------------------
+    def pair_count(self) -> float:
+        n = self.cost_molecules
+        return n * (n - 1) / 2.0
+
+    def phase_work_seconds(self, machine: MachineKind) -> float:
+        """Cost of one full parallel phase (all pairs), on ``machine``."""
+        phases = 2 * self.iterations
+        return self.stripped_seconds[machine] * (1.0 - self.serial_fraction) / phases
+
+    def serial_section_seconds(self, machine: MachineKind) -> float:
+        phases = 2 * self.iterations
+        return self.stripped_seconds[machine] * self.serial_fraction / phases
+
+    def positions_nbytes(self) -> int:
+        return self.cost_molecules * _POSITION_BYTES_PER_MOLECULE
+
+    def contrib_nbytes(self) -> int:
+        return self.cost_molecules * _CONTRIB_BYTES_PER_MOLECULE
+
+
+class Water(Application):
+    """The Water application."""
+
+    name = "water"
+    supports_task_placement = False
+
+    def __init__(self, config: WaterConfig = None) -> None:
+        self.config = config or WaterConfig.tiny()
+
+    def serial_overhead_factor(self, machine: MachineKind) -> float:
+        # Table 1: 3628.29 / 3285.90; Table 6: 2482.91 / 2406.72.
+        return 1.104 if machine is MachineKind.DASH else 1.032
+
+    # ------------------------------------------------------------------ #
+    def build(
+        self,
+        num_processors: int,
+        machine: MachineKind = MachineKind.IPSC860,
+        level: LocalityLevel = LocalityLevel.LOCALITY,
+    ) -> JadeProgram:
+        self.check_placement_supported(level)
+        cfg = self.config
+        P = num_processors
+        jade = JadeBuilder()
+
+        rng = substream(cfg.seed, "water.positions")
+        initial_positions = rng.random((cfg.real_molecules, 3))
+
+        params = jade.object("params", initial=np.array([0.05, 1e-4]),
+                             sim_nbytes=4096, home=0)
+        positions = jade.object("positions", initial=initial_positions,
+                                sim_nbytes=cfg.positions_nbytes(), home=0)
+        energy = jade.object("energy", initial=np.zeros(1), home=0)
+        # One replicated contribution array per task slot, homed across the
+        # machine (the language-level replication of §4).
+        contribs = [
+            jade.object(f"contrib{t}", initial=np.zeros((cfg.real_molecules, 4)),
+                        sim_nbytes=cfg.contrib_nbytes(), home=t % P)
+            for t in range(P)
+        ]
+
+        slices = _molecule_slices(cfg.real_molecules, P)
+        task_cost = cfg.phase_work_seconds(machine) / P
+        serial_cost = cfg.serial_section_seconds(machine)
+
+        def interactions_body(t: int, energy_phase: bool):
+            lo, hi = slices[t]
+
+            def body(ctx) -> None:
+                eps, _dt = ctx.rd(params)
+                pos = ctx.rd(positions)
+                out = ctx.wr(contribs[t])
+                out[:] = 0.0
+                if lo >= hi:
+                    return
+                # Pairwise soft-sphere interactions of this task's molecule
+                # slice against the whole set (vectorized; no Python loop).
+                diff = pos[lo:hi, None, :] - pos[None, :, :]
+                d2 = np.sum(diff * diff, axis=2) + eps
+                if energy_phase:
+                    inv = 1.0 / d2
+                    idx = np.arange(lo, hi)
+                    inv[idx - lo, idx] = 0.0
+                    out[lo:hi, 3] = np.sum(inv, axis=1)
+                else:
+                    w = 1.0 / (d2 * d2)
+                    idx = np.arange(lo, hi)
+                    w[idx - lo, idx] = 0.0
+                    out[lo:hi, 0:3] = np.sum(diff * w[:, :, None], axis=1)
+
+            return body
+
+        def force_update_body(ctx) -> None:
+            _eps, dt = ctx.rd(params)
+            total = np.zeros((cfg.real_molecules, 4))
+            for c in contribs:
+                total += ctx.rd(c)
+            pos = ctx.wr(positions)
+            pos += dt * total[:, 0:3]
+            np.mod(pos, 1.0, out=pos)
+
+        def energy_update_body(ctx) -> None:
+            _eps, dt = ctx.rd(params)
+            total = np.zeros((cfg.real_molecules, 4))
+            for c in contribs:
+                total += ctx.rd(c)
+            ctx.wr(energy)[0] = float(np.sum(total[:, 3]))
+            # The serial phase also perturbs positions (velocity rescale),
+            # so every parallel phase reads a freshly updated object — the
+            # §5.3 broadcast pattern.
+            pos = ctx.wr(positions)
+            pos += (dt * 0.1) * total[:, 0:3]
+            np.mod(pos, 1.0, out=pos)
+
+        for it in range(cfg.iterations):
+            for t in range(P):
+                jade.task(
+                    f"forces.{it}.{t}", body=interactions_body(t, False),
+                    spec=AccessSpec().wr(contribs[t]).rd(positions).rd(params),
+                    cost=task_cost, phase=f"forces.{it}",
+                )
+            jade.serial(
+                f"update-positions.{it}", body=force_update_body,
+                rd=contribs + [params], rw=[positions], cost=serial_cost,
+                phase=f"serial.forces.{it}",
+            )
+            for t in range(P):
+                jade.task(
+                    f"potentials.{it}.{t}", body=interactions_body(t, True),
+                    spec=AccessSpec().wr(contribs[t]).rd(positions).rd(params),
+                    cost=task_cost, phase=f"potentials.{it}",
+                )
+            jade.serial(
+                f"update-energy.{it}", body=energy_update_body,
+                rd=contribs + [params], wr=[energy], rw=[positions],
+                cost=serial_cost, phase=f"serial.potentials.{it}",
+            )
+        return jade.finish("water")
+
+
+def _molecule_slices(n: int, parts: int):
+    """Split ``range(n)`` into ``parts`` contiguous near-equal slices."""
+    bounds = np.linspace(0, n, parts + 1).astype(int)
+    return [(int(bounds[i]), int(bounds[i + 1])) for i in range(parts)]

@@ -1,0 +1,40 @@
+"""The Jade language core.
+
+Jade (§2 of the paper) is a set of constructs layered over a serial,
+imperative program:
+
+* the program allocates **shared objects** — the granularity at which the
+  implementation reasons about data (:mod:`repro.core.objects`);
+* ``withonly`` blocks decompose the serial execution into **tasks**, each
+  carrying an **access specification** declaring which objects it will read
+  and write (:mod:`repro.core.access`, :mod:`repro.core.task`);
+* the implementation extracts concurrency by preserving the **dynamic data
+  dependences** implied by the specifications and the serial program order
+  (:mod:`repro.core.synchronizer`).
+
+This package is runtime-agnostic: it defines programs and their dependence
+semantics.  The two machine-specific implementations live in
+:mod:`repro.runtime`.
+"""
+
+from repro.core.objects import SharedObject, ObjectRegistry, ObjectStore
+from repro.core.access import AccessMode, AccessDecl, AccessSpec
+from repro.core.task import TaskSpec, TaskContext
+from repro.core.program import JadeProgram, JadeBuilder, SerialResult, run_stripped
+from repro.core.synchronizer import Synchronizer
+
+__all__ = [
+    "SharedObject",
+    "ObjectRegistry",
+    "ObjectStore",
+    "AccessMode",
+    "AccessDecl",
+    "AccessSpec",
+    "TaskSpec",
+    "TaskContext",
+    "JadeProgram",
+    "JadeBuilder",
+    "SerialResult",
+    "run_stripped",
+    "Synchronizer",
+]

@@ -1,0 +1,171 @@
+"""Access specifications: how a task declares its shared-object accesses.
+
+"Each such statement declares how the task will access an individual shared
+object.  For example, the ``rd(o)`` access specification statement declares
+that the task will read the shared object ``o``; the ``wr(o)`` statement
+declares that the task will write ``o``." (§2)
+
+Declaration order matters: the *first* declared object is the task's
+**locality object** (§3.2.1, §3.4.3), which both schedulers use to pick the
+task's target processor.  :class:`AccessSpec` therefore preserves order.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.objects import SharedObject
+from repro.errors import SpecificationError
+
+
+class AccessMode(enum.Enum):
+    """Declared access mode for one shared object.
+
+    ``RW`` is the union ``rd(o); wr(o)`` — the task both reads the previous
+    version and produces a new one (Ocean's interior-block update, every
+    Cholesky update).  The paper's more advanced pipelined modes (``de``
+    etc., [17]) are outside this reproduction's scope: none of the four
+    evaluated applications use them.
+    """
+
+    RD = "rd"
+    WR = "wr"
+    RW = "rw"
+
+    @property
+    def reads(self) -> bool:
+        return self in (AccessMode.RD, AccessMode.RW)
+
+    @property
+    def writes(self) -> bool:
+        return self in (AccessMode.WR, AccessMode.RW)
+
+    def conflicts_with(self, other: "AccessMode") -> bool:
+        """Two accesses conflict unless both are pure reads."""
+        return self.writes or other.writes
+
+
+@dataclass(frozen=True)
+class AccessDecl:
+    """One executed access-specification statement."""
+
+    obj: SharedObject
+    mode: AccessMode
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.mode.value}({self.obj.name})"
+
+
+class AccessSpec:
+    """An ordered set of access declarations for one task.
+
+    Built either directly (``AccessSpec(rd=[...], wr=[...])``) or
+    incrementally through :meth:`rd`/:meth:`wr`/:meth:`rw`, which mirror
+    Jade's access-specification statements.  Declaring the same object
+    twice merges the modes (``rd`` then ``wr`` becomes ``rw``), keeping the
+    position of the first declaration — that is what the locality-object
+    rule keys off.
+    """
+
+    def __init__(
+        self,
+        rd: Sequence[SharedObject] = (),
+        wr: Sequence[SharedObject] = (),
+        rw: Sequence[SharedObject] = (),
+    ) -> None:
+        self._order: List[int] = []
+        self._modes: dict = {}
+        self._objs: dict = {}
+        for obj in rd:
+            self.rd(obj)
+        for obj in wr:
+            self.wr(obj)
+        for obj in rw:
+            self.rw(obj)
+
+    # ------------------------------------------------------------------ #
+    # Jade access specification statements
+    # ------------------------------------------------------------------ #
+    def rd(self, obj: SharedObject) -> "AccessSpec":
+        """Declare that the task will read ``obj``."""
+        return self._declare(obj, AccessMode.RD)
+
+    def wr(self, obj: SharedObject) -> "AccessSpec":
+        """Declare that the task will write ``obj``."""
+        return self._declare(obj, AccessMode.WR)
+
+    def rw(self, obj: SharedObject) -> "AccessSpec":
+        """Declare that the task will read and write ``obj``."""
+        return self._declare(obj, AccessMode.RW)
+
+    def _declare(self, obj: SharedObject, mode: AccessMode) -> "AccessSpec":
+        if not isinstance(obj, SharedObject):
+            raise SpecificationError(
+                f"access declarations take SharedObject, got {type(obj).__name__}"
+            )
+        oid = obj.object_id
+        if oid in self._modes:
+            old = self._modes[oid]
+            if old is not mode:
+                self._modes[oid] = AccessMode.RW
+        else:
+            self._order.append(oid)
+            self._modes[oid] = mode
+            self._objs[oid] = obj
+        return self
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self) -> Iterator[AccessDecl]:
+        for oid in self._order:
+            yield AccessDecl(self._objs[oid], self._modes[oid])
+
+    def declares(self, obj: SharedObject) -> bool:
+        return obj.object_id in self._modes
+
+    def mode_of(self, obj: SharedObject) -> Optional[AccessMode]:
+        return self._modes.get(obj.object_id)
+
+    def may_read(self, obj: SharedObject) -> bool:
+        mode = self._modes.get(obj.object_id)
+        return mode is not None and mode.reads
+
+    def may_write(self, obj: SharedObject) -> bool:
+        mode = self._modes.get(obj.object_id)
+        return mode is not None and mode.writes
+
+    @property
+    def locality_object(self) -> Optional[SharedObject]:
+        """The first declared object (§3.2.1: "the first object that the
+        task declared it would access")."""
+        if not self._order:
+            return None
+        return self._objs[self._order[0]]
+
+    def reads(self) -> List[SharedObject]:
+        """Objects the task reads, in declaration order."""
+        return [self._objs[oid] for oid in self._order if self._modes[oid].reads]
+
+    def writes(self) -> List[SharedObject]:
+        """Objects the task writes, in declaration order."""
+        return [self._objs[oid] for oid in self._order if self._modes[oid].writes]
+
+    def objects(self) -> List[SharedObject]:
+        return [self._objs[oid] for oid in self._order]
+
+    def conflicts_with(self, other: "AccessSpec") -> bool:
+        """True when the two tasks have a dynamic data dependence (§2)."""
+        mine = set(self._modes)
+        for oid in other._order:
+            if oid in mine and self._modes[oid].conflicts_with(other._modes[oid]):
+                return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "AccessSpec(" + ", ".join(repr(d) for d in self) + ")"

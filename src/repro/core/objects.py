@@ -1,0 +1,188 @@
+"""Shared objects: the unit of Jade's data-access reasoning.
+
+"Each piece of data allocated ... in this memory is a shared object.  The
+programmer therefore implicitly aggregates the individual words of memory
+into larger granularity shared objects by allocating data at that
+granularity." (§2)
+
+Two sizes per object
+--------------------
+
+Real payloads in this reproduction are numpy arrays (or arbitrary Python
+values) that the task bodies genuinely compute on — that is how the test
+suite proves parallel executions produce the serial program's results.
+Because test payloads are deliberately small while the *paper's* data sets
+are large (Water's molecule-derived object is 165,888 bytes), each object
+carries an explicit ``sim_nbytes`` used by the machine cost models.  By
+default ``sim_nbytes`` is the payload's actual size; applications override
+it with the paper-scale figure so communication costs are realistic even
+when numerics run scaled-down.
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import SpecificationError
+
+
+class SharedObject:
+    """A named shared object with an initial payload and a simulated size.
+
+    Instances are descriptors, not storage: actual data lives in
+    :class:`ObjectStore` instances (one global store for the shared-memory
+    machine, one per processor for the message-passing machine) keyed by
+    object id.
+    """
+
+    __slots__ = ("object_id", "name", "initial", "sim_nbytes", "home_hint")
+
+    def __init__(
+        self,
+        object_id: int,
+        name: str,
+        initial: Any = None,
+        sim_nbytes: Optional[int] = None,
+        home_hint: Optional[int] = None,
+    ) -> None:
+        self.object_id = object_id
+        self.name = name
+        self.initial = initial
+        if sim_nbytes is None:
+            sim_nbytes = _default_nbytes(initial)
+        if sim_nbytes < 0:
+            raise SpecificationError(f"object {name!r}: negative sim_nbytes")
+        self.sim_nbytes = int(sim_nbytes)
+        #: Preferred home processor on DASH (allocation placement) and
+        #: initial owner hint on the iPSC/860.  ``None`` = round-robin.
+        self.home_hint = home_hint
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SharedObject {self.object_id}:{self.name} {self.sim_nbytes}B>"
+
+
+def _default_nbytes(value: Any) -> int:
+    """Best-effort size of a payload, used when ``sim_nbytes`` is not given."""
+    if value is None:
+        return 8
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if isinstance(value, (int, float, bool)):
+        return 8
+    if isinstance(value, (list, tuple)):
+        return 8 * max(1, len(value))
+    if isinstance(value, dict):
+        return 16 * max(1, len(value))
+    return 64
+
+
+class ObjectRegistry:
+    """Allocates shared objects with unique ids and stable names."""
+
+    def __init__(self) -> None:
+        self._objects: List[SharedObject] = []
+        self._by_name: Dict[str, SharedObject] = {}
+
+    def create(
+        self,
+        name: str,
+        initial: Any = None,
+        sim_nbytes: Optional[int] = None,
+        home_hint: Optional[int] = None,
+    ) -> SharedObject:
+        if name in self._by_name:
+            raise SpecificationError(f"duplicate shared object name {name!r}")
+        obj = SharedObject(len(self._objects), name, initial, sim_nbytes, home_hint)
+        self._objects.append(obj)
+        self._by_name[name] = obj
+        return obj
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self):
+        return iter(self._objects)
+
+    def by_id(self, object_id: int) -> SharedObject:
+        try:
+            return self._objects[object_id]
+        except IndexError:
+            raise SpecificationError(f"unknown object id {object_id}") from None
+
+    def by_name(self, name: str) -> SharedObject:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SpecificationError(f"unknown object name {name!r}") from None
+
+
+def _clone(value: Any) -> Any:
+    """Deep-copy a payload (numpy fast-path)."""
+    if isinstance(value, np.ndarray):
+        return value.copy()
+    return _copy.deepcopy(value)
+
+
+class ObjectStore:
+    """A memory holding (version, payload) per object id.
+
+    The shared-memory machine has one store; the message-passing machine
+    has one per processor, and the communicator moves payloads between
+    them.  Versions start at 0 (the initial payload, produced by the main
+    thread) and increment on each write in serial program order.
+    """
+
+    def __init__(self, label: str = "store") -> None:
+        self.label = label
+        self._data: Dict[int, Any] = {}
+        self._version: Dict[int, int] = {}
+
+    def install(self, obj: SharedObject) -> None:
+        """Place the object's initial payload as version 0."""
+        self._data[obj.object_id] = _clone(obj.initial)
+        self._version[obj.object_id] = 0
+
+    def install_copy(self, object_id: int, version: int, payload: Any) -> None:
+        """Install a payload received from another store (MP replication)."""
+        self._data[object_id] = _clone(payload)
+        self._version[object_id] = version
+
+    def adopt(self, object_id: int, version: int, payload: Any) -> None:
+        """Install a payload without copying (ownership transfer)."""
+        self._data[object_id] = payload
+        self._version[object_id] = version
+
+    def has(self, object_id: int, version: Optional[int] = None) -> bool:
+        if object_id not in self._data:
+            return False
+        return version is None or self._version[object_id] == version
+
+    def get(self, object_id: int) -> Any:
+        return self._data[object_id]
+
+    def version(self, object_id: int) -> int:
+        return self._version[object_id]
+
+    def bump_version(self, object_id: int, to_version: int) -> None:
+        """Record that the local payload is now ``to_version`` (after a write)."""
+        self._version[object_id] = to_version
+
+    def put(self, object_id: int, payload: Any) -> None:
+        """Replace the payload outright (used by ``TaskContext.set``)."""
+        self._data[object_id] = payload
+
+    def drop(self, object_id: int) -> None:
+        self._data.pop(object_id, None)
+        self._version.pop(object_id, None)
+
+    def object_ids(self) -> List[int]:
+        return sorted(self._data)
+
+    def export(self, object_id: int) -> Any:
+        """Return a copy of the payload, as a message would carry it."""
+        return _clone(self._data[object_id])

@@ -1,0 +1,232 @@
+"""Jade programs: serial elaboration of tasks, and the "stripped" executor.
+
+A Jade program is a serial, imperative program whose ``withonly`` blocks
+create tasks.  In this reproduction applications *elaborate* their program
+through a :class:`JadeBuilder`: the builder records, in serial program
+order, every shared-object allocation, every task creation and every serial
+section.  The recorded :class:`JadeProgram` is then given to a runtime,
+which replays the main thread on the simulated machine — charging task
+creation overhead, blocking at serial sections — exactly as Jade's main
+thread behaved.
+
+Elaboration restriction
+-----------------------
+
+Elaboration runs *eagerly*, before simulation, so a program's **structure**
+(which tasks exist, what they declare) may not depend on values computed by
+task bodies.  Its **data** may: bodies execute later, during simulated (or
+stripped) execution, in dependence order.  All four applications of the
+paper satisfy this restriction — their main threads create a statically
+known task structure per iteration.  (Full Jade allows structure to depend
+on computed data; none of the paper's applications or experiments exercise
+that, so the reproduction trades it for determinism and replayability.)
+
+The stripped executor
+---------------------
+
+``run_stripped`` executes the program serially against a single store with
+zero runtime overhead — the analogue of the paper's "stripped" version, in
+which "all Jade constructs [are] automatically stripped out by a
+preprocessor to yield a sequential C program that executes with no Jade
+overhead" (§5.2.1).  Its numeric results define correctness for every
+parallel execution, and its summed cost is the stripped execution time of
+Tables 1 and 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.access import AccessSpec
+from repro.core.objects import ObjectRegistry, ObjectStore, SharedObject
+from repro.core.task import TaskContext, TaskSpec
+from repro.errors import SpecificationError
+
+
+class JadeBuilder:
+    """Records a Jade program in serial order.
+
+    Applications receive a builder and call :meth:`object`, :meth:`task`
+    (a.k.a. :meth:`withonly`) and :meth:`serial`::
+
+        def build(jade: JadeBuilder) -> None:
+            grid = jade.object("grid", initial=np.zeros((64, 64)))
+            for step in range(10):
+                jade.task(f"update.{step}", body=update, rw=[grid], cost=1e-3)
+    """
+
+    def __init__(self) -> None:
+        self.registry = ObjectRegistry()
+        self.tasks: List[TaskSpec] = []
+        self._next_task_id = 0
+
+    # ------------------------------------------------------------------ #
+    # shared object allocation
+    # ------------------------------------------------------------------ #
+    def object(
+        self,
+        name: str,
+        initial: Any = None,
+        sim_nbytes: Optional[int] = None,
+        home: Optional[int] = None,
+    ) -> SharedObject:
+        """Allocate a shared object (version 0 = ``initial``).
+
+        ``sim_nbytes`` is the size the machine models charge for moving the
+        object; ``home`` pins its DASH memory module / initial iPSC owner.
+        """
+        return self.registry.create(name, initial, sim_nbytes, home)
+
+    # ------------------------------------------------------------------ #
+    # task creation
+    # ------------------------------------------------------------------ #
+    def task(
+        self,
+        name: str,
+        body: Optional[Callable[[TaskContext], None]] = None,
+        rd: Sequence[SharedObject] = (),
+        wr: Sequence[SharedObject] = (),
+        rw: Sequence[SharedObject] = (),
+        spec: Optional[AccessSpec] = None,
+        cost: float = 0.0,
+        placement: Optional[int] = None,
+        phase: Optional[str] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> TaskSpec:
+        """Create a parallel task (the ``withonly`` construct).
+
+        Either pass ``rd``/``wr``/``rw`` lists or a prebuilt ``spec``.
+        Declaration order is preserved — the first declared object becomes
+        the task's locality object, so put it first deliberately (the
+        paper's applications do: Water and String declare their replicated
+        contribution array first, Ocean its interior block, Cholesky the
+        updated panel).
+        """
+        if spec is None:
+            spec = AccessSpec(rd=rd, wr=wr, rw=rw)
+        elif rd or wr or rw:
+            raise SpecificationError("pass either spec= or rd/wr/rw lists, not both")
+        task = TaskSpec(
+            self._next_task_id,
+            name,
+            spec,
+            body=body,
+            cost=cost,
+            placement=placement,
+            serial=False,
+            phase=phase,
+            metadata=metadata,
+        )
+        self._next_task_id += 1
+        self.tasks.append(task)
+        return task
+
+    #: ``withonly`` is the Jade name for task creation.
+    withonly = task
+
+    def serial(
+        self,
+        name: str,
+        body: Optional[Callable[[TaskContext], None]] = None,
+        rd: Sequence[SharedObject] = (),
+        wr: Sequence[SharedObject] = (),
+        rw: Sequence[SharedObject] = (),
+        cost: float = 0.0,
+        phase: Optional[str] = None,
+    ) -> TaskSpec:
+        """Record a serial main-thread section.
+
+        The main thread executes this inline on the main processor: it
+        waits for the declared objects' dependences, runs the body, and
+        only then resumes creating tasks — exactly Jade's behaviour when
+        the main thread touches shared data between ``withonly`` blocks.
+        """
+        spec = AccessSpec(rd=rd, wr=wr, rw=rw)
+        task = TaskSpec(
+            self._next_task_id,
+            name,
+            spec,
+            body=body,
+            cost=cost,
+            placement=None,
+            serial=True,
+            phase=phase,
+        )
+        self._next_task_id += 1
+        self.tasks.append(task)
+        return task
+
+    def finish(self, name: str = "program") -> "JadeProgram":
+        """Freeze the recorded program."""
+        return JadeProgram(name, self.registry, list(self.tasks))
+
+
+@dataclass
+class JadeProgram:
+    """A frozen Jade program: objects plus tasks in serial creation order."""
+
+    name: str
+    registry: ObjectRegistry
+    tasks: List[TaskSpec]
+
+    @property
+    def parallel_tasks(self) -> List[TaskSpec]:
+        return [t for t in self.tasks if not t.serial]
+
+    @property
+    def serial_sections(self) -> List[TaskSpec]:
+        return [t for t in self.tasks if t.serial]
+
+    def total_cost(self) -> float:
+        """Sum of all task costs — the zero-overhead serial execution time."""
+        return sum(t.cost for t in self.tasks)
+
+    def validate(self) -> None:
+        """Sanity-check the program (unique ids, objects registered)."""
+        seen = set()
+        for task in self.tasks:
+            if task.task_id in seen:
+                raise SpecificationError(f"duplicate task id {task.task_id}")
+            seen.add(task.task_id)
+            for decl in task.spec:
+                if self.registry.by_id(decl.obj.object_id) is not decl.obj:
+                    raise SpecificationError(
+                        f"task {task.name!r} declares foreign object {decl.obj.name!r}"
+                    )
+
+
+@dataclass
+class SerialResult:
+    """Outcome of a stripped (serial, zero-overhead) execution."""
+
+    store: ObjectStore
+    #: Simulated execution time: the plain sum of task costs.
+    time: float
+    tasks_executed: int = 0
+
+    def payload(self, obj: SharedObject) -> Any:
+        return self.store.get(obj.object_id)
+
+
+def run_stripped(program: JadeProgram) -> SerialResult:
+    """Execute the program serially with all Jade constructs stripped.
+
+    Bodies run in creation order against one store; versions advance so the
+    final store can be compared against parallel executions.  This is both
+    the correctness oracle and the "Stripped" row of Tables 1 / 6.
+    """
+    program.validate()
+    store = ObjectStore("stripped")
+    for obj in program.registry:
+        store.install(obj)
+    time = 0.0
+    executed = 0
+    for task in program.tasks:
+        ctx = TaskContext(task, store, processor=0)
+        ctx.run_body()
+        for obj in task.spec.writes():
+            store.bump_version(obj.object_id, store.version(obj.object_id) + 1)
+        time += task.cost
+        executed += 1
+    return SerialResult(store=store, time=time, tasks_executed=executed)

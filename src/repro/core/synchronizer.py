@@ -1,0 +1,191 @@
+"""The queue-based synchronizer: Jade's dependence-extraction algorithm.
+
+"The synchronizer uses a queue-based algorithm to determine when tasks can
+execute without violating the dynamic data dependence constraints." (§3.1)
+
+Algorithm
+---------
+
+Each shared object carries a queue of access declarations in task-creation
+(serial program) order.  A declaration is *ready* when every conflicting
+earlier declaration on the same object has completed:
+
+* a **read** is ready when no earlier write is still pending — so any
+  prefix of reads proceeds concurrently (this is what makes replication
+  both possible and necessary);
+* a **write** (or read-write) is ready only when it is the oldest pending
+  declaration on the object.
+
+A task is *enabled* when all of its declarations are ready.  Completion
+removes the task's declarations and re-evaluates the affected queues.
+
+Versions
+--------
+
+The synchronizer also assigns version numbers, the bookkeeping that the
+message-passing communicator is "integrated into" (§3.4.1): the *k*-th
+write to an object in program order produces version *k*; a read added
+after *k* writes requires version *k*.  The shared-memory runtime ignores
+versions (hardware keeps one coherent copy); the message-passing runtime
+uses them to fetch exactly the right data and to detect coherence bugs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.access import AccessMode
+from repro.core.task import TaskSpec
+from repro.errors import SpecificationError
+
+
+@dataclass
+class _Entry:
+    task_id: int
+    mode: AccessMode
+    ready: bool = False
+
+
+class Synchronizer:
+    """Tracks object queues, task enablement and object versions."""
+
+    def __init__(self) -> None:
+        #: object_id -> pending declarations in program order.
+        self._queues: Dict[int, List[_Entry]] = {}
+        #: object_id -> number of writes added so far (program order).
+        self._writes_added: Dict[int, int] = {}
+        #: task_id -> its entries, for completion removal.
+        self._task_entries: Dict[int, List[Tuple[int, _Entry]]] = {}
+        #: task_id -> count of not-yet-ready entries.
+        self._missing: Dict[int, int] = {}
+        #: (task_id, object_id) -> version a read must observe.
+        self._required: Dict[Tuple[int, int], int] = {}
+        #: (task_id, object_id) -> version a write produces.
+        self._produced: Dict[Tuple[int, int], int] = {}
+        self._added: Set[int] = set()
+        self._completed: Set[int] = set()
+
+    # ------------------------------------------------------------------ #
+    # task arrival (executed when the main thread creates the task)
+    # ------------------------------------------------------------------ #
+    def add_task(self, task: TaskSpec) -> bool:
+        """Insert the task's declarations; return True if enabled at once."""
+        if task.task_id in self._added:
+            raise SpecificationError(f"task {task.task_id} added twice")
+        self._added.add(task.task_id)
+        entries: List[Tuple[int, _Entry]] = []
+        missing = 0
+        for decl in task.spec:
+            oid = decl.obj.object_id
+            queue = self._queues.setdefault(oid, [])
+            writes_so_far = self._writes_added.get(oid, 0)
+            if decl.mode.reads:
+                self._required[(task.task_id, oid)] = writes_so_far
+            if decl.mode.writes:
+                self._produced[(task.task_id, oid)] = writes_so_far + 1
+                self._writes_added[oid] = writes_so_far + 1
+            entry = _Entry(task.task_id, decl.mode)
+            entry.ready = self._entry_would_be_ready(queue, decl.mode)
+            if not entry.ready:
+                missing += 1
+            queue.append(entry)
+            entries.append((oid, entry))
+        self._task_entries[task.task_id] = entries
+        self._missing[task.task_id] = missing
+        return missing == 0
+
+    @staticmethod
+    def _entry_would_be_ready(queue: List[_Entry], mode: AccessMode) -> bool:
+        """Readiness of a declaration about to be appended to ``queue``."""
+        if mode.writes:
+            return not queue  # must be the oldest pending declaration
+        return not any(e.mode.writes for e in queue)
+
+    # ------------------------------------------------------------------ #
+    # task completion
+    # ------------------------------------------------------------------ #
+    def complete_task(self, task: TaskSpec) -> List[int]:
+        """Remove the task's declarations; return newly enabled task ids.
+
+        The returned ids are in program (task id) order, keeping the whole
+        runtime deterministic.
+        """
+        tid = task.task_id
+        if tid not in self._added:
+            raise SpecificationError(f"completing unknown task {tid}")
+        if tid in self._completed:
+            raise SpecificationError(f"task {tid} completed twice")
+        self._completed.add(tid)
+        # One element per entry (not per task): a task whose declarations on
+        # two different objects become ready in the same completion must
+        # have its missing-count decremented twice.
+        newly_ready: List[int] = []
+        for oid, entry in self._task_entries.pop(tid, []):
+            queue = self._queues[oid]
+            queue.remove(entry)
+            self._refresh_queue(queue, newly_ready)
+        self._missing.pop(tid, None)
+
+        enabled: List[int] = []
+        for other in sorted(newly_ready):
+            self._missing[other] -= 1
+            if self._missing[other] == 0:
+                enabled.append(other)
+        return enabled
+
+    @staticmethod
+    def _refresh_queue(queue: List[_Entry], newly_ready: List[int]) -> None:
+        """Re-evaluate readiness after a removal.
+
+        Reads ahead of the first pending write become ready; a write at the
+        head of the queue becomes ready; nothing past a pending write can.
+        """
+        for index, entry in enumerate(queue):
+            if entry.mode.writes:
+                if index == 0 and not entry.ready:
+                    entry.ready = True
+                    newly_ready.append(entry.task_id)
+                break
+            if not entry.ready:
+                entry.ready = True
+                newly_ready.append(entry.task_id)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def is_enabled(self, task_id: int) -> bool:
+        return (
+            task_id in self._added
+            and task_id not in self._completed
+            and self._missing.get(task_id, 1) == 0
+        )
+
+    def required_version(self, task_id: int, object_id: int) -> int:
+        """The version a task's read of an object must observe."""
+        try:
+            return self._required[(task_id, object_id)]
+        except KeyError:
+            raise SpecificationError(
+                f"task {task_id} has no read declaration on object {object_id}"
+            ) from None
+
+    def produced_version(self, task_id: int, object_id: int) -> int:
+        """The version a task's write of an object produces."""
+        try:
+            return self._produced[(task_id, object_id)]
+        except KeyError:
+            raise SpecificationError(
+                f"task {task_id} has no write declaration on object {object_id}"
+            ) from None
+
+    def latest_version(self, object_id: int) -> int:
+        """Versions created so far in *program* order (not execution order)."""
+        return self._writes_added.get(object_id, 0)
+
+    def pending_tasks(self) -> List[int]:
+        """Tasks added but not completed (diagnostics/deadlock reports)."""
+        return sorted(self._added - self._completed)
+
+    def queue_length(self, object_id: int) -> int:
+        return len(self._queues.get(object_id, []))

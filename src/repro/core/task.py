@@ -1,0 +1,134 @@
+"""Tasks: the unit of Jade concurrency.
+
+A :class:`TaskSpec` is what a ``withonly`` construct produces: a body, an
+access specification, and — because this reproduction simulates 1995-scale
+machines while computing scaled-down numerics — an explicit ``cost`` in
+simulated seconds of pure computation on the target machine.  Communication
+costs are *not* part of ``cost``; the machine models add them (as cache-miss
+time on DASH, as fetch messages on the iPSC/860).
+
+:class:`TaskContext` is the window through which a body touches shared
+data.  Like the real Jade implementation, it dynamically checks every
+access against the declaration and raises
+:class:`~repro.errors.AccessViolationError` on undeclared accesses — that
+check is what makes access specifications trustworthy enough to drive
+communication optimizations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.core.access import AccessSpec
+from repro.core.objects import ObjectStore, SharedObject
+from repro.errors import AccessViolationError
+
+
+class TaskSpec:
+    """Immutable description of one task, in serial creation order."""
+
+    __slots__ = (
+        "task_id",
+        "name",
+        "spec",
+        "body",
+        "cost",
+        "placement",
+        "serial",
+        "phase",
+        "metadata",
+    )
+
+    def __init__(
+        self,
+        task_id: int,
+        name: str,
+        spec: AccessSpec,
+        body: Optional[Callable[["TaskContext"], None]] = None,
+        cost: float = 0.0,
+        placement: Optional[int] = None,
+        serial: bool = False,
+        phase: Optional[str] = None,
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        if cost < 0:
+            raise ValueError(f"task {name!r}: negative cost {cost!r}")
+        self.task_id = task_id
+        self.name = name
+        self.spec = spec
+        self.body = body
+        self.cost = float(cost)
+        #: Explicit processor chosen by the programmer (the paper's
+        #: "Task Placement" optimization level); ``None`` for the Locality
+        #: and No Locality levels, where the scheduler decides.
+        self.placement = placement
+        #: Serial sections are main-thread code between task creations;
+        #: they execute inline on the main processor and block further
+        #: task creation (Jade's main thread suspends on shared accesses).
+        self.serial = serial
+        #: Optional application phase label ("forces", "reduce", ...) used
+        #: by reports; no semantic effect.
+        self.phase = phase
+        self.metadata = metadata or {}
+
+    @property
+    def locality_object(self) -> Optional[SharedObject]:
+        """The task's locality object — its first declared object."""
+        return self.spec.locality_object
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "serial" if self.serial else "task"
+        return f"<{kind} {self.task_id}:{self.name} cost={self.cost:.4g}>"
+
+
+class TaskContext:
+    """Checked access to shared data during a task body's execution.
+
+    The runtime constructs one per execution with the store that holds the
+    processor's data (the single global store on DASH; the executing
+    processor's local store on the iPSC/860).
+    """
+
+    def __init__(
+        self,
+        task: TaskSpec,
+        store: ObjectStore,
+        processor: int = 0,
+    ) -> None:
+        self.task = task
+        self.store = store
+        self.processor = processor
+
+    # ------------------------------------------------------------------ #
+    def rd(self, obj: SharedObject) -> Any:
+        """Return the payload of ``obj`` for reading."""
+        if not self.task.spec.may_read(obj):
+            raise AccessViolationError(
+                f"task {self.task.name!r} read {obj.name!r} without declaring rd"
+            )
+        return self.store.get(obj.object_id)
+
+    def wr(self, obj: SharedObject) -> Any:
+        """Return the payload of ``obj`` for in-place mutation."""
+        if not self.task.spec.may_write(obj):
+            raise AccessViolationError(
+                f"task {self.task.name!r} wrote {obj.name!r} without declaring wr"
+            )
+        return self.store.get(obj.object_id)
+
+    # Aliases matching Python naming conventions.
+    read = rd
+    write = wr
+
+    def set(self, obj: SharedObject, value: Any) -> None:
+        """Replace the payload of ``obj`` outright (declared write required)."""
+        if not self.task.spec.may_write(obj):
+            raise AccessViolationError(
+                f"task {self.task.name!r} set {obj.name!r} without declaring wr"
+            )
+        self.store.put(obj.object_id, value)
+
+    def run_body(self) -> None:
+        """Execute the task body (no-op for bodies of ``None``)."""
+        if self.task.body is not None:
+            self.task.body(self)

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated Python errors.
+The sub-hierarchy mirrors the package layout: simulation-engine errors,
+Jade-semantics errors (access-specification violations are the important
+ones — they correspond to the runtime checks the real Jade implementation
+performed on every shared-object access), machine-model errors and
+experiment-harness errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the ``repro`` package."""
+
+
+class SimulationError(ReproError):
+    """Raised for discrete-event engine misuse (e.g. scheduling in the past)."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the simulation stalls with pending work but no events.
+
+    A deadlock means some component is waiting for a wakeup that can never
+    arrive — typically a bug in a scheduler or communicator protocol, or a
+    program whose access specifications create an unsatisfiable wait.
+    """
+
+    def __init__(self, message: str, pending: int = 0):
+        super().__init__(message)
+        #: Number of processes/tasks still blocked when the stall was detected.
+        self.pending = pending
+
+
+class JadeError(ReproError):
+    """Base class for violations of Jade language semantics."""
+
+
+class AccessViolationError(JadeError):
+    """A task touched a shared object in a way its access spec did not declare.
+
+    Jade's correctness guarantee rests on access specifications being a
+    superset of the accesses a task actually performs; like the original
+    implementation we detect undeclared accesses dynamically and abort.
+    """
+
+
+class SpecificationError(JadeError):
+    """An access specification is malformed (unknown object, duplicate id...)."""
+
+
+class VersionError(JadeError):
+    """A processor observed a shared-object version it should not hold.
+
+    This indicates a coherence bug in the message-passing communicator: the
+    executing processor's local store did not contain the exact version of
+    an object that serial program order dictates the task must observe.
+    """
+
+
+class MachineError(ReproError):
+    """Raised for invalid machine configurations (e.g. non-power-of-two cube)."""
+
+
+class RoutingError(MachineError):
+    """Raised when a message cannot be routed between two nodes."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the lab harness for malformed experiment configurations."""

@@ -1,0 +1,57 @@
+"""The experiment harness: regenerates every table and figure of §5.
+
+* :mod:`repro.lab.calibration` — every calibrated constant with its
+  provenance, plus the paper's published numbers for comparison;
+* :mod:`repro.lab.experiments` — configured runs and sweeps (locality
+  levels, broadcast on/off, work-free, latency hiding, fetch accounting);
+* :mod:`repro.lab.tables` — plain-text renderers for the paper's tables
+  and figures (figures are rendered as data series, one row per processor
+  count, since the quantities — not the plotting — are the reproduction
+  target).
+"""
+
+from repro.lab.calibration import (
+    PAPER_PROCS,
+    dash_params,
+    ipsc_params,
+    PAPER_TABLES,
+)
+from repro.lab.experiments import (
+    ExperimentRow,
+    make_application,
+    run_app,
+    levels_for,
+    locality_sweep,
+    broadcast_sweep,
+    mgmt_percentage_sweep,
+    latency_hiding_sweep,
+    fetch_latency_rows,
+    serial_and_stripped,
+)
+from repro.lab.tables import (
+    render_table,
+    render_series,
+    rows_to_series,
+    format_seconds,
+)
+
+__all__ = [
+    "PAPER_PROCS",
+    "dash_params",
+    "ipsc_params",
+    "PAPER_TABLES",
+    "ExperimentRow",
+    "make_application",
+    "run_app",
+    "levels_for",
+    "locality_sweep",
+    "broadcast_sweep",
+    "mgmt_percentage_sweep",
+    "latency_hiding_sweep",
+    "fetch_latency_rows",
+    "serial_and_stripped",
+    "render_table",
+    "render_series",
+    "rows_to_series",
+    "format_seconds",
+]

@@ -1,0 +1,173 @@
+"""Static analysis of Jade programs: dependences, critical path, concurrency.
+
+The paper attributes part of Panel Cholesky's limited scaling to "an
+inherent lack of concurrency in the basic parallel computation" (§5.2.1,
+citing Rothberg).  These tools quantify that kind of statement for any
+Jade program:
+
+* :func:`dependence_edges` / :func:`dependence_graph` — the task DAG
+  implied by the access specifications and serial creation order (the
+  exact dependences the synchronizer enforces);
+* :func:`critical_path` — the longest cost-weighted chain: a lower bound
+  on any execution's elapsed time, communication and overheads aside;
+* :func:`max_speedup` — total work ÷ critical path;
+* :func:`concurrency_profile` — task-level parallelism over time under an
+  idealized infinite-processor, zero-overhead schedule;
+* :func:`average_parallelism` — the profile's time-weighted mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+
+from repro.core.program import JadeProgram
+from repro.core.task import TaskSpec
+
+
+def dependence_edges(program: JadeProgram) -> List[Tuple[int, int]]:
+    """Edges (pred_id, succ_id) of the program's task dependence DAG.
+
+    Built by replaying the synchronizer's object-queue rules in program
+    order: a read depends on the object's last writer; a write depends on
+    the last writer and on every read since it.  Redundant (transitively
+    implied) duplicates between the same pair are emitted once.
+    """
+    last_writer: Dict[int, int] = {}
+    readers_since: Dict[int, List[int]] = {}
+    edges = set()
+    for task in program.tasks:
+        tid = task.task_id
+        for decl in task.spec:
+            oid = decl.obj.object_id
+            if decl.mode.reads:
+                if oid in last_writer:
+                    edges.add((last_writer[oid], tid))
+            if decl.mode.writes:
+                if oid in last_writer:
+                    edges.add((last_writer[oid], tid))
+                for reader in readers_since.get(oid, ()):  # WAR ordering
+                    if reader != tid:
+                        edges.add((reader, tid))
+            # Update the queue state after computing this task's deps.
+        for decl in task.spec:
+            oid = decl.obj.object_id
+            if decl.mode.writes:
+                last_writer[oid] = tid
+                readers_since[oid] = []
+            elif decl.mode.reads:
+                readers_since.setdefault(oid, []).append(tid)
+    return sorted(edges)
+
+
+def dependence_graph(program: JadeProgram) -> "nx.DiGraph":
+    """The dependence DAG as a networkx digraph (nodes carry costs)."""
+    graph = nx.DiGraph()
+    for task in program.tasks:
+        graph.add_node(task.task_id, cost=task.cost, name=task.name,
+                       serial=task.serial)
+    graph.add_edges_from(dependence_edges(program))
+    return graph
+
+
+@dataclass
+class CriticalPath:
+    """The longest cost-weighted dependence chain."""
+
+    length_seconds: float
+    task_ids: List[int]
+
+    def __len__(self) -> int:
+        return len(self.task_ids)
+
+
+def critical_path(program: JadeProgram) -> CriticalPath:
+    """Longest chain through the dependence DAG, weighted by task cost."""
+    finish: Dict[int, float] = {}
+    pred: Dict[int, int] = {}
+    preds_of: Dict[int, List[int]] = {}
+    for a, b in dependence_edges(program):
+        preds_of.setdefault(b, []).append(a)
+    best_tail, best = None, 0.0
+    for task in program.tasks:  # already topologically ordered
+        start = 0.0
+        for p in preds_of.get(task.task_id, ()):  # max over predecessors
+            if finish[p] > start:
+                start = finish[p]
+                pred[task.task_id] = p
+        finish[task.task_id] = start + task.cost
+        if finish[task.task_id] > best:
+            best = finish[task.task_id]
+            best_tail = task.task_id
+    path: List[int] = []
+    node = best_tail
+    while node is not None:
+        path.append(node)
+        node = pred.get(node)
+    return CriticalPath(length_seconds=best, task_ids=list(reversed(path)))
+
+
+def max_speedup(program: JadeProgram) -> float:
+    """Total work divided by the critical path (Amdahl-style bound)."""
+    path = critical_path(program)
+    if path.length_seconds <= 0:
+        return float("inf")
+    return program.total_cost() / path.length_seconds
+
+
+def concurrency_profile(program: JadeProgram) -> List[Tuple[float, int]]:
+    """(time, running-task-count) steps of the infinite-processor schedule.
+
+    Every task starts the instant its last predecessor finishes; the
+    returned step function samples the number of simultaneously running
+    tasks.  Zero-cost tasks contribute no width (they are instantaneous).
+    """
+    finish: Dict[int, float] = {}
+    preds_of: Dict[int, List[int]] = {}
+    for a, b in dependence_edges(program):
+        preds_of.setdefault(b, []).append(a)
+    events: List[Tuple[float, int]] = []
+    for task in program.tasks:
+        start = max((finish[p] for p in preds_of.get(task.task_id, ())),
+                    default=0.0)
+        finish[task.task_id] = start + task.cost
+        if task.cost > 0:
+            events.append((start, +1))
+            events.append((finish[task.task_id], -1))
+    events.sort()
+    profile: List[Tuple[float, int]] = []
+    width = 0
+    for time, delta in events:
+        width += delta
+        if profile and profile[-1][0] == time:
+            profile[-1] = (time, width)
+        else:
+            profile.append((time, width))
+    return profile
+
+
+def average_parallelism(program: JadeProgram) -> float:
+    """Time-weighted mean width of the concurrency profile."""
+    profile = concurrency_profile(program)
+    if not profile:
+        return 0.0
+    total_area = 0.0
+    horizon = profile[-1][0]
+    for (t0, w), (t1, _) in zip(profile, profile[1:]):
+        total_area += w * (t1 - t0)
+    return total_area / horizon if horizon > 0 else 0.0
+
+
+def summarize(program: JadeProgram) -> Dict[str, float]:
+    """One-call program summary for reports and examples."""
+    path = critical_path(program)
+    return {
+        "tasks": float(len(program.tasks)),
+        "total_work_s": program.total_cost(),
+        "critical_path_s": path.length_seconds,
+        "critical_path_tasks": float(len(path)),
+        "max_speedup": max_speedup(program),
+        "average_parallelism": average_parallelism(program),
+    }

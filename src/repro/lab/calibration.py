@@ -1,0 +1,203 @@
+"""Calibrated constants and the paper's published numbers.
+
+Every constant below exists for one of two reasons:
+
+1. it is a **published machine parameter** (Appendices A/B, §5.3) used
+   directly — those live in the machine models' defaults and are only
+   *assembled* here; or
+2. it is a **calibrated runtime constant** whose value is chosen so one of
+   the paper's own single-processor or overhead measurements is
+   reproduced; each carries a comment naming that measurement.
+
+``PAPER_TABLES`` transcribes the paper's Tables 1–14 so that reports (and
+EXPERIMENTS.md) can print paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.machines.dash import DashParams
+from repro.machines.ipsc860 import IpscParams
+
+#: The processor counts of every experiment in §5.
+PAPER_PROCS: List[int] = [1, 2, 4, 8, 16, 24, 32]
+
+
+# ---------------------------------------------------------------------- #
+# DASH runtime constants
+# ---------------------------------------------------------------------- #
+#: Main-processor time to create one task (build the access specification,
+#: insert it into the synchronizer queues).  Calibrated against Table 5:
+#: Panel Cholesky's 1-processor Jade run takes 34.94 s against a 28.91 s
+#: stripped time — ≈6 s of overhead over the ≈3.3k tasks of BCSSTK15's
+#: panel DAG, split ≈2:1 between creation and dispatch.
+DASH_TASK_CREATE_SECONDS = 1.2e-3
+#: Scheduler work to dispatch/complete one task on DASH.
+DASH_TASK_DISPATCH_SECONDS = 0.6e-3
+#: Idle-processor patience before stealing (see DashParams docstring).
+DASH_STEAL_PATIENCE_SECONDS = 0.5e-3
+
+
+def dash_params() -> DashParams:
+    """The calibrated DASH configuration used by all experiments."""
+    params = DashParams()
+    params.task_create_seconds = DASH_TASK_CREATE_SECONDS
+    params.task_dispatch_seconds = DASH_TASK_DISPATCH_SECONDS
+    params.steal_patience_seconds = DASH_STEAL_PATIENCE_SECONDS
+    return params
+
+
+# ---------------------------------------------------------------------- #
+# iPSC/860 runtime constants
+# ---------------------------------------------------------------------- #
+#: Main-processor time to create one task.  The iPSC/860 "does not support
+#: the fine-grained communication required for efficient task management"
+#: (§5.2.2).  Calibration anchors: (a) Table 14's broadcast-off
+#: 1-processor Panel Cholesky run (37.25 s against a 28.53 s stripped time
+#: — ≈2 ms/task of *local* management over ≈4.4k tasks) and (b) the
+#: ≥16-processor plateau of Tables 9/10, where remote assignment and
+#: completion messages put ≈10 ms/task of serialized work on the main
+#: processor.  The gap between the two is the ``local_mgmt_factor``
+#: discount on the message-handling components.
+IPSC_TASK_CREATE_SECONDS = 1.5e-3
+#: Scheduler work to assign one enabled task (mostly message handling).
+IPSC_TASK_ASSIGN_SECONDS = 4.5e-3
+#: Receiver-side work to unpack a task message and issue its fetches.
+IPSC_TASK_RECEIVE_SECONDS = 0.3e-3
+#: Main-processor work to process one completion message.
+IPSC_COMPLETION_SECONDS = 4.0e-3
+#: Producer-side bookkeeping charged per update of a broadcast-mode
+#: object, on top of the (size-proportional) message-buffer copy-out.
+#: Calibrated against the degenerate single-processor runs of Tables
+#: 13/14, where switching adaptive broadcast on costs Panel Cholesky
+#: 54.56 − 37.25 ≈ 17 s over its ≈4.4k panel updates and Ocean
+#: 77.44 − 63.14 ≈ 14 s over ≈120 full-grid updates (§5.3: "the algorithm
+#: therefore generates a broadcast operation every time an object is
+#: updated, which degrades the performance").
+IPSC_BROADCAST_TRIGGER_SECONDS = 1.0e-3
+
+
+def ipsc_params() -> IpscParams:
+    """The calibrated iPSC/860 configuration used by all experiments."""
+    params = IpscParams()
+    params.task_create_seconds = IPSC_TASK_CREATE_SECONDS
+    params.task_assign_seconds = IPSC_TASK_ASSIGN_SECONDS
+    params.task_receive_seconds = IPSC_TASK_RECEIVE_SECONDS
+    params.completion_handling_seconds = IPSC_COMPLETION_SECONDS
+    return params
+
+
+# ---------------------------------------------------------------------- #
+# The paper's published results (§5), transcribed for comparison.
+# Keys: table number → {row label → {processor count → seconds}} for the
+# execution-time tables; Tables 1/6 use {application → {version → s}}.
+# ---------------------------------------------------------------------- #
+PAPER_TABLES: Dict = {
+    1: {  # Serial and stripped times on DASH
+        "water": {"serial": 3628.29, "stripped": 3285.90},
+        "string": {"serial": 20594.50, "stripped": 19314.80},
+        "ocean": {"serial": 102.99, "stripped": 100.03},
+        "cholesky": {"serial": 26.67, "stripped": 28.91},
+    },
+    2: {  # Water on DASH
+        "Locality": {1: 3270.71, 2: 1648.96, 4: 833.19, 8: 423.14,
+                     16: 220.63, 24: 153.03, 32: 119.48},
+        "No Locality": {1: 3290.47, 2: 1648.60, 4: 832.91, 8: 434.36,
+                        16: 229.84, 24: 160.82, 32: 124.74},
+    },
+    3: {  # String on DASH
+        "Locality": {1: 19621.15, 2: 9774.07, 4: 5003.69, 8: 2534.62,
+                     16: 1320.00, 24: 903.95, 32: 705.84},
+        "No Locality": {1: 19396.12, 2: 9756.71, 4: 5017.82, 8: 2559.44,
+                        16: 1350.06, 24: 948.73, 32: 769.21},
+    },
+    4: {  # Ocean on DASH
+        "Task Placement": {1: 105.21, 2: 105.36, 4: 36.36, 8: 16.14,
+                           16: 9.24, 24: 8.39, 32: 10.71},
+        "Locality": {1: 105.33, 2: 99.22, 4: 37.79, 8: 25.30,
+                     16: 17.58, 24: 14.52, 32: 13.26},
+        "No Locality": {1: 104.51, 2: 99.20, 4: 38.97, 8: 31.21,
+                        16: 22.31, 24: 18.88, 32: 17.31},
+    },
+    5: {  # Panel Cholesky on DASH
+        "Task Placement": {1: 35.71, 2: 33.64, 4: 15.24, 8: 7.82,
+                           16: 5.95, 24: 5.61, 32: 5.76},
+        "Locality": {1: 34.94, 2: 17.99, 4: 11.77, 8: 7.53,
+                     16: 7.30, 24: 7.43, 32: 7.86},
+        "No Locality": {1: 35.09, 2: 18.99, 4: 12.97, 8: 9.29,
+                        16: 7.88, 24: 8.00, 32: 8.48},
+    },
+    6: {  # Serial and stripped times on the iPSC/860
+        "water": {"serial": 2482.91, "stripped": 2406.72},
+        "string": {"serial": 20270.45, "stripped": 19629.42},
+        "ocean": {"serial": 54.19, "stripped": 60.99},
+        "cholesky": {"serial": 27.60, "stripped": 28.53},
+    },
+    7: {  # Water on the iPSC/860
+        "Locality": {1: 2435.16, 2: 1219.71, 4: 617.28, 8: 315.69,
+                     16: 165.64, 24: 118.09, 32: 91.53},
+        "No Locality": {1: 2454.78, 2: 1231.91, 4: 623.34, 8: 318.34,
+                        16: 167.77, 24: 119.72, 32: 93.11},
+    },
+    8: {  # String on the iPSC/860 (the 16-proc No Locality entry is
+          # missing in the paper as well)
+        "Locality": {1: 17382.07, 2: 9473.24, 4: 4773.02, 8: 2418.75,
+                     16: 1249.69, 24: 873.14, 32: 678.55},
+        "No Locality": {1: 18873.86, 2: 9529.52, 4: 4765.96, 8: 2424.12,
+                        24: 869.27, 32: 680.94},
+    },
+    9: {  # Ocean on the iPSC/860
+        "Task Placement": {1: 77.44, 2: 68.14, 4: 28.75, 8: 18.77,
+                           16: 24.16, 24: 37.18, 32: 51.87},
+        "Locality": {1: 77.71, 2: 93.74, 4: 95.95, 8: 57.28,
+                     16: 39.50, 24: 44.48, 32: 55.96},
+        "No Locality": {1: 78.03, 2: 100.29, 4: 159.77, 8: 88.86,
+                        16: 56.33, 24: 55.56, 32: 63.58},
+    },
+    10: {  # Panel Cholesky on the iPSC/860
+        "Task Placement": {1: 54.56, 2: 50.18, 4: 31.56, 8: 32.50,
+                           16: 34.41, 24: 36.38, 32: 38.17},
+        "Locality": {1: 54.54, 2: 34.17, 4: 33.65, 8: 35.97,
+                     16: 43.73, 24: 47.62, 32: 50.83},
+        "No Locality": {1: 54.43, 2: 107.43, 4: 99.39, 8: 75.84,
+                        16: 59.02, 24: 56.41, 32: 59.45},
+    },
+    11: {  # Water, adaptive broadcast on/off, iPSC/860
+        "Adaptive Broadcast": {1: 2435.16, 2: 1219.71, 4: 617.28, 8: 315.69,
+                               16: 165.64, 24: 118.09, 32: 91.53},
+        "No Adaptive Broadcast": {1: 2459.87, 2: 1233.98, 4: 625.27, 8: 323.84,
+                                  16: 180.15, 24: 140.59, 32: 122.74},
+    },
+    12: {  # String, adaptive broadcast on/off
+        "Adaptive Broadcast": {1: 17382.07, 2: 9473.24, 4: 4773.02, 8: 2418.75,
+                               16: 1249.69, 24: 873.14, 32: 678.55},
+        "No Adaptive Broadcast": {1: 18877.42, 2: 9469.36, 4: 4765.68,
+                                  8: 2425.82, 16: 1255.29, 24: 874.18,
+                                  32: 689.57},
+    },
+    13: {  # Ocean, adaptive broadcast on/off
+        "Adaptive Broadcast": {1: 77.44, 2: 68.14, 4: 28.75, 8: 18.77,
+                               16: 24.16, 24: 37.18, 32: 51.87},
+        "No Adaptive Broadcast": {1: 63.14, 2: 65.54, 4: 28.73, 8: 19.11,
+                                  16: 25.68, 24: 39.99, 32: 55.71},
+    },
+    14: {  # Panel Cholesky, adaptive broadcast on/off
+        "Adaptive Broadcast": {1: 54.56, 2: 50.18, 4: 31.56, 8: 32.50,
+                               16: 34.41, 24: 36.38, 32: 38.17},
+        "No Adaptive Broadcast": {1: 37.25, 2: 49.76, 4: 31.29, 8: 32.01,
+                                  16: 34.92, 24: 35.87, 32: 38.16},
+    },
+}
+
+#: Figure-level qualitative expectations checked by the benchmark suite
+#: (the paper's figures are read as shapes, not absolute values).
+FIGURE_EXPECTATIONS = {
+    "fig2-3": "Water/String task locality = 100% at Locality, decaying at No Locality",
+    "fig4-5": "Ocean/Cholesky locality: TaskPlacement ≥ Locality > No Locality",
+    "fig6-7": "Water/String DASH task time barely level-sensitive",
+    "fig8-9": "Ocean/Cholesky DASH task time strongly level-sensitive",
+    "fig10-11": "DASH task-management % grows with processors",
+    "fig16-19": "iPSC comm/comp ratio: Water/String tiny, Ocean/Cholesky large",
+    "fig20-21": "iPSC task-management % dominates Ocean ≥16 procs",
+}

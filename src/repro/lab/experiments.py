@@ -1,0 +1,241 @@
+"""Configured experiment runs and sweeps.
+
+These functions are the single path through which the benchmarks (and the
+EXPERIMENTS.md generator) execute the paper's experiments, so that every
+table/figure uses identical machine calibration and option conventions:
+
+* except where a sweep varies them, runs use the paper's §5.2 baseline —
+  replication, concurrent fetches and adaptive broadcast on, latency
+  hiding off;
+* Water and String run at the Locality / No Locality levels only; Ocean
+  and Panel Cholesky add Task Placement (§5.2);
+* the work-free methodology of §5.2.1 measures task management at the
+  Task Placement level, as the paper does (Figures 10/11/20/21).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.apps import ALL_APPLICATIONS, MachineKind
+from repro.apps.base import Application
+from repro.apps.cholesky import CholeskyConfig, PanelCholesky
+from repro.apps.ocean import Ocean, OceanConfig
+from repro.apps.string_app import String, StringConfig
+from repro.apps.water import Water, WaterConfig
+from repro.errors import ExperimentError
+from repro.lab.calibration import dash_params, ipsc_params
+from repro.machines.dash import DashMachine
+from repro.machines.ipsc860 import Ipsc860Machine
+from repro.runtime import (
+    LocalityLevel,
+    RunMetrics,
+    RuntimeOptions,
+    run_message_passing,
+    run_shared_memory,
+)
+from repro.runtime.workfree import task_management_percentage
+
+_CONFIG_FACTORIES = {
+    ("water", "tiny"): WaterConfig.tiny,
+    ("water", "paper"): WaterConfig.paper,
+    ("string", "tiny"): StringConfig.tiny,
+    ("string", "paper"): StringConfig.paper,
+    ("ocean", "tiny"): OceanConfig.tiny,
+    ("ocean", "paper"): OceanConfig.paper,
+    ("cholesky", "tiny"): CholeskyConfig.tiny,
+    ("cholesky", "paper"): CholeskyConfig.paper,
+}
+
+#: Memoized applications: construction can be costly (Panel Cholesky's
+#: paper-scale symbolic factorization) and Application objects are
+#: stateless across ``build`` calls.
+_APP_CACHE: Dict = {}
+
+
+def make_application(name: str, scale: str = "paper") -> Application:
+    """Instantiate (and cache) one of the four applications."""
+    key = (name, scale)
+    if key not in _APP_CACHE:
+        try:
+            config = _CONFIG_FACTORIES[key]()
+        except KeyError:
+            raise ExperimentError(f"unknown application/scale {key!r}") from None
+        _APP_CACHE[key] = ALL_APPLICATIONS[name](config)
+    return _APP_CACHE[key]
+
+
+@dataclass
+class ExperimentRow:
+    """One measured configuration, for table rendering."""
+
+    app: str
+    machine: str
+    level: str
+    procs: int
+    metrics: RunMetrics
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------- #
+# single runs
+# ---------------------------------------------------------------------- #
+def run_app(
+    name: str,
+    procs: int,
+    machine: MachineKind = MachineKind.IPSC860,
+    level: LocalityLevel = LocalityLevel.LOCALITY,
+    options: Optional[RuntimeOptions] = None,
+    scale: str = "paper",
+) -> RunMetrics:
+    """Build and execute one application configuration."""
+    app = make_application(name, scale)
+    program = app.build(procs, machine=machine, level=level)
+    if options is None:
+        options = RuntimeOptions(locality=level)
+    elif options.locality is not level:
+        options = options.but(locality=level)
+    if machine is MachineKind.DASH:
+        return run_shared_memory(program, procs, options,
+                                 machine=DashMachine(procs, dash_params()))
+    hw = Ipsc860Machine(procs, ipsc_params())
+    runtime_metrics = _run_mp(program, hw, options)
+    return runtime_metrics
+
+
+def _run_mp(program, hw, options) -> RunMetrics:
+    from repro.runtime.message_passing import MessagePassingRuntime
+    from repro.lab.calibration import IPSC_BROADCAST_TRIGGER_SECONDS
+
+    runtime = MessagePassingRuntime(program, hw, options)
+    runtime.comm.broadcast_trigger_overhead = IPSC_BROADCAST_TRIGGER_SECONDS
+    return runtime.run()
+
+
+def serial_and_stripped(name: str, machine: MachineKind,
+                        scale: str = "paper") -> Dict[str, float]:
+    """The Table 1 / Table 6 rows: original-serial and stripped times.
+
+    The stripped time is the program's summed cost (zero-overhead serial
+    execution); the original serial version differs by the data-structure
+    modifications of the Jade conversion, modelled by each application's
+    ``serial_overhead_factor``.
+    """
+    app = make_application(name, scale)
+    program = app.build(1, machine=machine)
+    stripped = program.total_cost()
+    return {
+        "serial": stripped * app.serial_overhead_factor(machine),
+        "stripped": stripped,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# sweeps
+# ---------------------------------------------------------------------- #
+def levels_for(name: str) -> List[LocalityLevel]:
+    """§5.2: Ocean/Cholesky run at three levels, Water/String at two."""
+    app = make_application(name, "tiny")
+    levels = []
+    if app.supports_task_placement:
+        levels.append(LocalityLevel.TASK_PLACEMENT)
+    levels.extend([LocalityLevel.LOCALITY, LocalityLevel.NO_LOCALITY])
+    return levels
+
+
+def locality_sweep(
+    name: str,
+    machine: MachineKind,
+    procs: List[int],
+    scale: str = "paper",
+    options: Optional[RuntimeOptions] = None,
+) -> List[ExperimentRow]:
+    """Tables 2–5 / 7–10 and Figures 2–9 / 12–19: locality-level sweep."""
+    rows = []
+    for level in levels_for(name):
+        for p in procs:
+            metrics = run_app(name, p, machine, level, options, scale)
+            rows.append(ExperimentRow(name, machine.value, level.value, p, metrics))
+    return rows
+
+
+def broadcast_sweep(
+    name: str,
+    procs: List[int],
+    scale: str = "paper",
+) -> List[ExperimentRow]:
+    """Tables 11–14: adaptive broadcast on vs off on the iPSC/860.
+
+    Per §5.3 the runs use locality, replication and concurrent fetches on
+    and latency hiding off.
+    """
+    rows = []
+    for broadcast in (True, False):
+        label = "broadcast" if broadcast else "no-broadcast"
+        for p in procs:
+            metrics = run_app(
+                name, p, MachineKind.IPSC860, LocalityLevel.LOCALITY,
+                RuntimeOptions(adaptive_broadcast=broadcast), scale,
+            )
+            rows.append(ExperimentRow(name, "ipsc860", label, p, metrics))
+    return rows
+
+
+def mgmt_percentage_sweep(
+    name: str,
+    machine: MachineKind,
+    procs: List[int],
+    scale: str = "paper",
+) -> List[ExperimentRow]:
+    """Figures 10/11/20/21: work-free ÷ original elapsed, at Task Placement."""
+    level = LocalityLevel.TASK_PLACEMENT
+    rows = []
+    for p in procs:
+        original = run_app(name, p, machine, level, scale=scale)
+        workfree = run_app(
+            name, p, machine, level,
+            RuntimeOptions(locality=level, work_free=True), scale,
+        )
+        pct = task_management_percentage(workfree.elapsed, original.elapsed)
+        rows.append(ExperimentRow(
+            name, machine.value, level.value, p, original,
+            extra={"workfree_elapsed": workfree.elapsed, "mgmt_pct": pct},
+        ))
+    return rows
+
+
+def latency_hiding_sweep(
+    name: str,
+    procs: List[int],
+    scale: str = "paper",
+) -> List[ExperimentRow]:
+    """§5.4: target tasks per processor 1 vs 2 (Panel Cholesky)."""
+    rows = []
+    for target in (1, 2):
+        for p in procs:
+            metrics = run_app(
+                name, p, MachineKind.IPSC860, LocalityLevel.LOCALITY,
+                RuntimeOptions(target_tasks_per_processor=target), scale,
+            )
+            rows.append(ExperimentRow(
+                name, "ipsc860", f"target={target}", p, metrics,
+            ))
+    return rows
+
+
+def fetch_latency_rows(
+    names: List[str],
+    procs: int,
+    scale: str = "paper",
+) -> List[ExperimentRow]:
+    """§5.5: object-latency ÷ task-latency ratios at the Locality level."""
+    rows = []
+    for name in names:
+        metrics = run_app(name, procs, MachineKind.IPSC860,
+                          LocalityLevel.LOCALITY, scale=scale)
+        rows.append(ExperimentRow(
+            name, "ipsc860", "locality", procs, metrics,
+            extra={"latency_ratio": metrics.object_to_task_latency_ratio},
+        ))
+    return rows

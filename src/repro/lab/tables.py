@@ -1,0 +1,94 @@
+"""Plain-text rendering of tables and figure series.
+
+The paper's figures plot one quantity against processor count per
+configuration; the reproduction renders the same quantities as aligned
+text series (the data is the target, not the PostScript).  Renderers are
+deliberately dependency-free so benchmark output stays readable in CI
+logs and in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_seconds(value: float) -> str:
+    """Format like the paper's tables (two decimals, seconds)."""
+    if value >= 1000:
+        return f"{value:.0f}"
+    if value >= 10:
+        return f"{value:.2f}"
+    return f"{value:.3f}"
+
+
+def render_table(
+    title: str,
+    columns: Sequence,
+    rows: Dict[str, Dict],
+    fmt=format_seconds,
+    paper: Optional[Dict[str, Dict]] = None,
+) -> str:
+    """Render ``{row label: {column: value}}`` as an aligned text table.
+
+    With ``paper`` given (same structure), each measured row is followed
+    by the paper's row for side-by-side comparison.
+    """
+    col_headers = [str(c) for c in columns]
+    label_width = max(
+        [24] + [len(label) + 11 for label in rows]
+        + ([len(label) + 11 for label in paper] if paper else [])
+    )
+    widths = [max(9, len(h) + 1) for h in col_headers]
+
+    def line(label: str, values: Dict, formatter) -> str:
+        cells = []
+        for c, w in zip(columns, widths):
+            if c in values and values[c] is not None:
+                cells.append(f"{formatter(values[c]):>{w}}")
+            else:
+                cells.append(f"{'-':>{w}}")
+        return f"{label:<{label_width}}" + "".join(cells)
+
+    out = [title]
+    header = f"{'':<{label_width}}" + "".join(
+        f"{h:>{w}}" for h, w in zip(col_headers, widths)
+    )
+    out.append(header)
+    out.append("-" * len(header))
+    for label, values in rows.items():
+        out.append(line(label, values, fmt))
+        if paper and label in paper:
+            out.append(line(f"  (paper) {label}", paper[label], fmt))
+    return "\n".join(out)
+
+
+def render_series(
+    title: str,
+    procs: Sequence[int],
+    series: Dict[str, Dict[int, float]],
+    unit: str = "",
+    fmt=None,
+) -> str:
+    """Render a figure as data series: one line per configuration."""
+    fmt = fmt or (lambda v: f"{v:8.2f}")
+    out = [f"{title}" + (f"  [{unit}]" if unit else "")]
+    header = f"{'procs':<28}" + "".join(f"{p:>9}" for p in procs)
+    out.append(header)
+    out.append("-" * len(header))
+    for label, values in series.items():
+        cells = []
+        for p in procs:
+            cells.append(f"{fmt(values[p]):>9}" if p in values else f"{'-':>9}")
+        out.append(f"{label:<28}" + "".join(cells))
+    return "\n".join(out)
+
+
+def rows_to_series(rows, value) -> Dict[str, Dict[int, float]]:
+    """Group ExperimentRow objects into ``{level: {procs: value}}``.
+
+    ``value`` is a callable taking a row and returning the plotted number.
+    """
+    series: Dict[str, Dict[int, float]] = {}
+    for row in rows:
+        series.setdefault(row.level, {})[row.procs] = value(row)
+    return series

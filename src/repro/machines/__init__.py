@@ -1,0 +1,46 @@
+"""Machine models: the two hardware platforms of the paper, simulated.
+
+* :mod:`repro.machines.ipsc860` — the Intel iPSC/860: a hypercube of i860
+  nodes with NX/2-style buffered message passing (Appendix A of the paper).
+* :mod:`repro.machines.dash` — the Stanford DASH: a mesh of 4-processor
+  SGI clusters with directory-based cache coherence (Appendix B).
+
+Both models are *cost models driven by real events*: the Jade runtimes make
+the same decisions they would on hardware (where to run a task, which
+messages to send, which lines miss), and the machine model prices each
+decision in simulated seconds using the paper's published constants.
+"""
+
+from repro.machines.base import Machine, ProcessorSet
+from repro.machines.topology import Hypercube, ClusterMesh
+from repro.machines.network import Network, MessageRecord
+from repro.machines.memory import MemoryMap
+from repro.machines.cache import DirectoryCacheModel, LineState
+from repro.machines.dash import DashMachine, DASH_CONFIG, DashParams
+from repro.machines.ipsc860 import Ipsc860Machine, IPSC_CONFIG, IpscParams
+from repro.machines.workstations import (
+    BusNetwork,
+    EthernetParams,
+    WorkstationFarm,
+)
+
+__all__ = [
+    "Machine",
+    "ProcessorSet",
+    "Hypercube",
+    "ClusterMesh",
+    "Network",
+    "MessageRecord",
+    "MemoryMap",
+    "DirectoryCacheModel",
+    "LineState",
+    "DashMachine",
+    "DashParams",
+    "DASH_CONFIG",
+    "Ipsc860Machine",
+    "IpscParams",
+    "IPSC_CONFIG",
+    "BusNetwork",
+    "EthernetParams",
+    "WorkstationFarm",
+]

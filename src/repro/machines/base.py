@@ -1,0 +1,102 @@
+"""Common machine scaffolding shared by the DASH and iPSC/860 models.
+
+A machine owns the simulator, the processor abstraction and the statistics
+registry.  Processors are *not* FIFO resources: Jade dispatchers pull work
+when a processor goes idle (that is what makes stealing and the locality
+heuristic meaningful), so the machine exposes a minimal busy/idle protocol
+— ``run_on(p, seconds, done)`` — and each runtime builds its own scheduling
+on top.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.errors import MachineError
+from repro.sim.engine import Simulator
+from repro.sim.stats import StatRegistry
+from repro.sim.trace import Tracer
+
+
+class ProcessorSet:
+    """Busy/idle accounting for the machine's processors.
+
+    ``run_on`` occupies one processor for a span of simulated seconds and
+    invokes ``done()`` when it completes.  A processor must be idle when
+    occupied — dispatchers guarantee that by construction, and the check
+    turns scheduling bugs into loud failures instead of silently-overlapped
+    work.
+    """
+
+    def __init__(self, sim: Simulator, count: int) -> None:
+        if count <= 0:
+            raise MachineError(f"machine needs at least one processor, got {count}")
+        self.sim = sim
+        self.count = count
+        self._busy_until: List[float] = [0.0] * count
+        self._busy_time: List[float] = [0.0] * count
+        self._running: List[bool] = [False] * count
+
+    def run_on(self, processor: int, seconds: float, done: Callable[[], None]) -> None:
+        """Occupy ``processor`` for ``seconds``; call ``done`` at completion."""
+        self._check(processor)
+        if self._running[processor]:
+            raise MachineError(
+                f"processor {processor} is already running work until "
+                f"t={self._busy_until[processor]:.6f}"
+            )
+        if seconds < 0:
+            raise MachineError(f"negative execution time {seconds!r}")
+        self._running[processor] = True
+        self._busy_time[processor] += seconds
+        finish = self.sim.now + seconds
+        self._busy_until[processor] = finish
+
+        def _complete() -> None:
+            self._running[processor] = False
+            done()
+
+        self.sim.at(finish, _complete)
+
+    def is_busy(self, processor: int) -> bool:
+        self._check(processor)
+        return self._running[processor]
+
+    def busy_time(self, processor: int) -> float:
+        """Cumulative seconds of work executed on ``processor``."""
+        self._check(processor)
+        return self._busy_time[processor]
+
+    def total_busy_time(self) -> float:
+        return sum(self._busy_time)
+
+    def _check(self, processor: int) -> None:
+        if not 0 <= processor < self.count:
+            raise MachineError(f"processor {processor} outside machine of {self.count}")
+
+
+class Machine:
+    """Base class: simulator + processors + stats + trace.
+
+    ``main_processor`` is processor 0 throughout, matching the paper's
+    "main processor (the processor executing the main thread)".
+    """
+
+    name = "machine"
+
+    def __init__(
+        self,
+        num_processors: int,
+        sim: Optional[Simulator] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.sim = sim or Simulator()
+        self.num_processors = num_processors
+        self.processors = ProcessorSet(self.sim, num_processors)
+        self.stats = StatRegistry()
+        self.tracer = tracer or Tracer(enabled=False)
+        self.main_processor = 0
+
+    def describe(self) -> str:
+        """One-line identification used in reports."""
+        return f"{self.name}({self.num_processors} processors)"

@@ -1,0 +1,108 @@
+"""The Stanford DASH machine model.
+
+DASH (Appendix B of the paper): 4-processor SGI 4D/340 clusters (33 MHz
+R3000s, 64 KB L1, 256 KB L2, 16-byte lines) joined by a pair of wormhole
+meshes with a directory-based coherence protocol.  Remote access latencies:
+1 / 15 / 29 / 101 / 132 cycles for L1 / L2 / other-cache-in-cluster /
+remote-home / remote-dirty.
+
+For the Jade shared-memory runtime the machine supplies three things:
+
+* the cluster map (who is "close to" whom — drives the locality heuristic);
+* the :class:`~repro.machines.cache.DirectoryCacheModel` that prices each
+  task's object accesses (communication shows up inside task time on a
+  shared-memory machine — §5.2.1);
+* per-processor busy/idle accounting via :class:`~repro.machines.base.Machine`.
+
+Task management costs (synchronizer/scheduler work, priced per §5.2.1's
+work-free methodology) are constants on this machine because DASH supports
+the fine-grained communication that task management needs; see
+:mod:`repro.lab.calibration` for the values and their provenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.machines.base import Machine
+from repro.machines.cache import CacheParams, DirectoryCacheModel
+from repro.machines.memory import MemoryMap
+from repro.machines.topology import ClusterMesh
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+
+
+@dataclass
+class DashParams:
+    """DASH configuration; defaults are the paper's Appendix B values."""
+
+    cluster_size: int = 4
+    cache: CacheParams = field(default_factory=CacheParams)
+    #: Seconds of main-processor work to create one task (build its access
+    #: specification, run the synchronizer insert).  Calibrated — see
+    #: ``repro.lab.calibration.DASH_TASK_CREATE_SECONDS``.
+    task_create_seconds: float = 0.0
+    #: Seconds of scheduling work to dispatch/complete one task.
+    task_dispatch_seconds: float = 0.0
+    #: How long an idle processor re-checks its own queue before stealing
+    #: from another processor's.  Models the dispatch-loop latency of the
+    #: real scheduler; without it an idle simulated processor could snatch
+    #: a task in the same instant it is enqueued for its target processor,
+    #: which the real system's timing made essentially impossible.
+    steal_patience_seconds: float = 0.5e-3
+
+
+#: The canonical configuration used by experiments (calibrated constants are
+#: filled in by :mod:`repro.lab.calibration` at import time of the lab).
+DASH_CONFIG = DashParams()
+
+
+class DashMachine(Machine):
+    """Shared-memory machine: cluster mesh + directory cache model."""
+
+    name = "dash"
+
+    def __init__(
+        self,
+        num_processors: int,
+        params: Optional[DashParams] = None,
+        sim: Optional[Simulator] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        super().__init__(num_processors, sim=sim, tracer=tracer)
+        self.params = params or DashParams()
+        self.mesh = ClusterMesh(num_processors, self.params.cluster_size)
+        self.caches = DirectoryCacheModel(self.mesh, self.params.cache, self.stats)
+        self.memory = MemoryMap(num_processors)
+
+    # ------------------------------------------------------------------ #
+    def place_object(self, object_id: int, nbytes: int, home_hint: Optional[int]) -> int:
+        """Home a shared object in some cluster's memory module."""
+        home = self.memory.place(object_id, home_hint)
+        self.caches.set_home(object_id, home)
+        return home
+
+    def owner(self, object_id: int) -> int:
+        """The processor whose memory module holds the object.
+
+        This is what the shared-memory scheduler means by the "owner" of a
+        locality object (§3.2.1): ownership is static allocation placement,
+        unlike the message-passing machine's dynamic last-writer ownership.
+        """
+        return self.memory.home(object_id)
+
+    def access_cost(self, processor: int, object_id: int, nbytes: int, write: bool) -> float:
+        """Price one declared object access of an executing task."""
+        if write:
+            return self.caches.write(processor, object_id, nbytes)
+        return self.caches.read(processor, object_id, nbytes)
+
+    def same_cluster(self, a: int, b: int) -> bool:
+        return self.mesh.same_cluster(a, b)
+
+    def describe(self) -> str:
+        return (
+            f"dash({self.num_processors} processors, "
+            f"{self.mesh.num_clusters} clusters of {self.params.cluster_size})"
+        )

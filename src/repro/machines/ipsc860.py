@@ -1,0 +1,109 @@
+"""The Intel iPSC/860 machine model.
+
+Appendix A of the paper: 40 MHz i860 XR nodes (8 KB data cache) on a
+circuit-switched hypercube, 2.8 MB/s per link, NX/2 buffered message
+passing with a measured 47 µs minimum short-message time.  Partitions come
+in powers of two; the paper's 24-processor runs use 24 nodes of a 32-node
+cube, which the model reproduces by building the enclosing cube and
+activating the first ``num_processors`` nodes.
+
+The machine supplies the hypercube, the :class:`~repro.machines.network`
+message model, and per-node busy/idle accounting.  All communication is
+explicit on this machine — the Jade communicator (software shared memory)
+issues every message through :attr:`network`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.machines.base import Machine
+from repro.machines.memory import MemoryMap
+from repro.machines.network import Network, NetworkParams
+from repro.machines.topology import Hypercube
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+
+
+def _enclosing_power_of_two(n: int) -> int:
+    size = 1
+    while size < n:
+        size *= 2
+    return size
+
+
+@dataclass
+class IpscParams:
+    """iPSC/860 configuration; defaults from Appendix A and §5.3 arithmetic."""
+
+    network: NetworkParams = field(default_factory=NetworkParams)
+    #: Bytes of a shared-object *request* message (a small control message:
+    #: object id, version, requester).
+    request_nbytes: int = 64
+    #: Bytes of a task-assignment message (task descriptor: ids, parameters).
+    task_message_nbytes: int = 256
+    #: Bytes of a task-completion notification back to the main processor.
+    completion_nbytes: int = 32
+    #: Seconds of main-processor work to create one task and run the
+    #: synchronizer — calibrated, see ``repro.lab.calibration``.
+    task_create_seconds: float = 0.0
+    #: Seconds of main-processor scheduler work to assign one task.
+    task_assign_seconds: float = 0.0
+    #: Seconds of receiver-side work to unpack a task and issue its fetches.
+    task_receive_seconds: float = 0.0
+    #: Seconds of main-processor work to process one completion message.
+    completion_handling_seconds: float = 0.0
+    #: Fraction of the assignment/completion costs charged when the task
+    #: stays on the main processor: those costs are mostly message
+    #: handling (packing, interrupt processing), which a local dispatch
+    #: skips.  This is what keeps single-processor Jade overhead small
+    #: (Table 6 vs Table 10's 1-processor column) while 32-processor task
+    #: management stays expensive.
+    local_mgmt_factor: float = 0.1
+
+
+#: Canonical configuration (calibrated constants are filled in by
+#: :mod:`repro.lab.calibration`).
+IPSC_CONFIG = IpscParams()
+
+
+class Ipsc860Machine(Machine):
+    """Message-passing machine: hypercube + NX/2-style network."""
+
+    name = "ipsc860"
+
+    def __init__(
+        self,
+        num_processors: int,
+        params: Optional[IpscParams] = None,
+        sim: Optional[Simulator] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        super().__init__(num_processors, sim=sim, tracer=tracer)
+        self.params = params or IpscParams()
+        self.cube = Hypercube(_enclosing_power_of_two(num_processors))
+        self.network = Network(
+            self.sim, self.cube, self.params.network, self.stats, self.tracer
+        )
+        self.memory = MemoryMap(num_processors)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def active_nodes(self) -> List[int]:
+        """The cube nodes actually running the computation."""
+        return list(range(self.num_processors))
+
+    def compute_seconds(self, node: int, cost: float) -> float:
+        """Execution time of a task of baseline ``cost`` on ``node``.
+
+        The iPSC/860 is homogeneous; the heterogeneous workstation farm
+        overrides this with per-node speed scaling.
+        """
+        return cost
+
+    def describe(self) -> str:
+        return (
+            f"ipsc860({self.num_processors} of {self.cube.size} nodes, "
+            f"dim {self.cube.dimension})"
+        )

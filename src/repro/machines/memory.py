@@ -1,0 +1,63 @@
+"""Object-to-memory-module placement.
+
+On DASH every shared object lives in exactly one cluster's physical memory
+(its *home*); the locality heuristic's whole purpose is to run tasks on
+processors of the home cluster of their locality object.  On the iPSC/860
+"ownership" is dynamic (the last writer), which the communicator tracks —
+this map only records the *initial* placement there.
+
+Placement policy mirrors what the Jade system did: objects are homed where
+they are allocated.  Applications can hint an explicit home (Water's
+replicated contribution arrays are allocated one-per-processor); otherwise
+objects allocated by the main thread are distributed round-robin, which is
+how DASH's first-touch-ish page placement behaved for the paper's apps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import MachineError
+
+
+class MemoryMap:
+    """Tracks the home processor of each shared object id."""
+
+    def __init__(self, num_processors: int, round_robin_start: int = 0) -> None:
+        if num_processors <= 0:
+            raise MachineError("memory map needs at least one processor")
+        self.num_processors = num_processors
+        self._home: Dict[int, int] = {}
+        self._rr_next = round_robin_start % num_processors
+
+    def place(self, object_id: int, home_hint: Optional[int] = None) -> int:
+        """Assign (or return the existing) home for ``object_id``.
+
+        ``home_hint`` pins the object to a processor's memory module; with
+        no hint the object takes the next round-robin slot.  Hints beyond
+        the machine size wrap (an app tuned for 32 processors still runs
+        on 4).
+        """
+        if object_id in self._home:
+            return self._home[object_id]
+        if home_hint is not None:
+            home = home_hint % self.num_processors
+        else:
+            home = self._rr_next
+            self._rr_next = (self._rr_next + 1) % self.num_processors
+        self._home[object_id] = home
+        return home
+
+    def home(self, object_id: int) -> int:
+        """Home processor of ``object_id`` (must have been placed)."""
+        try:
+            return self._home[object_id]
+        except KeyError:
+            raise MachineError(f"object {object_id} was never placed") from None
+
+    def is_placed(self, object_id: int) -> bool:
+        return object_id in self._home
+
+    def objects_homed_at(self, processor: int) -> list:
+        """All object ids whose home is ``processor`` (test/report helper)."""
+        return sorted(o for o, h in self._home.items() if h == processor)

@@ -1,0 +1,177 @@
+"""Heterogeneous workstation farm: the paper's third platform.
+
+"Jade implementations exist for shared memory machines (the Stanford DASH
+machine), message passing machines (the Intel iPSC/860) and heterogeneous
+collections of workstations.  Jade programs port without modification
+between all platforms." (§1)
+
+The farm models a 1995 department network: workstations of different
+speeds on a shared 10 Mbit/s Ethernet segment.  Two properties distinguish
+it from the iPSC/860 and exercise different corners of the runtime:
+
+* **the network is a single shared medium** — every message (any pair of
+  nodes) serializes through one bus, and a *broadcast* is one transmission
+  received by everyone (Ethernet's natural broadcast, far cheaper than the
+  hypercube's log₂(P) stages);
+* **nodes differ in speed** — the same task costs different time on
+  different workstations, so placement quality has a second dimension the
+  Jade scheduler does not see (it balances task counts, not work), which
+  is exactly how the real heterogeneous port behaved.
+
+The message-passing Jade runtime runs unmodified on this machine: it only
+needs the ``network``/``params``/``active_nodes``/``compute_seconds``
+surface that :class:`Ipsc860Machine` also provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import MachineError
+from repro.machines.base import Machine
+from repro.machines.ipsc860 import IpscParams
+from repro.sim.engine import Signal, Simulator
+from repro.sim.resources import FifoResource
+from repro.sim.stats import StatRegistry
+from repro.sim.trace import Tracer
+
+
+@dataclass
+class EthernetParams:
+    """Shared-bus constants (10 Mbit/s Ethernet, early-90s TCP stacks)."""
+
+    #: Sender-side protocol overhead per message (seconds).
+    alpha_send: float = 1.0e-3
+    #: Receiver-side protocol overhead per message (seconds).
+    alpha_recv: float = 0.8e-3
+    #: Bus time per payload byte (10 Mbit/s ≈ 1.25 MB/s raw; effective
+    #: ≈ 1 MB/s with framing).
+    per_byte: float = 1.0e-6
+
+
+class BusNetwork:
+    """A single shared medium with the same API as :class:`Network`.
+
+    Every message occupies the bus for ``alpha_send + nbytes·per_byte``;
+    delivery happens at bus-slot end plus receiver overhead.  A broadcast
+    is one bus occupancy delivered to every target simultaneously.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        num_nodes: int,
+        params: Optional[EthernetParams] = None,
+        stats: Optional[StatRegistry] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.sim = sim
+        self.num_nodes = num_nodes
+        self.params = params or EthernetParams()
+        self.stats = stats if stats is not None else StatRegistry()
+        self.tracer = tracer or Tracer(enabled=False)
+        self._bus = FifoResource(sim, "ethernet")
+
+    # -- cost queries ----------------------------------------------------
+    def send_occupancy(self, nbytes: int) -> float:
+        return self.params.alpha_send + nbytes * self.params.per_byte
+
+    def point_to_point_time(self, src: int, dst: int, nbytes: int) -> float:
+        return self.send_occupancy(nbytes) + self.params.alpha_recv
+
+    # -- sending -----------------------------------------------------------
+    def send(self, src: int, dst: int, nbytes: int, kind: str,
+             on_delivered: Optional[Callable] = None, payload=None) -> Signal:
+        delivered = Signal(self.sim, f"bus.{src}->{dst}.{kind}")
+        if src == dst:
+            self.sim.schedule(self.params.alpha_recv, self._deliver,
+                              src, dst, nbytes, kind, delivered,
+                              on_delivered, payload)
+            return delivered
+
+        def _slot_done(_start: float, _finish: float) -> None:
+            self.sim.schedule(self.params.alpha_recv, self._deliver,
+                              src, dst, nbytes, kind, delivered,
+                              on_delivered, payload)
+
+        self._bus.submit(self.send_occupancy(nbytes), _slot_done)
+        return delivered
+
+    def _deliver(self, src, dst, nbytes, kind, delivered, on_delivered,
+                 payload) -> None:
+        self.stats.counter("net.messages").incr()
+        self.stats.counter(f"net.messages.{kind}").incr()
+        self.stats.accumulator("net.bytes").add(nbytes)
+        self.stats.accumulator(f"net.bytes.{kind}").add(nbytes)
+        self.tracer.emit(self.sim.now, "message", kind, src=src, dst=dst,
+                         nbytes=nbytes)
+        if on_delivered is not None:
+            on_delivered(payload)
+        delivered.fire(payload)
+
+    def broadcast(self, root: int, nbytes: int, kind: str,
+                  on_delivered: Optional[Callable] = None, payload=None,
+                  targets: Optional[Sequence[int]] = None) -> Signal:
+        """One bus transmission, heard by every target (Ethernet broadcast)."""
+        done = Signal(self.sim, f"bus.bcast.{root}.{kind}")
+        nodes = [n for n in (targets if targets is not None
+                             else range(self.num_nodes)) if n != root]
+        if not nodes:
+            self.sim.schedule(0.0, done.fire, payload)
+            return done
+        self.stats.counter("net.broadcasts").incr()
+
+        def _slot_done(_start: float, _finish: float) -> None:
+            def _arrive() -> None:
+                self.stats.counter("net.messages").incr()
+                self.stats.counter(f"net.messages.{kind}").incr()
+                self.stats.accumulator("net.bytes").add(nbytes)
+                self.stats.accumulator(f"net.bytes.{kind}").add(nbytes)
+                for node in nodes:
+                    if on_delivered is not None:
+                        on_delivered(node, payload)
+                done.fire(payload)
+
+            self.sim.schedule(self.params.alpha_recv, _arrive)
+
+        self._bus.submit(self.send_occupancy(nbytes), _slot_done)
+        return done
+
+
+class WorkstationFarm(Machine):
+    """A heterogeneous collection of workstations on shared Ethernet."""
+
+    name = "workstations"
+
+    def __init__(
+        self,
+        speeds: Sequence[float],
+        params: Optional[IpscParams] = None,
+        ethernet: Optional[EthernetParams] = None,
+        sim: Optional[Simulator] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if not speeds:
+            raise MachineError("a farm needs at least one workstation")
+        if any(s <= 0 for s in speeds):
+            raise MachineError("workstation speed factors must be positive")
+        super().__init__(len(speeds), sim=sim, tracer=tracer)
+        #: Relative speed per node: 1.0 = the calibration baseline; a
+        #: node with speed 2.0 runs task bodies twice as fast.
+        self.speeds: List[float] = [float(s) for s in speeds]
+        self.params = params or IpscParams()
+        self.network = BusNetwork(self.sim, len(speeds), ethernet,
+                                  self.stats, self.tracer)
+
+    @property
+    def active_nodes(self) -> List[int]:
+        return list(range(self.num_processors))
+
+    def compute_seconds(self, node: int, cost: float) -> float:
+        """Scale a task's baseline cost by the node's speed."""
+        return cost / self.speeds[node]
+
+    def describe(self) -> str:
+        return (f"workstations({self.num_processors} nodes, speeds "
+                f"{min(self.speeds):.2g}-{max(self.speeds):.2g})")

@@ -1,0 +1,19 @@
+"""Real-machine execution of Jade programs (extension).
+
+The reproduction's measurements come from the deterministic simulated
+machines, but a Jade program is just tasks + dependences, so it can also
+run on the *host* machine.  :mod:`repro.parallel.threads` executes task
+bodies on a thread pool, releasing work in exactly the dependence order
+the synchronizer dictates.
+
+Because CPython's GIL serializes pure-Python bytecode, this executor
+provides **functional** parallelism (and true parallelism only inside
+GIL-releasing numpy kernels) — see the reproduction band notes in
+DESIGN.md.  Its value is as an oracle: the same program, scheduled by a
+completely independent mechanism (real threads, real races resolved by
+locks), must still produce the stripped serial results.
+"""
+
+from repro.parallel.threads import ThreadedExecutor, run_threaded
+
+__all__ = ["ThreadedExecutor", "run_threaded"]

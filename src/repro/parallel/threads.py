@@ -1,0 +1,187 @@
+"""Execute a Jade program on real host threads.
+
+The executor drives the same :class:`~repro.core.synchronizer.Synchronizer`
+the simulated runtimes use, but dispatches enabled task bodies to a
+``ThreadPoolExecutor``.  Serial sections run on the coordinating thread in
+program order, exactly like Jade's main thread.
+
+Concurrency model
+-----------------
+
+* One lock guards the synchronizer and the shared store's version
+  bookkeeping; bodies run outside the lock.
+* Tasks conflicting on an object are already ordered by the synchronizer
+  — a task is only submitted once every conflicting predecessor
+  *completed* — so bodies never race on payload data.  This makes the
+  executor a true parallel implementation of Jade's semantics, not just a
+  test harness (though the GIL limits the speedup of pure-Python bodies).
+* Determinism of *results* is guaranteed by the dependence order;
+  determinism of *timing* is, naturally, not.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.objects import ObjectStore
+from repro.core.program import JadeProgram
+from repro.core.synchronizer import Synchronizer
+from repro.core.task import TaskContext, TaskSpec
+from repro.errors import DeadlockError
+
+
+@dataclass
+class ThreadedRunResult:
+    """Outcome of a threaded execution."""
+
+    store: ObjectStore
+    tasks_executed: int = 0
+    serial_sections_executed: int = 0
+    max_concurrent: int = 0
+    errors: List[BaseException] = field(default_factory=list)
+
+    def payload(self, obj):
+        return self.store.get(obj.object_id)
+
+
+class ThreadedExecutor:
+    """Runs one Jade program on a host thread pool."""
+
+    def __init__(self, program: JadeProgram, num_workers: int = 4) -> None:
+        if num_workers < 1:
+            raise ValueError("need at least one worker thread")
+        program.validate()
+        self.program = program
+        self.num_workers = num_workers
+        self.store = ObjectStore("threaded")
+        self.sync = Synchronizer()
+        self._lock = threading.Lock()
+        self._all_done = threading.Event()
+        self._serial_enabled = threading.Event()
+        self._completed = 0
+        self._running = 0
+        self._max_running = 0
+        self._errors: List[BaseException] = []
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    # ------------------------------------------------------------------ #
+    def run(self, timeout: float = 60.0) -> ThreadedRunResult:
+        """Execute the program; returns once every task completed."""
+        for obj in self.program.registry:
+            self.store.install(obj)
+        total = len(self.program.tasks)
+        if total == 0:
+            return ThreadedRunResult(store=self.store)
+
+        with ThreadPoolExecutor(max_workers=self.num_workers) as pool:
+            self._pool = pool
+            # The coordinating thread plays Jade's main thread: create
+            # tasks in serial order, executing serial sections inline.
+            for task in self.program.tasks:
+                if self._errors:
+                    break
+                if task.serial:
+                    self._serial_enabled.clear()
+                    with self._lock:
+                        enabled = self.sync.add_task(task)
+                    if not enabled:
+                        self._register_serial_wait(task)
+                        if not self._serial_enabled.wait(timeout):
+                            raise DeadlockError(
+                                f"serial section {task.name!r} never enabled"
+                            )
+                    self._execute_body(task)
+                    self._finish(task)
+                else:
+                    with self._lock:
+                        enabled = self.sync.add_task(task)
+                    if enabled:
+                        pool.submit(self._run_task, task)
+            # Wait for the parallel tail.
+            if not self._wait_all(total, timeout):
+                raise DeadlockError(
+                    f"threaded run finished {self._completed}/{total} tasks"
+                )
+
+        if self._errors:
+            raise self._errors[0]
+        return ThreadedRunResult(
+            store=self.store,
+            tasks_executed=self._completed - sum(
+                1 for t in self.program.tasks if t.serial
+            ),
+            serial_sections_executed=sum(
+                1 for t in self.program.tasks if t.serial
+            ),
+            max_concurrent=self._max_running,
+            errors=list(self._errors),
+        )
+
+    # ------------------------------------------------------------------ #
+    def _wait_all(self, total: int, timeout: float) -> bool:
+        self._check_all_done(total)
+        return self._all_done.wait(timeout)
+
+    def _check_all_done(self, total: int) -> None:
+        with self._lock:
+            if self._completed >= total or self._errors:
+                self._all_done.set()
+
+    def _register_serial_wait(self, task: TaskSpec) -> None:
+        # complete() signals the event when the waiting serial section
+        # becomes enabled; nothing to do here beyond remembering it.
+        with self._lock:
+            self._waiting_serial_id = task.task_id
+            if self.sync.is_enabled(task.task_id):
+                self._serial_enabled.set()
+
+    # ------------------------------------------------------------------ #
+    def _run_task(self, task: TaskSpec) -> None:
+        try:
+            with self._lock:
+                self._running += 1
+                self._max_running = max(self._max_running, self._running)
+            self._execute_body(task)
+        except BaseException as exc:  # noqa: BLE001 — reported to caller
+            with self._lock:
+                self._errors.append(exc)
+                self._all_done.set()
+            return
+        finally:
+            with self._lock:
+                self._running -= 1
+        self._finish(task)
+
+    def _execute_body(self, task: TaskSpec) -> None:
+        TaskContext(task, self.store, processor=0).run_body()
+
+    def _finish(self, task: TaskSpec) -> None:
+        with self._lock:
+            for obj in task.spec.writes():
+                self.store.bump_version(
+                    obj.object_id,
+                    self.sync.produced_version(task.task_id, obj.object_id),
+                )
+            newly = self.sync.complete_task(task)
+            self._completed += 1
+            to_submit = []
+            for enabled_id in newly:
+                enabled = self.program.tasks[enabled_id]
+                if enabled.serial:
+                    self._serial_enabled.set()
+                else:
+                    to_submit.append(enabled)
+            done = self._completed >= len(self.program.tasks)
+        for enabled in to_submit:
+            self._pool.submit(self._run_task, enabled)
+        if done:
+            self._all_done.set()
+
+
+def run_threaded(program: JadeProgram, num_workers: int = 4,
+                 timeout: float = 60.0) -> ThreadedRunResult:
+    """Convenience wrapper: execute ``program`` on host threads."""
+    return ThreadedExecutor(program, num_workers).run(timeout=timeout)

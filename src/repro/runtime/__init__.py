@@ -1,0 +1,37 @@
+"""The two Jade implementations: shared memory (DASH) and message passing
+(iPSC/860), plus the machinery they share.
+
+Both implementations follow §3 of the paper:
+
+* the **shared-memory** runtime (:mod:`repro.runtime.shared_memory`) has a
+  synchronizer, a scheduler (distributed queue-of-object-task-queues with
+  stealing and the locality heuristic) and per-processor dispatchers; the
+  hardware — here the DASH cost model — performs all communication
+  implicitly as tasks touch shared data;
+* the **message-passing** runtime (:mod:`repro.runtime.message_passing`)
+  adds a **communicator** that implements the single-address-space
+  abstraction in software, applying replication, concurrent fetches,
+  adaptive broadcast, locality and latency hiding.
+
+``run_shared_memory`` / ``run_message_passing`` are the entry points; both
+take a :class:`~repro.core.program.JadeProgram`, a machine, and
+:class:`~repro.runtime.options.RuntimeOptions`, and return
+:class:`~repro.runtime.metrics.RunMetrics`.
+"""
+
+from repro.runtime.options import LocalityLevel, RuntimeOptions
+from repro.runtime.metrics import RunMetrics
+from repro.runtime.shared_memory import SharedMemoryRuntime, run_shared_memory
+from repro.runtime.message_passing import MessagePassingRuntime, run_message_passing
+from repro.runtime.workfree import make_work_free
+
+__all__ = [
+    "LocalityLevel",
+    "RuntimeOptions",
+    "RunMetrics",
+    "SharedMemoryRuntime",
+    "run_shared_memory",
+    "MessagePassingRuntime",
+    "run_message_passing",
+    "make_work_free",
+]

@@ -1,0 +1,460 @@
+"""The communicator: software shared memory for the message-passing machine.
+
+"Because the message passing implementation is also responsible for
+implementing the Jade abstraction of a single address space in software
+using message passing operations, it has an additional component: a
+communicator that generates the messages required to implement the
+abstraction of a single address space." (§3.3)
+
+Implemented protocols, all driven by access-specification information:
+
+* **Replication + fetch** (§3.4.1): each remote object access generates a
+  small request message to the owner and a reply carrying the whole
+  object; concurrent readers get their own local copies.
+* **Concurrent fetches** (§3.4.1): a task needing several remote objects
+  requests them all at once (``concurrent_fetches=False`` chains the
+  requests instead — the ablation configuration).
+* **Adaptive broadcast** (§3.4.2): the owner of each version records which
+  processors accessed it; once some version of an object has been accessed
+  by every processor, all succeeding versions are broadcast on production.
+* **Migration without replication** (§5.1 analysis): with
+  ``replication=False`` each object version is *exclusively held* by one
+  node at a time; a reader acquires the (single) copy, holds it for the
+  duration of its task, and the next reader's transfer waits.  Holds are
+  acquired in object-id order, one at a time, which rules out deadlock
+  between tasks that need overlapping object sets.  This serializes
+  concurrent readers — the configuration that demonstrates why
+  replication is the indispensable optimization.
+* **Eager update** (extension, §5.6): push each new version to the
+  processors that held the previous one.  The paper built this protocol
+  and found it helps regular applications but floods irregular ones.
+
+Coherence invariant (tested): a task's read observes exactly the version
+serial program order dictates.  Jade's dependence rules make the protocol
+race-free — a writer of version *v+1* cannot be enabled until every reader
+of *v* completed, so version *v* is never destroyed while a fetch of it is
+outstanding.  The communicator asserts this with :class:`VersionError`
+checks rather than trusting it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Set, Tuple
+
+from repro.core.objects import ObjectStore, SharedObject
+from repro.errors import VersionError
+from repro.machines.ipsc860 import Ipsc860Machine
+from repro.runtime.metrics import RunMetrics
+from repro.runtime.options import RuntimeOptions
+
+
+class _ExclusiveLock:
+    """A FIFO mutual-exclusion lock over one (object, version) copy."""
+
+    __slots__ = ("holder", "waiters")
+
+    def __init__(self) -> None:
+        self.holder: object = None
+        self.waiters: Deque[Tuple[object, Callable[[], None]]] = deque()
+
+    def acquire(self, token: object, granted: Callable[[], None]) -> None:
+        if self.holder is None:
+            self.holder = token
+            granted()
+        elif self.holder == token:
+            # Re-entrant: the same task already holds the copy.
+            granted()
+        else:
+            self.waiters.append((token, granted))
+
+    def release(self, token: object) -> None:
+        if self.holder != token:
+            return
+        if self.waiters:
+            self.holder, granted = self.waiters.popleft()
+            granted()
+        else:
+            self.holder = None
+
+
+class Communicator:
+    """Moves shared-object versions between per-node stores."""
+
+    def __init__(
+        self,
+        machine: Ipsc860Machine,
+        options: RuntimeOptions,
+        metrics: RunMetrics,
+    ) -> None:
+        self.machine = machine
+        self.options = options
+        self.metrics = metrics
+        self.sim = machine.sim
+        self.net = machine.network
+        n = machine.num_processors
+        self.stores: List[ObjectStore] = [ObjectStore(f"node{p}") for p in range(n)]
+        #: (object_id, version) -> owning node.  "Each object also has an
+        #: owner (the last processor to write the object); the owner is
+        #: guaranteed to have a copy of the latest version." (§3.4.3)
+        self._owner: Dict[Tuple[int, int], int] = {}
+        #: object_id -> latest produced (version, owner), for target lookup.
+        self._current: Dict[int, Tuple[int, int]] = {}
+        #: (object_id, version) -> processors that accessed the version.
+        self._accessors: Dict[Tuple[int, int], Set[int]] = {}
+        #: objects the adaptive algorithm has switched to broadcast mode.
+        self._broadcast_mode: Set[int] = set()
+        #: (node, object_id, version) -> list of callbacks waiting on an
+        #: in-flight fetch (join instead of duplicating requests).
+        self._inflight: Dict[Tuple[int, int, int], List[Callable[[], None]]] = {}
+        #: no-replication mode: per-(object, version) exclusive lock.
+        #: Value = (current holder-token or None, queue of waiters).
+        self._locks: Dict[Tuple[int, int], "_ExclusiveLock"] = {}
+        #: holder-token -> locks it holds (released at task completion).
+        self._held: Dict[object, List["_ExclusiveLock"]] = {}
+        #: Per-node broadcast-decision overhead charged on each update of a
+        #: broadcast-mode object (protocol bookkeeping + buffer handling).
+        #: This is what degrades the degenerate single-processor runs in
+        #: Tables 13/14; calibrated in ``repro.lab.calibration``.
+        self.broadcast_trigger_overhead = 0.0
+        #: Hook the runtime sets so broadcast-mode updates can charge the
+        #: producing node's CPU: ``charge_cpu(node, seconds)``.
+        self.charge_cpu: Optional[Callable[[int, float], None]] = None
+
+    # ------------------------------------------------------------------ #
+    # initialization
+    # ------------------------------------------------------------------ #
+    def install_initial(self, objects) -> None:
+        """Install version 0 of every object at its initial owner.
+
+        Objects with a home hint (e.g. Water's per-processor contribution
+        arrays) start owned by that node; everything else starts at the
+        main processor, "which just initialized them" (§5.2.2).
+        """
+        for obj in objects:
+            owner = (obj.home_hint % self.machine.num_processors
+                     if obj.home_hint is not None else self.machine.main_processor)
+            self.stores[owner].install(obj)
+            self._owner[(obj.object_id, 0)] = owner
+            self._current[obj.object_id] = (0, owner)
+
+    def gather_final(self, objects) -> ObjectStore:
+        """Collect the newest version of every object into one store.
+
+        Used after a run to compare results against the stripped serial
+        execution: the final version of each object lives in its last
+        writer's memory, not necessarily the main processor's.
+        """
+        gathered = ObjectStore("gathered")
+        for obj in objects:
+            version, owner = self._current[obj.object_id]
+            src = self.stores[owner]
+            if not src.has(obj.object_id, version):
+                raise VersionError(
+                    f"final owner {owner} of {obj.name!r} lacks version {version}"
+                )
+            gathered.install_copy(obj.object_id, version, src.get(obj.object_id))
+        return gathered
+
+    # ------------------------------------------------------------------ #
+    # ownership
+    # ------------------------------------------------------------------ #
+    def owner_of(self, object_id: int, version: int) -> int:
+        try:
+            return self._owner[(object_id, version)]
+        except KeyError:
+            raise VersionError(
+                f"no owner recorded for object {object_id} version {version}"
+            ) from None
+
+    def current_owner(self, object_id: int) -> int:
+        """The owner of the newest produced version — the scheduler's
+        "target processor" input."""
+        return self._current[object_id][1]
+
+    def version_produced(self, obj: SharedObject, version: int, node: int) -> None:
+        """Record a write completing on ``node``; run push protocols.
+
+        Called at the writer's local completion: the new version now
+        physically exists in ``node``'s store.
+        """
+        oid = obj.object_id
+        prev_version = self._current[oid][0]
+        self._owner[(oid, version)] = node
+        self._current[oid] = (version, node)
+        if self.options.replication and self.options.adaptive_broadcast \
+                and oid in self._broadcast_mode:
+            self._broadcast_version(obj, version, node)
+        elif self.options.replication and self.options.eager_update:
+            self._eager_push(obj, version, node, prev_version)
+
+    def record_access(self, node: int, object_id: int, version: int) -> None:
+        """Note that ``node`` *read* ``(object, version)``.
+
+        Only reads count toward the broadcast trigger.  Local reads count
+        too: the degenerate one-processor case of §5.3 exists precisely
+        because the single processor reads every version it produces
+        (Ocean's and Cholesky's read-write updates), while at two or more
+        processors "neither Ocean nor Panel Cholesky ever accesses the
+        same version of an object on all processors".  Production and
+        write-fetches do not count — otherwise the main processor's
+        initialization writes would spuriously put every object of a
+        two-processor run in broadcast mode, contradicting Tables 13/14.
+        When the reader set covers all processors the object enters
+        broadcast mode for good.
+        """
+        accessors = self._accessors.setdefault((object_id, version), set())
+        accessors.add(node)
+        if len(accessors) == self.machine.num_processors:
+            self._broadcast_mode.add(object_id)
+
+    def in_broadcast_mode(self, object_id: int) -> bool:
+        return object_id in self._broadcast_mode
+
+    # ------------------------------------------------------------------ #
+    # fetching
+    # ------------------------------------------------------------------ #
+    def ensure_local(
+        self,
+        node: int,
+        needs: List[Tuple[SharedObject, int]],
+        done: Callable[[], None],
+        token: object = None,
+        count_latency: bool = True,
+    ) -> None:
+        """Make ``node``'s store hold each ``(object, version)``; then ``done``.
+
+        The §5.5 latency accounting happens here: per-request object
+        latency and per-task task latency (first request out → last reply
+        in).  With ``concurrent_fetches`` the requests for multiple
+        missing objects go out together; otherwise they chain.
+
+        In no-replication mode ``token`` identifies the acquiring task;
+        every needed version is exclusively locked (in object-id order)
+        until :meth:`release` is called with the same token.
+
+        Each need is ``(obj, version)`` or ``(obj, version, is_read)``;
+        only reads feed the adaptive-broadcast accessor sets.
+        """
+        needs = [n if len(n) == 3 else (n[0], n[1], True) for n in needs]
+        for obj, v, is_read in needs:
+            if is_read:
+                self.record_access(node, obj.object_id, v)
+        needs = [(obj, v) for obj, v, _ in needs]
+        if not self.options.replication:
+            self._acquire_exclusive(node, list(needs), done, token)
+            return
+
+        store = self.stores[node]
+        missing = [(obj, v) for obj, v in needs if not store.has(obj.object_id, v)]
+        if not missing:
+            self.sim.schedule(0.0, done)
+            return
+
+        start = self.sim.now
+        remaining = {"n": len(missing)}
+        if count_latency:
+            self.metrics.tasks_with_fetches += 1
+
+        def _one_arrived() -> None:
+            remaining["n"] -= 1
+            if remaining["n"] == 0:
+                if count_latency:
+                    self.metrics.task_latency_total += self.sim.now - start
+                done()
+
+        if self.options.concurrent_fetches:
+            for obj, v in missing:
+                self._fetch(node, obj, v, _one_arrived, count_latency)
+        else:
+            # Chain the fetches: issue the next request only after the
+            # previous object arrived (the ablation configuration).
+            pending = deque(missing)
+
+            def _next() -> None:
+                if not pending:
+                    return
+                obj, v = pending.popleft()
+                self._fetch(node, obj, v,
+                            lambda: (_one_arrived(), _next()), count_latency)
+
+            _next()
+
+    def _fetch(self, node: int, obj: SharedObject, version: int,
+               arrived: Callable[[], None], count_latency: bool = True) -> None:
+        """Fetch one (object, version) into ``node``'s store."""
+        key = (node, obj.object_id, version)
+        waiters = self._inflight.get(key)
+        if waiters is not None:
+            waiters.append(arrived)
+            return
+        self._inflight[key] = [arrived]
+        self._fetch_replicate(node, obj, version, count_latency)
+
+    def _finish_fetch(self, key: Tuple[int, int, int]) -> None:
+        for waiter in self._inflight.pop(key, []):
+            waiter()
+
+    def _fetch_replicate(self, node: int, obj: SharedObject, version: int,
+                         count_latency: bool = True) -> None:
+        """Request/reply protocol: two messages per remote fetch (§3.4.1)."""
+        owner = self.owner_of(obj.object_id, version)
+        key = (node, obj.object_id, version)
+        request_sent = self.sim.now
+        if count_latency:
+            self.metrics.object_requests += 1
+
+        def _request_arrived(_payload) -> None:
+            src_store = self.stores[owner]
+            if not src_store.has(obj.object_id, version):
+                raise VersionError(
+                    f"owner {owner} lost object {obj.name!r} version {version} "
+                    f"(store has version "
+                    f"{src_store.version(obj.object_id) if src_store.has(obj.object_id) else None})"
+                )
+            payload = src_store.export(obj.object_id)
+
+            def _reply_arrived(p) -> None:
+                self.stores[node].install_copy(obj.object_id, version, p)
+                if count_latency:
+                    self.metrics.object_latency_total += self.sim.now - request_sent
+                self.metrics.object_messages += 1
+                self.metrics.object_bytes += obj.sim_nbytes
+                self._finish_fetch(key)
+
+            self.net.send(owner, node, obj.sim_nbytes, "object",
+                          on_delivered=_reply_arrived, payload=payload)
+
+        self.net.send(node, owner, self.machine.params.request_nbytes, "request",
+                      on_delivered=_request_arrived)
+
+    # ------------------------------------------------------------------ #
+    # exclusive single-copy mode (replication disabled, §5.1)
+    # ------------------------------------------------------------------ #
+    def _acquire_exclusive(
+        self,
+        node: int,
+        needs: List[Tuple[SharedObject, int]],
+        done: Callable[[], None],
+        token: object,
+    ) -> None:
+        """Acquire every needed version exclusively, in object-id order.
+
+        Each acquisition may involve migrating the single copy from its
+        current holder (priced as one request + one object message); the
+        lock is held until :meth:`release` runs for ``token``.  Ordered,
+        one-at-a-time acquisition makes the protocol deadlock-free.
+        """
+        ordered = sorted(needs, key=lambda pair: (pair[0].object_id, pair[1]))
+        start = self.sim.now
+        if ordered:
+            self.metrics.tasks_with_fetches += 1
+        pending = deque(ordered)
+
+        def _next() -> None:
+            if not pending:
+                self.metrics.task_latency_total += self.sim.now - start
+                self.sim.schedule(0.0, done)
+                return
+            obj, version = pending.popleft()
+            lock = self._locks.setdefault(
+                (obj.object_id, version), _ExclusiveLock()
+            )
+            lock.acquire(token, lambda: self._transfer_exclusive(node, obj, version, _next))
+            self._held.setdefault(token, []).append(lock)
+
+        _next()
+
+    def _transfer_exclusive(self, node: int, obj: SharedObject, version: int,
+                            granted: Callable[[], None]) -> None:
+        """Move the single copy to ``node`` (no-op when already local)."""
+        oid = obj.object_id
+        holder = self.owner_of(oid, version)
+        if holder == node and self.stores[node].has(oid, version):
+            self.sim.schedule(0.0, granted)
+            return
+        request_sent = self.sim.now
+        self.metrics.object_requests += 1
+
+        def _request_arrived(_p) -> None:
+            src = self.stores[holder]
+            if not src.has(oid, version):
+                raise VersionError(
+                    f"migration source {holder} lost object {oid} v{version}"
+                )
+            payload = src.export(oid)
+            src.drop(oid)
+
+            def _reply_arrived(p) -> None:
+                self.stores[node].install_copy(oid, version, p)
+                # The single copy moved: the requester is the new holder.
+                self._owner[(oid, version)] = node
+                current_v, _ = self._current[oid]
+                if current_v == version:
+                    self._current[oid] = (version, node)
+                self.metrics.object_latency_total += self.sim.now - request_sent
+                self.metrics.object_messages += 1
+                self.metrics.object_bytes += obj.sim_nbytes
+                granted()
+
+            self.net.send(holder, node, obj.sim_nbytes, "object",
+                          on_delivered=_reply_arrived, payload=payload)
+
+        self.net.send(node, holder, self.machine.params.request_nbytes, "request",
+                      on_delivered=_request_arrived)
+
+    def release(self, token: object) -> None:
+        """Release every exclusive lock held by ``token`` (task completion)."""
+        for lock in self._held.pop(token, []):
+            lock.release(token)
+
+    # ------------------------------------------------------------------ #
+    # push protocols
+    # ------------------------------------------------------------------ #
+    def _broadcast_version(self, obj: SharedObject, version: int, owner: int) -> None:
+        """Broadcast a new version of a broadcast-mode object (§3.4.2)."""
+        if self.charge_cpu is not None and self.broadcast_trigger_overhead > 0:
+            self.charge_cpu(owner, self.broadcast_trigger_overhead)
+        self.metrics.broadcasts += 1
+        targets = [p for p in self.machine.active_nodes if p != owner]
+        if not targets:
+            # The degenerate single-processor case of §5.3: the algorithm
+            # still prepares the broadcast — copying the object out to the
+            # message buffer — with nobody to receive it.  With recipients
+            # that copy-out is the NIC send occupancy; here it lands as
+            # pure producer-CPU overhead, which is what degrades the
+            # one-processor runs of Tables 13 and 14.
+            if self.charge_cpu is not None:
+                self.charge_cpu(owner, self.net.send_occupancy(obj.sim_nbytes))
+            return
+        payload = self.stores[owner].export(obj.object_id)
+        edges = {"n": 0}
+
+        def _delivered(node: int, p) -> None:
+            self.stores[node].install_copy(obj.object_id, version, p)
+            edges["n"] += 1
+            self.metrics.object_messages += 1
+            self.metrics.object_bytes += obj.sim_nbytes
+
+        self.net.broadcast(owner, obj.sim_nbytes, "object_bcast",
+                           on_delivered=_delivered, payload=payload,
+                           targets=self.machine.active_nodes)
+
+    def _eager_push(self, obj: SharedObject, version: int, owner: int,
+                    prev_version: int) -> None:
+        """Eager-update extension: push to holders of the previous version."""
+        holders = sorted(
+            p for p in self.machine.active_nodes
+            if p != owner and self.stores[p].has(obj.object_id, prev_version)
+        )
+        for node in holders:
+            payload = self.stores[owner].export(obj.object_id)
+
+            def _delivered(p, node=node) -> None:
+                self.stores[node].install_copy(obj.object_id, version, p)
+                self.metrics.object_messages += 1
+                self.metrics.object_bytes += obj.sim_nbytes
+                self.metrics.eager_updates += 1
+
+            self.net.send(owner, node, obj.sim_nbytes, "object_eager",
+                          on_delivered=_delivered, payload=payload)

@@ -1,0 +1,331 @@
+"""The message-passing Jade implementation (§3.3–§3.4), on the iPSC/860.
+
+Execution model
+---------------
+
+* The **main thread** runs on node 0 and is the only task creator.  Task
+  creation charges synchronizer-insert time to node 0's CPU; serial
+  sections wait for enablement, fetch their remote objects, then execute
+  on node 0 — during all of which no new tasks are created.  This is the
+  serialized task-management engine whose overhead dominates Ocean and
+  Panel Cholesky at scale (Figures 20, 21).
+
+* The **scheduler** (:class:`~repro.runtime.scheduler_mp.MpScheduler`)
+  assigns enabled tasks centrally; each assignment charges main-CPU time
+  and sends a task-descriptor message.
+
+* On arrival, the receiving node's **interrupt handler** "immediately
+  sends out messages requesting the remote objects that the task will
+  access" (§3.4.3) — without waiting for the CPU, which may be executing
+  an earlier task.  That is how the latency-hiding configuration overlaps
+  communication with computation.
+
+* When all objects are present, the task queues on the node's CPU (the
+  **dispatcher** "serially executes its set of executable tasks").  At
+  completion the body runs against the node's local store, new versions
+  are registered with the communicator (triggering adaptive broadcast /
+  eager update), and a completion message returns to the main processor,
+  where completion handling charges main-CPU time, releases the
+  scheduler's load slot, and enables successor tasks.
+
+Correctness: every read observes exactly the serial-order version of each
+object (checked — :class:`~repro.errors.VersionError` otherwise), so final
+results equal the stripped execution's bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.program import JadeProgram
+from repro.core.synchronizer import Synchronizer
+from repro.core.task import TaskContext, TaskSpec
+from repro.errors import DeadlockError, VersionError
+from repro.machines.ipsc860 import Ipsc860Machine
+from repro.runtime.communicator import Communicator
+from repro.runtime.metrics import RunMetrics
+from repro.runtime.options import RuntimeOptions
+from repro.runtime.scheduler_mp import MpScheduler
+from repro.sim.resources import PriorityFifoResource
+
+
+class MessagePassingRuntime:
+    """Executes one Jade program on an :class:`Ipsc860Machine`."""
+
+    def __init__(
+        self,
+        program: JadeProgram,
+        machine: Ipsc860Machine,
+        options: Optional[RuntimeOptions] = None,
+    ) -> None:
+        program.validate()
+        self.program = program
+        self.machine = machine
+        self.options = options or RuntimeOptions()
+        self.sim = machine.sim
+        self.sync = Synchronizer()
+        self.metrics = RunMetrics(
+            machine="ipsc860",
+            application=program.name,
+            num_processors=machine.num_processors,
+            options=self.options,
+        )
+        self.metrics.tasks_per_processor = [0] * machine.num_processors
+        self.comm = Communicator(machine, self.options, self.metrics)
+        self.comm.charge_cpu = self._charge_cpu
+        # Two-class CPUs: runtime work (task creation, assignment,
+        # completion handling, serial main-thread sections) runs ahead of
+        # queued task bodies, as the real dispatcher did.
+        self.cpus: List[PriorityFifoResource] = [
+            PriorityFifoResource(self.sim, f"cpu{p}")
+            for p in range(machine.num_processors)
+        ]
+        self.scheduler = MpScheduler(
+            machine.num_processors, self.options, self._target_of, self._dispatch
+        )
+
+        self._next_op = 0
+        self._waiting_serial: Optional[TaskSpec] = None
+        self._main_done = False
+        self._completed = 0
+
+    # ------------------------------------------------------------------ #
+    # entry point
+    # ------------------------------------------------------------------ #
+    def run(self) -> RunMetrics:
+        self.comm.install_initial(self.program.registry)
+        self.sim.deadlock_reporter = self._report_stall
+        if self.program.tasks:
+            self.sim.schedule(0.0, self._advance_main)
+        else:
+            self._main_done = True
+        self.sim.run()
+        if self._completed != len(self.program.tasks) or not self._main_done:
+            raise DeadlockError(
+                f"message-passing run finished {self._completed}/"
+                f"{len(self.program.tasks)} tasks; pending="
+                f"{self.sync.pending_tasks()[:10]}",
+                pending=len(self.program.tasks) - self._completed,
+            )
+        self.metrics.elapsed = self.sim.now
+        self.metrics.total_messages = self.machine.stats.counter("net.messages").value
+        self.metrics.total_bytes = self.machine.stats.accumulator("net.bytes").total
+        self.metrics.busy_per_processor = [c.busy_time for c in self.cpus]
+        if not self.options.work_free:
+            self.metrics.final_store = self.comm.gather_final(self.program.registry)
+        return self.metrics
+
+    def _report_stall(self) -> str:
+        return (
+            f"main op {self._next_op}/{len(self.program.tasks)}, "
+            f"pool={self.scheduler.pending()}, loads={self.scheduler.load}, "
+            f"pending sync tasks {self.sync.pending_tasks()[:5]}"
+        )
+
+    def _charge_cpu(self, node: int, seconds: float) -> None:
+        self.cpus[node].submit(seconds, lambda _s, _f: None, urgent=True)
+
+    # ------------------------------------------------------------------ #
+    # main thread
+    # ------------------------------------------------------------------ #
+    def _advance_main(self) -> None:
+        if self._next_op >= len(self.program.tasks):
+            self._main_done = True
+            return
+        op = self.program.tasks[self._next_op]
+        self._next_op += 1
+        if op.serial:
+            if self.sync.add_task(op):
+                self._start_serial(op)
+            else:
+                # Main thread suspends until the section's accesses are
+                # enabled (a completion handler will resume it).
+                self._waiting_serial = op
+            return
+
+        create = self.machine.params.task_create_seconds
+        self.metrics.mgmt_time_main += create
+        self.cpus[0].submit(create, lambda _s, _f: self._created(op), urgent=True)
+
+    def _created(self, task: TaskSpec) -> None:
+        if self.sync.add_task(task):
+            self.scheduler.task_enabled(task)
+        self._advance_main()
+
+    def _start_serial(self, op: TaskSpec) -> None:
+        needs = [] if self.options.work_free else self._needs_of(op)
+        # Serial gathers (e.g. reducing the replicated contribution
+        # arrays) are excluded from the §5.5 per-task fetch-latency
+        # accounting — that analysis is about parallel tasks.
+        self.comm.ensure_local(
+            0, needs, done=lambda: self._serial_fetched(op), token=op,
+            count_latency=False,
+        )
+
+    def _serial_fetched(self, op: TaskSpec) -> None:
+        cost = 0.0 if self.options.work_free else \
+            self.machine.compute_seconds(0, op.cost)
+        self.cpus[0].submit(cost, lambda _s, _f: self._serial_finished(op), urgent=True)
+
+    def _serial_finished(self, op: TaskSpec) -> None:
+        self._run_body_and_publish(op, 0)
+        self.comm.release(op)
+        self._completed += 1
+        self.metrics.serial_sections_executed += 1
+        for enabled_id in self.sync.complete_task(op):
+            enabled = self.program.tasks[enabled_id]
+            # A serial section cannot enable another serial section: the
+            # main thread has not created any later one yet.
+            self.scheduler.task_enabled(enabled)
+        self._advance_main()
+
+    # ------------------------------------------------------------------ #
+    # task lifecycle on the nodes
+    # ------------------------------------------------------------------ #
+    def _target_of(self, task: TaskSpec) -> int:
+        """Owner (last writer) of the task's locality object (§3.4.3)."""
+        obj = task.locality_object
+        if obj is None:
+            return self.machine.main_processor
+        return self.comm.current_owner(obj.object_id)
+
+    def _dispatch(self, task: TaskSpec, processor: int) -> None:
+        """Scheduler decision made: charge assignment work, ship the task."""
+        assign = self.machine.params.task_assign_seconds
+        if processor == self.machine.main_processor:
+            assign *= self.machine.params.local_mgmt_factor
+        self.metrics.mgmt_time_main += assign
+
+        def _assigned(_s: float, _f: float) -> None:
+            if processor == self.machine.main_processor:
+                self.sim.schedule(0.0, self._task_arrived, task, processor)
+            else:
+                self.machine.network.send(
+                    0, processor, self.machine.params.task_message_nbytes, "task",
+                    on_delivered=lambda _p: self._task_arrived(task, processor),
+                )
+
+        self.cpus[0].submit(assign, _assigned, urgent=True)
+
+    def _needs_of(self, task: TaskSpec) -> List[Tuple[object, int, bool]]:
+        """(object, version, is_read) triples required before execution.
+
+        Reads need the serial-order version; writes need the previous
+        version present so the body can update it in place (the real
+        implementation also fetched objects declared only for writing —
+        it cannot know the task overwrites every byte).  The flag tells
+        the communicator which needs count as reads for the adaptive
+        broadcast trigger.
+        """
+        needs = []
+        for decl in task.spec:
+            oid = decl.obj.object_id
+            if decl.mode.reads:
+                version = self.sync.required_version(task.task_id, oid)
+            else:
+                version = self.sync.produced_version(task.task_id, oid) - 1
+            needs.append((decl.obj, version, decl.mode.reads))
+        return needs
+
+    def _task_arrived(self, task: TaskSpec, processor: int) -> None:
+        """Interrupt handler: immediately request the task's remote objects."""
+        receive = self.machine.params.task_receive_seconds
+
+        def _issue_fetches() -> None:
+            needs = [] if self.options.work_free else self._needs_of(task)
+            self.comm.ensure_local(
+                processor, needs,
+                done=lambda: self._task_ready(task, processor),
+                token=task,
+            )
+
+        self.sim.schedule(receive, _issue_fetches)
+
+    def _task_ready(self, task: TaskSpec, processor: int) -> None:
+        """All objects local: queue the task on the node's dispatcher."""
+        cost = 0.0 if self.options.work_free else \
+            self.machine.compute_seconds(processor, task.cost)
+        self.cpus[processor].submit(
+            cost, lambda _s, _f: self._task_finished(task, processor, cost)
+        )
+
+    def _task_finished(self, task: TaskSpec, processor: int, cost: float) -> None:
+        self._run_body_and_publish(task, processor)
+        self.comm.release(task)
+        self.metrics.tasks_executed += 1
+        self.metrics.tasks_per_processor[processor] += 1
+        self.metrics.task_time_total += cost
+        self.metrics.task_compute_total += cost
+        if self.scheduler.recorded_target.get(task.task_id) == processor:
+            self.metrics.tasks_on_target += 1
+        self.machine.tracer.emit(
+            self.sim.now, "task", "finish", task=task.task_id, proc=processor
+        )
+
+        if processor == self.machine.main_processor:
+            self.sim.schedule(0.0, self._completion_arrived, task, processor)
+        else:
+            self.machine.network.send(
+                processor, 0, self.machine.params.completion_nbytes, "completion",
+                on_delivered=lambda _p: self._completion_arrived(task, processor),
+            )
+
+    def _completion_arrived(self, task: TaskSpec, processor: int) -> None:
+        handle = self.machine.params.completion_handling_seconds
+        if processor == self.machine.main_processor:
+            handle *= self.machine.params.local_mgmt_factor
+        self.metrics.mgmt_time_main += handle
+        self.cpus[0].submit(
+            handle, lambda _s, _f: self._completion_handled(task, processor),
+            urgent=True,
+        )
+
+    def _completion_handled(self, task: TaskSpec, processor: int) -> None:
+        self._completed += 1
+        self.scheduler.task_completed(processor)
+        for enabled_id in self.sync.complete_task(task):
+            enabled = self.program.tasks[enabled_id]
+            if enabled.serial:
+                assert self._waiting_serial is not None
+                assert self._waiting_serial.task_id == enabled_id
+                waiting = self._waiting_serial
+                self._waiting_serial = None
+                self._start_serial(waiting)
+            else:
+                self.scheduler.task_enabled(enabled)
+
+    # ------------------------------------------------------------------ #
+    # body execution
+    # ------------------------------------------------------------------ #
+    def _run_body_and_publish(self, task: TaskSpec, processor: int) -> None:
+        """Run the body against the node's store; publish written versions."""
+        store = self.comm.stores[processor]
+        if not self.options.work_free:
+            # Coherence invariant: the local store must hold exactly the
+            # serial-order version of every declared object.
+            for obj, version, _is_read in self._needs_of(task):
+                if not store.has(obj.object_id, version):
+                    have = (store.version(obj.object_id)
+                            if store.has(obj.object_id) else None)
+                    raise VersionError(
+                        f"node {processor} executing {task.name!r}: needs "
+                        f"{obj.name!r} v{version}, store has v{have}"
+                    )
+            ctx = TaskContext(task, store, processor)
+            ctx.run_body()
+            for obj in task.spec.writes():
+                produced = self.sync.produced_version(task.task_id, obj.object_id)
+                store.bump_version(obj.object_id, produced)
+                self.comm.version_produced(obj, produced, processor)
+
+
+def run_message_passing(
+    program: JadeProgram,
+    num_processors: int,
+    options: Optional[RuntimeOptions] = None,
+    machine: Optional[Ipsc860Machine] = None,
+) -> RunMetrics:
+    """Convenience entry point: build an iPSC/860 and run the program."""
+    machine = machine or Ipsc860Machine(num_processors)
+    runtime = MessagePassingRuntime(program, machine, options)
+    return runtime.run()

@@ -1,0 +1,133 @@
+"""Run metrics: everything §5 of the paper reports, measured per run.
+
+The raw quantities are accumulated by the runtimes; the derived measures
+(properties below) are exactly the paper's:
+
+* **task locality percentage** (Figures 2–5, 12–15): tasks executed on
+  their target processor ÷ tasks executed × 100;
+* **total task execution time** (Figures 6–9): summed time inside task
+  bodies.  On DASH this includes cache-miss/communication time — that is
+  the point of the measurement; on the iPSC/860 it includes none;
+* **communication-to-computation ratio** (Figures 16–19): MB of
+  shared-object transfer messages ÷ seconds of task computation;
+* **task management percentage** (Figures 10–11, 20–21): computed by the
+  lab harness as work-free elapsed ÷ original elapsed;
+* **object latency vs. task latency** (§5.5): per-request fetch wait vs.
+  per-task wait for its full object set — a ratio near 1 means concurrent
+  fetching bought nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.runtime.options import RuntimeOptions
+
+
+@dataclass
+class RunMetrics:
+    """Everything measured in one simulated execution."""
+
+    machine: str = ""
+    application: str = ""
+    num_processors: int = 0
+    options: Optional[RuntimeOptions] = None
+
+    #: Wall-clock of the simulated execution (the paper's execution time).
+    elapsed: float = 0.0
+    #: Tasks executed (parallel tasks; serial sections counted separately).
+    tasks_executed: int = 0
+    serial_sections_executed: int = 0
+    #: Tasks that ran on their target processor.
+    tasks_on_target: int = 0
+    #: Σ over tasks of in-task time.  On DASH: compute + memory-system
+    #: time (the Figure 6–9 quantity).  On the iPSC/860: compute only.
+    task_time_total: float = 0.0
+    #: Σ over tasks of pure compute cost (both machines).
+    task_compute_total: float = 0.0
+    #: DASH only: Σ of memory-system (communication) time inside tasks.
+    task_comm_total: float = 0.0
+
+    # Message-passing quantities ----------------------------------------
+    #: Bytes moved by shared-object transfer messages (replies/broadcasts).
+    object_bytes: float = 0.0
+    #: Count of shared-object transfer messages.
+    object_messages: int = 0
+    #: All messages / all bytes on the network.
+    total_messages: int = 0
+    total_bytes: float = 0.0
+    #: Broadcast operations performed by the adaptive-broadcast algorithm.
+    broadcasts: int = 0
+    #: Versions pushed by the eager-update extension protocol.
+    eager_updates: int = 0
+
+    #: §5.5 accounting: Σ over object requests of (reply arrival − request
+    #: send), and Σ over tasks of (last reply arrival − first request send).
+    object_latency_total: float = 0.0
+    object_requests: int = 0
+    task_latency_total: float = 0.0
+    tasks_with_fetches: int = 0
+
+    #: Main-processor time spent in task management (creation, assignment,
+    #: completion handling, synchronizer work).
+    mgmt_time_main: float = 0.0
+    #: Per-processor busy seconds (tasks + serial sections + mgmt).
+    busy_per_processor: List[float] = field(default_factory=list)
+    #: Per-processor executed-task counts.
+    tasks_per_processor: List[int] = field(default_factory=list)
+    #: The final object store of the run (the main processor's store on the
+    #: message-passing machine), for correctness checks against the
+    #: stripped execution.
+    final_store: Optional[object] = None
+
+    # ------------------------------------------------------------------ #
+    # derived measures (the paper's reported quantities)
+    # ------------------------------------------------------------------ #
+    @property
+    def task_locality_pct(self) -> float:
+        """Figures 2–5 / 12–15: percent of tasks run on their target."""
+        if self.tasks_executed == 0:
+            return 100.0
+        return 100.0 * self.tasks_on_target / self.tasks_executed
+
+    @property
+    def comm_to_comp_ratio(self) -> float:
+        """Figures 16–19: Mbytes of object transfer per second of compute."""
+        if self.task_compute_total <= 0:
+            return 0.0
+        return (self.object_bytes / (1024.0 * 1024.0)) / self.task_compute_total
+
+    @property
+    def mean_object_latency(self) -> float:
+        return self.object_latency_total / self.object_requests if self.object_requests else 0.0
+
+    @property
+    def mean_task_latency(self) -> float:
+        return self.task_latency_total / self.tasks_with_fetches if self.tasks_with_fetches else 0.0
+
+    @property
+    def object_to_task_latency_ratio(self) -> float:
+        """§5.5: "substantially larger than" 1 would mean concurrent
+        fetching parallelized real overhead; ≈1 means it did not."""
+        if self.task_latency_total <= 0:
+            return 1.0
+        return self.object_latency_total / self.task_latency_total
+
+    @property
+    def speedup_denominator(self) -> float:
+        """Elapsed time, for speedup computations at the lab level."""
+        return self.elapsed
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of the headline numbers (reports, regression tests)."""
+        return {
+            "elapsed": self.elapsed,
+            "tasks": float(self.tasks_executed),
+            "locality_pct": self.task_locality_pct,
+            "task_time": self.task_time_total,
+            "comm_ratio": self.comm_to_comp_ratio,
+            "object_mb": self.object_bytes / (1024.0 * 1024.0),
+            "mgmt_main": self.mgmt_time_main,
+            "latency_ratio": self.object_to_task_latency_ratio,
+        }

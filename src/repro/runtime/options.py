@@ -1,0 +1,91 @@
+"""Runtime options: the paper's optimization switches.
+
+§5 evaluates each communication optimization by "running the applications
+first with the optimization turned on then with the optimization turned
+off"; these options are those switches.  Defaults match the paper's
+baseline configuration for the locality experiments: replication,
+concurrent fetches and adaptive broadcast on, latency hiding off (target
+number of tasks per processor = 1), Locality scheduling level.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+class LocalityLevel(enum.Enum):
+    """The three locality optimization levels of §5.2."""
+
+    #: The programmer explicitly places tasks on processors (Ocean and
+    #: Panel Cholesky only; Water and String cannot benefit).
+    TASK_PLACEMENT = "task_placement"
+    #: The implementation's locality heuristic: execute each task on the
+    #: owner of its locality object, stealing to balance load.
+    LOCALITY = "locality"
+    #: First-come first-served distribution of enabled tasks to idle
+    #: processors (single shared queue / single queue at the main node).
+    NO_LOCALITY = "no_locality"
+
+
+@dataclass(frozen=True)
+class RuntimeOptions:
+    """Switches controlling which communication optimizations run."""
+
+    #: Scheduling/locality level (§5.2).
+    locality: LocalityLevel = LocalityLevel.LOCALITY
+    #: Replicate objects for concurrent read access (§3.4.1, §5.1).
+    #: Disabling it forces a single migrating copy, which serializes all
+    #: concurrent readers — the paper's argument for why replication is
+    #: the indispensable optimization.
+    replication: bool = True
+    #: Adaptive broadcast of widely-accessed objects (§3.4.2, §5.3).
+    adaptive_broadcast: bool = True
+    #: Fetch a task's multiple remote objects in parallel (§3.4.1, §5.5).
+    concurrent_fetches: bool = True
+    #: Target number of assigned tasks per processor (§3.4.3).  1 disables
+    #: latency hiding; 2 is the paper's "optimization on" setting (§5.4).
+    target_tasks_per_processor: int = 1
+    #: Run the work-free variant: zero task cost and no shared-object
+    #: communication, keeping the concurrency pattern — the §5.2.1
+    #: methodology for measuring task management overhead.
+    work_free: bool = False
+    #: Extension (§5.6 / §6): eagerly push each new version to the
+    #: processors that held the previous version (update protocol).  The
+    #: paper reports this helped regular applications (Water, String) and
+    #: degraded irregular ones by generating excess communication.
+    eager_update: bool = False
+    #: Seed for any randomized tie-breaking (none by default; kept so
+    #: experiments carry provenance in their metrics).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.target_tasks_per_processor < 1:
+            raise ValueError("target_tasks_per_processor must be >= 1")
+
+    # Convenience derivations --------------------------------------------
+    @property
+    def latency_hiding(self) -> bool:
+        return self.target_tasks_per_processor > 1
+
+    def but(self, **changes) -> "RuntimeOptions":
+        """Return a copy with some switches changed (experiment sweeps)."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """Short stable description for reports and trace headers."""
+        bits = [self.locality.value]
+        if not self.replication:
+            bits.append("no-replication")
+        if not self.adaptive_broadcast:
+            bits.append("no-broadcast")
+        if not self.concurrent_fetches:
+            bits.append("serial-fetch")
+        if self.latency_hiding:
+            bits.append(f"target={self.target_tasks_per_processor}")
+        if self.work_free:
+            bits.append("work-free")
+        if self.eager_update:
+            bits.append("eager-update")
+        return ",".join(bits)

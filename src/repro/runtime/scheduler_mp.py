@@ -1,0 +1,157 @@
+"""The message-passing scheduler (§3.4.3 of the paper).
+
+A centralized dynamic load balancer on the main processor, augmented with a
+locality heuristic and a latency-hiding target:
+
+* every task has a **target processor** — the owner (last writer) of its
+  locality object; executing there avoids fetching that object;
+* the scheduler keeps assigning enabled tasks until every processor holds
+  the **target number of tasks** (1 = latency hiding off, the default;
+  2 = the §5.4 configuration).  A freshly enabled task goes to a
+  least-loaded processor, preferring its target processor when that is
+  least-loaded; otherwise it waits in the **pool of unassigned tasks**;
+* when a processor reports a completion, the scheduler hands it a pooled
+  task, "giving preference to tasks whose target processor is the remote
+  processor";
+* at the **No Locality** level the pool becomes a plain FIFO served to
+  idle processors first-come first-served;
+* explicitly placed tasks (**Task Placement**) bypass the load balancer
+  entirely and go straight to the named processor.
+
+"The scheduling algorithm is optimized for the case when the main
+processor creates all of the tasks in the computation" — which holds for
+every program in this reproduction, as it did for the paper's.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from repro.core.task import TaskSpec
+from repro.runtime.options import LocalityLevel, RuntimeOptions
+from repro.util.rng import substream
+
+
+class MpScheduler:
+    """Centralized scheduler state.  The runtime supplies two hooks:
+
+    * ``target_of(task) -> int`` — owner of the task's locality object;
+    * ``dispatch(task, processor)`` — actually deliver the assignment
+      (charge main-CPU time, send the task message).
+    """
+
+    def __init__(
+        self,
+        num_processors: int,
+        options: RuntimeOptions,
+        target_of: Callable[[TaskSpec], int],
+        dispatch: Callable[[TaskSpec, int], None],
+    ) -> None:
+        self.num_processors = num_processors
+        self.options = options
+        self.target_of = target_of
+        self.dispatch = dispatch
+        #: Assigned-but-incomplete task count per processor.
+        self.load: List[int] = [0] * num_processors
+        #: Unassigned enabled tasks, in enablement order.
+        self.pool: Deque[TaskSpec] = deque()
+        #: Chosen target per task id (recorded at enablement for the
+        #: locality-percentage metric).
+        self.recorded_target = {}
+        #: The real No Locality scheduler handed tasks to whichever idle
+        #: processor's request arrived first — timing noise made the
+        #: task→processor mapping effectively random (that is why the
+        #: paper's No Locality task-locality percentages decay roughly as
+        #: 1/P, Figures 2–5 and 12–15).  A seeded stream models that
+        #: arrival noise while keeping runs reproducible.
+        self._rng = substream(options.seed, "scheduler_mp.no_locality")
+
+    # ------------------------------------------------------------------ #
+    def task_enabled(self, task: TaskSpec) -> None:
+        """A task became enabled on the main processor (§3.4.3)."""
+        # The task's *target* is always the owner of its locality object —
+        # also for explicitly placed tasks.  That is how the paper's Task
+        # Placement runs read 92% on the iPSC/860: the first task to touch
+        # each panel targets the main processor (which initialized it) but
+        # is placed elsewhere (§5.2.2).
+        target = self.target_of(task)
+        self.recorded_target[task.task_id] = target
+
+        if task.placement is not None:
+            # Explicit placement constrains *where*, not *when*: the
+            # target-task throttle still applies, otherwise latency hiding
+            # (§5.4) would be meaningless for the placed applications.
+            where = task.placement % self.num_processors
+            if self.load[where] < self.options.target_tasks_per_processor:
+                self._assign(task, where)
+            else:
+                self.pool.append(task)
+            return
+
+        candidates = [
+            p for p in range(self.num_processors)
+            if self.load[p] < self.options.target_tasks_per_processor
+        ]
+        if not candidates:
+            self.pool.append(task)
+            return
+
+        if self.options.locality is LocalityLevel.NO_LOCALITY:
+            # First-come first-served to idle processors: no target
+            # preference; among the least-loaded processors the "first"
+            # requester is arbitrary (modelled as seeded-random).
+            min_load = min(self.load[p] for p in candidates)
+            least = [p for p in candidates if self.load[p] == min_load]
+            chosen = least[int(self._rng.integers(len(least)))]
+        else:
+            min_load = min(self.load[p] for p in candidates)
+            least = [p for p in candidates if self.load[p] == min_load]
+            chosen = target if target in least else least[0]
+        self._assign(task, chosen)
+
+    def task_completed(self, processor: int) -> None:
+        """A completion was processed on the main processor."""
+        self.load[processor] -= 1
+        if not self.pool:
+            return
+        if self.load[processor] >= self.options.target_tasks_per_processor:
+            return
+        task = self._take_from_pool(processor)
+        if task is not None:
+            self._assign(task, processor)
+
+    # ------------------------------------------------------------------ #
+    def _take_from_pool(self, processor: int) -> Optional[TaskSpec]:
+        """Pooled task for ``processor``, preferring matching targets.
+
+        Tasks explicitly placed on *another* processor are never handed
+        out here; if every pooled task is placed elsewhere, ``None``.
+        """
+        # Explicitly placed tasks for this processor come first.
+        for index, task in enumerate(self.pool):
+            if task.placement is not None and \
+                    task.placement % self.num_processors == processor:
+                del self.pool[index]
+                return task
+        # Then unplaced tasks whose target matches (locality preference).
+        if self.options.locality is not LocalityLevel.NO_LOCALITY:
+            for index, task in enumerate(self.pool):
+                if task.placement is None and \
+                        self.recorded_target.get(task.task_id) == processor:
+                    del self.pool[index]
+                    return task
+        # Then any unplaced task, first-come first-served.
+        for index, task in enumerate(self.pool):
+            if task.placement is None:
+                del self.pool[index]
+                return task
+        return None
+
+    def _assign(self, task: TaskSpec, processor: int) -> None:
+        self.load[processor] += 1
+        self.dispatch(task, processor)
+
+    # diagnostics --------------------------------------------------------
+    def pending(self) -> int:
+        return len(self.pool)

@@ -1,0 +1,338 @@
+"""The shared-memory Jade implementation (§3.1–§3.2), on the DASH model.
+
+Execution model
+---------------
+
+* The **main thread** runs on processor 0.  It walks the program in serial
+  order: each ``withonly`` charges task-creation time (synchronizer insert)
+  to processor 0; each serial section makes the main thread wait until the
+  section's declared accesses are enabled, then executes it inline on
+  processor 0.  While the main thread is blocked, processor 0's dispatcher
+  executes tasks like any other processor — and while it is *working*,
+  task creation is delayed, which is exactly the serialized task-management
+  bottleneck the paper measures for Ocean and Panel Cholesky.
+
+* **Dispatchers** pull tasks when their processor goes idle, through the
+  level-appropriate scheduler of :mod:`repro.runtime.scheduler_sm`.
+
+* **Communication is implicit**: a task's execution time is its compute
+  cost plus the DASH memory-system cost of its declared accesses, priced
+  by :class:`~repro.machines.cache.DirectoryCacheModel` against the live
+  coherence state.  That sum is what the paper's per-task timers measured
+  (Figures 6–9).
+
+* Bodies execute against a single global store at task completion;
+  dependence preservation by the synchronizer makes that equivalent to the
+  serial execution — asserted by the test-suite against ``run_stripped``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.core.objects import ObjectStore
+from repro.core.program import JadeProgram
+from repro.core.synchronizer import Synchronizer
+from repro.core.task import TaskContext, TaskSpec
+from repro.errors import DeadlockError
+from repro.machines.dash import DashMachine
+from repro.runtime.metrics import RunMetrics
+from repro.runtime.options import LocalityLevel, RuntimeOptions
+from repro.runtime.scheduler_sm import (
+    DistributedQueueScheduler,
+    SingleQueueScheduler,
+    SmScheduler,
+)
+
+
+class SharedMemoryRuntime:
+    """Executes one Jade program on a :class:`DashMachine`."""
+
+    def __init__(
+        self,
+        program: JadeProgram,
+        machine: DashMachine,
+        options: Optional[RuntimeOptions] = None,
+    ) -> None:
+        program.validate()
+        self.program = program
+        self.machine = machine
+        self.options = options or RuntimeOptions()
+        self.sim = machine.sim
+        self.sync = Synchronizer()
+        self.store = ObjectStore("dash-shared")
+        self.metrics = RunMetrics(
+            machine="dash",
+            application=program.name,
+            num_processors=machine.num_processors,
+            options=self.options,
+        )
+        if self.options.locality is LocalityLevel.NO_LOCALITY:
+            self.scheduler: SmScheduler = SingleQueueScheduler(machine.num_processors)
+        else:
+            self.scheduler = DistributedQueueScheduler(
+                machine.num_processors,
+                victim_executing=lambda p: p in self._executing_task,
+            )
+        #: Processors currently executing a parallel task body (steal
+        #: policy input; main-thread work does not count).
+        self._executing_task: Set[int] = set()
+
+        # main-thread state
+        self._next_op = 0
+        self._waiting_serial: Optional[TaskSpec] = None
+        self._serial_ready = False
+        self._main_done = False
+
+        self._completed = 0
+        self._idle: Set[int] = set(range(machine.num_processors))
+        self._poke_scheduled: Set[int] = set()
+        self._steal_scheduled: Set[int] = set()
+        # At the No Locality level the single shared queue is served in
+        # whatever order idle processors happen to reach it; real spin-loop
+        # timing made that order effectively random (hence the paper's
+        # ~1/P locality percentages).  Seeded for reproducibility.
+        from repro.util.rng import substream
+
+        self._grab_rng = substream(self.options.seed, "scheduler_sm.no_locality")
+        self.metrics.tasks_per_processor = [0] * machine.num_processors
+
+    # ------------------------------------------------------------------ #
+    # public entry point
+    # ------------------------------------------------------------------ #
+    def run(self) -> RunMetrics:
+        self._install_objects()
+        self.sim.deadlock_reporter = self._report_stall
+        if not self.program.tasks:
+            self._main_done = True
+        self._poke(0)
+        self.sim.run()
+        if self._completed != len(self.program.tasks) or not self._main_done:
+            raise DeadlockError(
+                f"shared-memory run finished {self._completed}/"
+                f"{len(self.program.tasks)} tasks; pending="
+                f"{self.sync.pending_tasks()[:10]}",
+                pending=len(self.program.tasks) - self._completed,
+            )
+        self.metrics.elapsed = self.sim.now
+        self.metrics.busy_per_processor = [
+            self.machine.processors.busy_time(p)
+            for p in range(self.machine.num_processors)
+        ]
+        return self.metrics
+
+    def _install_objects(self) -> None:
+        for obj in self.program.registry:
+            self.store.install(obj)
+            self.machine.place_object(obj.object_id, obj.sim_nbytes, obj.home_hint)
+
+    def _report_stall(self) -> str:
+        return (
+            f"main op {self._next_op}/{len(self.program.tasks)}, "
+            f"{self.scheduler.pending()} queued, pending sync tasks "
+            f"{self.sync.pending_tasks()[:5]}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # processor idle handling
+    # ------------------------------------------------------------------ #
+    def _poke(self, processor: int) -> None:
+        """Schedule an attempt to give ``processor`` work (deduplicated)."""
+        if processor in self._poke_scheduled:
+            return
+        self._poke_scheduled.add(processor)
+        self.sim.schedule(0.0, self._try_dispatch, processor)
+
+    def _poke_idle(self) -> None:
+        order = sorted(self._idle)
+        if self.options.locality is LocalityLevel.NO_LOCALITY and len(order) > 1:
+            order = [order[i] for i in self._grab_rng.permutation(len(order))]
+        for p in order:
+            self._poke(p)
+
+    def _try_dispatch(self, processor: int) -> None:
+        self._poke_scheduled.discard(processor)
+        if self.machine.processors.is_busy(processor):
+            return
+        # The main thread has priority on its own processor: creating
+        # tasks keeps the rest of the machine fed.
+        if processor == self.machine.main_processor and self._main_has_work():
+            self._main_step()
+            return
+        task = self.scheduler.pick(processor, allow_steal=False)
+        if task is None:
+            self._idle.add(processor)
+            # Before stealing, wait out the dispatch-loop patience: the
+            # processor's own task may be about to arrive.
+            if self.scheduler.pending() > 0 and processor not in self._steal_scheduled:
+                self._steal_scheduled.add(processor)
+                self.sim.schedule(
+                    self.machine.params.steal_patience_seconds,
+                    self._steal_attempt,
+                    processor,
+                )
+            return
+        self._idle.discard(processor)
+        self._execute(processor, task)
+
+    def _steal_attempt(self, processor: int) -> None:
+        self._steal_scheduled.discard(processor)
+        if self.machine.processors.is_busy(processor):
+            return
+        if processor == self.machine.main_processor and self._main_has_work():
+            self._main_step()
+            return
+        task = self.scheduler.pick(processor, allow_steal=True)
+        if task is None:
+            self._idle.add(processor)
+            return
+        self._idle.discard(processor)
+        self._execute(processor, task)
+
+    # ------------------------------------------------------------------ #
+    # main thread
+    # ------------------------------------------------------------------ #
+    def _main_has_work(self) -> bool:
+        if self._main_done:
+            return False
+        if self._waiting_serial is not None:
+            return self._serial_ready
+        return self._next_op < len(self.program.tasks)
+
+    def _main_step(self) -> None:
+        """Run the next main-thread action on processor 0."""
+        main = self.machine.main_processor
+        self._idle.discard(main)
+        if self._waiting_serial is not None:
+            assert self._serial_ready
+            task = self._waiting_serial
+            self._waiting_serial = None
+            self._serial_ready = False
+            self._execute(main, task)
+            return
+
+        task = self.program.tasks[self._next_op]
+        self._next_op += 1
+        if task.serial:
+            # Serial sections are main-thread code: no creation overhead,
+            # but the main thread must wait until the section may perform
+            # its declared accesses.
+            enabled = self.sync.add_task(task)
+            if enabled:
+                self._execute(main, task)
+            else:
+                self._waiting_serial = task
+                self._serial_ready = False
+                # Processor 0 is free to run other tasks meanwhile.
+                self._poke(main)
+            return
+
+        # Parallel task: creating it costs synchronizer-insert time on the
+        # main processor.
+        create = self.machine.params.task_create_seconds
+        self.metrics.mgmt_time_main += create
+
+        def _created() -> None:
+            if self.sync.add_task(task):
+                self._enqueue(task)
+            if self._next_op >= len(self.program.tasks) and self._waiting_serial is None:
+                self._main_done = True
+            self._poke(self.machine.main_processor)
+
+        self.machine.processors.run_on(main, create, _created)
+
+    # ------------------------------------------------------------------ #
+    # scheduling and execution
+    # ------------------------------------------------------------------ #
+    def _target_processor(self, task: TaskSpec) -> int:
+        """§3.2.1: the owner of the task's locality object.
+
+        This is both the scheduling target (which processor's queue gets
+        the task) and the reference point of the task-locality metric.
+        Explicitly placed tasks are routed by their placement instead, but
+        the metric still compares against the locality object's owner —
+        on DASH the two coincide because the programmer allocated each
+        object on the processor where its tasks are placed.
+        """
+        obj = task.locality_object
+        if obj is None:
+            return self.machine.main_processor
+        return self.machine.owner(obj.object_id)
+
+    def _enqueue(self, task: TaskSpec) -> None:
+        self.scheduler.enqueue(task, self._target_processor(task))
+        self._poke_idle()
+
+    def _execute(self, processor: int, task: TaskSpec) -> None:
+        """Run one task (or serial section) on ``processor``."""
+        compute = 0.0 if self.options.work_free else task.cost
+        comm = 0.0
+        if not self.options.work_free:
+            for decl in task.spec:
+                comm += self.machine.access_cost(
+                    processor, decl.obj.object_id, decl.obj.sim_nbytes,
+                    write=decl.mode.writes,
+                )
+        dispatch = 0.0 if task.serial else self.machine.params.task_dispatch_seconds
+        duration = compute + comm + dispatch
+        if not task.serial:
+            self._executing_task.add(processor)
+
+        def _finished() -> None:
+            self._executing_task.discard(processor)
+            self._on_task_finished(processor, task, compute, comm)
+
+        self.machine.processors.run_on(processor, duration, _finished)
+
+    def _on_task_finished(
+        self, processor: int, task: TaskSpec, compute: float, comm: float
+    ) -> None:
+        ctx = TaskContext(task, self.store, processor)
+        ctx.run_body()
+        for obj in task.spec.writes():
+            self.store.bump_version(
+                obj.object_id, self.sync.produced_version(task.task_id, obj.object_id)
+            )
+        self._completed += 1
+        if task.serial:
+            self.metrics.serial_sections_executed += 1
+        else:
+            self.metrics.tasks_executed += 1
+            self.metrics.tasks_per_processor[processor] += 1
+            self.metrics.task_time_total += compute + comm
+            self.metrics.task_compute_total += compute
+            self.metrics.task_comm_total += comm
+            if processor == self._target_processor(task):
+                self.metrics.tasks_on_target += 1
+        self.machine.tracer.emit(
+            self.sim.now, "task", "finish", task=task.task_id, proc=processor
+        )
+
+        for enabled_id in self.sync.complete_task(task):
+            enabled = self.program.tasks[enabled_id]
+            if enabled.serial:
+                # The main thread was waiting for this serial section.
+                assert self._waiting_serial is not None
+                assert self._waiting_serial.task_id == enabled_id
+                self._serial_ready = True
+                self._poke(self.machine.main_processor)
+            else:
+                self._enqueue(enabled)
+
+        if task.serial and self._next_op >= len(self.program.tasks):
+            self._main_done = True
+        self._poke(processor)
+
+
+def run_shared_memory(
+    program: JadeProgram,
+    num_processors: int,
+    options: Optional[RuntimeOptions] = None,
+    machine: Optional[DashMachine] = None,
+) -> RunMetrics:
+    """Convenience entry point: build a DASH machine and run the program."""
+    machine = machine or DashMachine(num_processors)
+    runtime = SharedMemoryRuntime(program, machine, options)
+    metrics = runtime.run()
+    metrics.final_store = runtime.store
+    return metrics

@@ -1,0 +1,48 @@
+"""The work-free transformation (§5.2.1 of the paper).
+
+"We quantitatively evaluate the task management overhead by executing a
+work-free version of the program that performs no computation in the
+parallel tasks and generates no shared object communication.  This version
+has the same concurrency pattern as the original; with explicit task
+placement corresponding tasks from the two versions execute on the same
+processor.  The task management percentage is the execution time of the
+work-free version of the program divided by the execution time of the
+original version."
+
+The runtimes implement the semantics behind ``RuntimeOptions.work_free``
+(zero cost, no object communication); this module provides the explicit
+program transformation for callers who want a separate program object —
+it strips bodies and costs but keeps every access specification, so the
+synchronizer extracts the identical concurrency pattern.
+"""
+
+from __future__ import annotations
+
+from repro.core.program import JadeProgram
+from repro.core.task import TaskSpec
+
+
+def make_work_free(program: JadeProgram) -> JadeProgram:
+    """Return a structurally identical program with no work in it."""
+    stripped_tasks = [
+        TaskSpec(
+            task.task_id,
+            task.name,
+            task.spec,
+            body=None,
+            cost=0.0,
+            placement=task.placement,
+            serial=task.serial,
+            phase=task.phase,
+            metadata=dict(task.metadata),
+        )
+        for task in program.tasks
+    ]
+    return JadeProgram(f"{program.name}+workfree", program.registry, stripped_tasks)
+
+
+def task_management_percentage(workfree_elapsed: float, original_elapsed: float) -> float:
+    """§5.2.1's ratio, as a percentage (clamped to [0, 100])."""
+    if original_elapsed <= 0:
+        return 0.0
+    return max(0.0, min(100.0, 100.0 * workfree_elapsed / original_elapsed))

@@ -1,0 +1,30 @@
+"""Discrete-event simulation substrate.
+
+The whole reproduction runs on this deterministic engine: simulated
+processors, network interfaces and runtime schedulers are all expressed as
+events and co-routine processes over a single virtual clock.  The engine is
+deliberately minimal — a binary-heap event queue with total deterministic
+ordering — because determinism is a tested invariant of the reproduction
+(identical configurations must produce identical traces and times).
+"""
+
+from repro.sim.engine import Simulator, Event, Delay, Wait, Signal, Process
+from repro.sim.resources import FifoResource
+from repro.sim.stats import Counter, Accumulator, TimeSeries, StatRegistry
+from repro.sim.trace import TraceEvent, Tracer
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Delay",
+    "Wait",
+    "Signal",
+    "Process",
+    "FifoResource",
+    "Counter",
+    "Accumulator",
+    "TimeSeries",
+    "StatRegistry",
+    "TraceEvent",
+    "Tracer",
+]

@@ -1,0 +1,269 @@
+"""The discrete-event engine: clock, event queue, signals and processes.
+
+Design notes
+------------
+
+* **Determinism.**  Events are ordered by ``(time, sequence)`` where the
+  sequence number is the order of scheduling.  Two events at the same
+  simulated time therefore fire in the order they were scheduled,
+  independent of hash randomization or dict ordering.  This property is
+  load-bearing: the reproduction's experiments compare runs configuration
+  against configuration, and nondeterministic tie-breaking would make the
+  "turn one optimization off" methodology of the paper unsound.
+
+* **Two programming styles.**  Most runtime machinery (schedulers,
+  communicators) is written callback-style with :meth:`Simulator.schedule`.
+  The Jade *main thread* — the serial program that creates tasks — is far
+  more natural as a co-routine, so the engine also supports generator-based
+  :class:`Process` objects which ``yield`` :class:`Delay` and :class:`Wait`
+  requests.
+
+* **No wall-clock anywhere.**  The engine never consults real time; the
+  clock only advances when the event queue says so.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.errors import DeadlockError, SimulationError
+
+
+class Event:
+    """A handle to a scheduled callback; supports cancellation.
+
+    Cancellation is lazy: the heap entry stays in the queue but is skipped
+    when popped.  This keeps :meth:`Simulator.schedule` and ``cancel`` O(log n)
+    and O(1) respectively.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., None], args: Tuple[Any, ...]):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if it already fired)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.6f} seq={self.seq} {state} {getattr(self.fn, '__name__', self.fn)}>"
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    >>> sim = Simulator()
+    >>> order = []
+    >>> _ = sim.schedule(2.0, order.append, "b")
+    >>> _ = sim.schedule(1.0, order.append, "a")
+    >>> sim.run()
+    >>> order, sim.now
+    (['a', 'b'], 2.0)
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[Event] = []
+        self._seq: int = 0
+        self._events_fired: int = 0
+        #: Optional callable returning a human description of blocked work,
+        #: consulted when :meth:`run` detects a stall (see :meth:`run`).
+        self.deadlock_reporter: Optional[Callable[[], str]] = None
+
+    # ------------------------------------------------------------------ #
+    # scheduling primitives
+    # ------------------------------------------------------------------ #
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay!r} seconds in the past")
+        return self.at(self.now + delay, fn, *args)
+
+    def at(self, time: float, fn: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time!r}, clock is already at t={self.now!r}"
+            )
+        event = Event(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def step(self) -> bool:
+        """Fire the next pending event.  Returns False when the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self._events_fired += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the event queue drains (or ``until``/``max_events`` hit).
+
+        ``max_events`` is a safety valve for tests; exceeding it raises
+        :class:`SimulationError` because a healthy simulation of our scale
+        terminates long before any sane bound.
+        """
+        fired = 0
+        while self._queue:
+            if until is not None and self.peek_time() is not None and self.peek_time() > until:
+                self.now = until
+                return
+            if not self.step():
+                break
+            fired += 1
+            if max_events is not None and fired > max_events:
+                raise SimulationError(f"exceeded max_events={max_events}; runaway simulation?")
+
+    def peek_time(self) -> Optional[float]:
+        """Return the timestamp of the next live event, or ``None``."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events executed so far (for determinism checks)."""
+        return self._events_fired
+
+    def check_quiescent(self, blocked: int) -> None:
+        """Raise :class:`DeadlockError` if work is blocked but no events remain.
+
+        Runtimes call this after :meth:`run` returns: ``blocked`` is the
+        number of tasks/processes still waiting.  A positive count with an
+        empty event queue means somebody is waiting for a wakeup that will
+        never come.
+        """
+        if blocked > 0 and self.pending_events == 0:
+            detail = self.deadlock_reporter() if self.deadlock_reporter else ""
+            raise DeadlockError(
+                f"simulation stalled with {blocked} blocked item(s) at t={self.now:.6f}"
+                + (f": {detail}" if detail else ""),
+                pending=blocked,
+            )
+
+
+# ---------------------------------------------------------------------- #
+# co-routine processes
+# ---------------------------------------------------------------------- #
+@dataclass
+class Delay:
+    """Yielded by a process to sleep for ``seconds`` of simulated time."""
+
+    seconds: float
+
+
+@dataclass
+class Wait:
+    """Yielded by a process to block until ``signal`` fires."""
+
+    signal: "Signal"
+
+
+class Signal:
+    """A broadcast wakeup: processes and callbacks wait, ``fire`` releases all.
+
+    Signals are single-shot by default (``fire`` wakes current waiters and
+    marks the signal set, so later waiters pass through immediately) which
+    matches how runtimes use them: "object version v has arrived",
+    "task t completed".
+    """
+
+    __slots__ = ("sim", "name", "_waiters", "fired", "payload")
+
+    def __init__(self, sim: Simulator, name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._waiters: List[Callable[[Any], None]] = []
+        self.fired = False
+        self.payload: Any = None
+
+    def wait(self, callback: Callable[[Any], None]) -> None:
+        """Invoke ``callback(payload)`` when the signal fires.
+
+        If the signal already fired the callback is scheduled immediately
+        (still through the event queue, to preserve deterministic ordering
+        relative to other same-time events).
+        """
+        if self.fired:
+            self.sim.schedule(0.0, callback, self.payload)
+        else:
+            self._waiters.append(callback)
+
+    def fire(self, payload: Any = None) -> None:
+        """Fire the signal, waking every waiter with ``payload``."""
+        if self.fired:
+            raise SimulationError(f"signal {self.name!r} fired twice")
+        self.fired = True
+        self.payload = payload
+        waiters, self._waiters = self._waiters, []
+        for callback in waiters:
+            self.sim.schedule(0.0, callback, payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Signal {self.name!r} fired={self.fired} waiters={len(self._waiters)}>"
+
+
+class Process:
+    """Drives a generator as a simulated process.
+
+    The generator may yield:
+
+    * :class:`Delay` — advance this process's local activity by simulated time;
+    * :class:`Wait`  — block until a :class:`Signal` fires (the signal's
+      payload is sent back into the generator);
+    * ``None``       — yield the processor for one zero-delay event round
+      (used to let same-time events interleave deterministically).
+
+    ``done`` is a :class:`Signal` fired when the generator returns.
+    """
+
+    def __init__(self, sim: Simulator, gen: Generator[Any, Any, Any], name: str = "proc"):
+        self.sim = sim
+        self.gen = gen
+        self.name = name
+        self.done = Signal(sim, f"{name}.done")
+        self.result: Any = None
+        sim.schedule(0.0, self._advance, None)
+
+    def _advance(self, sent: Any) -> None:
+        try:
+            request = self.gen.send(sent)
+        except StopIteration as stop:
+            self.result = stop.value
+            self.done.fire(stop.value)
+            return
+        if request is None:
+            self.sim.schedule(0.0, self._advance, None)
+        elif isinstance(request, Delay):
+            self.sim.schedule(request.seconds, self._advance, None)
+        elif isinstance(request, Wait):
+            request.signal.wait(self._advance)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported request {request!r}"
+            )

@@ -1,0 +1,163 @@
+"""FIFO service resources.
+
+A :class:`FifoResource` models a component that serves one job at a time in
+arrival order — a network interface serializing message sends, a hypercube
+link, the main processor's task-management engine.  Jobs specify a service
+time; the resource tracks utilization so experiments can report how busy a
+component was (e.g. the paper's "task management percentage" is main-CPU
+utilization by runtime work).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional, Tuple
+
+from repro.sim.engine import Simulator
+
+
+class FifoResource:
+    """A single server with an unbounded FIFO queue.
+
+    ``submit(service_time, done)`` enqueues a job; ``done(start, finish)``
+    is invoked (via the event queue) when the job's service completes.
+
+    >>> sim = Simulator()
+    >>> nic = FifoResource(sim, "nic")
+    >>> finishes = []
+    >>> nic.submit(1.0, lambda s, f: finishes.append((s, f)))
+    >>> nic.submit(0.5, lambda s, f: finishes.append((s, f)))
+    >>> sim.run()
+    >>> finishes
+    [(0.0, 1.0), (1.0, 1.5)]
+    """
+
+    def __init__(self, sim: Simulator, name: str = "resource") -> None:
+        self.sim = sim
+        self.name = name
+        self._busy_until: float = 0.0
+        self._busy_time: float = 0.0
+        self._jobs_served: int = 0
+        self._pending: int = 0
+
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        service_time: float,
+        done: Callable[[float, float], None],
+        tag: Any = None,
+    ) -> None:
+        """Enqueue a job needing ``service_time`` seconds of this resource.
+
+        The queue is FIFO with no cancellation, so each job's service
+        window is fully determined at submission: it starts when every
+        previously submitted job has finished.  ``busy_until`` therefore
+        always accounts for *queued* work, not just the job in service —
+        callers (the network's wormhole pipelining) rely on that.
+        """
+        if service_time < 0:
+            raise ValueError(f"negative service time {service_time!r}")
+        start = max(self.sim.now, self._busy_until)
+        finish = start + service_time
+        self._busy_until = finish
+        self._busy_time += service_time
+        self._jobs_served += 1
+        self._pending += 1
+
+        def _complete() -> None:
+            self._pending -= 1
+            done(start, finish)
+
+        self.sim.at(finish, _complete)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def queue_length(self) -> int:
+        """Jobs submitted and not yet completed, minus the one in service."""
+        return max(0, self._pending - 1)
+
+    @property
+    def busy_until(self) -> float:
+        """Time at which all submitted (including queued) work completes."""
+        return self._busy_until
+
+    @property
+    def busy_time(self) -> float:
+        """Cumulative service time delivered (utilization numerator)."""
+        return self._busy_time
+
+    @property
+    def jobs_served(self) -> int:
+        """Number of jobs whose service has started."""
+        return self._jobs_served
+
+    def utilization(self, horizon: Optional[float] = None) -> float:
+        """Fraction of ``horizon`` (default: current clock) spent serving."""
+        horizon = horizon if horizon is not None else self.sim.now
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self._busy_time / horizon)
+
+
+class PriorityFifoResource:
+    """A single server with two FIFO classes: urgent before normal.
+
+    Non-preemptive: a running job finishes, then the server takes the next
+    urgent job if any, else the next normal job.  Models a processor whose
+    runtime engine (task creation, scheduling, completion handling) runs
+    ahead of queued application task bodies — the dispatcher "serially
+    executes its set of executable tasks" only when no runtime work is
+    pending.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "priority-resource") -> None:
+        self.sim = sim
+        self.name = name
+        self._urgent: Deque[Tuple[float, Callable[[float, float], None]]] = deque()
+        self._normal: Deque[Tuple[float, Callable[[float, float], None]]] = deque()
+        self._busy_time = 0.0
+        self._jobs_served = 0
+        self._serving = False
+
+    def submit(
+        self,
+        service_time: float,
+        done: Callable[[float, float], None],
+        urgent: bool = False,
+    ) -> None:
+        """Enqueue a job; ``urgent=True`` jobs run before any normal job."""
+        if service_time < 0:
+            raise ValueError(f"negative service time {service_time!r}")
+        (self._urgent if urgent else self._normal).append((service_time, done))
+        if not self._serving:
+            self._serve_next()
+
+    def _serve_next(self) -> None:
+        queue = self._urgent if self._urgent else self._normal
+        if not queue:
+            self._serving = False
+            return
+        self._serving = True
+        service_time, done = queue.popleft()
+        start = self.sim.now
+        finish = start + service_time
+        self._busy_time += service_time
+        self._jobs_served += 1
+
+        def _complete() -> None:
+            done(start, finish)
+            self._serve_next()
+
+        self.sim.at(finish, _complete)
+
+    @property
+    def busy_time(self) -> float:
+        return self._busy_time
+
+    @property
+    def jobs_served(self) -> int:
+        return self._jobs_served
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._urgent) + len(self._normal)

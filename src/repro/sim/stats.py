@@ -1,0 +1,127 @@
+"""Statistics primitives used by the machine models and runtimes.
+
+The paper's evaluation is built from a handful of aggregate quantities —
+counts (tasks executed, messages sent), sums (bytes transferred, time in
+application code), and per-processor time series.  These classes collect
+those quantities with zero interpretation; the ``runtime.metrics`` module
+assembles them into the paper's derived measures (task locality percentage,
+communication-to-computation ratio, task management percentage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+
+class Counter:
+    """An integer event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.value = 0
+
+    def incr(self, by: int = 1) -> None:
+        self.value += by
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Accumulator:
+    """A running sum with count/min/max, for durations and byte volumes."""
+
+    __slots__ = ("name", "total", "count", "min", "max")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.total = 0.0
+        self.count = 0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def add(self, value: float) -> None:
+        self.total += value
+        self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the added values (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Accumulator {self.name} total={self.total:.6g} n={self.count}>"
+
+
+class TimeSeries:
+    """An append-only list of ``(time, value)`` samples."""
+
+    __slots__ = ("name", "samples")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.samples: List[Tuple[float, float]] = []
+
+    def record(self, time: float, value: float) -> None:
+        self.samples.append((time, value))
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        return iter(self.samples)
+
+    def last(self) -> Tuple[float, float]:
+        if not self.samples:
+            raise IndexError("empty time series")
+        return self.samples[-1]
+
+
+@dataclass
+class StatRegistry:
+    """A named bag of counters/accumulators/series.
+
+    Components create their stats through the registry so reports can
+    enumerate everything that was measured without knowing the component.
+    """
+
+    counters: Dict[str, Counter] = field(default_factory=dict)
+    accumulators: Dict[str, Accumulator] = field(default_factory=dict)
+    series: Dict[str, TimeSeries] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def accumulator(self, name: str) -> Accumulator:
+        if name not in self.accumulators:
+            self.accumulators[name] = Accumulator(name)
+        return self.accumulators[name]
+
+    def timeseries(self, name: str) -> TimeSeries:
+        if name not in self.series:
+            self.series[name] = TimeSeries(name)
+        return self.series[name]
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flatten every stat to a scalar (series report their last value)."""
+        out: Dict[str, float] = {}
+        for name, c in self.counters.items():
+            out[f"counter.{name}"] = float(c.value)
+        for name, a in self.accumulators.items():
+            out[f"sum.{name}"] = a.total
+            out[f"mean.{name}"] = a.mean
+        for name, s in self.series.items():
+            if len(s):
+                out[f"last.{name}"] = s.last()[1]
+        return out

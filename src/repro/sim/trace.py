@@ -1,0 +1,77 @@
+"""Structured execution tracing.
+
+Traces serve two purposes in the reproduction:
+
+1. **Determinism checks** — tests assert that two runs of the same
+   configuration produce byte-identical traces.
+2. **Debuggability** — when a scheduler or coherence protocol misbehaves,
+   a filtered trace of ``task``/``message``/``object`` events is the fastest
+   way to see the interleaving.
+
+Tracing is off by default (``Tracer(enabled=False)`` records nothing) so the
+hot simulation paths pay only a predicate check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record: ``(time, category, label, attributes)``."""
+
+    time: float
+    category: str
+    label: str
+    attrs: Tuple[Tuple[str, Any], ...] = ()
+
+    def attr(self, key: str, default: Any = None) -> Any:
+        for k, v in self.attrs:
+            if k == key:
+                return v
+        return default
+
+    def format(self) -> str:
+        """Render the event as a stable, human-readable line."""
+        parts = " ".join(f"{k}={v}" for k, v in self.attrs)
+        return f"[{self.time:.9f}] {self.category}:{self.label}" + (f" {parts}" if parts else "")
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records, optionally filtered by category."""
+
+    def __init__(self, enabled: bool = True, categories: Optional[Iterable[str]] = None):
+        self.enabled = enabled
+        self.categories = set(categories) if categories is not None else None
+        self.events: List[TraceEvent] = []
+
+    def emit(self, time: float, category: str, label: str, **attrs: Any) -> None:
+        """Record one event (no-op when disabled or category filtered out)."""
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        self.events.append(TraceEvent(time, category, label, tuple(sorted(attrs.items()))))
+
+    def filter(self, category: str) -> List[TraceEvent]:
+        """Return the recorded events of one category, in order."""
+        return [e for e in self.events if e.category == category]
+
+    def format(self) -> str:
+        """Render the full trace as newline-separated stable text."""
+        return "\n".join(e.format() for e in self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def histogram(self) -> Dict[str, int]:
+        """Count events per category — cheap sanity check in tests."""
+        out: Dict[str, int] = {}
+        for e in self.events:
+            out[e.category] = out.get(e.category, 0) + 1
+        return out

@@ -1,0 +1,30 @@
+"""Small shared utilities: identifier allocation, unit helpers, RNG streams.
+
+These helpers keep the rest of the package deterministic: every identifier
+comes from an explicit counter (no global state shared between simulations)
+and every random stream is derived from an explicit seed.
+"""
+
+from repro.util.ids import IdAllocator
+from repro.util.units import (
+    KB,
+    MB,
+    USEC,
+    MSEC,
+    CYCLES,
+    bytes_human,
+    seconds_human,
+)
+from repro.util.rng import substream
+
+__all__ = [
+    "IdAllocator",
+    "KB",
+    "MB",
+    "USEC",
+    "MSEC",
+    "CYCLES",
+    "bytes_human",
+    "seconds_human",
+    "substream",
+]

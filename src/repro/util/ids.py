@@ -1,0 +1,46 @@
+"""Deterministic identifier allocation.
+
+Simulations must be reproducible run-to-run, so identifiers are handed out
+by per-simulation :class:`IdAllocator` instances instead of module-global
+counters.  Each allocator hands out consecutive integers per *namespace*
+(e.g. ``"task"``, ``"object"``, ``"message"``), which also makes traces easy
+to read: the fifth task created is always ``task 4``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict
+
+
+class IdAllocator:
+    """Allocates consecutive integer ids per namespace.
+
+    >>> ids = IdAllocator()
+    >>> ids.next("task"), ids.next("task"), ids.next("object")
+    (0, 1, 0)
+    """
+
+    def __init__(self) -> None:
+        self._next: Dict[str, int] = defaultdict(int)
+
+    def next(self, namespace: str) -> int:
+        """Return the next id in ``namespace`` and advance the counter."""
+        value = self._next[namespace]
+        self._next[namespace] = value + 1
+        return value
+
+    def peek(self, namespace: str) -> int:
+        """Return the id that the next :meth:`next` call would hand out."""
+        return self._next[namespace]
+
+    def count(self, namespace: str) -> int:
+        """Return how many ids have been allocated in ``namespace``."""
+        return self._next[namespace]
+
+    def reset(self, namespace: str | None = None) -> None:
+        """Reset one namespace (or all namespaces when ``None``)."""
+        if namespace is None:
+            self._next.clear()
+        else:
+            self._next.pop(namespace, None)

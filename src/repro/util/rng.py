@@ -1,0 +1,30 @@
+"""Deterministic random-stream derivation.
+
+Applications need randomness (molecule placement, ray perturbations,
+synthetic matrix sparsity) but every simulation must be bit-reproducible.
+All randomness therefore flows from ``numpy.random.Generator`` instances
+derived from an explicit ``(seed, label)`` pair, so two components of one
+experiment never share (and never race on) a stream.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+
+def substream(seed: int, label: str) -> np.random.Generator:
+    """Return a generator for the stream identified by ``(seed, label)``.
+
+    The label is folded into the seed with CRC32 so distinct labels give
+    statistically independent streams while remaining stable across runs
+    and Python versions (``hash()`` is salted per-process, CRC32 is not).
+
+    >>> a = substream(7, "water.positions").random()
+    >>> b = substream(7, "water.positions").random()
+    >>> a == b
+    True
+    """
+    mixed = (int(seed) & 0xFFFFFFFF, zlib.crc32(label.encode("utf-8")))
+    return np.random.default_rng(np.random.SeedSequence(mixed))

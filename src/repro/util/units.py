@@ -1,0 +1,50 @@
+"""Unit constants and human-readable formatting.
+
+Simulated time is kept in **seconds** (floats) throughout the package; these
+constants document conversions at call sites (``47 * USEC`` reads better
+than ``4.7e-05``).  Sizes are kept in **bytes** (ints).
+"""
+
+from __future__ import annotations
+
+#: One kilobyte (1024 bytes) — matches the paper's usage for cache sizes.
+KB = 1024
+
+#: One megabyte (1024 * 1024 bytes).  The paper quotes link bandwidth in
+#: "megabytes per second"; we interpret that as 2^20 bytes/s, consistent
+#: with 1990s convention.
+MB = 1024 * 1024
+
+#: One microsecond expressed in seconds.
+USEC = 1e-6
+
+#: One millisecond expressed in seconds.
+MSEC = 1e-3
+
+
+def CYCLES(n: float, hz: float) -> float:
+    """Convert ``n`` processor cycles at clock rate ``hz`` to seconds.
+
+    >>> CYCLES(33, 33e6)
+    1e-06
+    """
+    return n / hz
+
+
+def bytes_human(n: float) -> str:
+    """Format a byte count for reports (``'162.0 KB'``, ``'2.8 MB'``)."""
+    n = float(n)
+    if n >= MB:
+        return f"{n / MB:.1f} MB"
+    if n >= KB:
+        return f"{n / KB:.1f} KB"
+    return f"{n:.0f} B"
+
+
+def seconds_human(t: float) -> str:
+    """Format a duration for reports, switching units below one second."""
+    if t >= 1.0:
+        return f"{t:.2f} s"
+    if t >= MSEC:
+        return f"{t / MSEC:.2f} ms"
+    return f"{t / USEC:.1f} us"

@@ -1,0 +1,119 @@
+"""Shared test helpers: small synthetic Jade programs with known answers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import AccessSpec, JadeBuilder, JadeProgram
+
+
+def reduction_program(num_workers: int = 8, iterations: int = 2,
+                      cost: float = 1e-3, hint_homes: bool = True) -> JadeProgram:
+    """A Water-shaped program: parallel accumulate phases + serial reductions.
+
+    Each iteration: every worker reads a shared ``state`` array and writes
+    its own contribution array; a serial section reduces the contributions
+    and rewrites ``state``.  The final state is analytically known.
+    """
+    jade = JadeBuilder()
+    state = jade.object("state", initial=np.ones(16), sim_nbytes=4096)
+    contribs = [
+        jade.object(
+            f"contrib{w}", initial=np.zeros(16), sim_nbytes=4096,
+            home=(w if hint_homes else None),
+        )
+        for w in range(num_workers)
+    ]
+
+    def work(w):
+        def body(ctx):
+            out = ctx.wr(contribs[w])
+            out[:] = ctx.rd(state) * (w + 1)
+        return body
+
+    def reduce_body(ctx):
+        total = np.zeros(16)
+        for c in contribs:
+            total += ctx.rd(c)
+        ctx.wr(state)[:] = total / (len(contribs) * (len(contribs) + 1) / 2.0)
+
+    for it in range(iterations):
+        for w in range(num_workers):
+            # Declare the contribution array first: it is the locality
+            # object, exactly as in the paper's Water application.
+            jade.task(f"work.{it}.{w}", body=work(w),
+                      spec=AccessSpec().wr(contribs[w]).rd(state),
+                      cost=cost, phase=f"par{it}")
+        jade.serial(f"reduce.{it}", body=reduce_body,
+                    rd=contribs, wr=[state], cost=cost / 2, phase=f"ser{it}")
+    return jade.finish("reduction")
+
+
+def chain_program(length: int = 10, cost: float = 1e-4) -> JadeProgram:
+    """A fully serial dependence chain through one object."""
+    jade = JadeBuilder()
+    acc = jade.object("acc", initial=np.zeros(1))
+
+    def step(k):
+        def body(ctx):
+            ctx.wr(acc)[0] = ctx.rd(acc)[0] * 2 + k
+        return body
+
+    for k in range(length):
+        jade.task(f"step{k}", body=step(k), rw=[acc], cost=cost)
+    return jade.finish("chain")
+
+
+def fanout_program(num_readers: int = 8, cost: float = 1e-3,
+                   nbytes: int = 100_000) -> JadeProgram:
+    """One producer, many concurrent readers of a large object."""
+    jade = JadeBuilder()
+    data = jade.object("data", initial=np.zeros(8), sim_nbytes=nbytes)
+    sinks = [jade.object(f"sink{i}", initial=np.zeros(8), home=i)
+             for i in range(num_readers)]
+
+    def produce(ctx):
+        ctx.wr(data)[:] = np.arange(8.0)
+
+    def consume(i):
+        def body(ctx):
+            ctx.wr(sinks[i])[:] = ctx.rd(data) + i
+        return body
+
+    jade.serial("produce", body=produce, wr=[data], cost=cost)
+    for i in range(num_readers):
+        jade.task(f"read{i}", body=consume(i),
+                  spec=AccessSpec().wr(sinks[i]).rd(data), cost=cost)
+    return jade.finish("fanout")
+
+
+def independent_program(num_tasks: int = 16, cost: float = 1e-3) -> JadeProgram:
+    """Embarrassingly parallel: each task owns its object."""
+    jade = JadeBuilder()
+    cells = [jade.object(f"cell{i}", initial=np.zeros(4), home=i)
+             for i in range(num_tasks)]
+
+    def fill(i):
+        def body(ctx):
+            ctx.wr(cells[i])[:] = i
+        return body
+
+    for i in range(num_tasks):
+        jade.task(f"fill{i}", body=fill(i), wr=[cells[i]], cost=cost)
+    return jade.finish("independent")
+
+
+def assert_matches_stripped(program: JadeProgram, metrics) -> None:
+    """Every parallel run must reproduce the stripped serial results."""
+    from repro.core import run_stripped
+
+    serial = run_stripped(program)
+    store = metrics.final_store
+    assert store is not None
+    for obj in program.registry:
+        expected = serial.payload(obj)
+        actual = store.get(obj.object_id)
+        if isinstance(expected, np.ndarray):
+            assert np.array_equal(expected, actual), f"object {obj.name} differs"
+        else:
+            assert expected == actual, f"object {obj.name} differs"

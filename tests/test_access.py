@@ -1,0 +1,83 @@
+"""Unit tests for access modes and access specifications."""
+
+import pytest
+
+from repro.core import AccessMode, AccessSpec, ObjectRegistry
+from repro.errors import SpecificationError
+
+
+@pytest.fixture()
+def objs():
+    reg = ObjectRegistry()
+    return [reg.create(f"o{i}") for i in range(4)]
+
+
+def test_mode_read_write_predicates():
+    assert AccessMode.RD.reads and not AccessMode.RD.writes
+    assert AccessMode.WR.writes and not AccessMode.WR.reads
+    assert AccessMode.RW.reads and AccessMode.RW.writes
+
+
+def test_mode_conflicts():
+    assert not AccessMode.RD.conflicts_with(AccessMode.RD)
+    assert AccessMode.RD.conflicts_with(AccessMode.WR)
+    assert AccessMode.WR.conflicts_with(AccessMode.RD)
+    assert AccessMode.RW.conflicts_with(AccessMode.RW)
+
+
+def test_declaration_order_preserved(objs):
+    spec = AccessSpec().wr(objs[2]).rd(objs[0]).rd(objs[1])
+    assert [d.obj for d in spec] == [objs[2], objs[0], objs[1]]
+    assert spec.locality_object is objs[2]
+
+
+def test_constructor_lists(objs):
+    spec = AccessSpec(rd=[objs[0], objs[1]], wr=[objs[2]])
+    assert spec.may_read(objs[0])
+    assert spec.may_write(objs[2])
+    assert not spec.may_write(objs[0])
+    assert not spec.declares(objs[3])
+    assert len(spec) == 3
+
+
+def test_duplicate_declaration_merges_to_rw(objs):
+    spec = AccessSpec().rd(objs[0]).wr(objs[0])
+    assert spec.mode_of(objs[0]) is AccessMode.RW
+    assert len(spec) == 1
+    # The merged object keeps its first-declaration position.
+    spec2 = AccessSpec().rd(objs[1]).rd(objs[0]).wr(objs[1])
+    assert spec2.locality_object is objs[1]
+
+
+def test_rw_declaration(objs):
+    spec = AccessSpec(rw=[objs[0]])
+    assert spec.may_read(objs[0]) and spec.may_write(objs[0])
+
+
+def test_reads_writes_lists(objs):
+    spec = AccessSpec().wr(objs[0]).rd(objs[1]).rw(objs[2])
+    assert spec.reads() == [objs[1], objs[2]]
+    assert spec.writes() == [objs[0], objs[2]]
+    assert spec.objects() == [objs[0], objs[1], objs[2]]
+
+
+def test_conflicts_between_specs(objs):
+    reader = AccessSpec(rd=[objs[0]])
+    reader2 = AccessSpec(rd=[objs[0]])
+    writer = AccessSpec(wr=[objs[0]])
+    other = AccessSpec(wr=[objs[1]])
+    assert not reader.conflicts_with(reader2)
+    assert reader.conflicts_with(writer)
+    assert writer.conflicts_with(reader)
+    assert not writer.conflicts_with(other)
+
+
+def test_empty_spec_has_no_locality_object():
+    spec = AccessSpec()
+    assert spec.locality_object is None
+    assert len(spec) == 0
+
+
+def test_non_object_declaration_rejected():
+    with pytest.raises(SpecificationError):
+        AccessSpec().rd("not-an-object")

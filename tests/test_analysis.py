@@ -1,0 +1,116 @@
+"""Tests for the program-analysis tools."""
+
+import networkx as nx
+import pytest
+
+from repro.core import AccessSpec, JadeBuilder
+from repro.lab.analysis import (
+    average_parallelism,
+    concurrency_profile,
+    critical_path,
+    dependence_edges,
+    dependence_graph,
+    max_speedup,
+    summarize,
+)
+
+from tests.helpers import chain_program, fanout_program, independent_program
+
+
+def diamond_program():
+    """a -> (b, c) -> d with known costs."""
+    jade = JadeBuilder()
+    src = jade.object("src")
+    left = jade.object("left")
+    right = jade.object("right")
+    jade.task("a", wr=[src], cost=1.0)
+    jade.task("b", spec=AccessSpec().wr(left).rd(src), cost=2.0)
+    jade.task("c", spec=AccessSpec().wr(right).rd(src), cost=3.0)
+    jade.task("d", rd=[left, right], cost=1.0)
+    return jade.finish("diamond")
+
+
+def test_dependence_edges_diamond():
+    program = diamond_program()
+    assert dependence_edges(program) == [(0, 1), (0, 2), (1, 3), (2, 3)]
+
+
+def test_war_dependence():
+    """A writer after readers must depend on every reader."""
+    jade = JadeBuilder()
+    o = jade.object("o")
+    jade.task("w0", wr=[o], cost=1.0)
+    jade.task("r1", rd=[o], cost=1.0)
+    jade.task("r2", rd=[o], cost=1.0)
+    jade.task("w3", wr=[o], cost=1.0)
+    edges = dependence_edges(jade.finish("war"))
+    assert (1, 3) in edges and (2, 3) in edges  # write-after-read
+    assert (0, 1) in edges and (0, 2) in edges  # read-after-write
+    assert (0, 3) in edges                      # write-after-write
+
+
+def test_graph_is_a_dag_and_respects_program_order():
+    program = fanout_program(num_readers=5)
+    graph = dependence_graph(program)
+    assert nx.is_directed_acyclic_graph(graph)
+    for a, b in graph.edges:
+        assert a < b  # dependences always point forward in program order
+
+
+def test_critical_path_diamond():
+    path = critical_path(diamond_program())
+    assert path.length_seconds == pytest.approx(1.0 + 3.0 + 1.0)
+    assert path.task_ids == [0, 2, 3]
+
+
+def test_chain_has_no_parallelism():
+    program = chain_program(length=10, cost=1e-3)
+    assert max_speedup(program) == pytest.approx(1.0)
+    assert average_parallelism(program) == pytest.approx(1.0)
+
+
+def test_independent_program_fully_parallel():
+    program = independent_program(num_tasks=8, cost=1e-3)
+    assert max_speedup(program) == pytest.approx(8.0)
+    profile = concurrency_profile(program)
+    assert max(w for _, w in profile) == 8
+
+
+def test_concurrency_profile_diamond():
+    profile = concurrency_profile(diamond_program())
+    # t=0..1: a alone; t=1..3: b and c; t=3..4: c alone; t=4..5: d.
+    widths = dict(profile)
+    assert widths[0.0] == 1
+    assert widths[1.0] == 2
+    assert widths[3.0] == 1
+    assert profile[-1][1] == 0
+
+
+def test_zero_cost_tasks_do_not_break_profile():
+    jade = JadeBuilder()
+    o = jade.object("o")
+    jade.task("free", wr=[o], cost=0.0)
+    jade.task("work", rw=[o], cost=1.0)
+    profile = concurrency_profile(jade.finish("z"))
+    assert max(w for _, w in profile) == 1
+
+
+def test_summarize_keys_and_cholesky_lack_of_concurrency():
+    """§5.2.1: Panel Cholesky has limited inherent concurrency — far less
+    than its task count would suggest."""
+    from repro.apps import CholeskyConfig, MachineKind, PanelCholesky
+
+    app = PanelCholesky(CholeskyConfig.tiny())
+    program = app.build(8, machine=MachineKind.IPSC860)
+    info = summarize(program)
+    for key in ("tasks", "total_work_s", "critical_path_s",
+                "critical_path_tasks", "max_speedup", "average_parallelism"):
+        assert key in info
+    assert 1.0 < info["max_speedup"] < info["tasks"]
+
+
+def test_empty_program_analysis():
+    program = JadeBuilder().finish("empty")
+    assert dependence_edges(program) == []
+    assert critical_path(program).length_seconds == 0.0
+    assert average_parallelism(program) == 0.0

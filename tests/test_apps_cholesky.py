@@ -1,0 +1,172 @@
+"""Tests for Panel Cholesky and its sparse-matrix substrate."""
+
+import numpy as np
+import pytest
+
+from repro.apps import CholeskyConfig, MachineKind, PanelCholesky, sparse
+from repro.core import run_stripped
+from repro.runtime import RuntimeOptions, run_message_passing, run_shared_memory
+from repro.runtime.options import LocalityLevel
+
+from tests.helpers import assert_matches_stripped
+
+
+# --------------------------------------------------------------------- #
+# sparse substrate
+# --------------------------------------------------------------------- #
+def test_pattern_has_diagonal_and_is_lower():
+    pattern = sparse.synthetic_spd_pattern(50, band=10)
+    for j, rows in enumerate(pattern):
+        assert rows[0] == j
+        assert np.all(rows >= j)
+        assert np.all(rows < 50)
+
+
+def test_spd_matrix_is_positive_definite():
+    pattern = sparse.synthetic_spd_pattern(40, band=8)
+    A = sparse.build_spd_matrix(pattern)
+    assert np.allclose(A, A.T)
+    eigenvalues = np.linalg.eigvalsh(A)
+    assert np.min(eigenvalues) > 0
+
+
+def test_panelize():
+    panels = sparse.panelize(25, 8)
+    assert panels == [(0, 8), (8, 16), (16, 24), (24, 25)]
+
+
+def test_panel_dag_includes_direct_overlaps():
+    pattern = sparse.synthetic_spd_pattern(60, band=15)
+    panels = sparse.panelize(60, 10)
+    struct = sparse.panel_dag(pattern, panels)
+    # Direct panel-block nonzeros must appear in the DAG.
+    panel_of = np.zeros(60, dtype=int)
+    for idx, (lo, hi) in enumerate(panels):
+        panel_of[lo:hi] = idx
+    for j, rows in enumerate(pattern):
+        pj = panel_of[j]
+        for pi in np.unique(panel_of[rows]):
+            if pi > pj:
+                assert pi in struct[pj]
+
+
+def test_panel_dag_contains_fill():
+    """A hand-built arrow pattern: eliminating panel 0 must couple its
+    neighbours even though they share no stored nonzero."""
+    n, w = 6, 1
+    pattern = [np.array([0, 2, 4])] + [np.array([j]) for j in range(1, n)]
+    # Make columns 2 and 4 otherwise uncoupled.
+    struct = sparse.panel_dag(pattern, sparse.panelize(n, w))
+    assert 4 in struct[2]  # fill edge created by eliminating column 0
+
+
+def test_panel_dag_matches_numeric_fill():
+    """The symbolic panel DAG must cover every numerically nonzero panel
+    update of the real factorization."""
+    n, w = 48, 6
+    pattern = sparse.synthetic_spd_pattern(n, band=10, extras_per_col=1.0)
+    panels = sparse.panelize(n, w)
+    struct = sparse.panel_dag(pattern, panels)
+    A = sparse.build_spd_matrix(pattern)
+    L = np.linalg.cholesky(A)
+    for k, (lo_k, hi_k) in enumerate(panels):
+        for j, (lo_j, hi_j) in enumerate(panels):
+            if j <= k:
+                continue
+            block = L[lo_j:hi_j, lo_k:hi_k]
+            if np.any(np.abs(block) > 1e-12):
+                assert j in struct[k], f"numeric nonzero panel ({j},{k}) missing"
+
+
+def test_flop_model_positive_and_consistent():
+    pattern = sparse.synthetic_spd_pattern(60, band=12)
+    panels = sparse.panelize(60, 10)
+    struct = sparse.panel_dag(pattern, panels)
+    flops = sparse.panel_flops(panels, struct)
+    assert len(flops.internal) == len(panels)
+    assert all(f > 0 for f in flops.internal)
+    assert set(flops.external) == {
+        (k, j) for k in range(len(panels)) for j in struct[k]
+    }
+    assert flops.total() > 0
+
+
+# --------------------------------------------------------------------- #
+# the application
+# --------------------------------------------------------------------- #
+def test_task_inventory_matches_paper_description():
+    app = PanelCholesky(CholeskyConfig.tiny())
+    prog = app.build(4)
+    internal = [t for t in prog.parallel_tasks if t.metadata["kind"] == "internal"]
+    external = [t for t in prog.parallel_tasks if t.metadata["kind"] == "external"]
+    assert len(internal) == len(app.panels)
+    assert len(external) == sum(len(s) for s in app.struct)
+    for t in external:
+        # Locality object is the *updated* panel.
+        assert t.locality_object.name == f"panel{t.metadata['dst']}"
+
+
+def test_stripped_factorization_is_correct():
+    app = PanelCholesky(CholeskyConfig.tiny())
+    prog = app.build(4)
+    result = run_stripped(prog)
+    err = app.verify_factorization(result.store)
+    assert err < 1e-8
+
+
+def test_factorization_matches_scipy():
+    app = PanelCholesky(CholeskyConfig.tiny())
+    prog = app.build(2)
+    result = run_stripped(prog)
+    L = app.assemble_factor(result.store)
+    expected = np.linalg.cholesky(app.matrix)
+    assert np.allclose(L, expected, atol=1e-8)
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 4, 8])
+def test_parallel_factorization_correct_on_mp(nprocs):
+    app = PanelCholesky(CholeskyConfig.tiny())
+    prog = app.build(nprocs)
+    metrics = run_message_passing(prog, nprocs)
+    assert_matches_stripped(prog, metrics)
+    app.verify_factorization(metrics.final_store)
+
+
+@pytest.mark.parametrize("nprocs", [1, 4])
+def test_parallel_factorization_correct_on_sm(nprocs):
+    app = PanelCholesky(CholeskyConfig.tiny())
+    prog = app.build(nprocs, machine=MachineKind.DASH)
+    metrics = run_shared_memory(prog, nprocs)
+    assert_matches_stripped(prog, metrics)
+    app.verify_factorization(metrics.final_store)
+
+
+def test_task_placement_level():
+    app = PanelCholesky(CholeskyConfig.tiny())
+    prog = app.build(4, level=LocalityLevel.TASK_PLACEMENT)
+    metrics = run_message_passing(
+        prog, 4, RuntimeOptions(locality=LocalityLevel.TASK_PLACEMENT)
+    )
+    assert_matches_stripped(prog, metrics)
+    assert metrics.tasks_per_processor[0] == 0
+    # §5.2.2: less than 100% — the main processor owns every panel after
+    # initialization, so the first task per panel misses its target.
+    assert 60.0 < metrics.task_locality_pct < 100.0
+
+
+def test_paper_scale_structure_builds_quickly():
+    app = PanelCholesky(CholeskyConfig.paper())
+    assert app.config.n == 3948
+    nnz = sparse.pattern_nnz(app.pattern)
+    assert 40_000 < nnz < 200_000  # BCSSTK15 stores ~60k
+    # Hundreds of panels, a few thousand tasks — the paper's granularity.
+    assert 200 <= len(app.panels) <= 300
+    assert 1000 <= app.task_count() <= 20_000
+    prog = app.build(8, machine=MachineKind.IPSC860)
+    assert prog.total_cost() == pytest.approx(28.53, rel=1e-6)
+
+
+def test_stripped_time_matches_calibration_dash():
+    app = PanelCholesky(CholeskyConfig.paper())
+    prog = app.build(8, machine=MachineKind.DASH)
+    assert prog.total_cost() == pytest.approx(28.91, rel=1e-6)

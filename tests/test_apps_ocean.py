@@ -1,0 +1,105 @@
+"""Tests for the Ocean application."""
+
+import numpy as np
+import pytest
+
+from repro.apps import MachineKind, Ocean, OceanConfig
+from repro.apps.ocean import decompose
+from repro.core import run_stripped
+from repro.runtime import RuntimeOptions, run_message_passing, run_shared_memory
+from repro.runtime.options import LocalityLevel
+
+from tests.helpers import assert_matches_stripped
+
+
+def test_decomposition_covers_grid_exactly():
+    for cols, blocks in [(32, 3), (32, 1), (64, 7), (192, 31)]:
+        d = decompose(cols, blocks)
+        spans = []
+        for b in range(blocks):
+            spans.append(d.interior_cols[b])
+            if b < blocks - 1:
+                spans.append(d.boundary_cols[b])
+        # Contiguous, non-overlapping, leaving one fixed column per edge.
+        assert spans[0][0] == 1
+        assert spans[-1][1] == cols - 1
+        for (a_lo, a_hi), (b_lo, b_hi) in zip(spans, spans[1:]):
+            assert a_hi == b_lo
+        for lo, hi in d.boundary_cols:
+            assert hi - lo == 2
+
+
+def test_decomposition_rejects_too_narrow_grids():
+    with pytest.raises(ValueError):
+        decompose(10, 8)
+    with pytest.raises(ValueError):
+        decompose(16, 0)
+
+
+def test_program_structure():
+    app = Ocean(OceanConfig.tiny())
+    prog = app.build(5)  # 4 interior blocks
+    cfg = app.config
+    assert len(prog.parallel_tasks) == cfg.iterations * 4
+    for task in prog.parallel_tasks:
+        assert task.locality_object.name.startswith("interior")
+
+
+def test_one_processor_single_block():
+    app = Ocean(OceanConfig.tiny())
+    prog = app.build(1)
+    assert len(prog.parallel_tasks) == app.config.iterations
+    metrics = run_message_passing(prog, 1, RuntimeOptions(adaptive_broadcast=False))
+    assert_matches_stripped(prog, metrics)
+
+
+def test_stripped_time_matches_calibration():
+    app = Ocean(OceanConfig.paper())
+    prog = app.build(32, machine=MachineKind.IPSC860)
+    # Cost covers interior plus border columns; allow a small margin over
+    # the calibrated stripped total.
+    assert prog.total_cost() == pytest.approx(60.99, rel=0.35)
+
+
+def test_stencil_smooths_the_grid():
+    app = Ocean(OceanConfig(iterations=30))
+    prog = app.build(3)
+    result = run_stripped(prog)
+    final_blocks = [
+        result.payload(prog.registry.by_name(f"interior{b}")) for b in range(2)
+    ]
+    # After 30 relaxations, interior variance is far below the random
+    # initial variance (uniform[0,1) variance = 1/12).
+    var = float(np.var(np.concatenate([b.ravel() for b in final_blocks])))
+    assert var < 1.0 / 12.0 / 2.0
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 4, 6])
+def test_runs_on_both_machines(nprocs):
+    app = Ocean(OceanConfig.tiny())
+    prog_mp = app.build(nprocs, machine=MachineKind.IPSC860)
+    assert_matches_stripped(prog_mp, run_message_passing(prog_mp, nprocs))
+    prog_sm = app.build(nprocs, machine=MachineKind.DASH)
+    assert_matches_stripped(prog_sm, run_shared_memory(prog_sm, nprocs))
+
+
+def test_task_placement_omits_main_processor():
+    app = Ocean(OceanConfig.tiny())
+    prog = app.build(4, level=LocalityLevel.TASK_PLACEMENT)
+    metrics = run_message_passing(
+        prog, 4, RuntimeOptions(locality=LocalityLevel.TASK_PLACEMENT)
+    )
+    assert_matches_stripped(prog, metrics)
+    assert metrics.tasks_per_processor[0] == 0
+    assert metrics.task_locality_pct == pytest.approx(100.0)
+
+
+def test_adjacent_tasks_conflict_via_boundary_blocks():
+    """Adjacent interior-block tasks share a boundary block and must
+    serialize; non-adjacent tasks may overlap."""
+    app = Ocean(OceanConfig.tiny())
+    prog = app.build(4)
+    tasks = prog.parallel_tasks[:3]  # blocks 0, 1, 2 of iteration 0
+    assert tasks[0].spec.conflicts_with(tasks[1].spec)
+    assert tasks[1].spec.conflicts_with(tasks[2].spec)
+    assert not tasks[0].spec.conflicts_with(tasks[2].spec)

@@ -1,0 +1,93 @@
+"""Tests for the Water application."""
+
+import numpy as np
+import pytest
+
+from repro.apps import MachineKind, Water, WaterConfig
+from repro.core import run_stripped
+from repro.runtime import RuntimeOptions, run_message_passing, run_shared_memory
+from repro.runtime.options import LocalityLevel
+
+from tests.helpers import assert_matches_stripped
+
+
+def test_program_structure():
+    app = Water(WaterConfig.tiny())
+    prog = app.build(4)
+    # 2 iterations x (4 force tasks + serial + 4 potential tasks + serial)
+    assert len(prog.parallel_tasks) == 2 * 2 * 4
+    assert len(prog.serial_sections) == 2 * 2
+    # Locality object of every task is its contribution array.
+    for task in prog.parallel_tasks:
+        assert task.locality_object.name.startswith("contrib")
+
+
+def test_paper_config_object_sizes():
+    cfg = WaterConfig.paper()
+    assert cfg.positions_nbytes() == 165_888  # §5.3's updated object
+    assert cfg.iterations == 8
+    assert cfg.cost_molecules == 1728
+
+
+def test_stripped_time_matches_calibration():
+    app = Water(WaterConfig.paper())
+    prog = app.build(32, machine=MachineKind.IPSC860)
+    assert prog.total_cost() == pytest.approx(2406.72, rel=1e-6)
+    prog_dash = app.build(32, machine=MachineKind.DASH)
+    assert prog_dash.total_cost() == pytest.approx(3285.90, rel=1e-6)
+
+
+def test_stripped_physics_is_sane():
+    app = Water(WaterConfig.tiny())
+    prog = app.build(4)
+    result = run_stripped(prog)
+    positions = result.payload(prog.registry.by_name("positions"))
+    assert np.all(np.isfinite(positions))
+    assert np.all((positions >= 0.0) & (positions < 1.0))
+    energy = result.payload(prog.registry.by_name("energy"))
+    assert energy[0] > 0.0
+
+
+def test_task_decomposition_independent_of_processor_count():
+    """P tasks per phase, always covering all molecules exactly once."""
+    for P in (1, 3, 8):
+        app = Water(WaterConfig.tiny())
+        prog = app.build(P)
+        serial = run_stripped(prog)
+        app1 = Water(WaterConfig.tiny())
+        base = run_stripped(app1.build(1))
+        pos_p = serial.payload(prog.registry.by_name("positions"))
+        pos_1 = base.payload(app1.build(1).registry.by_name("positions"))
+        # Different decompositions sum in different orders; results agree
+        # to floating-point reassociation tolerance.
+        assert np.allclose(pos_p, pos_1, atol=1e-12)
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 4])
+def test_runs_on_both_machines(nprocs):
+    app = Water(WaterConfig.tiny())
+    prog_mp = app.build(nprocs, machine=MachineKind.IPSC860)
+    assert_matches_stripped(prog_mp, run_message_passing(prog_mp, nprocs))
+    prog_sm = app.build(nprocs, machine=MachineKind.DASH)
+    assert_matches_stripped(prog_sm, run_shared_memory(prog_sm, nprocs))
+
+
+def test_no_task_placement_support():
+    app = Water(WaterConfig.tiny())
+    with pytest.raises(ValueError):
+        app.build(4, level=LocalityLevel.TASK_PLACEMENT)
+
+
+def test_water_reaches_full_locality_on_mp():
+    app = Water(WaterConfig.tiny())
+    prog = app.build(4)
+    metrics = run_message_passing(prog, 4, RuntimeOptions())
+    assert metrics.task_locality_pct == pytest.approx(100.0)
+
+
+def test_positions_object_enters_broadcast_mode():
+    """Every processor reads positions every phase: §5.3's Water pattern."""
+    app = Water(WaterConfig(iterations=3))
+    prog = app.build(4)
+    metrics = run_message_passing(prog, 4, RuntimeOptions())
+    assert metrics.broadcasts >= 1

@@ -1,0 +1,112 @@
+"""Unit tests for the DASH directory-cache cost model."""
+
+import pytest
+
+from repro.machines import ClusterMesh, DirectoryCacheModel, LineState
+from repro.machines.cache import CacheParams
+
+
+def make_model(num_processors=8, **overrides):
+    params = CacheParams(**overrides) if overrides else CacheParams()
+    mesh = ClusterMesh(num_processors, cluster_size=4)
+    model = DirectoryCacheModel(mesh, params)
+    return model, params
+
+
+def seconds(params, lines, cycles):
+    return lines * cycles / params.clock_hz
+
+
+def test_first_read_from_local_memory():
+    model, p = make_model()
+    model.set_home(0, processor=1)  # same cluster as proc 0
+    cost = model.read(0, 0, nbytes=160)  # 10 lines
+    assert cost == pytest.approx(seconds(p, 10, p.cycles_local_memory))
+    assert 0 in model.holders(0)
+
+
+def test_read_hit_after_first_read():
+    model, p = make_model()
+    model.set_home(0, 0)
+    model.read(0, 0, 160)
+    cost = model.read(0, 0, 160)
+    assert cost == pytest.approx(seconds(p, 10, p.cycles_l1))
+
+
+def test_large_object_hits_in_l2_not_l1():
+    model, p = make_model()
+    model.set_home(0, 0)
+    nbytes = 100 * 1024  # larger than the 64 KB L1
+    model.read(0, 0, nbytes)
+    cost = model.read(0, 0, nbytes)
+    lines = -(-nbytes // p.line_bytes)
+    assert cost == pytest.approx(seconds(p, lines, p.cycles_l2))
+
+
+def test_remote_home_read_costs_more_than_local():
+    model, p = make_model()
+    model.set_home(0, processor=4)  # cluster 1; reader in cluster 0
+    remote = model.read(0, 0, 160)
+    model2, _ = make_model()
+    model2.set_home(0, processor=0)
+    local = model2.read(0, 0, 160)
+    assert remote > local
+
+
+def test_cluster_neighbor_cache_satisfies_read():
+    model, p = make_model()
+    model.set_home(0, processor=4)
+    model.read(1, 0, 160)          # proc 1 (cluster 0) caches it
+    cost = model.read(0, 0, 160)   # proc 0 reads from neighbour's cache
+    assert cost == pytest.approx(seconds(p, 10, p.cycles_cluster_cache))
+
+
+def test_write_invalidates_other_copies():
+    model, p = make_model()
+    model.set_home(0, 0)
+    model.read(4, 0, 160)
+    model.read(0, 0, 160)
+    model.write(0, 0, 160)
+    assert model.holders(0) == {0}
+    assert model.object_state(0) is LineState.DIRTY
+
+
+def test_remote_dirty_read_is_most_expensive():
+    model, p = make_model(num_processors=12)
+    model.set_home(0, processor=4)   # home cluster 1
+    model.write(8, 0, 160)           # dirty in cluster 2
+    cost = model.read(0, 0, 160)     # reader in cluster 0: 3-hop case
+    assert cost == pytest.approx(
+        seconds(p, 10, p.cycles_remote_dirty * p.contention_factor))
+
+
+def test_write_hit_when_exclusively_dirty():
+    model, p = make_model()
+    model.set_home(0, 0)
+    model.write(0, 0, 160)
+    cost = model.write(0, 0, 160)
+    assert cost == pytest.approx(seconds(p, 10, p.cycles_l1))
+
+
+def test_capacity_eviction():
+    model, p = make_model(l2_capacity_bytes=1024)
+    model.set_home(0, 0)
+    model.set_home(1, 0)
+    model.read(0, 0, 800)
+    model.read(0, 1, 800)  # evicts object 0 from proc 0's cache
+    assert 0 not in model.holders(0)
+    # Re-reading object 0 misses again.
+    cost = model.read(0, 0, 800)
+    assert cost > seconds(p, 50, p.cycles_l2)
+
+
+def test_stats_accumulate():
+    model, _ = make_model()
+    model.set_home(0, 4)
+    model.read(0, 0, 160)
+    model.read(0, 0, 160)
+    model.write(0, 0, 160)
+    stats = model.stats
+    assert stats.counters["dash.read_miss"].value == 1
+    assert stats.counters["dash.read_hit"].value == 1
+    assert stats.accumulators["dash.remote_bytes"].total >= 160

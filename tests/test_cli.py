@@ -1,0 +1,56 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def test_describe(capsys):
+    assert main(["describe"]) == 0
+    out = capsys.readouterr().out
+    for name in ("water", "string", "ocean", "cholesky"):
+        assert name in out
+    assert "dash" in out and "ipsc860" in out
+
+
+def test_run_tiny(capsys):
+    assert main(["run", "--app", "water", "--scale", "tiny",
+                 "--procs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "water on ipsc860" in out
+    assert "elapsed" in out and "locality_pct" in out
+
+
+def test_run_with_switches(capsys):
+    assert main(["run", "--app", "ocean", "--scale", "tiny", "--procs", "2",
+                 "--level", "no_locality", "--no-broadcast",
+                 "--serial-fetches", "--target-tasks", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "no_locality" in out
+    assert "no-broadcast" in out
+
+
+def test_sweep_tiny(capsys):
+    assert main(["sweep", "--app", "cholesky", "--scale", "tiny",
+                 "--machine", "dash", "--procs", "1", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "execution times" in out
+    assert "task locality" in out
+
+
+def test_analyze_tiny(capsys):
+    assert main(["analyze", "--app", "string", "--scale", "tiny",
+                 "--procs", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "critical_path_s" in out
+    assert "max_speedup" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_app():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--app", "nope"])

@@ -1,0 +1,54 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples default to paper-scale sweeps; where supported they are invoked
+with reduced arguments to keep the suite fast.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def run_example(name, *args, timeout=300):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES, name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "all three executions agree" in out
+
+
+def test_portability():
+    out = run_example("portability.py")
+    assert out.count("OK") == 4
+
+
+def test_cholesky_factorization():
+    out = run_example("cholesky_factorization.py", "--n", "60", "--width", "10")
+    assert "factorization verified" in out
+    assert "True" in out
+
+
+def test_locality_levels_tiny():
+    out = run_example("locality_levels.py", "--scale", "tiny", "--procs", "4")
+    assert "task_placement" in out
+
+
+def test_water_broadcast_tiny():
+    out = run_example("water_broadcast.py", "--scale", "tiny",
+                      "--procs", "2", "4")
+    assert "broadcast" in out.lower()
+
+
+def test_program_analysis_tiny():
+    out = run_example("program_analysis.py", "--scale", "tiny", "--procs", "4")
+    assert "cholesky" in out

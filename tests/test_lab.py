@@ -1,0 +1,119 @@
+"""Tests for the experiment harness (tiny scale, fast)."""
+
+import pytest
+
+from repro.apps import MachineKind
+from repro.lab import (
+    PAPER_PROCS,
+    PAPER_TABLES,
+    broadcast_sweep,
+    dash_params,
+    fetch_latency_rows,
+    ipsc_params,
+    levels_for,
+    locality_sweep,
+    make_application,
+    mgmt_percentage_sweep,
+    render_series,
+    render_table,
+    rows_to_series,
+    run_app,
+    serial_and_stripped,
+)
+from repro.lab.calibration import (
+    DASH_TASK_CREATE_SECONDS,
+    IPSC_TASK_CREATE_SECONDS,
+)
+from repro.runtime.options import LocalityLevel
+
+
+def test_paper_procs_match_paper():
+    assert PAPER_PROCS == [1, 2, 4, 8, 16, 24, 32]
+
+
+def test_calibrated_params_are_wired():
+    assert dash_params().task_create_seconds == DASH_TASK_CREATE_SECONDS
+    assert ipsc_params().task_create_seconds == IPSC_TASK_CREATE_SECONDS
+    # The iPSC/860's task management is the coarse one (§5.2.2).
+    assert IPSC_TASK_CREATE_SECONDS > DASH_TASK_CREATE_SECONDS
+
+
+def test_paper_tables_transcription_sanity():
+    # Table 1 and 6 carry serial+stripped per application.
+    for table in (1, 6):
+        assert set(PAPER_TABLES[table]) == {"water", "string", "ocean", "cholesky"}
+    # Execution-time tables cover the full processor range.
+    assert PAPER_TABLES[2]["Locality"][32] == 119.48
+    assert PAPER_TABLES[10]["No Locality"][2] == 107.43
+    # The paper's missing String 16-proc No Locality cell stays missing.
+    assert 16 not in PAPER_TABLES[8]["No Locality"]
+
+
+def test_levels_for_respects_placement_support():
+    assert levels_for("water") == [LocalityLevel.LOCALITY, LocalityLevel.NO_LOCALITY]
+    assert levels_for("ocean")[0] is LocalityLevel.TASK_PLACEMENT
+
+
+def test_make_application_caches():
+    a = make_application("water", "tiny")
+    b = make_application("water", "tiny")
+    assert a is b
+
+
+def test_run_app_tiny_smoke():
+    m = run_app("water", 2, MachineKind.IPSC860, LocalityLevel.LOCALITY,
+                scale="tiny")
+    assert m.tasks_executed > 0
+    assert m.elapsed > 0
+
+
+def test_serial_and_stripped_rows():
+    row = serial_and_stripped("water", MachineKind.DASH, scale="tiny")
+    assert row["serial"] > row["stripped"] > 0
+
+
+def test_locality_sweep_rows_cover_grid():
+    rows = locality_sweep("water", MachineKind.IPSC860, [1, 2], scale="tiny")
+    assert len(rows) == 2 * 2  # two levels x two proc counts
+    series = rows_to_series(rows, lambda r: r.metrics.elapsed)
+    assert set(series) == {"locality", "no_locality"}
+
+
+def test_broadcast_sweep_labels():
+    rows = broadcast_sweep("water", [1, 2], scale="tiny")
+    labels = {r.level for r in rows}
+    assert labels == {"broadcast", "no-broadcast"}
+
+
+def test_mgmt_sweep_reports_percentage():
+    rows = mgmt_percentage_sweep("ocean", MachineKind.IPSC860, [2], scale="tiny")
+    assert 0.0 <= rows[0].extra["mgmt_pct"] <= 100.0
+    assert rows[0].extra["workfree_elapsed"] <= rows[0].metrics.elapsed
+
+
+def test_fetch_latency_rows():
+    rows = fetch_latency_rows(["water", "ocean"], 4, scale="tiny")
+    for row in rows:
+        assert row.extra["latency_ratio"] >= 0.99
+
+
+def test_render_table_alignment_and_paper_rows():
+    text = render_table(
+        "Demo", [1, 2], {"Locality": {1: 10.0, 2: 5.0}},
+        paper={"Locality": {1: 11.0, 2: 6.0}},
+    )
+    lines = text.splitlines()
+    assert lines[0] == "Demo"
+    assert any("(paper) Locality" in ln for ln in lines)
+    assert "10.00" in text and "11.00" in text
+
+
+def test_render_table_missing_cells_dash():
+    text = render_table("T", [1, 16], {"row": {1: 1.0}})
+    assert "-" in text.splitlines()[-1]
+
+
+def test_render_series():
+    text = render_series("Fig", [1, 2], {"a": {1: 1.0, 2: 2.0}}, unit="s")
+    assert "Fig" in text and "[s]" in text
+    assert text.splitlines()[-1].startswith("a")

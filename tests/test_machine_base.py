@@ -1,0 +1,108 @@
+"""Unit tests for machine scaffolding: ProcessorSet, MemoryMap, machines."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machines import DashMachine, Ipsc860Machine, MemoryMap
+from repro.machines.base import Machine, ProcessorSet
+from repro.sim import Simulator
+
+
+# --------------------------------------------------------------------- #
+# ProcessorSet
+# --------------------------------------------------------------------- #
+def test_run_on_occupies_and_completes():
+    sim = Simulator()
+    procs = ProcessorSet(sim, 2)
+    done = []
+    procs.run_on(0, 1.0, lambda: done.append(sim.now))
+    assert procs.is_busy(0)
+    assert not procs.is_busy(1)
+    sim.run()
+    assert done == [1.0]
+    assert not procs.is_busy(0)
+    assert procs.busy_time(0) == pytest.approx(1.0)
+    assert procs.total_busy_time() == pytest.approx(1.0)
+
+
+def test_double_occupancy_rejected():
+    sim = Simulator()
+    procs = ProcessorSet(sim, 1)
+    procs.run_on(0, 1.0, lambda: None)
+    with pytest.raises(MachineError):
+        procs.run_on(0, 1.0, lambda: None)
+
+
+def test_negative_time_and_bad_processor_rejected():
+    sim = Simulator()
+    procs = ProcessorSet(sim, 1)
+    with pytest.raises(MachineError):
+        procs.run_on(0, -1.0, lambda: None)
+    with pytest.raises(MachineError):
+        procs.run_on(1, 1.0, lambda: None)
+    with pytest.raises(MachineError):
+        ProcessorSet(sim, 0)
+
+
+# --------------------------------------------------------------------- #
+# MemoryMap
+# --------------------------------------------------------------------- #
+def test_memory_map_round_robin_and_hints():
+    mm = MemoryMap(4)
+    assert mm.place(0) == 0
+    assert mm.place(1) == 1
+    assert mm.place(2, home_hint=3) == 3
+    assert mm.place(3) == 2  # round-robin continues where it left off
+    assert mm.place(0) == 0  # idempotent
+    assert mm.home(2) == 3
+    assert mm.is_placed(2)
+    assert not mm.is_placed(99)
+
+
+def test_memory_map_hint_wraps():
+    mm = MemoryMap(4)
+    assert mm.place(0, home_hint=9) == 1
+
+
+def test_memory_map_unplaced_lookup_raises():
+    with pytest.raises(MachineError):
+        MemoryMap(2).home(0)
+
+
+def test_objects_homed_at():
+    mm = MemoryMap(2)
+    mm.place(0, 0)
+    mm.place(1, 1)
+    mm.place(2, 0)
+    assert mm.objects_homed_at(0) == [0, 2]
+
+
+# --------------------------------------------------------------------- #
+# machines
+# --------------------------------------------------------------------- #
+def test_dash_machine_describe_and_owner():
+    m = DashMachine(8)
+    assert "dash" in m.describe()
+    home = m.place_object(0, 1000, home_hint=5)
+    assert home == 5
+    assert m.owner(0) == 5
+    assert m.same_cluster(4, 5)
+    assert not m.same_cluster(0, 5)
+
+
+def test_ipsc_machine_encloses_non_power_of_two():
+    m = Ipsc860Machine(24)
+    assert m.cube.size == 32
+    assert m.active_nodes == list(range(24))
+    assert "24 of 32" in m.describe()
+
+
+def test_ipsc_machine_exact_power_of_two():
+    m = Ipsc860Machine(8)
+    assert m.cube.size == 8
+    assert m.cube.dimension == 3
+
+
+def test_machine_base_requires_processors():
+    with pytest.raises(MachineError):
+        Machine(0)

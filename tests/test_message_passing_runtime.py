@@ -1,0 +1,304 @@
+"""Tests for the message-passing (iPSC/860) Jade runtime."""
+
+import numpy as np
+import pytest
+
+from repro.core import AccessSpec, JadeBuilder, run_stripped
+from repro.machines import Ipsc860Machine
+from repro.machines.ipsc860 import IpscParams
+from repro.runtime import LocalityLevel, RuntimeOptions, run_message_passing
+
+from tests.helpers import (
+    assert_matches_stripped,
+    chain_program,
+    fanout_program,
+    independent_program,
+    reduction_program,
+)
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 4, 8])
+def test_reduction_matches_stripped(nprocs):
+    program = reduction_program(num_workers=8, iterations=3)
+    metrics = run_message_passing(program, nprocs)
+    assert_matches_stripped(program, metrics)
+    assert metrics.tasks_executed == 24
+
+
+@pytest.mark.parametrize("nprocs", [3, 5, 24])
+def test_non_power_of_two_partitions(nprocs):
+    """The paper's 24-processor runs: a partial partition of a larger cube."""
+    program = reduction_program(num_workers=8, iterations=2)
+    metrics = run_message_passing(program, nprocs)
+    assert_matches_stripped(program, metrics)
+
+
+@pytest.mark.parametrize(
+    "level", [LocalityLevel.LOCALITY, LocalityLevel.NO_LOCALITY]
+)
+def test_all_levels_produce_serial_results(level):
+    program = reduction_program(num_workers=6, iterations=2)
+    metrics = run_message_passing(program, 4, RuntimeOptions(locality=level))
+    assert_matches_stripped(program, metrics)
+
+
+def test_chain_serializes():
+    program = chain_program(length=10, cost=1e-3)
+    metrics = run_message_passing(program, 8)
+    assert_matches_stripped(program, metrics)
+    assert metrics.elapsed >= 10 * 1e-3
+
+
+def test_fanout_replicates_object():
+    """Concurrent readers each receive a copy: replication in action."""
+    program = fanout_program(num_readers=6, cost=5e-3, nbytes=50_000)
+    metrics = run_message_passing(program, 8)
+    assert_matches_stripped(program, metrics)
+    # At least 5 copies of the 50 KB object moved (some readers may share
+    # the producing node).
+    assert metrics.object_bytes >= 5 * 50_000
+
+
+def test_no_replication_serializes_readers():
+    """§5.1: without replication, concurrent reads of one object serialize.
+
+    Compute-heavy readers: with replication each node computes on its own
+    copy concurrently; with a single exclusively-held copy the 50 ms task
+    executions serialize behind one another.
+    """
+    make = lambda: fanout_program(num_readers=8, cost=50e-3, nbytes=20_000)
+    replicated = run_message_passing(make(), 8, RuntimeOptions(replication=True))
+    exclusive = run_message_passing(
+        make(), 8, RuntimeOptions(replication=False, adaptive_broadcast=False)
+    )
+    assert_matches_stripped(make(), exclusive)
+    assert exclusive.elapsed > replicated.elapsed * 2.0
+    # The serialized run is at least the sum of the reader costs.
+    assert exclusive.elapsed >= 8 * 50e-3
+
+
+def test_locality_heuristic_reaches_full_locality():
+    program = reduction_program(num_workers=8, iterations=3, cost=5e-3)
+    metrics = run_message_passing(
+        program, 8, RuntimeOptions(locality=LocalityLevel.LOCALITY)
+    )
+    assert metrics.task_locality_pct == pytest.approx(100.0)
+
+
+def test_no_locality_reduces_locality_percentage():
+    # More workers than processors: first-come first-served assignment
+    # cannot track the contribution arrays' owners.
+    program = reduction_program(num_workers=8, iterations=3, cost=5e-3)
+    metrics = run_message_passing(
+        program, 5, RuntimeOptions(locality=LocalityLevel.NO_LOCALITY)
+    )
+    locality = run_message_passing(
+        reduction_program(num_workers=8, iterations=3, cost=5e-3),
+        5, RuntimeOptions(locality=LocalityLevel.LOCALITY),
+    )
+    assert metrics.task_locality_pct < 100.0
+    assert locality.task_locality_pct > metrics.task_locality_pct
+
+
+def test_locality_level_reduces_object_traffic():
+    """Ocean's shape: each iteration updates per-block state in place.
+
+    With the locality heuristic a block stays on the processor that last
+    wrote it (zero fetches after the first iteration); FCFS assignment
+    scatters the updates and drags blocks across the machine.
+    """
+    def make():
+        jade = JadeBuilder()
+        blocks = [
+            jade.object(f"blk{w}", initial=np.zeros(8), sim_nbytes=50_000, home=w)
+            for w in range(8)
+        ]
+
+        def update(w):
+            def body(ctx):
+                ctx.wr(blocks[w])[:] += 1.0
+            return body
+
+        for it in range(6):
+            for w in range(8):
+                jade.task(f"u.{it}.{w}", body=update(w), rw=[blocks[w]],
+                          cost=3e-3 + w * 1e-4)
+        return jade.finish("blocks")
+
+    with_loc = run_message_passing(
+        make(), 8, RuntimeOptions(locality=LocalityLevel.LOCALITY,
+                                  adaptive_broadcast=False)
+    )
+    without = run_message_passing(
+        make(), 8, RuntimeOptions(locality=LocalityLevel.NO_LOCALITY,
+                                  adaptive_broadcast=False)
+    )
+    assert_matches_stripped(make(), with_loc)
+    assert_matches_stripped(make(), without)
+    assert with_loc.object_bytes < without.object_bytes
+    assert with_loc.task_locality_pct > without.task_locality_pct
+
+
+def test_adaptive_broadcast_triggers_on_widely_read_object():
+    """Every processor reads ``state`` each iteration, so after the first
+    iteration the communicator must broadcast new versions."""
+    program = reduction_program(num_workers=8, iterations=4, cost=5e-3,
+                                hint_homes=True)
+    metrics = run_message_passing(program, 8, RuntimeOptions())
+    assert metrics.broadcasts >= 1
+
+
+def test_adaptive_broadcast_off_means_no_broadcasts():
+    program = reduction_program(num_workers=8, iterations=4, cost=5e-3)
+    metrics = run_message_passing(
+        program, 8, RuntimeOptions(adaptive_broadcast=False)
+    )
+    assert metrics.broadcasts == 0
+    assert_matches_stripped(
+        reduction_program(num_workers=8, iterations=4, cost=5e-3), metrics
+    )
+
+
+def test_explicit_placement_is_honored():
+    jade = JadeBuilder()
+    # Initial owners match the placements (home hints), so every placed
+    # task also runs on its target.
+    cells = [jade.object(f"c{i}", initial=np.zeros(2), home=1 + i % 3)
+             for i in range(6)]
+    for i in range(6):
+        jade.task(f"t{i}", body=None, wr=[cells[i]], cost=1e-3,
+                  placement=1 + i % 3)
+    program = jade.finish("placed")
+    metrics = run_message_passing(
+        program, 4, RuntimeOptions(locality=LocalityLevel.TASK_PLACEMENT)
+    )
+    assert metrics.tasks_per_processor[0] == 0
+    assert metrics.tasks_per_processor[1] == 2
+    assert metrics.task_locality_pct == pytest.approx(100.0)
+
+
+def test_concurrent_fetch_accounting():
+    """A task reading two remote objects: object latency ≈ 2x task latency
+    when fetched concurrently, ≈ equal when serialized."""
+    def make():
+        jade = JadeBuilder()
+        a = jade.object("a", initial=np.zeros(4), sim_nbytes=80_000)
+        b = jade.object("b", initial=np.zeros(4), sim_nbytes=80_000)
+        out = jade.object("out", initial=np.zeros(4), home=3)
+
+        def wa(ctx):
+            ctx.wr(a)[:] = 1.0
+
+        def wb(ctx):
+            ctx.wr(b)[:] = 2.0
+
+        def consume(ctx):
+            ctx.wr(out)[:] = ctx.rd(a) + ctx.rd(b)
+
+        jade.task("wa", body=wa, wr=[a], cost=1e-3, placement=1)
+        jade.task("wb", body=wb, wr=[b], cost=1e-3, placement=2)
+        jade.task("consume", body=consume,
+                  spec=AccessSpec().wr(out).rd(a).rd(b), cost=1e-3, placement=3)
+        return jade.finish("two-fetch")
+
+    conc = run_message_passing(make(), 4, RuntimeOptions(concurrent_fetches=True))
+    ser = run_message_passing(make(), 4, RuntimeOptions(concurrent_fetches=False))
+    assert_matches_stripped(make(), conc)
+    assert_matches_stripped(make(), ser)
+    # Two 80 KB objects from two different owners: concurrent fetching
+    # overlaps parts of the replies (the receiving NIC still serializes
+    # the payloads — one reason §5.5 found so little to gain), serial
+    # fetching overlaps nothing.
+    assert conc.object_to_task_latency_ratio > 1.1
+    assert ser.object_to_task_latency_ratio < 1.1
+    assert conc.mean_task_latency < ser.mean_task_latency
+
+
+def test_latency_hiding_overlaps_fetch_with_execution():
+    """With target=2 a node fetches the next task's objects while computing.
+
+    Each task reads a distinct 200 KB input owned by the main processor,
+    so every task has an ~85 ms fetch; with target=1 the fetches are fully
+    exposed between 60 ms executions, with target=2 they overlap.
+    """
+    def make():
+        jade = JadeBuilder()
+        inputs = [jade.object(f"in{i}", initial=np.arange(4.0) + i,
+                              sim_nbytes=200_000) for i in range(6)]
+        outs = [jade.object(f"o{i}", initial=np.zeros(4), home=1)
+                for i in range(6)]
+
+        def consume(i):
+            def body(ctx):
+                ctx.wr(outs[i])[:] = ctx.rd(inputs[i]) * i
+            return body
+
+        for i in range(6):
+            jade.task(f"t{i}", body=consume(i),
+                      spec=AccessSpec().wr(outs[i]).rd(inputs[i]), cost=60e-3,
+                      placement=1)
+        return jade.finish("hide")
+
+    base = run_message_passing(make(), 2, RuntimeOptions(
+        target_tasks_per_processor=1, adaptive_broadcast=False))
+    hidden = run_message_passing(make(), 2, RuntimeOptions(
+        target_tasks_per_processor=2, adaptive_broadcast=False))
+    assert_matches_stripped(make(), hidden)
+    assert hidden.elapsed < base.elapsed * 0.8
+
+
+def test_work_free_runs_without_object_traffic():
+    program = reduction_program(num_workers=8, iterations=2, cost=5e-3)
+    metrics = run_message_passing(program, 4, RuntimeOptions(work_free=True))
+    assert metrics.object_bytes == 0.0
+    assert metrics.task_time_total == 0.0
+    assert metrics.elapsed > 0.0
+
+
+def test_eager_update_pushes_new_versions():
+    program = reduction_program(num_workers=8, iterations=4, cost=5e-3)
+    metrics = run_message_passing(
+        program, 8,
+        RuntimeOptions(adaptive_broadcast=False, eager_update=True),
+    )
+    assert metrics.eager_updates > 0
+    assert_matches_stripped(
+        reduction_program(num_workers=8, iterations=4, cost=5e-3), metrics
+    )
+
+
+def test_mgmt_time_accumulates_on_main():
+    params = IpscParams()
+    params.task_create_seconds = 1e-3
+    params.task_assign_seconds = 0.5e-3
+    params.completion_handling_seconds = 0.5e-3
+    params.local_mgmt_factor = 1.0  # no local-dispatch discount here
+    machine = Ipsc860Machine(4, params)
+    program = independent_program(10, cost=1e-3)
+    metrics = run_message_passing(program, 4, machine=machine)
+    assert metrics.mgmt_time_main == pytest.approx(10 * 2e-3)
+    assert metrics.elapsed >= 10 * 1e-3
+
+
+def test_determinism():
+    def run():
+        program = reduction_program(num_workers=8, iterations=3)
+        m = run_message_passing(program, 8)
+        return m.elapsed, m.object_bytes, m.total_messages, m.tasks_on_target
+
+    assert run() == run()
+
+
+def test_empty_program():
+    program = JadeBuilder().finish("empty")
+    metrics = run_message_passing(program, 4)
+    assert metrics.elapsed == 0.0
+
+
+def test_single_processor_has_no_object_messages():
+    program = reduction_program(num_workers=4, iterations=2)
+    metrics = run_message_passing(
+        program, 1, RuntimeOptions(adaptive_broadcast=False)
+    )
+    assert_matches_stripped(program, metrics)
+    assert metrics.object_bytes == 0.0

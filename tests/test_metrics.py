@@ -1,0 +1,38 @@
+"""Unit tests for the derived run metrics."""
+
+import pytest
+
+from repro.runtime.metrics import RunMetrics
+
+
+def test_locality_pct():
+    m = RunMetrics(tasks_executed=10, tasks_on_target=7)
+    assert m.task_locality_pct == pytest.approx(70.0)
+    assert RunMetrics().task_locality_pct == 100.0  # vacuous
+
+
+def test_comm_to_comp_ratio():
+    m = RunMetrics(object_bytes=2 * 1024 * 1024, task_compute_total=4.0)
+    assert m.comm_to_comp_ratio == pytest.approx(0.5)
+    assert RunMetrics(object_bytes=100.0).comm_to_comp_ratio == 0.0
+
+
+def test_latency_means_and_ratio():
+    m = RunMetrics(
+        object_latency_total=6.0, object_requests=3,
+        task_latency_total=4.0, tasks_with_fetches=2,
+    )
+    assert m.mean_object_latency == pytest.approx(2.0)
+    assert m.mean_task_latency == pytest.approx(2.0)
+    assert m.object_to_task_latency_ratio == pytest.approx(1.5)
+    assert RunMetrics().object_to_task_latency_ratio == 1.0
+
+
+def test_summary_keys():
+    m = RunMetrics(elapsed=1.0, tasks_executed=2)
+    summary = m.summary()
+    for key in ("elapsed", "tasks", "locality_pct", "task_time",
+                "comm_ratio", "object_mb", "mgmt_main", "latency_ratio"):
+        assert key in summary
+    assert summary["elapsed"] == 1.0
+    assert summary["tasks"] == 2.0

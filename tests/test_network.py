@@ -1,0 +1,127 @@
+"""Unit tests for the iPSC/860 message network model."""
+
+import pytest
+
+from repro.machines import Hypercube, Network
+from repro.machines.network import NetworkParams
+from repro.sim import Simulator
+
+
+def make_net(size=32, **overrides):
+    sim = Simulator()
+    params = NetworkParams(**overrides) if overrides else NetworkParams()
+    net = Network(sim, Hypercube(size), params)
+    net.record_messages = True
+    return sim, net
+
+
+def test_point_to_point_delivery_and_cost():
+    sim, net = make_net()
+    got = []
+    net.send(0, 1, 1000, "data", on_delivered=got.append, payload="hello")
+    sim.run()
+    assert got == ["hello"]
+    p = net.params
+    expected = p.alpha_send + 1000 * p.per_byte + p.per_hop + p.alpha_recv
+    assert sim.now == pytest.approx(expected)
+
+
+def test_paper_calibration_165888_byte_send_is_about_70ms():
+    """The paper: Water's 165,888-byte object takes ~0.07 s per send."""
+    sim, net = make_net()
+    net.send(0, 1, 165_888, "object")
+    sim.run()
+    assert 0.065 <= sim.now <= 0.075
+
+
+def test_serial_sends_from_one_node_serialize_on_its_nic():
+    """31 serial sends of the Water object ≈ 31 × 0.07 s (paper §5.3)."""
+    sim, net = make_net()
+    for dst in range(1, 32):
+        net.send(0, dst, 165_888, "object")
+    sim.run()
+    assert 31 * 0.065 <= sim.now <= 31 * 0.078
+
+
+def test_broadcast_is_logarithmic_not_linear():
+    """Broadcast of the Water object ≈ 0.31 s on 32 nodes (paper §5.3)."""
+    sim, net = make_net()
+    arrived = []
+    net.broadcast(0, 165_888, "object", on_delivered=lambda n, p: arrived.append(n))
+    sim.run()
+    assert sorted(arrived) == list(range(1, 32))
+    assert 0.25 <= sim.now <= 0.45  # ~5 stages x 0.07s, some pipelining
+
+
+def test_broadcast_on_subset_of_nodes():
+    sim, net = make_net(size=32)
+    arrived = []
+    done = net.broadcast(0, 1000, "x", on_delivered=lambda n, p: arrived.append(n),
+                         targets=list(range(24)))
+    sim.run()
+    assert sorted(arrived) == list(range(1, 24))
+    assert done.fired
+
+
+def test_broadcast_single_node_completes_immediately():
+    sim, net = make_net(size=1)
+    done = net.broadcast(0, 1000, "x")
+    sim.run()
+    assert done.fired
+
+
+def test_messages_between_same_pair_are_fifo():
+    sim, net = make_net()
+    got = []
+    for i in range(5):
+        net.send(0, 3, 100 * (5 - i), "seq", on_delivered=got.append, payload=i)
+    sim.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_local_send_does_not_touch_nic():
+    sim, net = make_net()
+    got = []
+    net.send(2, 2, 10_000, "local", on_delivered=got.append, payload="p")
+    sim.run()
+    assert got == ["p"]
+    assert sim.now == pytest.approx(net.params.alpha_recv)
+
+
+def test_stats_account_messages_and_bytes():
+    sim, net = make_net()
+    net.send(0, 1, 500, "request")
+    net.send(1, 0, 2000, "object")
+    sim.run()
+    assert net.stats.counters["net.messages"].value == 2
+    assert net.stats.counters["net.messages.request"].value == 1
+    assert net.stats.accumulators["net.bytes"].total == 2500
+    assert net.stats.accumulators["net.bytes.object"].total == 2000
+
+
+def test_message_records_capture_delivery_order():
+    sim, net = make_net()
+    net.send(0, 1, 10, "a")
+    net.send(0, 2, 10, "b")
+    sim.run()
+    kinds = [m.kind for m in net.delivered]
+    assert kinds == ["a", "b"]
+    assert all(m.delivered_at >= m.sent_at for m in net.delivered)
+
+
+def test_distance_affects_flight_time():
+    sim, net = make_net()
+    t_near = net.point_to_point_time(0, 1, 0)
+    t_far = net.point_to_point_time(0, 31, 0)
+    assert t_far > t_near
+    assert t_far - t_near == pytest.approx(4 * net.params.per_hop)
+
+
+def test_concurrent_sends_from_different_nodes_overlap():
+    sim, net = make_net()
+    net.send(0, 1, 100_000, "x")
+    net.send(2, 3, 100_000, "x")
+    sim.run()
+    single = net.point_to_point_time(0, 1, 100_000)
+    # Both finish in about the time of one send: different NICs.
+    assert sim.now == pytest.approx(single, rel=0.05)

@@ -1,0 +1,101 @@
+"""Unit tests for shared objects, the registry and object stores."""
+
+import numpy as np
+import pytest
+
+from repro.core import ObjectRegistry, ObjectStore, SharedObject
+from repro.errors import SpecificationError
+
+
+def test_registry_allocates_sequential_ids():
+    reg = ObjectRegistry()
+    a = reg.create("a")
+    b = reg.create("b")
+    assert (a.object_id, b.object_id) == (0, 1)
+    assert reg.by_id(0) is a
+    assert reg.by_name("b") is b
+    assert len(reg) == 2
+
+
+def test_registry_rejects_duplicate_names():
+    reg = ObjectRegistry()
+    reg.create("a")
+    with pytest.raises(SpecificationError):
+        reg.create("a")
+
+
+def test_registry_unknown_lookups_raise():
+    reg = ObjectRegistry()
+    with pytest.raises(SpecificationError):
+        reg.by_id(0)
+    with pytest.raises(SpecificationError):
+        reg.by_name("missing")
+
+
+def test_default_sim_nbytes_from_numpy_payload():
+    reg = ObjectRegistry()
+    obj = reg.create("arr", initial=np.zeros(100, dtype=np.float64))
+    assert obj.sim_nbytes == 800
+
+
+def test_explicit_sim_nbytes_overrides_payload_size():
+    """Apps set the paper-scale size while computing on small arrays."""
+    reg = ObjectRegistry()
+    obj = reg.create("positions", initial=np.zeros(10), sim_nbytes=165_888)
+    assert obj.sim_nbytes == 165_888
+
+
+def test_negative_sim_nbytes_rejected():
+    with pytest.raises(SpecificationError):
+        SharedObject(0, "x", None, sim_nbytes=-1)
+
+
+def test_default_sizes_for_scalar_payloads():
+    reg = ObjectRegistry()
+    assert reg.create("i", initial=7).sim_nbytes == 8
+    assert reg.create("none").sim_nbytes == 8
+    assert reg.create("lst", initial=[1, 2, 3]).sim_nbytes == 24
+
+
+def test_store_install_copies_initial_payload():
+    reg = ObjectRegistry()
+    arr = np.arange(4.0)
+    obj = reg.create("a", initial=arr)
+    store = ObjectStore()
+    store.install(obj)
+    store.get(obj.object_id)[0] = 99.0
+    assert arr[0] == 0.0  # the descriptor's initial payload is untouched
+    assert store.version(obj.object_id) == 0
+
+
+def test_store_versioning():
+    reg = ObjectRegistry()
+    obj = reg.create("a", initial=np.zeros(2))
+    store = ObjectStore()
+    store.install(obj)
+    store.bump_version(obj.object_id, 1)
+    assert store.version(obj.object_id) == 1
+    assert store.has(obj.object_id, version=1)
+    assert not store.has(obj.object_id, version=0)
+
+
+def test_store_install_copy_is_isolated():
+    src = ObjectStore("src")
+    dst = ObjectStore("dst")
+    reg = ObjectRegistry()
+    obj = reg.create("a", initial=np.zeros(3))
+    src.install(obj)
+    payload = src.export(obj.object_id)
+    dst.install_copy(obj.object_id, 0, payload)
+    dst.get(obj.object_id)[1] = 5.0
+    assert src.get(obj.object_id)[1] == 0.0
+
+
+def test_store_drop_and_has():
+    reg = ObjectRegistry()
+    obj = reg.create("a", initial=1.0)
+    store = ObjectStore()
+    store.install(obj)
+    assert store.has(obj.object_id)
+    store.drop(obj.object_id)
+    assert not store.has(obj.object_id)

@@ -1,0 +1,116 @@
+"""Unit tests for program elaboration and the stripped executor."""
+
+import numpy as np
+import pytest
+
+from repro.core import JadeBuilder, run_stripped
+from repro.errors import AccessViolationError, SpecificationError
+
+
+def test_builder_records_tasks_in_order():
+    jade = JadeBuilder()
+    a = jade.object("a", initial=np.zeros(3))
+    t0 = jade.task("t0", wr=[a], cost=1.0)
+    s0 = jade.serial("s0", rd=[a], cost=2.0)
+    prog = jade.finish("demo")
+    assert prog.tasks == [t0, s0]
+    assert prog.parallel_tasks == [t0]
+    assert prog.serial_sections == [s0]
+    assert prog.total_cost() == pytest.approx(3.0)
+
+
+def test_withonly_alias():
+    jade = JadeBuilder()
+    a = jade.object("a")
+    t = jade.withonly("w", rd=[a])
+    assert t in jade.finish().tasks
+
+
+def test_spec_and_lists_are_mutually_exclusive():
+    jade = JadeBuilder()
+    a = jade.object("a")
+    from repro.core import AccessSpec
+
+    with pytest.raises(SpecificationError):
+        jade.task("bad", spec=AccessSpec(rd=[a]), rd=[a])
+
+
+def test_negative_cost_rejected():
+    jade = JadeBuilder()
+    with pytest.raises(ValueError):
+        jade.task("bad", cost=-1.0)
+
+
+def test_stripped_runs_bodies_in_order_and_versions_advance():
+    jade = JadeBuilder()
+    acc = jade.object("acc", initial=np.zeros(1))
+
+    def add(k):
+        def body(ctx):
+            ctx.wr(acc)[0] += k
+        return body
+
+    for i in range(5):
+        jade.task(f"add{i}", body=add(i), rw=[acc], cost=0.5)
+    prog = jade.finish()
+    result = run_stripped(prog)
+    assert result.payload(acc)[0] == sum(range(5))
+    assert result.time == pytest.approx(2.5)
+    assert result.tasks_executed == 5
+    assert result.store.version(acc.object_id) == 5
+
+
+def test_stripped_detects_undeclared_access():
+    jade = JadeBuilder()
+    a = jade.object("a", initial=np.zeros(1))
+    b = jade.object("b", initial=np.zeros(1))
+
+    def bad(ctx):
+        ctx.wr(b)  # not declared
+
+    jade.task("bad", body=bad, rd=[a])
+    with pytest.raises(AccessViolationError):
+        run_stripped(jade.finish())
+
+
+def test_context_set_replaces_payload():
+    jade = JadeBuilder()
+    scalar = jade.object("s", initial=1.0)
+
+    def body(ctx):
+        ctx.set(scalar, ctx.rd(scalar) + 10.0)
+
+    jade.task("inc", body=body, rw=[scalar])
+    result = run_stripped(jade.finish())
+    assert result.payload(scalar) == 11.0
+
+
+def test_validate_catches_foreign_objects():
+    jade1 = JadeBuilder()
+    jade2 = JadeBuilder()
+    foreign = jade2.object("foreign")
+    jade1.object("mine")
+    jade1.task("t", rd=[foreign])
+    with pytest.raises(SpecificationError):
+        jade1.finish().validate()
+
+
+def test_serial_sections_share_the_store_with_tasks():
+    """A serial phase reads what parallel tasks produced — Water's shape."""
+    jade = JadeBuilder()
+    contrib = [jade.object(f"c{i}", initial=np.zeros(1)) for i in range(3)]
+    total = jade.object("total", initial=np.zeros(1))
+
+    def work(i):
+        def body(ctx):
+            ctx.wr(contrib[i])[0] = i + 1
+        return body
+
+    def reduce_body(ctx):
+        ctx.wr(total)[0] = sum(ctx.rd(c)[0] for c in contrib)
+
+    for i in range(3):
+        jade.task(f"w{i}", body=work(i), wr=[contrib[i]])
+    jade.serial("reduce", body=reduce_body, rd=contrib, wr=[total])
+    result = run_stripped(jade.finish())
+    assert result.payload(total)[0] == 6.0

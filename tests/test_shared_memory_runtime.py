@@ -1,0 +1,158 @@
+"""Tests for the shared-memory (DASH) Jade runtime."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_stripped
+from repro.machines import DashMachine
+from repro.machines.dash import DashParams
+from repro.runtime import LocalityLevel, RuntimeOptions, run_shared_memory
+
+from tests.helpers import (
+    assert_matches_stripped,
+    chain_program,
+    fanout_program,
+    independent_program,
+    reduction_program,
+)
+
+
+@pytest.mark.parametrize("nprocs", [1, 2, 4, 8])
+def test_reduction_matches_stripped(nprocs):
+    program = reduction_program(num_workers=8, iterations=3)
+    metrics = run_shared_memory(program, nprocs)
+    assert_matches_stripped(program, metrics)
+    assert metrics.tasks_executed == 24
+    assert metrics.serial_sections_executed == 3
+
+
+@pytest.mark.parametrize(
+    "level",
+    [LocalityLevel.LOCALITY, LocalityLevel.NO_LOCALITY],
+)
+def test_all_locality_levels_produce_serial_results(level):
+    program = reduction_program(num_workers=6, iterations=2)
+    metrics = run_shared_memory(program, 4, RuntimeOptions(locality=level))
+    assert_matches_stripped(program, metrics)
+
+
+def test_chain_is_fully_serial():
+    """A dependence chain cannot speed up: elapsed >= sum of costs."""
+    program = chain_program(length=12, cost=1e-3)
+    metrics = run_shared_memory(program, 8)
+    assert_matches_stripped(program, metrics)
+    assert metrics.elapsed >= 12 * 1e-3
+
+
+def test_independent_tasks_speed_up():
+    cost = 5e-3
+    p1 = run_shared_memory(independent_program(16, cost), 1)
+    p8 = run_shared_memory(independent_program(16, cost), 8)
+    assert p8.elapsed < p1.elapsed / 3.0  # near-linear modulo creation
+
+
+def test_fanout_readers_run_concurrently():
+    # Small shared object: compute dominates, so the 8 readers' overlap
+    # shows through (the paper's replication argument).
+    program = fanout_program(num_readers=8, cost=5e-3, nbytes=2000)
+    metrics = run_shared_memory(program, 8)
+    assert_matches_stripped(program, metrics)
+    serial_metrics = run_shared_memory(
+        fanout_program(num_readers=8, cost=5e-3, nbytes=2000), 1
+    )
+    assert metrics.elapsed < serial_metrics.elapsed / 2.0
+
+
+def test_locality_heuristic_runs_tasks_on_object_homes():
+    """With per-worker homed contribution arrays and ample processors, the
+    locality level keeps every task on its target (the paper's Water)."""
+    program = reduction_program(num_workers=8, iterations=3, cost=5e-3)
+    metrics = run_shared_memory(
+        program, 8, RuntimeOptions(locality=LocalityLevel.LOCALITY)
+    )
+    assert metrics.task_locality_pct == pytest.approx(100.0)
+
+
+def test_no_locality_scatters_tasks():
+    program = reduction_program(num_workers=8, iterations=4, cost=5e-3)
+    metrics = run_shared_memory(
+        program, 8, RuntimeOptions(locality=LocalityLevel.NO_LOCALITY)
+    )
+    assert metrics.task_locality_pct < 100.0
+
+
+def test_task_placement_pins_tasks():
+    """Explicitly placed tasks execute exactly where the programmer said."""
+    from repro.core import JadeBuilder
+
+    jade = JadeBuilder()
+    # Objects are allocated on the processors the tasks are placed on, as
+    # the paper's programmer did for Ocean and Panel Cholesky.
+    cells = [jade.object(f"c{i}", initial=np.zeros(2), home=1 + i % 3)
+             for i in range(6)]
+    for i in range(6):
+        jade.task(f"t{i}", body=None, wr=[cells[i]], cost=1e-3, placement=1 + i % 3)
+    program = jade.finish("placed")
+    metrics = run_shared_memory(
+        program, 4, RuntimeOptions(locality=LocalityLevel.TASK_PLACEMENT)
+    )
+    assert metrics.tasks_per_processor[0] == 0
+    assert metrics.tasks_per_processor[1] == 2
+    assert metrics.task_locality_pct == pytest.approx(100.0)
+
+
+def test_task_time_includes_memory_system_cost():
+    program = fanout_program(num_readers=4, cost=1e-3, nbytes=500_000)
+    metrics = run_shared_memory(program, 4)
+    assert metrics.task_comm_total > 0
+    assert metrics.task_time_total == pytest.approx(
+        metrics.task_compute_total + metrics.task_comm_total
+    )
+
+
+def test_work_free_run_is_faster_and_skips_bodies():
+    program = reduction_program(num_workers=8, iterations=2, cost=5e-3)
+    normal = run_shared_memory(program, 4)
+    free = run_shared_memory(
+        reduction_program(num_workers=8, iterations=2, cost=5e-3),
+        4,
+        RuntimeOptions(work_free=True),
+    )
+    assert free.elapsed < normal.elapsed
+    assert free.task_time_total == 0.0
+
+
+def test_task_creation_charges_main_processor():
+    params = DashParams()
+    params.task_create_seconds = 2e-3
+    program = independent_program(10, cost=1e-3)
+    machine = DashMachine(4, params)
+    metrics = run_shared_memory(program, 4, machine=machine)
+    assert metrics.mgmt_time_main == pytest.approx(10 * 2e-3)
+    # Serialized creation bounds the elapsed time from below.
+    assert metrics.elapsed >= 10 * 2e-3
+
+
+def test_determinism():
+    def run():
+        program = reduction_program(num_workers=8, iterations=3)
+        m = run_shared_memory(program, 8)
+        return m.elapsed, m.tasks_on_target, m.task_time_total
+
+    assert run() == run()
+
+
+def test_empty_program():
+    from repro.core import JadeBuilder
+
+    program = JadeBuilder().finish("empty")
+    metrics = run_shared_memory(program, 4)
+    assert metrics.elapsed == 0.0
+    assert metrics.tasks_executed == 0
+
+
+def test_busy_accounting_covers_all_processors():
+    program = independent_program(16, cost=2e-3)
+    metrics = run_shared_memory(program, 4)
+    assert len(metrics.busy_per_processor) == 4
+    assert sum(metrics.busy_per_processor) >= 16 * 2e-3

@@ -1,0 +1,176 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim import Delay, Process, Signal, Simulator, Wait
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(3.0, order.append, "c")
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule(2.0, order.append, "b")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+    for tag in range(10):
+        sim.schedule(1.0, order.append, tag)
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(0.5, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(1.0, fired.append, "x")
+    ev.cancel()
+    sim.run()
+    assert fired == []
+    assert sim.pending_events == 0
+
+
+def test_events_scheduled_during_run_execute():
+    sim = Simulator()
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(1.0, order.append, "second")
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert order == ["first", "second"]
+    assert sim.now == 2.0
+
+
+def test_run_until_stops_clock_at_bound():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(5.0, fired.append, "b")
+    sim.run(until=2.0)
+    assert fired == ["a"]
+    assert sim.now == 2.0
+    sim.run()
+    assert fired == ["a", "b"]
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def loop():
+        sim.schedule(0.0, loop)
+
+    sim.schedule(0.0, loop)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_signal_wakes_waiters_with_payload():
+    sim = Simulator()
+    sig = Signal(sim, "data")
+    got = []
+    sig.wait(got.append)
+    sig.wait(got.append)
+    sim.schedule(2.0, sig.fire, 42)
+    sim.run()
+    assert got == [42, 42]
+    assert sig.fired
+
+
+def test_signal_wait_after_fire_delivers_immediately():
+    sim = Simulator()
+    sig = Signal(sim, "data")
+    sig.fire("v")
+    got = []
+    sig.wait(got.append)
+    sim.run()
+    assert got == ["v"]
+
+
+def test_signal_double_fire_rejected():
+    sim = Simulator()
+    sig = Signal(sim)
+    sig.fire()
+    with pytest.raises(SimulationError):
+        sig.fire()
+
+
+def test_process_delay_and_wait():
+    sim = Simulator()
+    sig = Signal(sim, "go")
+    log = []
+
+    def body():
+        log.append(("start", sim.now))
+        yield Delay(2.0)
+        log.append(("after-delay", sim.now))
+        payload = yield Wait(sig)
+        log.append(("after-wait", sim.now, payload))
+        return "done"
+
+    proc = Process(sim, body(), "p")
+    sim.schedule(5.0, sig.fire, "hello")
+    sim.run()
+    assert log == [("start", 0.0), ("after-delay", 2.0), ("after-wait", 5.0, "hello")]
+    assert proc.result == "done"
+    assert proc.done.fired
+
+
+def test_process_plain_yield_interleaves():
+    sim = Simulator()
+    log = []
+
+    def body(tag):
+        for i in range(3):
+            log.append((tag, i))
+            yield None
+
+    Process(sim, body("a"), "a")
+    Process(sim, body("b"), "b")
+    sim.run()
+    # Deterministic round-robin interleaving at t=0.
+    assert log == [("a", 0), ("b", 0), ("a", 1), ("b", 1), ("a", 2), ("b", 2)]
+
+
+def test_quiescence_check_raises_on_stall():
+    sim = Simulator()
+    sim.run()
+    with pytest.raises(DeadlockError) as err:
+        sim.check_quiescent(blocked=3)
+    assert err.value.pending == 3
+
+
+def test_quiescence_check_passes_when_nothing_blocked():
+    sim = Simulator()
+    sim.run()
+    sim.check_quiescent(blocked=0)
+
+
+def test_determinism_of_event_counts():
+    def run():
+        sim = Simulator()
+        out = []
+        for i in range(50):
+            sim.schedule((i * 7919 % 13) / 10.0, out.append, i)
+        sim.run()
+        return out, sim.events_fired
+
+    assert run() == run()

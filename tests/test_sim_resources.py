@@ -1,0 +1,80 @@
+"""Unit tests for FIFO resources."""
+
+import pytest
+
+from repro.sim import FifoResource, Simulator
+
+
+def test_jobs_serve_in_fifo_order():
+    sim = Simulator()
+    res = FifoResource(sim, "r")
+    spans = []
+    res.submit(1.0, lambda s, f: spans.append((s, f)))
+    res.submit(0.5, lambda s, f: spans.append((s, f)))
+    res.submit(2.0, lambda s, f: spans.append((s, f)))
+    sim.run()
+    assert spans == [(0.0, 1.0), (1.0, 1.5), (1.5, 3.5)]
+
+
+def test_submission_while_busy_queues():
+    sim = Simulator()
+    res = FifoResource(sim, "r")
+    spans = []
+    res.submit(2.0, lambda s, f: spans.append((s, f)))
+
+    def late_submit():
+        res.submit(1.0, lambda s, f: spans.append((s, f)))
+
+    sim.schedule(0.5, late_submit)
+    sim.run()
+    assert spans == [(0.0, 2.0), (2.0, 3.0)]
+
+
+def test_idle_gap_then_new_job_starts_at_submit_time():
+    sim = Simulator()
+    res = FifoResource(sim, "r")
+    spans = []
+    res.submit(1.0, lambda s, f: spans.append((s, f)))
+    sim.schedule(5.0, lambda: res.submit(1.0, lambda s, f: spans.append((s, f))))
+    sim.run()
+    assert spans == [(0.0, 1.0), (5.0, 6.0)]
+
+
+def test_utilization_and_counters():
+    sim = Simulator()
+    res = FifoResource(sim, "r")
+    res.submit(1.0, lambda s, f: None)
+    res.submit(1.0, lambda s, f: None)
+    sim.run()
+    assert res.jobs_served == 2
+    assert res.busy_time == pytest.approx(2.0)
+    assert res.utilization() == pytest.approx(1.0)
+    assert res.utilization(horizon=4.0) == pytest.approx(0.5)
+
+
+def test_zero_service_time_job():
+    sim = Simulator()
+    res = FifoResource(sim, "r")
+    spans = []
+    res.submit(0.0, lambda s, f: spans.append((s, f)))
+    sim.run()
+    assert spans == [(0.0, 0.0)]
+
+
+def test_negative_service_time_rejected():
+    sim = Simulator()
+    res = FifoResource(sim, "r")
+    with pytest.raises(ValueError):
+        res.submit(-1.0, lambda s, f: None)
+
+
+def test_queue_length_observable():
+    sim = Simulator()
+    res = FifoResource(sim, "r")
+    res.submit(1.0, lambda s, f: None)
+    res.submit(1.0, lambda s, f: None)
+    res.submit(1.0, lambda s, f: None)
+    # One in service, two waiting.
+    assert res.queue_length == 2
+    sim.run()
+    assert res.queue_length == 0

@@ -1,0 +1,233 @@
+"""Unit + property tests for the queue-based synchronizer.
+
+The property test is the heart of the reproduction's correctness story:
+for arbitrary programs, any completion order the synchronizer permits must
+respect every conflicting-pair ordering of the serial program.
+"""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import AccessSpec, ObjectRegistry, Synchronizer, TaskSpec
+from repro.errors import SpecificationError
+
+
+def make_task(tid, spec):
+    return TaskSpec(tid, f"t{tid}", spec)
+
+
+@pytest.fixture()
+def objs():
+    reg = ObjectRegistry()
+    return [reg.create(f"o{i}") for i in range(5)]
+
+
+# --------------------------------------------------------------------- #
+# basic enablement semantics
+# --------------------------------------------------------------------- #
+def test_concurrent_readers_all_enabled(objs):
+    sync = Synchronizer()
+    tasks = [make_task(i, AccessSpec(rd=[objs[0]])) for i in range(4)]
+    assert all(sync.add_task(t) for t in tasks)
+
+
+def test_writer_blocks_later_reader(objs):
+    sync = Synchronizer()
+    writer = make_task(0, AccessSpec(wr=[objs[0]]))
+    reader = make_task(1, AccessSpec(rd=[objs[0]]))
+    assert sync.add_task(writer)
+    assert not sync.add_task(reader)
+    assert sync.complete_task(writer) == [1]
+    assert sync.is_enabled(1)
+
+
+def test_reader_blocks_later_writer(objs):
+    sync = Synchronizer()
+    reader = make_task(0, AccessSpec(rd=[objs[0]]))
+    writer = make_task(1, AccessSpec(wr=[objs[0]]))
+    assert sync.add_task(reader)
+    assert not sync.add_task(writer)
+    assert sync.complete_task(reader) == [1]
+
+
+def test_two_writers_serialize_in_program_order(objs):
+    sync = Synchronizer()
+    w0 = make_task(0, AccessSpec(wr=[objs[0]]))
+    w1 = make_task(1, AccessSpec(wr=[objs[0]]))
+    assert sync.add_task(w0)
+    assert not sync.add_task(w1)
+    assert sync.complete_task(w0) == [1]
+
+
+def test_reads_before_pending_write_enable_together(objs):
+    sync = Synchronizer()
+    w = make_task(0, AccessSpec(wr=[objs[0]]))
+    r1 = make_task(1, AccessSpec(rd=[objs[0]]))
+    r2 = make_task(2, AccessSpec(rd=[objs[0]]))
+    w2 = make_task(3, AccessSpec(wr=[objs[0]]))
+    sync.add_task(w)
+    sync.add_task(r1)
+    sync.add_task(r2)
+    sync.add_task(w2)
+    assert sync.complete_task(w) == [1, 2]
+    assert not sync.is_enabled(3)
+    sync.complete_task(r1)
+    assert sync.complete_task(r2) == [3]
+
+
+def test_independent_objects_do_not_interact(objs):
+    sync = Synchronizer()
+    a = make_task(0, AccessSpec(wr=[objs[0]]))
+    b = make_task(1, AccessSpec(wr=[objs[1]]))
+    assert sync.add_task(a)
+    assert sync.add_task(b)
+
+
+def test_task_with_two_blocked_entries_needs_both(objs):
+    sync = Synchronizer()
+    wa = make_task(0, AccessSpec(wr=[objs[0]]))
+    wb = make_task(1, AccessSpec(wr=[objs[1]]))
+    both = make_task(2, AccessSpec(rd=[objs[0], objs[1]]))
+    sync.add_task(wa)
+    sync.add_task(wb)
+    assert not sync.add_task(both)
+    assert sync.complete_task(wa) == []  # still waiting on objs[1]
+    assert sync.complete_task(wb) == [2]
+
+
+def test_both_entries_freed_by_one_completion(objs):
+    """Regression: one completion may ready two entries of the same task."""
+    sync = Synchronizer()
+    w = make_task(0, AccessSpec(wr=[objs[0], objs[1]]))
+    r = make_task(1, AccessSpec(rd=[objs[0], objs[1]]))
+    sync.add_task(w)
+    assert not sync.add_task(r)
+    assert sync.complete_task(w) == [1]
+
+
+def test_rw_behaves_as_write_for_ordering(objs):
+    sync = Synchronizer()
+    r = make_task(0, AccessSpec(rd=[objs[0]]))
+    rw = make_task(1, AccessSpec(rw=[objs[0]]))
+    r2 = make_task(2, AccessSpec(rd=[objs[0]]))
+    sync.add_task(r)
+    assert not sync.add_task(rw)
+    assert not sync.add_task(r2)
+    sync.complete_task(r)
+    assert sync.is_enabled(1)
+    assert not sync.is_enabled(2)
+
+
+# --------------------------------------------------------------------- #
+# versions
+# --------------------------------------------------------------------- #
+def test_version_assignment(objs):
+    sync = Synchronizer()
+    o = objs[0]
+    w0 = make_task(0, AccessSpec(wr=[o]))
+    r0 = make_task(1, AccessSpec(rd=[o]))
+    w1 = make_task(2, AccessSpec(rw=[o]))
+    r1 = make_task(3, AccessSpec(rd=[o]))
+    for t in (w0, r0, w1, r1):
+        sync.add_task(t)
+    assert sync.produced_version(0, o.object_id) == 1
+    assert sync.required_version(1, o.object_id) == 1
+    assert sync.required_version(2, o.object_id) == 1
+    assert sync.produced_version(2, o.object_id) == 2
+    assert sync.required_version(3, o.object_id) == 2
+    assert sync.latest_version(o.object_id) == 2
+
+
+def test_version_queries_require_matching_declaration(objs):
+    sync = Synchronizer()
+    t = make_task(0, AccessSpec(rd=[objs[0]]))
+    sync.add_task(t)
+    with pytest.raises(SpecificationError):
+        sync.produced_version(0, objs[0].object_id)
+    with pytest.raises(SpecificationError):
+        sync.required_version(0, objs[1].object_id)
+
+
+# --------------------------------------------------------------------- #
+# misuse detection
+# --------------------------------------------------------------------- #
+def test_double_add_rejected(objs):
+    sync = Synchronizer()
+    t = make_task(0, AccessSpec(rd=[objs[0]]))
+    sync.add_task(t)
+    with pytest.raises(SpecificationError):
+        sync.add_task(t)
+
+
+def test_double_complete_rejected(objs):
+    sync = Synchronizer()
+    t = make_task(0, AccessSpec(rd=[objs[0]]))
+    sync.add_task(t)
+    sync.complete_task(t)
+    with pytest.raises(SpecificationError):
+        sync.complete_task(t)
+
+
+def test_complete_unknown_rejected(objs):
+    sync = Synchronizer()
+    with pytest.raises(SpecificationError):
+        sync.complete_task(make_task(9, AccessSpec(rd=[objs[0]])))
+
+
+# --------------------------------------------------------------------- #
+# property: any permitted schedule preserves conflicting-pair order
+# --------------------------------------------------------------------- #
+@st.composite
+def random_program(draw):
+    n_objects = draw(st.integers(min_value=1, max_value=4))
+    n_tasks = draw(st.integers(min_value=1, max_value=12))
+    reg = ObjectRegistry()
+    objects = [reg.create(f"o{i}") for i in range(n_objects)]
+    tasks = []
+    for tid in range(n_tasks):
+        n_decls = draw(st.integers(min_value=1, max_value=min(3, n_objects)))
+        chosen = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n_objects - 1),
+                min_size=n_decls,
+                max_size=n_decls,
+                unique=True,
+            )
+        )
+        spec = AccessSpec()
+        for oid in chosen:
+            mode = draw(st.sampled_from(["rd", "wr", "rw"]))
+            getattr(spec, mode)(objects[oid])
+        tasks.append(make_task(tid, spec))
+    return tasks
+
+
+@settings(max_examples=150, deadline=None)
+@given(random_program(), st.randoms(use_true_random=False))
+def test_greedy_schedules_respect_dependences(tasks, rng):
+    """Drive the synchronizer with random eligible-task choices and check
+    that every conflicting pair completes in program order."""
+    sync = Synchronizer()
+    enabled = set()
+    for t in tasks:
+        if sync.add_task(t):
+            enabled.add(t.task_id)
+    by_id = {t.task_id: t for t in tasks}
+    completion_order = []
+    while enabled:
+        tid = rng.choice(sorted(enabled))
+        enabled.discard(tid)
+        completion_order.append(tid)
+        for new in sync.complete_task(by_id[tid]):
+            enabled.add(new)
+    # Everything ran.
+    assert sorted(completion_order) == [t.task_id for t in tasks]
+    # Conflicting pairs preserve program order.
+    position = {tid: i for i, tid in enumerate(completion_order)}
+    for a, b in itertools.combinations(tasks, 2):
+        if a.spec.conflicts_with(b.spec):
+            assert position[a.task_id] < position[b.task_id], (
+                f"conflicting pair ({a.task_id}, {b.task_id}) completed out of order"
+            )

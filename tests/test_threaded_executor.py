@@ -1,0 +1,124 @@
+"""Tests for the real-thread Jade executor."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import AccessSpec, JadeBuilder, run_stripped
+from repro.errors import AccessViolationError
+from repro.parallel import ThreadedExecutor, run_threaded
+
+from tests.helpers import (
+    chain_program,
+    fanout_program,
+    independent_program,
+    reduction_program,
+)
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_reduction_matches_stripped(workers):
+    program = reduction_program(num_workers=6, iterations=3)
+    expected = run_stripped(reduction_program(num_workers=6, iterations=3))
+    result = run_threaded(program, num_workers=workers)
+    for obj in program.registry:
+        assert np.array_equal(expected.payload(obj), result.payload(obj))
+    assert result.serial_sections_executed == 3
+
+
+def test_chain_program():
+    program = chain_program(length=15)
+    expected = run_stripped(chain_program(length=15))
+    result = run_threaded(program, num_workers=4)
+    acc = program.registry.by_name("acc")
+    assert np.array_equal(expected.payload(acc), result.payload(acc))
+
+
+def test_fanout_program():
+    program = fanout_program(num_readers=6)
+    expected = run_stripped(fanout_program(num_readers=6))
+    result = run_threaded(program, num_workers=3)
+    for obj in program.registry:
+        assert np.array_equal(expected.payload(obj), result.payload(obj))
+
+
+def test_independent_tasks_actually_overlap():
+    """Bodies that sleep (releasing the GIL) run concurrently."""
+    jade = JadeBuilder()
+    cells = [jade.object(f"c{i}", initial=np.zeros(1)) for i in range(4)]
+    barrier = threading.Barrier(4, timeout=10)
+
+    def body(i):
+        def run(ctx):
+            barrier.wait()  # deadlocks unless all four run concurrently
+            ctx.wr(cells[i])[0] = i
+        return run
+
+    for i in range(4):
+        jade.task(f"t{i}", body=body(i), wr=[cells[i]])
+    result = run_threaded(jade.finish("barrier"), num_workers=4, timeout=30)
+    assert result.max_concurrent >= 4
+    for i in range(4):
+        assert result.payload(cells[i])[0] == i
+
+
+def test_conflicting_tasks_never_overlap():
+    """Writers of one object must serialize, whatever the pool does."""
+    jade = JadeBuilder()
+    shared = jade.object("shared", initial=np.zeros(1))
+    active = {"n": 0, "max": 0}
+    guard = threading.Lock()
+
+    def body(k):
+        def run(ctx):
+            with guard:
+                active["n"] += 1
+                active["max"] = max(active["max"], active["n"])
+            time.sleep(0.002)
+            ctx.wr(shared)[0] += 1
+            with guard:
+                active["n"] -= 1
+        return run
+
+    for k in range(10):
+        jade.task(f"w{k}", body=body(k), rw=[shared])
+    result = run_threaded(jade.finish("serialized"), num_workers=4)
+    assert active["max"] == 1
+    assert result.payload(shared)[0] == 10
+
+
+def test_body_exception_propagates():
+    jade = JadeBuilder()
+    a = jade.object("a", initial=np.zeros(1))
+    b = jade.object("b", initial=np.zeros(1))
+
+    def bad(ctx):
+        ctx.wr(b)  # undeclared
+
+    jade.task("bad", body=bad, wr=[a])
+    with pytest.raises(AccessViolationError):
+        run_threaded(jade.finish("boom"), num_workers=2)
+
+
+def test_empty_program():
+    result = run_threaded(JadeBuilder().finish("empty"))
+    assert result.tasks_executed == 0
+
+
+def test_invalid_worker_count():
+    with pytest.raises(ValueError):
+        ThreadedExecutor(JadeBuilder().finish("x"), num_workers=0)
+
+
+def test_apps_run_on_threads():
+    """A real application (tiny Water) through the threaded executor."""
+    from repro.apps import MachineKind, Water, WaterConfig
+
+    app = Water(WaterConfig.tiny())
+    program = app.build(4, machine=MachineKind.IPSC860)
+    expected = run_stripped(app.build(4, machine=MachineKind.IPSC860))
+    result = run_threaded(program, num_workers=4)
+    positions = program.registry.by_name("positions")
+    assert np.array_equal(expected.payload(positions), result.payload(positions))

@@ -1,0 +1,139 @@
+"""Unit + property tests for the hypercube and cluster-mesh topologies."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MachineError, RoutingError
+from repro.machines import ClusterMesh, Hypercube
+
+
+# --------------------------------------------------------------------- #
+# hypercube
+# --------------------------------------------------------------------- #
+def test_hypercube_rejects_non_power_of_two():
+    for bad in (0, 3, 6, 12, 24):
+        with pytest.raises(MachineError):
+            Hypercube(bad)
+
+
+def test_hypercube_dimension():
+    assert Hypercube(1).dimension == 0
+    assert Hypercube(2).dimension == 1
+    assert Hypercube(32).dimension == 5
+
+
+def test_neighbors_are_one_bit_apart():
+    cube = Hypercube(16)
+    for node in cube.nodes():
+        for nb in cube.neighbors(node):
+            assert cube.distance(node, nb) == 1
+
+
+def test_route_is_shortest_path():
+    cube = Hypercube(16)
+    for src in cube.nodes():
+        for dst in cube.nodes():
+            path = cube.route(src, dst)
+            assert path[0] == src and path[-1] == dst
+            assert len(path) - 1 == cube.distance(src, dst)
+            for a, b in zip(path, path[1:]):
+                assert cube.distance(a, b) == 1
+
+
+def test_distance_matches_networkx_shortest_path():
+    cube = Hypercube(32)
+    graph = nx.Graph()
+    for node in cube.nodes():
+        for nb in cube.neighbors(node):
+            graph.add_edge(node, nb)
+    lengths = dict(nx.all_pairs_shortest_path_length(graph))
+    for a in cube.nodes():
+        for b in cube.nodes():
+            assert cube.distance(a, b) == lengths[a][b]
+
+
+def test_route_out_of_range_rejected():
+    cube = Hypercube(8)
+    with pytest.raises(RoutingError):
+        cube.route(0, 8)
+    with pytest.raises(RoutingError):
+        cube.distance(-1, 0)
+
+
+def test_broadcast_schedule_reaches_all_nodes_once():
+    cube = Hypercube(32)
+    for root in (0, 5, 31):
+        stages = cube.broadcast_schedule(root)
+        assert len(stages) == cube.dimension
+        seen = {root}
+        for stage in stages:
+            for snd, rcv in stage:
+                assert snd in seen
+                assert rcv not in seen
+                seen.add(rcv)
+        assert seen == set(cube.nodes())
+
+
+@given(st.integers(min_value=0, max_value=5), st.integers(min_value=0, max_value=63),
+       st.integers(min_value=0, max_value=63))
+def test_distance_is_a_metric(dim_exp, a, b):
+    size = 2 ** dim_exp
+    cube = Hypercube(size)
+    a %= size
+    b %= size
+    d = cube.distance(a, b)
+    assert d == cube.distance(b, a)
+    assert (d == 0) == (a == b)
+    assert d <= cube.dimension
+
+
+# --------------------------------------------------------------------- #
+# cluster mesh
+# --------------------------------------------------------------------- #
+def test_cluster_assignment():
+    mesh = ClusterMesh(num_processors=32, cluster_size=4)
+    assert mesh.num_clusters == 8
+    assert [mesh.cluster_of(p) for p in range(8)] == [0, 0, 0, 0, 1, 1, 1, 1]
+    assert list(mesh.processors_in_cluster(7)) == [28, 29, 30, 31]
+
+
+def test_partial_last_cluster():
+    mesh = ClusterMesh(num_processors=6, cluster_size=4)
+    assert mesh.num_clusters == 2
+    assert list(mesh.processors_in_cluster(1)) == [4, 5]
+
+
+def test_same_cluster_predicate():
+    mesh = ClusterMesh(num_processors=16, cluster_size=4)
+    assert mesh.same_cluster(0, 3)
+    assert not mesh.same_cluster(3, 4)
+
+
+def test_mesh_distance_zero_within_cluster():
+    mesh = ClusterMesh(num_processors=32, cluster_size=4)
+    assert mesh.mesh_distance(0, 1) == 0
+    assert mesh.mesh_distance(0, 31) > 0
+
+
+def test_single_processor_machine():
+    mesh = ClusterMesh(num_processors=1, cluster_size=4)
+    assert mesh.num_clusters == 1
+    assert mesh.cluster_of(0) == 0
+
+
+def test_bad_configs_rejected():
+    with pytest.raises(MachineError):
+        ClusterMesh(num_processors=0)
+    with pytest.raises(MachineError):
+        ClusterMesh(num_processors=4, cluster_size=0)
+    mesh = ClusterMesh(num_processors=4)
+    with pytest.raises(MachineError):
+        mesh.cluster_of(4)
+
+
+@given(st.integers(min_value=1, max_value=64), st.integers(min_value=1, max_value=8))
+def test_every_processor_is_in_its_cluster_range(n, csize):
+    mesh = ClusterMesh(num_processors=n, cluster_size=csize)
+    for p in range(n):
+        assert p in mesh.processors_in_cluster(mesh.cluster_of(p))

@@ -1,0 +1,127 @@
+"""Unit tests for tracing and statistics primitives."""
+
+import pytest
+
+from repro.sim import Accumulator, Counter, StatRegistry, TimeSeries, Tracer
+from repro.sim.resources import PriorityFifoResource
+from repro.sim.engine import Simulator
+
+
+# --------------------------------------------------------------------- #
+# stats
+# --------------------------------------------------------------------- #
+def test_counter():
+    c = Counter("x")
+    c.incr()
+    c.incr(4)
+    assert int(c) == 5
+
+
+def test_accumulator_statistics():
+    a = Accumulator("lat")
+    for v in (1.0, 3.0, 2.0):
+        a.add(v)
+    assert a.total == pytest.approx(6.0)
+    assert a.count == 3
+    assert a.mean == pytest.approx(2.0)
+    assert a.min == 1.0
+    assert a.max == 3.0
+
+
+def test_accumulator_empty_mean_is_zero():
+    assert Accumulator().mean == 0.0
+
+
+def test_timeseries():
+    ts = TimeSeries("q")
+    ts.record(0.0, 1.0)
+    ts.record(1.0, 2.0)
+    assert len(ts) == 2
+    assert ts.last() == (1.0, 2.0)
+    assert list(ts) == [(0.0, 1.0), (1.0, 2.0)]
+    with pytest.raises(IndexError):
+        TimeSeries().last()
+
+
+def test_registry_reuses_and_snapshots():
+    reg = StatRegistry()
+    reg.counter("msgs").incr(3)
+    assert reg.counter("msgs").value == 3  # same object on re-lookup
+    reg.accumulator("bytes").add(100.0)
+    reg.timeseries("load").record(1.0, 7.0)
+    snap = reg.snapshot()
+    assert snap["counter.msgs"] == 3.0
+    assert snap["sum.bytes"] == 100.0
+    assert snap["mean.bytes"] == 100.0
+    assert snap["last.load"] == 7.0
+
+
+# --------------------------------------------------------------------- #
+# tracer
+# --------------------------------------------------------------------- #
+def test_tracer_records_and_formats():
+    tr = Tracer(enabled=True)
+    tr.emit(1.5, "task", "start", task=3, proc=1)
+    tr.emit(2.0, "message", "object", nbytes=100)
+    assert len(tr) == 2
+    assert tr.filter("task")[0].attr("task") == 3
+    assert tr.filter("task")[0].attr("missing", "d") == "d"
+    assert "task:start" in tr.format()
+    assert tr.histogram() == {"task": 1, "message": 1}
+
+
+def test_tracer_disabled_records_nothing():
+    tr = Tracer(enabled=False)
+    tr.emit(0.0, "task", "x")
+    assert len(tr) == 0
+
+
+def test_tracer_category_filtering():
+    tr = Tracer(enabled=True, categories=["message"])
+    tr.emit(0.0, "task", "x")
+    tr.emit(0.0, "message", "y")
+    assert [e.category for e in tr] == ["message"]
+
+
+def test_trace_format_is_stable_key_order():
+    tr = Tracer(enabled=True)
+    tr.emit(0.0, "c", "l", zebra=1, alpha=2)
+    assert tr.events[0].format().index("alpha") < tr.events[0].format().index("zebra")
+
+
+# --------------------------------------------------------------------- #
+# priority resource
+# --------------------------------------------------------------------- #
+def test_priority_resource_urgent_preempts_queue_not_service():
+    sim = Simulator()
+    cpu = PriorityFifoResource(sim, "cpu")
+    order = []
+    cpu.submit(1.0, lambda s, f: order.append(("normal1", s, f)))
+    cpu.submit(1.0, lambda s, f: order.append(("normal2", s, f)))
+    # Urgent job submitted while normal1 is being served: it runs before
+    # normal2 but does not preempt normal1.
+    sim.schedule(0.5, lambda: cpu.submit(
+        0.25, lambda s, f: order.append(("urgent", s, f)), urgent=True))
+    sim.run()
+    assert [x[0] for x in order] == ["normal1", "urgent", "normal2"]
+    assert order[1][1] == pytest.approx(1.0)   # urgent starts at service end
+    assert order[2][1] == pytest.approx(1.25)
+
+
+def test_priority_resource_counters():
+    sim = Simulator()
+    cpu = PriorityFifoResource(sim)
+    cpu.submit(1.0, lambda s, f: None)
+    cpu.submit(2.0, lambda s, f: None, urgent=True)
+    assert cpu.queue_length == 1
+    sim.run()
+    assert cpu.jobs_served == 2
+    assert cpu.busy_time == pytest.approx(3.0)
+    assert cpu.queue_length == 0
+
+
+def test_priority_resource_rejects_negative():
+    sim = Simulator()
+    cpu = PriorityFifoResource(sim)
+    with pytest.raises(ValueError):
+        cpu.submit(-1.0, lambda s, f: None)

@@ -1,0 +1,66 @@
+"""Unit tests for the util package (ids, units, rng)."""
+
+import numpy as np
+import pytest
+
+from repro.util import (
+    KB,
+    MB,
+    MSEC,
+    USEC,
+    CYCLES,
+    IdAllocator,
+    bytes_human,
+    seconds_human,
+    substream,
+)
+
+
+def test_id_allocator_namespaces_are_independent():
+    ids = IdAllocator()
+    assert [ids.next("task") for _ in range(3)] == [0, 1, 2]
+    assert ids.next("object") == 0
+    assert ids.count("task") == 3
+    assert ids.peek("task") == 3
+    assert ids.count("never") == 0
+
+
+def test_id_allocator_reset():
+    ids = IdAllocator()
+    ids.next("a")
+    ids.next("b")
+    ids.reset("a")
+    assert ids.next("a") == 0
+    assert ids.next("b") == 1
+    ids.reset()
+    assert ids.next("b") == 0
+
+
+def test_unit_constants():
+    assert KB == 1024
+    assert MB == 1024 * 1024
+    assert USEC == pytest.approx(1e-6)
+    assert MSEC == pytest.approx(1e-3)
+    assert CYCLES(33, 33e6) == pytest.approx(1e-6)
+
+
+def test_bytes_human():
+    assert bytes_human(512) == "512 B"
+    assert bytes_human(2048) == "2.0 KB"
+    assert bytes_human(3 * MB) == "3.0 MB"
+
+
+def test_seconds_human():
+    assert seconds_human(2.5) == "2.50 s"
+    assert seconds_human(0.0025) == "2.50 ms"
+    assert seconds_human(47e-6) == "47.0 us"
+
+
+def test_substream_reproducible_and_label_sensitive():
+    a1 = substream(7, "x").random(5)
+    a2 = substream(7, "x").random(5)
+    b = substream(7, "y").random(5)
+    c = substream(8, "x").random(5)
+    assert np.array_equal(a1, a2)
+    assert not np.array_equal(a1, b)
+    assert not np.array_equal(a1, c)

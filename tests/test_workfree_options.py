@@ -1,0 +1,92 @@
+"""Tests for the work-free transformation and runtime options."""
+
+import pytest
+
+from repro.runtime import LocalityLevel, RuntimeOptions, make_work_free
+from repro.runtime.workfree import task_management_percentage
+
+from tests.helpers import reduction_program
+
+
+# --------------------------------------------------------------------- #
+# work-free transformation
+# --------------------------------------------------------------------- #
+def test_work_free_strips_cost_and_bodies_keeps_structure():
+    program = reduction_program(num_workers=4, iterations=2)
+    free = make_work_free(program)
+    assert len(free.tasks) == len(program.tasks)
+    for original, stripped in zip(program.tasks, free.tasks):
+        assert stripped.cost == 0.0
+        assert stripped.body is None
+        assert stripped.task_id == original.task_id
+        assert stripped.serial == original.serial
+        assert stripped.spec is original.spec  # identical concurrency pattern
+    assert free.total_cost() == 0.0
+    assert free.registry is program.registry
+
+
+def test_work_free_program_runs():
+    from repro.runtime import run_message_passing
+
+    program = make_work_free(reduction_program(num_workers=4, iterations=2))
+    metrics = run_message_passing(program, 2, RuntimeOptions(work_free=True))
+    assert metrics.tasks_executed == 8
+    assert metrics.task_time_total == 0.0
+
+
+def test_task_management_percentage_bounds():
+    assert task_management_percentage(5.0, 10.0) == pytest.approx(50.0)
+    assert task_management_percentage(20.0, 10.0) == 100.0  # clamped
+    assert task_management_percentage(1.0, 0.0) == 0.0
+
+
+# --------------------------------------------------------------------- #
+# options
+# --------------------------------------------------------------------- #
+def test_options_defaults_match_paper_baseline():
+    opts = RuntimeOptions()
+    assert opts.locality is LocalityLevel.LOCALITY
+    assert opts.replication
+    assert opts.adaptive_broadcast
+    assert opts.concurrent_fetches
+    assert opts.target_tasks_per_processor == 1
+    assert not opts.latency_hiding
+    assert not opts.work_free
+    assert not opts.eager_update
+
+
+def test_options_but_returns_modified_copy():
+    base = RuntimeOptions()
+    changed = base.but(adaptive_broadcast=False, target_tasks_per_processor=2)
+    assert not changed.adaptive_broadcast
+    assert changed.latency_hiding
+    assert base.adaptive_broadcast  # original untouched
+
+
+def test_options_invalid_target_rejected():
+    with pytest.raises(ValueError):
+        RuntimeOptions(target_tasks_per_processor=0)
+
+
+def test_options_describe_mentions_non_defaults():
+    opts = RuntimeOptions(
+        locality=LocalityLevel.NO_LOCALITY,
+        replication=False,
+        adaptive_broadcast=False,
+        concurrent_fetches=False,
+        target_tasks_per_processor=2,
+        work_free=True,
+        eager_update=True,
+    )
+    text = opts.describe()
+    for token in ("no_locality", "no-replication", "no-broadcast",
+                  "serial-fetch", "target=2", "work-free", "eager-update"):
+        assert token in text
+    assert RuntimeOptions().describe() == "locality"
+
+
+def test_options_hashable_and_frozen():
+    opts = RuntimeOptions()
+    with pytest.raises(Exception):
+        opts.replication = False  # frozen dataclass
+    assert hash(opts) == hash(RuntimeOptions())

@@ -1,0 +1,133 @@
+"""Tests for the heterogeneous workstation-farm platform."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineError
+from repro.machines.workstations import BusNetwork, EthernetParams, WorkstationFarm
+from repro.runtime import RuntimeOptions
+from repro.runtime.message_passing import MessagePassingRuntime
+from repro.sim import Simulator
+
+from tests.helpers import assert_matches_stripped, independent_program, reduction_program
+
+
+# --------------------------------------------------------------------- #
+# the bus network
+# --------------------------------------------------------------------- #
+def make_bus(n=4, **overrides):
+    sim = Simulator()
+    params = EthernetParams(**overrides) if overrides else EthernetParams()
+    return sim, BusNetwork(sim, n, params)
+
+
+def test_point_to_point_delivery():
+    sim, bus = make_bus()
+    got = []
+    bus.send(0, 1, 10_000, "data", on_delivered=got.append, payload="x")
+    sim.run()
+    assert got == ["x"]
+    p = bus.params
+    assert sim.now == pytest.approx(p.alpha_send + 10_000 * p.per_byte + p.alpha_recv)
+
+
+def test_all_traffic_serializes_on_the_bus():
+    """Unlike the hypercube, disjoint pairs cannot overlap."""
+    sim, bus = make_bus()
+    bus.send(0, 1, 100_000, "a")
+    bus.send(2, 3, 100_000, "b")
+    sim.run()
+    single = bus.send_occupancy(100_000)
+    assert sim.now >= 2 * single
+
+
+def test_broadcast_is_one_bus_slot():
+    sim, bus = make_bus(n=8)
+    arrived = []
+    bus.broadcast(0, 50_000, "x", on_delivered=lambda n, p: arrived.append(n))
+    sim.run()
+    assert sorted(arrived) == list(range(1, 8))
+    # One transmission, not 7: elapsed ≈ a single send.
+    assert sim.now == pytest.approx(bus.send_occupancy(50_000)
+                                    + bus.params.alpha_recv, rel=0.01)
+
+
+def test_broadcast_to_subset_and_self():
+    sim, bus = make_bus(n=8)
+    arrived = []
+    done = bus.broadcast(2, 1000, "x", on_delivered=lambda n, p: arrived.append(n),
+                         targets=[2, 3, 4])
+    sim.run()
+    assert sorted(arrived) == [3, 4]
+    assert done.fired
+
+
+def test_bus_stats():
+    sim, bus = make_bus()
+    bus.send(0, 1, 500, "request")
+    sim.run()
+    assert bus.stats.counters["net.messages.request"].value == 1
+    assert bus.stats.accumulators["net.bytes"].total == 500
+
+
+# --------------------------------------------------------------------- #
+# the farm
+# --------------------------------------------------------------------- #
+def test_farm_validation():
+    with pytest.raises(MachineError):
+        WorkstationFarm([])
+    with pytest.raises(MachineError):
+        WorkstationFarm([1.0, -2.0])
+
+
+def test_compute_seconds_scaling():
+    farm = WorkstationFarm([1.0, 2.0, 0.5])
+    assert farm.compute_seconds(0, 1.0) == pytest.approx(1.0)
+    assert farm.compute_seconds(1, 1.0) == pytest.approx(0.5)
+    assert farm.compute_seconds(2, 1.0) == pytest.approx(2.0)
+    assert "speeds" in farm.describe()
+
+
+def test_jade_program_runs_unmodified_on_the_farm():
+    """§1: Jade programs port without modification between platforms."""
+    program = reduction_program(num_workers=6, iterations=2)
+    farm = WorkstationFarm([1.0, 1.5, 0.7, 1.2])
+    runtime = MessagePassingRuntime(program, farm, RuntimeOptions())
+    metrics = runtime.run()
+    assert_matches_stripped(program, metrics)
+    assert metrics.tasks_executed == 12
+
+
+def test_heterogeneous_speeds_change_elapsed_time():
+    fast = WorkstationFarm([4.0, 4.0, 4.0, 4.0])
+    slow = WorkstationFarm([1.0, 1.0, 1.0, 1.0])
+    m_fast = MessagePassingRuntime(
+        independent_program(8, cost=50e-3), fast, RuntimeOptions()).run()
+    m_slow = MessagePassingRuntime(
+        independent_program(8, cost=50e-3), slow, RuntimeOptions()).run()
+    assert m_fast.elapsed < m_slow.elapsed
+
+
+def test_count_based_balancing_suffers_on_skewed_farms():
+    """The Jade scheduler balances task counts, not work: a farm with one
+    slow node finishes later than its aggregate speed would allow."""
+    balanced = WorkstationFarm([1.0, 1.0, 1.0, 1.0])
+    skewed = WorkstationFarm([1.45, 1.45, 1.0, 0.1])  # same total speed
+    prog = lambda: independent_program(12, cost=100e-3)
+    m_bal = MessagePassingRuntime(prog(), balanced, RuntimeOptions()).run()
+    m_skew = MessagePassingRuntime(prog(), skewed, RuntimeOptions()).run()
+    assert m_skew.elapsed > m_bal.elapsed * 1.5
+
+
+def test_farm_broadcast_helps_wide_reads():
+    """Ethernet broadcast makes adaptive broadcast even more valuable."""
+    program_on = reduction_program(num_workers=6, iterations=4, cost=5e-3)
+    program_off = reduction_program(num_workers=6, iterations=4, cost=5e-3)
+    on = MessagePassingRuntime(
+        program_on, WorkstationFarm([1.0] * 6),
+        RuntimeOptions(adaptive_broadcast=True)).run()
+    off = MessagePassingRuntime(
+        program_off, WorkstationFarm([1.0] * 6),
+        RuntimeOptions(adaptive_broadcast=False)).run()
+    assert on.broadcasts > 0
+    assert on.elapsed <= off.elapsed
