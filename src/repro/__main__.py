@@ -6,6 +6,7 @@ Commands
 ``run``       execute one application configuration and print its metrics
 ``sweep``     locality-level sweep for one app/machine (a paper table)
 ``analyze``   static concurrency analysis of an application's program
+``check``     validate access specs, detect races, verify determinism
 ``describe``  list applications, machines, optimization switches
 """
 
@@ -46,12 +47,27 @@ def cmd_run(args) -> int:
         eager_update=args.eager_update,
         work_free=args.work_free,
     )
+    tracer = None
+    if args.trace_out:
+        from repro.sim.trace import Tracer
+
+        try:
+            # Fail before the run, not after: the file is rewritten below.
+            open(args.trace_out, "w").close()
+        except OSError as exc:
+            print(f"error: cannot write trace to {args.trace_out}: {exc}",
+                  file=sys.stderr)
+            return 2
+        tracer = Tracer(enabled=True)
     metrics = run_app(args.app, args.procs, MachineKind(args.machine),
-                      options.locality, options, args.scale)
+                      options.locality, options, args.scale, tracer=tracer)
     print(f"{args.app} on {args.machine}, {args.procs} processors "
           f"[{options.describe()}]")
     for key, value in metrics.summary().items():
         print(f"  {key:<14} {value:.6g}")
+    if tracer is not None:
+        tracer.write(args.trace_out)
+        print(f"  trace          {len(tracer)} events -> {args.trace_out}")
     return 0
 
 
@@ -108,6 +124,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--target-tasks", type=int, default=1)
     run_p.add_argument("--eager-update", action="store_true")
     run_p.add_argument("--work-free", action="store_true")
+    run_p.add_argument("--trace-out", metavar="PATH", default=None,
+                       help="record a trace: Chrome about:tracing JSON for "
+                            "*.json, JSON Lines otherwise")
     run_p.set_defaults(func=cmd_run)
 
     sweep_p = sub.add_parser("sweep", help="locality-level sweep (paper table)")
@@ -119,6 +138,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(an_p)
     an_p.add_argument("--procs", type=int, default=32)
     an_p.set_defaults(func=cmd_analyze)
+
+    from repro.check.cli import add_check_parser
+
+    add_check_parser(sub)
 
     de_p = sub.add_parser("describe", help="list apps/machines/switches")
     de_p.set_defaults(func=cmd_describe)

@@ -1,0 +1,92 @@
+"""A deliberately mis-declared application — the checker's canary.
+
+Jade's correctness story collapses silently when an access specification
+under-declares: the synchronizer extracts the wrong dependence graph, the
+communicator fetches the wrong objects, and the run "succeeds" with wrong
+numbers.  This app seeds exactly that bug so ``python -m repro check`` has
+a known-bad input it must flag (and the test suite can assert it does):
+
+* ``init.<i>`` tasks each write their own cell — correctly declared;
+* ``smooth.1`` averages its cell with its *left neighbor's* cell, but
+  declares only ``wr(cell1)`` — the read of ``cell0`` is undeclared.  The
+  checker must report an :class:`~repro.check.record.AccessViolation`
+  naming the task, the object and the access kind, and the race detector
+  must flag the undeclared read as concurrent with ``init.0``'s write.
+
+Do **not** add this application to ``ALL_APPLICATIONS``: it is not part of
+the paper's evaluation set and must never feed experiment tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.base import Application, MachineKind
+from repro.runtime.options import LocalityLevel
+
+
+@dataclass
+class MisdeclaredConfig:
+    """Geometry of the canary program."""
+
+    num_cells: int = 4
+    cell_len: int = 8
+    task_cost: float = 1e-4
+
+    @classmethod
+    def tiny(cls) -> "MisdeclaredConfig":
+        return cls()
+
+    @classmethod
+    def paper(cls) -> "MisdeclaredConfig":
+        # There is no paper-scale version of a bug; same geometry.
+        return cls()
+
+
+class Misdeclared(Application):
+    """Stencil-like toy program with one missing ``rd`` declaration."""
+
+    name = "misdeclared"
+    supports_task_placement = False
+
+    def __init__(self, config: MisdeclaredConfig) -> None:
+        self.config = config
+
+    def build(
+        self,
+        num_processors: int,
+        machine: MachineKind = MachineKind.IPSC860,
+        level: LocalityLevel = LocalityLevel.LOCALITY,
+    ) -> "JadeProgram":
+        from repro.core.program import JadeBuilder
+
+        self.check_placement_supported(level)
+        cfg = self.config
+        jade = JadeBuilder()
+        cells = [
+            jade.object(f"cell{i}", initial=np.zeros(cfg.cell_len),
+                        home=i % num_processors)
+            for i in range(cfg.num_cells)
+        ]
+
+        def init(i):
+            def body(ctx):
+                ctx.wr(cells[i])[:] = float(i + 1)
+            return body
+
+        for i in range(cfg.num_cells):
+            jade.task(f"init.{i}", body=init(i), wr=[cells[i]],
+                      cost=cfg.task_cost, phase="init")
+
+        def smooth(ctx):
+            # BUG (deliberate): reads the left neighbor without declaring
+            # rd(cell0).  The synchronizer therefore never orders this task
+            # after init.0 — an access violation and an object race.
+            left = ctx.rd(cells[0])
+            ctx.wr(cells[1])[:] = (ctx.rd(cells[1]) + left) * 0.5
+
+        jade.task("smooth.1", body=smooth,
+                  rw=[cells[1]], cost=cfg.task_cost, phase="smooth")
+        return jade.finish("misdeclared")

@@ -1,0 +1,57 @@
+"""``repro.check`` — dynamic verification of Jade access specifications.
+
+The whole Jade contract (§2 of the paper) is: tasks *declare* their shared
+object accesses, the runtime *enforces* the declarations, and deterministic
+serial semantics follow.  This subsystem closes the loop by validating the
+declarations against what task bodies actually do:
+
+* :class:`AccessRecorder` instruments :class:`~repro.core.task.TaskContext`
+  and :class:`~repro.core.objects.ObjectStore` with per-task access
+  recording, producing structured :class:`AccessViolation` records for
+  every undeclared access (either aborting like the real Jade runtime, or
+  collecting all violations from one run);
+* :func:`detect_races` runs a vector-clock happens-before race detector
+  over the recorded accesses, using only the ordering the synchronizer
+  actually enforced — it flags conflicting accesses of app bugs (missing
+  declarations) and runtime bugs (a scheduler running a task early);
+* :func:`verify_determinism` / :func:`cross_check` replay configurations
+  and report the *first structural trace divergence* with context instead
+  of a bare byte-inequality;
+* :func:`check_application` / ``python -m repro check`` wire it all into a
+  one-command validity check for the paper's applications.
+
+Everything is off by default: an un-instrumented run pays exactly one
+``is not None`` predicate check per hook site.
+"""
+
+from repro.check.record import AccessEvent, AccessRecorder, AccessViolation
+from repro.check.races import ObjectRace, compute_vector_clocks, detect_races, happens_before
+from repro.check.determinism import (
+    CrossCheckReport,
+    DeterminismReport,
+    TraceDivergence,
+    compare_traces,
+    cross_check,
+    verify_determinism,
+)
+from repro.check.checker import CheckReport, build_program, check_application, run_checked
+
+__all__ = [
+    "AccessEvent",
+    "AccessRecorder",
+    "AccessViolation",
+    "ObjectRace",
+    "compute_vector_clocks",
+    "detect_races",
+    "happens_before",
+    "TraceDivergence",
+    "DeterminismReport",
+    "CrossCheckReport",
+    "compare_traces",
+    "cross_check",
+    "verify_determinism",
+    "CheckReport",
+    "build_program",
+    "check_application",
+    "run_checked",
+]

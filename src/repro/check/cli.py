@@ -1,0 +1,87 @@
+"""The ``python -m repro check`` command.
+
+Runs the full verification stack for one application:
+
+1. access-specification check + race detection on each selected machine;
+2. determinism verification (two traced replays per machine, structural
+   trace comparison);
+3. shared-memory vs. message-passing cross-check of final results against
+   the stripped serial execution.
+
+Exit status is 0 only when every stage is clean — so the command doubles
+as a validity control in scripts and CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.check.checker import (
+    build_program,
+    check_application,
+    checkable_applications,
+    verify_application_determinism,
+)
+from repro.check.determinism import cross_check
+from repro.errors import AccessViolationError
+
+
+def add_check_parser(sub) -> None:
+    """Register the ``check`` subcommand on the main parser."""
+    parser = sub.add_parser(
+        "check",
+        help="validate access specs, detect races, verify determinism",
+    )
+    parser.add_argument("--app", required=True,
+                        choices=checkable_applications())
+    parser.add_argument("--machine", default="both",
+                        choices=["dash", "ipsc860", "both"])
+    parser.add_argument("--procs", type=int, default=4)
+    parser.add_argument("--scale", default="tiny", choices=["tiny", "paper"])
+    parser.add_argument("--policy", default="collect",
+                        choices=["collect", "raise"],
+                        help="collect all violations, or abort on the first")
+    parser.add_argument("--no-determinism", action="store_true",
+                        help="skip the replay and cross-check stages")
+    parser.set_defaults(func=cmd_check)
+
+
+def cmd_check(args) -> int:
+    machines = ["dash", "ipsc860"] if args.machine == "both" else [args.machine]
+    failed = False
+
+    for machine in machines:
+        try:
+            report = check_application(
+                args.app, machine, args.procs, args.scale, policy=args.policy,
+            )
+        except AccessViolationError as exc:
+            # raise policy: abort on the first violation, like real Jade.
+            print(f"check[{args.app} on {machine}, {args.procs} procs]: "
+                  f"ABORTED\n  {exc}")
+            failed = True
+            continue
+        print(report.format())
+        failed = failed or not report.ok
+
+    # Replays and cross-checks run the program *without* the collecting
+    # recorder, so they are only meaningful once the access check is clean
+    # (an undeclared access would abort an unchecked run outright).
+    if not args.no_determinism and not failed:
+        for machine in machines:
+            det = verify_application_determinism(
+                args.app, machine, args.procs, args.scale,
+            )
+            print(det.format())
+            failed = failed or not det.ok
+        if len(machines) == 2:
+            cross = cross_check(
+                lambda: build_program(args.app, args.procs, "ipsc860",
+                                      args.scale),
+                args.procs,
+                label=f"{args.app}/{args.procs}p",
+            )
+            print(cross.format())
+            failed = failed or not cross.ok
+
+    return 1 if failed else 0

@@ -1,0 +1,187 @@
+"""Determinism verification: structural trace comparison and cross-checks.
+
+The reproduction's experiments rely on runs being repeatable (the engine
+orders same-time events by scheduling sequence precisely for this).  The
+old test idiom asserted byte-equality of two formatted traces, which on
+failure says only "they differ".  This module compares traces
+*structurally* and reports the **first divergence with context** — the
+event index, both events, and the surrounding trace lines — which is the
+information actually needed to debug a nondeterministic scheduler.
+
+Two verifiers:
+
+* :func:`verify_determinism` — replay the same configuration N times and
+  compare every run's trace against the first;
+* :func:`cross_check` — run the same program on the shared-memory and the
+  message-passing machine and compare final shared-object payloads against
+  the stripped serial execution (the machines' traces legitimately differ;
+  their *results* may not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.program import JadeProgram, run_stripped
+from repro.sim.trace import TraceEvent
+
+
+@dataclass(frozen=True)
+class TraceDivergence:
+    """The first structural difference between two traces."""
+
+    #: Index of the first differing event (== common length when one trace
+    #: is a strict prefix of the other).
+    index: int
+    left: Optional[TraceEvent]
+    right: Optional[TraceEvent]
+    #: The events common to both runs immediately before the divergence.
+    context: Sequence[TraceEvent] = ()
+
+    def format(self) -> str:
+        lines = [f"trace divergence at event {self.index}:"]
+        for event in self.context:
+            lines.append(f"    = {event.format()}")
+        lines.append("    < " + (self.left.format() if self.left else "<end of trace>"))
+        lines.append("    > " + (self.right.format() if self.right else "<end of trace>"))
+        return "\n".join(lines)
+
+
+def compare_traces(
+    left: Sequence[TraceEvent],
+    right: Sequence[TraceEvent],
+    context: int = 3,
+) -> Optional[TraceDivergence]:
+    """Return the first structural divergence, or ``None`` when identical."""
+    for index in range(min(len(left), len(right))):
+        if left[index] != right[index]:
+            return TraceDivergence(
+                index=index,
+                left=left[index],
+                right=right[index],
+                context=tuple(left[max(0, index - context):index]),
+            )
+    if len(left) != len(right):
+        index = min(len(left), len(right))
+        return TraceDivergence(
+            index=index,
+            left=left[index] if index < len(left) else None,
+            right=right[index] if index < len(right) else None,
+            context=tuple(left[max(0, index - context):index]),
+        )
+    return None
+
+
+@dataclass
+class DeterminismReport:
+    """Outcome of replaying one configuration several times."""
+
+    label: str
+    runs: int = 0
+    events: int = 0
+    divergence: Optional[TraceDivergence] = None
+    #: Which replay diverged from run 0 (1-based), if any.
+    diverged_run: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.divergence is None
+
+    def format(self) -> str:
+        if self.ok:
+            return (f"determinism[{self.label}]: OK — {self.runs} identical "
+                    f"replays of {self.events} trace events")
+        return (f"determinism[{self.label}]: FAILED — replay "
+                f"{self.diverged_run} diverged from run 0\n"
+                + self.divergence.format())
+
+
+def verify_determinism(
+    run_once: Callable[[], Sequence[TraceEvent]],
+    runs: int = 2,
+    label: str = "run",
+    context: int = 3,
+) -> DeterminismReport:
+    """Execute ``run_once`` ``runs`` times and compare traces structurally.
+
+    ``run_once`` must build a *fresh* program and machine each call (Jade
+    programs hold live payload state) and return the recorded trace events.
+    """
+    if runs < 2:
+        raise ValueError("determinism verification needs at least 2 runs")
+    reference = list(run_once())
+    report = DeterminismReport(label=label, runs=runs, events=len(reference))
+    for k in range(1, runs):
+        replay = list(run_once())
+        divergence = compare_traces(reference, replay, context=context)
+        if divergence is not None:
+            report.divergence = divergence
+            report.diverged_run = k
+            return report
+    return report
+
+
+@dataclass
+class CrossCheckReport:
+    """Shared-memory vs. message-passing vs. stripped result comparison."""
+
+    label: str
+    objects_compared: int = 0
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def format(self) -> str:
+        if self.ok:
+            return (f"cross-check[{self.label}]: OK — {self.objects_compared} "
+                    f"objects identical on dash, ipsc860 and stripped")
+        lines = [f"cross-check[{self.label}]: FAILED"]
+        lines.extend(f"    {m}" for m in self.mismatches)
+        return "\n".join(lines)
+
+
+def _payload_equal(expected, actual) -> bool:
+    if isinstance(expected, np.ndarray) or isinstance(actual, np.ndarray):
+        return np.array_equal(np.asarray(expected), np.asarray(actual))
+    return expected == actual
+
+
+def cross_check(
+    program_factory: Callable[[], JadeProgram],
+    num_processors: int,
+    options=None,
+    label: str = "program",
+) -> CrossCheckReport:
+    """Run both machines on fresh programs; compare results to stripped.
+
+    The determinism guarantee of Jade (§2) is that every legal execution
+    computes the serial program's results — so the two machine
+    implementations must agree with the stripped executor object by object.
+    """
+    from repro.runtime import run_message_passing, run_shared_memory
+
+    serial = run_stripped(program_factory())
+    report = CrossCheckReport(label=label)
+    for machine_name, runner in (("dash", run_shared_memory),
+                                 ("ipsc860", run_message_passing)):
+        program = program_factory()
+        metrics = runner(program, num_processors, options)
+        store = metrics.final_store
+        if store is None:
+            report.mismatches.append(f"{machine_name}: no final store recorded")
+            continue
+        for obj in program.registry:
+            expected = serial.store.get(obj.object_id)
+            actual = store.get(obj.object_id)
+            report.objects_compared += 1
+            if not _payload_equal(expected, actual):
+                report.mismatches.append(
+                    f"{machine_name}: object {obj.name!r} ({obj.object_id}) "
+                    f"differs from the stripped serial result"
+                )
+    return report

@@ -1,0 +1,148 @@
+"""Vector-clock happens-before race detection over recorded accesses.
+
+The happens-before relation is built from the synchronization the run
+*actually performed*, as logged by the :class:`~repro.check.record.AccessRecorder`
+synchronizer observer:
+
+* **creation** — a task inherits the main thread's clock when the main
+  thread inserts its declarations into the synchronizer (task bodies are
+  not ordered by creation alone; only main-thread history is);
+* **enablement edges** — ``("edge", a, b)`` whenever the queue-based
+  synchronizer ordered ``b``'s declaration after ``a``'s completion (the
+  release/acquire pairs of §3.1's algorithm);
+* **serial joins** — a serial section executes on the main thread, so its
+  clock (and transitively everything it waited for) joins the main
+  thread's clock, ordering all later-created tasks after it.
+
+Each task is one vector-clock segment (``vc[t][t] = 1``); ``a`` happens
+before ``b`` iff ``vc[b][a] >= 1``.  Two accesses race when their tasks
+are unordered in this relation and at least one of them writes.  Because
+the relation contains only enforced ordering, a missing ``rd``/``wr``
+declaration (app bug) or a task run before its enablement (runtime bug)
+shows up as a conflicting unordered pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.check.record import AccessEvent, AccessRecorder
+
+
+@dataclass(frozen=True)
+class RaceAccess:
+    """One side of a race: a task and what it did to the object."""
+
+    task_id: int
+    task_name: str
+    #: ``"rd"``, ``"wr"`` or ``"rw"`` — the task's accesses to the object,
+    #: aggregated over its recorded events.
+    kind: str
+
+    def format(self) -> str:
+        return f"task {self.task_name!r} ({self.task_id}) {self.kind}"
+
+
+@dataclass(frozen=True)
+class ObjectRace:
+    """Two conflicting accesses not ordered by the synchronizer."""
+
+    object_id: int
+    object_name: str
+    first: RaceAccess
+    second: RaceAccess
+
+    def format(self) -> str:
+        return (f"RACE on object {self.object_name!r} ({self.object_id}): "
+                f"{self.first.format()} is concurrent with {self.second.format()}")
+
+
+def compute_vector_clocks(sync_log: Sequence[Tuple]) -> Dict[int, Dict[int, int]]:
+    """Replay the synchronization log into one vector clock per task."""
+    vcs: Dict[int, Dict[int, int]] = {}
+    main_vc: Dict[int, int] = {}
+    for event in sync_log:
+        tag = event[0]
+        if tag == "create":
+            tid = event[1]
+            vc = dict(main_vc)
+            vc[tid] = 1
+            vcs[tid] = vc
+        elif tag == "edge":
+            a, b = event[1], event[2]
+            va = vcs.get(a)
+            vb = vcs.get(b)
+            if va is None or vb is None:
+                continue  # edge to a task the log never created
+            for key, value in va.items():
+                if vb.get(key, 0) < value:
+                    vb[key] = value
+        elif tag == "complete":
+            tid, serial = event[1], event[2]
+            if serial and tid in vcs:
+                for key, value in vcs[tid].items():
+                    if main_vc.get(key, 0) < value:
+                        main_vc[key] = value
+    return vcs
+
+
+def happens_before(vcs: Dict[int, Dict[int, int]], a: int, b: int) -> bool:
+    """True when task ``a``'s segment is ordered before task ``b``'s."""
+    return vcs.get(b, {}).get(a, 0) >= 1
+
+
+def _aggregate(
+    events: Iterable[AccessEvent],
+) -> Tuple[Dict[int, Dict[int, Tuple[bool, bool, str]]], Dict[int, str]]:
+    """Per object: task -> (reads, writes, task_name), over actual accesses."""
+    per_object: Dict[int, Dict[int, Tuple[bool, bool, str]]] = {}
+    names: Dict[int, str] = {}
+    for event in events:
+        names[event.object_id] = event.object_name
+        tasks = per_object.setdefault(event.object_id, {})
+        reads, writes, _ = tasks.get(event.task_id, (False, False, event.task_name))
+        if event.writes:
+            writes = True
+        else:
+            reads = True
+        tasks[event.task_id] = (reads, writes, event.task_name)
+    return per_object, names
+
+
+def _kind(reads: bool, writes: bool) -> str:
+    if reads and writes:
+        return "rw"
+    return "wr" if writes else "rd"
+
+
+def detect_races(recorder: AccessRecorder) -> List[ObjectRace]:
+    """Find all pairs of conflicting, unordered accesses in a checked run.
+
+    Returns one race per (object, task pair), deterministically ordered by
+    object id then task ids.  An empty synchronization log (e.g. a stripped
+    serial run) cannot race: execution was fully ordered.
+    """
+    if not recorder.sync_log:
+        return []
+    vcs = compute_vector_clocks(recorder.sync_log)
+    per_object, names = _aggregate(recorder.events)
+    races: List[ObjectRace] = []
+    for object_id in sorted(per_object):
+        tasks = per_object[object_id]
+        tids = sorted(tasks)
+        for i, a in enumerate(tids):
+            a_reads, a_writes, a_name = tasks[a]
+            for b in tids[i + 1:]:
+                b_reads, b_writes, b_name = tasks[b]
+                if not (a_writes or b_writes):
+                    continue  # two reads never conflict
+                if happens_before(vcs, a, b) or happens_before(vcs, b, a):
+                    continue
+                races.append(ObjectRace(
+                    object_id=object_id,
+                    object_name=names[object_id],
+                    first=RaceAccess(a, a_name, _kind(a_reads, a_writes)),
+                    second=RaceAccess(b, b_name, _kind(b_reads, b_writes)),
+                ))
+    return races

@@ -1,0 +1,297 @@
+"""Per-task access recording and access-specification validation.
+
+The :class:`AccessRecorder` is the one object behind all three hook sites:
+
+* ``TaskContext.rd/wr/set`` delegate every access to
+  :meth:`AccessRecorder.context_access`, which records the access,
+  validates it against the task's declared :class:`AccessSpec`, and then
+  performs the underlying store operation;
+* ``ObjectStore.get/put`` notify :meth:`on_store_get`/:meth:`on_store_put`,
+  which catches bodies that bypass the ``TaskContext`` API (e.g. reaching
+  through ``ctx.store`` directly) — those accesses are attributed to the
+  currently-executing task and validated the same way;
+* ``Synchronizer.add_task/complete_task`` notify
+  :meth:`sync_task_added`/:meth:`sync_task_completed`, building the log of
+  synchronization events the race detector's happens-before relation is
+  computed from.
+
+Two policies
+------------
+
+``raise``  — abort on the first violation with
+:class:`~repro.errors.AccessViolationError`, exactly like the real Jade
+implementation's dynamic access check.
+
+``collect`` — record a structured :class:`AccessViolation` and keep going,
+so a single checked run reports *every* mis-declaration.  To survive
+undeclared accesses on the message-passing machine (where an undeclared
+object was never fetched into the executing node's store) the recorder
+serves a stable per-(store, object) scratch copy of the object's initial
+payload; numeric results of a violating run are therefore diagnostic only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.objects import ObjectStore, SharedObject, _clone
+from repro.core.program import JadeProgram
+from repro.core.task import TaskSpec
+from repro.errors import AccessViolationError
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One dynamic access a task body actually performed."""
+
+    seq: int
+    task_id: int
+    task_name: str
+    object_id: int
+    object_name: str
+    #: ``"rd"`` / ``"wr"`` / ``"set"`` — what the body did (``set`` is a
+    #: whole-payload replacement; it counts as a write).
+    kind: str
+    processor: int
+    #: ``"ctx"`` for accesses through the TaskContext API, ``"store"`` for
+    #: raw store accesses that bypassed it.
+    channel: str = "ctx"
+
+    @property
+    def writes(self) -> bool:
+        return self.kind in ("wr", "set")
+
+    def format(self) -> str:
+        return (f"task {self.task_name!r} ({self.task_id}) {self.kind} "
+                f"{self.object_name!r} on proc {self.processor} [{self.channel}]")
+
+
+@dataclass(frozen=True)
+class AccessViolation:
+    """A structured record of one undeclared (or impossible) access."""
+
+    task_id: int
+    task_name: str
+    object_id: int
+    object_name: str
+    #: The undeclared access kind: ``"rd"`` / ``"wr"`` / ``"set"``.
+    kind: str
+    #: What the task *did* declare for the object (``"rd"``/``"wr"``/``"rw"``)
+    #: or ``None`` when the object was not declared at all.
+    declared: Optional[str]
+    detail: str = ""
+
+    def format(self) -> str:
+        declared = self.declared if self.declared is not None else "nothing"
+        line = (f"ACCESS VIOLATION: task {self.task_name!r} ({self.task_id}) "
+                f"performed undeclared {self.kind} of object "
+                f"{self.object_name!r} ({self.object_id}); declared: {declared}")
+        if self.detail:
+            line += f" — {self.detail}"
+        return line
+
+
+class AccessRecorder:
+    """Records, validates and (optionally) survives shared-object accesses.
+
+    One recorder checks one run; construct a fresh one per execution.
+    """
+
+    def __init__(self, program: JadeProgram, policy: str = "collect") -> None:
+        if policy not in ("collect", "raise"):
+            raise ValueError(f"unknown checker policy {policy!r}")
+        self.program = program
+        self.policy = policy
+        self.events: List[AccessEvent] = []
+        self.violations: List[AccessViolation] = []
+        #: Chronological synchronization log consumed by
+        #: :mod:`repro.check.races`: ``("create", task_id, serial)``,
+        #: ``("edge", before_id, after_id)``, ``("complete", task_id, serial)``.
+        self.sync_log: List[Tuple] = []
+        self.tasks_checked = 0
+
+        self._registry = program.registry
+        #: The task whose body is currently executing (bodies never nest:
+        #: both runtimes and the stripped executor run them to completion).
+        self._current: Optional[Tuple[TaskSpec, int]] = None
+        #: Store access already attributed by :meth:`context_access`, so the
+        #: store-level observer does not double-count it.
+        self._expected: Optional[Tuple[ObjectStore, int]] = None
+        #: Scratch payloads served for undeclared objects missing from a
+        #: local store (collect policy on the message-passing machine).
+        self._scratch: Dict[Tuple[int, int], Any] = {}
+        # Per-object completion tracking for happens-before edges: the last
+        # completed writer, and the readers completed since that write.
+        self._last_writer_done: Dict[int, int] = {}
+        self._readers_done: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------ #
+    # wiring helpers
+    # ------------------------------------------------------------------ #
+    def attach_store(self, store: ObjectStore) -> None:
+        """Observe raw accesses on ``store`` (idempotent)."""
+        store.observer = self
+
+    def attach_synchronizer(self, sync) -> None:
+        sync.observer = self
+
+    # ------------------------------------------------------------------ #
+    # TaskContext hooks
+    # ------------------------------------------------------------------ #
+    def begin_task(self, task: TaskSpec, processor: int) -> None:
+        self._current = (task, processor)
+        self.tasks_checked += 1
+
+    def end_task(self, task: TaskSpec) -> None:
+        self._current = None
+        self._expected = None
+
+    def context_access(self, ctx, obj: SharedObject, kind: str,
+                       value: Any = None) -> Any:
+        """Validate and perform one TaskContext-level access."""
+        task = ctx.task
+        declared_ok = (task.spec.may_read(obj) if kind == "rd"
+                       else task.spec.may_write(obj))
+        self._record(task, obj, kind, ctx.processor, "ctx")
+        if not declared_ok:
+            self._violate(task, obj, kind,
+                          detail="access through TaskContext")
+        store = ctx.store
+        oid = obj.object_id
+        if kind == "set":
+            if store.has(oid):
+                self._expected = (store, oid)
+                try:
+                    store.put(oid, value)
+                finally:
+                    self._expected = None
+            else:
+                # Undeclared object never shipped to this store: write the
+                # scratch copy so later undeclared reads see the value.
+                self._scratch[(id(store), oid)] = value
+            return None
+        if store.has(oid):
+            self._expected = (store, oid)
+            try:
+                return store.get(oid)
+            finally:
+                self._expected = None
+        # Collect-policy survival path: serve a stable scratch payload.
+        key = (id(store), oid)
+        if key not in self._scratch:
+            self._scratch[key] = _clone(obj.initial)
+        return self._scratch[key]
+
+    # ------------------------------------------------------------------ #
+    # ObjectStore observer
+    # ------------------------------------------------------------------ #
+    def on_store_get(self, store: ObjectStore, object_id: int) -> None:
+        self._store_access(store, object_id, "rd")
+
+    def on_store_put(self, store: ObjectStore, object_id: int) -> None:
+        self._store_access(store, object_id, "set")
+
+    def _store_access(self, store: ObjectStore, object_id: int, kind: str) -> None:
+        if self._expected is not None and self._expected == (store, object_id):
+            self._expected = None  # already attributed by context_access
+            return
+        if self._current is None:
+            return  # runtime-internal access (install, gather, transfer)
+        task, processor = self._current
+        obj = self._registry.by_id(object_id)
+        self._record(task, obj, kind, processor, "store")
+        declared_ok = (task.spec.may_read(obj) if kind == "rd"
+                       else task.spec.may_write(obj))
+        if not declared_ok:
+            self._violate(task, obj, kind,
+                          detail="raw store access bypassing TaskContext")
+
+    # ------------------------------------------------------------------ #
+    # Synchronizer observer (happens-before construction)
+    # ------------------------------------------------------------------ #
+    def sync_task_added(self, task: TaskSpec, ready_oids: List[int]) -> None:
+        """A task's declarations entered the object queues (creation point)."""
+        self.sync_log.append(("create", task.task_id, task.serial))
+        for oid in ready_oids:
+            self._edges_for_ready(task.task_id, task.spec, oid)
+
+    def sync_task_completed(
+        self, task: TaskSpec,
+        newly_ready_per_object: List[Tuple[int, List[int]]],
+    ) -> None:
+        """A task left the queues; some waiting declarations became ready."""
+        tid = task.task_id
+        # Fold the completed task into the per-object release state first,
+        # so the enabled tasks get edges from *every* conflicting
+        # predecessor (not only the one whose removal triggered readiness).
+        for decl in task.spec:
+            oid = decl.obj.object_id
+            if decl.mode.writes:
+                self._last_writer_done[oid] = tid
+                self._readers_done[oid] = []
+            else:
+                self._readers_done.setdefault(oid, []).append(tid)
+        for oid, ready_tids in newly_ready_per_object:
+            for ready_tid in ready_tids:
+                spec = self._spec_of(ready_tid)
+                if spec is not None:
+                    self._edges_for_ready(ready_tid, spec, oid)
+        self.sync_log.append(("complete", tid, task.serial))
+
+    def _spec_of(self, task_id: int):
+        tasks = self.program.tasks
+        if 0 <= task_id < len(tasks) and tasks[task_id].task_id == task_id:
+            return tasks[task_id].spec
+        for task in tasks:  # pragma: no cover - non-contiguous ids
+            if task.task_id == task_id:
+                return task.spec
+        return None
+
+    def _edges_for_ready(self, task_id: int, spec, oid: int) -> None:
+        """Record why ``task_id``'s declaration on ``oid`` is now ready.
+
+        A read is ready once the last conflicting write completed; a write
+        additionally waits for every read of that version.  Those are the
+        happens-before edges the synchronizer enforces.
+        """
+        writer = self._last_writer_done.get(oid)
+        if writer is not None and writer != task_id:
+            self.sync_log.append(("edge", writer, task_id))
+        mode = spec.mode_of(self._registry.by_id(oid))
+        if mode is not None and mode.writes:
+            for reader in self._readers_done.get(oid, ()):
+                if reader != task_id:
+                    self.sync_log.append(("edge", reader, task_id))
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _record(self, task: TaskSpec, obj: SharedObject, kind: str,
+                processor: int, channel: str) -> None:
+        self.events.append(AccessEvent(
+            seq=len(self.events),
+            task_id=task.task_id,
+            task_name=task.name,
+            object_id=obj.object_id,
+            object_name=obj.name,
+            kind=kind,
+            processor=processor,
+            channel=channel,
+        ))
+
+    def _violate(self, task: TaskSpec, obj: SharedObject, kind: str,
+                 detail: str) -> None:
+        mode = task.spec.mode_of(obj)
+        violation = AccessViolation(
+            task_id=task.task_id,
+            task_name=task.name,
+            object_id=obj.object_id,
+            object_name=obj.name,
+            kind=kind,
+            declared=mode.value if mode is not None else None,
+            detail=detail,
+        )
+        self.violations.append(violation)
+        if self.policy == "raise":
+            raise AccessViolationError(violation.format())

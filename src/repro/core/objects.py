@@ -65,7 +65,12 @@ class SharedObject:
 
 
 def _default_nbytes(value: Any) -> int:
-    """Best-effort size of a payload, used when ``sim_nbytes`` is not given."""
+    """Best-effort size of a payload, used when ``sim_nbytes`` is not given.
+
+    Containers are sized recursively so a nested payload such as a list of
+    numpy rows gets a realistic ``sim_nbytes`` instead of a flat 8 bytes per
+    top-level element.
+    """
     if value is None:
         return 8
     if isinstance(value, np.ndarray):
@@ -75,9 +80,14 @@ def _default_nbytes(value: Any) -> int:
     if isinstance(value, (int, float, bool)):
         return 8
     if isinstance(value, (list, tuple)):
-        return 8 * max(1, len(value))
+        if not value:
+            return 8
+        return sum(_default_nbytes(item) for item in value)
     if isinstance(value, dict):
-        return 16 * max(1, len(value))
+        if not value:
+            return 16
+        # 8 bytes of key/slot overhead per entry, plus the sized values.
+        return sum(8 + _default_nbytes(item) for item in value.values())
     return 64
 
 
@@ -141,6 +151,11 @@ class ObjectStore:
         self.label = label
         self._data: Dict[int, Any] = {}
         self._version: Dict[int, int] = {}
+        #: Optional access observer (see :mod:`repro.check`): an object with
+        #: ``on_store_get(store, object_id)`` / ``on_store_put(store,
+        #: object_id)`` methods, notified on every payload access.  ``None``
+        #: (the default) keeps the hot path at a single predicate check.
+        self.observer: Optional[Any] = None
 
     def install(self, obj: SharedObject) -> None:
         """Place the object's initial payload as version 0."""
@@ -163,6 +178,8 @@ class ObjectStore:
         return version is None or self._version[object_id] == version
 
     def get(self, object_id: int) -> Any:
+        if self.observer is not None:
+            self.observer.on_store_get(self, object_id)
         return self._data[object_id]
 
     def version(self, object_id: int) -> int:
@@ -174,6 +191,8 @@ class ObjectStore:
 
     def put(self, object_id: int, payload: Any) -> None:
         """Replace the payload outright (used by ``TaskContext.set``)."""
+        if self.observer is not None:
+            self.observer.on_store_put(self, object_id)
         self._data[object_id] = payload
 
     def drop(self, object_id: int) -> None:

@@ -209,21 +209,27 @@ class SerialResult:
         return self.store.get(obj.object_id)
 
 
-def run_stripped(program: JadeProgram) -> SerialResult:
+def run_stripped(program: JadeProgram, recorder: Optional[Any] = None) -> SerialResult:
     """Execute the program serially with all Jade constructs stripped.
 
     Bodies run in creation order against one store; versions advance so the
     final store can be compared against parallel executions.  This is both
     the correctness oracle and the "Stripped" row of Tables 1 / 6.
+
+    ``recorder`` optionally plugs an access checker (see :mod:`repro.check`)
+    into the serial execution — useful to validate access specifications
+    without simulating a machine at all.
     """
     program.validate()
     store = ObjectStore("stripped")
     for obj in program.registry:
         store.install(obj)
+    if recorder is not None:
+        recorder.attach_store(store)
     time = 0.0
     executed = 0
     for task in program.tasks:
-        ctx = TaskContext(task, store, processor=0)
+        ctx = TaskContext(task, store, processor=0, recorder=recorder)
         ctx.run_body()
         for obj in task.spec.writes():
             store.bump_version(obj.object_id, store.version(obj.object_id) + 1)

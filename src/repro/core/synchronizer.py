@@ -65,6 +65,14 @@ class Synchronizer:
         self._produced: Dict[Tuple[int, int], int] = {}
         self._added: Set[int] = set()
         self._completed: Set[int] = set()
+        #: Optional ordering observer (see :mod:`repro.check`): an object
+        #: with ``sync_task_added(task, ready_oids)`` and
+        #: ``sync_task_completed(task, newly_ready_per_object)`` methods.
+        #: The callbacks expose exactly the synchronization the queues
+        #: enforce, which is what the race detector's happens-before
+        #: relation is built from.  ``None`` (the default) costs one
+        #: predicate check per add/complete.
+        self.observer: Optional[object] = None
 
     # ------------------------------------------------------------------ #
     # task arrival (executed when the main thread creates the task)
@@ -76,6 +84,7 @@ class Synchronizer:
         self._added.add(task.task_id)
         entries: List[Tuple[int, _Entry]] = []
         missing = 0
+        ready_oids: List[int] = []
         for decl in task.spec:
             oid = decl.obj.object_id
             queue = self._queues.setdefault(oid, [])
@@ -87,12 +96,16 @@ class Synchronizer:
                 self._writes_added[oid] = writes_so_far + 1
             entry = _Entry(task.task_id, decl.mode)
             entry.ready = self._entry_would_be_ready(queue, decl.mode)
-            if not entry.ready:
+            if entry.ready:
+                ready_oids.append(oid)
+            else:
                 missing += 1
             queue.append(entry)
             entries.append((oid, entry))
         self._task_entries[task.task_id] = entries
         self._missing[task.task_id] = missing
+        if self.observer is not None:
+            self.observer.sync_task_added(task, ready_oids)
         return missing == 0
 
     @staticmethod
@@ -121,11 +134,16 @@ class Synchronizer:
         # two different objects become ready in the same completion must
         # have its missing-count decremented twice.
         newly_ready: List[int] = []
+        newly_ready_per_object: List[Tuple[int, List[int]]] = []
         for oid, entry in self._task_entries.pop(tid, []):
             queue = self._queues[oid]
             queue.remove(entry)
+            before = len(newly_ready)
             self._refresh_queue(queue, newly_ready)
+            newly_ready_per_object.append((oid, newly_ready[before:]))
         self._missing.pop(tid, None)
+        if self.observer is not None:
+            self.observer.sync_task_completed(task, newly_ready_per_object)
 
         enabled: List[int] = []
         for other in sorted(newly_ready):

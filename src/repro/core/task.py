@@ -94,14 +94,23 @@ class TaskContext:
         task: TaskSpec,
         store: ObjectStore,
         processor: int = 0,
+        recorder: Optional["AccessRecorderHook"] = None,
     ) -> None:
         self.task = task
         self.store = store
         self.processor = processor
+        #: Optional dynamic checker (see :mod:`repro.check`).  When set it
+        #: takes over access validation: it records every access, and either
+        #: raises on violations (``raise`` policy, the classic Jade abort) or
+        #: collects them and lets execution continue (``collect`` policy, so
+        #: one checked run reports every mis-declaration at once).
+        self.recorder = recorder
 
     # ------------------------------------------------------------------ #
     def rd(self, obj: SharedObject) -> Any:
         """Return the payload of ``obj`` for reading."""
+        if self.recorder is not None:
+            return self.recorder.context_access(self, obj, "rd")
         if not self.task.spec.may_read(obj):
             raise AccessViolationError(
                 f"task {self.task.name!r} read {obj.name!r} without declaring rd"
@@ -110,6 +119,8 @@ class TaskContext:
 
     def wr(self, obj: SharedObject) -> Any:
         """Return the payload of ``obj`` for in-place mutation."""
+        if self.recorder is not None:
+            return self.recorder.context_access(self, obj, "wr")
         if not self.task.spec.may_write(obj):
             raise AccessViolationError(
                 f"task {self.task.name!r} wrote {obj.name!r} without declaring wr"
@@ -122,6 +133,9 @@ class TaskContext:
 
     def set(self, obj: SharedObject, value: Any) -> None:
         """Replace the payload of ``obj`` outright (declared write required)."""
+        if self.recorder is not None:
+            self.recorder.context_access(self, obj, "set", value=value)
+            return
         if not self.task.spec.may_write(obj):
             raise AccessViolationError(
                 f"task {self.task.name!r} set {obj.name!r} without declaring wr"
@@ -130,5 +144,13 @@ class TaskContext:
 
     def run_body(self) -> None:
         """Execute the task body (no-op for bodies of ``None``)."""
-        if self.task.body is not None:
+        if self.task.body is None:
+            return
+        if self.recorder is not None:
+            self.recorder.begin_task(self.task, self.processor)
+            try:
+                self.task.body(self)
+            finally:
+                self.recorder.end_task(self.task)
+        else:
             self.task.body(self)

@@ -88,8 +88,13 @@ def run_app(
     level: LocalityLevel = LocalityLevel.LOCALITY,
     options: Optional[RuntimeOptions] = None,
     scale: str = "paper",
+    tracer=None,
 ) -> RunMetrics:
-    """Build and execute one application configuration."""
+    """Build and execute one application configuration.
+
+    ``tracer`` optionally attaches a :class:`~repro.sim.trace.Tracer` to
+    the machine, recording the execution for export or determinism checks.
+    """
     app = make_application(name, scale)
     program = app.build(procs, machine=machine, level=level)
     if options is None:
@@ -97,9 +102,10 @@ def run_app(
     elif options.locality is not level:
         options = options.but(locality=level)
     if machine is MachineKind.DASH:
-        return run_shared_memory(program, procs, options,
-                                 machine=DashMachine(procs, dash_params()))
-    hw = Ipsc860Machine(procs, ipsc_params())
+        return run_shared_memory(
+            program, procs, options,
+            machine=DashMachine(procs, dash_params(), tracer=tracer))
+    hw = Ipsc860Machine(procs, ipsc_params(), tracer=tracer)
     runtime_metrics = _run_mp(program, hw, options)
     return runtime_metrics
 

@@ -94,7 +94,7 @@ class Machine:
         self.num_processors = num_processors
         self.processors = ProcessorSet(self.sim, num_processors)
         self.stats = StatRegistry()
-        self.tracer = tracer or Tracer(enabled=False)
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         self.main_processor = 0
 
     def describe(self) -> str:

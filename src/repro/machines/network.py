@@ -86,7 +86,7 @@ class Network:
         self.cube = cube
         self.params = params or NetworkParams()
         self.stats = stats if stats is not None else StatRegistry()
-        self.tracer = tracer or Tracer(enabled=False)
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         self._tx: List[FifoResource] = [
             FifoResource(sim, f"tx{i}") for i in cube.nodes()
         ]

@@ -70,7 +70,7 @@ class BusNetwork:
         self.num_nodes = num_nodes
         self.params = params or EthernetParams()
         self.stats = stats if stats is not None else StatRegistry()
-        self.tracer = tracer or Tracer(enabled=False)
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         self._bus = FifoResource(sim, "ethernet")
 
     # -- cost queries ----------------------------------------------------

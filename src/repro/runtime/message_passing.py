@@ -57,6 +57,7 @@ class MessagePassingRuntime:
         program: JadeProgram,
         machine: Ipsc860Machine,
         options: Optional[RuntimeOptions] = None,
+        recorder: Optional[object] = None,
     ) -> None:
         program.validate()
         self.program = program
@@ -64,6 +65,12 @@ class MessagePassingRuntime:
         self.options = options or RuntimeOptions()
         self.sim = machine.sim
         self.sync = Synchronizer()
+        #: Optional dynamic checker (see :mod:`repro.check`): observes every
+        #: node-local store, the synchronizer's ordering decisions, and task
+        #: body accesses.  ``None`` keeps all hooks disabled.
+        self.recorder = recorder
+        if recorder is not None:
+            recorder.attach_synchronizer(self.sync)
         self.metrics = RunMetrics(
             machine="ipsc860",
             application=program.name,
@@ -73,6 +80,9 @@ class MessagePassingRuntime:
         self.metrics.tasks_per_processor = [0] * machine.num_processors
         self.comm = Communicator(machine, self.options, self.metrics)
         self.comm.charge_cpu = self._charge_cpu
+        if recorder is not None:
+            for store in self.comm.stores:
+                recorder.attach_store(store)
         # Two-class CPUs: runtime work (task creation, assignment,
         # completion handling, serial main-thread sections) runs ahead of
         # queued task bodies, as the real dispatcher did.
@@ -311,7 +321,7 @@ class MessagePassingRuntime:
                         f"node {processor} executing {task.name!r}: needs "
                         f"{obj.name!r} v{version}, store has v{have}"
                     )
-            ctx = TaskContext(task, store, processor)
+            ctx = TaskContext(task, store, processor, recorder=self.recorder)
             ctx.run_body()
             for obj in task.spec.writes():
                 produced = self.sync.produced_version(task.task_id, obj.object_id)
@@ -324,8 +334,9 @@ def run_message_passing(
     num_processors: int,
     options: Optional[RuntimeOptions] = None,
     machine: Optional[Ipsc860Machine] = None,
+    recorder: Optional[object] = None,
 ) -> RunMetrics:
     """Convenience entry point: build an iPSC/860 and run the program."""
     machine = machine or Ipsc860Machine(num_processors)
-    runtime = MessagePassingRuntime(program, machine, options)
+    runtime = MessagePassingRuntime(program, machine, options, recorder=recorder)
     return runtime.run()

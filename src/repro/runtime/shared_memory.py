@@ -53,6 +53,7 @@ class SharedMemoryRuntime:
         program: JadeProgram,
         machine: DashMachine,
         options: Optional[RuntimeOptions] = None,
+        recorder: Optional[object] = None,
     ) -> None:
         program.validate()
         self.program = program
@@ -61,6 +62,13 @@ class SharedMemoryRuntime:
         self.sim = machine.sim
         self.sync = Synchronizer()
         self.store = ObjectStore("dash-shared")
+        #: Optional dynamic checker (see :mod:`repro.check`): observes the
+        #: global store, the synchronizer's ordering decisions, and every
+        #: task body's accesses.  ``None`` keeps all hooks disabled.
+        self.recorder = recorder
+        if recorder is not None:
+            recorder.attach_store(self.store)
+            recorder.attach_synchronizer(self.sync)
         self.metrics = RunMetrics(
             machine="dash",
             application=program.name,
@@ -287,7 +295,7 @@ class SharedMemoryRuntime:
     def _on_task_finished(
         self, processor: int, task: TaskSpec, compute: float, comm: float
     ) -> None:
-        ctx = TaskContext(task, self.store, processor)
+        ctx = TaskContext(task, self.store, processor, recorder=self.recorder)
         ctx.run_body()
         for obj in task.spec.writes():
             self.store.bump_version(
@@ -329,10 +337,11 @@ def run_shared_memory(
     num_processors: int,
     options: Optional[RuntimeOptions] = None,
     machine: Optional[DashMachine] = None,
+    recorder: Optional[object] = None,
 ) -> RunMetrics:
     """Convenience entry point: build a DASH machine and run the program."""
     machine = machine or DashMachine(num_processors)
-    runtime = SharedMemoryRuntime(program, machine, options)
+    runtime = SharedMemoryRuntime(program, machine, options, recorder=recorder)
     metrics = runtime.run()
     metrics.final_store = runtime.store
     return metrics

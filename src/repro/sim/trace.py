@@ -14,6 +14,7 @@ hot simulation paths pay only a predicate check.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
@@ -75,3 +76,53 @@ class Tracer:
         for e in self.events:
             out[e.category] = out.get(e.category, 0) + 1
         return out
+
+    # ------------------------------------------------------------------ #
+    # exports
+    # ------------------------------------------------------------------ #
+    def to_jsonl(self) -> str:
+        """Render the trace as JSON Lines, one event object per line.
+
+        Stable key order (``time``, ``category``, ``label``, then sorted
+        attributes) keeps the output diffable between runs.
+        """
+        lines = []
+        for e in self.events:
+            record = {"time": e.time, "category": e.category, "label": e.label}
+            record.update(e.attrs)
+            lines.append(json.dumps(record, sort_keys=False, default=str))
+        return "\n".join(lines)
+
+    def to_chrome_json(self) -> str:
+        """Render the trace in Chrome ``about:tracing`` JSON format.
+
+        Load the output in ``chrome://tracing`` (or Perfetto) for a visual
+        timeline.  Events are instants; simulated seconds map to trace
+        microseconds, and the ``proc``/``dst`` attribute (when present)
+        maps to the row the event is drawn on.
+        """
+        trace_events = []
+        for e in self.events:
+            attrs = dict(e.attrs)
+            row = attrs.get("proc", attrs.get("dst", 0))
+            trace_events.append({
+                "name": f"{e.category}:{e.label}",
+                "cat": e.category,
+                "ph": "i",
+                "s": "t",
+                "ts": e.time * 1e6,
+                "pid": 0,
+                "tid": row if isinstance(row, int) else 0,
+                "args": attrs,
+            })
+        return json.dumps({"traceEvents": trace_events,
+                           "displayTimeUnit": "ms"}, default=str)
+
+    def write(self, path: str) -> None:
+        """Write the trace to ``path``: Chrome JSON for ``.json``, else JSONL."""
+        if path.endswith(".json"):
+            payload = self.to_chrome_json()
+        else:
+            payload = self.to_jsonl()
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(payload + "\n")

@@ -1,0 +1,125 @@
+"""Tests for the determinism verifier and structural trace comparison."""
+
+import pytest
+
+from repro.check import compare_traces, cross_check, verify_determinism
+from repro.check.checker import traced_events, verify_application_determinism
+from repro.sim.trace import TraceEvent
+
+from tests.helpers import reduction_program
+
+
+def _trace(n, start=0.0):
+    return [TraceEvent(start + 0.1 * i, "task", f"t{i}", (("proc", i % 2),))
+            for i in range(n)]
+
+
+# --------------------------------------------------------------------- #
+# compare_traces
+# --------------------------------------------------------------------- #
+def test_identical_traces_have_no_divergence():
+    assert compare_traces(_trace(5), _trace(5)) is None
+
+
+def test_perturbed_event_is_pinpointed():
+    left = _trace(8)
+    right = list(left)
+    right[5] = TraceEvent(left[5].time, "task", "intruder", left[5].attrs)
+    div = compare_traces(left, right, context=3)
+    assert div is not None
+    assert div.index == 5
+    assert div.left == left[5]
+    assert div.right.label == "intruder"
+    # Context is the common events immediately before the divergence.
+    assert list(div.context) == left[2:5]
+    text = div.format()
+    assert "divergence at event 5" in text
+    assert "intruder" in text
+    assert text.count("    = ") == 3  # three context lines
+
+
+def test_perturbed_timestamp_is_a_divergence():
+    left = _trace(4)
+    right = list(left)
+    right[2] = TraceEvent(left[2].time + 1e-9, left[2].category,
+                          left[2].label, left[2].attrs)
+    div = compare_traces(left, right)
+    assert div is not None and div.index == 2
+
+
+def test_prefix_trace_diverges_at_end():
+    left = _trace(6)
+    div = compare_traces(left, left[:4])
+    assert div.index == 4
+    assert div.left == left[4]
+    assert div.right is None
+    assert "<end of trace>" in div.format()
+
+
+def test_context_clamped_at_trace_start():
+    left = _trace(3)
+    right = list(left)
+    right[0] = TraceEvent(9.9, "task", "x", ())
+    div = compare_traces(left, right, context=5)
+    assert div.index == 0
+    assert list(div.context) == []
+
+
+# --------------------------------------------------------------------- #
+# verify_determinism
+# --------------------------------------------------------------------- #
+def test_verify_determinism_passes_for_pure_factory():
+    report = verify_determinism(lambda: _trace(10), runs=3, label="pure")
+    assert report.ok
+    assert report.runs == 3
+    assert report.events == 10
+    assert "OK" in report.format()
+
+
+def test_verify_determinism_flags_nondeterministic_factory():
+    calls = []
+
+    def flaky():
+        calls.append(None)
+        trace = _trace(10)
+        if len(calls) == 3:  # third run (replay 2) is perturbed
+            trace[7] = TraceEvent(123.0, "task", "ghost", ())
+        return trace
+
+    report = verify_determinism(flaky, runs=4, label="flaky")
+    assert not report.ok
+    assert report.diverged_run == 2
+    assert report.divergence.index == 7
+    assert "FAILED" in report.format() and "ghost" in report.format()
+
+
+def test_verify_determinism_needs_two_runs():
+    with pytest.raises(ValueError):
+        verify_determinism(lambda: [], runs=1)
+
+
+# --------------------------------------------------------------------- #
+# application-level replays and cross-machine checks
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("machine", ["dash", "ipsc860"])
+def test_app_replay_is_deterministic(machine):
+    report = verify_application_determinism("string", machine,
+                                            num_processors=4, runs=2)
+    assert report.ok
+    assert report.events > 0
+
+
+def test_traced_events_capture_machine_activity():
+    events = traced_events("water", "ipsc860", 4, scale="tiny")
+    assert events
+    categories = {e.category for e in events}
+    assert "message" in categories
+
+
+def test_cross_check_reduction_program():
+    report = cross_check(lambda: reduction_program(num_workers=4, iterations=2),
+                         num_processors=4, label="reduction")
+    assert report.ok
+    # Both machines compared every object: state + 4 contributions, twice.
+    assert report.objects_compared == 10
+    assert "OK" in report.format()

@@ -1,0 +1,143 @@
+"""Unit tests for the vector-clock happens-before race detector."""
+
+import numpy as np
+import pytest
+
+from repro.check import (
+    AccessRecorder,
+    compute_vector_clocks,
+    detect_races,
+    happens_before,
+    run_checked,
+)
+from repro.core import JadeBuilder
+
+from tests.helpers import chain_program, reduction_program
+
+
+# --------------------------------------------------------------------- #
+# vector-clock construction from synthetic sync logs
+# --------------------------------------------------------------------- #
+def test_edge_orders_tasks():
+    log = [("create", 0, False), ("create", 1, False),
+           ("complete", 0, False), ("edge", 0, 1), ("complete", 1, False)]
+    vcs = compute_vector_clocks(log)
+    assert happens_before(vcs, 0, 1)
+    assert not happens_before(vcs, 1, 0)
+
+
+def test_no_edge_means_concurrent():
+    log = [("create", 0, False), ("create", 1, False),
+           ("complete", 0, False), ("complete", 1, False)]
+    vcs = compute_vector_clocks(log)
+    assert not happens_before(vcs, 0, 1)
+    assert not happens_before(vcs, 1, 0)
+
+
+def test_edges_are_transitive():
+    log = [("create", 0, False), ("create", 1, False), ("create", 2, False),
+           ("complete", 0, False), ("edge", 0, 1),
+           ("complete", 1, False), ("edge", 1, 2), ("complete", 2, False)]
+    vcs = compute_vector_clocks(log)
+    assert happens_before(vcs, 0, 2)
+
+
+def test_serial_completion_joins_main_thread():
+    # Task 0 is a serial section; task 1 is created after it completes, so
+    # the main thread's clock carries 0's history into 1.
+    log = [("create", 0, True), ("complete", 0, True), ("create", 1, False)]
+    vcs = compute_vector_clocks(log)
+    assert happens_before(vcs, 0, 1)
+
+
+def test_parallel_task_completion_does_not_join_main_thread():
+    # Non-serial completion must NOT feed the main-thread clock: a later
+    # task is not ordered after it unless the synchronizer emitted an edge.
+    log = [("create", 0, False), ("complete", 0, False), ("create", 1, False)]
+    vcs = compute_vector_clocks(log)
+    assert not happens_before(vcs, 0, 1)
+
+
+def test_edge_to_unknown_task_is_ignored():
+    log = [("create", 0, False), ("edge", 0, 99), ("edge", 99, 0)]
+    vcs = compute_vector_clocks(log)
+    assert 99 not in vcs
+    assert not happens_before(vcs, 99, 0)
+
+
+# --------------------------------------------------------------------- #
+# end-to-end race detection on checked runs
+# --------------------------------------------------------------------- #
+def test_serial_chain_has_no_races():
+    report = run_checked(chain_program(length=6), machine="ipsc860",
+                         num_processors=4)
+    assert report.violations == []
+    assert report.races == []
+
+
+def test_reduction_program_has_no_races():
+    report = run_checked(reduction_program(num_workers=4, iterations=2),
+                         machine="dash", num_processors=4)
+    assert report.violations == []
+    assert report.races == []
+
+
+def _racy_program():
+    """Writer and reader of the same object; the reader never declares it."""
+    jade = JadeBuilder()
+    shared = jade.object("shared", initial=np.zeros(4))
+    out = jade.object("out", initial=np.zeros(4))
+    jade.task("writer", body=lambda ctx: ctx.wr(shared).fill(1.0),
+              wr=[shared], cost=1e-3)
+
+    def reader(ctx):
+        ctx.wr(out)[:] = ctx.rd(shared)  # undeclared rd(shared)
+
+    jade.task("reader", body=reader, wr=[out], cost=1e-3)
+    return jade.finish("racy")
+
+
+@pytest.mark.parametrize("machine", ["dash", "ipsc860"])
+def test_undeclared_conflict_is_a_race(machine):
+    report = run_checked(_racy_program(), machine=machine, num_processors=2)
+    assert len(report.violations) == 1
+    shared_races = [r for r in report.races if r.object_name == "shared"]
+    assert len(shared_races) == 1
+    race = shared_races[0]
+    names = {race.first.task_name, race.second.task_name}
+    assert names == {"writer", "reader"}
+    kinds = {race.first.kind, race.second.kind}
+    assert kinds == {"wr", "rd"}
+    assert "RACE on object 'shared'" in race.format()
+
+
+def test_declared_conflict_is_not_a_race():
+    # Same shape as _racy_program but correctly declared: the synchronizer
+    # orders reader after writer, so no race is reported.
+    jade = JadeBuilder()
+    shared = jade.object("shared", initial=np.zeros(4))
+    out = jade.object("out", initial=np.zeros(4))
+    jade.task("writer", body=lambda ctx: ctx.wr(shared).fill(1.0),
+              wr=[shared], cost=1e-3)
+
+    def reader(ctx):
+        ctx.wr(out)[:] = ctx.rd(shared)
+
+    jade.task("reader", body=reader, rd=[shared], wr=[out], cost=1e-3)
+    report = run_checked(jade.finish("ordered"), machine="ipsc860",
+                         num_processors=2)
+    assert report.violations == []
+    assert report.races == []
+
+
+def test_stripped_run_never_races():
+    recorder = AccessRecorder(_racy_program())
+    from repro.core import run_stripped
+
+    program = _racy_program()
+    recorder = AccessRecorder(program)
+    run_stripped(program, recorder=recorder)
+    # The serial executor performs no synchronization, so the log is empty
+    # and races are (correctly) not reported: execution was fully ordered.
+    assert recorder.sync_log == []
+    assert detect_races(recorder) == []

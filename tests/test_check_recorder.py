@@ -1,0 +1,164 @@
+"""Tests for the dynamic access-specification checker (repro.check)."""
+
+import numpy as np
+import pytest
+
+from repro.check import AccessRecorder, check_application, run_checked
+from repro.core import JadeBuilder, run_stripped
+from repro.errors import AccessViolationError
+
+from tests.helpers import reduction_program
+
+APPS = ("water", "string", "ocean", "cholesky")
+
+
+# --------------------------------------------------------------------- #
+# recorder basics (stripped execution, no machine model)
+# --------------------------------------------------------------------- #
+def _undeclared_read_program():
+    jade = JadeBuilder()
+    a = jade.object("a", initial=np.ones(4))
+    b = jade.object("b", initial=np.zeros(4))
+
+    def body(ctx):
+        ctx.wr(b)[:] = ctx.rd(a) * 2  # rd(a) is undeclared
+
+    jade.task("bad", body=body, wr=[b], cost=1e-3)
+    return jade.finish("bad-program"), a, b
+
+
+def test_collect_policy_records_structured_violation():
+    program, a, b = _undeclared_read_program()
+    recorder = AccessRecorder(program, policy="collect")
+    run_stripped(program, recorder=recorder)
+    assert len(recorder.violations) == 1
+    v = recorder.violations[0]
+    assert v.task_name == "bad"
+    assert v.object_name == "a"
+    assert v.kind == "rd"
+    assert v.declared is None
+    assert "undeclared rd" in v.format()
+
+
+def test_collect_policy_lets_execution_continue():
+    program, a, b = _undeclared_read_program()
+    recorder = AccessRecorder(program, policy="collect")
+    result = run_stripped(program, recorder=recorder)
+    # The undeclared read still observed the store payload, so the write
+    # completed with the right values.
+    assert np.array_equal(result.payload(b), np.full(4, 2.0))
+
+
+def test_raise_policy_aborts_like_jade():
+    program, _a, _b = _undeclared_read_program()
+    recorder = AccessRecorder(program, policy="raise")
+    with pytest.raises(AccessViolationError):
+        run_stripped(program, recorder=recorder)
+
+
+def test_unknown_policy_rejected():
+    program, _a, _b = _undeclared_read_program()
+    with pytest.raises(ValueError):
+        AccessRecorder(program, policy="warn")
+
+
+def test_declared_accesses_recorded_without_violations():
+    program = reduction_program(num_workers=4, iterations=1)
+    recorder = AccessRecorder(program)
+    run_stripped(program, recorder=recorder)
+    assert recorder.violations == []
+    assert recorder.tasks_checked == len(program.tasks)
+    # Each worker reads state and writes its contribution.
+    kinds = {(e.task_name, e.object_name, e.kind) for e in recorder.events}
+    assert ("work.0.0", "state", "rd") in kinds
+    assert ("work.0.0", "contrib0", "wr") in kinds
+
+
+def test_store_level_bypass_is_caught():
+    jade = JadeBuilder()
+    a = jade.object("a", initial=np.ones(4))
+    b = jade.object("b", initial=np.zeros(4))
+
+    def sneaky(ctx):
+        # Bypass the TaskContext API entirely: raw store read.
+        ctx.wr(b)[:] = ctx.store.get(a.object_id)
+
+    jade.task("sneaky", body=sneaky, wr=[b], cost=1e-3)
+    program = jade.finish("sneaky-program")
+    recorder = AccessRecorder(program)
+    run_stripped(program, recorder=recorder)
+    assert len(recorder.violations) == 1
+    v = recorder.violations[0]
+    assert (v.task_name, v.object_name, v.kind) == ("sneaky", "a", "rd")
+    assert "bypassing" in v.detail
+    channels = {e.channel for e in recorder.events}
+    assert "store" in channels
+
+
+def test_undeclared_set_is_a_write_violation():
+    jade = JadeBuilder()
+    a = jade.object("a", initial=np.zeros(2))
+    jade.task("setter", body=lambda ctx: ctx.set(a, np.ones(2)), cost=1e-3)
+    program = jade.finish("setter-program")
+    recorder = AccessRecorder(program)
+    run_stripped(program, recorder=recorder)
+    assert [v.kind for v in recorder.violations] == ["set"]
+
+
+def test_partial_declaration_reports_declared_mode():
+    jade = JadeBuilder()
+    a = jade.object("a", initial=np.zeros(2))
+
+    def body(ctx):
+        ctx.wr(a)[:] = 1.0  # only rd(a) was declared
+
+    jade.task("writer", body=body, rd=[a], cost=1e-3)
+    program = jade.finish("partial")
+    recorder = AccessRecorder(program)
+    run_stripped(program, recorder=recorder)
+    assert [v.declared for v in recorder.violations] == ["rd"]
+
+
+# --------------------------------------------------------------------- #
+# checked runtime executions
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("machine", ["dash", "ipsc860"])
+@pytest.mark.parametrize("app", APPS)
+def test_paper_apps_are_clean_on_both_machines(app, machine):
+    report = check_application(app, machine, num_processors=4, scale="tiny")
+    assert report.violations == []
+    assert report.races == []
+    assert report.access_events > 0
+    assert report.tasks_checked > 0
+    assert report.ok
+    assert "OK" in report.format()
+
+
+@pytest.mark.parametrize("machine", ["dash", "ipsc860"])
+def test_misdeclared_app_is_flagged(machine):
+    report = check_application("misdeclared", machine, num_processors=4)
+    assert not report.ok
+    assert len(report.violations) == 1
+    v = report.violations[0]
+    # The structured record names the task, the object and the kind.
+    assert v.task_name == "smooth.1"
+    assert v.object_name == "cell0"
+    assert v.kind == "rd"
+    # The undeclared access is also an unordered conflicting pair.
+    assert any(r.object_name == "cell0" for r in report.races)
+    text = report.format()
+    assert "ACCESS VIOLATION" in text and "RACE" in text
+
+
+def test_run_checked_stripped_machine():
+    program, _a, _b = _undeclared_read_program()
+    report = run_checked(program, machine="stripped")
+    assert len(report.violations) == 1
+    assert report.races == []  # serial execution is fully ordered
+    assert report.metrics is None
+
+
+def test_run_checked_rejects_unknown_machine():
+    program = reduction_program(num_workers=2, iterations=1)
+    with pytest.raises(ValueError):
+        run_checked(program, machine="quantum")

@@ -54,3 +54,58 @@ def test_parser_requires_command():
 def test_parser_rejects_unknown_app():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "--app", "nope"])
+
+
+def test_run_trace_out_writes_jsonl(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "trace.jsonl"
+    assert main(["run", "--app", "water", "--scale", "tiny", "--procs", "2",
+                 "--trace-out", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "trace" in out and str(path) in out
+    lines = path.read_text().strip().splitlines()
+    assert lines
+    record = json.loads(lines[0])
+    assert {"time", "category", "label"} <= set(record)
+
+
+def test_run_trace_out_writes_chrome_json(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "trace.json"
+    assert main(["run", "--app", "ocean", "--scale", "tiny", "--procs", "2",
+                 "--machine", "dash", "--trace-out", str(path)]) == 0
+    doc = json.loads(path.read_text())
+    assert doc["traceEvents"]
+
+
+def test_check_clean_app(capsys):
+    # Default --machine both: access check on each machine, then replays
+    # and the dash/ipsc860/stripped cross-check.
+    assert main(["check", "--app", "string", "--procs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "OK" in out
+    assert "determinism" in out
+    assert "cross-check" in out
+
+
+def test_check_no_determinism_flag(capsys):
+    assert main(["check", "--app", "string", "--procs", "2",
+                 "--machine", "dash", "--no-determinism"]) == 0
+    out = capsys.readouterr().out
+    assert "OK" in out
+    assert "determinism" not in out
+
+
+def test_check_flags_misdeclared_app(capsys):
+    assert main(["check", "--app", "misdeclared", "--procs", "2"]) == 1
+    out = capsys.readouterr().out
+    assert "ACCESS VIOLATION" in out
+    assert "smooth.1" in out and "cell0" in out
+    assert "RACE" in out
+
+
+def test_check_rejects_unknown_app():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["check", "--app", "nope"])

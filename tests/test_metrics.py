@@ -36,3 +36,51 @@ def test_summary_keys():
         assert key in summary
     assert summary["elapsed"] == 1.0
     assert summary["tasks"] == 2.0
+
+
+# --------------------------------------------------------------------- #
+# zero-task / zero-compute edge cases
+# --------------------------------------------------------------------- #
+def test_zero_task_run_has_vacuous_locality():
+    # An empty program executes zero tasks; locality must read 100%, not
+    # divide by zero (the paper's figures have no zero-task points, but
+    # tiny sweeps and the work-free methodology can produce them).
+    m = RunMetrics(tasks_executed=0, tasks_on_target=0)
+    assert m.task_locality_pct == 100.0
+
+
+def test_zero_compute_run_has_zero_comm_ratio():
+    # Bytes moved but no compute recorded (work-free runs): ratio is
+    # defined as 0, not infinity.
+    m = RunMetrics(object_bytes=5 * 1024 * 1024, task_compute_total=0.0)
+    assert m.comm_to_comp_ratio == 0.0
+
+
+def test_negative_compute_is_clamped_to_zero_ratio():
+    m = RunMetrics(object_bytes=1024.0, task_compute_total=-1.0)
+    assert m.comm_to_comp_ratio == 0.0
+
+
+def test_zero_fetch_run_has_unit_latency_ratio():
+    # No task ever waited on a fetch: the §5.5 ratio degenerates to 1
+    # ("concurrent fetching bought nothing"), and the means are 0.
+    m = RunMetrics(object_latency_total=0.0, object_requests=0,
+                   task_latency_total=0.0, tasks_with_fetches=0)
+    assert m.object_to_task_latency_ratio == 1.0
+    assert m.mean_object_latency == 0.0
+    assert m.mean_task_latency == 0.0
+
+
+def test_object_latency_without_task_latency_is_unit_ratio():
+    # Requests recorded but zero task-level wait (fully overlapped
+    # fetches): the denominator guard keeps the ratio at 1.
+    m = RunMetrics(object_latency_total=3.0, object_requests=2,
+                   task_latency_total=0.0, tasks_with_fetches=0)
+    assert m.object_to_task_latency_ratio == 1.0
+    assert m.mean_object_latency == pytest.approx(1.5)
+
+
+def test_zero_task_summary_is_finite():
+    summary = RunMetrics().summary()
+    for key, value in summary.items():
+        assert value == value and abs(value) != float("inf"), key

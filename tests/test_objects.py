@@ -99,3 +99,20 @@ def test_store_drop_and_has():
     assert store.has(obj.object_id)
     store.drop(obj.object_id)
     assert not store.has(obj.object_id)
+
+
+def test_default_sim_nbytes_recurses_into_nested_containers():
+    reg = ObjectRegistry()
+    # A list of numpy rows sizes as the sum of the rows, not 8 per element.
+    rows = [np.zeros(10), np.zeros(10)]
+    assert reg.create("rows", initial=rows).sim_nbytes == 160
+    # Nested lists/tuples recurse all the way down.
+    nested = [[1, 2], (3.0, 4.0, 5.0)]
+    assert reg.create("nested", initial=nested).sim_nbytes == 40
+    # Empty containers keep a small nonzero footprint.
+    assert reg.create("empty_list", initial=[]).sim_nbytes == 8
+    assert reg.create("empty_dict", initial={}).sim_nbytes == 16
+    # Dicts charge per-entry overhead plus recursively-sized values.
+    assert reg.create("d", initial={"a": np.zeros(4), "b": 1}).sim_nbytes == \
+        (8 + 32) + (8 + 8)
+    assert reg.create("bytes", initial=b"abcd").sim_nbytes == 4

@@ -125,3 +125,77 @@ def test_priority_resource_rejects_negative():
     cpu = PriorityFifoResource(sim)
     with pytest.raises(ValueError):
         cpu.submit(-1.0, lambda s, f: None)
+
+
+# --------------------------------------------------------------------- #
+# tracer exports
+# --------------------------------------------------------------------- #
+def test_tracer_multi_category_filter_and_histogram():
+    tr = Tracer(enabled=True, categories=["task", "object"])
+    tr.emit(0.0, "task", "start", proc=0)
+    tr.emit(0.1, "message", "object", nbytes=64)   # filtered out
+    tr.emit(0.2, "object", "fetch", oid=7)
+    tr.emit(0.3, "task", "end", proc=0)
+    assert tr.histogram() == {"task": 2, "object": 1}
+    assert [e.label for e in tr.filter("task")] == ["start", "end"]
+    assert tr.filter("message") == []
+
+
+def test_histogram_empty_tracer():
+    assert Tracer(enabled=True).histogram() == {}
+
+
+def test_to_jsonl_round_trips():
+    import json
+
+    tr = Tracer(enabled=True)
+    tr.emit(1.5, "message", "task", dst=2, nbytes=256, src=0)
+    tr.emit(2.0, "task", "run", proc=1)
+    lines = tr.to_jsonl().splitlines()
+    assert len(lines) == 2
+    first = json.loads(lines[0])
+    assert first == {"time": 1.5, "category": "message", "label": "task",
+                     "dst": 2, "nbytes": 256, "src": 0}
+    # Key order is stable: header fields first, then sorted attributes.
+    assert list(first) == ["time", "category", "label", "dst", "nbytes", "src"]
+
+
+def test_to_chrome_json_shape():
+    import json
+
+    tr = Tracer(enabled=True)
+    tr.emit(0.001, "task", "run", proc=3)
+    tr.emit(0.002, "message", "object", dst=1, nbytes=64)
+    doc = json.loads(tr.to_chrome_json())
+    events = doc["traceEvents"]
+    assert len(events) == 2
+    assert events[0]["name"] == "task:run"
+    assert events[0]["ph"] == "i"
+    assert events[0]["ts"] == pytest.approx(1000.0)  # seconds -> microseconds
+    assert events[0]["tid"] == 3                      # proc maps to the row
+    assert events[1]["tid"] == 1                      # dst when no proc
+    assert events[1]["args"]["nbytes"] == 64
+
+
+def test_write_picks_format_from_extension(tmp_path):
+    import json
+
+    tr = Tracer(enabled=True)
+    tr.emit(0.5, "task", "run", proc=0)
+    jsonl = tmp_path / "trace.jsonl"
+    chrome = tmp_path / "trace.json"
+    tr.write(str(jsonl))
+    tr.write(str(chrome))
+    assert json.loads(jsonl.read_text().splitlines()[0])["label"] == "run"
+    assert "traceEvents" in json.loads(chrome.read_text())
+
+
+def test_empty_tracer_is_falsy_but_usable():
+    # Regression: machines must not replace a passed-in (still empty)
+    # tracer via truthiness — __len__ == 0 makes a fresh Tracer falsy.
+    tr = Tracer(enabled=True)
+    assert len(tr) == 0
+    from repro.machines.dash import DashMachine
+
+    machine = DashMachine(2, tracer=tr)
+    assert machine.tracer is tr
