@@ -16,7 +16,7 @@ list during development; the default is the paper's 1,2,4,8,16,24,32.
 from __future__ import annotations
 
 import os
-from typing import Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.lab import PAPER_PROCS
 
@@ -26,6 +26,21 @@ def bench_procs() -> List[int]:
     if env:
         return [int(x) for x in env.split(",")]
     return list(PAPER_PROCS)
+
+
+def snapshot(name: str, data: Any,
+             meta: Optional[Dict[str, Any]] = None) -> str:
+    """Write a machine-readable ``BENCH_<name>.json`` artifact.
+
+    The file lands in ``$REPRO_BENCH_DIR`` when set, else in
+    ``benchmarks/out/`` next to this module, wrapped in the versioned
+    ``repro.bench/1`` envelope so downstream tooling can validate it.
+    """
+    from repro.obs.snapshot import BENCH_DIR_ENV, write_bench_snapshot
+
+    directory = os.environ.get(BENCH_DIR_ENV) or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "out")
+    return write_bench_snapshot(name, data, directory=directory, meta=meta)
 
 
 def once(benchmark, fn):

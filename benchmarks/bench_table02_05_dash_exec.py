@@ -14,7 +14,7 @@ import pytest
 from repro.apps import MachineKind
 from repro.lab import PAPER_TABLES, locality_sweep, render_table, rows_to_series
 
-from _support import bench_procs, by_procs, monotone_speedup, once, show
+from _support import bench_procs, by_procs, monotone_speedup, once, show, snapshot
 
 LEVEL_LABELS = {
     "task_placement": "Task Placement",
@@ -35,6 +35,12 @@ def _show(table_no, app, procs, series):
         f"Table {table_no}: Execution Times for {app.capitalize()} on DASH (seconds)",
         procs, series, paper=PAPER_TABLES[table_no],
     ))
+    snapshot(
+        f"table{table_no:02d}_{app}_dash",
+        {"procs": procs, "elapsed_seconds": series},
+        meta={"table": table_no, "app": app, "machine": "dash",
+              "paper": PAPER_TABLES[table_no]},
+    )
 
 
 def test_table02_water_dash(benchmark):

@@ -15,7 +15,7 @@ import pytest
 from repro.apps import MachineKind
 from repro.lab import PAPER_TABLES, locality_sweep, render_table, rows_to_series
 
-from _support import bench_procs, monotone_speedup, once, show
+from _support import bench_procs, monotone_speedup, once, show, snapshot
 
 LEVEL_LABELS = {
     "task_placement": "Task Placement",
@@ -37,6 +37,12 @@ def _show(table_no, app, procs, series):
         f"on the iPSC/860 (seconds)",
         procs, series, paper=PAPER_TABLES[table_no],
     ))
+    snapshot(
+        f"table{table_no:02d}_{app}_ipsc",
+        {"procs": procs, "elapsed_seconds": series},
+        meta={"table": table_no, "app": app, "machine": "ipsc860",
+              "paper": PAPER_TABLES[table_no]},
+    )
 
 
 def test_table07_water_ipsc(benchmark):

@@ -5,6 +5,7 @@ Commands
 
 ``run``       execute one application configuration and print its metrics
 ``sweep``     locality-level sweep for one app/machine (a paper table)
+``profile``   run with the profiler: comm matrix, hot objects, utilization
 ``analyze``   static concurrency analysis of an application's program
 ``check``     validate access specs, detect races, verify determinism
 ``describe``  list applications, machines, optimization switches
@@ -59,8 +60,18 @@ def cmd_run(args) -> int:
                   file=sys.stderr)
             return 2
         tracer = Tracer(enabled=True)
-    metrics = run_app(args.app, args.procs, MachineKind(args.machine),
-                      options.locality, options, args.scale, tracer=tracer)
+
+    want_profile = args.profile or args.profile_json
+    if want_profile:
+        from repro.lab.experiments import profile_app
+
+        metrics, profile = profile_app(
+            args.app, args.procs, MachineKind(args.machine), options.locality,
+            options, args.scale, tracer=tracer)
+    else:
+        profile = None
+        metrics = run_app(args.app, args.procs, MachineKind(args.machine),
+                          options.locality, options, args.scale, tracer=tracer)
     print(f"{args.app} on {args.machine}, {args.procs} processors "
           f"[{options.describe()}]")
     for key, value in metrics.summary().items():
@@ -68,6 +79,20 @@ def cmd_run(args) -> int:
     if tracer is not None:
         tracer.write(args.trace_out)
         print(f"  trace          {len(tracer)} events -> {args.trace_out}")
+    if profile is not None:
+        if args.profile:
+            print()
+            print(profile.format())
+        if args.profile_json:
+            from repro.obs.snapshot import write_profile_snapshot
+
+            try:
+                write_profile_snapshot(args.profile_json, profile)
+            except (ValueError, OSError) as exc:
+                print(f"error: cannot write snapshot to "
+                      f"{args.profile_json}: {exc}", file=sys.stderr)
+                return 2
+            print(f"  profile        -> {args.profile_json}")
     return 0
 
 
@@ -83,6 +108,28 @@ def cmd_sweep(args) -> int:
     print(render_table(
         f"{args.app} on {args.machine}: task locality (%)", procs, pct,
         fmt=lambda v: f"{v:.1f}"))
+    if args.json:
+        from repro.obs.snapshot import dump_json
+
+        doc = {
+            "schema": "repro.sweep/1",
+            "app": args.app,
+            "machine": args.machine,
+            "scale": args.scale,
+            "rows": [
+                {"level": r.level, "procs": r.procs,
+                 "metrics": r.metrics.to_json()}
+                for r in rows
+            ],
+        }
+        try:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(dump_json(doc) + "\n")
+        except (ValueError, OSError) as exc:
+            print(f"error: cannot write sweep JSON to {args.json}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"\nsweep JSON -> {args.json}")
     return 0
 
 
@@ -127,11 +174,18 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--trace-out", metavar="PATH", default=None,
                        help="record a trace: Chrome about:tracing JSON for "
                             "*.json, JSON Lines otherwise")
+    run_p.add_argument("--profile", action="store_true",
+                       help="attach the profiler and print the full report")
+    run_p.add_argument("--profile-json", metavar="PATH", default=None,
+                       help="attach the profiler and write the repro.obs/1 "
+                            "snapshot here")
     run_p.set_defaults(func=cmd_run)
 
     sweep_p = sub.add_parser("sweep", help="locality-level sweep (paper table)")
     _add_common(sweep_p)
     sweep_p.add_argument("--procs", type=int, nargs="*", default=None)
+    sweep_p.add_argument("--json", metavar="PATH", default=None,
+                         help="also write every row's metrics as JSON")
     sweep_p.set_defaults(func=cmd_sweep)
 
     an_p = sub.add_parser("analyze", help="static concurrency analysis")
@@ -140,8 +194,10 @@ def build_parser() -> argparse.ArgumentParser:
     an_p.set_defaults(func=cmd_analyze)
 
     from repro.check.cli import add_check_parser
+    from repro.obs.cli import add_profile_parser
 
     add_check_parser(sub)
+    add_profile_parser(sub)
 
     de_p = sub.add_parser("describe", help="list apps/machines/switches")
     de_p.set_defaults(func=cmd_describe)

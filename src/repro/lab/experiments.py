@@ -89,11 +89,14 @@ def run_app(
     options: Optional[RuntimeOptions] = None,
     scale: str = "paper",
     tracer=None,
+    profiler=None,
 ) -> RunMetrics:
     """Build and execute one application configuration.
 
     ``tracer`` optionally attaches a :class:`~repro.sim.trace.Tracer` to
-    the machine, recording the execution for export or determinism checks.
+    the machine, recording the execution for export or determinism checks;
+    ``profiler`` attaches a :class:`~repro.obs.ProfileCollector` (see
+    :func:`profile_app` for the assembled result).
     """
     app = make_application(name, scale)
     program = app.build(procs, machine=machine, level=level)
@@ -104,10 +107,38 @@ def run_app(
     if machine is MachineKind.DASH:
         return run_shared_memory(
             program, procs, options,
-            machine=DashMachine(procs, dash_params(), tracer=tracer))
-    hw = Ipsc860Machine(procs, ipsc_params(), tracer=tracer)
+            machine=DashMachine(procs, dash_params(), tracer=tracer,
+                                profiler=profiler))
+    hw = Ipsc860Machine(procs, ipsc_params(), tracer=tracer, profiler=profiler)
     runtime_metrics = _run_mp(program, hw, options)
     return runtime_metrics
+
+
+def profile_app(
+    name: str,
+    procs: int,
+    machine: MachineKind = MachineKind.IPSC860,
+    level: LocalityLevel = LocalityLevel.LOCALITY,
+    options: Optional[RuntimeOptions] = None,
+    scale: str = "paper",
+    tracer=None,
+    interval: Optional[float] = None,
+    samples: int = 50,
+):
+    """Run one configuration with the profiler attached.
+
+    Returns ``(metrics, profile)`` where ``profile`` is the assembled
+    :class:`repro.obs.Profile` (communication matrix, hot objects,
+    utilization breakdown, resampled time series).
+    """
+    from repro.obs import ProfileCollector, build_profile
+
+    collector = ProfileCollector()
+    metrics = run_app(name, procs, machine, level, options, scale,
+                      tracer=tracer, profiler=collector)
+    profile = build_profile(metrics, collector, interval=interval,
+                            samples=samples, scale=scale)
+    return metrics, profile
 
 
 def _run_mp(program, hw, options) -> RunMetrics:

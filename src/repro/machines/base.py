@@ -89,12 +89,18 @@ class Machine:
         num_processors: int,
         sim: Optional[Simulator] = None,
         tracer: Optional[Tracer] = None,
+        profiler: Optional[object] = None,
     ) -> None:
         self.sim = sim or Simulator()
         self.num_processors = num_processors
         self.processors = ProcessorSet(self.sim, num_processors)
         self.stats = StatRegistry()
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        #: Optional :class:`repro.obs.ProfileCollector` (duck-typed to avoid
+        #: an import cycle).  ``None`` keeps every observability hook —
+        #: here, in the networks, and in the runtimes — disabled behind a
+        #: single ``is not None`` predicate.
+        self.profiler = profiler
         self.main_processor = 0
 
     def describe(self) -> str:

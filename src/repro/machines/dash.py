@@ -69,8 +69,9 @@ class DashMachine(Machine):
         params: Optional[DashParams] = None,
         sim: Optional[Simulator] = None,
         tracer: Optional[Tracer] = None,
+        profiler: Optional[object] = None,
     ) -> None:
-        super().__init__(num_processors, sim=sim, tracer=tracer)
+        super().__init__(num_processors, sim=sim, tracer=tracer, profiler=profiler)
         self.params = params or DashParams()
         self.mesh = ClusterMesh(num_processors, self.params.cluster_size)
         self.caches = DirectoryCacheModel(self.mesh, self.params.cache, self.stats)

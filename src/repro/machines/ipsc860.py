@@ -79,12 +79,14 @@ class Ipsc860Machine(Machine):
         params: Optional[IpscParams] = None,
         sim: Optional[Simulator] = None,
         tracer: Optional[Tracer] = None,
+        profiler: Optional[object] = None,
     ) -> None:
-        super().__init__(num_processors, sim=sim, tracer=tracer)
+        super().__init__(num_processors, sim=sim, tracer=tracer, profiler=profiler)
         self.params = params or IpscParams()
         self.cube = Hypercube(_enclosing_power_of_two(num_processors))
         self.network = Network(
-            self.sim, self.cube, self.params.network, self.stats, self.tracer
+            self.sim, self.cube, self.params.network, self.stats, self.tracer,
+            profiler=self.profiler,
         )
         self.memory = MemoryMap(num_processors)
 

@@ -81,12 +81,17 @@ class Network:
         params: Optional[NetworkParams] = None,
         stats: Optional[StatRegistry] = None,
         tracer: Optional[Tracer] = None,
+        profiler: Optional[object] = None,
     ) -> None:
         self.sim = sim
         self.cube = cube
         self.params = params or NetworkParams()
         self.stats = stats if stats is not None else StatRegistry()
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        #: Optional observability collector (see :mod:`repro.obs`): records
+        #: the src×dst communication matrix, in-flight message counts and
+        #: NIC busy intervals.  ``None`` disables all hooks.
+        self.profiler = profiler
         self._tx: List[FifoResource] = [
             FifoResource(sim, f"tx{i}") for i in cube.nodes()
         ]
@@ -149,13 +154,18 @@ class Network:
         (``nbytes·per_byte + alpha_recv``).  Messages between the same
         pair of nodes deliver in send order (both NICs are FIFO).
         """
+        prof = self.profiler
         if src == dst:
             # Local "message": no NIC involvement, a small handler cost only.
+            if prof is not None:
+                prof.on_message_sent(self.sim.now)
             delivered = Signal(self.sim, f"msg.local.{src}")
             self.sim.schedule(self.params.alpha_recv, self._deliver, src, dst, nbytes,
                               kind, self.sim.now, delivered, on_delivered, payload)
             return delivered
 
+        if prof is not None:
+            prof.on_message_sent(self.sim.now)
         delivered = Signal(self.sim, f"msg.{src}->{dst}.{kind}")
         sent_at = self.sim.now
         # The tx NIC is FIFO with no cancellation, so this job's start time
@@ -165,15 +175,21 @@ class Network:
         # time, not the tx completion.
         tx = self._tx[src]
         tx_start = max(self.sim.now, tx.busy_until)
-        tx.submit(self.send_occupancy(nbytes), lambda _s, _f: None)
+        if prof is None:
+            tx.submit(self.send_occupancy(nbytes), lambda _s, _f: None)
+        else:
+            tx.submit(self.send_occupancy(nbytes),
+                      lambda s, f: prof.on_link_busy(src, "tx", s, f - s))
         head_arrives = tx_start + self.params.alpha_send + self.flight_time(src, dst)
 
         def _at_destination() -> None:
-            self._rx[dst].submit(
-                self.recv_occupancy(nbytes),
-                lambda _s, _f: self._deliver(src, dst, nbytes, kind, sent_at,
-                                             delivered, on_delivered, payload),
-            )
+            def _received(s: float, f: float) -> None:
+                if prof is not None:
+                    prof.on_link_busy(dst, "rx", s, f - s)
+                self._deliver(src, dst, nbytes, kind, sent_at,
+                              delivered, on_delivered, payload)
+
+            self._rx[dst].submit(self.recv_occupancy(nbytes), _received)
 
         self.sim.at(head_arrives, _at_destination)
         return delivered
@@ -200,7 +216,11 @@ class Network:
             self.delivered.append(
                 MessageRecord(msg_id, src, dst, nbytes, kind, sent_at, self.sim.now)
             )
-        self.tracer.emit(self.sim.now, "message", kind, src=src, dst=dst, nbytes=nbytes)
+        self.tracer.span(sent_at, self.sim.now, "message", kind,
+                         src=src, dst=dst, nbytes=nbytes)
+        if self.profiler is not None:
+            self.profiler.on_message(self.sim.now, src, dst, nbytes, kind,
+                                     self.sim.now - sent_at)
         if on_delivered is not None:
             on_delivered(payload)
         delivered.fire(payload)

@@ -65,12 +65,15 @@ class BusNetwork:
         params: Optional[EthernetParams] = None,
         stats: Optional[StatRegistry] = None,
         tracer: Optional[Tracer] = None,
+        profiler: Optional[object] = None,
     ) -> None:
         self.sim = sim
         self.num_nodes = num_nodes
         self.params = params or EthernetParams()
         self.stats = stats if stats is not None else StatRegistry()
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        #: Optional observability collector; ``None`` disables all hooks.
+        self.profiler = profiler
         self._bus = FifoResource(sim, "ethernet")
 
     # -- cost queries ----------------------------------------------------
@@ -83,29 +86,40 @@ class BusNetwork:
     # -- sending -----------------------------------------------------------
     def send(self, src: int, dst: int, nbytes: int, kind: str,
              on_delivered: Optional[Callable] = None, payload=None) -> Signal:
+        prof = self.profiler
         delivered = Signal(self.sim, f"bus.{src}->{dst}.{kind}")
+        sent_at = self.sim.now
+        if prof is not None:
+            prof.on_message_sent(sent_at)
         if src == dst:
             self.sim.schedule(self.params.alpha_recv, self._deliver,
-                              src, dst, nbytes, kind, delivered,
+                              src, dst, nbytes, kind, sent_at, delivered,
                               on_delivered, payload)
             return delivered
 
-        def _slot_done(_start: float, _finish: float) -> None:
+        def _slot_done(start: float, finish: float) -> None:
+            if prof is not None:
+                # The shared bus is the only "link" a farm has; charge the
+                # slot to the sender's tx side so utilization has an owner.
+                prof.on_link_busy(src, "tx", start, finish - start)
             self.sim.schedule(self.params.alpha_recv, self._deliver,
-                              src, dst, nbytes, kind, delivered,
+                              src, dst, nbytes, kind, sent_at, delivered,
                               on_delivered, payload)
 
         self._bus.submit(self.send_occupancy(nbytes), _slot_done)
         return delivered
 
-    def _deliver(self, src, dst, nbytes, kind, delivered, on_delivered,
-                 payload) -> None:
+    def _deliver(self, src, dst, nbytes, kind, sent_at, delivered,
+                 on_delivered, payload) -> None:
         self.stats.counter("net.messages").incr()
         self.stats.counter(f"net.messages.{kind}").incr()
         self.stats.accumulator("net.bytes").add(nbytes)
         self.stats.accumulator(f"net.bytes.{kind}").add(nbytes)
-        self.tracer.emit(self.sim.now, "message", kind, src=src, dst=dst,
-                         nbytes=nbytes)
+        self.tracer.span(sent_at, self.sim.now, "message", kind,
+                         src=src, dst=dst, nbytes=nbytes)
+        if self.profiler is not None:
+            self.profiler.on_message(self.sim.now, src, dst, nbytes, kind,
+                                     self.sim.now - sent_at)
         if on_delivered is not None:
             on_delivered(payload)
         delivered.fire(payload)
@@ -121,13 +135,28 @@ class BusNetwork:
             self.sim.schedule(0.0, done.fire, payload)
             return done
         self.stats.counter("net.broadcasts").incr()
+        prof = self.profiler
+        sent_at = self.sim.now
+        if prof is not None:
+            prof.on_message_sent(sent_at)
 
-        def _slot_done(_start: float, _finish: float) -> None:
+        def _slot_done(start: float, finish: float) -> None:
+            if prof is not None:
+                prof.on_link_busy(root, "tx", start, finish - start)
+
             def _arrive() -> None:
                 self.stats.counter("net.messages").incr()
                 self.stats.counter(f"net.messages.{kind}").incr()
                 self.stats.accumulator("net.bytes").add(nbytes)
                 self.stats.accumulator(f"net.bytes.{kind}").add(nbytes)
+                self.tracer.span(sent_at, self.sim.now, "message", kind,
+                                 src=root, dst=root, nbytes=nbytes)
+                if prof is not None:
+                    # One bus transmission heard by everyone counts as one
+                    # message (matching the ``net.messages`` counter); it
+                    # lands on the matrix diagonal so totals reconcile.
+                    prof.on_message(self.sim.now, root, root, nbytes, kind,
+                                    self.sim.now - sent_at)
                 for node in nodes:
                     if on_delivered is not None:
                         on_delivered(node, payload)
@@ -151,18 +180,20 @@ class WorkstationFarm(Machine):
         ethernet: Optional[EthernetParams] = None,
         sim: Optional[Simulator] = None,
         tracer: Optional[Tracer] = None,
+        profiler: Optional[object] = None,
     ) -> None:
         if not speeds:
             raise MachineError("a farm needs at least one workstation")
         if any(s <= 0 for s in speeds):
             raise MachineError("workstation speed factors must be positive")
-        super().__init__(len(speeds), sim=sim, tracer=tracer)
+        super().__init__(len(speeds), sim=sim, tracer=tracer, profiler=profiler)
         #: Relative speed per node: 1.0 = the calibration baseline; a
         #: node with speed 2.0 runs task bodies twice as fast.
         self.speeds: List[float] = [float(s) for s in speeds]
         self.params = params or IpscParams()
         self.network = BusNetwork(self.sim, len(speeds), ethernet,
-                                  self.stats, self.tracer)
+                                  self.stats, self.tracer,
+                                  profiler=self.profiler)
 
     @property
     def active_nodes(self) -> List[int]:

@@ -1,0 +1,53 @@
+"""``repro.obs`` — the observability subsystem.
+
+Span-based timelines, a run profiler (communication matrix, hot objects,
+utilization breakdown), a simulated-time series sampler, and
+schema-versioned machine-readable snapshots.  Everything here is **off by
+default**: runs pay one ``is not None`` predicate per hook until a
+:class:`ProfileCollector` (or an enabled tracer) is attached, and a
+profiled run is byte-identical to an unprofiled one because the collector
+only observes — it never schedules simulation events.
+
+Entry points: ``repro profile`` / ``repro run --profile[-json]`` on the
+command line, or :func:`repro.lab.experiments.profile_app` as a library.
+"""
+
+from repro.obs.profile import ObjectProfile, Profile, ProfileCollector, build_profile
+from repro.obs.report import render_profile
+from repro.obs.sampler import IntervalTrack, StepTrack, build_timeline, sample_grid
+from repro.obs.schema import (
+    BENCH_SCHEMA,
+    PROFILE_SCHEMA,
+    assert_valid,
+    validate_bench,
+    validate_profile,
+    validate_snapshot,
+)
+from repro.obs.snapshot import (
+    bench_snapshot,
+    dump_json,
+    write_bench_snapshot,
+    write_profile_snapshot,
+)
+
+__all__ = [
+    "ObjectProfile",
+    "Profile",
+    "ProfileCollector",
+    "build_profile",
+    "render_profile",
+    "IntervalTrack",
+    "StepTrack",
+    "build_timeline",
+    "sample_grid",
+    "BENCH_SCHEMA",
+    "PROFILE_SCHEMA",
+    "assert_valid",
+    "validate_bench",
+    "validate_profile",
+    "validate_snapshot",
+    "bench_snapshot",
+    "dump_json",
+    "write_bench_snapshot",
+    "write_profile_snapshot",
+]

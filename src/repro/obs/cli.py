@@ -1,0 +1,95 @@
+"""The ``repro profile`` subcommand.
+
+Runs one application configuration with the :class:`~repro.obs.profile.
+ProfileCollector` attached, prints the stable text report, and optionally
+writes the schema-versioned JSON snapshot (``--json``) and a Perfetto-
+loadable trace (``--trace-out``).  Registered from ``repro.__main__`` the
+same way the ``repro check`` subcommand is.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def add_profile_parser(sub) -> None:
+    """Register the ``profile`` subcommand on an argparse subparsers object."""
+    from repro.apps import ALL_APPLICATIONS
+    from repro.runtime.options import LocalityLevel
+
+    p = sub.add_parser(
+        "profile",
+        help="run one configuration with the profiler attached",
+        description="Execute one application configuration and report its "
+                    "communication matrix, hot objects, per-processor "
+                    "utilization breakdown and time-series samples.",
+    )
+    p.add_argument("--app", required=True, choices=sorted(ALL_APPLICATIONS))
+    p.add_argument("--machine", default="ipsc860", choices=["dash", "ipsc860"])
+    p.add_argument("--scale", default="paper", choices=["tiny", "paper"])
+    p.add_argument("--procs", type=int, default=8)
+    p.add_argument("--level", default="locality",
+                   choices=[l.value for l in LocalityLevel])
+    p.add_argument("--no-broadcast", action="store_true")
+    p.add_argument("--no-replication", action="store_true")
+    p.add_argument("--serial-fetches", action="store_true")
+    p.add_argument("--target-tasks", type=int, default=1)
+    p.add_argument("--eager-update", action="store_true")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="write the validated repro.obs/1 snapshot here")
+    p.add_argument("--trace-out", metavar="PATH", default=None,
+                   help="also record a span trace (Chrome/Perfetto JSON for "
+                        "*.json, JSON Lines otherwise)")
+    p.add_argument("--samples", type=int, default=50,
+                   help="time-series sample count (default 50)")
+    p.add_argument("--sample-interval", type=float, default=None,
+                   help="time-series sample spacing in simulated seconds "
+                        "(overrides --samples)")
+    p.set_defaults(func=cmd_profile)
+
+
+def cmd_profile(args) -> int:
+    from repro.apps import MachineKind
+    from repro.lab.experiments import profile_app
+    from repro.obs.snapshot import write_profile_snapshot
+    from repro.runtime import RuntimeOptions
+    from repro.runtime.options import LocalityLevel
+
+    options = RuntimeOptions(
+        locality=LocalityLevel(args.level),
+        adaptive_broadcast=not args.no_broadcast,
+        replication=not args.no_replication,
+        concurrent_fetches=not args.serial_fetches,
+        target_tasks_per_processor=args.target_tasks,
+        eager_update=args.eager_update,
+    )
+    tracer = None
+    if args.trace_out:
+        from repro.sim.trace import Tracer
+
+        try:
+            open(args.trace_out, "w").close()
+        except OSError as exc:
+            print(f"error: cannot write trace to {args.trace_out}: {exc}",
+                  file=sys.stderr)
+            return 2
+        tracer = Tracer(enabled=True)
+
+    _metrics, profile = profile_app(
+        args.app, args.procs, MachineKind(args.machine), options.locality,
+        options, args.scale, tracer=tracer,
+        interval=args.sample_interval, samples=args.samples,
+    )
+    print(profile.format())
+    if tracer is not None:
+        tracer.write(args.trace_out)
+        print(f"\ntrace: {len(tracer)} events -> {args.trace_out}")
+    if args.json:
+        try:
+            write_profile_snapshot(args.json, profile)
+        except (ValueError, OSError) as exc:
+            print(f"error: cannot write snapshot to {args.json}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"snapshot: {args.json}")
+    return 0

@@ -1,0 +1,305 @@
+"""The run profiler: communication matrix, hot objects, utilization.
+
+A :class:`ProfileCollector` is attached to a run the same way the
+``repro.check`` recorder is: the machines, communicator and runtimes each
+hold an optional reference and guard every hook with one ``is not None``
+predicate, so an unprofiled run pays nothing and a profiled run is not
+perturbed (the collector only *observes* — it never schedules events or
+touches simulation state).
+
+After the run, :func:`build_profile` assembles the collector's raw records
+and the run's :class:`~repro.runtime.metrics.RunMetrics` into a
+:class:`Profile`: the src×dst communication matrix, the per-object hot
+table, the per-processor utilization breakdown (compute / memory-comm /
+mgmt / idle, reconciling with ``RunMetrics.busy_per_processor``) and the
+resampled time series of §5-style queue/network load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.runtime.metrics import RunMetrics
+from repro.sim.stats import Accumulator
+from repro.obs.sampler import IntervalTrack, StepTrack, build_timeline
+from repro.obs.schema import PROFILE_SCHEMA
+
+#: Float comparisons in reconciliation checks (seconds).
+_EPS = 1e-9
+
+
+@dataclass
+class ObjectProfile:
+    """Per-shared-object communication totals (the hot-object table)."""
+
+    object_id: int
+    name: str
+    nbytes: int = 0
+    fetches: int = 0
+    broadcasts: int = 0
+    eager_updates: int = 0
+    bytes_moved: float = 0.0
+    versions: int = 0
+    #: DASH only: seconds of in-task memory-system time spent on this object.
+    comm_seconds: float = 0.0
+    accesses: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "object_id": self.object_id,
+            "name": self.name,
+            "nbytes": self.nbytes,
+            "fetches": self.fetches,
+            "broadcasts": self.broadcasts,
+            "eager_updates": self.eager_updates,
+            "bytes_moved": self.bytes_moved,
+            "versions": self.versions,
+            "comm_seconds": self.comm_seconds,
+            "accesses": self.accesses,
+        }
+
+
+class ProfileCollector:
+    """Accumulates observability records during one run.
+
+    Every ``on_*`` method is a hook called from exactly one instrumented
+    site; none of them interacts with the simulator, so attaching a
+    collector cannot change what a run computes or when.
+    """
+
+    def __init__(self) -> None:
+        # src×dst communication (diagonal = node-local deliveries).
+        self.matrix_messages: Dict[Tuple[int, int], int] = {}
+        self.matrix_bytes: Dict[Tuple[int, int], float] = {}
+        self.message_latency = Accumulator("message_latency")
+        # Hot-object table.
+        self.objects: Dict[int, ObjectProfile] = {}
+        # Per-processor execution time split (indexed lazily).
+        self.compute_seconds: Dict[int, float] = {}
+        self.memory_comm_seconds: Dict[int, float] = {}
+        self.serial_seconds: Dict[int, float] = {}
+        # Time-series tracks.
+        self.ready_queue = StepTrack("ready_queue")
+        self.inflight = StepTrack("inflight_messages")
+        self._inflight_count = 0
+        self.links: Dict[str, IntervalTrack] = {}
+
+    # ------------------------------------------------------------------ #
+    # network hooks
+    # ------------------------------------------------------------------ #
+    def on_message(self, time: float, src: int, dst: int, nbytes: int,
+                   kind: str, latency: float) -> None:
+        """A message was delivered (called once per delivery, local or not)."""
+        key = (src, dst)
+        self.matrix_messages[key] = self.matrix_messages.get(key, 0) + 1
+        self.matrix_bytes[key] = self.matrix_bytes.get(key, 0.0) + nbytes
+        self.message_latency.add(latency)
+        self._inflight_count -= 1
+        self.inflight.record(time, self._inflight_count)
+
+    def on_message_sent(self, time: float) -> None:
+        """A message was injected (in-flight count goes up)."""
+        self._inflight_count += 1
+        self.inflight.record(time, self._inflight_count)
+
+    def on_link_busy(self, node: int, direction: str, start: float,
+                     seconds: float) -> None:
+        """A NIC served one message for ``seconds`` starting at ``start``."""
+        name = f"{direction}{node}"
+        track = self.links.get(name)
+        if track is None:
+            track = self.links[name] = IntervalTrack(name)
+        track.record(start, seconds)
+
+    # ------------------------------------------------------------------ #
+    # runtime hooks
+    # ------------------------------------------------------------------ #
+    def on_task_exec(self, proc: int, compute: float, comm: float,
+                     serial: bool) -> None:
+        """A task body (or serial section) finished executing on ``proc``."""
+        if serial:
+            self.serial_seconds[proc] = self.serial_seconds.get(proc, 0.0) + compute
+        else:
+            self.compute_seconds[proc] = self.compute_seconds.get(proc, 0.0) + compute
+        self.memory_comm_seconds[proc] = \
+            self.memory_comm_seconds.get(proc, 0.0) + comm
+
+    def on_queue_depth(self, time: float, depth: int) -> None:
+        """The scheduler's pool of enabled-but-unassigned tasks changed."""
+        self.ready_queue.record(time, depth)
+
+    # ------------------------------------------------------------------ #
+    # communicator / memory-system hooks
+    # ------------------------------------------------------------------ #
+    def _object(self, object_id: int, name: str, nbytes: int) -> ObjectProfile:
+        entry = self.objects.get(object_id)
+        if entry is None:
+            entry = self.objects[object_id] = ObjectProfile(object_id, name, nbytes)
+        return entry
+
+    def on_fetch(self, object_id: int, name: str, nbytes: int) -> None:
+        """One object version arrived at a requester (fetch or migration)."""
+        entry = self._object(object_id, name, nbytes)
+        entry.fetches += 1
+        entry.bytes_moved += nbytes
+
+    def on_broadcast(self, object_id: int, name: str, nbytes: int,
+                     receivers: int) -> None:
+        """One adaptive-broadcast operation pushed a version to ``receivers``."""
+        entry = self._object(object_id, name, nbytes)
+        entry.broadcasts += 1
+        entry.bytes_moved += nbytes * receivers
+
+    def on_eager_update(self, object_id: int, name: str, nbytes: int) -> None:
+        """The eager-update protocol pushed a version to one holder."""
+        entry = self._object(object_id, name, nbytes)
+        entry.eager_updates += 1
+        entry.bytes_moved += nbytes
+
+    def on_version(self, object_id: int, name: str, nbytes: int,
+                   version: int) -> None:
+        """A new version of the object was produced."""
+        entry = self._object(object_id, name, nbytes)
+        if version > entry.versions:
+            entry.versions = version
+
+    def on_access(self, object_id: int, name: str, nbytes: int,
+                  seconds: float) -> None:
+        """DASH: a task access to the object cost ``seconds`` of memory time."""
+        entry = self._object(object_id, name, nbytes)
+        entry.accesses += 1
+        entry.comm_seconds += seconds
+
+
+@dataclass
+class Profile:
+    """The assembled observability snapshot of one run."""
+
+    metrics: RunMetrics
+    comm_messages: List[List[int]]
+    comm_bytes: List[List[float]]
+    objects: List[ObjectProfile]
+    utilization: List[Dict[str, float]]
+    timeline: Dict[str, object]
+    network: Dict[str, object] = field(default_factory=dict)
+    scale: Optional[str] = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def total_matrix_messages(self) -> int:
+        return sum(sum(row) for row in self.comm_messages)
+
+    @property
+    def total_matrix_bytes(self) -> float:
+        return sum(sum(row) for row in self.comm_bytes)
+
+    def hot_objects(self, limit: int = 10) -> List[ObjectProfile]:
+        """The objects moving the most bytes (DASH: costing the most time)."""
+        ranked = sorted(
+            self.objects,
+            key=lambda o: (-o.bytes_moved, -o.comm_seconds, o.object_id),
+        )
+        return ranked[:limit]
+
+    def to_dict(self) -> Dict[str, object]:
+        """The schema-versioned, JSON-safe snapshot document."""
+        return {
+            "schema": PROFILE_SCHEMA,
+            "run": {
+                "application": self.metrics.application,
+                "machine": self.metrics.machine,
+                "num_processors": self.metrics.num_processors,
+                "scale": self.scale,
+                "options": (self.metrics.options.describe()
+                            if self.metrics.options else None),
+            },
+            "metrics": self.metrics.to_json(),
+            "comm_matrix": {
+                "messages": self.comm_messages,
+                "bytes": self.comm_bytes,
+                "total_messages": self.total_matrix_messages,
+                "total_bytes": self.total_matrix_bytes,
+            },
+            "network": self.network,
+            "objects": [o.as_dict() for o in self.objects],
+            "utilization": self.utilization,
+            "timeline": self.timeline,
+        }
+
+    def format(self) -> str:
+        from repro.obs.report import render_profile
+
+        return render_profile(self)
+
+
+def build_profile(
+    metrics: RunMetrics,
+    collector: ProfileCollector,
+    interval: Optional[float] = None,
+    samples: int = 50,
+    scale: Optional[str] = None,
+) -> Profile:
+    """Assemble the post-run :class:`Profile` from the collector's records."""
+    n = metrics.num_processors
+    comm_messages = [[0] * n for _ in range(n)]
+    comm_bytes = [[0.0] * n for _ in range(n)]
+    for (src, dst), count in collector.matrix_messages.items():
+        if 0 <= src < n and 0 <= dst < n:
+            comm_messages[src][dst] = count
+            comm_bytes[src][dst] = collector.matrix_bytes[(src, dst)]
+
+    busy = list(metrics.busy_per_processor) or [0.0] * n
+    utilization: List[Dict[str, float]] = []
+    for p in range(n):
+        p_busy = busy[p] if p < len(busy) else 0.0
+        compute = collector.compute_seconds.get(p, 0.0)
+        serial = collector.serial_seconds.get(p, 0.0)
+        comm = collector.memory_comm_seconds.get(p, 0.0)
+        # Management is what remains of the processor's busy time after
+        # task bodies: creation/assignment/completion handling, protocol
+        # bookkeeping.  Derived as a residual so the breakdown reconciles
+        # with busy_per_processor by construction.
+        mgmt = max(0.0, p_busy - compute - serial - comm)
+        idle = max(0.0, metrics.elapsed - p_busy)
+        tx = collector.links.get(f"tx{p}")
+        rx = collector.links.get(f"rx{p}")
+        utilization.append({
+            "proc": p,
+            "busy": p_busy,
+            "compute": compute,
+            "serial": serial,
+            "memory_comm": comm,
+            "mgmt": mgmt,
+            "idle": idle,
+            "busy_fraction": (p_busy / metrics.elapsed
+                              if metrics.elapsed > 0 else 0.0),
+            "nic_tx": tx.total if tx else 0.0,
+            "nic_rx": rx.total if rx else 0.0,
+            "tasks": (metrics.tasks_per_processor[p]
+                      if p < len(metrics.tasks_per_processor) else 0),
+        })
+
+    timeline = build_timeline(
+        metrics.elapsed, collector.ready_queue, collector.inflight,
+        collector.links, interval=interval, samples=samples,
+    )
+    network = {
+        "messages": metrics.total_messages,
+        "bytes": metrics.total_bytes,
+        "latency": collector.message_latency.as_dict(),
+    }
+    objects = sorted(
+        collector.objects.values(),
+        key=lambda o: (-o.bytes_moved, -o.comm_seconds, o.object_id),
+    )
+    return Profile(
+        metrics=metrics,
+        comm_messages=comm_messages,
+        comm_bytes=comm_bytes,
+        objects=objects,
+        utilization=utilization,
+        timeline=timeline,
+        network=network,
+        scale=scale,
+    )

@@ -1,0 +1,140 @@
+"""Stable plain-text rendering of a run profile.
+
+The report is what ``repro profile`` (and ``repro run --profile``) prints:
+a header, the per-processor utilization breakdown, the communication
+matrix, the hot-object table, and a one-paragraph timeline summary.  Like
+``repro.lab.tables`` it is dependency-free and deterministic so it can be
+asserted on in tests and diffed between runs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.util.units import bytes_human
+
+
+def _seconds(value: float) -> str:
+    if value >= 100:
+        return f"{value:.1f}"
+    if value >= 0.01 or value == 0.0:
+        return f"{value:.3f}"
+    return f"{value:.2e}"
+
+
+def render_profile(profile, matrix_limit: int = 16, objects_limit: int = 10) -> str:
+    """Render the full profile report as stable text."""
+    m = profile.metrics
+    out: List[str] = []
+    scale = f", scale={profile.scale}" if profile.scale else ""
+    options = m.options.describe() if m.options else "default"
+    out.append(f"profile: {m.application} on {m.machine}, "
+               f"{m.num_processors} processors [{options}{scale}]")
+    out.append(
+        f"  elapsed {_seconds(m.elapsed)} s | {m.tasks_executed} tasks, "
+        f"{m.serial_sections_executed} serial sections | "
+        f"locality {m.task_locality_pct:.1f}% | "
+        f"{m.total_messages} messages, {bytes_human(m.total_bytes)}")
+    out.append("")
+
+    out.append("per-processor utilization (seconds)")
+    header = (f"  {'proc':>4} {'busy':>10} {'compute':>10} {'serial':>10} "
+              f"{'mem-comm':>10} {'mgmt':>10} {'idle':>10} {'busy%':>7} "
+              f"{'tasks':>6}")
+    out.append(header)
+    out.append("  " + "-" * (len(header) - 2))
+    for row in profile.utilization:
+        out.append(
+            f"  {row['proc']:>4} {_seconds(row['busy']):>10} "
+            f"{_seconds(row['compute']):>10} {_seconds(row['serial']):>10} "
+            f"{_seconds(row['memory_comm']):>10} {_seconds(row['mgmt']):>10} "
+            f"{_seconds(row['idle']):>10} {100 * row['busy_fraction']:>6.1f}% "
+            f"{row['tasks']:>6}")
+    out.append("")
+
+    out.append(render_comm_matrix(profile, limit=matrix_limit))
+    out.append("")
+    out.append(render_hot_objects(profile, limit=objects_limit))
+    out.append("")
+    out.append(render_timeline_summary(profile))
+    return "\n".join(out)
+
+
+def render_comm_matrix(profile, limit: int = 16) -> str:
+    """The src×dst message/byte matrix; large machines list top pairs."""
+    n = profile.metrics.num_processors
+    total_msgs = profile.total_matrix_messages
+    out = [f"communication matrix ({total_msgs} messages, "
+           f"{bytes_human(profile.total_matrix_bytes)})"]
+    if total_msgs == 0:
+        out.append("  (no messages — shared-memory machine or empty run)")
+        return "\n".join(out)
+    if n <= limit:
+        header = "  src\\dst" + "".join(f"{d:>9}" for d in range(n))
+        out.append(header)
+        for src in range(n):
+            cells = "".join(
+                f"{profile.comm_messages[src][dst] or '.':>9}"
+                for dst in range(n))
+            out.append(f"  {src:>7}" + cells)
+    else:
+        pairs = sorted(
+            ((profile.comm_messages[s][d], profile.comm_bytes[s][d], s, d)
+             for s in range(n) for d in range(n)
+             if profile.comm_messages[s][d]),
+            key=lambda item: (-item[0], item[2], item[3]))
+        out.append(f"  top {min(limit, len(pairs))} of {len(pairs)} "
+                   f"communicating pairs:")
+        for count, nbytes, src, dst in pairs[:limit]:
+            out.append(f"  {src:>4} -> {dst:<4} {count:>8} msgs  "
+                       f"{bytes_human(nbytes):>12}")
+    return "\n".join(out)
+
+
+def render_hot_objects(profile, limit: int = 10) -> str:
+    """The hot-object table, ranked by bytes moved (then DASH memory time)."""
+    hot = profile.hot_objects(limit)
+    out = [f"hot objects (top {len(hot)} of {len(profile.objects)})"]
+    if not hot:
+        out.append("  (no shared-object traffic recorded)")
+        return "\n".join(out)
+    header = (f"  {'object':<26} {'fetches':>8} {'bcasts':>7} {'eager':>6} "
+              f"{'moved':>12} {'vers':>5} {'mem-time':>10}")
+    out.append(header)
+    out.append("  " + "-" * (len(header) - 2))
+    for obj in hot:
+        out.append(
+            f"  {obj.name[:26]:<26} {obj.fetches:>8} {obj.broadcasts:>7} "
+            f"{obj.eager_updates:>6} {bytes_human(obj.bytes_moved):>12} "
+            f"{obj.versions:>5} {_seconds(obj.comm_seconds):>10}")
+    return "\n".join(out)
+
+
+def render_timeline_summary(profile) -> str:
+    """One-paragraph description of the resampled time series."""
+    timeline = profile.timeline
+    samples = timeline.get("samples", [])
+    out = [f"timeline ({len(samples)} samples, "
+           f"interval {_seconds(timeline.get('interval', 0.0))} s)"]
+    if not samples:
+        out.append("  (zero-length run — nothing sampled)")
+        return "\n".join(out)
+    peaks = timeline.get("peaks", {})
+    ready = [row["ready_tasks"] for row in samples]
+    inflight = [row["inflight_messages"] for row in samples]
+    out.append(
+        f"  ready-queue depth: mean {sum(ready) / len(ready):.2f}, "
+        f"peak {peaks.get('ready_tasks', max(ready)):.0f}")
+    out.append(
+        f"  in-flight messages: mean {sum(inflight) / len(inflight):.2f}, "
+        f"peak {peaks.get('inflight_messages', max(inflight)):.0f}")
+    links = samples[-1].get("link_utilization", {})
+    if links:
+        totals = {name: sum(row["link_utilization"].get(name, 0.0)
+                            for row in samples) / len(samples)
+                  for name in links}
+        busiest = sorted(totals.items(), key=lambda kv: (-kv[1], kv[0]))[:3]
+        rendered = ", ".join(f"{name} {100 * util:.1f}%"
+                             for name, util in busiest)
+        out.append(f"  busiest links (mean utilization): {rendered}")
+    return "\n".join(out)

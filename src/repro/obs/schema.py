@@ -1,0 +1,171 @@
+"""Schema versioning and validation for machine-readable snapshots.
+
+Two document kinds are versioned:
+
+* ``repro.obs/1`` — the full run-profile snapshot written by
+  ``repro profile --json`` / ``repro run --profile-json``;
+* ``repro.bench/1`` — the lighter ``BENCH_*.json`` envelope the benchmark
+  suite writes around its table/figure series.
+
+The validator is hand-rolled (structural checks, no external dependency)
+so it runs in the minimal CI image; it returns a list of human-readable
+problems, empty when the document is valid.  ``assert_valid`` is the
+raising convenience used by the CLI before it writes anything.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List
+
+PROFILE_SCHEMA = "repro.obs/1"
+BENCH_SCHEMA = "repro.bench/1"
+
+_RUN_KEYS = ("application", "machine", "num_processors", "options")
+_MATRIX_KEYS = ("messages", "bytes", "total_messages", "total_bytes")
+_UTILIZATION_KEYS = ("proc", "busy", "compute", "serial", "memory_comm",
+                     "mgmt", "idle", "tasks")
+_OBJECT_KEYS = ("object_id", "name", "fetches", "broadcasts",
+                "eager_updates", "bytes_moved", "versions")
+_TIMELINE_KEYS = ("interval", "horizon", "samples")
+_METRIC_KEYS = ("elapsed", "tasks_executed", "total_messages", "total_bytes",
+                "broadcasts", "eager_updates", "busy_per_processor")
+
+
+def _finite(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool) \
+        and math.isfinite(value)
+
+
+def validate_profile(doc: Any) -> List[str]:
+    """Structurally validate a ``repro.obs/1`` snapshot document."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["snapshot is not a JSON object"]
+    if doc.get("schema") != PROFILE_SCHEMA:
+        problems.append(
+            f"schema is {doc.get('schema')!r}, expected {PROFILE_SCHEMA!r}")
+
+    run = doc.get("run")
+    if not isinstance(run, dict):
+        problems.append("missing 'run' section")
+    else:
+        for key in _RUN_KEYS:
+            if key not in run:
+                problems.append(f"run.{key} missing")
+
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        problems.append("missing 'metrics' section")
+    else:
+        for key in _METRIC_KEYS:
+            if key not in metrics:
+                problems.append(f"metrics.{key} missing")
+
+    n = run.get("num_processors") if isinstance(run, dict) else None
+    matrix = doc.get("comm_matrix")
+    if not isinstance(matrix, dict):
+        problems.append("missing 'comm_matrix' section")
+    else:
+        for key in _MATRIX_KEYS:
+            if key not in matrix:
+                problems.append(f"comm_matrix.{key} missing")
+        for key in ("messages", "bytes"):
+            grid = matrix.get(key)
+            if isinstance(grid, list) and isinstance(n, int):
+                if len(grid) != n or any(
+                        not isinstance(row, list) or len(row) != n
+                        for row in grid):
+                    problems.append(f"comm_matrix.{key} is not {n}x{n}")
+                elif any(not _finite(v) for row in grid for v in row):
+                    problems.append(f"comm_matrix.{key} has non-finite cells")
+            elif key in matrix:
+                problems.append(f"comm_matrix.{key} is not a matrix")
+        messages = matrix.get("messages")
+        total = matrix.get("total_messages")
+        if isinstance(messages, list) and _finite(total):
+            if sum(sum(row) for row in messages if isinstance(row, list)) != total:
+                problems.append("comm_matrix.total_messages != matrix sum")
+
+    objects = doc.get("objects")
+    if not isinstance(objects, list):
+        problems.append("missing 'objects' section")
+    else:
+        for index, entry in enumerate(objects):
+            if not isinstance(entry, dict):
+                problems.append(f"objects[{index}] is not an object")
+                continue
+            for key in _OBJECT_KEYS:
+                if key not in entry:
+                    problems.append(f"objects[{index}].{key} missing")
+
+    utilization = doc.get("utilization")
+    if not isinstance(utilization, list):
+        problems.append("missing 'utilization' section")
+    else:
+        if isinstance(n, int) and len(utilization) != n:
+            problems.append(
+                f"utilization has {len(utilization)} rows, expected {n}")
+        for index, entry in enumerate(utilization):
+            if not isinstance(entry, dict):
+                problems.append(f"utilization[{index}] is not an object")
+                continue
+            for key in _UTILIZATION_KEYS:
+                if key not in entry:
+                    problems.append(f"utilization[{index}].{key} missing")
+                elif key != "proc" and not _finite(entry[key]):
+                    problems.append(f"utilization[{index}].{key} not finite")
+
+    timeline = doc.get("timeline")
+    if not isinstance(timeline, dict):
+        problems.append("missing 'timeline' section")
+    else:
+        for key in _TIMELINE_KEYS:
+            if key not in timeline:
+                problems.append(f"timeline.{key} missing")
+        samples = timeline.get("samples")
+        if isinstance(samples, list):
+            last = -math.inf
+            for index, row in enumerate(samples):
+                if not isinstance(row, dict) or "t" not in row:
+                    problems.append(f"timeline.samples[{index}] malformed")
+                    continue
+                if not _finite(row["t"]) or row["t"] <= last:
+                    problems.append(
+                        f"timeline.samples[{index}].t not increasing")
+                    continue
+                last = row["t"]
+        elif "samples" in timeline:
+            problems.append("timeline.samples is not a list")
+
+    return problems
+
+
+def validate_bench(doc: Any) -> List[str]:
+    """Structurally validate a ``repro.bench/1`` (``BENCH_*.json``) document."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["snapshot is not a JSON object"]
+    if doc.get("schema") != BENCH_SCHEMA:
+        problems.append(
+            f"schema is {doc.get('schema')!r}, expected {BENCH_SCHEMA!r}")
+    if not isinstance(doc.get("name"), str) or not doc.get("name"):
+        problems.append("missing 'name'")
+    if "data" not in doc:
+        problems.append("missing 'data'")
+    return problems
+
+
+def validate_snapshot(doc: Any) -> List[str]:
+    """Validate either snapshot kind, dispatching on the schema tag."""
+    if isinstance(doc, dict) and doc.get("schema") == BENCH_SCHEMA:
+        return validate_bench(doc)
+    return validate_profile(doc)
+
+
+def assert_valid(doc: Any) -> None:
+    """Raise ``ValueError`` listing every problem when ``doc`` is invalid."""
+    problems = validate_snapshot(doc)
+    if problems:
+        raise ValueError(
+            "invalid snapshot: " + "; ".join(problems))

@@ -1,0 +1,62 @@
+"""Machine-readable snapshots: profile JSON and ``BENCH_*.json`` files.
+
+All serialization funnels through :func:`dump_json`, which refuses NaN and
+Infinity (``allow_nan=False``) — the JSON standard has no spelling for
+them, and an ``Infinity`` literal from an empty accumulator is exactly the
+kind of silent corruption the schema validator exists to catch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Optional
+
+from repro.obs.schema import BENCH_SCHEMA, assert_valid
+
+#: Environment variable selecting where ``BENCH_*.json`` files land.
+BENCH_DIR_ENV = "REPRO_BENCH_DIR"
+
+
+def dump_json(payload: Any) -> str:
+    """Serialize a snapshot payload to strict (RFC 8259) JSON text."""
+    return json.dumps(payload, indent=2, sort_keys=False, allow_nan=False)
+
+
+def write_profile_snapshot(path: str, profile) -> Dict[str, Any]:
+    """Validate and write a profile's snapshot document; return the dict."""
+    doc = profile.to_dict()
+    assert_valid(doc)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dump_json(doc) + "\n")
+    return doc
+
+
+def bench_snapshot(name: str, data: Any,
+                   meta: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """Wrap benchmark data in the versioned ``repro.bench/1`` envelope."""
+    doc: Dict[str, Any] = {"schema": BENCH_SCHEMA, "name": name, "data": data}
+    if meta:
+        doc["meta"] = meta
+    return doc
+
+
+def write_bench_snapshot(name: str, data: Any,
+                         directory: Optional[str] = None,
+                         meta: Optional[Dict[str, Any]] = None) -> str:
+    """Write ``BENCH_<name>.json`` and return its path.
+
+    The directory defaults to ``$REPRO_BENCH_DIR`` or the current working
+    directory; it is created if missing.  ``name`` must be a bare artifact
+    name (it becomes part of the filename).
+    """
+    if not name or any(c in name for c in "/\\"):
+        raise ValueError(f"bench snapshot name {name!r} must be a bare name")
+    directory = directory or os.environ.get(BENCH_DIR_ENV) or os.getcwd()
+    os.makedirs(directory, exist_ok=True)
+    doc = bench_snapshot(name, data, meta)
+    assert_valid(doc)
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dump_json(doc) + "\n")
+    return path

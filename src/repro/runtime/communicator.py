@@ -92,6 +92,9 @@ class Communicator:
         self.metrics = metrics
         self.sim = machine.sim
         self.net = machine.network
+        #: Optional :class:`repro.obs.ProfileCollector` (duck-typed);
+        #: ``None`` keeps every hot-path hook disabled.
+        self.prof = machine.profiler
         n = machine.num_processors
         self.stores: List[ObjectStore] = [ObjectStore(f"node{p}") for p in range(n)]
         #: (object_id, version) -> owning node.  "Each object also has an
@@ -182,6 +185,8 @@ class Communicator:
         prev_version = self._current[oid][0]
         self._owner[(oid, version)] = node
         self._current[oid] = (version, node)
+        if self.prof is not None:
+            self.prof.on_version(oid, obj.name, obj.sim_nbytes, version)
         if self.options.replication and self.options.adaptive_broadcast \
                 and oid in self._broadcast_mode:
             self._broadcast_version(obj, version, node)
@@ -261,6 +266,8 @@ class Communicator:
             if remaining["n"] == 0:
                 if count_latency:
                     self.metrics.task_latency_total += self.sim.now - start
+                self.machine.tracer.span(start, self.sim.now, "object", "wait",
+                                         proc=node, objects=len(missing))
                 done()
 
         if self.options.concurrent_fetches:
@@ -320,6 +327,8 @@ class Communicator:
                     self.metrics.object_latency_total += self.sim.now - request_sent
                 self.metrics.object_messages += 1
                 self.metrics.object_bytes += obj.sim_nbytes
+                if self.prof is not None:
+                    self.prof.on_fetch(obj.object_id, obj.name, obj.sim_nbytes)
                 self._finish_fetch(key)
 
             self.net.send(owner, node, obj.sim_nbytes, "object",
@@ -354,6 +363,11 @@ class Communicator:
         def _next() -> None:
             if not pending:
                 self.metrics.task_latency_total += self.sim.now - start
+                if ordered:
+                    self.machine.tracer.span(
+                        start, self.sim.now, "object", "wait",
+                        proc=node, objects=len(ordered),
+                    )
                 self.sim.schedule(0.0, done)
                 return
             obj, version = pending.popleft()
@@ -395,6 +409,8 @@ class Communicator:
                 self.metrics.object_latency_total += self.sim.now - request_sent
                 self.metrics.object_messages += 1
                 self.metrics.object_bytes += obj.sim_nbytes
+                if self.prof is not None:
+                    self.prof.on_fetch(obj.object_id, obj.name, obj.sim_nbytes)
                 granted()
 
             self.net.send(holder, node, obj.sim_nbytes, "object",
@@ -417,6 +433,9 @@ class Communicator:
             self.charge_cpu(owner, self.broadcast_trigger_overhead)
         self.metrics.broadcasts += 1
         targets = [p for p in self.machine.active_nodes if p != owner]
+        if self.prof is not None:
+            self.prof.on_broadcast(obj.object_id, obj.name, obj.sim_nbytes,
+                                   len(targets))
         if not targets:
             # The degenerate single-processor case of §5.3: the algorithm
             # still prepares the broadcast — copying the object out to the
@@ -455,6 +474,9 @@ class Communicator:
                 self.metrics.object_messages += 1
                 self.metrics.object_bytes += obj.sim_nbytes
                 self.metrics.eager_updates += 1
+                if self.prof is not None:
+                    self.prof.on_eager_update(obj.object_id, obj.name,
+                                              obj.sim_nbytes)
 
             self.net.send(owner, node, obj.sim_nbytes, "object_eager",
                           on_delivered=_delivered, payload=payload)

@@ -71,6 +71,9 @@ class MessagePassingRuntime:
         self.recorder = recorder
         if recorder is not None:
             recorder.attach_synchronizer(self.sync)
+        #: Optional :class:`repro.obs.ProfileCollector`; ``None`` keeps all
+        #: observability hooks behind a single ``is not None`` predicate.
+        self.prof = machine.profiler
         self.metrics = RunMetrics(
             machine="ipsc860",
             application=program.name,
@@ -160,6 +163,8 @@ class MessagePassingRuntime:
     def _created(self, task: TaskSpec) -> None:
         if self.sync.add_task(task):
             self.scheduler.task_enabled(task)
+        if self.prof is not None:
+            self.prof.on_queue_depth(self.sim.now, self.scheduler.pending())
         self._advance_main()
 
     def _start_serial(self, op: TaskSpec) -> None:
@@ -175,18 +180,26 @@ class MessagePassingRuntime:
     def _serial_fetched(self, op: TaskSpec) -> None:
         cost = 0.0 if self.options.work_free else \
             self.machine.compute_seconds(0, op.cost)
-        self.cpus[0].submit(cost, lambda _s, _f: self._serial_finished(op), urgent=True)
+        self.cpus[0].submit(
+            cost, lambda s, f: self._serial_finished(op, s, f), urgent=True
+        )
 
-    def _serial_finished(self, op: TaskSpec) -> None:
+    def _serial_finished(self, op: TaskSpec, start: float, finish: float) -> None:
         self._run_body_and_publish(op, 0)
         self.comm.release(op)
         self._completed += 1
         self.metrics.serial_sections_executed += 1
+        self.machine.tracer.span(start, finish, "serial", "exec",
+                                 task=op.task_id, proc=0)
+        if self.prof is not None:
+            self.prof.on_task_exec(0, finish - start, 0.0, True)
         for enabled_id in self.sync.complete_task(op):
             enabled = self.program.tasks[enabled_id]
             # A serial section cannot enable another serial section: the
             # main thread has not created any later one yet.
             self.scheduler.task_enabled(enabled)
+        if self.prof is not None:
+            self.prof.on_queue_depth(self.sim.now, self.scheduler.pending())
         self._advance_main()
 
     # ------------------------------------------------------------------ #
@@ -256,10 +269,11 @@ class MessagePassingRuntime:
         cost = 0.0 if self.options.work_free else \
             self.machine.compute_seconds(processor, task.cost)
         self.cpus[processor].submit(
-            cost, lambda _s, _f: self._task_finished(task, processor, cost)
+            cost, lambda s, f: self._task_finished(task, processor, cost, s, f)
         )
 
-    def _task_finished(self, task: TaskSpec, processor: int, cost: float) -> None:
+    def _task_finished(self, task: TaskSpec, processor: int, cost: float,
+                       start: float, finish: float) -> None:
         self._run_body_and_publish(task, processor)
         self.comm.release(task)
         self.metrics.tasks_executed += 1
@@ -271,6 +285,10 @@ class MessagePassingRuntime:
         self.machine.tracer.emit(
             self.sim.now, "task", "finish", task=task.task_id, proc=processor
         )
+        self.machine.tracer.span(start, finish, "task", "exec",
+                                 task=task.task_id, proc=processor)
+        if self.prof is not None:
+            self.prof.on_task_exec(processor, cost, 0.0, False)
 
         if processor == self.machine.main_processor:
             self.sim.schedule(0.0, self._completion_arrived, task, processor)
@@ -303,6 +321,8 @@ class MessagePassingRuntime:
                 self._start_serial(waiting)
             else:
                 self.scheduler.task_enabled(enabled)
+        if self.prof is not None:
+            self.prof.on_queue_depth(self.sim.now, self.scheduler.pending())
 
     # ------------------------------------------------------------------ #
     # body execution

@@ -130,4 +130,51 @@ class RunMetrics:
             "object_mb": self.object_bytes / (1024.0 * 1024.0),
             "mgmt_main": self.mgmt_time_main,
             "latency_ratio": self.object_to_task_latency_ratio,
+            "total_messages": float(self.total_messages),
+            "total_bytes": self.total_bytes,
+            "broadcasts": float(self.broadcasts),
+            "eager_updates": float(self.eager_updates),
+        }
+
+    def to_json(self) -> Dict[str, object]:
+        """Everything measured, as a JSON-safe dict (all values finite).
+
+        This is the ``metrics`` section of the ``repro.obs`` profile
+        snapshot and the row payload of ``repro sweep --json``; the
+        ``final_store`` payload is deliberately excluded (it is simulation
+        state, not a measurement) and options serialize as their stable
+        one-line description.
+        """
+        return {
+            "machine": self.machine,
+            "application": self.application,
+            "num_processors": self.num_processors,
+            "options": self.options.describe() if self.options else None,
+            "elapsed": self.elapsed,
+            "tasks_executed": self.tasks_executed,
+            "serial_sections_executed": self.serial_sections_executed,
+            "tasks_on_target": self.tasks_on_target,
+            "task_time_total": self.task_time_total,
+            "task_compute_total": self.task_compute_total,
+            "task_comm_total": self.task_comm_total,
+            "object_bytes": self.object_bytes,
+            "object_messages": self.object_messages,
+            "total_messages": self.total_messages,
+            "total_bytes": self.total_bytes,
+            "broadcasts": self.broadcasts,
+            "eager_updates": self.eager_updates,
+            "object_latency_total": self.object_latency_total,
+            "object_requests": self.object_requests,
+            "task_latency_total": self.task_latency_total,
+            "tasks_with_fetches": self.tasks_with_fetches,
+            "mgmt_time_main": self.mgmt_time_main,
+            "busy_per_processor": list(self.busy_per_processor),
+            "tasks_per_processor": list(self.tasks_per_processor),
+            "derived": {
+                "task_locality_pct": self.task_locality_pct,
+                "comm_to_comp_ratio": self.comm_to_comp_ratio,
+                "mean_object_latency": self.mean_object_latency,
+                "mean_task_latency": self.mean_task_latency,
+                "object_to_task_latency_ratio": self.object_to_task_latency_ratio,
+            },
         }

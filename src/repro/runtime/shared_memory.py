@@ -69,6 +69,9 @@ class SharedMemoryRuntime:
         if recorder is not None:
             recorder.attach_store(self.store)
             recorder.attach_synchronizer(self.sync)
+        #: Optional :class:`repro.obs.ProfileCollector`; ``None`` keeps all
+        #: observability hooks behind a single ``is not None`` predicate.
+        self.prof = machine.profiler
         self.metrics = RunMetrics(
             machine="dash",
             application=program.name,
@@ -181,6 +184,8 @@ class SharedMemoryRuntime:
                 )
             return
         self._idle.discard(processor)
+        if self.prof is not None:
+            self.prof.on_queue_depth(self.sim.now, self.scheduler.pending())
         self._execute(processor, task)
 
     def _steal_attempt(self, processor: int) -> None:
@@ -195,6 +200,8 @@ class SharedMemoryRuntime:
             self._idle.add(processor)
             return
         self._idle.discard(processor)
+        if self.prof is not None:
+            self.prof.on_queue_depth(self.sim.now, self.scheduler.pending())
         self._execute(processor, task)
 
     # ------------------------------------------------------------------ #
@@ -269,6 +276,8 @@ class SharedMemoryRuntime:
 
     def _enqueue(self, task: TaskSpec) -> None:
         self.scheduler.enqueue(task, self._target_processor(task))
+        if self.prof is not None:
+            self.prof.on_queue_depth(self.sim.now, self.scheduler.pending())
         self._poke_idle()
 
     def _execute(self, processor: int, task: TaskSpec) -> None:
@@ -277,10 +286,14 @@ class SharedMemoryRuntime:
         comm = 0.0
         if not self.options.work_free:
             for decl in task.spec:
-                comm += self.machine.access_cost(
+                cost = self.machine.access_cost(
                     processor, decl.obj.object_id, decl.obj.sim_nbytes,
                     write=decl.mode.writes,
                 )
+                comm += cost
+                if self.prof is not None:
+                    self.prof.on_access(decl.obj.object_id, decl.obj.name,
+                                        decl.obj.sim_nbytes, cost)
         dispatch = 0.0 if task.serial else self.machine.params.task_dispatch_seconds
         duration = compute + comm + dispatch
         if not task.serial:
@@ -298,9 +311,11 @@ class SharedMemoryRuntime:
         ctx = TaskContext(task, self.store, processor, recorder=self.recorder)
         ctx.run_body()
         for obj in task.spec.writes():
-            self.store.bump_version(
-                obj.object_id, self.sync.produced_version(task.task_id, obj.object_id)
-            )
+            produced = self.sync.produced_version(task.task_id, obj.object_id)
+            self.store.bump_version(obj.object_id, produced)
+            if self.prof is not None:
+                self.prof.on_version(obj.object_id, obj.name, obj.sim_nbytes,
+                                     produced)
         self._completed += 1
         if task.serial:
             self.metrics.serial_sections_executed += 1
@@ -315,6 +330,16 @@ class SharedMemoryRuntime:
         self.machine.tracer.emit(
             self.sim.now, "task", "finish", task=task.task_id, proc=processor
         )
+        # The execution span covers the compute+comm portion of the
+        # occupancy — what the paper's per-task timers measured and what
+        # ``task_time_total`` accumulates; dispatch overhead is excluded.
+        self.machine.tracer.span(
+            self.sim.now - (compute + comm), self.sim.now,
+            "serial" if task.serial else "task", "exec",
+            task=task.task_id, proc=processor,
+        )
+        if self.prof is not None:
+            self.prof.on_task_exec(processor, compute, comm, task.serial)
 
         for enabled_id in self.sync.complete_task(task):
             enabled = self.program.tasks[enabled_id]

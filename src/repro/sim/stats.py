@@ -58,6 +58,22 @@ class Accumulator:
         """Arithmetic mean of the added values (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe summary of the accumulator.
+
+        An empty accumulator's ``min``/``max`` sentinels are ±inf, which
+        ``json.dumps`` would emit as the non-standard ``Infinity`` literal;
+        any serialized output must therefore go through this method, which
+        reports ``None`` for the extremes of an empty accumulator.
+        """
+        return {
+            "total": self.total,
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Accumulator {self.name} total={self.total:.6g} n={self.count}>"
 

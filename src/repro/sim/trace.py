@@ -1,12 +1,15 @@
 """Structured execution tracing.
 
-Traces serve two purposes in the reproduction:
+Traces serve three purposes in the reproduction:
 
 1. **Determinism checks** — tests assert that two runs of the same
    configuration produce byte-identical traces.
 2. **Debuggability** — when a scheduler or coherence protocol misbehaves,
    a filtered trace of ``task``/``message``/``object`` events is the fastest
    way to see the interleaving.
+3. **Timelines** — paired begin/end *span* events record durations (task
+   execution, serial sections, message in-flight time, object fetch waits)
+   and export as Chrome/Perfetto duration events, one row per processor.
 
 Tracing is off by default (``Tracer(enabled=False)`` records nothing) so the
 hot simulation paths pay only a predicate check.
@@ -18,15 +21,22 @@ import json
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
+#: Event phases, following the Chrome trace-format vocabulary: ``i`` is an
+#: instant, ``B``/``E`` open and close a span on the event's row.
+PHASE_INSTANT = "i"
+PHASE_BEGIN = "B"
+PHASE_END = "E"
+
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One trace record: ``(time, category, label, attributes)``."""
+    """One trace record: ``(time, category, label, attributes[, phase])``."""
 
     time: float
     category: str
     label: str
     attrs: Tuple[Tuple[str, Any], ...] = ()
+    phase: str = PHASE_INSTANT
 
     def attr(self, key: str, default: Any = None) -> Any:
         for k, v in self.attrs:
@@ -37,7 +47,9 @@ class TraceEvent:
     def format(self) -> str:
         """Render the event as a stable, human-readable line."""
         parts = " ".join(f"{k}={v}" for k, v in self.attrs)
-        return f"[{self.time:.9f}] {self.category}:{self.label}" + (f" {parts}" if parts else "")
+        marker = "" if self.phase == PHASE_INSTANT else f"[{self.phase}]"
+        return (f"[{self.time:.9f}] {self.category}:{self.label}{marker}"
+                + (f" {parts}" if parts else ""))
 
 
 class Tracer:
@@ -49,16 +61,71 @@ class Tracer:
         self.events: List[TraceEvent] = []
 
     def emit(self, time: float, category: str, label: str, **attrs: Any) -> None:
-        """Record one event (no-op when disabled or category filtered out)."""
+        """Record one instant event (no-op when disabled or filtered out)."""
         if not self.enabled:
             return
         if self.categories is not None and category not in self.categories:
             return
         self.events.append(TraceEvent(time, category, label, tuple(sorted(attrs.items()))))
 
+    # ------------------------------------------------------------------ #
+    # spans
+    # ------------------------------------------------------------------ #
+    def span_begin(self, time: float, category: str, label: str, **attrs: Any) -> None:
+        """Open a span on the event's row (closed by :meth:`span_end`)."""
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        self.events.append(TraceEvent(time, category, label,
+                                      tuple(sorted(attrs.items())), PHASE_BEGIN))
+
+    def span_end(self, time: float, category: str, label: str, **attrs: Any) -> None:
+        """Close the innermost open span with the same (row, category, label)."""
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        self.events.append(TraceEvent(time, category, label,
+                                      tuple(sorted(attrs.items())), PHASE_END))
+
+    def span(self, begin: float, end: float, category: str, label: str,
+             **attrs: Any) -> None:
+        """Record a complete span ``[begin, end]`` in one call.
+
+        Used by callers that learn both endpoints at completion (resource
+        service callbacks report ``(start, finish)``), so the two events may
+        be appended after later-timestamped events; exports that need
+        chronological order sort by timestamp.
+        """
+        if not self.enabled:
+            return
+        self.span_begin(begin, category, label, **attrs)
+        self.span_end(end, category, label, **attrs)
+
     def filter(self, category: str) -> List[TraceEvent]:
         """Return the recorded events of one category, in order."""
         return [e for e in self.events if e.category == category]
+
+    def spans(self, category: Optional[str] = None) -> List[Tuple[TraceEvent, TraceEvent]]:
+        """Pair up begin/end events into ``(begin, end)`` tuples.
+
+        Pairing is per (row, category, label), innermost-first, in recorded
+        order — the same rule the Chrome export uses.
+        """
+        open_spans: Dict[Tuple[Any, str, str], List[TraceEvent]] = {}
+        pairs: List[Tuple[TraceEvent, TraceEvent]] = []
+        for e in self.events:
+            if category is not None and e.category != category:
+                continue
+            key = (_row_of(e), e.category, e.label)
+            if e.phase == PHASE_BEGIN:
+                open_spans.setdefault(key, []).append(e)
+            elif e.phase == PHASE_END:
+                stack = open_spans.get(key)
+                if stack:
+                    pairs.append((stack.pop(), e))
+        return pairs
 
     def format(self) -> str:
         """Render the full trace as newline-separated stable text."""
@@ -83,38 +150,123 @@ class Tracer:
     def to_jsonl(self) -> str:
         """Render the trace as JSON Lines, one event object per line.
 
-        Stable key order (``time``, ``category``, ``label``, then sorted
-        attributes) keeps the output diffable between runs.
+        Stable key order (``time``, ``category``, ``label``, ``phase`` for
+        span events, then sorted attributes) keeps the output diffable
+        between runs; instant events serialize exactly as they always have.
         """
         lines = []
         for e in self.events:
-            record = {"time": e.time, "category": e.category, "label": e.label}
+            record: Dict[str, Any] = {
+                "time": e.time, "category": e.category, "label": e.label,
+            }
+            if e.phase != PHASE_INSTANT:
+                record["phase"] = e.phase
             record.update(e.attrs)
             lines.append(json.dumps(record, sort_keys=False, default=str))
         return "\n".join(lines)
 
-    def to_chrome_json(self) -> str:
-        """Render the trace in Chrome ``about:tracing`` JSON format.
+    def row_tids(self) -> Dict[Any, int]:
+        """Map each distinct event row label to a stable integer tid.
 
-        Load the output in ``chrome://tracing`` (or Perfetto) for a visual
-        timeline.  Events are instants; simulated seconds map to trace
-        microseconds, and the ``proc``/``dst`` attribute (when present)
-        maps to the row the event is drawn on.
+        Integer rows (the common case: ``proc``/``dst`` processor numbers)
+        keep their own value; non-integer labels get consecutive tids after
+        the largest integer row, in sorted order.  The mapping depends only
+        on the set of labels present, so identical runs produce identical
+        timelines.
         """
-        trace_events = []
-        for e in self.events:
-            attrs = dict(e.attrs)
-            row = attrs.get("proc", attrs.get("dst", 0))
+        rows = {_row_of(e) for e in self.events}
+        ints = sorted(r for r in rows if isinstance(r, int) and not isinstance(r, bool))
+        others = sorted((str(r) for r in rows
+                         if not (isinstance(r, int) and not isinstance(r, bool))))
+        mapping: Dict[Any, int] = {r: r for r in ints}
+        base = (max(ints) + 1) if ints else 0
+        for offset, label in enumerate(others):
+            mapping[label] = base + offset
+        return mapping
+
+    def to_chrome_json(self) -> str:
+        """Render the trace in Chrome ``about:tracing`` / Perfetto format.
+
+        * each distinct ``proc``/``dst`` row label becomes one named thread
+          (``thread_name`` metadata events), with deterministic integer tids
+          via :meth:`row_tids`;
+        * begin/end span pairs export as complete duration events
+          (``"ph": "X"`` with ``dur``), so Perfetto draws real timelines;
+        * instants stay instant events; unmatched begins/ends export as raw
+          ``B``/``E`` events rather than being dropped.
+
+        Simulated seconds map to trace microseconds.
+        """
+        tids = self.row_tids()
+
+        def tid_of(e: TraceEvent) -> int:
+            row = _row_of(e)
+            if not (isinstance(row, int) and not isinstance(row, bool)):
+                row = str(row)
+            return tids.get(row, 0)
+
+        trace_events: List[Dict[str, Any]] = []
+        for row, tid in sorted(tids.items(), key=lambda kv: (kv[1], str(kv[0]))):
+            name = f"proc {row}" if isinstance(row, int) else str(row)
             trace_events.append({
+                "name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+                "args": {"name": name},
+            })
+
+        open_spans: Dict[Tuple[int, str, str], List[TraceEvent]] = {}
+        body: List[Tuple[float, int, Dict[str, Any]]] = []
+
+        def add(ts: float, payload: Dict[str, Any]) -> None:
+            body.append((ts, len(body), payload))
+
+        for e in self.events:
+            tid = tid_of(e)
+            if e.phase == PHASE_BEGIN:
+                open_spans.setdefault((tid, e.category, e.label), []).append(e)
+                continue
+            if e.phase == PHASE_END:
+                stack = open_spans.get((tid, e.category, e.label))
+                if stack:
+                    begin = stack.pop()
+                    args = dict(begin.attrs)
+                    args.update(dict(e.attrs))
+                    add(begin.time * 1e6, {
+                        "name": f"{e.category}:{e.label}",
+                        "cat": e.category,
+                        "ph": "X",
+                        "ts": begin.time * 1e6,
+                        "dur": (e.time - begin.time) * 1e6,
+                        "pid": 0,
+                        "tid": tid,
+                        "args": args,
+                    })
+                else:
+                    add(e.time * 1e6, {
+                        "name": f"{e.category}:{e.label}", "cat": e.category,
+                        "ph": "E", "ts": e.time * 1e6, "pid": 0, "tid": tid,
+                        "args": dict(e.attrs),
+                    })
+                continue
+            add(e.time * 1e6, {
                 "name": f"{e.category}:{e.label}",
                 "cat": e.category,
                 "ph": "i",
                 "s": "t",
                 "ts": e.time * 1e6,
                 "pid": 0,
-                "tid": row if isinstance(row, int) else 0,
-                "args": attrs,
+                "tid": tid,
+                "args": dict(e.attrs),
             })
+        # Spans left open export as raw begins, after everything paired.
+        for stack in open_spans.values():
+            for begin in stack:
+                add(begin.time * 1e6, {
+                    "name": f"{begin.category}:{begin.label}", "cat": begin.category,
+                    "ph": "B", "ts": begin.time * 1e6, "pid": 0,
+                    "tid": tid_of(begin), "args": dict(begin.attrs),
+                })
+        body.sort(key=lambda item: (item[0], item[1]))
+        trace_events.extend(payload for _ts, _seq, payload in body)
         return json.dumps({"traceEvents": trace_events,
                            "displayTimeUnit": "ms"}, default=str)
 
@@ -126,3 +278,11 @@ class Tracer:
             payload = self.to_jsonl()
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(payload + "\n")
+
+
+def _row_of(e: TraceEvent) -> Any:
+    """The timeline row an event is drawn on: ``proc``, else ``dst``, else 0."""
+    row = e.attr("proc")
+    if row is None:
+        row = e.attr("dst")
+    return 0 if row is None else row

@@ -80,6 +80,57 @@ def test_run_trace_out_writes_chrome_json(tmp_path, capsys):
     assert doc["traceEvents"]
 
 
+def test_profile_command(tmp_path, capsys):
+    import json
+
+    snap = tmp_path / "profile.json"
+    trace = tmp_path / "trace.json"
+    assert main(["profile", "--app", "water", "--scale", "tiny",
+                 "--procs", "2", "--json", str(snap),
+                 "--trace-out", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "communication matrix" in out
+    assert "hot objects" in out
+    doc = json.loads(snap.read_text())
+    assert doc["schema"] == "repro.obs/1"
+    assert doc["comm_matrix"]["total_messages"] == \
+        doc["metrics"]["total_messages"]
+    chrome = json.loads(trace.read_text())
+    assert any(e.get("ph") == "X" for e in chrome["traceEvents"])
+
+
+def test_profile_command_dash(capsys):
+    assert main(["profile", "--app", "ocean", "--scale", "tiny",
+                 "--machine", "dash", "--procs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "per-processor utilization" in out
+
+
+def test_run_profile_flags(tmp_path, capsys):
+    import json
+
+    snap = tmp_path / "p.json"
+    assert main(["run", "--app", "water", "--scale", "tiny", "--procs", "2",
+                 "--profile", "--profile-json", str(snap)]) == 0
+    out = capsys.readouterr().out
+    assert "elapsed" in out                  # the normal metrics block
+    assert "communication matrix" in out     # plus the profile report
+    assert json.loads(snap.read_text())["schema"] == "repro.obs/1"
+
+
+def test_sweep_json(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "sweep.json"
+    assert main(["sweep", "--app", "water", "--scale", "tiny",
+                 "--procs", "1", "2", "--json", str(path)]) == 0
+    doc = json.loads(path.read_text())
+    assert doc["schema"] == "repro.sweep/1"
+    levels = {r["level"] for r in doc["rows"]}
+    assert levels == {"locality", "no_locality"}
+    assert all("elapsed" in r["metrics"] for r in doc["rows"])
+
+
 def test_check_clean_app(capsys):
     # Default --machine both: access check on each machine, then replays
     # and the dash/ipsc860/stripped cross-check.

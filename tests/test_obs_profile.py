@@ -1,0 +1,185 @@
+"""Tests for the run profiler: reconciliation invariants, zero overhead,
+and determinism of profiled runs."""
+
+import pytest
+
+from repro.apps import MachineKind
+from repro.lab.experiments import profile_app, run_app
+from repro.obs import validate_profile
+from repro.obs.snapshot import dump_json
+from repro.runtime import RuntimeOptions
+from repro.runtime.options import LocalityLevel
+from repro.sim.trace import Tracer
+
+
+def _ipsc(**kwargs):
+    return profile_app("water", 4, MachineKind.IPSC860,
+                       LocalityLevel.LOCALITY, scale="tiny", **kwargs)
+
+
+def _dash(**kwargs):
+    return profile_app("ocean", 4, MachineKind.DASH,
+                       LocalityLevel.LOCALITY, scale="tiny", **kwargs)
+
+
+# --------------------------------------------------------------------- #
+# reconciliation invariants
+# --------------------------------------------------------------------- #
+def test_comm_matrix_totals_match_metrics():
+    metrics, profile = _ipsc()
+    assert metrics.total_messages > 0
+    assert profile.total_matrix_messages == metrics.total_messages
+    assert profile.total_matrix_bytes == pytest.approx(metrics.total_bytes)
+
+
+def test_comm_matrix_counts_local_deliveries_on_diagonal():
+    metrics, profile = profile_app("water", 1, MachineKind.IPSC860,
+                                   LocalityLevel.LOCALITY, scale="tiny")
+    # One-processor runs still deliver local messages; they land on [0][0].
+    assert profile.comm_messages[0][0] == metrics.total_messages
+
+
+def test_utilization_reconciles_with_busy_per_processor_ipsc():
+    metrics, profile = _ipsc()
+    assert len(profile.utilization) == metrics.num_processors
+    for row, busy in zip(profile.utilization, metrics.busy_per_processor):
+        split = (row["compute"] + row["serial"] + row["memory_comm"]
+                 + row["mgmt"])
+        assert split == pytest.approx(busy, abs=1e-9)
+        assert row["mgmt"] >= 0.0
+        assert row["idle"] >= 0.0
+
+
+def test_utilization_reconciles_with_busy_per_processor_dash():
+    metrics, profile = _dash()
+    for row, busy in zip(profile.utilization, metrics.busy_per_processor):
+        split = (row["compute"] + row["serial"] + row["memory_comm"]
+                 + row["mgmt"])
+        assert split == pytest.approx(busy, abs=1e-9)
+
+
+def test_task_spans_sum_to_task_time_total_ipsc():
+    tracer = Tracer(enabled=True)
+    metrics, _profile = _ipsc(tracer=tracer)
+    total = sum(end.time - begin.time for begin, end in tracer.spans("task"))
+    assert total == pytest.approx(metrics.task_time_total)
+    # Serial sections are a separate category, not mixed into task time.
+    serial = sum(end.time - begin.time
+                 for begin, end in tracer.spans("serial"))
+    assert metrics.serial_sections_executed > 0
+    assert serial >= 0.0
+
+
+def test_task_spans_sum_to_task_time_total_dash():
+    tracer = Tracer(enabled=True)
+    metrics, _profile = _dash(tracer=tracer)
+    total = sum(end.time - begin.time for begin, end in tracer.spans("task"))
+    assert total == pytest.approx(metrics.task_time_total)
+
+
+def test_message_spans_cover_in_flight_time():
+    tracer = Tracer(enabled=True)
+    metrics, _profile = _ipsc(tracer=tracer)
+    pairs = tracer.spans("message")
+    assert len(pairs) == metrics.total_messages
+    assert all(end.time >= begin.time for begin, end in pairs)
+
+
+def test_hot_objects_mp_record_fetches_and_broadcasts():
+    metrics, profile = _ipsc()
+    assert profile.objects
+    assert sum(o.fetches for o in profile.objects) > 0
+    assert sum(o.broadcasts for o in profile.objects) == metrics.broadcasts
+    ranked = profile.hot_objects(3)
+    assert len(ranked) <= 3
+    assert ranked == sorted(ranked, key=lambda o: -o.bytes_moved)
+
+
+def test_hot_objects_dash_record_memory_time():
+    _metrics, profile = _dash()
+    assert profile.objects
+    assert sum(o.comm_seconds for o in profile.objects) > 0
+    assert sum(o.accesses for o in profile.objects) > 0
+
+
+def test_eager_updates_reconcile():
+    metrics, profile = profile_app(
+        "water", 4, MachineKind.IPSC860, LocalityLevel.LOCALITY,
+        RuntimeOptions(adaptive_broadcast=False, eager_update=True),
+        scale="tiny")
+    assert metrics.eager_updates > 0
+    assert sum(o.eager_updates for o in profile.objects) == metrics.eager_updates
+
+
+def test_timeline_samples_and_inflight_peak():
+    metrics, profile = _ipsc()
+    timeline = profile.timeline
+    assert timeline["horizon"] == pytest.approx(metrics.elapsed)
+    samples = timeline["samples"]
+    assert samples
+    assert samples[-1]["t"] == pytest.approx(metrics.elapsed)
+    assert timeline["peaks"]["inflight_messages"] >= 1
+    # Link utilizations are fractions.
+    for row in samples:
+        for util in row["link_utilization"].values():
+            assert 0.0 <= util <= 1.0 + 1e-9
+
+
+# --------------------------------------------------------------------- #
+# zero overhead and determinism
+# --------------------------------------------------------------------- #
+def test_profiler_does_not_perturb_the_run():
+    plain = run_app("water", 4, MachineKind.IPSC860,
+                    LocalityLevel.LOCALITY, scale="tiny")
+    profiled, _ = _ipsc()
+    assert profiled.summary() == plain.summary()
+    assert profiled.busy_per_processor == plain.busy_per_processor
+
+
+def test_profiler_does_not_perturb_the_run_dash():
+    plain = run_app("ocean", 4, MachineKind.DASH,
+                    LocalityLevel.LOCALITY, scale="tiny")
+    profiled, _ = _dash()
+    assert profiled.summary() == plain.summary()
+
+
+def test_two_profiled_runs_are_byte_identical():
+    _m1, p1 = _ipsc()
+    _m2, p2 = _ipsc()
+    assert dump_json(p1.to_dict()) == dump_json(p2.to_dict())
+    assert p1.format() == p2.format()
+
+
+def test_two_traced_runs_export_identical_chrome_json():
+    t1, t2 = Tracer(enabled=True), Tracer(enabled=True)
+    _ipsc(tracer=t1)
+    _ipsc(tracer=t2)
+    assert t1.to_chrome_json() == t2.to_chrome_json()
+    assert t1.to_jsonl() == t2.to_jsonl()
+
+
+# --------------------------------------------------------------------- #
+# snapshot document
+# --------------------------------------------------------------------- #
+def test_snapshot_validates_and_serializes():
+    _metrics, profile = _ipsc()
+    doc = profile.to_dict()
+    assert validate_profile(doc) == []
+    text = dump_json(doc)  # allow_nan=False: raises on Infinity/NaN
+    assert '"schema": "repro.obs/1"' in text
+
+
+def test_snapshot_validator_catches_corruption():
+    _metrics, profile = _ipsc()
+    doc = profile.to_dict()
+    doc["comm_matrix"]["total_messages"] += 1
+    assert any("total_messages" in p for p in validate_profile(doc))
+
+
+def test_report_renders_for_both_machines():
+    for _m, profile in (_ipsc(), _dash()):
+        text = profile.format()
+        assert "per-processor utilization" in text
+        assert "communication matrix" in text
+        assert "hot objects" in text
+        assert "timeline" in text

@@ -1,0 +1,110 @@
+"""Unit tests for the retrospective time-series sampler."""
+
+import pytest
+
+from repro.obs.sampler import (
+    IntervalTrack,
+    StepTrack,
+    build_timeline,
+    sample_grid,
+)
+
+
+# --------------------------------------------------------------------- #
+# StepTrack
+# --------------------------------------------------------------------- #
+def test_step_track_samples_last_value_at_or_before():
+    tr = StepTrack("q")
+    tr.record(1.0, 3)
+    tr.record(2.0, 5)
+    tr.record(4.0, 1)
+    assert tr.sample(0.5) == 0.0
+    assert tr.sample(1.0) == 3
+    assert tr.sample(1.9) == 3
+    assert tr.sample(2.0) == 5
+    assert tr.sample(100.0) == 1
+    assert tr.peak() == 5
+
+
+def test_step_track_same_time_overwrites():
+    tr = StepTrack()
+    tr.record(1.0, 3)
+    tr.record(1.0, 7)
+    assert len(tr) == 1
+    assert tr.sample(1.0) == 7
+
+
+def test_step_track_empty():
+    tr = StepTrack()
+    assert tr.sample(5.0) == 0.0
+    assert tr.peak() == 0.0
+
+
+# --------------------------------------------------------------------- #
+# IntervalTrack
+# --------------------------------------------------------------------- #
+def test_interval_track_clips_to_window():
+    tr = IntervalTrack("tx0")
+    tr.record(1.0, 2.0)   # busy [1, 3)
+    tr.record(5.0, 1.0)   # busy [5, 6)
+    assert tr.total == pytest.approx(3.0)
+    assert tr.busy_within(0.0, 10.0) == pytest.approx(3.0)
+    assert tr.busy_within(2.0, 5.5) == pytest.approx(1.5)
+    assert tr.busy_within(3.0, 5.0) == 0.0
+    assert tr.utilization(1.0, 3.0) == pytest.approx(1.0)
+    assert tr.utilization(0.0, 4.0) == pytest.approx(0.5)
+
+
+def test_interval_track_ignores_zero_duration():
+    tr = IntervalTrack()
+    tr.record(1.0, 0.0)
+    assert tr.total == 0.0
+    assert tr.busy_within(0.0, 2.0) == 0.0
+
+
+# --------------------------------------------------------------------- #
+# sample_grid
+# --------------------------------------------------------------------- #
+def test_sample_grid_divides_horizon():
+    dt, times = sample_grid(10.0, samples=5)
+    assert dt == pytest.approx(2.0)
+    assert times == pytest.approx([2.0, 4.0, 6.0, 8.0, 10.0])
+
+
+def test_sample_grid_always_ends_at_horizon():
+    _dt, times = sample_grid(1.0, interval=0.3)
+    assert times[-1] == pytest.approx(1.0)
+    # Explicit interval larger than the horizon still yields one sample.
+    _dt, times = sample_grid(1.0, interval=5.0)
+    assert times == [1.0]
+
+
+def test_sample_grid_zero_horizon_is_empty():
+    assert sample_grid(0.0) == (0.0, [])
+
+
+# --------------------------------------------------------------------- #
+# build_timeline
+# --------------------------------------------------------------------- #
+def test_build_timeline_rows_and_peaks():
+    ready = StepTrack("ready")
+    ready.record(0.0, 2)
+    ready.record(5.0, 0)
+    inflight = StepTrack("inflight")
+    inflight.record(1.0, 1)
+    inflight.record(2.0, 0)
+    tx = IntervalTrack("tx0")
+    tx.record(0.0, 5.0)
+    timeline = build_timeline(10.0, ready, inflight, {"tx0": tx}, samples=2)
+    rows = timeline["samples"]
+    assert [r["t"] for r in rows] == pytest.approx([5.0, 10.0])
+    assert rows[0]["ready_tasks"] == 0      # changed exactly at t=5
+    assert rows[0]["link_utilization"]["tx0"] == pytest.approx(1.0)
+    assert rows[1]["link_utilization"]["tx0"] == pytest.approx(0.0)
+    assert timeline["peaks"] == {"ready_tasks": 2, "inflight_messages": 1}
+
+
+def test_build_timeline_empty_run():
+    timeline = build_timeline(0.0, StepTrack(), StepTrack(), {})
+    assert timeline["samples"] == []
+    assert timeline["interval"] == 0.0

@@ -1,0 +1,122 @@
+"""Tests for snapshot serialization, schema validation, and JSON safety."""
+
+import json
+import math
+
+import pytest
+
+from repro.apps import MachineKind
+from repro.lab.experiments import run_app
+from repro.obs.schema import (
+    BENCH_SCHEMA,
+    assert_valid,
+    validate_bench,
+    validate_snapshot,
+)
+from repro.obs.snapshot import (
+    BENCH_DIR_ENV,
+    bench_snapshot,
+    dump_json,
+    write_bench_snapshot,
+)
+from repro.runtime.options import LocalityLevel
+from repro.sim.stats import Accumulator
+
+
+# --------------------------------------------------------------------- #
+# JSON safety (the Accumulator Infinity hazard)
+# --------------------------------------------------------------------- #
+def test_empty_accumulator_as_dict_is_json_safe():
+    doc = Accumulator("lat").as_dict()
+    assert doc["min"] is None and doc["max"] is None
+    assert doc["count"] == 0 and doc["mean"] == 0.0
+    # Strict serialization must accept it (no Infinity literal).
+    text = json.dumps(doc, allow_nan=False)
+    assert "Infinity" not in text
+
+
+def test_nonempty_accumulator_as_dict():
+    acc = Accumulator("lat")
+    acc.add(2.0)
+    acc.add(4.0)
+    assert acc.as_dict() == {
+        "total": 6.0, "count": 2, "mean": 3.0, "min": 2.0, "max": 4.0,
+    }
+
+
+def test_dump_json_rejects_non_finite():
+    with pytest.raises(ValueError):
+        dump_json({"bad": math.inf})
+    with pytest.raises(ValueError):
+        dump_json({"bad": math.nan})
+
+
+# --------------------------------------------------------------------- #
+# RunMetrics.to_json
+# --------------------------------------------------------------------- #
+def test_run_metrics_to_json_round_trips():
+    metrics = run_app("water", 2, MachineKind.IPSC860,
+                      LocalityLevel.LOCALITY, scale="tiny")
+    doc = metrics.to_json()
+    text = dump_json(doc)  # strict: raises on any non-finite float
+    back = json.loads(text)
+    assert back["application"] == "water"
+    assert back["num_processors"] == 2
+    assert back["total_messages"] == metrics.total_messages
+    assert back["busy_per_processor"] == pytest.approx(
+        metrics.busy_per_processor)
+    assert "final_store" not in back
+    assert back["derived"]["task_locality_pct"] == pytest.approx(
+        metrics.task_locality_pct)
+
+
+def test_summary_includes_communication_totals():
+    metrics = run_app("water", 2, MachineKind.IPSC860,
+                      LocalityLevel.LOCALITY, scale="tiny")
+    summary = metrics.summary()
+    for key in ("total_messages", "total_bytes", "broadcasts",
+                "eager_updates"):
+        assert key in summary
+    assert summary["total_messages"] == metrics.total_messages
+
+
+# --------------------------------------------------------------------- #
+# bench snapshots
+# --------------------------------------------------------------------- #
+def test_bench_snapshot_envelope_validates():
+    doc = bench_snapshot("table07_water", {"1": 2704.0}, meta={"table": 7})
+    assert doc["schema"] == BENCH_SCHEMA
+    assert validate_bench(doc) == []
+    assert validate_snapshot(doc) == []
+    assert_valid(doc)
+
+
+def test_bench_snapshot_detects_problems():
+    assert validate_bench({"schema": "nope", "data": 1}) != []
+    assert validate_bench({"schema": BENCH_SCHEMA, "name": "x"}) != []
+    with pytest.raises(ValueError):
+        assert_valid({"schema": BENCH_SCHEMA})
+
+
+def test_write_bench_snapshot(tmp_path):
+    path = write_bench_snapshot("roundtrip", {"series": [1, 2, 3]},
+                                directory=str(tmp_path), meta={"k": "v"})
+    assert path.endswith("BENCH_roundtrip.json")
+    doc = json.loads(open(path).read())
+    assert doc["name"] == "roundtrip"
+    assert doc["data"]["series"] == [1, 2, 3]
+    assert doc["meta"] == {"k": "v"}
+
+
+def test_write_bench_snapshot_env_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv(BENCH_DIR_ENV, str(tmp_path / "out"))
+    path = write_bench_snapshot("envdir", 42)
+    assert str(tmp_path / "out") in path
+    assert json.loads(open(path).read())["data"] == 42
+
+
+def test_write_bench_snapshot_rejects_paths(tmp_path):
+    with pytest.raises(ValueError):
+        write_bench_snapshot("../escape", 1, directory=str(tmp_path))
+    with pytest.raises(ValueError):
+        write_bench_snapshot("", 1, directory=str(tmp_path))

@@ -167,7 +167,11 @@ def test_to_chrome_json_shape():
     tr.emit(0.001, "task", "run", proc=3)
     tr.emit(0.002, "message", "object", dst=1, nbytes=64)
     doc = json.loads(tr.to_chrome_json())
-    events = doc["traceEvents"]
+    meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    events = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+    # One thread_name metadata event per distinct row, before the body.
+    assert [m["name"] for m in meta] == ["thread_name", "thread_name"]
+    assert sorted(m["args"]["name"] for m in meta) == ["proc 1", "proc 3"]
     assert len(events) == 2
     assert events[0]["name"] == "task:run"
     assert events[0]["ph"] == "i"
@@ -175,6 +179,94 @@ def test_to_chrome_json_shape():
     assert events[0]["tid"] == 3                      # proc maps to the row
     assert events[1]["tid"] == 1                      # dst when no proc
     assert events[1]["args"]["nbytes"] == 64
+
+
+def test_span_pairing_and_duration():
+    tr = Tracer(enabled=True)
+    tr.span_begin(1.0, "task", "exec", proc=2)
+    tr.span_end(1.5, "task", "exec", proc=2)
+    tr.span(0.2, 0.9, "message", "object", src=0, dst=1)
+    pairs = tr.spans()
+    assert len(pairs) == 2
+    task_pairs = tr.spans("task")
+    assert len(task_pairs) == 1
+    begin, end = task_pairs[0]
+    assert (begin.time, end.time) == (1.0, 1.5)
+
+
+def test_span_nesting_pairs_innermost_first():
+    tr = Tracer(enabled=True)
+    tr.span_begin(0.0, "task", "exec", proc=1)
+    tr.span_begin(0.2, "task", "exec", proc=1)
+    tr.span_end(0.4, "task", "exec", proc=1)
+    tr.span_end(1.0, "task", "exec", proc=1)
+    pairs = tr.spans("task")
+    assert [(b.time, e.time) for b, e in pairs] == [(0.2, 0.4), (0.0, 1.0)]
+
+
+def test_spans_separate_rows_do_not_pair():
+    tr = Tracer(enabled=True)
+    tr.span_begin(0.0, "task", "exec", proc=1)
+    tr.span_end(0.5, "task", "exec", proc=2)  # different row: no pair
+    assert tr.spans("task") == []
+
+
+def test_span_disabled_tracer_is_noop():
+    tr = Tracer(enabled=False)
+    tr.span(0.0, 1.0, "task", "exec", proc=0)
+    tr.span_begin(0.0, "task", "exec")
+    tr.span_end(1.0, "task", "exec")
+    assert len(tr) == 0
+
+
+def test_chrome_export_emits_duration_events():
+    import json
+
+    tr = Tracer(enabled=True)
+    # Out-of-order append (completion callbacks report spans late): the
+    # export must still sort by timestamp.
+    tr.emit(0.004, "task", "finish", proc=1)
+    tr.span(0.001, 0.003, "task", "exec", proc=1, task=7)
+    doc = json.loads(tr.to_chrome_json())
+    events = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+    assert [e["ph"] for e in events] == ["X", "i"]
+    span = events[0]
+    assert span["ts"] == pytest.approx(1000.0)
+    assert span["dur"] == pytest.approx(2000.0)
+    assert span["args"]["task"] == 7
+    assert span["tid"] == 1
+
+
+def test_chrome_export_keeps_unmatched_begin():
+    import json
+
+    tr = Tracer(enabled=True)
+    tr.span_begin(0.001, "task", "exec", proc=0)
+    doc = json.loads(tr.to_chrome_json())
+    phases = [e["ph"] for e in doc["traceEvents"]]
+    assert "B" in phases and "X" not in phases
+
+
+def test_row_tids_integers_keep_value_others_follow():
+    tr = Tracer(enabled=True)
+    tr.emit(0.0, "task", "a", proc=5)
+    tr.emit(0.0, "task", "b", proc=1)
+    tr.emit(0.0, "bus", "c", proc="ethernet")
+    mapping = tr.row_tids()
+    assert mapping[5] == 5 and mapping[1] == 1
+    assert mapping["ethernet"] == 6  # after the largest integer row
+
+
+def test_jsonl_span_events_carry_phase_key():
+    import json
+
+    tr = Tracer(enabled=True)
+    tr.emit(0.1, "task", "finish", proc=0)
+    tr.span(0.0, 0.2, "task", "exec", proc=0)
+    lines = [json.loads(l) for l in tr.to_jsonl().splitlines()]
+    assert "phase" not in lines[0]           # instants unchanged
+    assert lines[1]["phase"] == "B"
+    assert lines[2]["phase"] == "E"
 
 
 def test_write_picks_format_from_extension(tmp_path):
