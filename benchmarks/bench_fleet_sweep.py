@@ -1,0 +1,105 @@
+"""repro.fleet baseline: serial vs parallel 4-app sweep wall time.
+
+The paper's methodology is one big configuration sweep (§5); this
+benchmark establishes the first throughput baselines for executing it:
+
+* **serial_wall_s** — the 4-app locality sweep run strictly serially
+  (the pre-fleet path);
+* **parallel_wall_s** — the same sweep through ``repro.fleet`` with one
+  worker per available CPU;
+* **events_per_sec** — discrete-event engine throughput (simulator events
+  executed per host second) on each path;
+* byte-identity of the merged parallel output against the serial path is
+  asserted, not just measured.
+
+The wall-clock speedup assertion (> 1.5x) only applies on a multi-core
+host running the full paper-scale configuration — on one CPU, or on the
+reduced sweeps selected via ``REPRO_BENCH_PROCS`` / ``REPRO_BENCH_SCALE``,
+the numbers are recorded in the snapshot but not asserted (set
+``REPRO_BENCH_REQUIRE_SPEEDUP=1`` to force the assertion anywhere).
+"""
+
+import os
+import time
+
+from repro.apps import MachineKind
+from repro.fleet import default_jobs, parallel_locality_sweep, sweep_snapshot_doc
+from repro.lab import locality_sweep
+from repro.obs.snapshot import dump_json
+
+from _support import bench_procs, once, show, snapshot
+
+APPS = ["water", "string", "ocean", "cholesky"]
+
+
+def _bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "paper")
+
+
+def _sweep_all(runner):
+    start = time.perf_counter()
+    rows = {app: runner(app) for app in APPS}
+    return rows, time.perf_counter() - start
+
+
+def test_fleet_sweep_serial_vs_parallel(benchmark):
+    procs = bench_procs()
+    scale = _bench_scale()
+    jobs = default_jobs()
+
+    def measure():
+        serial_rows, serial_wall = _sweep_all(
+            lambda app: locality_sweep(app, MachineKind.IPSC860, procs, scale))
+        parallel_rows, parallel_wall = _sweep_all(
+            lambda app: parallel_locality_sweep(
+                app, MachineKind.IPSC860, procs, scale, jobs=jobs))
+        return serial_rows, serial_wall, parallel_rows, parallel_wall
+
+    serial_rows, serial_wall, parallel_rows, parallel_wall = \
+        once(benchmark, measure)
+
+    # Determinism: the merged parallel output is byte-identical to serial.
+    for app in APPS:
+        serial_doc = dump_json(sweep_snapshot_doc(
+            app, "ipsc860", scale, serial_rows[app]))
+        parallel_doc = dump_json(sweep_snapshot_doc(
+            app, "ipsc860", scale, parallel_rows[app]))
+        assert parallel_doc == serial_doc, f"{app}: parallel sweep diverged"
+
+    events = sum(row.metrics.events_fired
+                 for rows in serial_rows.values() for row in rows)
+    configurations = sum(len(rows) for rows in serial_rows.values())
+    speedup = serial_wall / parallel_wall if parallel_wall > 0 else float("inf")
+    serial_eps = events / serial_wall if serial_wall > 0 else 0.0
+    parallel_eps = events / parallel_wall if parallel_wall > 0 else 0.0
+
+    show(f"fleet sweep: {configurations} configurations, {events} events\n"
+         f"  serial    {serial_wall:8.2f} s  ({serial_eps:,.0f} events/s)\n"
+         f"  parallel  {parallel_wall:8.2f} s  ({parallel_eps:,.0f} events/s, "
+         f"jobs={jobs})\n"
+         f"  speedup   {speedup:8.2f}x")
+    snapshot(
+        "fleet_sweep",
+        {
+            "configurations": configurations,
+            "events_fired": events,
+            "serial_wall_s": serial_wall,
+            "parallel_wall_s": parallel_wall,
+            "speedup": speedup,
+            "serial_events_per_sec": serial_eps,
+            "parallel_events_per_sec": parallel_eps,
+        },
+        meta={"apps": APPS, "machine": "ipsc860", "scale": scale,
+              "procs": procs, "jobs": jobs, "host_cpus": default_jobs()},
+    )
+
+    assert events > 0
+    full_run = scale == "paper" and not os.environ.get("REPRO_BENCH_PROCS")
+    if full_run:
+        # 2 levels x 7 counts for Water/String + 3 levels x 7 for the rest.
+        assert configurations == 70
+    if os.environ.get("REPRO_BENCH_REQUIRE_SPEEDUP") or (jobs >= 2 and full_run):
+        assert speedup > 1.5, (
+            f"parallel sweep speedup {speedup:.2f}x <= 1.5x "
+            f"(jobs={jobs}, serial {serial_wall:.2f}s, "
+            f"parallel {parallel_wall:.2f}s)")

@@ -1,0 +1,85 @@
+"""Scaling story to 128 simulated processors.
+
+The paper stops at 32 processors (the largest iPSC/860 partition its
+authors had); the reproduction's machine models have no such limit — the
+hypercube just gains dimensions.  This benchmark opens the >=128-processor
+workload scale and records the engine-throughput envelope: simulated
+events executed, host wall time, and events/sec for each run.
+
+Ocean sits this one out: its tiny grid (32 columns) cannot decompose into
+127 blocks.  Applications whose decomposition follows the processor count
+(Water, String) triple their event volume between 32 and 128 processors,
+which is exactly the load the engine fast path (heap compaction, O(1)
+live-event counter, cached no-trace predicates) is meant to carry.
+"""
+
+import time
+
+from repro.apps import MachineKind
+from repro.lab import run_app
+
+from _support import once, show, snapshot
+
+APPS = ["water", "string", "cholesky"]
+PROCS = [32, 64, 128]
+SCALE = "tiny"
+
+
+def _run_grid():
+    rows = []
+    for app in APPS:
+        for procs in PROCS:
+            start = time.perf_counter()
+            metrics = run_app(app, procs, MachineKind.IPSC860, scale=SCALE)
+            wall = time.perf_counter() - start
+            rows.append({
+                "app": app,
+                "procs": procs,
+                "elapsed_sim_s": metrics.elapsed,
+                "events_fired": metrics.events_fired,
+                "tasks_executed": metrics.tasks_executed,
+                "wall_s": wall,
+                "events_per_sec": metrics.events_fired / wall if wall > 0
+                else 0.0,
+            })
+    return rows
+
+
+def test_scale_128_processors(benchmark):
+    rows = once(benchmark, _run_grid)
+
+    lines = [f"{'app':<10} {'procs':>5} {'sim s':>10} {'events':>9} "
+             f"{'wall s':>8} {'events/s':>11}"]
+    for row in rows:
+        lines.append(
+            f"{row['app']:<10} {row['procs']:>5} {row['elapsed_sim_s']:>10.4f} "
+            f"{row['events_fired']:>9} {row['wall_s']:>8.3f} "
+            f"{row['events_per_sec']:>11,.0f}")
+    show("\n".join(lines))
+    snapshot(
+        "scale128",
+        {"rows": rows},
+        meta={"machine": "ipsc860", "scale": SCALE, "procs": PROCS,
+              "apps": APPS},
+    )
+
+    by_key = {(r["app"], r["procs"]): r for r in rows}
+    for app in APPS:
+        for procs in PROCS:
+            row = by_key[(app, procs)]
+            assert row["tasks_executed"] > 0
+            assert row["events_per_sec"] > 0
+    # Water/String decompose per-processor: 4x the processors means 4x the
+    # tasks and roughly 4x the events — the 128-way runs genuinely exercise
+    # a larger simulation, not the 32-way one renamed.
+    for app in ("water", "string"):
+        assert by_key[(app, 128)]["tasks_executed"] == \
+            4 * by_key[(app, 32)]["tasks_executed"]
+        assert by_key[(app, 128)]["events_fired"] > \
+            3 * by_key[(app, 32)]["events_fired"]
+
+    # Determinism holds at the new scale: a repeated 128-way run fires
+    # exactly the same number of events.
+    again = run_app("water", 128, MachineKind.IPSC860, scale=SCALE)
+    assert again.events_fired == by_key[("water", 128)]["events_fired"]
+    assert again.elapsed == by_key[("water", 128)]["elapsed_sim_s"]

@@ -97,9 +97,24 @@ def cmd_run(args) -> int:
 
 
 def cmd_sweep(args) -> int:
+    from repro.errors import ExperimentError
+    from repro.fleet import default_jobs, parallel_locality_sweep
+
     machine = MachineKind(args.machine)
     procs = args.procs or PAPER_PROCS
-    rows = locality_sweep(args.app, machine, procs, args.scale)
+    jobs = default_jobs() if args.jobs is None else args.jobs
+    if jobs < 1:
+        print(f"error: --jobs must be >= 1, got {jobs}", file=sys.stderr)
+        return 2
+    try:
+        if jobs > 1:
+            rows = parallel_locality_sweep(args.app, machine, procs,
+                                           args.scale, jobs=jobs)
+        else:
+            rows = locality_sweep(args.app, machine, procs, args.scale)
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     series = rows_to_series(rows, lambda r: r.metrics.elapsed)
     print(render_table(
         f"{args.app} on {args.machine}: execution times (s)", procs, series))
@@ -109,19 +124,10 @@ def cmd_sweep(args) -> int:
         f"{args.app} on {args.machine}: task locality (%)", procs, pct,
         fmt=lambda v: f"{v:.1f}"))
     if args.json:
+        from repro.fleet import sweep_snapshot_doc
         from repro.obs.snapshot import dump_json
 
-        doc = {
-            "schema": "repro.sweep/1",
-            "app": args.app,
-            "machine": args.machine,
-            "scale": args.scale,
-            "rows": [
-                {"level": r.level, "procs": r.procs,
-                 "metrics": r.metrics.to_json()}
-                for r in rows
-            ],
-        }
+        doc = sweep_snapshot_doc(args.app, args.machine, args.scale, rows)
         try:
             with open(args.json, "w", encoding="utf-8") as fh:
                 fh.write(dump_json(doc) + "\n")
@@ -184,6 +190,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p = sub.add_parser("sweep", help="locality-level sweep (paper table)")
     _add_common(sweep_p)
     sweep_p.add_argument("--procs", type=int, nargs="*", default=None)
+    sweep_p.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="worker processes for the sweep (default: one "
+                              "per available CPU; 1 forces the serial path; "
+                              "output is byte-identical either way)")
     sweep_p.add_argument("--json", metavar="PATH", default=None,
                          help="also write every row's metrics as JSON")
     sweep_p.set_defaults(func=cmd_sweep)

@@ -1,0 +1,27 @@
+"""``repro.fleet`` — parallel sweep execution across host processes.
+
+Fans independent sweep configurations out over a process pool, merges the
+results deterministically in configuration order, and guarantees the
+merged output is byte-identical to the serial path (see
+:mod:`repro.fleet.executor` for the determinism contract).
+"""
+
+from repro.fleet.executor import (
+    SweepUnit,
+    default_jobs,
+    parallel_locality_sweep,
+    run_units,
+    sweep_snapshot_doc,
+    sweep_units,
+    verify_parallel_matches_serial,
+)
+
+__all__ = [
+    "SweepUnit",
+    "default_jobs",
+    "parallel_locality_sweep",
+    "run_units",
+    "sweep_snapshot_doc",
+    "sweep_units",
+    "verify_parallel_matches_serial",
+]

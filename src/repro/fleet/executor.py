@@ -1,0 +1,259 @@
+"""Parallel sweep execution across host processes.
+
+The paper's methodology (§5) runs the same application under every on/off
+combination of the optimizations — in this repo, large configuration
+sweeps over :mod:`repro.lab.experiments`.  Each configuration is an
+independent, deterministic simulation, which makes a sweep embarrassingly
+parallel *across host processes*: ``repro.fleet`` fans the configurations
+out over a :class:`~concurrent.futures.ProcessPoolExecutor` and merges the
+results back in configuration order.
+
+Determinism contract
+--------------------
+
+The parallel path must be *byte-identical* to the serial path, because the
+reproduction's whole methodology rests on comparing configurations against
+each other:
+
+* **Canonical unit order.**  :func:`sweep_units` enumerates a locality
+  sweep in exactly the order :func:`repro.lab.experiments.locality_sweep`
+  executes it (levels outer, processor counts inner); results merge back
+  by unit index, never by completion order.
+* **One snapshot builder.**  :func:`sweep_snapshot_doc` constructs the
+  ``repro.sweep/1`` document for both paths, so equality of the metrics
+  implies equality of the bytes.
+* **Per-run determinism.**  Each simulation orders events by
+  ``(time, seq)`` and seeds its RNG substreams from the options, so a
+  worker process produces the same :class:`RunMetrics` the parent would.
+  (``final_store`` — raw simulation state, excluded from every snapshot —
+  is stripped before crossing the process boundary.)
+
+Failure contract: a worker that raises reports the failing configuration
+and the original traceback through a single :class:`ExperimentError`; a
+worker that dies outright (killed, segfault) surfaces as an
+:class:`ExperimentError` naming the broken pool rather than a hang.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.apps import MachineKind
+from repro.errors import ExperimentError
+from repro.lab.experiments import ExperimentRow, levels_for, run_app
+from repro.runtime import RunMetrics, RuntimeOptions
+from repro.runtime.options import LocalityLevel
+
+
+@dataclass(frozen=True)
+class SweepUnit:
+    """One sweep configuration: picklable, ordered, self-describing.
+
+    ``machine`` and ``level`` are the enum *values* (plain strings) so a
+    unit pickles compactly and its repr reads like the CLI invocation that
+    would reproduce it.
+    """
+
+    app: str
+    machine: str
+    level: str
+    procs: int
+    scale: str = "paper"
+    options: Optional[RuntimeOptions] = None
+
+    def describe(self) -> str:
+        return (f"{self.app} on {self.machine} at {self.level}, "
+                f"{self.procs} processors ({self.scale} scale)")
+
+
+def default_jobs() -> int:
+    """Worker count: the number of CPUs this process may actually use."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - macOS/Windows
+        return os.cpu_count() or 1
+
+
+def sweep_units(
+    app: str,
+    machine: MachineKind,
+    procs: Sequence[int],
+    scale: str = "paper",
+    options: Optional[RuntimeOptions] = None,
+) -> List[SweepUnit]:
+    """The canonical configuration order of a locality sweep.
+
+    Levels outer, processor counts inner — the exact execution order of
+    :func:`repro.lab.experiments.locality_sweep`, so a merge by unit index
+    reproduces the serial row order.
+    """
+    return [
+        SweepUnit(app, machine.value, level.value, p, scale, options)
+        for level in levels_for(app)
+        for p in procs
+    ]
+
+
+@dataclass
+class _WorkerResult:
+    """What crosses back over the process boundary for one unit."""
+
+    index: int
+    metrics: Optional[RunMetrics] = None
+    error: Optional[str] = None
+    trace: Optional[str] = None
+
+
+def _run_unit(indexed: Any) -> _WorkerResult:
+    """Execute one configuration (module-level, so it pickles by name).
+
+    Exceptions are caught and shipped home as data: raising inside a pool
+    worker would lose the traceback formatting and, for submit/map-style
+    consumption, report failures in completion order rather than against
+    the configuration that caused them.
+    """
+    index, unit = indexed
+    try:
+        metrics = run_app(
+            unit.app, unit.procs, MachineKind(unit.machine),
+            LocalityLevel(unit.level), unit.options, unit.scale,
+        )
+        # Raw simulation state: excluded from every snapshot, and the only
+        # RunMetrics field whose pickled size scales with the data set.
+        metrics.final_store = None
+        return _WorkerResult(index, metrics=metrics)
+    except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+        return _WorkerResult(index, error=f"{type(exc).__name__}: {exc}",
+                             trace=traceback.format_exc())
+
+
+def _mp_context():
+    """Fork where available (cheap, inherits the warmed interpreter)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def run_units(
+    units: Sequence[SweepUnit],
+    jobs: Optional[int] = None,
+) -> List[RunMetrics]:
+    """Execute every unit, fanning out across processes; results in unit order.
+
+    ``jobs=None`` auto-detects (one worker per available CPU); ``jobs=1``
+    runs in-process with no pool — the reference serial path.
+    """
+    jobs = default_jobs() if jobs is None else jobs
+    if jobs < 1:
+        raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+    indexed = list(enumerate(units))
+    if jobs == 1 or len(units) <= 1:
+        results = [_run_unit(pair) for pair in indexed]
+    else:
+        try:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(units)), mp_context=_mp_context(),
+            ) as pool:
+                results = list(pool.map(_run_unit, indexed))
+        except BrokenProcessPool as exc:
+            raise ExperimentError(
+                f"sweep worker pool died mid-sweep ({exc}); a worker was "
+                "killed or crashed outside Python — rerun with --jobs 1 "
+                "to reproduce serially"
+            ) from exc
+
+    merged: List[Optional[RunMetrics]] = [None] * len(units)
+    for result in results:
+        if result.error is not None:
+            unit = units[result.index]
+            raise ExperimentError(
+                f"sweep worker failed on {unit.describe()}: {result.error}\n"
+                f"{result.trace}")
+        merged[result.index] = result.metrics
+    return merged  # type: ignore[return-value] - every slot filled above
+
+
+def parallel_locality_sweep(
+    app: str,
+    machine: MachineKind,
+    procs: Sequence[int],
+    scale: str = "paper",
+    jobs: Optional[int] = None,
+    options: Optional[RuntimeOptions] = None,
+) -> List[ExperimentRow]:
+    """:func:`repro.lab.experiments.locality_sweep`, fanned out over processes.
+
+    Row order (and every serialized byte of the sweep snapshot) matches the
+    serial function; only host wall-clock differs.
+    """
+    units = sweep_units(app, machine, list(procs), scale, options)
+    metrics_list = run_units(units, jobs=jobs)
+    return [
+        ExperimentRow(app, unit.machine, unit.level, unit.procs, metrics)
+        for unit, metrics in zip(units, metrics_list)
+    ]
+
+
+def sweep_snapshot_doc(
+    app: str,
+    machine: str,
+    scale: str,
+    rows: Sequence[ExperimentRow],
+) -> Dict[str, Any]:
+    """The ``repro.sweep/1`` document for a sweep's rows.
+
+    Both the serial and the parallel CLI paths build their snapshot here,
+    which is what makes "parallel output is byte-identical to serial" a
+    structural property instead of a test-time coincidence.
+    """
+    return {
+        "schema": "repro.sweep/1",
+        "app": app,
+        "machine": machine,
+        "scale": scale,
+        "rows": [
+            {"level": row.level, "procs": row.procs,
+             "metrics": row.metrics.to_json()}
+            for row in rows
+        ],
+    }
+
+
+def verify_parallel_matches_serial(
+    app: str,
+    machine: MachineKind,
+    procs: Sequence[int],
+    scale: str = "tiny",
+    jobs: int = 2,
+) -> str:
+    """Run one sweep both ways and assert byte-identical snapshots.
+
+    Returns the (shared) serialized snapshot text; raises
+    :class:`ExperimentError` on any divergence, with the first differing
+    line in the message.  Used by tests and the CI smoke step.
+    """
+    from repro.lab.experiments import locality_sweep
+    from repro.obs.snapshot import dump_json
+
+    serial = dump_json(sweep_snapshot_doc(
+        app, machine.value, scale,
+        locality_sweep(app, machine, list(procs), scale)))
+    parallel = dump_json(sweep_snapshot_doc(
+        app, machine.value, scale,
+        parallel_locality_sweep(app, machine, procs, scale, jobs=jobs)))
+    if serial != parallel:
+        for serial_line, parallel_line in zip(serial.splitlines(),
+                                              parallel.splitlines()):
+            if serial_line != parallel_line:
+                raise ExperimentError(
+                    f"parallel sweep diverged from serial for {app}: "
+                    f"{serial_line!r} != {parallel_line!r}")
+        raise ExperimentError(
+            f"parallel sweep diverged from serial for {app} (length "
+            f"{len(serial)} vs {len(parallel)})")
+    return serial

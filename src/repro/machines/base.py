@@ -101,6 +101,11 @@ class Machine:
         #: here, in the networks, and in the runtimes — disabled behind a
         #: single ``is not None`` predicate.
         self.profiler = profiler
+        #: Cached no-trace predicate for hot emit paths.  A tracer's
+        #: ``enabled`` flag is fixed at construction, so callers on the
+        #: per-task/per-message paths test this bool instead of paying an
+        #: attribute chain and a call into a disabled tracer.
+        self.trace_on = self.tracer.enabled
         self.main_processor = 0
 
     def describe(self) -> str:

@@ -88,6 +88,9 @@ class Network:
         self.params = params or NetworkParams()
         self.stats = stats if stats is not None else StatRegistry()
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        #: Cached no-trace predicate (``enabled`` is fixed at construction):
+        #: `_deliver` runs once per message, the hottest path in a sweep.
+        self._trace_on = self.tracer.enabled
         #: Optional observability collector (see :mod:`repro.obs`): records
         #: the src×dst communication matrix, in-flight message counts and
         #: NIC busy intervals.  ``None`` disables all hooks.
@@ -216,8 +219,9 @@ class Network:
             self.delivered.append(
                 MessageRecord(msg_id, src, dst, nbytes, kind, sent_at, self.sim.now)
             )
-        self.tracer.span(sent_at, self.sim.now, "message", kind,
-                         src=src, dst=dst, nbytes=nbytes)
+        if self._trace_on:
+            self.tracer.span(sent_at, self.sim.now, "message", kind,
+                             src=src, dst=dst, nbytes=nbytes)
         if self.profiler is not None:
             self.profiler.on_message(self.sim.now, src, dst, nbytes, kind,
                                      self.sim.now - sent_at)

@@ -72,6 +72,9 @@ class BusNetwork:
         self.params = params or EthernetParams()
         self.stats = stats if stats is not None else StatRegistry()
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        #: Cached no-trace predicate for the per-message delivery path
+        #: (``enabled`` is fixed at construction).
+        self._trace_on = self.tracer.enabled
         #: Optional observability collector; ``None`` disables all hooks.
         self.profiler = profiler
         self._bus = FifoResource(sim, "ethernet")
@@ -115,8 +118,9 @@ class BusNetwork:
         self.stats.counter(f"net.messages.{kind}").incr()
         self.stats.accumulator("net.bytes").add(nbytes)
         self.stats.accumulator(f"net.bytes.{kind}").add(nbytes)
-        self.tracer.span(sent_at, self.sim.now, "message", kind,
-                         src=src, dst=dst, nbytes=nbytes)
+        if self._trace_on:
+            self.tracer.span(sent_at, self.sim.now, "message", kind,
+                             src=src, dst=dst, nbytes=nbytes)
         if self.profiler is not None:
             self.profiler.on_message(self.sim.now, src, dst, nbytes, kind,
                                      self.sim.now - sent_at)
@@ -149,8 +153,9 @@ class BusNetwork:
                 self.stats.counter(f"net.messages.{kind}").incr()
                 self.stats.accumulator("net.bytes").add(nbytes)
                 self.stats.accumulator(f"net.bytes.{kind}").add(nbytes)
-                self.tracer.span(sent_at, self.sim.now, "message", kind,
-                                 src=root, dst=root, nbytes=nbytes)
+                if self._trace_on:
+                    self.tracer.span(sent_at, self.sim.now, "message", kind,
+                                     src=root, dst=root, nbytes=nbytes)
                 if prof is not None:
                     # One bus transmission heard by everyone counts as one
                     # message (matching the ``net.messages`` counter); it

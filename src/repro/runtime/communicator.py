@@ -95,6 +95,8 @@ class Communicator:
         #: Optional :class:`repro.obs.ProfileCollector` (duck-typed);
         #: ``None`` keeps every hot-path hook disabled.
         self.prof = machine.profiler
+        #: Cached no-trace predicate for the per-fetch hot paths.
+        self._trace_on = machine.trace_on
         n = machine.num_processors
         self.stores: List[ObjectStore] = [ObjectStore(f"node{p}") for p in range(n)]
         #: (object_id, version) -> owning node.  "Each object also has an
@@ -266,8 +268,10 @@ class Communicator:
             if remaining["n"] == 0:
                 if count_latency:
                     self.metrics.task_latency_total += self.sim.now - start
-                self.machine.tracer.span(start, self.sim.now, "object", "wait",
-                                         proc=node, objects=len(missing))
+                if self._trace_on:
+                    self.machine.tracer.span(start, self.sim.now, "object",
+                                             "wait", proc=node,
+                                             objects=len(missing))
                 done()
 
         if self.options.concurrent_fetches:
@@ -363,7 +367,7 @@ class Communicator:
         def _next() -> None:
             if not pending:
                 self.metrics.task_latency_total += self.sim.now - start
-                if ordered:
+                if ordered and self._trace_on:
                     self.machine.tracer.span(
                         start, self.sim.now, "object", "wait",
                         proc=node, objects=len(ordered),

@@ -74,6 +74,8 @@ class MessagePassingRuntime:
         #: Optional :class:`repro.obs.ProfileCollector`; ``None`` keeps all
         #: observability hooks behind a single ``is not None`` predicate.
         self.prof = machine.profiler
+        #: Cached no-trace predicate for the per-task hot paths.
+        self._trace_on = machine.trace_on
         self.metrics = RunMetrics(
             machine="ipsc860",
             application=program.name,
@@ -121,6 +123,7 @@ class MessagePassingRuntime:
                 pending=len(self.program.tasks) - self._completed,
             )
         self.metrics.elapsed = self.sim.now
+        self.metrics.events_fired = self.sim.events_fired
         self.metrics.total_messages = self.machine.stats.counter("net.messages").value
         self.metrics.total_bytes = self.machine.stats.accumulator("net.bytes").total
         self.metrics.busy_per_processor = [c.busy_time for c in self.cpus]
@@ -189,8 +192,9 @@ class MessagePassingRuntime:
         self.comm.release(op)
         self._completed += 1
         self.metrics.serial_sections_executed += 1
-        self.machine.tracer.span(start, finish, "serial", "exec",
-                                 task=op.task_id, proc=0)
+        if self._trace_on:
+            self.machine.tracer.span(start, finish, "serial", "exec",
+                                     task=op.task_id, proc=0)
         if self.prof is not None:
             self.prof.on_task_exec(0, finish - start, 0.0, True)
         for enabled_id in self.sync.complete_task(op):
@@ -282,11 +286,12 @@ class MessagePassingRuntime:
         self.metrics.task_compute_total += cost
         if self.scheduler.recorded_target.get(task.task_id) == processor:
             self.metrics.tasks_on_target += 1
-        self.machine.tracer.emit(
-            self.sim.now, "task", "finish", task=task.task_id, proc=processor
-        )
-        self.machine.tracer.span(start, finish, "task", "exec",
-                                 task=task.task_id, proc=processor)
+        if self._trace_on:
+            self.machine.tracer.emit(
+                self.sim.now, "task", "finish", task=task.task_id, proc=processor
+            )
+            self.machine.tracer.span(start, finish, "task", "exec",
+                                     task=task.task_id, proc=processor)
         if self.prof is not None:
             self.prof.on_task_exec(processor, cost, 0.0, False)
 

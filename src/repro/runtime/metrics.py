@@ -36,6 +36,10 @@ class RunMetrics:
 
     #: Wall-clock of the simulated execution (the paper's execution time).
     elapsed: float = 0.0
+    #: Simulator events executed during the run — the engine-throughput
+    #: denominator of the sweep benchmarks (events ÷ host seconds) and a
+    #: cheap whole-run determinism fingerprint.
+    events_fired: int = 0
     #: Tasks executed (parallel tasks; serial sections counted separately).
     tasks_executed: int = 0
     serial_sections_executed: int = 0
@@ -151,6 +155,7 @@ class RunMetrics:
             "num_processors": self.num_processors,
             "options": self.options.describe() if self.options else None,
             "elapsed": self.elapsed,
+            "events_fired": self.events_fired,
             "tasks_executed": self.tasks_executed,
             "serial_sections_executed": self.serial_sections_executed,
             "tasks_on_target": self.tasks_on_target,

@@ -72,6 +72,8 @@ class SharedMemoryRuntime:
         #: Optional :class:`repro.obs.ProfileCollector`; ``None`` keeps all
         #: observability hooks behind a single ``is not None`` predicate.
         self.prof = machine.profiler
+        #: Cached no-trace predicate for the per-task hot paths.
+        self._trace_on = machine.trace_on
         self.metrics = RunMetrics(
             machine="dash",
             application=program.name,
@@ -126,6 +128,7 @@ class SharedMemoryRuntime:
                 pending=len(self.program.tasks) - self._completed,
             )
         self.metrics.elapsed = self.sim.now
+        self.metrics.events_fired = self.sim.events_fired
         self.metrics.busy_per_processor = [
             self.machine.processors.busy_time(p)
             for p in range(self.machine.num_processors)
@@ -327,17 +330,18 @@ class SharedMemoryRuntime:
             self.metrics.task_comm_total += comm
             if processor == self._target_processor(task):
                 self.metrics.tasks_on_target += 1
-        self.machine.tracer.emit(
-            self.sim.now, "task", "finish", task=task.task_id, proc=processor
-        )
-        # The execution span covers the compute+comm portion of the
-        # occupancy — what the paper's per-task timers measured and what
-        # ``task_time_total`` accumulates; dispatch overhead is excluded.
-        self.machine.tracer.span(
-            self.sim.now - (compute + comm), self.sim.now,
-            "serial" if task.serial else "task", "exec",
-            task=task.task_id, proc=processor,
-        )
+        if self._trace_on:
+            self.machine.tracer.emit(
+                self.sim.now, "task", "finish", task=task.task_id, proc=processor
+            )
+            # The execution span covers the compute+comm portion of the
+            # occupancy — what the paper's per-task timers measured and what
+            # ``task_time_total`` accumulates; dispatch overhead is excluded.
+            self.machine.tracer.span(
+                self.sim.now - (compute + comm), self.sim.now,
+                "serial" if task.serial else "task", "exec",
+                task=task.task_id, proc=processor,
+            )
         if self.prof is not None:
             self.prof.on_task_exec(processor, compute, comm, task.serial)
 

@@ -36,27 +36,38 @@ class Event:
 
     Cancellation is lazy: the heap entry stays in the queue but is skipped
     when popped.  This keeps :meth:`Simulator.schedule` and ``cancel`` O(log n)
-    and O(1) respectively.
+    and O(1) respectively.  The owning simulator counts the cancelled
+    entries still sitting in its heap and rebuilds the heap when they
+    dominate (see :meth:`Simulator._compact`), so cancellation-heavy runs
+    do not accumulate dead entries without bound.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "fired", "_sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., None], args: Tuple[Any, ...]):
+    def __init__(self, time: float, seq: int, fn: Callable[..., None],
+                 args: Tuple[Any, ...], sim: "Optional[Simulator]" = None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.fired = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if it already fired)."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        state = "cancelled" if self.cancelled else "pending"
+        state = ("cancelled" if self.cancelled
+                 else "fired" if self.fired else "pending")
         return f"<Event t={self.time:.6f} seq={self.seq} {state} {getattr(self.fn, '__name__', self.fn)}>"
 
 
@@ -72,11 +83,21 @@ class Simulator:
     (['a', 'b'], 2.0)
     """
 
+    #: Compaction trigger: rebuild the heap when it holds at least this many
+    #: entries and more than half of them are cancelled.  The floor keeps
+    #: tiny queues (where the rebuild would cost more than it saves) on the
+    #: pure lazy-cancellation path.
+    COMPACT_MIN_QUEUE = 64
+
     def __init__(self) -> None:
         self.now: float = 0.0
         self._queue: List[Event] = []
         self._seq: int = 0
         self._events_fired: int = 0
+        #: Cancelled entries still sitting in the heap.  Maintained so that
+        #: :attr:`pending_events` is O(1) and compaction can trigger without
+        #: scanning the queue.
+        self._cancelled_in_queue: int = 0
         #: Optional callable returning a human description of blocked work,
         #: consulted when :meth:`run` detects a stall (see :meth:`run`).
         self.deadlock_reporter: Optional[Callable[[], str]] = None
@@ -96,10 +117,29 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time!r}, clock is already at t={self.now!r}"
             )
-        event = Event(time, self._seq, fn, args)
+        event = Event(time, self._seq, fn, args, self)
         self._seq += 1
         heapq.heappush(self._queue, event)
         return event
+
+    def _note_cancelled(self) -> None:
+        """Account one newly-cancelled queued event; compact when dominated."""
+        self._cancelled_in_queue += 1
+        if (len(self._queue) >= self.COMPACT_MIN_QUEUE
+                and self._cancelled_in_queue * 2 > len(self._queue)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap with live entries only.
+
+        O(live) work, amortized O(1) per cancellation since the trigger
+        requires cancelled entries to outnumber live ones.  Ordering is
+        unaffected: events compare by the total order ``(time, seq)``, so a
+        re-heapified queue pops in exactly the same sequence.
+        """
+        self._queue = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_in_queue = 0
 
     # ------------------------------------------------------------------ #
     # execution
@@ -109,7 +149,9 @@ class Simulator:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._cancelled_in_queue -= 1
                 continue
+            event.fired = True
             self.now = event.time
             self._events_fired += 1
             event.fn(*event.args)
@@ -119,31 +161,43 @@ class Simulator:
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run until the event queue drains (or ``until``/``max_events`` hit).
 
-        ``max_events`` is a safety valve for tests; exceeding it raises
-        :class:`SimulationError` because a healthy simulation of our scale
+        With ``until``, the clock always ends at exactly ``until`` (never
+        earlier), whether the bound interrupts pending work or the queue
+        drains first — a ``run(until=T)`` caller may schedule relative to
+        ``now`` afterwards and must find the clock at ``T``.
+
+        ``max_events`` is a safety valve for tests: after exactly that many
+        events have fired, a further pending event raises
+        :class:`SimulationError`, because a healthy simulation of our scale
         terminates long before any sane bound.
         """
         fired = 0
-        while self._queue:
-            if until is not None and self.peek_time() is not None and self.peek_time() > until:
+        while True:
+            next_time = self.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
                 self.now = until
                 return
-            if not self.step():
-                break
+            if max_events is not None and fired >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; runaway simulation?")
+            self.step()
             fired += 1
-            if max_events is not None and fired > max_events:
-                raise SimulationError(f"exceeded max_events={max_events}; runaway simulation?")
+        if until is not None and until > self.now:
+            self.now = until
 
     def peek_time(self) -> Optional[float]:
         """Return the timestamp of the next live event, or ``None``."""
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)
+            self._cancelled_in_queue -= 1
         return self._queue[0].time if self._queue else None
 
     @property
     def pending_events(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of live (non-cancelled) events still queued.  O(1)."""
+        return len(self._queue) - self._cancelled_in_queue
 
     @property
     def events_fired(self) -> int:

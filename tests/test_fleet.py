@@ -1,0 +1,136 @@
+"""Tests for ``repro.fleet``: parallel sweeps, determinism, crash surfacing.
+
+All parallel tests use ``jobs=2`` at tiny scale so they stay cheap even on
+a single-CPU host (the pool still exercises the real fan-out/merge path;
+only the wall-clock benefit needs multiple cores).
+"""
+
+import json
+import multiprocessing
+
+import pytest
+
+from repro.apps import MachineKind
+from repro.errors import ExperimentError
+from repro.fleet import (
+    SweepUnit,
+    default_jobs,
+    parallel_locality_sweep,
+    run_units,
+    sweep_snapshot_doc,
+    sweep_units,
+    verify_parallel_matches_serial,
+)
+from repro.lab.experiments import locality_sweep
+from repro.obs.snapshot import dump_json
+from repro.__main__ import main
+
+_HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+def test_default_jobs_positive():
+    assert default_jobs() >= 1
+
+
+def test_sweep_units_match_serial_execution_order():
+    units = sweep_units("cholesky", MachineKind.IPSC860, [1, 2], "tiny")
+    serial_rows = locality_sweep("cholesky", MachineKind.IPSC860, [1, 2],
+                                 "tiny")
+    assert [(u.level, u.procs) for u in units] == \
+        [(r.level, r.procs) for r in serial_rows]
+    assert all(u.machine == "ipsc860" and u.scale == "tiny" for u in units)
+
+
+def test_parallel_rows_match_serial_rows():
+    serial = locality_sweep("water", MachineKind.IPSC860, [1, 2], "tiny")
+    parallel = parallel_locality_sweep("water", MachineKind.IPSC860, [1, 2],
+                                       "tiny", jobs=2)
+    assert len(parallel) == len(serial)
+    for serial_row, parallel_row in zip(serial, parallel):
+        assert (serial_row.level, serial_row.procs) == \
+            (parallel_row.level, parallel_row.procs)
+        assert parallel_row.metrics.to_json() == serial_row.metrics.to_json()
+
+
+def test_jobs_one_runs_without_a_pool_and_matches_serial():
+    serial = locality_sweep("string", MachineKind.IPSC860, [2], "tiny")
+    in_process = parallel_locality_sweep("string", MachineKind.IPSC860, [2],
+                                         "tiny", jobs=1)
+    assert [r.metrics.to_json() for r in in_process] == \
+        [r.metrics.to_json() for r in serial]
+
+
+def test_verify_helper_passes_on_dash_sweep():
+    text = verify_parallel_matches_serial("ocean", MachineKind.DASH, [1, 2],
+                                          "tiny", jobs=2)
+    doc = json.loads(text)
+    assert doc["schema"] == "repro.sweep/1"
+    assert doc["app"] == "ocean"
+    assert all("events_fired" in row["metrics"] for row in doc["rows"])
+
+
+def test_snapshot_doc_is_shared_between_paths():
+    rows = locality_sweep("water", MachineKind.IPSC860, [1], "tiny")
+    doc = sweep_snapshot_doc("water", "ipsc860", "tiny", rows)
+    assert doc["schema"] == "repro.sweep/1"
+    assert [r["procs"] for r in doc["rows"]] == [1, 1]
+    dump_json(doc)  # strict JSON: every value must be finite
+
+
+def test_worker_exception_surfaces_as_clean_error():
+    bad = SweepUnit("no-such-app", "ipsc860", "locality", 2, "tiny")
+    with pytest.raises(ExperimentError) as err:
+        run_units([bad, bad], jobs=2)
+    message = str(err.value)
+    assert "no-such-app" in message
+    assert "sweep worker failed" in message
+
+
+def test_worker_exception_surfaces_in_serial_path_too():
+    bad = SweepUnit("water", "ipsc860", "locality", 2, "no-such-scale")
+    with pytest.raises(ExperimentError, match="no-such-scale"):
+        run_units([bad], jobs=1)
+
+
+def test_rejects_nonpositive_jobs():
+    units = sweep_units("water", MachineKind.IPSC860, [1], "tiny")
+    with pytest.raises(ExperimentError, match="jobs"):
+        run_units(units, jobs=0)
+
+
+@pytest.mark.skipif(not _HAS_FORK, reason="hard-crash test relies on fork")
+def test_hard_worker_crash_surfaces_as_clean_error(monkeypatch):
+    from repro.fleet import executor
+
+    monkeypatch.setattr(executor, "_run_unit", _die_hard)
+    units = sweep_units("water", MachineKind.IPSC860, [1, 2], "tiny")
+    with pytest.raises(ExperimentError, match="pool died"):
+        executor.run_units(units, jobs=2)
+
+
+def _die_hard(_indexed):
+    import os
+
+    os._exit(13)  # simulate a segfault/OOM kill: no Python-level exception
+
+
+# --------------------------------------------------------------------- #
+# CLI integration
+# --------------------------------------------------------------------- #
+def test_cli_sweep_parallel_snapshot_byte_identical(tmp_path, capsys):
+    parallel_path = tmp_path / "parallel.json"
+    serial_path = tmp_path / "serial.json"
+    assert main(["sweep", "--app", "water", "--scale", "tiny",
+                 "--procs", "1", "2", "--jobs", "2",
+                 "--json", str(parallel_path)]) == 0
+    assert main(["sweep", "--app", "water", "--scale", "tiny",
+                 "--procs", "1", "2", "--jobs", "1",
+                 "--json", str(serial_path)]) == 0
+    capsys.readouterr()
+    assert parallel_path.read_bytes() == serial_path.read_bytes()
+
+
+def test_cli_sweep_rejects_bad_jobs(capsys):
+    assert main(["sweep", "--app", "water", "--scale", "tiny",
+                 "--procs", "1", "--jobs", "0"]) == 2
+    assert "--jobs" in capsys.readouterr().err

@@ -46,6 +46,53 @@ def test_cancelled_event_does_not_fire():
     assert sim.pending_events == 0
 
 
+def test_cancellation_heavy_heap_compacts():
+    # Regression: lazily-cancelled entries used to accumulate unboundedly;
+    # the heap must shrink once cancelled entries dominate.
+    sim = Simulator()
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(1000)]
+    for ev in events[:900]:
+        ev.cancel()
+    assert sim.pending_events == 100
+    # Compaction triggered: the heap shrank with the cancellations instead
+    # of retaining all 900 dead entries (cancelled entries can never
+    # exceed half the queue once it crosses the compaction floor).
+    assert len(sim._queue) <= 2 * sim.pending_events + sim.COMPACT_MIN_QUEUE
+    sim.run()
+    assert sim.events_fired == 100
+    assert sim.pending_events == 0
+
+
+def test_pending_events_constant_time_counter_stays_consistent():
+    sim = Simulator()
+    keep = sim.schedule(1.0, lambda: None)
+    drop = sim.schedule(2.0, lambda: None)
+    assert sim.pending_events == 2
+    drop.cancel()
+    drop.cancel()  # double-cancel must not double-count
+    assert sim.pending_events == 1
+    # peek_time discards the cancelled head lazily; counters must follow.
+    assert sim.peek_time() == 1.0
+    assert sim.pending_events == 1
+    sim.run()
+    assert sim.pending_events == 0
+    # Cancelling an already-fired event is a no-op, not a phantom entry.
+    keep.cancel()
+    assert sim.pending_events == 0
+
+
+def test_compaction_preserves_event_order():
+    sim = Simulator()
+    order = []
+    events = [sim.schedule(float(i % 7) + 1.0, order.append, i)
+              for i in range(200)]
+    for ev in events[::2]:
+        ev.cancel()
+    sim.run()
+    expected = sorted((i for i in range(200) if i % 2), key=lambda i: (i % 7, i))
+    assert order == expected
+
+
 def test_events_scheduled_during_run_execute():
     sim = Simulator()
     order = []
@@ -81,6 +128,46 @@ def test_max_events_guard():
     sim.schedule(0.0, loop)
     with pytest.raises(SimulationError):
         sim.run(max_events=100)
+
+
+def test_max_events_fires_exactly_n_before_raising():
+    # Regression: the guard used to fire N+1 events before raising.
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(float(i), fired.append, i)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=5)
+    assert fired == [0, 1, 2, 3, 4]
+    assert sim.events_fired == 5
+
+
+def test_max_events_equal_to_queue_length_completes():
+    # Draining exactly N events is healthy — no further work pending,
+    # so the safety valve must not trip.
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.schedule(float(i), fired.append, i)
+    sim.run(max_events=5)
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_run_until_advances_clock_when_queue_drains_early():
+    # Regression: `run(until=T)` used to leave `now` at the last event's
+    # time when the queue drained before T.
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.run(until=5.0)
+    assert fired == ["a"]
+    assert sim.now == 5.0
+    # An empty queue still advances the clock to the bound...
+    sim.run(until=7.5)
+    assert sim.now == 7.5
+    # ...but never moves it backwards.
+    sim.run(until=2.0)
+    assert sim.now == 7.5
 
 
 def test_signal_wakes_waiters_with_payload():
