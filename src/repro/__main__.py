@@ -3,12 +3,14 @@
 Commands
 --------
 
-``run``       execute one application configuration and print its metrics
-``sweep``     locality-level sweep for one app/machine (a paper table)
-``profile``   run with the profiler: comm matrix, hot objects, utilization
-``analyze``   static concurrency analysis of an application's program
-``check``     validate access specs, detect races, verify determinism
-``describe``  list applications, machines, optimization switches
+``run``        execute one application configuration and print its metrics
+``sweep``      locality-level sweep for one app/machine (a paper table)
+``profile``    run with the profiler: comm matrix, hot objects, utilization,
+               critical path, per-optimization attribution
+``bench-diff`` compare two bench/profile snapshots; nonzero on regression
+``analyze``    static concurrency analysis of an application's program
+``check``      validate access specs, detect races, verify determinism
+``describe``   list applications, machines, optimization switches
 """
 
 from __future__ import annotations
@@ -26,6 +28,7 @@ from repro.lab import (
     rows_to_series,
     run_app,
 )
+from repro.errors import ExperimentError
 from repro.lab.analysis import summarize
 from repro.runtime import RuntimeOptions
 from repro.runtime.options import LocalityLevel
@@ -62,16 +65,22 @@ def cmd_run(args) -> int:
         tracer = Tracer(enabled=True)
 
     want_profile = args.profile or args.profile_json
-    if want_profile:
-        from repro.lab.experiments import profile_app
+    try:
+        if want_profile:
+            from repro.lab.experiments import profile_app
 
-        metrics, profile = profile_app(
-            args.app, args.procs, MachineKind(args.machine), options.locality,
-            options, args.scale, tracer=tracer)
-    else:
-        profile = None
-        metrics = run_app(args.app, args.procs, MachineKind(args.machine),
-                          options.locality, options, args.scale, tracer=tracer)
+            metrics, profile = profile_app(
+                args.app, args.procs, MachineKind(args.machine),
+                options.locality, options, args.scale, tracer=tracer)
+        else:
+            profile = None
+            metrics = run_app(args.app, args.procs, MachineKind(args.machine),
+                              options.locality, options, args.scale,
+                              tracer=tracer)
+    except ExperimentError as exc:
+        print(f"error: {exc}\nvalid applications: "
+              f"{', '.join(sorted(ALL_APPLICATIONS))}", file=sys.stderr)
+        return 2
     print(f"{args.app} on {args.machine}, {args.procs} processors "
           f"[{options.describe()}]")
     for key, value in metrics.summary().items():
@@ -183,7 +192,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--profile", action="store_true",
                        help="attach the profiler and print the full report")
     run_p.add_argument("--profile-json", metavar="PATH", default=None,
-                       help="attach the profiler and write the repro.obs/1 "
+                       help="attach the profiler and write the repro.obs/2 "
                             "snapshot here")
     run_p.set_defaults(func=cmd_run)
 
@@ -204,10 +213,12 @@ def build_parser() -> argparse.ArgumentParser:
     an_p.set_defaults(func=cmd_analyze)
 
     from repro.check.cli import add_check_parser
+    from repro.obs.benchdiff import add_benchdiff_parser
     from repro.obs.cli import add_profile_parser
 
     add_check_parser(sub)
     add_profile_parser(sub)
+    add_benchdiff_parser(sub)
 
     de_p = sub.add_parser("describe", help="list apps/machines/switches")
     de_p.set_defaults(func=cmd_describe)

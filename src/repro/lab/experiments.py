@@ -129,15 +129,22 @@ def profile_app(
 
     Returns ``(metrics, profile)`` where ``profile`` is the assembled
     :class:`repro.obs.Profile` (communication matrix, hot objects,
-    utilization breakdown, resampled time series).
+    utilization breakdown, resampled time series, critical path).  When no
+    ``tracer`` is supplied, an internal span tracer is attached anyway so
+    the critical-path analyzer always has a timeline to walk; tracing only
+    records — it never schedules events — so the measured run is identical
+    either way.
     """
     from repro.obs import ProfileCollector, build_profile
+    from repro.sim.trace import Tracer
 
     collector = ProfileCollector()
+    if tracer is None:
+        tracer = Tracer(enabled=True)
     metrics = run_app(name, procs, machine, level, options, scale,
                       tracer=tracer, profiler=collector)
     profile = build_profile(metrics, collector, interval=interval,
-                            samples=samples, scale=scale)
+                            samples=samples, scale=scale, tracer=tracer)
     return metrics, profile
 
 

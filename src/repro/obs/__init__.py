@@ -8,16 +8,26 @@ default**: runs pay one ``is not None`` predicate per hook until a
 profiled run is byte-identical to an unprofiled one because the collector
 only observes — it never schedules simulation events.
 
-Entry points: ``repro profile`` / ``repro run --profile[-json]`` on the
-command line, or :func:`repro.lab.experiments.profile_app` as a library.
+Entry points: ``repro profile`` / ``repro run --profile[-json]`` /
+``repro bench-diff`` on the command line, or
+:func:`repro.lab.experiments.profile_app` as a library.
 """
 
+from repro.obs.attrib import render_attribution, verify_attribution
+from repro.obs.benchdiff import diff_snapshots, flatten_numeric, render_diff
+from repro.obs.critical import (
+    CriticalPath,
+    Segment,
+    extract_critical_path,
+    render_critical_path,
+)
 from repro.obs.profile import ObjectProfile, Profile, ProfileCollector, build_profile
 from repro.obs.report import render_profile
 from repro.obs.sampler import IntervalTrack, StepTrack, build_timeline, sample_grid
 from repro.obs.schema import (
     BENCH_SCHEMA,
     PROFILE_SCHEMA,
+    PROFILE_SCHEMAS,
     assert_valid,
     validate_bench,
     validate_profile,
@@ -31,6 +41,16 @@ from repro.obs.snapshot import (
 )
 
 __all__ = [
+    "render_attribution",
+    "verify_attribution",
+    "diff_snapshots",
+    "flatten_numeric",
+    "render_diff",
+    "CriticalPath",
+    "Segment",
+    "extract_critical_path",
+    "render_critical_path",
+    "PROFILE_SCHEMAS",
     "ObjectProfile",
     "Profile",
     "ProfileCollector",

@@ -1,0 +1,112 @@
+"""Per-optimization attribution: which §3.4 mechanism did (or saved) what.
+
+The raw counters live on :class:`~repro.runtime.metrics.RunMetrics` and are
+accumulated unconditionally by the runtimes and the communicator — plain
+integer/float adds on paths that already update other metrics, so there is
+no "attribution mode" whose state could perturb a run.  This module is the
+read side: the reconciliation invariants that tie the attribution buckets
+to the aggregate totals the paper reports, and the stable text rendering
+used by ``repro profile``.
+
+The invariants (checked by :func:`verify_attribution`, asserted across the
+whole app×machine matrix in the test-suite):
+
+* every shared-object transfer message is attributed to exactly one
+  mechanism: ``fetches_remote + broadcast_deliveries + eager_updates ==
+  object_messages``;
+* so is every byte: ``fetch_bytes + broadcast_bytes + eager_update_bytes
+  == object_bytes``;
+* a broadcast saves exactly one point-to-point request per receiver, so
+  ``broadcast_sends_saved == broadcast_deliveries``;
+* overlap attributions are real time found inside measured waits:
+  ``0 <= latency_hiding_overlap <= task_latency_total`` and
+  ``0 <= concurrent_fetch_overlap <= object_latency_total``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.runtime.metrics import RunMetrics
+
+#: Absolute tolerance for byte/second reconciliations.  The quantities are
+#: sums of the same integers/floats accumulated on different code paths,
+#: so they agree exactly in practice; the epsilon only guards against
+#: benign last-bit float effects.
+_EPS = 1e-6
+
+
+def verify_attribution(metrics: RunMetrics) -> List[str]:
+    """Check the attribution↔totals reconciliation invariants.
+
+    Returns a list of human-readable problems, empty when every bucket
+    reconciles with the aggregate ``RunMetrics`` totals.
+    """
+    problems: List[str] = []
+    msg_sum = (metrics.fetches_remote + metrics.broadcast_deliveries
+               + metrics.eager_updates)
+    if msg_sum != metrics.object_messages:
+        problems.append(
+            f"fetches_remote({metrics.fetches_remote}) + "
+            f"broadcast_deliveries({metrics.broadcast_deliveries}) + "
+            f"eager_updates({metrics.eager_updates}) = {msg_sum} "
+            f"!= object_messages({metrics.object_messages})")
+    byte_sum = (metrics.fetch_bytes + metrics.broadcast_bytes
+                + metrics.eager_update_bytes)
+    if abs(byte_sum - metrics.object_bytes) > _EPS:
+        problems.append(
+            f"fetch_bytes({metrics.fetch_bytes}) + "
+            f"broadcast_bytes({metrics.broadcast_bytes}) + "
+            f"eager_update_bytes({metrics.eager_update_bytes}) = {byte_sum} "
+            f"!= object_bytes({metrics.object_bytes})")
+    if metrics.broadcast_sends_saved != metrics.broadcast_deliveries:
+        problems.append(
+            f"broadcast_sends_saved({metrics.broadcast_sends_saved}) != "
+            f"broadcast_deliveries({metrics.broadcast_deliveries})")
+    for name, value in (
+        ("locality_hits", metrics.locality_hits),
+        ("replication_hits", metrics.replication_hits),
+        ("fetch_joins", metrics.fetch_joins),
+        ("concurrent_fetch_overlap", metrics.concurrent_fetch_overlap),
+        ("latency_hiding_overlap", metrics.latency_hiding_overlap),
+    ):
+        if value < 0:
+            problems.append(f"{name} is negative: {value}")
+    if metrics.latency_hiding_overlap > metrics.task_latency_total + _EPS:
+        problems.append(
+            f"latency_hiding_overlap({metrics.latency_hiding_overlap}) "
+            f"exceeds task_latency_total({metrics.task_latency_total})")
+    if metrics.concurrent_fetch_overlap > metrics.object_latency_total + _EPS:
+        problems.append(
+            f"concurrent_fetch_overlap({metrics.concurrent_fetch_overlap}) "
+            f"exceeds object_latency_total({metrics.object_latency_total})")
+    return problems
+
+
+def render_attribution(metrics: RunMetrics) -> str:
+    """Stable text block: what each optimization did in this run."""
+    a = metrics.attribution()
+    needs = (metrics.locality_hits + metrics.replication_hits
+             + metrics.fetch_joins + metrics.fetches_remote)
+
+    def pct(part: float) -> str:
+        return f"{100.0 * part / needs:5.1f}%" if needs else "    -"
+
+    out = ["per-optimization attribution"]
+    out.append(f"  object needs served          {needs:>10}")
+    out.append(f"    locality (owner-local)     {metrics.locality_hits:>10} "
+               f"{pct(metrics.locality_hits)}")
+    out.append(f"    replication (copy-local)   {metrics.replication_hits:>10} "
+               f"{pct(metrics.replication_hits)}")
+    out.append(f"    joined in-flight fetch     {metrics.fetch_joins:>10} "
+               f"{pct(metrics.fetch_joins)}")
+    out.append(f"    remote fetch               {metrics.fetches_remote:>10} "
+               f"{pct(metrics.fetches_remote)}")
+    out.append(f"  adaptive broadcast           {metrics.broadcasts:>10} ops, "
+               f"{metrics.broadcast_deliveries} deliveries, "
+               f"{metrics.broadcast_sends_saved} requests saved")
+    out.append(f"  eager updates                {metrics.eager_updates:>10} "
+               f"pushes")
+    out.append(f"  concurrent-fetch overlap     {a['concurrent_fetch_overlap']:>10.6g} s")
+    out.append(f"  latency-hiding overlap       {a['latency_hiding_overlap']:>10.6g} s")
+    return "\n".join(out)

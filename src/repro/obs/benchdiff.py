@@ -1,0 +1,199 @@
+"""``repro bench-diff`` — the benchmark regression gate.
+
+Compares two schema-versioned snapshots (``repro.bench/1`` envelopes or
+``repro.obs/*`` profile snapshots), flattens every numeric leaf to a
+dotted path (``metrics.elapsed``, ``data.rows[3].elapsed``), prints a
+per-metric delta table, and exits nonzero when any metric moved past the
+threshold.  Because every quantity in a snapshot is *simulated* —
+deterministic event counts and simulated seconds, never host wall-clock —
+a committed baseline compares exactly across machines and Python
+versions: any delta at all is a real behavior change, and the threshold
+only decides how large a change fails CI.
+
+Exit codes: ``0`` no regression, ``1`` at least one metric regressed past
+the threshold, ``2`` usage / I/O / schema error.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+def flatten_numeric(doc: Any, prefix: str = "") -> Dict[str, float]:
+    """Flatten a snapshot's numeric leaves to ``{dotted.path: value}``.
+
+    Booleans and strings are skipped (they are configuration echoes, not
+    measurements); list elements use ``path[i]`` so table rows stay
+    addressable.
+    """
+    out: Dict[str, float] = {}
+    if isinstance(doc, dict):
+        for key in doc:
+            path = f"{prefix}.{key}" if prefix else str(key)
+            out.update(flatten_numeric(doc[key], path))
+    elif isinstance(doc, list):
+        for index, item in enumerate(doc):
+            out.update(flatten_numeric(item, f"{prefix}[{index}]"))
+    elif isinstance(doc, (int, float)) and not isinstance(doc, bool):
+        if math.isfinite(doc):
+            out[prefix] = float(doc)
+    return out
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's movement between the two snapshots."""
+
+    path: str
+    old: float
+    new: float
+
+    @property
+    def rel_pct(self) -> float:
+        """Relative change in percent; infinite when the baseline is 0."""
+        if self.old == self.new:
+            return 0.0
+        if self.old == 0.0:
+            return math.inf if self.new > 0 else -math.inf
+        return 100.0 * (self.new - self.old) / abs(self.old)
+
+
+@dataclass
+class DiffResult:
+    """The comparison of two snapshots at one threshold."""
+
+    threshold_pct: float
+    compared: int = 0
+    changed: List[MetricDelta] = field(default_factory=list)
+    regressions: List[MetricDelta] = field(default_factory=list)
+    only_old: List[str] = field(default_factory=list)
+    only_new: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def diff_snapshots(
+    old: Dict[str, float],
+    new: Dict[str, float],
+    threshold_pct: float,
+    ignore: Tuple[str, ...] = (),
+) -> DiffResult:
+    """Compare two flattened snapshots.
+
+    Any metric whose relative change exceeds ``threshold_pct`` **in either
+    direction** is a regression — a simulated metric that moved without an
+    intentional change is wrong even when it moved "the good way", and an
+    intentional improvement is exactly when the baseline must be re-blessed.
+    Paths starting with any ``ignore`` prefix are excluded.
+    """
+    def ignored(path: str) -> bool:
+        return any(path.startswith(pre) for pre in ignore)
+
+    result = DiffResult(threshold_pct=threshold_pct)
+    result.only_old = sorted(p for p in old if p not in new and not ignored(p))
+    result.only_new = sorted(p for p in new if p not in old and not ignored(p))
+    for path in sorted(old):
+        if path not in new or ignored(path):
+            continue
+        result.compared += 1
+        delta = MetricDelta(path, old[path], new[path])
+        if delta.old != delta.new:
+            result.changed.append(delta)
+            if abs(delta.rel_pct) > threshold_pct:
+                result.regressions.append(delta)
+    return result
+
+
+def render_diff(result: DiffResult, limit: int = 40) -> str:
+    """The per-metric delta table ``repro bench-diff`` prints."""
+    out = [f"bench-diff: {result.compared} metrics compared, "
+           f"{len(result.changed)} changed, {len(result.regressions)} past "
+           f"threshold ({result.threshold_pct:g}%)"]
+    if result.only_old:
+        out.append(f"  only in old snapshot: {len(result.only_old)} paths "
+                   f"(e.g. {result.only_old[0]})")
+    if result.only_new:
+        out.append(f"  only in new snapshot: {len(result.only_new)} paths "
+                   f"(e.g. {result.only_new[0]})")
+    if not result.changed:
+        out.append("  snapshots are numerically identical")
+        return "\n".join(out)
+    ranked = sorted(result.changed,
+                    key=lambda d: (-abs(d.rel_pct), d.path))[:limit]
+    header = f"  {'metric':<48} {'old':>14} {'new':>14} {'delta':>10}"
+    out.append(header)
+    out.append("  " + "-" * (len(header) - 2))
+    flagged = set(id(d) for d in result.regressions)
+    for delta in ranked:
+        pct = delta.rel_pct
+        rendered = f"{pct:+9.2f}%" if math.isfinite(pct) else "      inf%"
+        marker = "  <- REGRESSION" if id(delta) in flagged else ""
+        out.append(f"  {delta.path[:48]:<48} {delta.old:>14.6g} "
+                   f"{delta.new:>14.6g} {rendered}{marker}")
+    if len(result.changed) > limit:
+        out.append(f"  ... {len(result.changed) - limit} more changed metrics "
+                   "not shown")
+    return "\n".join(out)
+
+
+def _load(path: str) -> Optional[Dict[str, Any]]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read snapshot {path}: {exc}", file=sys.stderr)
+        return None
+    if not isinstance(doc, dict) or not isinstance(doc.get("schema"), str):
+        print(f"error: {path} is not a schema-versioned snapshot "
+              "(missing 'schema' tag)", file=sys.stderr)
+        return None
+    return doc
+
+
+def add_benchdiff_parser(sub) -> None:
+    """Register the ``bench-diff`` subcommand."""
+    p = sub.add_parser(
+        "bench-diff",
+        help="compare two bench/profile snapshots; nonzero on regression",
+        description="Flatten every numeric metric in two schema-versioned "
+                    "snapshots to dotted paths, print the per-metric delta "
+                    "table, and exit 1 if any metric moved more than the "
+                    "threshold in either direction.",
+    )
+    p.add_argument("old", help="baseline snapshot (JSON)")
+    p.add_argument("new", help="candidate snapshot (JSON)")
+    p.add_argument("--threshold", type=float, default=0.0, metavar="PCT",
+                   help="relative change tolerated per metric, in percent "
+                        "(default 0: any change fails)")
+    p.add_argument("--ignore", action="append", default=[], metavar="PREFIX",
+                   help="exclude metrics whose dotted path starts with "
+                        "PREFIX (repeatable)")
+    p.set_defaults(func=cmd_bench_diff)
+
+
+def cmd_bench_diff(args) -> int:
+    if args.threshold < 0:
+        print(f"error: --threshold must be >= 0, got {args.threshold}",
+              file=sys.stderr)
+        return 2
+    old_doc = _load(args.old)
+    new_doc = _load(args.new)
+    if old_doc is None or new_doc is None:
+        return 2
+    if old_doc["schema"] != new_doc["schema"]:
+        print(f"error: schema mismatch: {args.old} is "
+              f"{old_doc['schema']!r}, {args.new} is {new_doc['schema']!r}",
+              file=sys.stderr)
+        return 2
+    result = diff_snapshots(
+        flatten_numeric(old_doc), flatten_numeric(new_doc),
+        args.threshold, tuple(args.ignore),
+    )
+    print(render_diff(result))
+    return 0 if result.ok else 1

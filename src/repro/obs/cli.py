@@ -36,7 +36,7 @@ def add_profile_parser(sub) -> None:
     p.add_argument("--target-tasks", type=int, default=1)
     p.add_argument("--eager-update", action="store_true")
     p.add_argument("--json", metavar="PATH", default=None,
-                   help="write the validated repro.obs/1 snapshot here")
+                   help="write the validated repro.obs/2 snapshot here")
     p.add_argument("--trace-out", metavar="PATH", default=None,
                    help="also record a span trace (Chrome/Perfetto JSON for "
                         "*.json, JSON Lines otherwise)")
@@ -49,7 +49,8 @@ def add_profile_parser(sub) -> None:
 
 
 def cmd_profile(args) -> int:
-    from repro.apps import MachineKind
+    from repro.apps import ALL_APPLICATIONS, MachineKind
+    from repro.errors import ExperimentError
     from repro.lab.experiments import profile_app
     from repro.obs.snapshot import write_profile_snapshot
     from repro.runtime import RuntimeOptions
@@ -75,11 +76,16 @@ def cmd_profile(args) -> int:
             return 2
         tracer = Tracer(enabled=True)
 
-    _metrics, profile = profile_app(
-        args.app, args.procs, MachineKind(args.machine), options.locality,
-        options, args.scale, tracer=tracer,
-        interval=args.sample_interval, samples=args.samples,
-    )
+    try:
+        _metrics, profile = profile_app(
+            args.app, args.procs, MachineKind(args.machine), options.locality,
+            options, args.scale, tracer=tracer,
+            interval=args.sample_interval, samples=args.samples,
+        )
+    except ExperimentError as exc:
+        print(f"error: {exc}\nvalid applications: "
+              f"{', '.join(sorted(ALL_APPLICATIONS))}", file=sys.stderr)
+        return 2
     print(profile.format())
     if tracer is not None:
         tracer.write(args.trace_out)

@@ -1,0 +1,306 @@
+"""Critical-path extraction from a run's span trace.
+
+The sweep tables say *how long* a configuration took; this module says
+*why*.  It consumes the spans a traced run records — task and serial
+execution, task-management work (creation, assignment, dispatch,
+completion handling, protocol processing), message in-flight time, and
+object fetch waits — and walks the end-to-end critical path backward
+from the run's finish, attributing every second of elapsed time to one
+of four buckets on one processor:
+
+* ``compute`` — inside task or serial-section bodies (on DASH, the
+  memory-system share of an execution span is split out using the
+  ``compute``/``comm`` attributes the runtime records on it);
+* ``task_management`` — the serial Jade bookkeeping the paper blames for
+  the Ocean and Panel Cholesky rolloffs (Figures 10/11/20/21);
+* ``communication`` — messages in flight and processors waiting on
+  object fetches;
+* ``stall`` — elapsed time covered by no recorded activity (idle
+  processors waiting on dependences).
+
+The walk is the standard greedy backward scan: starting at the run's
+elapsed time, repeatedly attribute the interval that *ends latest* at or
+before the current time, jump to its start, and mark uncovered gaps as
+stall.  The resulting segments partition ``[0, elapsed]`` exactly, so
+the bucket totals sum to the elapsed time — the analyzer cannot invent
+or lose time, which is what makes "task management is 96% of the
+critical path" a checkable statement rather than a vibe.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.sim.trace import Tracer
+
+#: Bucket names, in the order reports print them.
+BUCKET_COMPUTE = "compute"
+BUCKET_MGMT = "task_management"
+BUCKET_COMM = "communication"
+BUCKET_STALL = "stall"
+BUCKETS = (BUCKET_COMPUTE, BUCKET_MGMT, BUCKET_COMM, BUCKET_STALL)
+
+#: Tolerance for endpoint comparisons.  Simulated times are sums of
+#: microsecond-scale costs, so real span durations dwarf this.
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One attributed stretch of the critical path (start < end)."""
+
+    start: float
+    end: float
+    bucket: str
+    proc: int
+    label: str
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class _Interval:
+    start: float
+    end: float
+    bucket: str
+    proc: int
+    label: str
+    #: Fraction of the interval attributed to communication instead of its
+    #: nominal bucket (DASH execution spans embed memory-system time).
+    comm_fraction: float = 0.0
+
+
+@dataclass
+class CriticalPath:
+    """The attributed critical path of one run."""
+
+    elapsed: float
+    segments: List[Segment] = field(default_factory=list)
+
+    def buckets(self) -> Dict[str, float]:
+        """Seconds of critical path per bucket; sums to ``elapsed``."""
+        out = {b: 0.0 for b in BUCKETS}
+        for seg in self.segments:
+            if seg.bucket == BUCKET_COMPUTE and isinstance(seg, _SplitSegment):
+                out[BUCKET_COMPUTE] += seg.duration * (1.0 - seg.comm_fraction)
+                out[BUCKET_COMM] += seg.duration * seg.comm_fraction
+            else:
+                out[seg.bucket] += seg.duration
+        return out
+
+    def per_processor(self) -> Dict[int, Dict[str, float]]:
+        """``{proc: {bucket: seconds}}`` for processors on the path."""
+        out: Dict[int, Dict[str, float]] = {}
+        for seg in self.segments:
+            row = out.setdefault(seg.proc, {b: 0.0 for b in BUCKETS})
+            if seg.bucket == BUCKET_COMPUTE and isinstance(seg, _SplitSegment):
+                row[BUCKET_COMPUTE] += seg.duration * (1.0 - seg.comm_fraction)
+                row[BUCKET_COMM] += seg.duration * seg.comm_fraction
+            else:
+                row[seg.bucket] += seg.duration
+        return out
+
+    @property
+    def dominant_bucket(self) -> str:
+        """The bucket holding the largest share of the critical path."""
+        totals = self.buckets()
+        return max(BUCKETS, key=lambda b: totals[b])
+
+    def main_processor_mgmt(self, main: int = 0) -> float:
+        """Seconds of the path spent in task management on ``main``."""
+        return self.per_processor().get(main, {}).get(BUCKET_MGMT, 0.0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe summary for the profile snapshot (``repro.obs/2``)."""
+        totals = self.buckets()
+        per_proc = [
+            dict({"proc": proc}, **{b: row[b] for b in BUCKETS})
+            for proc, row in sorted(self.per_processor().items())
+        ]
+        return {
+            "elapsed": self.elapsed,
+            "buckets": {b: totals[b] for b in BUCKETS},
+            "dominant_bucket": self.dominant_bucket,
+            "main_processor_mgmt": self.main_processor_mgmt(),
+            "per_processor": per_proc,
+            "num_segments": len(self.segments),
+        }
+
+
+@dataclass(frozen=True)
+class _SplitSegment(Segment):
+    """A compute segment carrying a DASH memory-system share."""
+
+    comm_fraction: float = 0.0
+
+
+def _intervals_from_spans(tracer: Tracer) -> List[_Interval]:
+    """Flatten the trace's spans into attributable intervals."""
+    intervals: List[_Interval] = []
+    for begin, end in tracer.spans():
+        if end.attr("open") is True or end.time - begin.time <= _EPS:
+            continue
+        cat, label = begin.category, begin.label
+        proc = begin.attr("proc")
+        if proc is None:
+            proc = begin.attr("dst", 0)
+        if cat in ("task", "serial") and label == "exec":
+            compute = float(begin.attr("compute", 0.0) or 0.0)
+            comm = float(begin.attr("comm", 0.0) or 0.0)
+            fraction = comm / (compute + comm) if (compute + comm) > 0 else 0.0
+            intervals.append(_Interval(begin.time, end.time, BUCKET_COMPUTE,
+                                       int(proc), f"{cat}:{label}", fraction))
+        elif cat == "mgmt":
+            intervals.append(_Interval(begin.time, end.time, BUCKET_MGMT,
+                                       int(proc), f"{cat}:{label}"))
+        elif cat == "object" or cat == "message":
+            intervals.append(_Interval(begin.time, end.time, BUCKET_COMM,
+                                       int(proc), f"{cat}:{label}"))
+    return intervals
+
+
+class _MaxEndTree:
+    """Segment tree over interval ends, in start-sorted order.
+
+    Supports the two walk queries in O(log n): the maximum end over a
+    prefix, and the *rightmost* prefix index whose end reaches a
+    threshold — "among the intervals that began before ``t``, which one
+    reaches ``t``, preferring the latest start".
+    """
+
+    def __init__(self, ends: List[float]):
+        size = 1
+        while size < len(ends):
+            size *= 2
+        self.size = size
+        self.tree = [-math.inf] * (2 * size)
+        for i, value in enumerate(ends):
+            self.tree[size + i] = value
+        for i in range(size - 1, 0, -1):
+            self.tree[i] = max(self.tree[2 * i], self.tree[2 * i + 1])
+
+    def prefix_max(self, hi: int) -> float:
+        """Max end over indices ``[0, hi]``."""
+        return self._max(1, 0, self.size - 1, hi)
+
+    def _max(self, node: int, lo: int, hi: int, limit: int) -> float:
+        if lo > limit:
+            return -math.inf
+        if hi <= limit:
+            return self.tree[node]
+        mid = (lo + hi) // 2
+        return max(self._max(2 * node, lo, mid, limit),
+                   self._max(2 * node + 1, mid + 1, hi, limit))
+
+    def rightmost_at_least(self, hi: int, threshold: float) -> int:
+        """Rightmost index in ``[0, hi]`` with end >= threshold, or -1."""
+        return self._find(1, 0, self.size - 1, hi, threshold)
+
+    def _find(self, node: int, lo: int, hi: int, limit: int,
+              threshold: float) -> int:
+        if lo > limit or self.tree[node] < threshold:
+            return -1
+        if lo == hi:
+            return lo
+        mid = (lo + hi) // 2
+        right = self._find(2 * node + 1, mid + 1, hi, limit, threshold)
+        if right != -1:
+            return right
+        return self._find(2 * node, lo, mid, limit, threshold)
+
+
+def extract_critical_path(tracer: Tracer, elapsed: float) -> CriticalPath:
+    """Walk the critical path backward from ``elapsed`` through the spans.
+
+    At each step the walk attributes the interval *active* at the cursor
+    (began before it, ran up to or past it), preferring the latest start —
+    the tightest causal predecessor — with ties broken toward task
+    management over communication over compute so the serialized
+    main-processor story is never hidden behind an overlapping bulk span.
+    When nothing was active, the latest-finishing earlier interval is
+    chosen and the uncovered gap becomes a ``stall`` segment charged to
+    the processor that was waiting (the consumer just walked from).  The
+    returned segments partition ``[0, elapsed]``.
+    """
+    path = CriticalPath(elapsed=elapsed)
+    if elapsed <= 0:
+        return path
+    bucket_rank = {BUCKET_MGMT: 3, BUCKET_COMM: 2, BUCKET_COMPUTE: 1}
+    intervals = sorted(
+        _intervals_from_spans(tracer),
+        key=lambda iv: (iv.start, bucket_rank.get(iv.bucket, 0), iv.end,
+                        iv.proc, iv.label),
+    )
+    starts = [iv.start for iv in intervals]
+    tree = _MaxEndTree([iv.end for iv in intervals]) if intervals else None
+    segments: List[Segment] = []
+    t = elapsed
+    last_proc = 0
+
+    def attribute(iv: _Interval, end: float) -> None:
+        start = max(iv.start, 0.0)
+        if iv.bucket == BUCKET_COMPUTE and iv.comm_fraction > 0.0:
+            segments.append(_SplitSegment(start, end, iv.bucket, iv.proc,
+                                          iv.label, iv.comm_fraction))
+        else:
+            segments.append(Segment(start, end, iv.bucket, iv.proc, iv.label))
+
+    # Every attributed interval began strictly before the cursor, so each
+    # step lowers t; the guard is belt-and-braces against float surprises.
+    for _ in range(2 * len(intervals) + 2):
+        if t <= _EPS:
+            break
+        # Candidates: intervals that began strictly before the cursor.
+        j = bisect_left(starts, t - _EPS) - 1
+        if j < 0:
+            segments.append(Segment(0.0, t, BUCKET_STALL, last_proc, "idle"))
+            t = 0.0
+            break
+        idx = tree.rightmost_at_least(j, t - _EPS)
+        if idx >= 0:
+            # Active at the cursor: attribute it up to t (an end within
+            # _EPS below t is absorbed to keep the partition exact).
+            iv = intervals[idx]
+            attribute(iv, t)
+        else:
+            # Nothing active: stall back to the latest earlier finish.
+            latest_end = tree.prefix_max(j)
+            if latest_end <= _EPS:
+                segments.append(
+                    Segment(0.0, t, BUCKET_STALL, last_proc, "idle"))
+                t = 0.0
+                break
+            idx = tree.rightmost_at_least(j, latest_end - _EPS)
+            iv = intervals[idx]
+            segments.append(
+                Segment(iv.end, t, BUCKET_STALL, last_proc, "idle"))
+            attribute(iv, iv.end)
+        last_proc = iv.proc
+        t = max(iv.start, 0.0)
+    if t > _EPS:
+        segments.append(Segment(0.0, t, BUCKET_STALL, last_proc, "idle"))
+    segments.reverse()
+    path.segments = segments
+    return path
+
+
+def render_critical_path(path: CriticalPath, main: int = 0) -> str:
+    """Stable text block for ``repro profile`` output."""
+    totals = path.buckets()
+    out = [f"critical path ({path.elapsed:.6g} s end-to-end, "
+           f"{len(path.segments)} segments)"]
+    for bucket in BUCKETS:
+        share = 100.0 * totals[bucket] / path.elapsed if path.elapsed else 0.0
+        marker = "  <- dominant" if bucket == path.dominant_bucket else ""
+        out.append(f"  {bucket:<16} {totals[bucket]:>12.6g} s {share:5.1f}%"
+                   f"{marker}")
+    mgmt_main = path.main_processor_mgmt(main)
+    share = 100.0 * mgmt_main / path.elapsed if path.elapsed else 0.0
+    out.append(f"  main processor (proc {main}) task management: "
+               f"{mgmt_main:.6g} s ({share:.1f}% of the critical path)")
+    return "\n".join(out)

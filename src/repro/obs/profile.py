@@ -22,6 +22,8 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.runtime.metrics import RunMetrics
 from repro.sim.stats import Accumulator
+from repro.sim.trace import Tracer
+from repro.obs.critical import CriticalPath, extract_critical_path
 from repro.obs.sampler import IntervalTrack, StepTrack, build_timeline
 from repro.obs.schema import PROFILE_SCHEMA
 
@@ -184,6 +186,8 @@ class Profile:
     timeline: Dict[str, object]
     network: Dict[str, object] = field(default_factory=dict)
     scale: Optional[str] = None
+    #: Critical-path attribution, present when the run was traced.
+    critical: Optional[CriticalPath] = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -225,6 +229,7 @@ class Profile:
             "objects": [o.as_dict() for o in self.objects],
             "utilization": self.utilization,
             "timeline": self.timeline,
+            "critical_path": self.critical.to_dict() if self.critical else None,
         }
 
     def format(self) -> str:
@@ -239,8 +244,14 @@ def build_profile(
     interval: Optional[float] = None,
     samples: int = 50,
     scale: Optional[str] = None,
+    tracer: Optional[Tracer] = None,
 ) -> Profile:
-    """Assemble the post-run :class:`Profile` from the collector's records."""
+    """Assemble the post-run :class:`Profile` from the collector's records.
+
+    When ``tracer`` holds a span trace of the run, the critical-path
+    analyzer (:mod:`repro.obs.critical`) runs over it and the resulting
+    bucket attribution joins the snapshot as ``critical_path``.
+    """
     n = metrics.num_processors
     comm_messages = [[0] * n for _ in range(n)]
     comm_bytes = [[0.0] * n for _ in range(n)]
@@ -293,6 +304,9 @@ def build_profile(
         collector.objects.values(),
         key=lambda o: (-o.bytes_moved, -o.comm_seconds, o.object_id),
     )
+    critical: Optional[CriticalPath] = None
+    if tracer is not None and len(tracer):
+        critical = extract_critical_path(tracer, metrics.elapsed)
     return Profile(
         metrics=metrics,
         comm_messages=comm_messages,
@@ -302,4 +316,5 @@ def build_profile(
         timeline=timeline,
         network=network,
         scale=scale,
+        critical=critical,
     )

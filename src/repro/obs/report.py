@@ -52,6 +52,15 @@ def render_profile(profile, matrix_limit: int = 16, objects_limit: int = 10) -> 
             f"{row['tasks']:>6}")
     out.append("")
 
+    if profile.critical is not None:
+        from repro.obs.critical import render_critical_path
+
+        out.append(render_critical_path(profile.critical))
+        out.append("")
+    from repro.obs.attrib import render_attribution
+
+    out.append(render_attribution(m))
+    out.append("")
     out.append(render_comm_matrix(profile, limit=matrix_limit))
     out.append("")
     out.append(render_hot_objects(profile, limit=objects_limit))

@@ -2,8 +2,12 @@
 
 Two document kinds are versioned:
 
-* ``repro.obs/1`` — the full run-profile snapshot written by
-  ``repro profile --json`` / ``repro run --profile-json``;
+* ``repro.obs/2`` — the full run-profile snapshot written by
+  ``repro profile --json`` / ``repro run --profile-json``.  Version 2
+  adds the ``metrics.attribution`` per-optimization counters and the
+  ``critical_path`` section (``null`` when the run was not traced);
+  version 1 documents are still accepted by the validator, without the
+  new requirements;
 * ``repro.bench/1`` — the lighter ``BENCH_*.json`` envelope the benchmark
   suite writes around its table/figure series.
 
@@ -18,7 +22,9 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, List
 
-PROFILE_SCHEMA = "repro.obs/1"
+PROFILE_SCHEMA = "repro.obs/2"
+#: Older profile snapshots the validator still accepts (read compatibility).
+PROFILE_SCHEMAS = ("repro.obs/1", PROFILE_SCHEMA)
 BENCH_SCHEMA = "repro.bench/1"
 
 _RUN_KEYS = ("application", "machine", "num_processors", "options")
@@ -30,6 +36,8 @@ _OBJECT_KEYS = ("object_id", "name", "fetches", "broadcasts",
 _TIMELINE_KEYS = ("interval", "horizon", "samples")
 _METRIC_KEYS = ("elapsed", "tasks_executed", "total_messages", "total_bytes",
                 "broadcasts", "eager_updates", "busy_per_processor")
+_CRITICAL_KEYS = ("elapsed", "buckets", "dominant_bucket", "per_processor")
+_CRITICAL_BUCKETS = ("compute", "task_management", "communication", "stall")
 
 
 def _finite(value: Any) -> bool:
@@ -38,13 +46,15 @@ def _finite(value: Any) -> bool:
 
 
 def validate_profile(doc: Any) -> List[str]:
-    """Structurally validate a ``repro.obs/1`` snapshot document."""
+    """Structurally validate a ``repro.obs/*`` snapshot document."""
     problems: List[str] = []
     if not isinstance(doc, dict):
         return ["snapshot is not a JSON object"]
-    if doc.get("schema") != PROFILE_SCHEMA:
+    if doc.get("schema") not in PROFILE_SCHEMAS:
         problems.append(
-            f"schema is {doc.get('schema')!r}, expected {PROFILE_SCHEMA!r}")
+            f"schema is {doc.get('schema')!r}, expected one of "
+            f"{list(PROFILE_SCHEMAS)!r}")
+    v2 = doc.get("schema") == PROFILE_SCHEMA
 
     run = doc.get("run")
     if not isinstance(run, dict):
@@ -61,6 +71,13 @@ def validate_profile(doc: Any) -> List[str]:
         for key in _METRIC_KEYS:
             if key not in metrics:
                 problems.append(f"metrics.{key} missing")
+        if v2:
+            attribution = metrics.get("attribution")
+            if not isinstance(attribution, dict):
+                problems.append("metrics.attribution missing (required by "
+                                f"{PROFILE_SCHEMA})")
+            elif any(not _finite(v) for v in attribution.values()):
+                problems.append("metrics.attribution has non-finite values")
 
     n = run.get("num_processors") if isinstance(run, dict) else None
     matrix = doc.get("comm_matrix")
@@ -138,6 +155,53 @@ def validate_profile(doc: Any) -> List[str]:
         elif "samples" in timeline:
             problems.append("timeline.samples is not a list")
 
+    if v2:
+        if "critical_path" not in doc:
+            problems.append(
+                f"critical_path missing (required by {PROFILE_SCHEMA}; "
+                "null for untraced runs)")
+        else:
+            critical = doc["critical_path"]
+            if critical is not None:
+                problems.extend(_validate_critical(critical))
+
+    return problems
+
+
+def _validate_critical(critical: Any) -> List[str]:
+    """Validate a non-null ``critical_path`` section of a v2 snapshot."""
+    problems: List[str] = []
+    if not isinstance(critical, dict):
+        return ["critical_path is not an object"]
+    for key in _CRITICAL_KEYS:
+        if key not in critical:
+            problems.append(f"critical_path.{key} missing")
+    buckets = critical.get("buckets")
+    if isinstance(buckets, dict):
+        total = 0.0
+        for bucket in _CRITICAL_BUCKETS:
+            value = buckets.get(bucket)
+            if not _finite(value) or value < 0:
+                problems.append(
+                    f"critical_path.buckets.{bucket} missing or not a "
+                    "non-negative finite number")
+            else:
+                total += value
+        elapsed = critical.get("elapsed")
+        if _finite(elapsed) and abs(total - elapsed) > 1e-6 * max(1.0, elapsed):
+            problems.append(
+                f"critical_path buckets sum to {total}, expected elapsed "
+                f"{elapsed}")
+    elif "buckets" in critical:
+        problems.append("critical_path.buckets is not an object")
+    per_proc = critical.get("per_processor")
+    if isinstance(per_proc, list):
+        for index, row in enumerate(per_proc):
+            if not isinstance(row, dict) or "proc" not in row:
+                problems.append(
+                    f"critical_path.per_processor[{index}] malformed")
+    elif "per_processor" in critical:
+        problems.append("critical_path.per_processor is not a list")
     return problems
 
 

@@ -125,6 +125,10 @@ class Communicator:
         #: Hook the runtime sets so broadcast-mode updates can charge the
         #: producing node's CPU: ``charge_cpu(node, seconds)``.
         self.charge_cpu: Optional[Callable[[int, float], None]] = None
+        #: Hook the runtime sets so fetch waits can observe how busy the
+        #: waiting node's CPU was: ``cpu_busy_of(node) -> cumulative busy
+        #: seconds``.  Feeds the latency-hiding overlap attribution.
+        self.cpu_busy_of: Optional[Callable[[int], float]] = None
 
     # ------------------------------------------------------------------ #
     # initialization
@@ -253,21 +257,51 @@ class Communicator:
             return
 
         store = self.stores[node]
-        missing = [(obj, v) for obj, v in needs if not store.has(obj.object_id, v)]
+        missing = []
+        for obj, v in needs:
+            if store.has(obj.object_id, v):
+                # Attribution: the fetch this need did NOT generate.  A
+                # version present on its owning node is a locality hit (the
+                # task was scheduled to its data); a version present as a
+                # copy elsewhere is a replication hit (§3.4.1).
+                if self.owner_of(obj.object_id, v) == node:
+                    self.metrics.locality_hits += 1
+                else:
+                    self.metrics.replication_hits += 1
+            else:
+                missing.append((obj, v))
         if not missing:
             self.sim.schedule(0.0, done)
             return
 
         start = self.sim.now
-        remaining = {"n": len(missing)}
+        state = {"n": len(missing), "wait_sum": 0.0}
+        busy_at_start = None
         if count_latency:
             self.metrics.tasks_with_fetches += 1
+            if self.cpu_busy_of is not None:
+                busy_at_start = self.cpu_busy_of(node)
 
-        def _one_arrived() -> None:
-            remaining["n"] -= 1
-            if remaining["n"] == 0:
+        def _one_arrived(issued: float) -> None:
+            state["n"] -= 1
+            state["wait_sum"] += self.sim.now - issued
+            if state["n"] == 0:
+                wall = self.sim.now - start
                 if count_latency:
-                    self.metrics.task_latency_total += self.sim.now - start
+                    self.metrics.task_latency_total += wall
+                    # §5.5 attribution: per-request waits that did not
+                    # lengthen the task's wall-clock wait were overlapped
+                    # with each other by concurrent fetching.
+                    if self.options.concurrent_fetches and len(missing) > 1:
+                        self.metrics.concurrent_fetch_overlap += \
+                            max(0.0, state["wait_sum"] - wall)
+                    # Latency-hiding attribution: CPU work the node got
+                    # done while this task's objects were in flight.
+                    if busy_at_start is not None:
+                        self.metrics.latency_hiding_overlap += max(
+                            0.0,
+                            min(self.cpu_busy_of(node) - busy_at_start, wall),
+                        )
                 if self._trace_on:
                     self.machine.tracer.span(start, self.sim.now, "object",
                                              "wait", proc=node,
@@ -276,7 +310,9 @@ class Communicator:
 
         if self.options.concurrent_fetches:
             for obj, v in missing:
-                self._fetch(node, obj, v, _one_arrived, count_latency)
+                self._fetch(node, obj, v,
+                            lambda issued=self.sim.now: _one_arrived(issued),
+                            count_latency)
         else:
             # Chain the fetches: issue the next request only after the
             # previous object arrived (the ablation configuration).
@@ -286,8 +322,10 @@ class Communicator:
                 if not pending:
                     return
                 obj, v = pending.popleft()
+                issued = self.sim.now
                 self._fetch(node, obj, v,
-                            lambda: (_one_arrived(), _next()), count_latency)
+                            lambda: (_one_arrived(issued), _next()),
+                            count_latency)
 
             _next()
 
@@ -297,6 +335,9 @@ class Communicator:
         key = (node, obj.object_id, version)
         waiters = self._inflight.get(key)
         if waiters is not None:
+            # A request for this copy is already in flight: join it
+            # instead of duplicating the message traffic.
+            self.metrics.fetch_joins += 1
             waiters.append(arrived)
             return
         self._inflight[key] = [arrived]
@@ -331,6 +372,8 @@ class Communicator:
                     self.metrics.object_latency_total += self.sim.now - request_sent
                 self.metrics.object_messages += 1
                 self.metrics.object_bytes += obj.sim_nbytes
+                self.metrics.fetches_remote += 1
+                self.metrics.fetch_bytes += obj.sim_nbytes
                 if self.prof is not None:
                     self.prof.on_fetch(obj.object_id, obj.name, obj.sim_nbytes)
                 self._finish_fetch(key)
@@ -389,6 +432,9 @@ class Communicator:
         oid = obj.object_id
         holder = self.owner_of(oid, version)
         if holder == node and self.stores[node].has(oid, version):
+            # The single copy is already here: a locality hit even with
+            # replication disabled.
+            self.metrics.locality_hits += 1
             self.sim.schedule(0.0, granted)
             return
         request_sent = self.sim.now
@@ -413,6 +459,8 @@ class Communicator:
                 self.metrics.object_latency_total += self.sim.now - request_sent
                 self.metrics.object_messages += 1
                 self.metrics.object_bytes += obj.sim_nbytes
+                self.metrics.fetches_remote += 1
+                self.metrics.fetch_bytes += obj.sim_nbytes
                 if self.prof is not None:
                     self.prof.on_fetch(obj.object_id, obj.name, obj.sim_nbytes)
                 granted()
@@ -437,6 +485,9 @@ class Communicator:
             self.charge_cpu(owner, self.broadcast_trigger_overhead)
         self.metrics.broadcasts += 1
         targets = [p for p in self.machine.active_nodes if p != owner]
+        # Attribution: each receiver would otherwise have pulled the version
+        # with its own request/reply round (§3.4.2).
+        self.metrics.broadcast_sends_saved += len(targets)
         if self.prof is not None:
             self.prof.on_broadcast(obj.object_id, obj.name, obj.sim_nbytes,
                                    len(targets))
@@ -458,6 +509,8 @@ class Communicator:
             edges["n"] += 1
             self.metrics.object_messages += 1
             self.metrics.object_bytes += obj.sim_nbytes
+            self.metrics.broadcast_deliveries += 1
+            self.metrics.broadcast_bytes += obj.sim_nbytes
 
         self.net.broadcast(owner, obj.sim_nbytes, "object_bcast",
                            on_delivered=_delivered, payload=payload,
@@ -478,6 +531,7 @@ class Communicator:
                 self.metrics.object_messages += 1
                 self.metrics.object_bytes += obj.sim_nbytes
                 self.metrics.eager_updates += 1
+                self.metrics.eager_update_bytes += obj.sim_nbytes
                 if self.prof is not None:
                     self.prof.on_eager_update(obj.object_id, obj.name,
                                               obj.sim_nbytes)

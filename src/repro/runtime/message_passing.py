@@ -95,6 +95,7 @@ class MessagePassingRuntime:
             PriorityFifoResource(self.sim, f"cpu{p}")
             for p in range(machine.num_processors)
         ]
+        self.comm.cpu_busy_of = lambda node: self.cpus[node].busy_time
         self.scheduler = MpScheduler(
             machine.num_processors, self.options, self._target_of, self._dispatch
         )
@@ -139,7 +140,15 @@ class MessagePassingRuntime:
         )
 
     def _charge_cpu(self, node: int, seconds: float) -> None:
-        self.cpus[node].submit(seconds, lambda _s, _f: None, urgent=True)
+        if self._trace_on:
+            self.cpus[node].submit(
+                seconds,
+                lambda s, f: self.machine.tracer.span(
+                    s, f, "mgmt", "protocol", proc=node),
+                urgent=True,
+            )
+        else:
+            self.cpus[node].submit(seconds, lambda _s, _f: None, urgent=True)
 
     # ------------------------------------------------------------------ #
     # main thread
@@ -161,7 +170,14 @@ class MessagePassingRuntime:
 
         create = self.machine.params.task_create_seconds
         self.metrics.mgmt_time_main += create
-        self.cpus[0].submit(create, lambda _s, _f: self._created(op), urgent=True)
+
+        def _create_done(s: float, f: float) -> None:
+            if self._trace_on:
+                self.machine.tracer.span(s, f, "mgmt", "create",
+                                         task=op.task_id, proc=0)
+            self._created(op)
+
+        self.cpus[0].submit(create, _create_done, urgent=True)
 
     def _created(self, task: TaskSpec) -> None:
         if self.sync.add_task(task):
@@ -224,6 +240,9 @@ class MessagePassingRuntime:
         self.metrics.mgmt_time_main += assign
 
         def _assigned(_s: float, _f: float) -> None:
+            if self._trace_on:
+                self.machine.tracer.span(_s, _f, "mgmt", "assign",
+                                         task=task.task_id, proc=0)
             if processor == self.machine.main_processor:
                 self.sim.schedule(0.0, self._task_arrived, task, processor)
             else:
@@ -308,10 +327,14 @@ class MessagePassingRuntime:
         if processor == self.machine.main_processor:
             handle *= self.machine.params.local_mgmt_factor
         self.metrics.mgmt_time_main += handle
-        self.cpus[0].submit(
-            handle, lambda _s, _f: self._completion_handled(task, processor),
-            urgent=True,
-        )
+
+        def _handled(s: float, f: float) -> None:
+            if self._trace_on:
+                self.machine.tracer.span(s, f, "mgmt", "completion",
+                                         task=task.task_id, proc=0)
+            self._completion_handled(task, processor)
+
+        self.cpus[0].submit(handle, _handled, urgent=True)
 
     def _completion_handled(self, task: TaskSpec, processor: int) -> None:
         self._completed += 1

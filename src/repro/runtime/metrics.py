@@ -63,8 +63,44 @@ class RunMetrics:
     total_bytes: float = 0.0
     #: Broadcast operations performed by the adaptive-broadcast algorithm.
     broadcasts: int = 0
+    #: Bytes delivered by those broadcast operations (per receiver), so the
+    #: §5.3 tables can separate message count from data moved.
+    broadcast_bytes: float = 0.0
     #: Versions pushed by the eager-update extension protocol.
     eager_updates: int = 0
+
+    # Per-optimization attribution ---------------------------------------
+    # Each counter credits one §3.4 mechanism with the work it performed or
+    # avoided.  They are accumulated unconditionally (plain adds on paths
+    # that already update other counters) so an "attributed" run is the
+    # same run — there is no switch whose state could perturb results.
+    #: Needed object versions already local because the node *owns* them —
+    #: the locality optimization placed the task at its data.
+    locality_hits: int = 0
+    #: Needed object versions already local as replicated copies — remote
+    #: fetches avoided by replication (§3.4.1).
+    replication_hits: int = 0
+    #: Fetches satisfied by joining an already-in-flight request for the
+    #: same (node, object, version) instead of issuing a duplicate.
+    fetch_joins: int = 0
+    #: Object versions installed via the request/reply fetch (or exclusive
+    #: migration) protocol, and the bytes they carried.
+    fetches_remote: int = 0
+    fetch_bytes: float = 0.0
+    #: Per-receiver deliveries performed by broadcast operations.
+    broadcast_deliveries: int = 0
+    #: Point-to-point request/reply rounds avoided because a broadcast
+    #: pushed the version to every active node instead (§3.4.2).
+    broadcast_sends_saved: int = 0
+    #: Bytes pushed by the eager-update extension protocol.
+    eager_update_bytes: float = 0.0
+    #: Seconds of fetch latency hidden by issuing a task's object requests
+    #: concurrently instead of chaining them (§5.5): Σ over tasks of
+    #: (summed per-request waits − wall-clock wait).
+    concurrent_fetch_overlap: float = 0.0
+    #: Seconds of a task's fetch wait during which the destination node's
+    #: CPU was executing other work — the overlap latency hiding finds.
+    latency_hiding_overlap: float = 0.0
 
     #: §5.5 accounting: Σ over object requests of (reply arrival − request
     #: send), and Σ over tasks of (last reply arrival − first request send).
@@ -137,7 +173,33 @@ class RunMetrics:
             "total_messages": float(self.total_messages),
             "total_bytes": self.total_bytes,
             "broadcasts": float(self.broadcasts),
+            "broadcast_bytes": self.broadcast_bytes,
             "eager_updates": float(self.eager_updates),
+        }
+
+    def attribution(self) -> Dict[str, float]:
+        """Per-optimization attribution counters as a flat dict.
+
+        The buckets reconcile exactly with the aggregate totals above:
+        ``fetches_remote + broadcast_deliveries + eager_updates ==
+        object_messages`` and ``fetch_bytes + broadcast_bytes +
+        eager_update_bytes == object_bytes`` (checked by
+        :func:`repro.obs.attrib.verify_attribution`).
+        """
+        return {
+            "locality_hits": self.locality_hits,
+            "replication_hits": self.replication_hits,
+            "fetch_joins": self.fetch_joins,
+            "fetches_remote": self.fetches_remote,
+            "fetch_bytes": self.fetch_bytes,
+            "broadcasts": self.broadcasts,
+            "broadcast_deliveries": self.broadcast_deliveries,
+            "broadcast_bytes": self.broadcast_bytes,
+            "broadcast_sends_saved": self.broadcast_sends_saved,
+            "eager_updates": self.eager_updates,
+            "eager_update_bytes": self.eager_update_bytes,
+            "concurrent_fetch_overlap": self.concurrent_fetch_overlap,
+            "latency_hiding_overlap": self.latency_hiding_overlap,
         }
 
     def to_json(self) -> Dict[str, object]:
@@ -167,6 +229,7 @@ class RunMetrics:
             "total_messages": self.total_messages,
             "total_bytes": self.total_bytes,
             "broadcasts": self.broadcasts,
+            "broadcast_bytes": self.broadcast_bytes,
             "eager_updates": self.eager_updates,
             "object_latency_total": self.object_latency_total,
             "object_requests": self.object_requests,
@@ -175,6 +238,7 @@ class RunMetrics:
             "mgmt_time_main": self.mgmt_time_main,
             "busy_per_processor": list(self.busy_per_processor),
             "tasks_per_processor": list(self.tasks_per_processor),
+            "attribution": self.attribution(),
             "derived": {
                 "task_locality_pct": self.task_locality_pct,
                 "comm_to_comp_ratio": self.comm_to_comp_ratio,

@@ -249,6 +249,12 @@ class SharedMemoryRuntime:
         # main processor.
         create = self.machine.params.task_create_seconds
         self.metrics.mgmt_time_main += create
+        if self._trace_on and create > 0:
+            # run_on occupies the processor immediately, so the span's
+            # endpoints are known here.
+            self.machine.tracer.span(self.sim.now, self.sim.now + create,
+                                     "mgmt", "create", task=task.task_id,
+                                     proc=main)
 
         def _created() -> None:
             if self.sync.add_task(task):
@@ -289,6 +295,10 @@ class SharedMemoryRuntime:
         comm = 0.0
         if not self.options.work_free:
             for decl in task.spec:
+                # Attribution: accesses homed in the executing processor's
+                # memory module are what the locality optimization bought.
+                if self.machine.owner(decl.obj.object_id) == processor:
+                    self.metrics.locality_hits += 1
                 cost = self.machine.access_cost(
                     processor, decl.obj.object_id, decl.obj.sim_nbytes,
                     write=decl.mode.writes,
@@ -336,12 +346,23 @@ class SharedMemoryRuntime:
             )
             # The execution span covers the compute+comm portion of the
             # occupancy — what the paper's per-task timers measured and what
-            # ``task_time_total`` accumulates; dispatch overhead is excluded.
+            # ``task_time_total`` accumulates; dispatch overhead is excluded
+            # (it gets its own mgmt span below).  The compute/comm split is
+            # recorded so the critical-path analyzer can apportion the span
+            # between the compute and communication buckets.
             self.machine.tracer.span(
                 self.sim.now - (compute + comm), self.sim.now,
                 "serial" if task.serial else "task", "exec",
                 task=task.task_id, proc=processor,
+                compute=compute, comm=comm,
             )
+            if not task.serial and self.machine.params.task_dispatch_seconds > 0:
+                dispatch = self.machine.params.task_dispatch_seconds
+                self.machine.tracer.span(
+                    self.sim.now - (compute + comm + dispatch),
+                    self.sim.now - (compute + comm),
+                    "mgmt", "dispatch", task=task.task_id, proc=processor,
+                )
         if self.prof is not None:
             self.prof.on_task_exec(processor, compute, comm, task.serial)
 

@@ -111,20 +111,34 @@ class Tracer:
         """Pair up begin/end events into ``(begin, end)`` tuples.
 
         Pairing is per (row, category, label), innermost-first, in recorded
-        order — the same rule the Chrome export uses.
+        order — the same rule the Chrome export uses.  A ``span_begin`` with
+        no matching ``span_end`` (e.g. a task aborted mid-execution) is not
+        dropped: it is surfaced as a zero-length span whose synthesized end
+        event carries an ``open=True`` attribute, so consumers can both see
+        the span and distinguish it from a properly closed one.
         """
-        open_spans: Dict[Tuple[Any, str, str], List[TraceEvent]] = {}
+        open_spans: Dict[Tuple[Any, str, str], List[Tuple[int, TraceEvent]]] = {}
         pairs: List[Tuple[TraceEvent, TraceEvent]] = []
-        for e in self.events:
+        for index, e in enumerate(self.events):
             if category is not None and e.category != category:
                 continue
             key = (_row_of(e), e.category, e.label)
             if e.phase == PHASE_BEGIN:
-                open_spans.setdefault(key, []).append(e)
+                open_spans.setdefault(key, []).append((index, e))
             elif e.phase == PHASE_END:
                 stack = open_spans.get(key)
                 if stack:
-                    pairs.append((stack.pop(), e))
+                    pairs.append((stack.pop()[1], e))
+        unmatched = sorted(
+            (item for stack in open_spans.values() for item in stack),
+            key=lambda item: item[0],
+        )
+        for _index, begin in unmatched:
+            pairs.append((begin, TraceEvent(
+                begin.time, begin.category, begin.label,
+                tuple(sorted(dict(begin.attrs, open=True).items())),
+                PHASE_END,
+            )))
         return pairs
 
     def format(self) -> str:

@@ -1,0 +1,149 @@
+"""Tests for the bench regression gate (``repro bench-diff``)."""
+
+import json
+import math
+
+import pytest
+
+from repro.__main__ import main
+from repro.obs.benchdiff import diff_snapshots, flatten_numeric, render_diff
+
+
+# --------------------------------------------------------------------- #
+# flattening
+# --------------------------------------------------------------------- #
+def test_flatten_numeric_paths():
+    doc = {"a": 1, "b": {"c": 2.5, "d": "text", "e": True},
+           "rows": [{"x": 3}, {"x": 4}]}
+    flat = flatten_numeric(doc)
+    assert flat == {"a": 1.0, "b.c": 2.5, "rows[0].x": 3.0, "rows[1].x": 4.0}
+
+
+def test_flatten_skips_non_finite():
+    assert flatten_numeric({"bad": math.inf, "ok": 1}) == {"ok": 1.0}
+
+
+# --------------------------------------------------------------------- #
+# diff semantics
+# --------------------------------------------------------------------- #
+def test_identical_snapshots_diff_clean():
+    flat = {"m.elapsed": 1.5, "m.tasks": 16.0}
+    result = diff_snapshots(flat, dict(flat), threshold_pct=0.0)
+    assert result.ok and result.compared == 2 and result.changed == []
+
+
+def test_regression_past_threshold_in_either_direction():
+    old = {"elapsed": 100.0, "tasks": 50.0}
+    worse = diff_snapshots(old, {"elapsed": 110.0, "tasks": 50.0}, 2.0)
+    assert not worse.ok
+    assert worse.regressions[0].path == "elapsed"
+    assert worse.regressions[0].rel_pct == pytest.approx(10.0)
+    # An unexplained improvement is also a deviation from the baseline.
+    better = diff_snapshots(old, {"elapsed": 90.0, "tasks": 50.0}, 2.0)
+    assert not better.ok
+
+
+def test_change_within_threshold_passes():
+    result = diff_snapshots({"e": 100.0}, {"e": 101.0}, threshold_pct=2.0)
+    assert result.ok and len(result.changed) == 1
+
+
+def test_zero_baseline_change_is_infinite_delta():
+    result = diff_snapshots({"e": 0.0}, {"e": 0.001}, threshold_pct=50.0)
+    assert not result.ok
+    assert math.isinf(result.regressions[0].rel_pct)
+
+
+def test_ignore_prefix_excludes_paths():
+    old = {"timeline.s[0].t": 1.0, "metrics.elapsed": 2.0}
+    new = {"timeline.s[0].t": 9.0, "metrics.elapsed": 2.0}
+    result = diff_snapshots(old, new, 0.0, ignore=("timeline.",))
+    assert result.ok and result.compared == 1
+
+
+def test_disjoint_keys_are_reported_not_failed():
+    result = diff_snapshots({"only.old": 1.0, "both": 2.0},
+                            {"only.new": 3.0, "both": 2.0}, 0.0)
+    assert result.ok
+    assert result.only_old == ["only.old"]
+    assert result.only_new == ["only.new"]
+    text = render_diff(result)
+    assert "only in old snapshot" in text and "only in new snapshot" in text
+
+
+def test_render_marks_regressions():
+    result = diff_snapshots({"e": 100.0}, {"e": 150.0}, 10.0)
+    text = render_diff(result)
+    assert "REGRESSION" in text and "+50.00%" in text
+
+
+# --------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------- #
+def _write(path, doc):
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+_DOC = {"schema": "repro.bench/1", "name": "t",
+        "data": {"elapsed": 1.5, "rows": [{"p": 4, "elapsed": 0.8}]}}
+
+
+def test_cli_identical_exits_zero(tmp_path, capsys):
+    a = _write(tmp_path / "a.json", _DOC)
+    b = _write(tmp_path / "b.json", _DOC)
+    assert main(["bench-diff", a, b]) == 0
+    assert "numerically identical" in capsys.readouterr().out
+
+
+def test_cli_regression_exits_one(tmp_path, capsys):
+    a = _write(tmp_path / "a.json", _DOC)
+    regressed = json.loads(json.dumps(_DOC))
+    regressed["data"]["elapsed"] *= 1.10
+    b = _write(tmp_path / "b.json", regressed)
+    assert main(["bench-diff", a, b, "--threshold", "2.0"]) == 1
+    out = capsys.readouterr().out
+    assert "data.elapsed" in out and "REGRESSION" in out
+
+
+def test_cli_threshold_tolerates_small_drift(tmp_path):
+    a = _write(tmp_path / "a.json", _DOC)
+    drifted = json.loads(json.dumps(_DOC))
+    drifted["data"]["elapsed"] *= 1.01
+    b = _write(tmp_path / "b.json", drifted)
+    assert main(["bench-diff", a, b, "--threshold", "5.0"]) == 0
+
+
+def test_cli_schema_mismatch_exits_two(tmp_path, capsys):
+    a = _write(tmp_path / "a.json", _DOC)
+    other = dict(_DOC, schema="repro.obs/2")
+    b = _write(tmp_path / "b.json", other)
+    assert main(["bench-diff", a, b]) == 2
+    assert "schema mismatch" in capsys.readouterr().err
+
+
+def test_cli_missing_or_malformed_input_exits_two(tmp_path, capsys):
+    a = _write(tmp_path / "a.json", _DOC)
+    assert main(["bench-diff", a, str(tmp_path / "nope.json")]) == 2
+    untagged = _write(tmp_path / "untagged.json", {"data": 1})
+    assert main(["bench-diff", a, untagged]) == 2
+    err = capsys.readouterr().err
+    assert "cannot read snapshot" in err and "schema" in err
+
+
+def test_cli_negative_threshold_exits_two(tmp_path, capsys):
+    a = _write(tmp_path / "a.json", _DOC)
+    assert main(["bench-diff", a, a, "--threshold", "-1"]) == 2
+    assert "threshold" in capsys.readouterr().err
+
+
+def test_cli_profile_snapshots_round_trip(tmp_path, capsys):
+    # End-to-end over real repro.obs/2 snapshots from identical runs.
+    a = tmp_path / "p1.json"
+    b = tmp_path / "p2.json"
+    for path in (a, b):
+        assert main(["profile", "--app", "water", "--scale", "tiny",
+                     "--procs", "2", "--json", str(path)]) == 0
+    capsys.readouterr()
+    assert main(["bench-diff", str(a), str(b)]) == 0
+    assert "0 changed" in capsys.readouterr().out

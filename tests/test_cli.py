@@ -92,7 +92,7 @@ def test_profile_command(tmp_path, capsys):
     assert "communication matrix" in out
     assert "hot objects" in out
     doc = json.loads(snap.read_text())
-    assert doc["schema"] == "repro.obs/1"
+    assert doc["schema"] == "repro.obs/2"
     assert doc["comm_matrix"]["total_messages"] == \
         doc["metrics"]["total_messages"]
     chrome = json.loads(trace.read_text())
@@ -115,7 +115,7 @@ def test_run_profile_flags(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "elapsed" in out                  # the normal metrics block
     assert "communication matrix" in out     # plus the profile report
-    assert json.loads(snap.read_text())["schema"] == "repro.obs/1"
+    assert json.loads(snap.read_text())["schema"] == "repro.obs/2"
 
 
 def test_sweep_json(tmp_path, capsys):
@@ -160,3 +160,61 @@ def test_check_flags_misdeclared_app(capsys):
 def test_check_rejects_unknown_app():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["check", "--app", "nope"])
+
+
+@pytest.mark.parametrize("command", ["run", "profile"])
+def test_bogus_app_fails_listing_valid_names(command, capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main([command, "--app", "bogus", "--scale", "tiny", "--procs", "2"])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    for name in ("water", "string", "ocean", "cholesky"):
+        assert name in err
+
+
+@pytest.mark.parametrize("cmd_name", ["cmd_run", "cmd_profile"])
+def test_experiment_error_lists_valid_apps(cmd_name, capsys, monkeypatch):
+    # Belt and braces behind the argparse choices guard: an
+    # ExperimentError from the experiment layer (e.g. a programmatic
+    # caller with a bad name) still produces the app listing, not a
+    # traceback.
+    import argparse
+
+    from repro.errors import ExperimentError
+    import repro.lab.experiments as experiments
+
+    def boom(*_args, **_kwargs):
+        raise ExperimentError("unknown application/scale ('bogus', 'tiny')")
+
+    monkeypatch.setattr(experiments, "make_application", boom)
+    if cmd_name == "cmd_run":
+        from repro.__main__ import cmd_run as cmd
+
+        args = argparse.Namespace(
+            app="bogus", machine="ipsc860", scale="tiny", procs=2,
+            level="locality", no_broadcast=False, no_replication=False,
+            serial_fetches=False, target_tasks=1, eager_update=False,
+            work_free=False, trace_out=None, profile=False,
+            profile_json=None)
+    else:
+        from repro.obs.cli import cmd_profile as cmd
+
+        args = argparse.Namespace(
+            app="bogus", machine="ipsc860", scale="tiny", procs=2,
+            level="locality", no_broadcast=False, no_replication=False,
+            serial_fetches=False, target_tasks=1, eager_update=False,
+            json=None, trace_out=None, samples=50, sample_interval=None)
+    assert cmd(args) == 2
+    err = capsys.readouterr().err
+    assert "valid applications" in err
+    for name in ("water", "string", "ocean", "cholesky"):
+        assert name in err
+
+
+def test_profile_command_reports_critical_path_and_attribution(capsys):
+    assert main(["profile", "--app", "water", "--scale", "tiny",
+                 "--procs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "critical path" in out
+    assert "per-optimization attribution" in out
+    assert "main processor" in out

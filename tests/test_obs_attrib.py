@@ -1,0 +1,112 @@
+"""Tests for per-optimization attribution (``repro.obs.attrib``)."""
+
+import pytest
+
+from repro.apps import ALL_APPLICATIONS, MachineKind
+from repro.lab.experiments import run_app
+from repro.obs.attrib import render_attribution, verify_attribution
+from repro.runtime import RuntimeOptions
+from repro.runtime.metrics import RunMetrics
+from repro.runtime.options import LocalityLevel
+
+_MATRIX = [(app, machine)
+           for app in sorted(ALL_APPLICATIONS)
+           for machine in (MachineKind.IPSC860, MachineKind.DASH)]
+
+
+@pytest.mark.parametrize("app,machine", _MATRIX)
+def test_invariants_hold_across_app_machine_matrix(app, machine):
+    metrics = run_app(app, 4, machine, scale="tiny")
+    assert verify_attribution(metrics) == []
+
+
+@pytest.mark.parametrize("options", [
+    RuntimeOptions(adaptive_broadcast=False),
+    RuntimeOptions(replication=False),
+    RuntimeOptions(concurrent_fetches=False),
+    RuntimeOptions(eager_update=True),
+    RuntimeOptions(target_tasks_per_processor=2),
+    RuntimeOptions(locality=LocalityLevel.NO_LOCALITY),
+], ids=["no-broadcast", "no-replication", "serial-fetch", "eager-update",
+        "latency-hiding", "no-locality"])
+def test_invariants_hold_under_each_optimization_switch(options):
+    metrics = run_app("water", 4, MachineKind.IPSC860,
+                      options.locality, options, scale="tiny")
+    assert verify_attribution(metrics) == []
+
+
+def test_message_buckets_reconcile_exactly():
+    metrics = run_app("water", 4, MachineKind.IPSC860, scale="tiny")
+    assert (metrics.fetches_remote + metrics.broadcast_deliveries
+            + metrics.eager_updates) == metrics.object_messages
+    assert (metrics.fetch_bytes + metrics.broadcast_bytes
+            + metrics.eager_update_bytes) == pytest.approx(
+                metrics.object_bytes)
+
+
+def test_broadcast_counters_move_with_the_switch():
+    on = run_app("water", 4, MachineKind.IPSC860, scale="tiny")
+    off = run_app("water", 4, MachineKind.IPSC860, LocalityLevel.LOCALITY,
+                  RuntimeOptions(adaptive_broadcast=False), scale="tiny")
+    assert on.broadcast_deliveries > 0
+    assert on.broadcast_bytes > 0
+    assert off.broadcast_deliveries == 0
+    assert off.broadcast_bytes == 0.0
+    # With the broadcast off, those versions move point-to-point instead.
+    assert off.fetches_remote > on.fetches_remote
+
+
+def test_eager_update_counters_move_with_the_switch():
+    eager = run_app("water", 4, MachineKind.IPSC860, LocalityLevel.LOCALITY,
+                    RuntimeOptions(eager_update=True), scale="tiny")
+    assert eager.eager_updates > 0
+    assert eager.eager_update_bytes > 0
+    assert verify_attribution(eager) == []
+
+
+def test_concurrent_fetch_overlap_is_zero_when_serialized():
+    serial = run_app("water", 4, MachineKind.IPSC860, LocalityLevel.LOCALITY,
+                     RuntimeOptions(concurrent_fetches=False), scale="tiny")
+    assert serial.concurrent_fetch_overlap == 0.0
+
+
+def test_dash_runs_attribute_locality_only():
+    metrics = run_app("water", 4, MachineKind.DASH, scale="tiny")
+    # Shared memory: no fetch protocol, so every need is a locality hit.
+    assert metrics.fetches_remote == 0
+    assert metrics.replication_hits == 0
+    assert metrics.locality_hits > 0
+    assert verify_attribution(metrics) == []
+
+
+def test_verify_reports_broken_reconciliation():
+    metrics = run_app("water", 4, MachineKind.IPSC860, scale="tiny")
+    metrics.fetches_remote += 1
+    problems = verify_attribution(metrics)
+    assert any("object_messages" in p for p in problems)
+
+
+def test_verify_reports_negative_and_excess_overlap():
+    metrics = RunMetrics()
+    metrics.locality_hits = -1
+    metrics.latency_hiding_overlap = 5.0   # task_latency_total is 0
+    problems = verify_attribution(metrics)
+    assert any("negative" in p for p in problems)
+    assert any("latency_hiding_overlap" in p and "exceeds" in p
+               for p in problems)
+
+
+def test_summary_and_json_carry_new_fields():
+    metrics = run_app("water", 4, MachineKind.IPSC860, scale="tiny")
+    assert "broadcast_bytes" in metrics.summary()
+    doc = metrics.to_json()
+    assert "broadcast_bytes" in doc
+    assert doc["attribution"] == metrics.attribution()
+
+
+def test_render_attribution_is_stable_text():
+    metrics = run_app("water", 4, MachineKind.IPSC860, scale="tiny")
+    text = render_attribution(metrics)
+    assert "per-optimization attribution" in text
+    assert "adaptive broadcast" in text
+    assert text == render_attribution(metrics)

@@ -1,0 +1,173 @@
+"""Tests for the critical-path analyzer (``repro.obs.critical``)."""
+
+import pytest
+
+from repro.apps import MachineKind
+from repro.lab.experiments import profile_app
+from repro.obs.critical import (
+    BUCKET_COMM,
+    BUCKET_COMPUTE,
+    BUCKET_MGMT,
+    BUCKET_STALL,
+    BUCKETS,
+    extract_critical_path,
+    render_critical_path,
+)
+from repro.sim.trace import Tracer
+
+
+def _total(path):
+    return sum(path.buckets().values())
+
+
+# --------------------------------------------------------------------- #
+# synthetic traces: the walk itself
+# --------------------------------------------------------------------- #
+def test_back_to_back_spans_partition_elapsed():
+    tr = Tracer(enabled=True)
+    tr.span(0.0, 1.0, "task", "exec", proc=1)
+    tr.span(1.0, 1.5, "mgmt", "assign", proc=0)
+    tr.span(1.5, 2.0, "message", "object", src=0, dst=1)
+    path = extract_critical_path(tr, 2.0)
+    buckets = path.buckets()
+    assert buckets[BUCKET_COMPUTE] == pytest.approx(1.0)
+    assert buckets[BUCKET_MGMT] == pytest.approx(0.5)
+    assert buckets[BUCKET_COMM] == pytest.approx(0.5)
+    assert buckets[BUCKET_STALL] == pytest.approx(0.0)
+    assert _total(path) == pytest.approx(2.0)
+    # Segments come back in chronological order and cover [0, elapsed].
+    assert path.segments[0].start == pytest.approx(0.0)
+    assert path.segments[-1].end == pytest.approx(2.0)
+
+
+def test_gaps_become_stall():
+    tr = Tracer(enabled=True)
+    tr.span(0.0, 1.0, "task", "exec", proc=2)
+    tr.span(3.0, 4.0, "task", "exec", proc=2)
+    path = extract_critical_path(tr, 4.0)
+    buckets = path.buckets()
+    assert buckets[BUCKET_COMPUTE] == pytest.approx(2.0)
+    assert buckets[BUCKET_STALL] == pytest.approx(2.0)
+    stalls = [s for s in path.segments if s.bucket == BUCKET_STALL]
+    assert [(s.start, s.end) for s in stalls] == [(1.0, 3.0)]
+    # The stall is charged to the processor that was waiting.
+    assert stalls[0].proc == 2
+
+
+def test_leading_stall_when_nothing_recorded_early():
+    tr = Tracer(enabled=True)
+    tr.span(5.0, 6.0, "serial", "exec", proc=0)
+    path = extract_critical_path(tr, 6.0)
+    assert path.buckets()[BUCKET_STALL] == pytest.approx(5.0)
+    assert _total(path) == pytest.approx(6.0)
+
+
+def test_empty_trace_is_all_stall():
+    path = extract_critical_path(Tracer(enabled=True), 3.0)
+    assert path.buckets()[BUCKET_STALL] == pytest.approx(3.0)
+    assert path.dominant_bucket == BUCKET_STALL
+
+
+def test_zero_elapsed_yields_empty_path():
+    path = extract_critical_path(Tracer(enabled=True), 0.0)
+    assert path.segments == []
+    assert _total(path) == 0.0
+
+
+def test_walk_prefers_latest_ending_interval():
+    tr = Tracer(enabled=True)
+    tr.span(0.0, 10.0, "task", "exec", proc=1)     # bulk span
+    tr.span(8.0, 10.0, "mgmt", "completion", proc=0)
+    path = extract_critical_path(tr, 10.0)
+    # Both end at 10; the tie prefers the later start (the tight causal
+    # predecessor), so mgmt wins the tail and the task covers the rest.
+    assert path.buckets()[BUCKET_MGMT] == pytest.approx(2.0)
+    assert path.buckets()[BUCKET_COMPUTE] == pytest.approx(8.0)
+
+
+def test_open_spans_are_skipped():
+    tr = Tracer(enabled=True)
+    tr.span_begin(0.0, "task", "exec", proc=0)      # never closed
+    tr.span(0.0, 1.0, "mgmt", "create", proc=0)
+    path = extract_critical_path(tr, 1.0)
+    assert path.buckets()[BUCKET_MGMT] == pytest.approx(1.0)
+    assert path.buckets()[BUCKET_COMPUTE] == pytest.approx(0.0)
+
+
+def test_dash_exec_spans_split_compute_and_comm():
+    tr = Tracer(enabled=True)
+    tr.span(0.0, 4.0, "task", "exec", proc=1, compute=3.0, comm=1.0)
+    path = extract_critical_path(tr, 4.0)
+    buckets = path.buckets()
+    assert buckets[BUCKET_COMPUTE] == pytest.approx(3.0)
+    assert buckets[BUCKET_COMM] == pytest.approx(1.0)
+    per_proc = path.per_processor()[1]
+    assert per_proc[BUCKET_COMPUTE] == pytest.approx(3.0)
+    assert per_proc[BUCKET_COMM] == pytest.approx(1.0)
+
+
+def test_to_dict_shape_and_render():
+    tr = Tracer(enabled=True)
+    tr.span(0.0, 1.0, "mgmt", "create", proc=0)
+    path = extract_critical_path(tr, 1.0)
+    doc = path.to_dict()
+    assert set(doc["buckets"]) == set(BUCKETS)
+    assert doc["dominant_bucket"] == BUCKET_MGMT
+    assert doc["main_processor_mgmt"] == pytest.approx(1.0)
+    assert doc["per_processor"][0]["proc"] == 0
+    text = render_critical_path(path)
+    assert "task_management" in text and "<- dominant" in text
+
+
+# --------------------------------------------------------------------- #
+# real runs: the path reconciles with the run
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("machine", [MachineKind.IPSC860, MachineKind.DASH])
+def test_path_partitions_elapsed_on_real_runs(machine):
+    metrics, profile = profile_app("ocean", 4, machine, scale="tiny")
+    path = profile.critical
+    assert path is not None
+    assert _total(path) == pytest.approx(metrics.elapsed, rel=1e-9)
+    per_proc = path.per_processor()
+    assert sum(sum(row.values()) for row in per_proc.values()) == \
+        pytest.approx(metrics.elapsed, rel=1e-9)
+
+
+def test_critical_path_is_deterministic():
+    _m1, p1 = profile_app("water", 4, MachineKind.IPSC860, scale="tiny")
+    _m2, p2 = profile_app("water", 4, MachineKind.IPSC860, scale="tiny")
+    assert p1.critical.to_dict() == p2.critical.to_dict()
+
+
+# --------------------------------------------------------------------- #
+# the paper's bottleneck stories (Figures 10/11/20/21)
+# --------------------------------------------------------------------- #
+def _assert_main_mgmt_bound(metrics, path):
+    assert path.dominant_bucket == "task_management"
+    # The serialized bookkeeping sits on the main processor, as in the
+    # paper's figures: proc 0's mgmt time is the single largest
+    # (processor, bucket) cell on the path and a large elapsed fraction.
+    main_mgmt = path.main_processor_mgmt()
+    assert main_mgmt > 0.4 * metrics.elapsed
+    largest = max(value
+                  for row in path.per_processor().values()
+                  for value in row.values())
+    assert main_mgmt == pytest.approx(largest)
+
+
+def test_ocean_paper_32p_is_main_processor_mgmt_bound():
+    metrics, profile = profile_app("ocean", 32, MachineKind.IPSC860,
+                                   scale="paper")
+    _assert_main_mgmt_bound(metrics, profile.critical)
+
+
+def test_cholesky_paper_32p_is_main_processor_mgmt_bound():
+    metrics, profile = profile_app("cholesky", 32, MachineKind.IPSC860,
+                                   scale="paper")
+    _assert_main_mgmt_bound(metrics, profile.critical)
+
+
+def test_water_paper_32p_is_compute_bound():
+    _metrics, profile = profile_app("water", 32, MachineKind.IPSC860,
+                                    scale="paper")
+    assert profile.critical.dominant_bucket == "compute"

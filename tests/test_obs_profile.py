@@ -166,7 +166,7 @@ def test_snapshot_validates_and_serializes():
     doc = profile.to_dict()
     assert validate_profile(doc) == []
     text = dump_json(doc)  # allow_nan=False: raises on Infinity/NaN
-    assert '"schema": "repro.obs/1"' in text
+    assert '"schema": "repro.obs/2"' in text
 
 
 def test_snapshot_validator_catches_corruption():

@@ -208,7 +208,29 @@ def test_spans_separate_rows_do_not_pair():
     tr = Tracer(enabled=True)
     tr.span_begin(0.0, "task", "exec", proc=1)
     tr.span_end(0.5, "task", "exec", proc=2)  # different row: no pair
-    assert tr.spans("task") == []
+    # The orphaned begin surfaces as a zero-length open span, not a match.
+    pairs = tr.spans("task")
+    assert len(pairs) == 1
+    begin, end = pairs[0]
+    assert begin.attr("proc") == 1
+    assert end.time == begin.time and end.attr("open") is True
+
+
+def test_spans_surface_unmatched_begins_as_open():
+    tr = Tracer(enabled=True)
+    tr.span_begin(1.0, "task", "exec", task=7, proc=0)
+    tr.span_begin(2.0, "task", "exec", task=8, proc=0)
+    tr.span_end(3.0, "task", "exec", task=8, proc=0)
+    pairs = tr.spans("task")
+    # Innermost-first pairing closes task 8; task 7's begin (e.g. a task
+    # aborted mid-exec) must still be visible as a zero-length open span.
+    assert len(pairs) == 2
+    closed, opened = pairs[0], pairs[1]
+    assert closed[1].time == 3.0 and closed[1].attr("open") is None
+    assert opened[0].attr("task") == 7
+    assert opened[1].time == opened[0].time == 1.0
+    assert opened[1].attr("open") is True
+    assert opened[1].attr("task") == 7  # original attrs preserved
 
 
 def test_span_disabled_tracer_is_noop():
@@ -280,6 +302,39 @@ def test_write_picks_format_from_extension(tmp_path):
     tr.write(str(chrome))
     assert json.loads(jsonl.read_text().splitlines()[0])["label"] == "run"
     assert "traceEvents" in json.loads(chrome.read_text())
+
+
+def test_row_tids_stable_across_identical_runs():
+    # Satellite of the timeline contract: two identical traced runs must
+    # assign identical thread ids (and therefore export byte-identical
+    # Chrome JSON), so saved timelines stay comparable between runs.
+    from repro.apps import MachineKind
+    from repro.lab.experiments import run_app
+
+    tracers = []
+    for _ in range(2):
+        tr = Tracer(enabled=True)
+        run_app("water", 4, MachineKind.IPSC860, scale="tiny", tracer=tr)
+        tracers.append(tr)
+    t1, t2 = tracers
+    assert t1.row_tids() == t2.row_tids()
+    assert t1.to_chrome_json() == t2.to_chrome_json()
+
+
+def test_row_tids_mixed_rows_are_deterministic():
+    def build():
+        tr = Tracer(enabled=True)
+        tr.emit(0.0, "task", "a", proc=3)
+        tr.emit(0.0, "bus", "b", proc="link-b")
+        tr.emit(0.1, "bus", "a", proc="link-a")
+        tr.emit(0.2, "task", "c", proc=0)
+        return tr
+
+    mapping = build().row_tids()
+    # Integer rows keep their value; strings follow in sorted order, so
+    # the mapping depends only on the set of rows, not arrival order.
+    assert mapping == {0: 0, 3: 3, "link-a": 4, "link-b": 5}
+    assert build().row_tids() == mapping
 
 
 def test_empty_tracer_is_falsy_but_usable():
