@@ -1,0 +1,100 @@
+"""Fault-injection cost model: zero-plan overhead and retransmission tax.
+
+Two claims the ``repro.faults`` + ``repro.runtime.reliable`` stack makes,
+asserted here and frozen into a committed, bench-diff-gated baseline:
+
+* **Zero-fault plans are free.**  A run under an all-zero
+  :class:`~repro.faults.FaultSpec` is *byte-identical* (every serialized
+  metric) to a run with no fault plan installed — the injection points
+  short-circuit before touching any RNG and the reliable-delivery layer
+  is never constructed.
+* **The retransmission tax is bounded and attributable.**  Under a 5%
+  drop rate the run still completes coherently; the elapsed-time overhead
+  and the full recovery counter set (retransmissions, suppressed
+  duplicates, ack bytes, recovery stall) are recorded so regressions in
+  the ARQ protocol's pricing show up as bench-diff deltas.
+
+Only simulated quantities go into the snapshot — no host wall-clock —
+so the committed baseline diffs clean on any machine.
+"""
+
+from repro.apps import MachineKind
+from repro.faults import FaultSpec
+from repro.lab.experiments import run_app
+from repro.obs.snapshot import dump_json
+
+from _support import once, show, snapshot
+
+#: Fixed configuration: the gated artifact must not depend on the
+#: REPRO_BENCH_* development knobs, or the committed baseline would only
+#: match one environment.
+APP, PROCS, SCALE = "water", 4, "tiny"
+DROP_SPEC = FaultSpec(seed=7, drop_rate=0.05)
+
+
+def _metrics_fields(metrics):
+    return {
+        "elapsed": metrics.elapsed,
+        "events_fired": metrics.events_fired,
+        "total_messages": metrics.total_messages,
+        "total_bytes": metrics.total_bytes,
+    }
+
+
+def test_chaos_zero_plan_overhead_and_retransmission_tax(benchmark):
+    def measure():
+        baseline = run_app(APP, PROCS, MachineKind.IPSC860, scale=SCALE)
+        zero_plan = run_app(APP, PROCS, MachineKind.IPSC860, scale=SCALE,
+                            faults=FaultSpec(seed=7))
+        faulty = run_app(APP, PROCS, MachineKind.IPSC860, scale=SCALE,
+                         faults=DROP_SPEC)
+        return baseline, zero_plan, faulty
+
+    baseline, zero_plan, faulty = once(benchmark, measure)
+
+    # Claim 1: the all-zero plan changed nothing — not one serialized byte.
+    assert dump_json(zero_plan.to_json()) == dump_json(baseline.to_json()), \
+        "all-zero fault plan perturbed the run"
+    assert zero_plan.messages_dropped == 0
+    assert zero_plan.retransmissions == 0
+    assert zero_plan.ack_bytes == 0.0
+
+    # Claim 2: a 5% drop rate is survivable and its tax is visible.
+    overhead_pct = 100.0 * (faulty.elapsed / baseline.elapsed - 1.0)
+    assert faulty.messages_dropped > 0, "5% drop rate never fired"
+    assert faulty.retransmissions >= faulty.messages_dropped - \
+        faulty.duplicates_suppressed
+    assert faulty.elapsed >= baseline.elapsed, \
+        "recovering from drops cannot be faster than never dropping"
+    assert overhead_pct < 50.0, (
+        f"retransmission tax {overhead_pct:.1f}% is out of the modeled "
+        "regime for a 5% drop rate")
+
+    show(f"chaos overhead ({APP} on ipsc860, {PROCS} procs, {SCALE}):\n"
+         f"  fault-free elapsed   {baseline.elapsed:.6g} s\n"
+         f"  zero-plan elapsed    {zero_plan.elapsed:.6g} s (byte-identical)\n"
+         f"  drop=5% elapsed      {faulty.elapsed:.6g} s "
+         f"({overhead_pct:+.2f}%)\n"
+         f"  dropped/retransmit   {faulty.messages_dropped} / "
+         f"{faulty.retransmissions}\n"
+         f"  suppressed/ack bytes {faulty.duplicates_suppressed} / "
+         f"{faulty.ack_bytes:.0f}\n"
+         f"  recovery stall       {faulty.recovery_stall_us:.6g} us")
+    snapshot(
+        "chaos_overhead",
+        {
+            "baseline": _metrics_fields(baseline),
+            "zero_plan_identical": 1,
+            "faulty": {
+                **_metrics_fields(faulty),
+                "overhead_pct": overhead_pct,
+                "messages_dropped": faulty.messages_dropped,
+                "retransmissions": faulty.retransmissions,
+                "duplicates_suppressed": faulty.duplicates_suppressed,
+                "ack_bytes": faulty.ack_bytes,
+                "recovery_stall_us": faulty.recovery_stall_us,
+            },
+        },
+        meta={"app": APP, "machine": "ipsc860", "scale": SCALE,
+              "procs": PROCS, "fault_spec": DROP_SPEC.to_json()},
+    )

@@ -8,9 +8,14 @@ Commands
 ``profile``    run with the profiler: comm matrix, hot objects, utilization,
                critical path, per-optimization attribution
 ``bench-diff`` compare two bench/profile snapshots; nonzero on regression
+``chaos``      run under a seeded fault plan; verify coherence/determinism
 ``analyze``    static concurrency analysis of an application's program
 ``check``      validate access specs, detect races, verify determinism
 ``describe``   list applications, machines, optimization switches
+
+Exit codes: 0 success, 1 a verification/regression failed, 2 bad
+arguments or configuration, 3 the simulation itself raised (coherence
+violation, deadlock, exhausted retry budget, ``--max-sim-time`` guard).
 """
 
 from __future__ import annotations
@@ -28,7 +33,12 @@ from repro.lab import (
     rows_to_series,
     run_app,
 )
-from repro.errors import ExperimentError
+from repro.errors import (
+    ExperimentError,
+    JadeError,
+    MachineError,
+    SimulationError,
+)
 from repro.lab.analysis import summarize
 from repro.runtime import RuntimeOptions
 from repro.runtime.options import LocalityLevel
@@ -42,15 +52,20 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 
 def cmd_run(args) -> int:
-    options = RuntimeOptions(
-        locality=LocalityLevel(args.level),
-        adaptive_broadcast=not args.no_broadcast,
-        replication=not args.no_replication,
-        concurrent_fetches=not args.serial_fetches,
-        target_tasks_per_processor=args.target_tasks,
-        eager_update=args.eager_update,
-        work_free=args.work_free,
-    )
+    try:
+        options = RuntimeOptions(
+            locality=LocalityLevel(args.level),
+            adaptive_broadcast=not args.no_broadcast,
+            replication=not args.no_replication,
+            concurrent_fetches=not args.serial_fetches,
+            target_tasks_per_processor=args.target_tasks,
+            eager_update=args.eager_update,
+            work_free=args.work_free,
+            max_sim_time=args.max_sim_time,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     tracer = None
     if args.trace_out:
         from repro.sim.trace import Tracer
@@ -77,6 +92,13 @@ def cmd_run(args) -> int:
             metrics = run_app(args.app, args.procs, MachineKind(args.machine),
                               options.locality, options, args.scale,
                               tracer=tracer)
+    except (SimulationError, JadeError, MachineError) as exc:
+        # SimTimeLimitError lands here too (it is a SimulationError first):
+        # exit 3 means the simulation itself raised, not that the request
+        # was malformed.
+        print(f"error: simulation failed: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return 3
     except ExperimentError as exc:
         print(f"error: {exc}\nvalid applications: "
               f"{', '.join(sorted(ALL_APPLICATIONS))}", file=sys.stderr)
@@ -106,8 +128,7 @@ def cmd_run(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    from repro.errors import ExperimentError
-    from repro.fleet import default_jobs, parallel_locality_sweep
+    from repro.fleet import default_jobs, resilient_locality_sweep
 
     machine = MachineKind(args.machine)
     procs = args.procs or PAPER_PROCS
@@ -115,23 +136,49 @@ def cmd_sweep(args) -> int:
     if jobs < 1:
         print(f"error: --jobs must be >= 1, got {jobs}", file=sys.stderr)
         return 2
+    if args.timeout is not None and args.timeout <= 0:
+        print(f"error: --timeout must be positive, got {args.timeout}",
+              file=sys.stderr)
+        return 2
+    if args.retries < 0:
+        print(f"error: --retries must be >= 0, got {args.retries}",
+              file=sys.stderr)
+        return 2
+    outcome = None
     try:
-        if jobs > 1:
-            rows = parallel_locality_sweep(args.app, machine, procs,
-                                           args.scale, jobs=jobs)
+        if jobs > 1 or args.partial:
+            rows, outcome = resilient_locality_sweep(
+                args.app, machine, procs, args.scale, jobs=jobs,
+                timeout=args.timeout, retries=args.retries,
+                partial=args.partial)
         else:
             rows = locality_sweep(args.app, machine, procs, args.scale)
     except ExperimentError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    series = rows_to_series(rows, lambda r: r.metrics.elapsed)
-    print(render_table(
-        f"{args.app} on {args.machine}: execution times (s)", procs, series))
-    pct = rows_to_series(rows, lambda r: r.metrics.task_locality_pct)
-    print()
-    print(render_table(
-        f"{args.app} on {args.machine}: task locality (%)", procs, pct,
-        fmt=lambda v: f"{v:.1f}"))
+    degraded = outcome is not None and not outcome.ok
+    if degraded:
+        # Partial result: the full level x procs tables would have holes,
+        # so report completed rows individually plus every failure.
+        print(f"sweep degraded: {outcome.completed}/{len(outcome.metrics)} "
+              f"units completed, {len(outcome.failures)} failed"
+              + (f", {outcome.pool_restarts} pool restart(s)"
+                 if outcome.pool_restarts else ""))
+        for row in rows:
+            print(f"  {row.level:>14} p{row.procs:<4} "
+                  f"elapsed {row.metrics.elapsed:.6g} s")
+        for failure in outcome.failures:
+            print(f"  FAILED {failure.describe()}", file=sys.stderr)
+    else:
+        series = rows_to_series(rows, lambda r: r.metrics.elapsed)
+        print(render_table(
+            f"{args.app} on {args.machine}: execution times (s)", procs,
+            series))
+        pct = rows_to_series(rows, lambda r: r.metrics.task_locality_pct)
+        print()
+        print(render_table(
+            f"{args.app} on {args.machine}: task locality (%)", procs, pct,
+            fmt=lambda v: f"{v:.1f}"))
     if args.json:
         from repro.fleet import sweep_snapshot_doc
         from repro.obs.snapshot import dump_json
@@ -145,7 +192,7 @@ def cmd_sweep(args) -> int:
                   file=sys.stderr)
             return 2
         print(f"\nsweep JSON -> {args.json}")
-    return 0
+    return 1 if degraded else 0
 
 
 def cmd_analyze(args) -> int:
@@ -192,8 +239,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--profile", action="store_true",
                        help="attach the profiler and print the full report")
     run_p.add_argument("--profile-json", metavar="PATH", default=None,
-                       help="attach the profiler and write the repro.obs/2 "
+                       help="attach the profiler and write the repro.obs/3 "
                             "snapshot here")
+    run_p.add_argument("--max-sim-time", type=float, default=None,
+                       metavar="SECONDS",
+                       help="runaway guard: abort (exit 3) if simulated time "
+                            "would pass this limit")
     run_p.set_defaults(func=cmd_run)
 
     sweep_p = sub.add_parser("sweep", help="locality-level sweep (paper table)")
@@ -205,6 +256,17 @@ def build_parser() -> argparse.ArgumentParser:
                               "output is byte-identical either way)")
     sweep_p.add_argument("--json", metavar="PATH", default=None,
                          help="also write every row's metrics as JSON")
+    sweep_p.add_argument("--timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-unit wall-clock budget; a worker past it "
+                              "is killed (requires --jobs >= 2)")
+    sweep_p.add_argument("--retries", type=int, default=1, metavar="N",
+                         help="fresh worker pools allowed after a worker "
+                              "dies outright (default 1)")
+    sweep_p.add_argument("--partial", action="store_true",
+                         help="degraded mode: keep completed units and "
+                              "report failures instead of aborting the "
+                              "whole sweep (exit 1 when any unit failed)")
     sweep_p.set_defaults(func=cmd_sweep)
 
     an_p = sub.add_parser("analyze", help="static concurrency analysis")
@@ -213,12 +275,14 @@ def build_parser() -> argparse.ArgumentParser:
     an_p.set_defaults(func=cmd_analyze)
 
     from repro.check.cli import add_check_parser
+    from repro.faults.cli import add_chaos_parser
     from repro.obs.benchdiff import add_benchdiff_parser
     from repro.obs.cli import add_profile_parser
 
     add_check_parser(sub)
     add_profile_parser(sub)
     add_benchdiff_parser(sub)
+    add_chaos_parser(sub)
 
     de_p = sub.add_parser("describe", help="list apps/machines/switches")
     de_p.set_defaults(func=cmd_describe)

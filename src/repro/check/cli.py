@@ -23,7 +23,7 @@ from repro.check.checker import (
     verify_application_determinism,
 )
 from repro.check.determinism import cross_check
-from repro.errors import AccessViolationError
+from repro.errors import AccessViolationError, VersionError
 
 
 def add_check_parser(sub) -> None:
@@ -55,6 +55,14 @@ def cmd_check(args) -> int:
             report = check_application(
                 args.app, machine, args.procs, args.scale, policy=args.policy,
             )
+        except VersionError as exc:
+            # A coherence violation is a runtime bug, not a program bug;
+            # the structured fields say exactly which object/version/node.
+            print(f"check[{args.app} on {machine}, {args.procs} procs]: "
+                  f"ABORTED (coherence violation)\n  {exc}\n"
+                  f"  {exc.details()}")
+            failed = True
+            continue
         except AccessViolationError as exc:
             # raise policy: abort on the first violation, like real Jade.
             print(f"check[{args.app} on {machine}, {args.procs} procs]: "
@@ -69,9 +77,15 @@ def cmd_check(args) -> int:
     # (an undeclared access would abort an unchecked run outright).
     if not args.no_determinism and not failed:
         for machine in machines:
-            det = verify_application_determinism(
-                args.app, machine, args.procs, args.scale,
-            )
+            try:
+                det = verify_application_determinism(
+                    args.app, machine, args.procs, args.scale,
+                )
+            except VersionError as exc:
+                print(f"determinism[{args.app} on {machine}]: ABORTED "
+                      f"(coherence violation)\n  {exc}\n  {exc.details()}")
+                failed = True
+                continue
             print(det.format())
             failed = failed or not det.ok
         if len(machines) == 2:

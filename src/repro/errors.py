@@ -57,7 +57,43 @@ class VersionError(JadeError):
     This indicates a coherence bug in the message-passing communicator: the
     executing processor's local store did not contain the exact version of
     an object that serial program order dictates the task must observe.
+
+    The structured fields make chaos-run violations diagnosable: which
+    object (id and name), which version serial order required, which
+    version the store actually held, and which node was asking.  Any field
+    may be ``None`` when the raise site cannot know it.
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        object_id: "int | None" = None,
+        object_name: "str | None" = None,
+        expected_version: "int | None" = None,
+        observed_version: "int | None" = None,
+        node: "int | None" = None,
+    ):
+        super().__init__(message)
+        self.object_id = object_id
+        self.object_name = object_name
+        self.expected_version = expected_version
+        self.observed_version = observed_version
+        self.node = node
+
+    def details(self) -> str:
+        """One stable line of the structured fields, for reports."""
+        parts = []
+        if self.object_id is not None:
+            parts.append(f"object_id={self.object_id}")
+        if self.object_name is not None:
+            parts.append(f"object={self.object_name!r}")
+        if self.expected_version is not None:
+            parts.append(f"expected_version={self.expected_version}")
+        parts.append(f"observed_version={self.observed_version}")
+        if self.node is not None:
+            parts.append(f"node={self.node}")
+        return " ".join(parts)
 
 
 class MachineError(ReproError):
@@ -70,3 +106,30 @@ class RoutingError(MachineError):
 
 class ExperimentError(ReproError):
     """Raised by the lab harness for malformed experiment configurations."""
+
+
+class SimTimeLimitError(SimulationError, ExperimentError):
+    """A simulation ran past its configured ``max_sim_time`` guard.
+
+    Inherits from both :class:`SimulationError` (the run itself was cut
+    off, so "simulation raised" exit-code policies apply) and
+    :class:`ExperimentError` (the guard is harness configuration, and
+    harness-level callers that only catch :class:`ExperimentError` still
+    get a clean abort instead of a spinning process).
+    """
+
+    def __init__(self, message: str, limit: float = 0.0, at: float = 0.0):
+        super().__init__(message)
+        #: The configured guard, in simulated seconds.
+        self.limit = limit
+        #: The simulated time of the first event past the guard.
+        self.at = at
+
+
+class ReliabilityError(MachineError):
+    """The reliable-delivery layer exhausted a message's retry budget.
+
+    Under an adversarial fault plan a channel can drop every copy of a
+    message; rather than retransmit forever the sender gives up after its
+    budget and surfaces the unreachable channel.
+    """

@@ -1,0 +1,40 @@
+"""Deterministic, seeded fault injection for the simulated machines.
+
+``repro.faults`` perturbs a run the way an unreliable interconnect or a
+degraded node would — dropping, duplicating and delaying messages, slowing
+links, stalling processors — while keeping the simulation bit-for-bit
+reproducible: every decision is drawn from :func:`repro.util.rng.substream`
+streams derived from an explicit seed, never from wall-clock state, so the
+same :class:`FaultSpec` produces the same :class:`FaultPlan` decisions and
+the same run, event for event.
+
+The plan is consulted at two injection points (see
+:mod:`repro.machines.network`): the tx NIC (duplication, link degradation)
+and rx delivery (drop, delay — routed through the simulator's ``perturb``
+hook so retracted deliveries are ordinary cancelled events).  Surviving a
+plan with a nonzero drop rate requires the reliable-delivery layer
+(:mod:`repro.runtime.reliable`); the ``repro chaos`` CLI wires the two
+together and asserts the coherence invariant still holds.
+"""
+
+from repro.faults.schedule import (
+    FaultPlan,
+    FaultSpec,
+    LinkDegrade,
+    MessageDelay,
+    MessageDrop,
+    MessageDuplicate,
+    NodeSlowdown,
+    NodeStall,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "LinkDegrade",
+    "MessageDelay",
+    "MessageDrop",
+    "MessageDuplicate",
+    "NodeSlowdown",
+    "NodeStall",
+]

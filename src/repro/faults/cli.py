@@ -1,0 +1,181 @@
+"""The ``repro chaos`` subcommand.
+
+Runs one application on the iPSC/860 model under a seeded fault plan and
+verifies the two properties the fault-injection subsystem promises:
+
+* **coherence** — the run under faults produces bit-identical final
+  shared-object state to the fault-free run (the reliable-delivery layer
+  absorbs drops/duplicates/delays without changing *what* is computed);
+* **determinism** — two runs under the same seed produce identical
+  metrics and identical final state (fault decisions are a pure function
+  of the spec, never of wall-clock state).
+
+The verdicts, the fault spec and the recovery counters are emitted as a
+validated ``repro.chaos/1`` document (``--json``).  Exit status: 0 both
+verdicts hold, 1 a verdict failed, 2 bad arguments, 3 the simulation
+raised (coherence violation, retry budget exhausted, deadlock).
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+
+def add_chaos_parser(sub) -> None:
+    """Register the ``chaos`` subcommand on an argparse subparsers object."""
+    from repro.apps import ALL_APPLICATIONS
+
+    p = sub.add_parser(
+        "chaos",
+        help="run under a seeded fault plan; verify coherence + determinism",
+        description="Execute one application configuration on the iPSC/860 "
+                    "model under deterministic fault injection, twice, and "
+                    "verify the results match the fault-free run and each "
+                    "other.",
+    )
+    p.add_argument("--app", required=True, choices=sorted(ALL_APPLICATIONS))
+    p.add_argument("--machine", default="ipsc860",
+                   help="must be ipsc860 — fault injection perturbs the "
+                        "message fabric, which DASH does not have")
+    p.add_argument("--scale", default="tiny", choices=["tiny", "paper"],
+                   help="chaos defaults to tiny: the verification runs the "
+                        "simulation three times")
+    p.add_argument("--procs", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--drop-rate", type=float, default=0.0)
+    p.add_argument("--duplicate-rate", type=float, default=0.0)
+    p.add_argument("--delay-rate", type=float, default=0.0)
+    p.add_argument("--delay-us", type=float, default=200.0,
+                   help="mean extra delivery delay when a delay fires")
+    p.add_argument("--degrade-rate", type=float, default=0.0)
+    p.add_argument("--degrade-multiplier", type=float, default=4.0)
+    p.add_argument("--max-sim-time", type=float, default=None,
+                   help="abort if simulated time would pass this guard")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="write the validated repro.chaos/1 verdict document")
+    p.set_defaults(func=cmd_chaos)
+
+
+def _stores_match(a, b) -> bool:
+    """Bit-identical final shared-object state across two runs."""
+    if a is None or b is None:
+        return False
+    ids_a, ids_b = a.object_ids(), b.object_ids()
+    if ids_a != ids_b:
+        return False
+    return all(np.array_equal(a.get(oid), b.get(oid)) for oid in ids_a)
+
+
+def _chaos_doc(args, spec, metrics, options, verdicts) -> dict:
+    from repro.obs.schema import CHAOS_SCHEMA
+
+    return {
+        "schema": CHAOS_SCHEMA,
+        "run": {
+            "application": args.app,
+            "machine": args.machine,
+            "num_processors": args.procs,
+            "scale": args.scale,
+            "options": options.describe(),
+        },
+        "fault_spec": spec.to_json(),
+        "counters": {
+            "messages_dropped": metrics.messages_dropped,
+            "messages_duplicated": metrics.messages_duplicated,
+            "retransmissions": metrics.retransmissions,
+            "duplicates_suppressed": metrics.duplicates_suppressed,
+            "ack_bytes": metrics.ack_bytes,
+            "recovery_stall_us": metrics.recovery_stall_us,
+        },
+        "verdicts": dict(verdicts),
+    }
+
+
+def cmd_chaos(args) -> int:
+    from repro.apps import MachineKind
+    from repro.errors import (
+        ExperimentError,
+        JadeError,
+        MachineError,
+        SimulationError,
+    )
+    from repro.faults import FaultSpec
+    from repro.lab.experiments import run_app
+    from repro.obs.schema import assert_valid
+    from repro.obs.snapshot import dump_json
+    from repro.runtime import RuntimeOptions
+
+    if args.machine != "ipsc860":
+        print("error: repro chaos requires --machine ipsc860 — fault "
+              "injection perturbs the message fabric, and only the iPSC/860 "
+              "model has one", file=sys.stderr)
+        return 2
+    try:
+        spec = FaultSpec(
+            seed=args.seed,
+            drop_rate=args.drop_rate,
+            duplicate_rate=args.duplicate_rate,
+            delay_rate=args.delay_rate,
+            delay_us=args.delay_us,
+            degrade_rate=args.degrade_rate,
+            degrade_multiplier=args.degrade_multiplier,
+        )
+        options = RuntimeOptions(max_sim_time=args.max_sim_time)
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    def one_run(faults):
+        return run_app(args.app, args.procs, MachineKind(args.machine),
+                       options.locality, options, args.scale, faults=faults)
+
+    try:
+        reference = one_run(None)
+        first = one_run(spec)
+        second = one_run(spec)
+    except (SimulationError, JadeError, MachineError) as exc:
+        # The simulation itself failed under faults: a coherence violation,
+        # an exhausted retry budget, a deadlock, or the max-sim-time guard.
+        print(f"error: simulation failed under fault plan "
+              f"[{spec.describe()}]: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return 3
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    # Snapshot-facing state: everything to_json() serializes, which is
+    # exactly what bench-diff and the committed baselines compare.
+    coherent = _stores_match(first.final_store, reference.final_store)
+    deterministic = (
+        dump_json(first.to_json()) == dump_json(second.to_json())
+        and _stores_match(first.final_store, second.final_store))
+    verdicts = {"coherent": coherent, "deterministic": deterministic}
+
+    doc = _chaos_doc(args, spec, first, options, verdicts)
+    try:
+        assert_valid(doc)
+    except ValueError as exc:  # pragma: no cover - producer bug guard
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+
+    print(f"chaos {args.app} on {args.machine}, {args.procs} processors "
+          f"({args.scale} scale) [{spec.describe()}]")
+    print(f"  elapsed        fault-free {reference.elapsed:.6g} s, "
+          f"under faults {first.elapsed:.6g} s")
+    for key, value in doc["counters"].items():
+        print(f"  {key:<22} {value:.6g}")
+    for key, value in verdicts.items():
+        print(f"  {key:<22} {'PASS' if value else 'FAIL'}")
+    if args.json:
+        try:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                fh.write(dump_json(doc) + "\n")
+        except OSError as exc:
+            print(f"error: cannot write chaos JSON to {args.json}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"  verdict JSON -> {args.json}")
+    return 0 if coherent and deterministic else 1

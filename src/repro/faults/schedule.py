@@ -1,0 +1,327 @@
+"""Fault specifications and the per-run fault plan.
+
+A :class:`FaultSpec` is declarative and immutable: a seed, per-message
+event rates, and explicit node-degradation windows.  A :class:`FaultPlan`
+is one run's live instance of a spec: it owns the RNG substreams, draws a
+decision for every message the network offers it (in deterministic send
+order — the simulator fires events in a total order, so the draw sequence
+is a pure function of the spec and the program), and records every
+injected fault as a typed event for reports and tests.
+
+Two plans built from the same spec make identical decisions; a plan is
+never shared between runs (its RNG state *is* the run's fault history).
+
+The typed events:
+
+* :class:`MessageDrop` — an rx delivery retracted (the message vanishes
+  between the NICs);
+* :class:`MessageDuplicate` — the tx NIC injects an extra copy;
+* :class:`MessageDelay` — an rx delivery postponed by ``extra_us``;
+* :class:`LinkDegrade` — one message streams at ``per_byte_multiplier``
+  times the normal per-byte cost on both NICs;
+* :class:`NodeSlowdown` — task compute on a node multiplied by ``factor``
+  inside a ``[start, end)`` window of simulated time;
+* :class:`NodeStall` — a node freezes: compute submitted inside the
+  window additionally waits until the window closes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.errors import ExperimentError
+from repro.util.rng import substream
+
+
+# ---------------------------------------------------------------------- #
+# typed fault events
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class MessageDrop:
+    """One retracted delivery: the message never reached the rx NIC."""
+
+    time: float
+    src: int
+    dst: int
+    kind: str
+
+
+@dataclass(frozen=True)
+class MessageDuplicate:
+    """The tx NIC injected ``copies`` extra cop(ies) of one message."""
+
+    time: float
+    src: int
+    dst: int
+    kind: str
+    copies: int = 1
+
+
+@dataclass(frozen=True)
+class MessageDelay:
+    """One delivery postponed by ``extra_us`` microseconds in the fabric."""
+
+    time: float
+    src: int
+    dst: int
+    kind: str
+    extra_us: float
+
+
+@dataclass(frozen=True)
+class LinkDegrade:
+    """One message streamed at a degraded per-byte rate on both NICs."""
+
+    time: float
+    src: int
+    dst: int
+    per_byte_multiplier: float
+
+
+@dataclass(frozen=True)
+class NodeSlowdown:
+    """Compute on ``node`` runs ``factor``× slower during ``[start, end)``."""
+
+    node: int
+    factor: float
+    start: float
+    end: float
+
+
+@dataclass(frozen=True)
+class NodeStall:
+    """``node`` freezes during ``[start, end)``: compute submitted inside
+    the window additionally waits for the window to close."""
+
+    node: int
+    start: float
+    end: float
+
+
+# ---------------------------------------------------------------------- #
+# the spec
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class FaultSpec:
+    """Declarative fault model: seed + rates + degradation windows.
+
+    All rates are per-message probabilities in ``[0, 1]``.  An all-zero
+    spec is valid and injects nothing — by contract a run under it is
+    byte-identical to a run with no spec at all (the injection points
+    short-circuit before touching any RNG).
+    """
+
+    seed: int = 0
+    #: Probability a message is dropped between the NICs.
+    drop_rate: float = 0.0
+    #: Probability the tx NIC injects one extra copy of a message.
+    duplicate_rate: float = 0.0
+    #: Probability a delivery is postponed, and the mean of the
+    #: exponentially-distributed extra delay (microseconds).
+    delay_rate: float = 0.0
+    delay_us: float = 200.0
+    #: Probability one message streams at ``degrade_multiplier`` times the
+    #: normal per-byte cost.
+    degrade_rate: float = 0.0
+    degrade_multiplier: float = 4.0
+    #: Explicit node-degradation windows (simulated seconds).
+    slowdowns: Tuple[NodeSlowdown, ...] = ()
+    stalls: Tuple[NodeStall, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "duplicate_rate", "delay_rate",
+                     "degrade_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ExperimentError(
+                    f"fault {name} must be in [0, 1], got {rate!r}")
+        if self.delay_us < 0:
+            raise ExperimentError(
+                f"fault delay_us must be >= 0, got {self.delay_us!r}")
+        if self.degrade_multiplier < 1.0:
+            raise ExperimentError(
+                "fault degrade_multiplier must be >= 1, got "
+                f"{self.degrade_multiplier!r}")
+        for slow in self.slowdowns:
+            if slow.factor < 1.0 or slow.end <= slow.start:
+                raise ExperimentError(f"malformed slowdown window {slow!r}")
+        for stall in self.stalls:
+            if stall.end <= stall.start:
+                raise ExperimentError(f"malformed stall window {stall!r}")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def perturbs_messages(self) -> bool:
+        """True when any per-message fault can fire — the condition under
+        which the runtime must interpose reliable delivery."""
+        return (self.drop_rate > 0.0 or self.duplicate_rate > 0.0
+                or self.delay_rate > 0.0 or self.degrade_rate > 0.0)
+
+    @property
+    def any_faults(self) -> bool:
+        return (self.perturbs_messages or bool(self.slowdowns)
+                or bool(self.stalls))
+
+    def describe(self) -> str:
+        """Short stable description for reports and snapshot provenance."""
+        bits = [f"seed={self.seed}"]
+        for name, rate in (("drop", self.drop_rate),
+                           ("dup", self.duplicate_rate),
+                           ("delay", self.delay_rate),
+                           ("degrade", self.degrade_rate)):
+            if rate > 0.0:
+                bits.append(f"{name}={rate:g}")
+        if self.slowdowns:
+            bits.append(f"slowdowns={len(self.slowdowns)}")
+        if self.stalls:
+            bits.append(f"stalls={len(self.stalls)}")
+        return ",".join(bits)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "drop_rate": self.drop_rate,
+            "duplicate_rate": self.duplicate_rate,
+            "delay_rate": self.delay_rate,
+            "delay_us": self.delay_us,
+            "degrade_rate": self.degrade_rate,
+            "degrade_multiplier": self.degrade_multiplier,
+            "slowdowns": [
+                {"node": s.node, "factor": s.factor,
+                 "start": s.start, "end": s.end}
+                for s in self.slowdowns
+            ],
+            "stalls": [
+                {"node": s.node, "start": s.start, "end": s.end}
+                for s in self.stalls
+            ],
+        }
+
+
+# ---------------------------------------------------------------------- #
+# the plan
+# ---------------------------------------------------------------------- #
+class FaultPlan:
+    """One run's fault decisions, drawn deterministically from a spec.
+
+    The network consults the plan at its two injection points:
+
+    * :meth:`tx_decision` at tx-NIC injection — duplication and link
+      degradation, which shape how the message is sent;
+    * :meth:`perturb_delivery` (installed as the simulator's ``perturb``
+      hook) at rx delivery — drop and delay, which shape whether/when the
+      scheduled delivery event survives.
+
+    The runtimes consult :meth:`perturb_compute` when pricing task bodies.
+    Separate RNG substreams per injection point keep the draw sequences
+    independent of how tx and rx decisions interleave.
+    """
+
+    #: Cap on recorded typed events: counters keep exact totals, the event
+    #: list is a diagnostic sample, and an adversarial plan over a long run
+    #: should not hoard memory.
+    MAX_RECORDED = 10_000
+
+    def __init__(self, spec: FaultSpec) -> None:
+        self.spec = spec
+        self._tx_rng = substream(spec.seed, "faults.tx")
+        self._rx_rng = substream(spec.seed, "faults.delivery")
+        #: Typed fault events actually injected, in injection order (the
+        #: spec's node windows are included up front — they are part of
+        #: the plan whether or not any compute lands inside them).
+        self.injected: List[Any] = list(spec.slowdowns) + list(spec.stalls)
+        self.counters: Dict[str, int] = {
+            "messages_dropped": 0,
+            "messages_duplicated": 0,
+            "messages_delayed": 0,
+            "links_degraded": 0,
+            "compute_slowdowns": 0,
+            "compute_stalls": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    @property
+    def perturbs_messages(self) -> bool:
+        return self.spec.perturbs_messages
+
+    def _record(self, event: Any) -> None:
+        if len(self.injected) < self.MAX_RECORDED:
+            self.injected.append(event)
+
+    # ------------------------------------------------------------------ #
+    # injection points
+    # ------------------------------------------------------------------ #
+    def tx_decision(self, now: float, src: int, dst: int, nbytes: int,
+                    kind: str) -> Tuple[int, float]:
+        """Decide duplication and degradation for one message at injection.
+
+        Returns ``(extra_copies, per_byte_multiplier)``.  Zero-rate faults
+        consume no RNG draws, so enabling one fault type does not shift
+        another type's decision stream.
+        """
+        spec = self.spec
+        copies = 0
+        multiplier = 1.0
+        if spec.duplicate_rate > 0.0 \
+                and self._tx_rng.random() < spec.duplicate_rate:
+            copies = 1
+            self.counters["messages_duplicated"] += 1
+            self._record(MessageDuplicate(now, src, dst, kind, copies))
+        if spec.degrade_rate > 0.0 \
+                and self._tx_rng.random() < spec.degrade_rate:
+            multiplier = spec.degrade_multiplier
+            self.counters["links_degraded"] += 1
+            self._record(LinkDegrade(now, src, dst, multiplier))
+        return copies, multiplier
+
+    def perturb_delivery(self, tag: Any, time: float) -> Tuple[bool, float]:
+        """The simulator ``perturb`` hook: ``(drop, extra_delay_seconds)``.
+
+        ``tag`` is the network's ``("deliver", src, dst, kind)`` label;
+        unlabelled events pass through untouched — only message deliveries
+        are fair game.
+        """
+        if not (isinstance(tag, tuple) and len(tag) >= 4
+                and tag[0] == "deliver"):
+            return False, 0.0
+        _, src, dst, kind = tag[:4]
+        spec = self.spec
+        if spec.drop_rate > 0.0 and self._rx_rng.random() < spec.drop_rate:
+            self.counters["messages_dropped"] += 1
+            self._record(MessageDrop(time, src, dst, kind))
+            return True, 0.0
+        if spec.delay_rate > 0.0 and self._rx_rng.random() < spec.delay_rate:
+            extra_us = (float(self._rx_rng.exponential(spec.delay_us))
+                        if spec.delay_us > 0 else 0.0)
+            self.counters["messages_delayed"] += 1
+            self._record(MessageDelay(time, src, dst, kind, extra_us))
+            return False, extra_us * 1e-6
+        return False, 0.0
+
+    def perturb_compute(self, node: int, now: float, cost: float) -> float:
+        """Apply node slowdown/stall windows to one compute submission."""
+        spec = self.spec
+        if not spec.slowdowns and not spec.stalls:
+            return cost
+        factor = 1.0
+        for slow in spec.slowdowns:
+            if slow.node == node and slow.start <= now < slow.end:
+                factor *= slow.factor
+        extra = 0.0
+        for stall in spec.stalls:
+            if stall.node == node and stall.start <= now < stall.end:
+                extra = max(extra, stall.end - now)
+        if factor != 1.0:
+            self.counters["compute_slowdowns"] += 1
+        if extra > 0.0:
+            self.counters["compute_stalls"] += 1
+        return cost * factor + extra
+
+    # ------------------------------------------------------------------ #
+    def summary(self) -> Dict[str, int]:
+        """The injection counters (exact totals, never capped)."""
+        return dict(self.counters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<FaultPlan {self.spec.describe()} {self.counters}>"

@@ -7,20 +7,28 @@ merged output is byte-identical to the serial path (see
 """
 
 from repro.fleet.executor import (
+    SweepOutcome,
     SweepUnit,
+    UnitFailure,
     default_jobs,
     parallel_locality_sweep,
+    resilient_locality_sweep,
     run_units,
+    run_units_resilient,
     sweep_snapshot_doc,
     sweep_units,
     verify_parallel_matches_serial,
 )
 
 __all__ = [
+    "SweepOutcome",
     "SweepUnit",
+    "UnitFailure",
     "default_jobs",
     "parallel_locality_sweep",
+    "resilient_locality_sweep",
     "run_units",
+    "run_units_resilient",
     "sweep_snapshot_doc",
     "sweep_units",
     "verify_parallel_matches_serial",

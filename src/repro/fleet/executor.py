@@ -32,6 +32,14 @@ Failure contract: a worker that raises reports the failing configuration
 and the original traceback through a single :class:`ExperimentError`; a
 worker that dies outright (killed, segfault) surfaces as an
 :class:`ExperimentError` naming the broken pool rather than a hang.
+:func:`run_units_resilient` hardens the same fan-out for long unattended
+sweeps: a per-unit wall-clock timeout (a hung worker is killed, not
+waited on forever), a bounded budget of pool restarts after workers die
+outright (the simulations are pure functions, so re-running a unit is
+always safe), and a ``partial`` degraded mode that records failed units
+as typed :class:`UnitFailure` entries and returns everything that did
+complete instead of discarding an entire overnight sweep for one bad
+configuration.
 """
 
 from __future__ import annotations
@@ -40,9 +48,10 @@ import multiprocessing
 import os
 import traceback
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.apps import MachineKind
 from repro.errors import ExperimentError
@@ -139,6 +148,218 @@ def _mp_context():
     return multiprocessing.get_context("fork" if "fork" in methods else None)
 
 
+@dataclass(frozen=True)
+class UnitFailure:
+    """One sweep unit that did not produce metrics, and why.
+
+    ``reason`` is one of ``"error"`` (the simulation raised — a
+    deterministic failure, never retried), ``"timeout"`` (the worker
+    exceeded the per-unit wall-clock budget and was killed) or ``"pool"``
+    (the worker pool died and the restart budget was exhausted before the
+    unit could be re-run).
+    """
+
+    index: int
+    unit: str
+    reason: str
+    detail: str = ""
+
+    def describe(self) -> str:
+        line = f"[{self.reason}] unit {self.index}: {self.unit}"
+        if self.detail:
+            line += f" — {self.detail.splitlines()[0]}"
+        return line
+
+
+@dataclass
+class SweepOutcome:
+    """What a resilient sweep produced: per-unit metrics plus failures.
+
+    ``metrics`` is in unit order with ``None`` in failed slots; a sweep
+    with an empty ``failures`` list is exactly equivalent to a
+    :func:`run_units` result.
+    """
+
+    metrics: List[Optional[RunMetrics]]
+    failures: List["UnitFailure"] = field(default_factory=list)
+    #: Fresh pools built after a worker died outright (BrokenProcessPool).
+    pool_restarts: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def completed(self) -> int:
+        return sum(m is not None for m in self.metrics)
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down *now*: terminate workers, abandon queued work.
+
+    ``ProcessPoolExecutor`` cannot cancel a future that is already
+    running, so a hung worker would make a plain ``shutdown`` block
+    forever; terminating the worker processes first makes the shutdown
+    non-blocking (terminating an already-exited process is a no-op).
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        proc.terminate()
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _harvest(
+    futures: List[Tuple[Tuple[int, SweepUnit], Any]],
+    start: int,
+    results: List[_WorkerResult],
+) -> List[Tuple[int, SweepUnit]]:
+    """Collect finished results from ``futures[start:]``; return the rest.
+
+    Called while abandoning a pool: completed work is kept (never re-run),
+    everything queued or in flight is returned for requeueing on a fresh
+    pool.
+    """
+    requeue: List[Tuple[int, SweepUnit]] = []
+    for pair, fut in futures[start:]:
+        if fut.done():
+            try:
+                results.append(fut.result(timeout=0))
+                continue
+            except BaseException:  # noqa: BLE001 - crashed with the pool
+                pass
+        requeue.append(pair)
+    return requeue
+
+
+def _pooled_results(
+    indexed: List[Tuple[int, SweepUnit]],
+    jobs: int,
+    timeout: Optional[float],
+    retries: int,
+    partial: bool,
+    outcome: SweepOutcome,
+) -> List[_WorkerResult]:
+    """The hardened pool loop: submit, await in order, recover, requeue."""
+    results: List[_WorkerResult] = []
+    pending = list(indexed)
+    restarts_left = retries
+    while pending:
+        pool = ProcessPoolExecutor(
+            max_workers=min(jobs, len(pending)), mp_context=_mp_context())
+        futures = [(pair, pool.submit(_run_unit, pair)) for pair in pending]
+        requeue: Optional[List[Tuple[int, SweepUnit]]] = None
+        try:
+            for position, (pair, fut) in enumerate(futures):
+                index, unit = pair
+                try:
+                    results.append(fut.result(timeout=timeout))
+                except FuturesTimeout:
+                    if not partial:
+                        raise ExperimentError(
+                            f"sweep unit timed out after {timeout:g}s of "
+                            f"wall-clock: {unit.describe()} — raise "
+                            "--timeout, or pass --partial to skip hung "
+                            "units and keep the rest") from None
+                    outcome.failures.append(UnitFailure(
+                        index, unit.describe(), "timeout",
+                        f"exceeded the {timeout:g}s per-unit wall-clock "
+                        "budget; worker killed"))
+                    requeue = _harvest(futures, position + 1, results)
+                    break
+                except BrokenProcessPool as exc:
+                    if restarts_left <= 0:
+                        if partial:
+                            for lost_pair, lost_fut in futures[position:]:
+                                if lost_fut.done() and not lost_fut.cancelled():
+                                    try:
+                                        results.append(
+                                            lost_fut.result(timeout=0))
+                                        continue
+                                    except BaseException:  # noqa: BLE001
+                                        pass
+                                lost_index, lost_unit = lost_pair
+                                outcome.failures.append(UnitFailure(
+                                    lost_index, lost_unit.describe(), "pool",
+                                    f"worker pool died ({exc}) with the "
+                                    "restart budget exhausted"))
+                            requeue = []
+                            break
+                        raise ExperimentError(
+                            f"sweep worker pool died mid-sweep ({exc}); a "
+                            "worker was killed or crashed outside Python — "
+                            "rerun with --jobs 1 to reproduce serially"
+                        ) from exc
+                    restarts_left -= 1
+                    outcome.pool_restarts += 1
+                    # The current unit is requeued too: pool death is a
+                    # host-side event, not a property of the unit.
+                    requeue = [pair] + _harvest(futures, position + 1,
+                                                results)
+                    break
+        finally:
+            _kill_pool(pool)
+        if requeue is None:
+            break
+        pending = requeue
+    return results
+
+
+def run_units_resilient(
+    units: Sequence[SweepUnit],
+    jobs: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    partial: bool = False,
+) -> SweepOutcome:
+    """Execute every unit with timeout/retry/partial hardening.
+
+    * ``timeout`` — per-unit wall-clock budget in seconds, measured while
+      waiting on that unit in submission order (a unit that ran
+      concurrently with its predecessors gets at least this much beyond
+      the previous unit's completion).  A unit that exceeds it has its
+      worker killed; with ``partial`` it is recorded as a failure and the
+      sweep continues on a fresh pool, otherwise the sweep aborts.  Not
+      enforceable on the in-process ``jobs=1`` path (nothing can preempt
+      the simulation there).
+    * ``retries`` — how many times a *pool death* (worker killed outright:
+      segfault, OOM kill) may be answered with a fresh pool re-running the
+      lost units.  Units are pure deterministic functions, so re-running
+      is always safe; a unit that *raises* is never retried — the same
+      configuration would raise again.
+    * ``partial`` — degraded mode: failed units become typed
+      :class:`UnitFailure` entries and every completed unit's metrics are
+      still returned, instead of one failure discarding the whole sweep.
+    """
+    jobs = default_jobs() if jobs is None else jobs
+    if jobs < 1:
+        raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+    if timeout is not None and timeout <= 0:
+        raise ExperimentError(f"timeout must be positive, got {timeout}")
+    if retries < 0:
+        raise ExperimentError(f"retries must be >= 0, got {retries}")
+    outcome = SweepOutcome(metrics=[None] * len(units))
+    indexed = list(enumerate(units))
+    if jobs == 1 or len(units) <= 1:
+        results = [_run_unit(pair) for pair in indexed]
+    else:
+        results = _pooled_results(indexed, jobs, timeout, retries, partial,
+                                  outcome)
+    for result in results:
+        if result.error is not None:
+            unit = units[result.index]
+            if partial:
+                outcome.failures.append(UnitFailure(
+                    result.index, unit.describe(), "error",
+                    f"{result.error}\n{result.trace or ''}"))
+                continue
+            raise ExperimentError(
+                f"sweep worker failed on {unit.describe()}: {result.error}\n"
+                f"{result.trace}")
+        outcome.metrics[result.index] = result.metrics
+    outcome.failures.sort(key=lambda failure: failure.index)
+    return outcome
+
+
 def run_units(
     units: Sequence[SweepUnit],
     jobs: Optional[int] = None,
@@ -146,36 +367,13 @@ def run_units(
     """Execute every unit, fanning out across processes; results in unit order.
 
     ``jobs=None`` auto-detects (one worker per available CPU); ``jobs=1``
-    runs in-process with no pool — the reference serial path.
+    runs in-process with no pool — the reference serial path.  Strict
+    mode: any failure raises; see :func:`run_units_resilient` for the
+    hardened variant.
     """
-    jobs = default_jobs() if jobs is None else jobs
-    if jobs < 1:
-        raise ExperimentError(f"jobs must be >= 1, got {jobs}")
-    indexed = list(enumerate(units))
-    if jobs == 1 or len(units) <= 1:
-        results = [_run_unit(pair) for pair in indexed]
-    else:
-        try:
-            with ProcessPoolExecutor(
-                max_workers=min(jobs, len(units)), mp_context=_mp_context(),
-            ) as pool:
-                results = list(pool.map(_run_unit, indexed))
-        except BrokenProcessPool as exc:
-            raise ExperimentError(
-                f"sweep worker pool died mid-sweep ({exc}); a worker was "
-                "killed or crashed outside Python — rerun with --jobs 1 "
-                "to reproduce serially"
-            ) from exc
-
-    merged: List[Optional[RunMetrics]] = [None] * len(units)
-    for result in results:
-        if result.error is not None:
-            unit = units[result.index]
-            raise ExperimentError(
-                f"sweep worker failed on {unit.describe()}: {result.error}\n"
-                f"{result.trace}")
-        merged[result.index] = result.metrics
-    return merged  # type: ignore[return-value] - every slot filled above
+    outcome = run_units_resilient(units, jobs=jobs, timeout=None, retries=0,
+                                  partial=False)
+    return outcome.metrics  # type: ignore[return-value] - strict: all filled
 
 
 def parallel_locality_sweep(
@@ -197,6 +395,35 @@ def parallel_locality_sweep(
         ExperimentRow(app, unit.machine, unit.level, unit.procs, metrics)
         for unit, metrics in zip(units, metrics_list)
     ]
+
+
+def resilient_locality_sweep(
+    app: str,
+    machine: MachineKind,
+    procs: Sequence[int],
+    scale: str = "paper",
+    jobs: Optional[int] = None,
+    options: Optional[RuntimeOptions] = None,
+    timeout: Optional[float] = None,
+    retries: int = 1,
+    partial: bool = False,
+) -> Tuple[List[ExperimentRow], SweepOutcome]:
+    """:func:`parallel_locality_sweep` with the hardened executor underneath.
+
+    Returns ``(rows, outcome)``: rows for every unit that completed (in
+    canonical unit order — identical to the serial rows when nothing
+    failed) plus the :class:`SweepOutcome` recording failures and pool
+    restarts.
+    """
+    units = sweep_units(app, machine, list(procs), scale, options)
+    outcome = run_units_resilient(units, jobs=jobs, timeout=timeout,
+                                  retries=retries, partial=partial)
+    rows = [
+        ExperimentRow(app, unit.machine, unit.level, unit.procs, metrics)
+        for unit, metrics in zip(units, outcome.metrics)
+        if metrics is not None
+    ]
+    return rows, outcome
 
 
 def sweep_snapshot_doc(

@@ -90,13 +90,17 @@ def run_app(
     scale: str = "paper",
     tracer=None,
     profiler=None,
+    faults=None,
 ) -> RunMetrics:
     """Build and execute one application configuration.
 
     ``tracer`` optionally attaches a :class:`~repro.sim.trace.Tracer` to
     the machine, recording the execution for export or determinism checks;
     ``profiler`` attaches a :class:`~repro.obs.ProfileCollector` (see
-    :func:`profile_app` for the assembled result).
+    :func:`profile_app` for the assembled result); ``faults`` attaches a
+    :class:`repro.faults.FaultSpec` — a fresh :class:`repro.faults.
+    FaultPlan` is built per run (plan RNG state is the run's fault
+    history), iPSC/860 only.
     """
     app = make_application(name, scale)
     program = app.build(procs, machine=machine, level=level)
@@ -105,11 +109,22 @@ def run_app(
     elif options.locality is not level:
         options = options.but(locality=level)
     if machine is MachineKind.DASH:
+        if faults is not None:
+            raise ExperimentError(
+                "fault injection models an unreliable message fabric; the "
+                "DASH machine has no message layer to perturb — use the "
+                "ipsc860 machine")
         return run_shared_memory(
             program, procs, options,
             machine=DashMachine(procs, dash_params(), tracer=tracer,
                                 profiler=profiler))
-    hw = Ipsc860Machine(procs, ipsc_params(), tracer=tracer, profiler=profiler)
+    plan = None
+    if faults is not None:
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan(faults)
+    hw = Ipsc860Machine(procs, ipsc_params(), tracer=tracer, profiler=profiler,
+                        faults=plan)
     runtime_metrics = _run_mp(program, hw, options)
     return runtime_metrics
 
@@ -124,6 +139,7 @@ def profile_app(
     tracer=None,
     interval: Optional[float] = None,
     samples: int = 50,
+    faults=None,
 ):
     """Run one configuration with the profiler attached.
 
@@ -142,7 +158,7 @@ def profile_app(
     if tracer is None:
         tracer = Tracer(enabled=True)
     metrics = run_app(name, procs, machine, level, options, scale,
-                      tracer=tracer, profiler=collector)
+                      tracer=tracer, profiler=collector, faults=faults)
     profile = build_profile(metrics, collector, interval=interval,
                             samples=samples, scale=scale, tracer=tracer)
     return metrics, profile

@@ -80,14 +80,24 @@ class Ipsc860Machine(Machine):
         sim: Optional[Simulator] = None,
         tracer: Optional[Tracer] = None,
         profiler: Optional[object] = None,
+        faults: Optional[object] = None,
     ) -> None:
         super().__init__(num_processors, sim=sim, tracer=tracer, profiler=profiler)
         self.params = params or IpscParams()
         self.cube = Hypercube(_enclosing_power_of_two(num_processors))
+        #: Optional :class:`repro.faults.FaultPlan` for this run.  The plan
+        #: is owned per-run (its RNG state is the run's fault history): the
+        #: network consults it at both message injection points, the
+        #: simulator's ``perturb`` hook routes delivery drops/delays
+        #: through it, and :meth:`compute_seconds` applies its node
+        #: slowdown/stall windows.
+        self.faults = faults
         self.network = Network(
             self.sim, self.cube, self.params.network, self.stats, self.tracer,
-            profiler=self.profiler,
+            profiler=self.profiler, faults=faults,
         )
+        if faults is not None:
+            self.sim.perturb = faults.perturb_delivery
         self.memory = MemoryMap(num_processors)
 
     # ------------------------------------------------------------------ #
@@ -100,8 +110,14 @@ class Ipsc860Machine(Machine):
         """Execution time of a task of baseline ``cost`` on ``node``.
 
         The iPSC/860 is homogeneous; the heterogeneous workstation farm
-        overrides this with per-node speed scaling.
+        overrides this with per-node speed scaling.  An installed fault
+        plan applies its node slowdown/stall windows here (evaluated at
+        submission time — a window covering the submission stretches the
+        whole task, an approximation consistent with the machine's
+        non-preemptive dispatcher).
         """
+        if self.faults is not None:
+            return self.faults.perturb_compute(node, self.sim.now, cost)
         return cost
 
     def describe(self) -> str:

@@ -82,6 +82,7 @@ class Network:
         stats: Optional[StatRegistry] = None,
         tracer: Optional[Tracer] = None,
         profiler: Optional[object] = None,
+        faults: Optional[object] = None,
     ) -> None:
         self.sim = sim
         self.cube = cube
@@ -91,6 +92,15 @@ class Network:
         #: Cached no-trace predicate (``enabled`` is fixed at construction):
         #: `_deliver` runs once per message, the hottest path in a sweep.
         self._trace_on = self.tracer.enabled
+        #: Optional :class:`repro.faults.FaultPlan` (duck-typed).  The plan
+        #: is consulted at the two injection points: tx-NIC injection
+        #: (duplication, link degradation — :meth:`FaultPlan.tx_decision`)
+        #: and rx delivery (drop, delay — the plan's ``perturb_delivery``
+        #: installed as the simulator's ``perturb`` hook).  The predicate is
+        #: cached so a fault-free run pays one ``is not None``-style check
+        #: per message and otherwise executes the exact pre-fault code path.
+        self.faults = faults
+        self._msg_faults = faults is not None and faults.perturbs_messages
         #: Optional observability collector (see :mod:`repro.obs`): records
         #: the src×dst communication matrix, in-flight message counts and
         #: NIC busy intervals.  ``None`` disables all hooks.
@@ -167,6 +177,10 @@ class Network:
                               kind, self.sim.now, delivered, on_delivered, payload)
             return delivered
 
+        if self._msg_faults:
+            return self._send_faulty(src, dst, nbytes, kind, on_delivered,
+                                     payload)
+
         if prof is not None:
             prof.on_message_sent(self.sim.now)
         delivered = Signal(self.sim, f"msg.{src}->{dst}.{kind}")
@@ -195,6 +209,72 @@ class Network:
             self._rx[dst].submit(self.recv_occupancy(nbytes), _received)
 
         self.sim.at(head_arrives, _at_destination)
+        return delivered
+
+    def _send_faulty(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        kind: str,
+        on_delivered: Optional[Callable[[Any], None]],
+        payload: Any,
+    ) -> Signal:
+        """:meth:`send` under an active fault plan.
+
+        The plan is consulted twice, matching a real NIC's failure surface:
+
+        * at **tx injection** for duplication (an extra copy follows the
+          original through the tx FIFO) and link degradation (both NICs
+          stream this message's bytes at a multiple of the normal per-byte
+          cost);
+        * at **rx delivery**, where the scheduled delivery event goes
+          through :meth:`Simulator.at_perturbed` so a drop is an ordinary
+          cancelled event and a delay an ordinary reschedule.
+
+        The returned signal fires at the *first* delivery; duplicate
+        arrivals still invoke ``on_delivered`` (and count in the stats —
+        they really crossed the wire), which is why callers facing a
+        duplicating network must deduplicate, as
+        :class:`repro.runtime.reliable.ReliableNetwork` does by sequence
+        number.
+        """
+        prof = self.profiler
+        faults = self.faults
+        if prof is not None:
+            prof.on_message_sent(self.sim.now)
+        delivered = Signal(self.sim, f"msg.{src}->{dst}.{kind}")
+        sent_at = self.sim.now
+        copies, multiplier = faults.tx_decision(sent_at, src, dst, nbytes, kind)
+        if multiplier == 1.0:
+            tx_occupancy = self.send_occupancy(nbytes)
+            rx_occupancy = self.recv_occupancy(nbytes)
+        else:
+            degraded = nbytes * self.params.per_byte * multiplier
+            tx_occupancy = self.params.alpha_send + degraded
+            rx_occupancy = degraded + self.params.alpha_recv
+        tx = self._tx[src]
+
+        def _at_destination() -> None:
+            def _received(s: float, f: float) -> None:
+                if prof is not None:
+                    prof.on_link_busy(dst, "rx", s, f - s)
+                self._deliver(src, dst, nbytes, kind, sent_at,
+                              delivered, on_delivered, payload)
+
+            self._rx[dst].submit(rx_occupancy, _received)
+
+        for _copy in range(1 + copies):
+            tx_start = max(self.sim.now, tx.busy_until)
+            if prof is None:
+                tx.submit(tx_occupancy, lambda _s, _f: None)
+            else:
+                tx.submit(tx_occupancy,
+                          lambda s, f: prof.on_link_busy(src, "tx", s, f - s))
+            head_arrives = (tx_start + self.params.alpha_send
+                            + self.flight_time(src, dst))
+            self.sim.at_perturbed(head_arrives, _at_destination,
+                                  tag=("deliver", src, dst, kind))
         return delivered
 
     def _deliver(
@@ -227,7 +307,12 @@ class Network:
                                      self.sim.now - sent_at)
         if on_delivered is not None:
             on_delivered(payload)
-        delivered.fire(payload)
+        if not delivered.fired:
+            # A fault plan can duplicate messages; the signal contract is
+            # "fired at first delivery", and later copies only re-run
+            # ``on_delivered`` (callers that need exactly-once semantics
+            # deduplicate above this layer).
+            delivered.fire(payload)
 
     # ------------------------------------------------------------------ #
     # broadcast
@@ -240,6 +325,7 @@ class Network:
         on_delivered: Optional[Callable[[int, Any], None]] = None,
         payload: Any = None,
         targets: Optional[List[int]] = None,
+        via: Optional[Callable[..., Signal]] = None,
     ) -> Signal:
         """Binomial-tree broadcast from ``root`` to ``targets`` (default: all).
 
@@ -254,7 +340,14 @@ class Network:
 
         ``on_delivered(node, payload)`` fires as each node receives the
         datum; the returned signal fires once every target has it.
+
+        ``via`` substitutes the per-edge send function (same signature as
+        :meth:`send`); :class:`repro.runtime.reliable.ReliableNetwork`
+        passes its own reliable send so the tree forwards on *confirmed*
+        deliveries — a dropped edge retransmits instead of silently
+        pruning the whole subtree.
         """
+        edge_send = via if via is not None else self.send
         done = Signal(self.sim, f"bcast.{root}.{kind}")
         nodes = list(targets) if targets is not None else list(self.cube.nodes())
         if root not in nodes:
@@ -273,7 +366,7 @@ class Network:
             while bit < n:
                 child = rank + bit
                 if child < n:
-                    sig = self.send(ranked[rank], ranked[child], nbytes, kind,
+                    sig = edge_send(ranked[rank], ranked[child], nbytes, kind,
                                     payload=payload)
 
                     def _on_child(p: Any, child: int = child, bit: int = bit) -> None:

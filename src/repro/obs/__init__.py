@@ -26,10 +26,12 @@ from repro.obs.report import render_profile
 from repro.obs.sampler import IntervalTrack, StepTrack, build_timeline, sample_grid
 from repro.obs.schema import (
     BENCH_SCHEMA,
+    CHAOS_SCHEMA,
     PROFILE_SCHEMA,
     PROFILE_SCHEMAS,
     assert_valid,
     validate_bench,
+    validate_chaos,
     validate_profile,
     validate_snapshot,
 )
@@ -61,9 +63,11 @@ __all__ = [
     "build_timeline",
     "sample_grid",
     "BENCH_SCHEMA",
+    "CHAOS_SCHEMA",
     "PROFILE_SCHEMA",
     "assert_valid",
     "validate_bench",
+    "validate_chaos",
     "validate_profile",
     "validate_snapshot",
     "bench_snapshot",

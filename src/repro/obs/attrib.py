@@ -20,7 +20,12 @@ whole app×machine matrix in the test-suite):
   ``broadcast_sends_saved == broadcast_deliveries``;
 * overlap attributions are real time found inside measured waits:
   ``0 <= latency_hiding_overlap <= task_latency_total`` and
-  ``0 <= concurrent_fetch_overlap <= object_latency_total``.
+  ``0 <= concurrent_fetch_overlap <= object_latency_total``;
+* fault/recovery counters are non-negative, zero in a fault-free run
+  (no fault plan installed ⇒ no drops, no retransmissions, no ack
+  traffic), and consistent with each other: suppressed duplicates
+  require a source (a retransmission or an injected duplicate), and
+  recovery stall requires at least one retransmission.
 """
 
 from __future__ import annotations
@@ -80,6 +85,32 @@ def verify_attribution(metrics: RunMetrics) -> List[str]:
         problems.append(
             f"concurrent_fetch_overlap({metrics.concurrent_fetch_overlap}) "
             f"exceeds object_latency_total({metrics.object_latency_total})")
+
+    # Fault / reliable-delivery reconciliation -------------------------
+    for name, value in (
+        ("messages_dropped", metrics.messages_dropped),
+        ("messages_duplicated", metrics.messages_duplicated),
+        ("retransmissions", metrics.retransmissions),
+        ("duplicates_suppressed", metrics.duplicates_suppressed),
+        ("ack_bytes", metrics.ack_bytes),
+        ("recovery_stall_us", metrics.recovery_stall_us),
+    ):
+        if value < 0:
+            problems.append(f"{name} is negative: {value}")
+    # Every suppressed arrival is an extra wire copy of a data message,
+    # and extra copies only come from the ARQ layer retransmitting or the
+    # fault plan duplicating.
+    extra_copies = metrics.retransmissions + metrics.messages_duplicated
+    if metrics.duplicates_suppressed > extra_copies:
+        problems.append(
+            f"duplicates_suppressed({metrics.duplicates_suppressed}) exceeds "
+            f"retransmissions({metrics.retransmissions}) + "
+            f"messages_duplicated({metrics.messages_duplicated})")
+    # Recovery stall is only accumulated on entries that retransmitted.
+    if metrics.recovery_stall_us > 0 and metrics.retransmissions == 0:
+        problems.append(
+            f"recovery_stall_us({metrics.recovery_stall_us}) without any "
+            "retransmissions")
     return problems
 
 
@@ -109,4 +140,15 @@ def render_attribution(metrics: RunMetrics) -> str:
                f"pushes")
     out.append(f"  concurrent-fetch overlap     {a['concurrent_fetch_overlap']:>10.6g} s")
     out.append(f"  latency-hiding overlap       {a['latency_hiding_overlap']:>10.6g} s")
+    if (metrics.messages_dropped or metrics.messages_duplicated
+            or metrics.retransmissions or metrics.duplicates_suppressed):
+        out.append(f"  faults injected              "
+                   f"{metrics.messages_dropped:>10} drops, "
+                   f"{metrics.messages_duplicated} duplicates")
+        out.append(f"  reliable delivery            "
+                   f"{metrics.retransmissions:>10} retransmissions, "
+                   f"{metrics.duplicates_suppressed} suppressed, "
+                   f"{metrics.ack_bytes:.0f} ack bytes")
+        out.append(f"  recovery stall               "
+                   f"{metrics.recovery_stall_us:>10.6g} us")
     return "\n".join(out)

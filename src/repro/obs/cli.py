@@ -36,7 +36,11 @@ def add_profile_parser(sub) -> None:
     p.add_argument("--target-tasks", type=int, default=1)
     p.add_argument("--eager-update", action="store_true")
     p.add_argument("--json", metavar="PATH", default=None,
-                   help="write the validated repro.obs/2 snapshot here")
+                   help="write the validated repro.obs/3 snapshot here")
+    p.add_argument("--max-sim-time", type=float, default=None,
+                   metavar="SECONDS",
+                   help="runaway guard: abort (exit 3) if simulated time "
+                        "would pass this limit")
     p.add_argument("--trace-out", metavar="PATH", default=None,
                    help="also record a span trace (Chrome/Perfetto JSON for "
                         "*.json, JSON Lines otherwise)")
@@ -50,20 +54,30 @@ def add_profile_parser(sub) -> None:
 
 def cmd_profile(args) -> int:
     from repro.apps import ALL_APPLICATIONS, MachineKind
-    from repro.errors import ExperimentError
+    from repro.errors import (
+        ExperimentError,
+        JadeError,
+        MachineError,
+        SimulationError,
+    )
     from repro.lab.experiments import profile_app
     from repro.obs.snapshot import write_profile_snapshot
     from repro.runtime import RuntimeOptions
     from repro.runtime.options import LocalityLevel
 
-    options = RuntimeOptions(
-        locality=LocalityLevel(args.level),
-        adaptive_broadcast=not args.no_broadcast,
-        replication=not args.no_replication,
-        concurrent_fetches=not args.serial_fetches,
-        target_tasks_per_processor=args.target_tasks,
-        eager_update=args.eager_update,
-    )
+    try:
+        options = RuntimeOptions(
+            locality=LocalityLevel(args.level),
+            adaptive_broadcast=not args.no_broadcast,
+            replication=not args.no_replication,
+            concurrent_fetches=not args.serial_fetches,
+            target_tasks_per_processor=args.target_tasks,
+            eager_update=args.eager_update,
+            max_sim_time=args.max_sim_time,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     tracer = None
     if args.trace_out:
         from repro.sim.trace import Tracer
@@ -82,6 +96,12 @@ def cmd_profile(args) -> int:
             options, args.scale, tracer=tracer,
             interval=args.sample_interval, samples=args.samples,
         )
+    except (SimulationError, JadeError, MachineError) as exc:
+        # Exit 3: the simulation itself raised (SimTimeLimitError included),
+        # as opposed to exit 2 for a malformed request.
+        print(f"error: simulation failed: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return 3
     except ExperimentError as exc:
         print(f"error: {exc}\nvalid applications: "
               f"{', '.join(sorted(ALL_APPLICATIONS))}", file=sys.stderr)

@@ -6,7 +6,7 @@ execution, task-management work (creation, assignment, dispatch,
 completion handling, protocol processing), message in-flight time, and
 object fetch waits — and walks the end-to-end critical path backward
 from the run's finish, attributing every second of elapsed time to one
-of four buckets on one processor:
+of five buckets on one processor:
 
 * ``compute`` — inside task or serial-section bodies (on DASH, the
   memory-system share of an execution span is split out using the
@@ -15,6 +15,9 @@ of four buckets on one processor:
   the Ocean and Panel Cholesky rolloffs (Figures 10/11/20/21);
 * ``communication`` — messages in flight and processors waiting on
   object fetches;
+* ``recovery`` — the reliable-delivery layer waiting out drops: the
+  retransmit spans :class:`repro.runtime.reliable.ReliableNetwork`
+  records under a fault plan (always zero in fault-free runs);
 * ``stall`` — elapsed time covered by no recorded activity (idle
   processors waiting on dependences).
 
@@ -40,8 +43,10 @@ from repro.sim.trace import Tracer
 BUCKET_COMPUTE = "compute"
 BUCKET_MGMT = "task_management"
 BUCKET_COMM = "communication"
+BUCKET_RECOVERY = "recovery"
 BUCKET_STALL = "stall"
-BUCKETS = (BUCKET_COMPUTE, BUCKET_MGMT, BUCKET_COMM, BUCKET_STALL)
+BUCKETS = (BUCKET_COMPUTE, BUCKET_MGMT, BUCKET_COMM, BUCKET_RECOVERY,
+           BUCKET_STALL)
 
 #: Tolerance for endpoint comparisons.  Simulated times are sums of
 #: microsecond-scale costs, so real span durations dwarf this.
@@ -116,7 +121,7 @@ class CriticalPath:
         return self.per_processor().get(main, {}).get(BUCKET_MGMT, 0.0)
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-safe summary for the profile snapshot (``repro.obs/2``)."""
+        """JSON-safe summary for the profile snapshot (``repro.obs/3``)."""
         totals = self.buckets()
         per_proc = [
             dict({"proc": proc}, **{b: row[b] for b in BUCKETS})
@@ -160,6 +165,9 @@ def _intervals_from_spans(tracer: Tracer) -> List[_Interval]:
                                        int(proc), f"{cat}:{label}"))
         elif cat == "object" or cat == "message":
             intervals.append(_Interval(begin.time, end.time, BUCKET_COMM,
+                                       int(proc), f"{cat}:{label}"))
+        elif cat == "recovery":
+            intervals.append(_Interval(begin.time, end.time, BUCKET_RECOVERY,
                                        int(proc), f"{cat}:{label}"))
     return intervals
 
@@ -220,8 +228,9 @@ def extract_critical_path(tracer: Tracer, elapsed: float) -> CriticalPath:
     At each step the walk attributes the interval *active* at the cursor
     (began before it, ran up to or past it), preferring the latest start —
     the tightest causal predecessor — with ties broken toward task
-    management over communication over compute so the serialized
-    main-processor story is never hidden behind an overlapping bulk span.
+    management over recovery over communication over compute so the
+    serialized main-processor story is never hidden behind an
+    overlapping bulk span.
     When nothing was active, the latest-finishing earlier interval is
     chosen and the uncovered gap becomes a ``stall`` segment charged to
     the processor that was waiting (the consumer just walked from).  The
@@ -230,7 +239,8 @@ def extract_critical_path(tracer: Tracer, elapsed: float) -> CriticalPath:
     path = CriticalPath(elapsed=elapsed)
     if elapsed <= 0:
         return path
-    bucket_rank = {BUCKET_MGMT: 3, BUCKET_COMM: 2, BUCKET_COMPUTE: 1}
+    bucket_rank = {BUCKET_MGMT: 4, BUCKET_RECOVERY: 3, BUCKET_COMM: 2,
+                   BUCKET_COMPUTE: 1}
     intervals = sorted(
         _intervals_from_spans(tracer),
         key=lambda iv: (iv.start, bucket_rank.get(iv.bucket, 0), iv.end,

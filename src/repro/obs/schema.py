@@ -1,15 +1,20 @@
 """Schema versioning and validation for machine-readable snapshots.
 
-Two document kinds are versioned:
+Three document kinds are versioned:
 
-* ``repro.obs/2`` — the full run-profile snapshot written by
+* ``repro.obs/3`` — the full run-profile snapshot written by
   ``repro profile --json`` / ``repro run --profile-json``.  Version 2
-  adds the ``metrics.attribution`` per-optimization counters and the
+  added the ``metrics.attribution`` per-optimization counters and the
   ``critical_path`` section (``null`` when the run was not traced);
-  version 1 documents are still accepted by the validator, without the
-  new requirements;
+  version 3 adds the fault/reliable-delivery counters to the
+  attribution block and the ``recovery`` critical-path bucket.  Versions
+  1 and 2 are still accepted by the validator, each against its own
+  requirements;
 * ``repro.bench/1`` — the lighter ``BENCH_*.json`` envelope the benchmark
-  suite writes around its table/figure series.
+  suite writes around its table/figure series;
+* ``repro.chaos/1`` — the verdict document ``repro chaos`` writes: the
+  fault spec, the two runs' fault/recovery counters, and the
+  coherence/determinism verdicts.
 
 The validator is hand-rolled (structural checks, no external dependency)
 so it runs in the minimal CI image; it returns a list of human-readable
@@ -22,10 +27,11 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, List
 
-PROFILE_SCHEMA = "repro.obs/2"
+PROFILE_SCHEMA = "repro.obs/3"
 #: Older profile snapshots the validator still accepts (read compatibility).
-PROFILE_SCHEMAS = ("repro.obs/1", PROFILE_SCHEMA)
+PROFILE_SCHEMAS = ("repro.obs/1", "repro.obs/2", PROFILE_SCHEMA)
 BENCH_SCHEMA = "repro.bench/1"
+CHAOS_SCHEMA = "repro.chaos/1"
 
 _RUN_KEYS = ("application", "machine", "num_processors", "options")
 _MATRIX_KEYS = ("messages", "bytes", "total_messages", "total_bytes")
@@ -37,7 +43,24 @@ _TIMELINE_KEYS = ("interval", "horizon", "samples")
 _METRIC_KEYS = ("elapsed", "tasks_executed", "total_messages", "total_bytes",
                 "broadcasts", "eager_updates", "busy_per_processor")
 _CRITICAL_KEYS = ("elapsed", "buckets", "dominant_bucket", "per_processor")
-_CRITICAL_BUCKETS = ("compute", "task_management", "communication", "stall")
+_CRITICAL_BUCKETS_V2 = ("compute", "task_management", "communication",
+                        "stall")
+_CRITICAL_BUCKETS_V3 = ("compute", "task_management", "communication",
+                        "recovery", "stall")
+#: Fault/reliable-delivery counters version 3 requires in the attribution.
+_FAULT_COUNTER_KEYS = ("messages_dropped", "retransmissions",
+                       "duplicates_suppressed", "ack_bytes",
+                       "recovery_stall_us")
+_CHAOS_KEYS = ("schema", "run", "fault_spec", "counters", "verdicts")
+_CHAOS_VERDICT_KEYS = ("coherent", "deterministic")
+
+
+def _profile_version(doc: Dict[str, Any]) -> int:
+    """Parse the integer version out of a ``repro.obs/N`` tag (0 if alien)."""
+    tag = doc.get("schema")
+    if isinstance(tag, str) and tag in PROFILE_SCHEMAS:
+        return int(tag.rsplit("/", 1)[1])
+    return 0
 
 
 def _finite(value: Any) -> bool:
@@ -54,7 +77,8 @@ def validate_profile(doc: Any) -> List[str]:
         problems.append(
             f"schema is {doc.get('schema')!r}, expected one of "
             f"{list(PROFILE_SCHEMAS)!r}")
-    v2 = doc.get("schema") == PROFILE_SCHEMA
+    version = _profile_version(doc)
+    v2 = version >= 2
 
     run = doc.get("run")
     if not isinstance(run, dict):
@@ -75,9 +99,22 @@ def validate_profile(doc: Any) -> List[str]:
             attribution = metrics.get("attribution")
             if not isinstance(attribution, dict):
                 problems.append("metrics.attribution missing (required by "
-                                f"{PROFILE_SCHEMA})")
-            elif any(not _finite(v) for v in attribution.values()):
-                problems.append("metrics.attribution has non-finite values")
+                                "repro.obs/2 and later)")
+            elif not attribution:
+                # A present-but-empty attribution block would satisfy the
+                # naive "all values finite" check vacuously; it carries no
+                # information and means the producer is broken.
+                problems.append("metrics.attribution is empty")
+            else:
+                if any(not _finite(v) for v in attribution.values()):
+                    problems.append(
+                        "metrics.attribution has non-finite values")
+                if version >= 3:
+                    for key in _FAULT_COUNTER_KEYS:
+                        if key not in attribution:
+                            problems.append(
+                                f"metrics.attribution.{key} missing "
+                                f"(required by {PROFILE_SCHEMA})")
 
     n = run.get("num_processors") if isinstance(run, dict) else None
     matrix = doc.get("comm_matrix")
@@ -158,28 +195,30 @@ def validate_profile(doc: Any) -> List[str]:
     if v2:
         if "critical_path" not in doc:
             problems.append(
-                f"critical_path missing (required by {PROFILE_SCHEMA}; "
+                "critical_path missing (required by repro.obs/2 and later; "
                 "null for untraced runs)")
         else:
             critical = doc["critical_path"]
             if critical is not None:
-                problems.extend(_validate_critical(critical))
+                problems.extend(_validate_critical(critical, version))
 
     return problems
 
 
-def _validate_critical(critical: Any) -> List[str]:
-    """Validate a non-null ``critical_path`` section of a v2 snapshot."""
+def _validate_critical(critical: Any, version: int = 2) -> List[str]:
+    """Validate a non-null ``critical_path`` section of a v2+ snapshot."""
     problems: List[str] = []
     if not isinstance(critical, dict):
         return ["critical_path is not an object"]
     for key in _CRITICAL_KEYS:
         if key not in critical:
             problems.append(f"critical_path.{key} missing")
+    expected_buckets = (_CRITICAL_BUCKETS_V3 if version >= 3
+                        else _CRITICAL_BUCKETS_V2)
     buckets = critical.get("buckets")
     if isinstance(buckets, dict):
         total = 0.0
-        for bucket in _CRITICAL_BUCKETS:
+        for bucket in expected_buckets:
             value = buckets.get(bucket)
             if not _finite(value) or value < 0:
                 problems.append(
@@ -220,10 +259,50 @@ def validate_bench(doc: Any) -> List[str]:
     return problems
 
 
+def validate_chaos(doc: Any) -> List[str]:
+    """Structurally validate a ``repro.chaos/1`` verdict document."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["snapshot is not a JSON object"]
+    if doc.get("schema") != CHAOS_SCHEMA:
+        problems.append(
+            f"schema is {doc.get('schema')!r}, expected {CHAOS_SCHEMA!r}")
+    for key in _CHAOS_KEYS:
+        if key not in doc:
+            problems.append(f"missing {key!r}")
+    run = doc.get("run")
+    if isinstance(run, dict):
+        for key in _RUN_KEYS:
+            if key not in run:
+                problems.append(f"run.{key} missing")
+    elif "run" in doc:
+        problems.append("'run' is not an object")
+    counters = doc.get("counters")
+    if isinstance(counters, dict):
+        for key in _FAULT_COUNTER_KEYS:
+            if key not in counters:
+                problems.append(f"counters.{key} missing")
+            elif not _finite(counters[key]) or counters[key] < 0:
+                problems.append(
+                    f"counters.{key} not a non-negative finite number")
+    elif "counters" in doc:
+        problems.append("'counters' is not an object")
+    verdicts = doc.get("verdicts")
+    if isinstance(verdicts, dict):
+        for key in _CHAOS_VERDICT_KEYS:
+            if not isinstance(verdicts.get(key), bool):
+                problems.append(f"verdicts.{key} missing or not a boolean")
+    elif "verdicts" in doc:
+        problems.append("'verdicts' is not an object")
+    return problems
+
+
 def validate_snapshot(doc: Any) -> List[str]:
-    """Validate either snapshot kind, dispatching on the schema tag."""
+    """Validate any snapshot kind, dispatching on the schema tag."""
     if isinstance(doc, dict) and doc.get("schema") == BENCH_SCHEMA:
         return validate_bench(doc)
+    if isinstance(doc, dict) and doc.get("schema") == CHAOS_SCHEMA:
+        return validate_chaos(doc)
     return validate_profile(doc)
 
 

@@ -86,12 +86,17 @@ class Communicator:
         machine: Ipsc860Machine,
         options: RuntimeOptions,
         metrics: RunMetrics,
+        transport: Optional[object] = None,
     ) -> None:
         self.machine = machine
         self.options = options
         self.metrics = metrics
         self.sim = machine.sim
-        self.net = machine.network
+        #: The message surface every protocol goes through.  Normally the
+        #: machine's raw network; under a message-perturbing fault plan the
+        #: runtime passes a :class:`repro.runtime.reliable.ReliableNetwork`
+        #: so request/reply/broadcast traffic survives drops.
+        self.net = transport if transport is not None else machine.network
         #: Optional :class:`repro.obs.ProfileCollector` (duck-typed);
         #: ``None`` keeps every hot-path hook disabled.
         self.prof = machine.profiler
@@ -160,7 +165,13 @@ class Communicator:
             src = self.stores[owner]
             if not src.has(obj.object_id, version):
                 raise VersionError(
-                    f"final owner {owner} of {obj.name!r} lacks version {version}"
+                    f"final owner {owner} of {obj.name!r} lacks version {version}",
+                    object_id=obj.object_id,
+                    object_name=obj.name,
+                    expected_version=version,
+                    observed_version=(src.version(obj.object_id)
+                                      if src.has(obj.object_id) else None),
+                    node=owner,
                 )
             gathered.install_copy(obj.object_id, version, src.get(obj.object_id))
         return gathered
@@ -173,7 +184,9 @@ class Communicator:
             return self._owner[(object_id, version)]
         except KeyError:
             raise VersionError(
-                f"no owner recorded for object {object_id} version {version}"
+                f"no owner recorded for object {object_id} version {version}",
+                object_id=object_id,
+                expected_version=version,
             ) from None
 
     def current_owner(self, object_id: int) -> int:
@@ -359,10 +372,16 @@ class Communicator:
         def _request_arrived(_payload) -> None:
             src_store = self.stores[owner]
             if not src_store.has(obj.object_id, version):
+                observed = (src_store.version(obj.object_id)
+                            if src_store.has(obj.object_id) else None)
                 raise VersionError(
                     f"owner {owner} lost object {obj.name!r} version {version} "
-                    f"(store has version "
-                    f"{src_store.version(obj.object_id) if src_store.has(obj.object_id) else None})"
+                    f"(store has version {observed})",
+                    object_id=obj.object_id,
+                    object_name=obj.name,
+                    expected_version=version,
+                    observed_version=observed,
+                    node=node,
                 )
             payload = src_store.export(obj.object_id)
 
@@ -444,7 +463,13 @@ class Communicator:
             src = self.stores[holder]
             if not src.has(oid, version):
                 raise VersionError(
-                    f"migration source {holder} lost object {oid} v{version}"
+                    f"migration source {holder} lost object {oid} v{version}",
+                    object_id=oid,
+                    object_name=obj.name,
+                    expected_version=version,
+                    observed_version=(src.version(oid)
+                                      if src.has(oid) else None),
+                    node=node,
                 )
             payload = src.export(oid)
             src.drop(oid)

@@ -83,7 +83,22 @@ class MessagePassingRuntime:
             options=self.options,
         )
         self.metrics.tasks_per_processor = [0] * machine.num_processors
-        self.comm = Communicator(machine, self.options, self.metrics)
+        #: The message surface the runtime and communicator send through.
+        #: With a message-perturbing fault plan installed this is a
+        #: :class:`repro.runtime.reliable.ReliableNetwork` (sequence
+        #: numbers, acks, retransmission); otherwise it is the machine's
+        #: raw network — the reliable layer is never even constructed, so
+        #: fault-free runs execute the exact pre-fault code path.
+        faults = getattr(machine, "faults", None)
+        if faults is not None and faults.perturbs_messages:
+            from repro.runtime.reliable import ReliableNetwork
+
+            self.transport = ReliableNetwork(
+                machine.network, self.sim, tracer=machine.tracer)
+        else:
+            self.transport = machine.network
+        self.comm = Communicator(machine, self.options, self.metrics,
+                                 transport=self.transport)
         self.comm.charge_cpu = self._charge_cpu
         if recorder is not None:
             for store in self.comm.stores:
@@ -115,7 +130,7 @@ class MessagePassingRuntime:
             self.sim.schedule(0.0, self._advance_main)
         else:
             self._main_done = True
-        self.sim.run()
+        self.sim.run(max_time=self.options.max_sim_time)
         if self._completed != len(self.program.tasks) or not self._main_done:
             raise DeadlockError(
                 f"message-passing run finished {self._completed}/"
@@ -128,6 +143,17 @@ class MessagePassingRuntime:
         self.metrics.total_messages = self.machine.stats.counter("net.messages").value
         self.metrics.total_bytes = self.machine.stats.accumulator("net.bytes").total
         self.metrics.busy_per_processor = [c.busy_time for c in self.cpus]
+        faults = getattr(self.machine, "faults", None)
+        if faults is not None:
+            self.metrics.messages_dropped = faults.counters["messages_dropped"]
+            self.metrics.messages_duplicated = \
+                faults.counters["messages_duplicated"]
+        if self.transport is not self.machine.network:
+            rc = self.transport.counters
+            self.metrics.retransmissions = rc["retransmissions"]
+            self.metrics.duplicates_suppressed = rc["duplicates_suppressed"]
+            self.metrics.ack_bytes = float(rc["ack_bytes"])
+            self.metrics.recovery_stall_us = rc["recovery_stall_us"]
         if not self.options.work_free:
             self.metrics.final_store = self.comm.gather_final(self.program.registry)
         return self.metrics
@@ -246,7 +272,7 @@ class MessagePassingRuntime:
             if processor == self.machine.main_processor:
                 self.sim.schedule(0.0, self._task_arrived, task, processor)
             else:
-                self.machine.network.send(
+                self.transport.send(
                     0, processor, self.machine.params.task_message_nbytes, "task",
                     on_delivered=lambda _p: self._task_arrived(task, processor),
                 )
@@ -317,7 +343,7 @@ class MessagePassingRuntime:
         if processor == self.machine.main_processor:
             self.sim.schedule(0.0, self._completion_arrived, task, processor)
         else:
-            self.machine.network.send(
+            self.transport.send(
                 processor, 0, self.machine.params.completion_nbytes, "completion",
                 on_delivered=lambda _p: self._completion_arrived(task, processor),
             )
@@ -367,7 +393,12 @@ class MessagePassingRuntime:
                             if store.has(obj.object_id) else None)
                     raise VersionError(
                         f"node {processor} executing {task.name!r}: needs "
-                        f"{obj.name!r} v{version}, store has v{have}"
+                        f"{obj.name!r} v{version}, store has v{have}",
+                        object_id=obj.object_id,
+                        object_name=obj.name,
+                        expected_version=version,
+                        observed_version=have,
+                        node=processor,
                     )
             ctx = TaskContext(task, store, processor, recorder=self.recorder)
             ctx.run_body()

@@ -102,6 +102,25 @@ class RunMetrics:
     #: CPU was executing other work — the overlap latency hiding finds.
     latency_hiding_overlap: float = 0.0
 
+    # Fault-injection / reliable-delivery accounting ---------------------
+    # Zero in every fault-free run (and absent from pre-fault snapshots):
+    # populated from the run's FaultPlan counters and the ReliableNetwork
+    # protocol counters when `repro chaos` (or any faulted run) is active.
+    #: Messages the fault plan retracted between the NICs.
+    messages_dropped: int = 0
+    #: Extra copies the fault plan injected at the tx NIC.
+    messages_duplicated: int = 0
+    #: Data retransmissions performed by the reliable-delivery layer.
+    retransmissions: int = 0
+    #: Received copies suppressed by sequence-number deduplication.
+    duplicates_suppressed: int = 0
+    #: Bytes of standalone acknowledgement messages.
+    ack_bytes: float = 0.0
+    #: Microseconds of confirm time beyond one nominal round trip, summed
+    #: over messages that needed at least one retransmission — the stall
+    #: the protocol recovered from.
+    recovery_stall_us: float = 0.0
+
     #: §5.5 accounting: Σ over object requests of (reply arrival − request
     #: send), and Σ over tasks of (last reply arrival − first request send).
     object_latency_total: float = 0.0
@@ -200,6 +219,12 @@ class RunMetrics:
             "eager_update_bytes": self.eager_update_bytes,
             "concurrent_fetch_overlap": self.concurrent_fetch_overlap,
             "latency_hiding_overlap": self.latency_hiding_overlap,
+            "messages_dropped": self.messages_dropped,
+            "messages_duplicated": self.messages_duplicated,
+            "retransmissions": self.retransmissions,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "ack_bytes": self.ack_bytes,
+            "recovery_stall_us": self.recovery_stall_us,
         }
 
     def to_json(self) -> Dict[str, object]:

@@ -59,10 +59,19 @@ class RuntimeOptions:
     #: Seed for any randomized tie-breaking (none by default; kept so
     #: experiments carry provenance in their metrics).
     seed: int = 0
+    #: Abort the run (with :class:`repro.errors.SimTimeLimitError`) if the
+    #: simulated clock would pass this many seconds — a guard against
+    #: runaway simulations (livelocked protocols, miscalibrated costs).
+    #: ``None`` disables the guard.  Deliberately *not* part of
+    #: :meth:`describe`: the guard never changes what a completing run
+    #: computes, so it must not perturb snapshot provenance strings.
+    max_sim_time: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.target_tasks_per_processor < 1:
             raise ValueError("target_tasks_per_processor must be >= 1")
+        if self.max_sim_time is not None and self.max_sim_time <= 0:
+            raise ValueError("max_sim_time must be positive when set")
 
     # Convenience derivations --------------------------------------------
     @property

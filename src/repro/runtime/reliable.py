@@ -1,0 +1,360 @@
+"""Reliable delivery layered *above* the priced network model.
+
+When a fault plan can drop, duplicate or delay messages, the Jade
+runtimes interpose a :class:`ReliableNetwork` between themselves and the
+raw :class:`repro.machines.network.Network`.  The layer implements a
+classical ARQ protocol, entirely in simulated time:
+
+* every message on a ``(src, dst)`` channel carries a **sequence
+  number**; the receiver remembers delivered sequence numbers and
+  suppresses duplicates (the network's signal contract is "fired at
+  first delivery", so retransmitted and fault-duplicated copies both
+  surface here and both are deduplicated the same way);
+* acknowledgements are **piggybacked** on reverse-channel data messages
+  when one happens to be sent within the delayed-ack window, otherwise a
+  small standalone ack message is flushed after ``ack_delay``;
+* unacknowledged messages **retransmit** on a timeout of
+  ``rto_factor ×`` the nominal round trip, with exponential backoff,
+  until a retry budget is exhausted — at which point the run aborts with
+  :class:`repro.errors.ReliabilityError` (a partition this severe has no
+  useful Jade semantics).
+
+The layering is deliberate: the raw network keeps the paper's price
+model byte-for-byte intact, and a run with no message faults never
+constructs this class at all (see
+:class:`repro.runtime.message_passing.MessagePassingRuntime`), so
+fault-free runs reproduce the paper numbers exactly.  Every protocol
+action — header bytes, ack messages, retransmitted payloads — is priced
+through the raw network, so the "retransmission tax" of a lossy fabric
+shows up in elapsed simulated time, message counts and the critical
+path (retransmit waits trace as ``recovery`` spans).
+
+Ordering: the raw network is FIFO per (src, dst) pair, but drops and
+delays can reorder deliveries and this layer does **not** resequence.
+That is safe for the Jade runtimes: object installs are version-keyed
+and idempotent, and task/completion control messages are mutually
+independent — each carries its full context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.errors import ReliabilityError
+from repro.sim.engine import Event, Signal, Simulator
+from repro.sim.trace import Tracer
+
+
+@dataclass(frozen=True)
+class ReliableParams:
+    """Protocol constants (seconds, bytes)."""
+
+    #: Sequence/ack header bytes added to every data message on the wire.
+    header_nbytes: int = 16
+    #: Bytes of a standalone ack message.
+    ack_nbytes: int = 32
+    #: Delayed-ack window: acks wait this long for a reverse-channel data
+    #: message to piggyback on before a standalone ack is flushed.
+    ack_delay: float = 100e-6
+    #: Retransmit timeout, as a multiple of the nominal confirm time
+    #: (data flight + ack delay + ack flight), floored at ``rto_min``.
+    rto_factor: float = 4.0
+    rto_min: float = 500e-6
+    #: Exponential backoff applied to the RTO per retransmission.
+    backoff: float = 2.0
+    #: Attempts before the channel is declared dead.
+    max_retries: int = 10
+
+
+class _SendEntry:
+    """Sender-side state of one in-flight message."""
+
+    __slots__ = ("seq", "nbytes", "kind", "payload", "on_delivered",
+                 "delivered", "first_send", "attempts", "timer",
+                 "nominal_confirm")
+
+    def __init__(self, seq: int, nbytes: int, kind: str, payload: Any,
+                 on_delivered: Optional[Callable[[Any], None]],
+                 delivered: Signal, first_send: float,
+                 nominal_confirm: float) -> None:
+        self.seq = seq
+        self.nbytes = nbytes
+        self.kind = kind
+        self.payload = payload
+        self.on_delivered = on_delivered
+        self.delivered = delivered
+        self.first_send = first_send
+        self.attempts = 0
+        self.timer: Optional[Event] = None
+        self.nominal_confirm = nominal_confirm
+
+
+class _SendChannel:
+    __slots__ = ("next_seq", "unacked")
+
+    def __init__(self) -> None:
+        self.next_seq = 0
+        self.unacked: Dict[int, _SendEntry] = {}
+
+
+class _RecvChannel:
+    __slots__ = ("delivered", "pending_acks", "flush_event")
+
+    def __init__(self) -> None:
+        self.delivered: Set[int] = set()
+        self.pending_acks: List[int] = []
+        self.flush_event: Optional[Event] = None
+
+
+class ReliableNetwork:
+    """ARQ wrapper presenting the raw network's send/broadcast surface.
+
+    One instance per run, created by the runtime when (and only when) the
+    installed fault plan can perturb messages.  Local (``src == dst``)
+    sends bypass the protocol — they never touch a NIC and cannot fault.
+    """
+
+    def __init__(self, net: Any, sim: Simulator,
+                 tracer: Optional[Tracer] = None,
+                 params: Optional[ReliableParams] = None) -> None:
+        self.net = net
+        self.sim = sim
+        self.params = params or ReliableParams()
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self._trace_on = self.tracer.enabled
+        self._send_channels: Dict[Tuple[int, int], _SendChannel] = {}
+        self._recv_channels: Dict[Tuple[int, int], _RecvChannel] = {}
+        #: Protocol counters, copied into :class:`repro.runtime.metrics.
+        #: RunMetrics` at the end of the run.  ``recovery_stall_us`` is the
+        #: total extra confirm time (beyond one nominal round trip) of
+        #: messages that needed at least one retransmission — the stall the
+        #: protocol *recovered from*, in microseconds of simulated time.
+        self.counters: Dict[str, Any] = {
+            "retransmissions": 0,
+            "duplicates_suppressed": 0,
+            "acks_sent": 0,
+            "ack_bytes": 0,
+            "piggybacked_acks": 0,
+            "recovery_stall_us": 0.0,
+        }
+
+    # ------------------------------------------------------------------ #
+    # raw-network surface the runtimes also use
+    # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> Any:
+        return self.net.stats
+
+    def send_occupancy(self, nbytes: int) -> float:
+        return self.net.send_occupancy(nbytes)
+
+    def recv_occupancy(self, nbytes: int) -> float:
+        return self.net.recv_occupancy(nbytes)
+
+    def flight_time(self, src: int, dst: int) -> float:
+        return self.net.flight_time(src, dst)
+
+    def point_to_point_time(self, src: int, dst: int, nbytes: int) -> float:
+        return self.net.point_to_point_time(src, dst, nbytes)
+
+    # ------------------------------------------------------------------ #
+    # channel state
+    # ------------------------------------------------------------------ #
+    def _send_channel(self, src: int, dst: int) -> _SendChannel:
+        ch = self._send_channels.get((src, dst))
+        if ch is None:
+            ch = self._send_channels[(src, dst)] = _SendChannel()
+        return ch
+
+    def _recv_channel(self, src: int, dst: int) -> _RecvChannel:
+        ch = self._recv_channels.get((src, dst))
+        if ch is None:
+            ch = self._recv_channels[(src, dst)] = _RecvChannel()
+        return ch
+
+    # ------------------------------------------------------------------ #
+    # sending
+    # ------------------------------------------------------------------ #
+    def send(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        kind: str,
+        on_delivered: Optional[Callable[[Any], None]] = None,
+        payload: Any = None,
+    ) -> Signal:
+        """Reliably deliver one message; same contract as ``Network.send``.
+
+        The returned signal fires exactly once, at the first successful
+        delivery; ``on_delivered`` likewise runs exactly once.
+        """
+        if src == dst:
+            return self.net.send(src, dst, nbytes, kind, on_delivered, payload)
+        ch = self._send_channel(src, dst)
+        seq = ch.next_seq
+        ch.next_seq += 1
+        delivered = Signal(self.sim, f"rmsg.{src}->{dst}.{kind}.{seq}")
+        p = self.params
+        nominal_confirm = (
+            self.net.point_to_point_time(src, dst, nbytes + p.header_nbytes)
+            + p.ack_delay
+            + self.net.point_to_point_time(dst, src, p.ack_nbytes)
+        )
+        entry = _SendEntry(seq, nbytes, kind, payload, on_delivered,
+                           delivered, self.sim.now, nominal_confirm)
+        ch.unacked[seq] = entry
+        self._transmit(src, dst, entry)
+        return delivered
+
+    def _transmit(self, src: int, dst: int, entry: _SendEntry) -> None:
+        """Put one attempt of ``entry`` on the wire and arm its RTO timer."""
+        p = self.params
+        # Piggyback any acks this node owes for data received from dst
+        # (the reverse channel dst->src); cancel the pending standalone
+        # flush — this data message carries them for free.
+        acks: Tuple[int, ...] = ()
+        rch = self._recv_channels.get((dst, src))
+        if rch is not None and rch.pending_acks:
+            acks = tuple(rch.pending_acks)
+            rch.pending_acks.clear()
+            if rch.flush_event is not None:
+                rch.flush_event.cancel()
+                rch.flush_event = None
+            self.counters["piggybacked_acks"] += len(acks)
+        entry.attempts += 1
+        wire = ("data", src, dst, entry.seq, acks)
+        self.net.send(src, dst, entry.nbytes + p.header_nbytes, entry.kind,
+                      on_delivered=self._data_arrived, payload=wire)
+        rto = max(p.rto_min, p.rto_factor * entry.nominal_confirm)
+        rto *= p.backoff ** (entry.attempts - 1)
+        entry.timer = self.sim.schedule(rto, self._retransmit_timeout,
+                                        src, dst, entry.seq)
+
+    def _retransmit_timeout(self, src: int, dst: int, seq: int) -> None:
+        ch = self._send_channels.get((src, dst))
+        entry = ch.unacked.get(seq) if ch is not None else None
+        if entry is None:
+            return  # acked while the (cancelled) timer entry drained
+        if entry.attempts > self.params.max_retries:
+            raise ReliabilityError(
+                f"channel {src}->{dst}: message seq={seq} "
+                f"kind={entry.kind!r} undelivered after {entry.attempts} "
+                f"attempts — retry budget exhausted, fabric presumed "
+                f"partitioned")
+        self.counters["retransmissions"] += 1
+        self._transmit(src, dst, entry)
+
+    # ------------------------------------------------------------------ #
+    # receiving
+    # ------------------------------------------------------------------ #
+    def _data_arrived(self, wire: Tuple[Any, ...]) -> None:
+        _tag, src, dst, seq, acks = wire
+        # Piggybacked acks confirm data on the reverse channel dst->src.
+        for acked in acks:
+            self._ack_received(dst, src, acked)
+        rch = self._recv_channel(src, dst)
+        if seq in rch.delivered:
+            # Retransmitted or fault-duplicated copy: suppress, but re-ack
+            # (the sender evidently has not heard the first ack).
+            self.counters["duplicates_suppressed"] += 1
+            self._queue_ack(src, dst, seq)
+            return
+        rch.delivered.add(seq)
+        self._queue_ack(src, dst, seq)
+        # Deliver upward.  Simulation runs in one address space, so the
+        # receiver side reaches the sender's entry directly; the entry is
+        # alive because it is only retired by an ack, and acks follow
+        # delivery.
+        ch = self._send_channels.get((src, dst))
+        entry = ch.unacked.get(seq) if ch is not None else None
+        if entry is None:  # pragma: no cover - protocol invariant
+            return
+        if entry.on_delivered is not None:
+            entry.on_delivered(entry.payload)
+        if not entry.delivered.fired:
+            entry.delivered.fire(entry.payload)
+
+    def _queue_ack(self, src: int, dst: int, seq: int) -> None:
+        """Owe an ack for ``seq`` on channel ``src->dst``; flush lazily."""
+        rch = self._recv_channel(src, dst)
+        rch.pending_acks.append(seq)
+        if rch.flush_event is None:
+            rch.flush_event = self.sim.schedule(
+                self.params.ack_delay, self._flush_acks, src, dst)
+
+    def _flush_acks(self, src: int, dst: int) -> None:
+        """Send a standalone ack message for channel ``src->dst``."""
+        rch = self._recv_channels.get((src, dst))
+        if rch is None:  # pragma: no cover - flush without state
+            return
+        rch.flush_event = None
+        if not rch.pending_acks:
+            return
+        acks = tuple(rch.pending_acks)
+        rch.pending_acks.clear()
+        self.counters["acks_sent"] += 1
+        self.counters["ack_bytes"] += self.params.ack_nbytes
+        wire = ("ack", src, dst, acks)
+        # The ack travels dst -> src, itself unreliably: a lost ack is
+        # recovered by the sender's retransmission and the receiver's
+        # duplicate suppression.
+        self.net.send(dst, src, self.params.ack_nbytes, "ack",
+                      on_delivered=self._ack_wire_arrived, payload=wire)
+
+    def _ack_wire_arrived(self, wire: Tuple[Any, ...]) -> None:
+        _tag, src, dst, acks = wire
+        for seq in acks:
+            self._ack_received(src, dst, seq)
+
+    def _ack_received(self, src: int, dst: int, seq: int) -> None:
+        ch = self._send_channels.get((src, dst))
+        entry = ch.unacked.pop(seq, None) if ch is not None else None
+        if entry is None:
+            return  # duplicate ack (re-acked retransmission)
+        if entry.timer is not None:
+            entry.timer.cancel()
+            entry.timer = None
+        if entry.attempts > 1:
+            stall = max(0.0, (self.sim.now - entry.first_send)
+                        - entry.nominal_confirm)
+            self.counters["recovery_stall_us"] += stall * 1e6
+            if self._trace_on and stall > 0.0:
+                self.tracer.span(entry.first_send, self.sim.now,
+                                 "recovery", "retransmit",
+                                 proc=dst, src=src, seq=seq,
+                                 attempts=entry.attempts)
+
+    # ------------------------------------------------------------------ #
+    # broadcast
+    # ------------------------------------------------------------------ #
+    def broadcast(
+        self,
+        root: int,
+        nbytes: int,
+        kind: str,
+        on_delivered: Optional[Callable[[int, Any], None]] = None,
+        payload: Any = None,
+        targets: Optional[List[int]] = None,
+    ) -> Signal:
+        """Binomial-tree broadcast with reliable tree edges.
+
+        Each edge goes through :meth:`send`, so a dropped edge retransmits
+        and the subtree below it is forwarded from the *confirmed*
+        delivery instead of being silently pruned.
+        """
+        return self.net.broadcast(root, nbytes, kind, on_delivered, payload,
+                                  targets, via=self.send)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def all_acked(self) -> bool:
+        """True when no message is awaiting acknowledgement (test hook)."""
+        return all(not ch.unacked for ch in self._send_channels.values())
+
+    def summary(self) -> Dict[str, Any]:
+        return dict(self.counters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ReliableNetwork {self.counters}>"

@@ -119,7 +119,7 @@ class SharedMemoryRuntime:
         if not self.program.tasks:
             self._main_done = True
         self._poke(0)
-        self.sim.run()
+        self.sim.run(max_time=self.options.max_sim_time)
         if self._completed != len(self.program.tasks) or not self._main_done:
             raise DeadlockError(
                 f"shared-memory run finished {self._completed}/"

@@ -28,7 +28,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, List, Optional, Tuple
 
-from repro.errors import DeadlockError, SimulationError
+from repro.errors import DeadlockError, SimTimeLimitError, SimulationError
 
 
 class Event:
@@ -101,6 +101,11 @@ class Simulator:
         #: Optional callable returning a human description of blocked work,
         #: consulted when :meth:`run` detects a stall (see :meth:`run`).
         self.deadlock_reporter: Optional[Callable[[], str]] = None
+        #: Optional fault hook: ``perturb(tag, time) -> (drop, extra_delay)``
+        #: consulted by :meth:`at_perturbed`.  Installed by a fault plan
+        #: (see :mod:`repro.faults`); ``None`` — the overwhelmingly common
+        #: case — makes :meth:`at_perturbed` behave exactly like :meth:`at`.
+        self.perturb: Optional[Callable[[Any, float], Tuple[bool, float]]] = None
 
     # ------------------------------------------------------------------ #
     # scheduling primitives
@@ -120,6 +125,29 @@ class Simulator:
         event = Event(time, self._seq, fn, args, self)
         self._seq += 1
         heapq.heappush(self._queue, event)
+        return event
+
+    def at_perturbed(self, time: float, fn: Callable[..., None], *args: Any,
+                     tag: Any = None) -> Optional[Event]:
+        """Schedule like :meth:`at`, then let the fault hook retract or delay.
+
+        The event is scheduled first and *then* perturbed, so a drop or a
+        delay is an ordinary cancellation exercising the same lazy-cancel /
+        heap-compaction machinery as any other retracted event — fault
+        injection adds no second scheduling discipline to reason about.
+        Returns the (possibly rescheduled) event, or ``None`` when the hook
+        dropped it.
+        """
+        event = self.at(time, fn, *args)
+        if self.perturb is None:
+            return event
+        drop, extra = self.perturb(tag, time)
+        if drop:
+            event.cancel()
+            return None
+        if extra > 0.0:
+            event.cancel()
+            return self.at(time + extra, fn, *args)
         return event
 
     def _note_cancelled(self) -> None:
@@ -158,7 +186,8 @@ class Simulator:
             return True
         return False
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None,
+            max_time: Optional[float] = None) -> None:
         """Run until the event queue drains (or ``until``/``max_events`` hit).
 
         With ``until``, the clock always ends at exactly ``until`` (never
@@ -170,6 +199,12 @@ class Simulator:
         events have fired, a further pending event raises
         :class:`SimulationError`, because a healthy simulation of our scale
         terminates long before any sane bound.
+
+        ``max_time`` is the user-facing runaway guard (``--max-sim-time``):
+        unlike ``until`` — which stops cleanly, expecting the caller to
+        resume — an event past ``max_time`` raises
+        :class:`SimTimeLimitError`, because the simulation was supposed to
+        have terminated by then.
         """
         fired = 0
         while True:
@@ -179,6 +214,13 @@ class Simulator:
             if until is not None and next_time > until:
                 self.now = until
                 return
+            if max_time is not None and next_time > max_time:
+                raise SimTimeLimitError(
+                    f"simulation exceeded max_sim_time={max_time:g}s: next "
+                    f"event at t={next_time:.6f} with {self.pending_events} "
+                    "still pending — runaway simulation aborted",
+                    limit=max_time, at=next_time,
+                )
             if max_events is not None and fired >= max_events:
                 raise SimulationError(
                     f"exceeded max_events={max_events}; runaway simulation?")

@@ -1,0 +1,106 @@
+"""Tests for the ``repro chaos`` command and the repro.chaos/1 schema."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.obs.schema import CHAOS_SCHEMA, validate_chaos, validate_snapshot
+
+
+def _chaos(tmp_path, *extra):
+    path = tmp_path / "chaos.json"
+    code = main(["chaos", "--app", "water", "--scale", "tiny",
+                 "--procs", "4", "--seed", "7", "--drop-rate", "0.05",
+                 "--json", str(path), *extra])
+    return code, path
+
+
+def test_chaos_run_passes_and_writes_valid_doc(tmp_path, capsys):
+    code, path = _chaos(tmp_path)
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "coherent" in out and "PASS" in out
+    doc = json.loads(path.read_text())
+    assert doc["schema"] == CHAOS_SCHEMA
+    assert validate_chaos(doc) == []
+    assert validate_snapshot(doc) == []  # dispatches on the schema tag
+    assert doc["verdicts"] == {"coherent": True, "deterministic": True}
+    assert doc["counters"]["messages_dropped"] > 0
+    assert doc["counters"]["retransmissions"] > 0
+    assert doc["fault_spec"]["drop_rate"] == 0.05
+
+
+def test_chaos_snapshots_identical_across_invocations(tmp_path, capsys):
+    (tmp_path / "a").mkdir()
+    (tmp_path / "b").mkdir()
+    code_a, path_a = _chaos(tmp_path / "a")
+    code_b, path_b = _chaos(tmp_path / "b")
+    capsys.readouterr()
+    assert code_a == 0 and code_b == 0
+    assert (tmp_path / "a" / "chaos.json").read_bytes() == \
+        (tmp_path / "b" / "chaos.json").read_bytes()
+    assert path_a != path_b  # sanity: two separate files were compared
+
+
+def test_chaos_zero_rate_plan_passes_with_zero_counters(tmp_path, capsys):
+    path = tmp_path / "quiet.json"
+    assert main(["chaos", "--app", "string", "--scale", "tiny",
+                 "--procs", "2", "--seed", "3", "--json", str(path)]) == 0
+    capsys.readouterr()
+    doc = json.loads(path.read_text())
+    assert doc["counters"]["retransmissions"] == 0
+    assert doc["counters"]["ack_bytes"] == 0
+
+
+def test_chaos_rejects_dash(capsys):
+    assert main(["chaos", "--app", "water", "--machine", "dash"]) == 2
+    assert "ipsc860" in capsys.readouterr().err
+
+
+def test_chaos_rejects_bad_rate(capsys):
+    assert main(["chaos", "--app", "water", "--drop-rate", "1.5"]) == 2
+    assert "drop_rate" in capsys.readouterr().err
+
+
+def test_chaos_sim_failure_exits_three(capsys):
+    # An impossibly tight time guard makes the simulation itself abort.
+    assert main(["chaos", "--app", "water", "--scale", "tiny",
+                 "--procs", "4", "--max-sim-time", "0.0001"]) == 3
+    assert "simulation failed" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------- #
+# schema
+# --------------------------------------------------------------------- #
+def _valid_doc():
+    return {
+        "schema": CHAOS_SCHEMA,
+        "run": {"application": "water", "machine": "ipsc860",
+                "num_processors": 4, "options": "defaults"},
+        "fault_spec": {"seed": 7, "drop_rate": 0.05},
+        "counters": {"messages_dropped": 5, "retransmissions": 13,
+                     "duplicates_suppressed": 12, "ack_bytes": 1984.0,
+                     "recovery_stall_us": 21379.7},
+        "verdicts": {"coherent": True, "deterministic": True},
+    }
+
+
+def test_validate_chaos_accepts_well_formed_doc():
+    assert validate_chaos(_valid_doc()) == []
+
+
+@pytest.mark.parametrize("mutate,needle", [
+    (lambda d: d.pop("verdicts"), "verdicts"),
+    (lambda d: d.pop("fault_spec"), "fault_spec"),
+    (lambda d: d.update(schema="repro.chaos/99"), "schema"),
+    (lambda d: d["counters"].pop("retransmissions"), "retransmissions"),
+    (lambda d: d["counters"].update(ack_bytes=-1), "ack_bytes"),
+    (lambda d: d["verdicts"].update(coherent="yes"), "coherent"),
+    (lambda d: d["run"].pop("num_processors"), "num_processors"),
+])
+def test_validate_chaos_catches_corruption(mutate, needle):
+    doc = _valid_doc()
+    mutate(doc)
+    problems = validate_chaos(doc)
+    assert problems and any(needle in p for p in problems)

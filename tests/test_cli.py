@@ -92,7 +92,7 @@ def test_profile_command(tmp_path, capsys):
     assert "communication matrix" in out
     assert "hot objects" in out
     doc = json.loads(snap.read_text())
-    assert doc["schema"] == "repro.obs/2"
+    assert doc["schema"] == "repro.obs/3"
     assert doc["comm_matrix"]["total_messages"] == \
         doc["metrics"]["total_messages"]
     chrome = json.loads(trace.read_text())
@@ -115,7 +115,7 @@ def test_run_profile_flags(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "elapsed" in out                  # the normal metrics block
     assert "communication matrix" in out     # plus the profile report
-    assert json.loads(snap.read_text())["schema"] == "repro.obs/2"
+    assert json.loads(snap.read_text())["schema"] == "repro.obs/3"
 
 
 def test_sweep_json(tmp_path, capsys):
@@ -195,7 +195,7 @@ def test_experiment_error_lists_valid_apps(cmd_name, capsys, monkeypatch):
             level="locality", no_broadcast=False, no_replication=False,
             serial_fetches=False, target_tasks=1, eager_update=False,
             work_free=False, trace_out=None, profile=False,
-            profile_json=None)
+            profile_json=None, max_sim_time=None)
     else:
         from repro.obs.cli import cmd_profile as cmd
 
@@ -203,7 +203,8 @@ def test_experiment_error_lists_valid_apps(cmd_name, capsys, monkeypatch):
             app="bogus", machine="ipsc860", scale="tiny", procs=2,
             level="locality", no_broadcast=False, no_replication=False,
             serial_fetches=False, target_tasks=1, eager_update=False,
-            json=None, trace_out=None, samples=50, sample_interval=None)
+            json=None, trace_out=None, samples=50, sample_interval=None,
+            max_sim_time=None)
     assert cmd(args) == 2
     err = capsys.readouterr().err
     assert "valid applications" in err

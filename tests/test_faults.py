@@ -1,0 +1,142 @@
+"""Tests for ``repro.faults``: specs, plans, determinism, injection."""
+
+import pytest
+
+from repro.apps import MachineKind
+from repro.errors import ExperimentError
+from repro.faults import FaultPlan, FaultSpec, NodeSlowdown, NodeStall
+from repro.lab.experiments import run_app
+from repro.obs.snapshot import dump_json
+
+
+# --------------------------------------------------------------------- #
+# spec validation
+# --------------------------------------------------------------------- #
+def test_spec_rejects_out_of_range_rates():
+    with pytest.raises(ExperimentError, match="drop_rate"):
+        FaultSpec(drop_rate=1.5)
+    with pytest.raises(ExperimentError, match="duplicate_rate"):
+        FaultSpec(duplicate_rate=-0.1)
+    with pytest.raises(ExperimentError, match="delay_us"):
+        FaultSpec(delay_rate=0.1, delay_us=-1.0)
+    with pytest.raises(ExperimentError, match="degrade_multiplier"):
+        FaultSpec(degrade_rate=0.1, degrade_multiplier=0.5)
+    with pytest.raises(ExperimentError, match="slowdown"):
+        FaultSpec(slowdowns=(NodeSlowdown(0, 2.0, 1.0, 0.5),))
+    with pytest.raises(ExperimentError, match="stall"):
+        FaultSpec(stalls=(NodeStall(0, 1.0, 1.0),))
+
+
+def test_spec_predicates_and_describe():
+    assert not FaultSpec(seed=3).perturbs_messages
+    assert not FaultSpec(seed=3).any_faults
+    assert FaultSpec(drop_rate=0.1).perturbs_messages
+    assert not FaultSpec(slowdowns=(NodeSlowdown(0, 2.0, 0.0, 1.0),)) \
+        .perturbs_messages
+    assert FaultSpec(slowdowns=(NodeSlowdown(0, 2.0, 0.0, 1.0),)).any_faults
+    described = FaultSpec(seed=7, drop_rate=0.05, duplicate_rate=0.02) \
+        .describe()
+    assert "seed=7" in described and "drop=0.05" in described
+    dump_json(FaultSpec(seed=7, drop_rate=0.05).to_json())
+
+
+# --------------------------------------------------------------------- #
+# plan determinism
+# --------------------------------------------------------------------- #
+def test_two_plans_from_one_spec_make_identical_decisions():
+    spec = FaultSpec(seed=11, drop_rate=0.3, duplicate_rate=0.2,
+                     delay_rate=0.2, degrade_rate=0.1)
+    a, b = FaultPlan(spec), FaultPlan(spec)
+    for i in range(200):
+        assert a.tx_decision(0.0, 0, 1, 64, "data") == \
+            b.tx_decision(0.0, 0, 1, 64, "data")
+        tag = ("deliver", 0, 1, "data")
+        assert a.perturb_delivery(tag, float(i)) == \
+            b.perturb_delivery(tag, float(i))
+    assert a.counters == b.counters
+
+
+def test_zero_rate_faults_consume_no_rng_draws():
+    # Enabling one fault type must not shift another type's stream: a
+    # drop-only plan and a drop+duplicate plan agree on every drop draw.
+    drop_only = FaultPlan(FaultSpec(seed=5, drop_rate=0.3))
+    with_dup = FaultPlan(FaultSpec(seed=5, drop_rate=0.3,
+                                   duplicate_rate=0.5))
+    tag = ("deliver", 1, 2, "data")
+    drops_a = [drop_only.perturb_delivery(tag, float(i))[0]
+               for i in range(100)]
+    drops_b = [with_dup.perturb_delivery(tag, float(i))[0]
+               for i in range(100)]
+    assert drops_a == drops_b
+
+
+def test_plan_ignores_unlabelled_events():
+    plan = FaultPlan(FaultSpec(seed=1, drop_rate=1.0))
+    assert plan.perturb_delivery(None, 0.0) == (False, 0.0)
+    assert plan.perturb_delivery(("compute", 3), 0.0) == (False, 0.0)
+    assert plan.counters["messages_dropped"] == 0
+
+
+def test_compute_perturbation_windows():
+    spec = FaultSpec(slowdowns=(NodeSlowdown(0, 3.0, 0.0, 1.0),),
+                     stalls=(NodeStall(1, 0.0, 2.0),))
+    plan = FaultPlan(spec)
+    assert plan.perturb_compute(0, 0.5, 1.0) == pytest.approx(3.0)
+    assert plan.perturb_compute(0, 5.0, 1.0) == pytest.approx(1.0)  # outside
+    assert plan.perturb_compute(1, 0.5, 1.0) == pytest.approx(1.0 + 1.5)
+    assert plan.perturb_compute(2, 0.5, 1.0) == pytest.approx(1.0)
+    assert plan.counters["compute_slowdowns"] == 1
+    assert plan.counters["compute_stalls"] == 1
+
+
+# --------------------------------------------------------------------- #
+# end-to-end injection
+# --------------------------------------------------------------------- #
+def test_all_zero_spec_run_is_byte_identical_to_no_spec():
+    bare = run_app("water", 4, MachineKind.IPSC860, scale="tiny")
+    zero = run_app("water", 4, MachineKind.IPSC860, scale="tiny",
+                   faults=FaultSpec(seed=7))
+    assert dump_json(zero.to_json()) == dump_json(bare.to_json())
+    assert zero.messages_dropped == 0
+    assert zero.retransmissions == 0
+
+
+def test_same_seed_faulty_runs_are_identical():
+    spec = FaultSpec(seed=7, drop_rate=0.05, duplicate_rate=0.02)
+    first = run_app("water", 4, MachineKind.IPSC860, scale="tiny",
+                    faults=spec)
+    second = run_app("water", 4, MachineKind.IPSC860, scale="tiny",
+                     faults=spec)
+    assert dump_json(first.to_json()) == dump_json(second.to_json())
+    assert first.messages_dropped > 0
+
+
+def test_fault_counters_flow_into_metrics():
+    spec = FaultSpec(seed=7, drop_rate=0.05, duplicate_rate=0.05)
+    metrics = run_app("water", 4, MachineKind.IPSC860, scale="tiny",
+                      faults=spec)
+    assert metrics.messages_dropped > 0
+    assert metrics.retransmissions > 0
+    assert metrics.ack_bytes > 0
+    attribution = metrics.attribution()
+    for key in ("messages_dropped", "messages_duplicated", "retransmissions",
+                "duplicates_suppressed", "ack_bytes", "recovery_stall_us"):
+        assert key in attribution
+
+
+def test_node_slowdown_stretches_elapsed():
+    bare = run_app("water", 4, MachineKind.IPSC860, scale="tiny")
+    slow = run_app(
+        "water", 4, MachineKind.IPSC860, scale="tiny",
+        faults=FaultSpec(slowdowns=(NodeSlowdown(0, 8.0, 0.0, 10.0),)))
+    assert slow.elapsed > bare.elapsed
+    # Node windows perturb compute pricing only — no message faults, so no
+    # reliable-delivery layer and no recovery traffic.
+    assert slow.retransmissions == 0
+    assert slow.total_messages == bare.total_messages
+
+
+def test_dash_rejects_fault_injection():
+    with pytest.raises(ExperimentError, match="DASH"):
+        run_app("water", 4, MachineKind.DASH, scale="tiny",
+                faults=FaultSpec(seed=1, drop_rate=0.1))

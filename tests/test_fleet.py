@@ -115,6 +115,139 @@ def _die_hard(_indexed):
 
 
 # --------------------------------------------------------------------- #
+# hardened executor: timeouts, pool restarts, partial mode
+# --------------------------------------------------------------------- #
+def _hang_or_fake(indexed):
+    """Worker stand-in: units named 'hang' sleep forever, others return."""
+    import time
+
+    from repro.fleet.executor import _WorkerResult
+
+    index, unit = indexed
+    if unit.app == "hang":
+        time.sleep(300)
+    return _WorkerResult(index, metrics={"unit": index})
+
+
+def _crash_once_then_fake(indexed):
+    """Worker stand-in: the 'crash' unit kills its worker exactly once.
+
+    The flag file (smuggled through the unit's ``scale`` field) makes the
+    crash transient — the retried run completes — which is exactly the
+    failure mode the pool-restart budget exists for.
+    """
+    import os
+
+    from repro.fleet.executor import _WorkerResult
+
+    index, unit = indexed
+    flag = unit.scale
+    if unit.app == "crash" and not os.path.exists(flag):
+        open(flag, "w").close()
+        os._exit(13)
+    return _WorkerResult(index, metrics={"unit": index})
+
+
+def _fake_units(apps, scale="tiny"):
+    return [SweepUnit(app, "ipsc860", "locality", index + 1, scale)
+            for index, app in enumerate(apps)]
+
+
+def test_resilient_matches_strict_when_clean():
+    from repro.fleet import run_units_resilient
+
+    units = sweep_units("water", MachineKind.IPSC860, [1, 2], "tiny")
+    strict = run_units(units, jobs=2)
+    outcome = run_units_resilient(units, jobs=2, timeout=None, retries=1,
+                                  partial=True)
+    assert outcome.ok
+    assert outcome.pool_restarts == 0
+    assert outcome.completed == len(units)
+    assert [m.to_json() for m in outcome.metrics] == \
+        [m.to_json() for m in strict]
+
+
+def test_resilient_rejects_bad_timeout_and_retries():
+    from repro.fleet import run_units_resilient
+
+    units = sweep_units("water", MachineKind.IPSC860, [1], "tiny")
+    with pytest.raises(ExperimentError, match="timeout"):
+        run_units_resilient(units, jobs=2, timeout=0.0)
+    with pytest.raises(ExperimentError, match="retries"):
+        run_units_resilient(units, jobs=2, retries=-1)
+
+
+def test_partial_records_deterministic_errors_without_aborting():
+    from repro.fleet import run_units_resilient
+
+    good = SweepUnit("water", "ipsc860", "locality", 1, "tiny")
+    bad = SweepUnit("no-such-app", "ipsc860", "locality", 2, "tiny")
+    outcome = run_units_resilient([good, bad], jobs=1, partial=True)
+    assert not outcome.ok
+    assert outcome.completed == 1
+    assert outcome.metrics[0] is not None and outcome.metrics[1] is None
+    failure = outcome.failures[0]
+    assert failure.index == 1 and failure.reason == "error"
+    assert "no-such-app" in failure.detail
+    assert "no-such-app" in failure.describe()
+
+
+@pytest.mark.skipif(not _HAS_FORK, reason="worker-control tests rely on fork")
+def test_hung_worker_times_out_and_partial_keeps_the_rest(monkeypatch):
+    from repro.fleet import executor
+
+    monkeypatch.setattr(executor, "_run_unit", _hang_or_fake)
+    units = _fake_units(["ok", "hang", "ok"])
+    outcome = executor.run_units_resilient(units, jobs=2, timeout=2.0,
+                                           retries=0, partial=True)
+    assert not outcome.ok
+    assert [f.reason for f in outcome.failures] == ["timeout"]
+    assert outcome.failures[0].index == 1
+    assert outcome.metrics[0] == {"unit": 0}
+    assert outcome.metrics[1] is None
+    assert outcome.metrics[2] == {"unit": 2}
+
+
+@pytest.mark.skipif(not _HAS_FORK, reason="worker-control tests rely on fork")
+def test_hung_worker_aborts_strict_sweep_with_clean_error(monkeypatch):
+    from repro.fleet import executor
+
+    monkeypatch.setattr(executor, "_run_unit", _hang_or_fake)
+    units = _fake_units(["hang", "ok"])
+    with pytest.raises(ExperimentError, match="timed out"):
+        executor.run_units_resilient(units, jobs=2, timeout=1.0, retries=0)
+
+
+@pytest.mark.skipif(not _HAS_FORK, reason="worker-control tests rely on fork")
+def test_pool_restart_recovers_from_transient_worker_death(
+        monkeypatch, tmp_path):
+    from repro.fleet import executor
+
+    monkeypatch.setattr(executor, "_run_unit", _crash_once_then_fake)
+    flag = str(tmp_path / "crashed-once")
+    units = _fake_units(["ok", "crash", "ok"], scale=flag)
+    outcome = executor.run_units_resilient(units, jobs=2, retries=1,
+                                           partial=False)
+    assert outcome.ok
+    assert outcome.pool_restarts == 1
+    assert outcome.metrics == [{"unit": 0}, {"unit": 1}, {"unit": 2}]
+
+
+@pytest.mark.skipif(not _HAS_FORK, reason="worker-control tests rely on fork")
+def test_pool_death_past_budget_partial_reports_lost_units(monkeypatch):
+    from repro.fleet import executor
+
+    monkeypatch.setattr(executor, "_run_unit", _die_hard)
+    units = sweep_units("water", MachineKind.IPSC860, [1, 2], "tiny")
+    outcome = executor.run_units_resilient(units, jobs=2, retries=0,
+                                           partial=True)
+    assert not outcome.ok
+    assert outcome.completed == 0
+    assert outcome.failures and \
+        all(f.reason == "pool" for f in outcome.failures)
+
+
+# --------------------------------------------------------------------- #
 # CLI integration
 # --------------------------------------------------------------------- #
 def test_cli_sweep_parallel_snapshot_byte_identical(tmp_path, capsys):
@@ -134,3 +267,35 @@ def test_cli_sweep_rejects_bad_jobs(capsys):
     assert main(["sweep", "--app", "water", "--scale", "tiny",
                  "--procs", "1", "--jobs", "0"]) == 2
     assert "--jobs" in capsys.readouterr().err
+
+
+def test_cli_sweep_rejects_bad_timeout_and_retries(capsys):
+    assert main(["sweep", "--app", "water", "--scale", "tiny",
+                 "--procs", "1", "--timeout", "-1"]) == 2
+    assert "--timeout" in capsys.readouterr().err
+    assert main(["sweep", "--app", "water", "--scale", "tiny",
+                 "--procs", "1", "--retries", "-1"]) == 2
+    assert "--retries" in capsys.readouterr().err
+
+
+def test_cli_sweep_partial_reports_failures_and_exits_one(capsys, monkeypatch):
+    # Force a deterministic in-unit failure by hiding an application from
+    # the worker; partial mode must keep the other rows and exit 1.
+    from repro.fleet import executor
+
+    real = executor._run_unit
+
+    def fail_no_locality(indexed):
+        index, unit = indexed
+        if unit.level == "no_locality":
+            from repro.fleet.executor import _WorkerResult
+            return _WorkerResult(index, error="Boom: synthetic failure",
+                                 trace="")
+        return real(indexed)
+
+    monkeypatch.setattr(executor, "_run_unit", fail_no_locality)
+    assert main(["sweep", "--app", "water", "--scale", "tiny",
+                 "--procs", "1", "--jobs", "1", "--partial"]) == 1
+    captured = capsys.readouterr()
+    assert "sweep degraded" in captured.out
+    assert "synthetic failure" in captured.err

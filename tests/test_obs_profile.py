@@ -1,6 +1,8 @@
 """Tests for the run profiler: reconciliation invariants, zero overhead,
 and determinism of profiled runs."""
 
+import json
+
 import pytest
 
 from repro.apps import MachineKind
@@ -166,7 +168,7 @@ def test_snapshot_validates_and_serializes():
     doc = profile.to_dict()
     assert validate_profile(doc) == []
     text = dump_json(doc)  # allow_nan=False: raises on Infinity/NaN
-    assert '"schema": "repro.obs/2"' in text
+    assert '"schema": "repro.obs/3"' in text
 
 
 def test_snapshot_validator_catches_corruption():
@@ -174,6 +176,56 @@ def test_snapshot_validator_catches_corruption():
     doc = profile.to_dict()
     doc["comm_matrix"]["total_messages"] += 1
     assert any("total_messages" in p for p in validate_profile(doc))
+
+
+# --------------------------------------------------------------------- #
+# schema version compatibility (repro.obs/1..3)
+# --------------------------------------------------------------------- #
+def test_older_schema_versions_still_validate():
+    _metrics, profile = _ipsc()
+    doc = profile.to_dict()
+    assert validate_profile(doc) == []
+
+    # A v2 document has no fault counters and a 4-bucket critical path.
+    v2 = json.loads(dump_json(doc))
+    v2["schema"] = "repro.obs/2"
+    for key in ("messages_dropped", "messages_duplicated", "retransmissions",
+                "duplicates_suppressed", "ack_bytes", "recovery_stall_us"):
+        v2["metrics"]["attribution"].pop(key)
+    v2["critical_path"]["buckets"].pop("recovery")
+    assert validate_profile(v2) == []
+
+    # A v1 document predates attribution and the critical path entirely.
+    v1 = json.loads(dump_json(doc))
+    v1["schema"] = "repro.obs/1"
+    del v1["metrics"]["attribution"]
+    del v1["critical_path"]
+    assert validate_profile(v1) == []
+
+
+def test_v3_requires_fault_counters_in_attribution():
+    _metrics, profile = _ipsc()
+    doc = profile.to_dict()
+    doc["metrics"]["attribution"].pop("retransmissions")
+    assert any("retransmissions" in p for p in validate_profile(doc))
+
+
+def test_v3_requires_recovery_bucket():
+    _metrics, profile = _ipsc()
+    doc = profile.to_dict()
+    doc["critical_path"]["buckets"].pop("recovery")
+    assert any("recovery" in p for p in validate_profile(doc))
+
+
+def test_present_but_empty_attribution_is_rejected():
+    _metrics, profile = _ipsc()
+    doc = profile.to_dict()
+    doc["metrics"]["attribution"] = {}
+    problems = validate_profile(doc)
+    assert any("attribution is empty" in p for p in problems)
+    # The same hole exists in v2 documents — the fix applies there too.
+    doc["schema"] = "repro.obs/2"
+    assert any("attribution is empty" in p for p in validate_profile(doc))
 
 
 def test_report_renders_for_both_machines():

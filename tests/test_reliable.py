@@ -1,0 +1,174 @@
+"""Unit tests for the ARQ reliable-delivery layer over a faulty network."""
+
+import pytest
+
+from repro.apps import MachineKind
+from repro.errors import ReliabilityError
+from repro.faults import FaultPlan, FaultSpec
+from repro.lab.experiments import profile_app, run_app
+from repro.machines import Hypercube, Network
+from repro.machines.network import NetworkParams
+from repro.obs.attrib import verify_attribution
+from repro.obs.schema import validate_profile
+from repro.runtime.reliable import ReliableNetwork, ReliableParams
+from repro.sim import Simulator
+
+
+def make_reliable(size=8, spec=None, params=None):
+    sim = Simulator()
+    plan = FaultPlan(spec) if spec is not None else None
+    net = Network(sim, Hypercube(size), NetworkParams(), faults=plan)
+    if plan is not None:
+        sim.perturb = plan.perturb_delivery
+    return sim, net, ReliableNetwork(net, sim, params=params)
+
+
+# --------------------------------------------------------------------- #
+# clean channel
+# --------------------------------------------------------------------- #
+def test_clean_channel_delivers_once_and_acks():
+    sim, _net, rel = make_reliable()
+    got = []
+    signal = rel.send(0, 1, 1000, "data", on_delivered=got.append,
+                      payload="hello")
+    sim.run()
+    assert got == ["hello"]
+    assert signal.fired
+    assert rel.all_acked
+    assert rel.counters["retransmissions"] == 0
+    assert rel.counters["acks_sent"] == 1
+    assert rel.counters["recovery_stall_us"] == 0.0
+
+
+def test_headers_and_acks_are_priced_on_the_raw_network():
+    sim, net, rel = make_reliable()
+    rel.send(0, 1, 1000, "data")
+    sim.run()
+    p = rel.params
+    # One data message (payload + header) plus one standalone ack.
+    assert net.stats.counter("net.messages").value == 2
+    assert net.stats.accumulator("net.bytes").total == \
+        1000 + p.header_nbytes + p.ack_nbytes
+    assert sim.now > net.point_to_point_time(0, 1, 1000)
+
+
+def test_local_send_bypasses_the_protocol():
+    sim, net, rel = make_reliable()
+    got = []
+    rel.send(3, 3, 1000, "data", on_delivered=got.append, payload="x")
+    sim.run()
+    assert got == ["x"]
+    # Passed straight to the raw network: no header bytes, no ack message.
+    assert net.stats.counter("net.messages").value == 1
+    assert net.stats.accumulator("net.bytes").total == 1000
+    assert rel.counters["acks_sent"] == 0
+    assert not rel._send_channels
+
+
+def test_acks_piggyback_on_reverse_traffic():
+    sim, _net, rel = make_reliable()
+    # 1 receives data from 0, then immediately has data for 0: the ack
+    # should ride on the reverse data message, not a standalone ack.
+    rel.send(0, 1, 500, "data",
+             on_delivered=lambda _p: rel.send(1, 0, 500, "reply"))
+    sim.run()
+    assert rel.counters["piggybacked_acks"] >= 1
+    assert rel.all_acked
+
+
+# --------------------------------------------------------------------- #
+# lossy channel
+# --------------------------------------------------------------------- #
+def test_dropped_message_retransmits_until_delivered():
+    # Drops hit acks too, so the effective per-attempt confirm probability
+    # is (1-rate)^2 — 0.3 keeps an 11-attempt budget safe while still
+    # forcing plenty of retransmissions across 10 messages.
+    sim, _net, rel = make_reliable(spec=FaultSpec(seed=3, drop_rate=0.3))
+    delivered = []
+    for i in range(10):
+        rel.send(0, 1, 256, "data", on_delivered=delivered.append, payload=i)
+    sim.run()
+    assert sorted(delivered) == list(range(10))
+    assert rel.all_acked
+    assert rel.counters["retransmissions"] > 0
+    assert rel.counters["recovery_stall_us"] > 0.0
+
+
+def test_duplicated_copies_are_suppressed():
+    sim, _net, rel = make_reliable(
+        spec=FaultSpec(seed=5, duplicate_rate=1.0))
+    delivered = []
+    for i in range(5):
+        rel.send(0, 1, 256, "data", on_delivered=delivered.append, payload=i)
+    sim.run()
+    # Every message was duplicated in the fabric, yet each delivers once.
+    assert sorted(delivered) == list(range(5))
+    assert rel.counters["duplicates_suppressed"] >= 5
+
+
+def test_signal_fires_exactly_once_under_faults():
+    sim, _net, rel = make_reliable(
+        spec=FaultSpec(seed=9, drop_rate=0.4, duplicate_rate=0.4))
+    fired = []
+    for i in range(8):
+        rel.send(0, 2, 128, "data").wait(lambda p, i=i: fired.append(i))
+    sim.run()
+    assert sorted(fired) == list(range(8))
+
+
+def test_total_loss_exhausts_retry_budget():
+    sim, _net, rel = make_reliable(
+        spec=FaultSpec(seed=1, drop_rate=1.0),
+        params=ReliableParams(max_retries=3))
+    rel.send(0, 1, 256, "data")
+    with pytest.raises(ReliabilityError, match="retry budget exhausted"):
+        sim.run()
+
+
+def test_broadcast_survives_drops():
+    sim, _net, rel = make_reliable(size=8,
+                                   spec=FaultSpec(seed=4, drop_rate=0.3))
+    arrived = []
+    rel.broadcast(0, 2048, "object",
+                  on_delivered=lambda node, _p: arrived.append(node))
+    sim.run()
+    assert sorted(arrived) == list(range(1, 8))
+
+
+# --------------------------------------------------------------------- #
+# end-to-end accounting
+# --------------------------------------------------------------------- #
+def test_attribution_invariants_hold_under_faults():
+    metrics = run_app("water", 4, MachineKind.IPSC860, scale="tiny",
+                      faults=FaultSpec(seed=7, drop_rate=0.05,
+                                       duplicate_rate=0.02))
+    assert verify_attribution(metrics) == []
+    assert metrics.duplicates_suppressed <= \
+        metrics.retransmissions + metrics.messages_duplicated
+
+
+def test_profile_under_faults_validates_and_has_recovery_bucket():
+    metrics, profile = profile_app("water", 4, MachineKind.IPSC860,
+                                   scale="tiny",
+                                   faults=FaultSpec(seed=7, drop_rate=0.05))
+    doc = profile.to_dict()
+    assert validate_profile(doc) == []
+    buckets = doc["critical_path"]["buckets"]
+    assert "recovery" in buckets
+    assert metrics.retransmissions > 0
+    for key in ("messages_dropped", "retransmissions", "ack_bytes"):
+        assert key in doc["metrics"]["attribution"]
+
+
+def test_faulty_run_still_matches_fault_free_results():
+    clean = run_app("string", 4, MachineKind.IPSC860, scale="tiny")
+    faulty = run_app("string", 4, MachineKind.IPSC860, scale="tiny",
+                     faults=FaultSpec(seed=13, drop_rate=0.05,
+                                      duplicate_rate=0.02, delay_rate=0.05))
+    ids = clean.final_store.object_ids()
+    assert faulty.final_store.object_ids() == ids
+    import numpy as np
+
+    for oid in ids:
+        assert np.array_equal(clean.final_store.get(oid),
+                              faulty.final_store.get(oid)), oid
