@@ -1,0 +1,76 @@
+"""repro.serve baseline: content-addressed cache hit vs fresh execution.
+
+The serve subsystem's scaling story is that repeat traffic costs a
+dictionary lookup instead of a simulation.  This benchmark measures the
+gap for one representative run request:
+
+* **fresh_wall_s** — ``submit`` with a cold cache (executes the
+  simulation and stores the result document);
+* **hit_wall_s** — the same request resubmitted against the warm cache
+  (mean over many repetitions; single hits are too fast to time well);
+* **speedup** — fresh over hit; asserted > 10x, conservatively — the
+  real factor is orders of magnitude larger;
+* byte-identity of the cached document against an independent fresh
+  computation is asserted, not just measured.
+"""
+
+import json
+import os
+import time
+
+from repro.obs.schema import validate_snapshot
+from repro.serve import ResultCache, RunRequest, submit
+
+from _support import once, show, snapshot
+
+HIT_REPS = 200
+
+
+def _bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "paper")
+
+
+def test_serve_cache_hit_vs_fresh(benchmark):
+    scale = _bench_scale()
+    request = RunRequest(app="water", machine="ipsc860", scale=scale,
+                         procs=8)
+
+    def measure():
+        cache = ResultCache()
+        start = time.perf_counter()
+        first = submit(request, cache=cache)
+        fresh_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        for _ in range(HIT_REPS):
+            hit = submit(request, cache=cache)
+        hit_wall = (time.perf_counter() - start) / HIT_REPS
+        return cache, first, hit, fresh_wall, hit_wall
+
+    cache, first, hit, fresh_wall, hit_wall = once(benchmark, measure)
+
+    # Soundness before speed: the hit is byte-identical to an independent
+    # fresh computation, and the document validates.
+    assert not first.cache_hit and hit.cache_hit
+    assert hit.text == first.text == submit(request).text
+    assert validate_snapshot(json.loads(hit.text)) == []
+    assert cache.counters()["hits"] == HIT_REPS
+
+    speedup = fresh_wall / hit_wall if hit_wall > 0 else float("inf")
+    show(f"serve cache: {request.describe()}\n"
+         f"  fresh     {fresh_wall * 1e3:10.2f} ms\n"
+         f"  cache hit {hit_wall * 1e6:10.2f} us (mean of {HIT_REPS})\n"
+         f"  speedup   {speedup:10.0f}x")
+    snapshot(
+        "serve_cache",
+        {
+            "fresh_wall_s": fresh_wall,
+            "hit_wall_s": hit_wall,
+            "speedup": speedup,
+            "result_bytes": len(first.text),
+        },
+        meta={"request": request.to_json(),
+              "cache_key": first.cache_key, "hit_reps": HIT_REPS},
+    )
+    assert speedup > 10, (
+        f"cache hit speedup {speedup:.1f}x <= 10x "
+        f"(fresh {fresh_wall:.3f}s, hit {hit_wall:.6f}s)")

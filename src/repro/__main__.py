@@ -12,10 +12,16 @@ Commands
 ``analyze``    static concurrency analysis of an application's program
 ``check``      validate access specs, detect races, verify determinism
 ``describe``   list applications, machines, optimization switches
+``serve``      run the HTTP job server (async queue + result cache)
 
 Exit codes: 0 success, 1 a verification/regression failed, 2 bad
 arguments or configuration, 3 the simulation itself raised (coherence
 violation, deadlock, exhausted retry budget, ``--max-sim-time`` guard).
+
+The handlers here are thin: the experiment logic lives behind the frozen
+request types of :mod:`repro.serve` (``RunRequest``/``SweepRequest``/
+``ChaosRequest`` + :mod:`repro.serve.api`), which the HTTP service
+executes through the same code path.
 """
 
 from __future__ import annotations
@@ -27,11 +33,9 @@ from repro.apps import ALL_APPLICATIONS, MachineKind
 from repro.lab import (
     PAPER_PROCS,
     levels_for,
-    locality_sweep,
     make_application,
     render_table,
     rows_to_series,
-    run_app,
 )
 from repro.errors import (
     ExperimentError,
@@ -40,8 +44,6 @@ from repro.errors import (
     SimulationError,
 )
 from repro.lab.analysis import summarize
-from repro.runtime import RuntimeOptions
-from repro.runtime.options import LocalityLevel
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -52,18 +54,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 
 def cmd_run(args) -> int:
+    from repro.serve import api
+    from repro.serve.requests import run_request_from_args
+
     try:
-        options = RuntimeOptions(
-            locality=LocalityLevel(args.level),
-            adaptive_broadcast=not args.no_broadcast,
-            replication=not args.no_replication,
-            concurrent_fetches=not args.serial_fetches,
-            target_tasks_per_processor=args.target_tasks,
-            eager_update=args.eager_update,
-            work_free=args.work_free,
-            max_sim_time=args.max_sim_time,
-        )
-    except ValueError as exc:
+        request = run_request_from_args(args)
+    except ExperimentError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     tracer = None
@@ -82,16 +78,10 @@ def cmd_run(args) -> int:
     want_profile = args.profile or args.profile_json
     try:
         if want_profile:
-            from repro.lab.experiments import profile_app
-
-            metrics, profile = profile_app(
-                args.app, args.procs, MachineKind(args.machine),
-                options.locality, options, args.scale, tracer=tracer)
+            metrics, profile = api.profile_metrics(request, tracer=tracer)
         else:
             profile = None
-            metrics = run_app(args.app, args.procs, MachineKind(args.machine),
-                              options.locality, options, args.scale,
-                              tracer=tracer)
+            metrics = api.run_metrics(request, tracer=tracer)
     except (SimulationError, JadeError, MachineError) as exc:
         # SimTimeLimitError lands here too (it is a SimulationError first):
         # exit 3 means the simulation itself raised, not that the request
@@ -104,7 +94,7 @@ def cmd_run(args) -> int:
               f"{', '.join(sorted(ALL_APPLICATIONS))}", file=sys.stderr)
         return 2
     print(f"{args.app} on {args.machine}, {args.procs} processors "
-          f"[{options.describe()}]")
+          f"[{request.options().describe()}]")
     for key, value in metrics.summary().items():
         print(f"  {key:<14} {value:.6g}")
     if tracer is not None:
@@ -128,7 +118,10 @@ def cmd_run(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    from repro.fleet import default_jobs, resilient_locality_sweep
+    from repro.fleet import default_jobs
+    from repro.lab import locality_sweep
+    from repro.serve import api
+    from repro.serve.requests import SweepRequest
 
     machine = MachineKind(args.machine)
     procs = args.procs or PAPER_PROCS
@@ -146,11 +139,13 @@ def cmd_sweep(args) -> int:
         return 2
     outcome = None
     try:
+        request = SweepRequest(app=args.app, machine=args.machine,
+                               scale=args.scale, procs=tuple(procs))
         if jobs > 1 or args.partial:
-            rows, outcome = resilient_locality_sweep(
-                args.app, machine, procs, args.scale, jobs=jobs,
-                timeout=args.timeout, retries=args.retries,
-                partial=args.partial)
+            policy = api.ExecutionPolicy(jobs=jobs, timeout=args.timeout,
+                                         retries=args.retries)
+            rows, outcome = api.sweep_rows(request, policy,
+                                           partial=args.partial)
         else:
             rows = locality_sweep(args.app, machine, procs, args.scale)
     except ExperimentError as exc:
@@ -204,7 +199,14 @@ def cmd_analyze(args) -> int:
     return 0
 
 
-def cmd_describe(_args) -> int:
+def cmd_describe(args) -> int:
+    if getattr(args, "json", False):
+        from repro.serve.api import describe_catalog
+        from repro.util.canon import canonical_json
+
+        # The exact catalog the service returns from GET /v1/describe.
+        print(canonical_json(describe_catalog(), indent=2))
+        return 0
     print("applications:")
     for name in sorted(ALL_APPLICATIONS):
         app = make_application(name, "tiny")
@@ -221,6 +223,8 @@ def cmd_describe(_args) -> int:
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
+
+    from repro.runtime.options import LocalityLevel
 
     run_p = sub.add_parser("run", help="execute one configuration")
     _add_common(run_p)
@@ -278,13 +282,18 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.faults.cli import add_chaos_parser
     from repro.obs.benchdiff import add_benchdiff_parser
     from repro.obs.cli import add_profile_parser
+    from repro.serve.cli import add_serve_parser
 
     add_check_parser(sub)
     add_profile_parser(sub)
     add_benchdiff_parser(sub)
     add_chaos_parser(sub)
+    add_serve_parser(sub)
 
     de_p = sub.add_parser("describe", help="list apps/machines/switches")
+    de_p.add_argument("--json", action="store_true",
+                      help="emit the machine-readable catalog (identical to "
+                           "the service's GET /v1/describe)")
     de_p.set_defaults(func=cmd_describe)
     return parser
 

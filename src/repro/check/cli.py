@@ -10,6 +10,12 @@ Runs the full verification stack for one application:
 
 Exit status is 0 only when every stage is clean — so the command doubles
 as a validity control in scripts and CI.
+
+``--snapshot PATH`` is a separate mode: validate an on-disk snapshot
+document (any schema :mod:`repro.obs.schema` knows — ``repro.obs/3``,
+``repro.bench/1``, ``repro.sweep/1``, ``repro.chaos/1``,
+``repro.serve/1``) instead of running an application.  CI uses it to
+check the documents the service returns.
 """
 
 from __future__ import annotations
@@ -32,8 +38,12 @@ def add_check_parser(sub) -> None:
         "check",
         help="validate access specs, detect races, verify determinism",
     )
-    parser.add_argument("--app", required=True,
+    parser.add_argument("--app", required=False, default=None,
                         choices=checkable_applications())
+    parser.add_argument("--snapshot", metavar="PATH", default=None,
+                        help="validate a snapshot document (repro.obs/3, "
+                             "repro.bench/1, repro.sweep/1, repro.chaos/1 "
+                             "or repro.serve/1) instead of checking an app")
     parser.add_argument("--machine", default="both",
                         choices=["dash", "ipsc860", "both"])
     parser.add_argument("--procs", type=int, default=4)
@@ -46,7 +56,43 @@ def add_check_parser(sub) -> None:
     parser.set_defaults(func=cmd_check)
 
 
+def _check_snapshot(path: str) -> int:
+    import json
+    import sys
+
+    from repro.obs.schema import validate_snapshot
+
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        print(f"error: cannot read snapshot {path}: {exc}", file=sys.stderr)
+        return 2
+    except json.JSONDecodeError as exc:
+        print(f"error: snapshot {path} is not JSON: {exc}", file=sys.stderr)
+        return 2
+    problems = validate_snapshot(doc)
+    if problems:
+        print(f"check[snapshot {path}]: FAILED "
+              f"({len(problems)} problem(s))")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    schema = doc.get("schema", "?")
+    print(f"check[snapshot {path}]: OK ({schema})")
+    return 0
+
+
 def cmd_check(args) -> int:
+    import sys
+
+    if args.snapshot is not None:
+        return _check_snapshot(args.snapshot)
+    if args.app is None:
+        print("error: repro check needs --app (verify an application) or "
+              "--snapshot PATH (validate a snapshot document)",
+              file=sys.stderr)
+        return 2
     machines = ["dash", "ipsc860"] if args.machine == "both" else [args.machine]
     failed = False
 

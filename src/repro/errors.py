@@ -133,3 +133,25 @@ class ReliabilityError(MachineError):
     message; rather than retransmit forever the sender gives up after its
     budget and surfaces the unreachable channel.
     """
+
+
+#: The CLI / service exit-code taxonomy (see ``repro --help``):
+#: 0 success, 1 a verification or regression failed, 2 bad arguments or
+#: configuration, 3 the simulation itself raised.
+EXIT_VERIFICATION_FAILED = 1
+EXIT_BAD_REQUEST = 2
+EXIT_SIMULATION_RAISED = 3
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """Map an exception onto the uniform exit-code taxonomy.
+
+    The simulation-raised class is checked first so that
+    :class:`SimTimeLimitError` (both a :class:`SimulationError` and an
+    :class:`ExperimentError`) reports 3, matching every CLI handler.
+    """
+    if isinstance(exc, (SimulationError, JadeError, MachineError)):
+        return EXIT_SIMULATION_RAISED
+    if isinstance(exc, ReproError):
+        return EXIT_BAD_REQUEST
+    return EXIT_SIMULATION_RAISED

@@ -20,8 +20,6 @@ from __future__ import annotations
 
 import sys
 
-import numpy as np
-
 
 def add_chaos_parser(sub) -> None:
     """Register the ``chaos`` subcommand on an argparse subparsers object."""
@@ -58,43 +56,7 @@ def add_chaos_parser(sub) -> None:
     p.set_defaults(func=cmd_chaos)
 
 
-def _stores_match(a, b) -> bool:
-    """Bit-identical final shared-object state across two runs."""
-    if a is None or b is None:
-        return False
-    ids_a, ids_b = a.object_ids(), b.object_ids()
-    if ids_a != ids_b:
-        return False
-    return all(np.array_equal(a.get(oid), b.get(oid)) for oid in ids_a)
-
-
-def _chaos_doc(args, spec, metrics, options, verdicts) -> dict:
-    from repro.obs.schema import CHAOS_SCHEMA
-
-    return {
-        "schema": CHAOS_SCHEMA,
-        "run": {
-            "application": args.app,
-            "machine": args.machine,
-            "num_processors": args.procs,
-            "scale": args.scale,
-            "options": options.describe(),
-        },
-        "fault_spec": spec.to_json(),
-        "counters": {
-            "messages_dropped": metrics.messages_dropped,
-            "messages_duplicated": metrics.messages_duplicated,
-            "retransmissions": metrics.retransmissions,
-            "duplicates_suppressed": metrics.duplicates_suppressed,
-            "ack_bytes": metrics.ack_bytes,
-            "recovery_stall_us": metrics.recovery_stall_us,
-        },
-        "verdicts": dict(verdicts),
-    }
-
-
 def cmd_chaos(args) -> int:
-    from repro.apps import MachineKind
     from repro.errors import (
         ExperimentError,
         JadeError,
@@ -102,10 +64,9 @@ def cmd_chaos(args) -> int:
         SimulationError,
     )
     from repro.faults import FaultSpec
-    from repro.lab.experiments import run_app
-    from repro.obs.schema import assert_valid
     from repro.obs.snapshot import dump_json
-    from repro.runtime import RuntimeOptions
+    from repro.serve.api import chaos_verdict
+    from repro.serve.requests import ChaosRequest
 
     if args.machine != "ipsc860":
         print("error: repro chaos requires --machine ipsc860 — fault "
@@ -122,19 +83,17 @@ def cmd_chaos(args) -> int:
             degrade_rate=args.degrade_rate,
             degrade_multiplier=args.degrade_multiplier,
         )
-        options = RuntimeOptions(max_sim_time=args.max_sim_time)
+        request = ChaosRequest(app=args.app, procs=args.procs,
+                               scale=args.scale, faults=spec,
+                               max_sim_time=args.max_sim_time)
     except ExperimentError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    def one_run(faults):
-        return run_app(args.app, args.procs, MachineKind(args.machine),
-                       options.locality, options, args.scale, faults=faults)
-
+    # The shared executor: the same three-run verification the service
+    # performs for a submitted ChaosRequest.
     try:
-        reference = one_run(None)
-        first = one_run(spec)
-        second = one_run(spec)
+        doc, reference, first = chaos_verdict(request)
     except (SimulationError, JadeError, MachineError) as exc:
         # The simulation itself failed under faults: a coherence violation,
         # an exhausted retry budget, a deadlock, or the max-sim-time guard.
@@ -145,21 +104,7 @@ def cmd_chaos(args) -> int:
     except ExperimentError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-
-    # Snapshot-facing state: everything to_json() serializes, which is
-    # exactly what bench-diff and the committed baselines compare.
-    coherent = _stores_match(first.final_store, reference.final_store)
-    deterministic = (
-        dump_json(first.to_json()) == dump_json(second.to_json())
-        and _stores_match(first.final_store, second.final_store))
-    verdicts = {"coherent": coherent, "deterministic": deterministic}
-
-    doc = _chaos_doc(args, spec, first, options, verdicts)
-    try:
-        assert_valid(doc)
-    except ValueError as exc:  # pragma: no cover - producer bug guard
-        print(f"error: {exc}", file=sys.stderr)
-        return 3
+    verdicts = doc["verdicts"]
 
     print(f"chaos {args.app} on {args.machine}, {args.procs} processors "
           f"({args.scale} scale) [{spec.describe()}]")
@@ -178,4 +123,4 @@ def cmd_chaos(args) -> int:
                   file=sys.stderr)
             return 2
         print(f"  verdict JSON -> {args.json}")
-    return 0 if coherent and deterministic else 1
+    return 0 if verdicts["coherent"] and verdicts["deterministic"] else 1

@@ -438,8 +438,10 @@ def sweep_snapshot_doc(
     which is what makes "parallel output is byte-identical to serial" a
     structural property instead of a test-time coincidence.
     """
+    from repro.obs.schema import SWEEP_SCHEMA
+
     return {
-        "schema": "repro.sweep/1",
+        "schema": SWEEP_SCHEMA,
         "app": app,
         "machine": machine,
         "scale": scale,

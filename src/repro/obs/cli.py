@@ -53,29 +53,20 @@ def add_profile_parser(sub) -> None:
 
 
 def cmd_profile(args) -> int:
-    from repro.apps import ALL_APPLICATIONS, MachineKind
+    from repro.apps import ALL_APPLICATIONS
     from repro.errors import (
         ExperimentError,
         JadeError,
         MachineError,
         SimulationError,
     )
-    from repro.lab.experiments import profile_app
     from repro.obs.snapshot import write_profile_snapshot
-    from repro.runtime import RuntimeOptions
-    from repro.runtime.options import LocalityLevel
+    from repro.serve import api
+    from repro.serve.requests import run_request_from_args
 
     try:
-        options = RuntimeOptions(
-            locality=LocalityLevel(args.level),
-            adaptive_broadcast=not args.no_broadcast,
-            replication=not args.no_replication,
-            concurrent_fetches=not args.serial_fetches,
-            target_tasks_per_processor=args.target_tasks,
-            eager_update=args.eager_update,
-            max_sim_time=args.max_sim_time,
-        )
-    except ValueError as exc:
+        request = run_request_from_args(args)
+    except ExperimentError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     tracer = None
@@ -91,9 +82,8 @@ def cmd_profile(args) -> int:
         tracer = Tracer(enabled=True)
 
     try:
-        _metrics, profile = profile_app(
-            args.app, args.procs, MachineKind(args.machine), options.locality,
-            options, args.scale, tracer=tracer,
+        _metrics, profile = api.profile_metrics(
+            request, tracer=tracer,
             interval=args.sample_interval, samples=args.samples,
         )
     except (SimulationError, JadeError, MachineError) as exc:

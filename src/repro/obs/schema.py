@@ -14,7 +14,13 @@ Three document kinds are versioned:
   suite writes around its table/figure series;
 * ``repro.chaos/1`` — the verdict document ``repro chaos`` writes: the
   fault spec, the two runs' fault/recovery counters, and the
-  coherence/determinism verdicts.
+  coherence/determinism verdicts;
+* ``repro.sweep/1`` — the row document ``repro sweep --json`` writes (one
+  metrics dict per level x procs configuration, in canonical unit order);
+* ``repro.serve/1`` — the result document the service returns for a job:
+  the canonical request, its content-addressed cache key, and the
+  kind-specific result payload.  Deliberately free of wall-clock fields,
+  so a cache hit is byte-identical to the fresh computation.
 
 The validator is hand-rolled (structural checks, no external dependency)
 so it runs in the minimal CI image; it returns a list of human-readable
@@ -32,6 +38,11 @@ PROFILE_SCHEMA = "repro.obs/3"
 PROFILE_SCHEMAS = ("repro.obs/1", "repro.obs/2", PROFILE_SCHEMA)
 BENCH_SCHEMA = "repro.bench/1"
 CHAOS_SCHEMA = "repro.chaos/1"
+SWEEP_SCHEMA = "repro.sweep/1"
+SERVE_SCHEMA = "repro.serve/1"
+
+#: The request kinds a ``repro.serve/1`` document may carry.
+SERVE_KINDS = ("run", "sweep", "chaos")
 
 _RUN_KEYS = ("application", "machine", "num_processors", "options")
 _MATRIX_KEYS = ("messages", "bytes", "total_messages", "total_bytes")
@@ -297,12 +308,106 @@ def validate_chaos(doc: Any) -> List[str]:
     return problems
 
 
+def validate_sweep(doc: Any) -> List[str]:
+    """Structurally validate a ``repro.sweep/1`` row document."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["snapshot is not a JSON object"]
+    if doc.get("schema") != SWEEP_SCHEMA:
+        problems.append(
+            f"schema is {doc.get('schema')!r}, expected {SWEEP_SCHEMA!r}")
+    for key in ("app", "machine", "scale"):
+        if not isinstance(doc.get(key), str) or not doc.get(key):
+            problems.append(f"missing {key!r}")
+    rows = doc.get("rows")
+    if not isinstance(rows, list):
+        problems.append("'rows' missing or not a list")
+        return problems
+    for index, row in enumerate(rows):
+        if not isinstance(row, dict):
+            problems.append(f"rows[{index}] is not an object")
+            continue
+        for key in ("level", "procs", "metrics"):
+            if key not in row:
+                problems.append(f"rows[{index}].{key} missing")
+        metrics = row.get("metrics")
+        if isinstance(metrics, dict):
+            for key in ("elapsed", "tasks_executed"):
+                if not _finite(metrics.get(key)):
+                    problems.append(
+                        f"rows[{index}].metrics.{key} missing or not finite")
+        elif "metrics" in row:
+            problems.append(f"rows[{index}].metrics is not an object")
+    return problems
+
+
+_SERVE_KEYS = ("schema", "kind", "request", "cache_key", "result")
+_HEX = set("0123456789abcdef")
+
+
+def validate_serve(doc: Any) -> List[str]:
+    """Structurally validate a ``repro.serve/1`` result document.
+
+    The nested ``result`` payload is validated against its own kind:
+    run results carry the headline metric keys, sweep results are
+    ``repro.sweep/1`` documents, chaos results are ``repro.chaos/1``
+    documents (each validated in place, problems prefixed ``result.``).
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["snapshot is not a JSON object"]
+    if doc.get("schema") != SERVE_SCHEMA:
+        problems.append(
+            f"schema is {doc.get('schema')!r}, expected {SERVE_SCHEMA!r}")
+    for key in _SERVE_KEYS:
+        if key not in doc:
+            problems.append(f"missing {key!r}")
+    kind = doc.get("kind")
+    if kind not in SERVE_KINDS:
+        problems.append(
+            f"kind is {kind!r}, expected one of {list(SERVE_KINDS)!r}")
+    request = doc.get("request")
+    if isinstance(request, dict):
+        if request.get("kind") != kind:
+            problems.append(
+                f"request.kind {request.get('kind')!r} does not match "
+                f"document kind {kind!r}")
+        for key in ("app", "machine", "scale"):
+            if key not in request:
+                problems.append(f"request.{key} missing")
+    elif "request" in doc:
+        problems.append("'request' is not an object")
+    key = doc.get("cache_key")
+    if "cache_key" in doc and not (
+            isinstance(key, str) and len(key) == 64 and set(key) <= _HEX):
+        problems.append("cache_key is not a 64-char lowercase SHA-256 hex")
+    result = doc.get("result")
+    if isinstance(result, dict):
+        if kind == "run":
+            for mkey in _METRIC_KEYS:
+                if mkey not in result:
+                    problems.append(f"result.{mkey} missing")
+        elif kind == "sweep":
+            problems.extend(
+                f"result.{p}" for p in validate_sweep(result))
+        elif kind == "chaos":
+            problems.extend(
+                f"result.{p}" for p in validate_chaos(result))
+    elif "result" in doc:
+        problems.append("'result' is not an object")
+    return problems
+
+
 def validate_snapshot(doc: Any) -> List[str]:
     """Validate any snapshot kind, dispatching on the schema tag."""
     if isinstance(doc, dict) and doc.get("schema") == BENCH_SCHEMA:
         return validate_bench(doc)
     if isinstance(doc, dict) and doc.get("schema") == CHAOS_SCHEMA:
         return validate_chaos(doc)
+    if isinstance(doc, dict) and doc.get("schema") == SWEEP_SCHEMA:
+        return validate_sweep(doc)
+    if isinstance(doc, dict) and doc.get("schema") == SERVE_SCHEMA:
+        return validate_serve(doc)
     return validate_profile(doc)
 
 

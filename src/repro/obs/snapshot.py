@@ -1,26 +1,30 @@
 """Machine-readable snapshots: profile JSON and ``BENCH_*.json`` files.
 
-All serialization funnels through :func:`dump_json`, which refuses NaN and
-Infinity (``allow_nan=False``) — the JSON standard has no spelling for
-them, and an ``Infinity`` literal from an empty accumulator is exactly the
-kind of silent corruption the schema validator exists to catch.
+All serialization funnels through :func:`dump_json`, which delegates to
+:func:`repro.util.canon.canonical_json`: sorted keys, normalized floats,
+and a hard refusal of NaN and Infinity — the JSON standard has no spelling
+for them, and an ``Infinity`` literal from an empty accumulator is exactly
+the kind of silent corruption the schema validator exists to catch.
+Because the serve cache keys and the byte-identity comparisons use the
+same canonical serializer, "equal documents" and "equal bytes" are the
+same statement.
 """
 
 from __future__ import annotations
 
-import json
 import os
 from typing import Any, Dict, Optional
 
 from repro.obs.schema import BENCH_SCHEMA, assert_valid
+from repro.util.canon import canonical_json
 
 #: Environment variable selecting where ``BENCH_*.json`` files land.
 BENCH_DIR_ENV = "REPRO_BENCH_DIR"
 
 
 def dump_json(payload: Any) -> str:
-    """Serialize a snapshot payload to strict (RFC 8259) JSON text."""
-    return json.dumps(payload, indent=2, sort_keys=False, allow_nan=False)
+    """Serialize a snapshot payload to strict, canonical JSON text."""
+    return canonical_json(payload, indent=2)
 
 
 def write_profile_snapshot(path: str, profile) -> Dict[str, Any]:

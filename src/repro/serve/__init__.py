@@ -1,0 +1,46 @@
+"""``repro.serve`` — simulation-as-a-service.
+
+The layering (DESIGN.md "Service" section):
+
+* :mod:`repro.serve.requests` — the stable wire format: frozen
+  ``RunRequest`` / ``SweepRequest`` / ``ChaosRequest`` dataclasses with
+  canonical-JSON serialization and content-addressed cache keys;
+* :mod:`repro.serve.api` — the programmatic entry point:
+  ``submit(request) -> repro.serve/1 snapshot document``, wrapping the
+  experiment logic the CLI handlers use, with a content-addressed result
+  cache in front (determinism verification makes hits sound by
+  construction);
+* :mod:`repro.serve.jobs` — the job manager: queue, bounded worker pool
+  delegating sweep fan-out to :func:`repro.fleet.run_units_resilient`,
+  job lifecycle states;
+* :mod:`repro.serve.server` — a stdlib-only asyncio HTTP front end
+  (``repro serve``) exposing the job lifecycle as ``/v1`` endpoints;
+* :mod:`repro.serve.transport` — the ``Transport`` interface (modeled on
+  openmas's ``BaseCommunicator``): in-process and HTTP backends share one
+  surface, optional gRPC/MQTT backends lazy-load via ``importlib``.
+"""
+
+from repro.serve.api import SubmitResult, describe_catalog, execute, submit
+from repro.serve.cache import ResultCache
+from repro.serve.requests import (
+    ChaosRequest,
+    RunRequest,
+    SweepRequest,
+    request_from_json,
+)
+from repro.serve.transport import Transport, available_transports, create_transport
+
+__all__ = [
+    "ChaosRequest",
+    "ResultCache",
+    "RunRequest",
+    "SubmitResult",
+    "SweepRequest",
+    "Transport",
+    "available_transports",
+    "create_transport",
+    "describe_catalog",
+    "execute",
+    "request_from_json",
+    "submit",
+]

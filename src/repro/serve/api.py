@@ -1,0 +1,319 @@
+"""The programmatic API: ``submit(request) -> repro.serve/1 document``.
+
+This module is the logic that used to live inside ``__main__.py``'s CLI
+handlers, extracted behind the frozen request types so the CLI, the
+in-process transport and the HTTP server all execute experiments through
+one code path:
+
+* :func:`execute` — run a request synchronously and return its
+  kind-specific result payload (run → metrics dict, sweep → the
+  ``repro.sweep/1`` document, chaos → the ``repro.chaos/1`` verdict
+  document);
+* :func:`submit` — :func:`execute` wrapped in the result envelope and the
+  content-addressed cache: build the ``repro.serve/1`` document, validate
+  it, serialize it canonically, and store/return the exact bytes.  A
+  cache hit returns the stored bytes verbatim — byte-identical to the
+  fresh computation by the determinism contract;
+* :func:`describe_catalog` — the machine-readable catalog behind
+  ``repro describe --json`` and ``GET /v1/describe``.
+
+Failures map onto the uniform exit-code taxonomy via
+:func:`repro.errors.exit_code_for`; the HTTP layer translates the same
+codes to status codes (2 → 400, 3 → 500).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ExperimentError
+from repro.obs.schema import SERVE_SCHEMA, assert_valid
+from repro.serve.cache import ResultCache
+from repro.serve.requests import (
+    ChaosRequest,
+    RunRequest,
+    SweepRequest,
+    _Request,
+)
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How the host executes a request — never part of the cache key.
+
+    ``jobs`` bounds the process fan-out a sweep may use
+    (:func:`repro.fleet.run_units_resilient`); ``timeout`` and
+    ``retries`` are the fleet's per-unit wall-clock budget and
+    pool-restart budget.  ``partial`` is deliberately absent: a cached
+    document must always be a *complete* result, so the service runs
+    sweeps strictly and a degraded sweep is an error, not a cache entry.
+    """
+
+    jobs: int = 1
+    timeout: Optional[float] = None
+    retries: int = 1
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ExperimentError(f"jobs must be >= 1, got {self.jobs}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ExperimentError(
+                f"timeout must be positive, got {self.timeout}")
+        if self.retries < 0:
+            raise ExperimentError(f"retries must be >= 0, got {self.retries}")
+
+
+# ---------------------------------------------------------------------- #
+# kind-specific executors
+# ---------------------------------------------------------------------- #
+def run_metrics(request: RunRequest, tracer=None, profiler=None):
+    """Execute a :class:`RunRequest` in-process; returns ``RunMetrics``.
+
+    Exceptions propagate with their original types so callers can apply
+    the exit-code taxonomy (``SimulationError``/``JadeError``/
+    ``MachineError`` → 3, ``ExperimentError`` → 2).
+    """
+    from repro.apps import MachineKind
+    from repro.lab.experiments import run_app
+    from repro.runtime.options import LocalityLevel
+
+    options = request.options()
+    return run_app(request.app, request.procs, MachineKind(request.machine),
+                   LocalityLevel(request.level), options, request.scale,
+                   tracer=tracer, profiler=profiler, faults=request.faults)
+
+
+def profile_metrics(request: RunRequest, tracer=None, interval=None,
+                    samples=50):
+    """Execute a :class:`RunRequest` with the profiler attached.
+
+    Returns ``(metrics, profile)`` — the ``repro run --profile`` /
+    ``repro profile`` core.  ``interval``/``samples`` control the
+    profiler's time-series sampling; they shape the observation, not the
+    simulation, so they live outside the request.
+    """
+    from repro.apps import MachineKind
+    from repro.lab.experiments import profile_app
+    from repro.runtime.options import LocalityLevel
+
+    options = request.options()
+    return profile_app(request.app, request.procs,
+                       MachineKind(request.machine),
+                       LocalityLevel(request.level), options, request.scale,
+                       tracer=tracer, interval=interval, samples=samples,
+                       faults=request.faults)
+
+
+def sweep_rows(request: SweepRequest,
+               policy: Optional[ExecutionPolicy] = None,
+               partial: bool = False):
+    """Execute a :class:`SweepRequest`; returns ``(rows, outcome)``.
+
+    Fan-out is delegated to :func:`repro.fleet.run_units_resilient`
+    (``policy.jobs`` worker processes, per-unit ``timeout``, pool-restart
+    ``retries``); the rows come back in canonical unit order, so the
+    resulting document is byte-identical to the serial path.  ``partial``
+    is the CLI's degraded mode — the service always runs strict
+    (``partial=False``), because a cached document must be complete.
+    """
+    from repro.apps import MachineKind
+    from repro.fleet import resilient_locality_sweep
+
+    policy = policy or ExecutionPolicy()
+    return resilient_locality_sweep(
+        request.app, MachineKind(request.machine), list(request.procs),
+        request.scale, jobs=policy.jobs, timeout=policy.timeout,
+        retries=policy.retries, partial=partial)
+
+
+def chaos_verdict(request: ChaosRequest) -> Tuple[Dict[str, Any], Any, Any]:
+    """Execute a :class:`ChaosRequest`: reference run plus two same-seed
+    faulty runs, coherence/determinism verdicts.
+
+    Returns ``(chaos_doc, reference_metrics, faulty_metrics)`` where
+    ``chaos_doc`` is the validated ``repro.chaos/1`` document.  Runs
+    in-process — the verdicts compare ``final_store``, which never
+    crosses a process boundary.
+    """
+    import numpy as np
+
+    from repro.apps import MachineKind
+    from repro.lab.experiments import run_app
+    from repro.obs.schema import CHAOS_SCHEMA
+    from repro.obs.snapshot import dump_json
+
+    options = request.options()
+
+    def one_run(faults):
+        return run_app(request.app, request.procs, MachineKind("ipsc860"),
+                       options.locality, options, request.scale,
+                       faults=faults)
+
+    def stores_match(a, b) -> bool:
+        if a is None or b is None:
+            return False
+        ids_a, ids_b = a.object_ids(), b.object_ids()
+        if ids_a != ids_b:
+            return False
+        return all(np.array_equal(a.get(oid), b.get(oid)) for oid in ids_a)
+
+    reference = one_run(None)
+    first = one_run(request.faults)
+    second = one_run(request.faults)
+
+    # Snapshot-facing state: everything to_json() serializes, which is
+    # exactly what bench-diff and the committed baselines compare.
+    coherent = stores_match(first.final_store, reference.final_store)
+    deterministic = (
+        dump_json(first.to_json()) == dump_json(second.to_json())
+        and stores_match(first.final_store, second.final_store))
+
+    doc = {
+        "schema": CHAOS_SCHEMA,
+        "run": {
+            "application": request.app,
+            "machine": "ipsc860",
+            "num_processors": request.procs,
+            "scale": request.scale,
+            "options": options.describe(),
+        },
+        "fault_spec": request.faults.to_json(),
+        "counters": {
+            "messages_dropped": first.messages_dropped,
+            "messages_duplicated": first.messages_duplicated,
+            "retransmissions": first.retransmissions,
+            "duplicates_suppressed": first.duplicates_suppressed,
+            "ack_bytes": first.ack_bytes,
+            "recovery_stall_us": first.recovery_stall_us,
+        },
+        "verdicts": {"coherent": coherent, "deterministic": deterministic},
+    }
+    assert_valid(doc)
+    return doc, reference, first
+
+
+# ---------------------------------------------------------------------- #
+# the uniform entry points
+# ---------------------------------------------------------------------- #
+def execute(request: _Request,
+            policy: Optional[ExecutionPolicy] = None) -> Dict[str, Any]:
+    """Run ``request`` synchronously; return the kind-specific payload."""
+    if isinstance(request, RunRequest):
+        return run_metrics(request).to_json()
+    if isinstance(request, SweepRequest):
+        from repro.fleet import sweep_snapshot_doc
+
+        rows, _outcome = sweep_rows(request, policy)
+        return sweep_snapshot_doc(request.app, request.machine,
+                                  request.scale, rows)
+    if isinstance(request, ChaosRequest):
+        doc, _reference, _first = chaos_verdict(request)
+        return doc
+    raise ExperimentError(
+        f"cannot execute request of type {type(request).__name__}")
+
+
+def result_doc(request: _Request, payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Wrap a payload in the ``repro.serve/1`` envelope (not yet validated)."""
+    return {
+        "schema": SERVE_SCHEMA,
+        "kind": request.kind,
+        "request": request.to_json(),
+        "cache_key": request.cache_key(),
+        "result": payload,
+    }
+
+
+@dataclass
+class SubmitResult:
+    """What :func:`submit` returns: the document, its exact bytes-text,
+    and whether the cache supplied it."""
+
+    doc: Dict[str, Any]
+    text: str
+    cache_key: str
+    cache_hit: bool
+
+
+def submit(request: _Request,
+           cache: Optional[ResultCache] = None,
+           policy: Optional[ExecutionPolicy] = None) -> SubmitResult:
+    """The service entry point: execute (or recall) one request.
+
+    With a cache, the request's content address is consulted first; a hit
+    returns the stored text verbatim (determinism makes it byte-identical
+    to recomputation).  A miss executes, validates the ``repro.serve/1``
+    document against :mod:`repro.obs.schema`, serializes it canonically,
+    stores the bytes, and returns them.
+    """
+    import json as _json
+
+    from repro.obs.snapshot import dump_json
+
+    key = request.cache_key()
+    if cache is not None:
+        text = cache.get(key)
+        if text is not None:
+            return SubmitResult(doc=_json.loads(text), text=text,
+                                cache_key=key, cache_hit=True)
+    payload = execute(request, policy)
+    doc = result_doc(request, payload)
+    assert_valid(doc)
+    text = dump_json(doc) + "\n"
+    if cache is not None:
+        cache.put(key, text, schema=SERVE_SCHEMA)
+    return SubmitResult(doc=doc, text=text, cache_key=key, cache_hit=False)
+
+
+# ---------------------------------------------------------------------- #
+# the describe catalog
+# ---------------------------------------------------------------------- #
+def describe_catalog() -> Dict[str, Any]:
+    """The machine-readable catalog of apps, machines and switches.
+
+    One builder serves both ``repro describe --json`` and the service's
+    ``GET /v1/describe`` — the CLI output *is* the API output.
+    """
+    import dataclasses
+
+    from repro.apps import ALL_APPLICATIONS
+    from repro.lab import levels_for, make_application
+    from repro.obs.schema import (
+        BENCH_SCHEMA,
+        CHAOS_SCHEMA,
+        PROFILE_SCHEMA,
+        SWEEP_SCHEMA,
+    )
+    from repro.runtime import RuntimeOptions
+
+    applications = {}
+    for name in sorted(ALL_APPLICATIONS):
+        app = make_application(name, "tiny")
+        applications[name] = {
+            "levels": [level.value for level in levels_for(name)],
+            "scales": ["tiny", "paper"],
+            "supports_task_placement": bool(app.supports_task_placement),
+        }
+    switches = {}
+    for field in dataclasses.fields(RuntimeOptions):
+        if field.name in ("locality", "max_sim_time"):
+            continue
+        default = field.default
+        switches[field.name] = {
+            "type": type(default).__name__,
+            "default": default,
+        }
+    return {
+        "applications": applications,
+        "machines": {
+            "dash": {"model": "shared memory", "faults": False},
+            "ipsc860": {"model": "message passing", "faults": True},
+            "workstations": {"model": "heterogeneous farm",
+                             "library_only": True},
+        },
+        "switches": switches,
+        "request_kinds": ["run", "sweep", "chaos"],
+        "schemas": [PROFILE_SCHEMA, BENCH_SCHEMA, SWEEP_SCHEMA, CHAOS_SCHEMA,
+                    SERVE_SCHEMA],
+    }

@@ -1,0 +1,149 @@
+"""Content-addressed result cache for the serve subsystem.
+
+Entries are keyed by the SHA-256 of a request's canonical JSON
+(:meth:`repro.serve.requests._Request.cache_key`).  Because the repo's
+determinism verifier machine-checks that equal requests produce equal
+result bytes, a hit may return the stored bytes verbatim — the cache can
+*never* serve a stale or wrong answer, only skip a recomputation.  That
+is the whole design: correctness comes from determinism, not from
+invalidation logic.
+
+Two tiers share one interface:
+
+* **memory** — a dict of ``key -> bytes-text``, always on;
+* **disk** (optional ``directory``) — ``<key>.json`` holding the exact
+  result document text plus ``<key>.meta.json`` with stored-at wall
+  clock and the document's schema tag, so a cache survives server
+  restarts and its entries are directly inspectable / ``repro check``
+  validatable.
+
+Writes are atomic (temp file + rename) and idempotent: two racing
+workers computing the same key store byte-identical text, so last-write
+wins is harmless.  All operations are thread-safe.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, Optional
+
+
+def _is_key(key: str) -> bool:
+    return (isinstance(key, str) and len(key) == 64
+            and all(c in "0123456789abcdef" for c in key))
+
+
+class ResultCache:
+    """Thread-safe content-addressed store of result-document text."""
+
+    def __init__(self, directory: Optional[str] = None,
+                 max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.directory = directory
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._memory: Dict[str, str] = {}
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    def _path(self, key: str) -> str:
+        assert self.directory is not None
+        return os.path.join(self.directory, f"{key}.json")
+
+    def _meta_path(self, key: str) -> str:
+        assert self.directory is not None
+        return os.path.join(self.directory, f"{key}.meta.json")
+
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> Optional[str]:
+        """The stored result text for ``key``, or ``None`` (counts a miss)."""
+        if not _is_key(key):
+            raise ValueError(f"malformed cache key {key!r}")
+        with self._lock:
+            text = self._memory.get(key)
+            if text is None and self.directory:
+                try:
+                    with open(self._path(key), "r", encoding="utf-8") as fh:
+                        text = fh.read()
+                except OSError:
+                    text = None
+                else:
+                    # Re-warm the memory tier from disk (restart recovery).
+                    self._memory[key] = text
+            if text is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return text
+
+    def put(self, key: str, text: str, schema: Optional[str] = None) -> None:
+        """Store ``text`` under ``key`` (atomic, idempotent)."""
+        if not _is_key(key):
+            raise ValueError(f"malformed cache key {key!r}")
+        with self._lock:
+            if self.max_entries is not None \
+                    and key not in self._memory \
+                    and len(self._memory) >= self.max_entries:
+                # FIFO eviction from the memory tier only: disk entries
+                # are the durable record and stay put.
+                self._memory.pop(next(iter(self._memory)))
+            self._memory[key] = text
+            self.stores += 1
+            if self.directory:
+                self._write_atomic(self._path(key), text)
+                meta = {"key": key, "stored_at": time.time()}
+                if schema is not None:
+                    meta["schema"] = schema
+                self._write_atomic(self._meta_path(key),
+                                   json.dumps(meta, sort_keys=True) + "\n")
+
+    def meta(self, key: str) -> Optional[Dict[str, Any]]:
+        """The disk-tier metadata for ``key`` (stored-at, schema tag)."""
+        if not self.directory:
+            return None
+        try:
+            with open(self._meta_path(key), "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except (OSError, ValueError):
+            return None
+
+    def _write_atomic(self, path: str, text: str) -> None:
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------ #
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            if key in self._memory:
+                return True
+        return bool(self.directory) and os.path.exists(self._path(key))
+
+    def __len__(self) -> int:
+        with self._lock:
+            keys = set(self._memory)
+        if self.directory:
+            try:
+                keys.update(
+                    name[:-5] for name in os.listdir(self.directory)
+                    if name.endswith(".json")
+                    and not name.endswith(".meta.json") and _is_key(name[:-5]))
+            except OSError:
+                pass
+        return len(keys)
+
+    def counters(self) -> Dict[str, int]:
+        """Hit/miss/store totals plus current entry count (health reports)."""
+        with self._lock:
+            hits, misses, stores = self.hits, self.misses, self.stores
+        return {"hits": hits, "misses": misses, "stores": stores,
+                "entries": len(self)}

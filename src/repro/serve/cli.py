@@ -1,0 +1,79 @@
+"""The ``repro serve`` subcommand: run the HTTP job server."""
+
+from __future__ import annotations
+
+import sys
+
+
+def add_serve_parser(sub) -> None:
+    """Register the ``serve`` subcommand on an argparse subparsers object."""
+    p = sub.add_parser(
+        "serve",
+        help="run the simulation-as-a-service HTTP job server",
+        description="Serve /v1/jobs, /v1/health and /v1/describe over "
+                    "HTTP: an async job queue with a bounded worker pool "
+                    "and a content-addressed result cache (identical "
+                    "requests are answered from the cache, byte-identical "
+                    "to fresh computation).",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8753,
+                   help="bind port; 0 picks a free port (default 8753)")
+    p.add_argument("--workers", type=int, default=2, metavar="N",
+                   help="concurrent jobs the server executes (default 2)")
+    p.add_argument("--sweep-jobs", type=int, default=1, metavar="N",
+                   help="fleet worker processes each sweep job may fan out "
+                        "over (default 1: serial reference path)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-sweep-unit wall-clock budget (fleet hardening)")
+    p.add_argument("--cache-dir", metavar="PATH", default=None,
+                   help="persist the result cache here (survives restarts); "
+                        "default is in-memory only")
+    p.add_argument("--max-jobs", type=int, default=10_000, metavar="N",
+                   help="job-table capacity guard (default 10000)")
+    p.set_defaults(func=cmd_serve)
+
+
+def cmd_serve(args) -> int:
+    from repro.errors import ExperimentError
+    from repro.serve.cache import ResultCache
+    from repro.serve.server import ServeServer
+
+    if args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}",
+              file=sys.stderr)
+        return 2
+    if args.sweep_jobs < 1:
+        print(f"error: --sweep-jobs must be >= 1, got {args.sweep_jobs}",
+              file=sys.stderr)
+        return 2
+    if args.timeout is not None and args.timeout <= 0:
+        print(f"error: --timeout must be positive, got {args.timeout}",
+              file=sys.stderr)
+        return 2
+    try:
+        cache = ResultCache(directory=args.cache_dir)
+        server = ServeServer(host=args.host, port=args.port, cache=cache,
+                             workers=args.workers, sweep_jobs=args.sweep_jobs,
+                             timeout=args.timeout, max_jobs=args.max_jobs)
+    except (OSError, ValueError, ExperimentError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # Bind before announcing, so "listening" is never a lie and a taken
+    # port fails fast with exit 2 instead of a traceback mid-serve.
+    try:
+        server.start_background()
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    tiers = "memory+disk" if args.cache_dir else "memory"
+    print(f"repro serve listening on {server.url} "
+          f"({args.workers} workers, {args.sweep_jobs} sweep jobs, "
+          f"{tiers} cache)", flush=True)
+    try:
+        server.join()
+    except KeyboardInterrupt:
+        print("\nshutting down", file=sys.stderr)
+        server.stop()
+    return 0

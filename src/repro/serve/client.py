@@ -1,0 +1,78 @@
+"""The HTTP backend of :class:`~repro.serve.transport.Transport`.
+
+A stdlib ``urllib`` client for a running ``repro serve`` instance — the
+same lifecycle surface as :class:`InProcessTransport`, over the wire.
+Error documents from the server (``{"error", "type", "exit_code"}``) are
+re-raised as :class:`~repro.errors.ExperimentError` carrying the
+server-side message, so callers see one exception surface regardless of
+backend.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict
+
+from repro.errors import ExperimentError
+from repro.serve.requests import _Request
+from repro.serve.transport import Transport
+
+
+class HttpTransport(Transport):
+    """Talk to a ``repro serve`` instance at ``base_url``."""
+
+    kind = "http"
+
+    def __init__(self, base_url: str, request_timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.request_timeout = request_timeout
+
+    # ------------------------------------------------------------------ #
+    def _call(self, method: str, path: str,
+              payload: Any = None) -> bytes:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(url, data=data, headers=headers,
+                                     method=method)
+        try:
+            with urllib.request.urlopen(
+                    req, timeout=self.request_timeout) as response:
+                return response.read()
+        except urllib.error.HTTPError as exc:
+            body = exc.read()
+            try:
+                doc = json.loads(body.decode("utf-8"))
+                message = doc.get("error", body.decode("utf-8", "replace"))
+            except (ValueError, UnicodeDecodeError):
+                message = body.decode("utf-8", "replace")
+            raise ExperimentError(
+                f"HTTP {exc.code} from {url}: {message}") from None
+        except urllib.error.URLError as exc:
+            raise ExperimentError(
+                f"cannot reach {url}: {exc.reason}") from None
+
+    def _call_json(self, method: str, path: str,
+                   payload: Any = None) -> Dict[str, Any]:
+        return json.loads(self._call(method, path, payload).decode("utf-8"))
+
+    # ------------------------------------------------------------------ #
+    def submit(self, request: _Request) -> Dict[str, Any]:
+        return self._call_json("POST", "/v1/jobs", request.to_json())
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._call_json("GET", f"/v1/jobs/{job_id}")
+
+    def result_text(self, job_id: str) -> str:
+        return self._call("GET", f"/v1/jobs/{job_id}/result").decode("utf-8")
+
+    def health(self) -> Dict[str, Any]:
+        return self._call_json("GET", "/v1/health")
+
+    def describe(self) -> Dict[str, Any]:
+        return self._call_json("GET", "/v1/describe")

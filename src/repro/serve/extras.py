@@ -1,0 +1,85 @@
+"""Optional protocol backends: present in the registry, absent by default.
+
+Following the openmas lazy-loading pattern (SNIPPETS.md §2), the gRPC and
+MQTT transports are registered in
+:data:`repro.serve.transport.TRANSPORTS` but import their third-party
+dependencies only on construction.  The container deliberately ships
+without those libraries, so instantiating one raises a
+:class:`~repro.errors.ExperimentError` naming the missing extra — the
+HTTP and in-process backends remain fully functional without them, which
+is the point: the core stays stdlib-only and heavier protocols are
+opt-in.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any
+
+from repro.errors import ExperimentError
+from repro.serve.transport import Transport
+
+
+def _require_dependency(module: str, extra: str, transport: str) -> Any:
+    try:
+        return importlib.import_module(module)
+    except ImportError:
+        raise ExperimentError(
+            f"the {transport!r} transport requires the optional "
+            f"{module!r} package (install the {extra!r} extra); the "
+            "stdlib 'http' and 'inprocess' transports need no extras"
+        ) from None
+
+
+class GrpcTransport(Transport):
+    """gRPC backend placeholder: requires the ``grpcio`` package."""
+
+    kind = "grpc"
+
+    def __init__(self, **_options: Any) -> None:
+        self._grpc = _require_dependency("grpc", "grpc", self.kind)
+        raise ExperimentError(
+            "the grpc transport is a registry stub; implement it against "
+            "the Transport interface once grpcio is available")
+
+    def submit(self, request):  # pragma: no cover - unreachable stub
+        raise NotImplementedError
+
+    def status(self, job_id):  # pragma: no cover - unreachable stub
+        raise NotImplementedError
+
+    def result_text(self, job_id):  # pragma: no cover - unreachable stub
+        raise NotImplementedError
+
+    def health(self):  # pragma: no cover - unreachable stub
+        raise NotImplementedError
+
+    def describe(self):  # pragma: no cover - unreachable stub
+        raise NotImplementedError
+
+
+class MqttTransport(Transport):
+    """MQTT backend placeholder: requires the ``paho-mqtt`` package."""
+
+    kind = "mqtt"
+
+    def __init__(self, **_options: Any) -> None:
+        self._mqtt = _require_dependency("paho.mqtt", "mqtt", self.kind)
+        raise ExperimentError(
+            "the mqtt transport is a registry stub; implement it against "
+            "the Transport interface once paho-mqtt is available")
+
+    def submit(self, request):  # pragma: no cover - unreachable stub
+        raise NotImplementedError
+
+    def status(self, job_id):  # pragma: no cover - unreachable stub
+        raise NotImplementedError
+
+    def result_text(self, job_id):  # pragma: no cover - unreachable stub
+        raise NotImplementedError
+
+    def health(self):  # pragma: no cover - unreachable stub
+        raise NotImplementedError
+
+    def describe(self):  # pragma: no cover - unreachable stub
+        raise NotImplementedError

@@ -1,0 +1,197 @@
+"""Job lifecycle: queue, bounded worker pool, typed states.
+
+A :class:`Job` moves ``queued -> running -> done | failed``.  The
+manager's pool is a bounded ``ThreadPoolExecutor`` — the simulation work
+itself is CPU-bound *Python*, but each worker thread delegates the heavy
+fan-out to :func:`repro.fleet.run_units_resilient`, which runs the
+simulations in worker *processes*; the threads only coordinate, so a
+small pool serves many concurrent clients without oversubscribing the
+host.
+
+Cache hits are resolved synchronously at submit time: a hit never
+occupies a worker, so a warmed cache turns heavy repeat traffic into
+dictionary lookups (the scaling story of ROADMAP item 1).
+
+Failures keep their taxonomy: a job that fails records the exception
+type, message and :func:`repro.errors.exit_code_for` code (2 bad
+request, 3 simulation raised), which the HTTP layer maps onto status
+codes.  Timestamps are host wall-clock for operators; they live only in
+job documents, never in result documents — result bytes stay
+deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.errors import ExperimentError, exit_code_for
+from repro.serve.api import ExecutionPolicy, submit as api_submit
+from repro.serve.cache import ResultCache
+from repro.serve.requests import SweepRequest, _Request
+
+_STATES = ("queued", "running", "done", "failed")
+
+
+@dataclass
+class Job:
+    """One submitted request and everything known about its execution."""
+
+    id: str
+    request: _Request
+    state: str = "queued"
+    cache_key: str = ""
+    cache_hit: Optional[bool] = None
+    result_text: Optional[str] = None
+    error: Optional[Dict[str, Any]] = None
+    created: float = field(default_factory=time.time)
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    done_event: threading.Event = field(default_factory=threading.Event,
+                                        repr=False)
+
+    def to_doc(self) -> Dict[str, Any]:
+        """The job document the lifecycle endpoints return."""
+        doc: Dict[str, Any] = {
+            "id": self.id,
+            "kind": self.request.kind,
+            "state": self.state,
+            "request": self.request.to_json(),
+            "cache_key": self.cache_key,
+            "created": self.created,
+        }
+        if self.cache_hit is not None:
+            doc["cache"] = "hit" if self.cache_hit else "miss"
+        if self.started is not None:
+            doc["started"] = self.started
+        if self.finished is not None:
+            doc["finished"] = self.finished
+        if self.error is not None:
+            doc["error"] = dict(self.error)
+        return doc
+
+
+class JobManager:
+    """Submit requests, execute them on a bounded pool, track lifecycle."""
+
+    def __init__(self, cache: Optional[ResultCache] = None, workers: int = 2,
+                 sweep_jobs: int = 1, timeout: Optional[float] = None,
+                 max_jobs: int = 10_000) -> None:
+        if workers < 1:
+            raise ExperimentError(f"workers must be >= 1, got {workers}")
+        self.cache = cache if cache is not None else ResultCache()
+        self.workers = workers
+        #: Process fan-out each sweep job may use (fleet worker pool).
+        self.policy = ExecutionPolicy(jobs=max(1, sweep_jobs),
+                                      timeout=timeout)
+        self._max_jobs = max_jobs
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Job] = {}
+        self._counter = 0
+        self._pool = ThreadPoolExecutor(max_workers=workers,
+                                        thread_name_prefix="repro-serve")
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    def submit(self, request: _Request) -> Job:
+        """Enqueue ``request``; cache hits complete before returning."""
+        key = request.cache_key()
+        with self._lock:
+            if self._closed:
+                raise ExperimentError("job manager is shut down")
+            if len(self._jobs) >= self._max_jobs:
+                raise ExperimentError(
+                    f"job table full ({self._max_jobs} jobs); restart the "
+                    "server or raise --max-jobs")
+            self._counter += 1
+            job = Job(id=f"j{self._counter:06d}", request=request,
+                      cache_key=key)
+            self._jobs[job.id] = job
+        # Peek before get: the worker path consults the cache again via
+        # ``api_submit``, so only count one miss per actual computation.
+        cached = self.cache.get(key) if key in self.cache else None
+        if cached is not None:
+            job.state = "done"
+            job.cache_hit = True
+            job.result_text = cached
+            job.started = job.finished = time.time()
+            job.done_event.set()
+            return job
+        self._pool.submit(self._run, job)
+        return job
+
+    def _run(self, job: Job) -> None:
+        job.state = "running"
+        job.started = time.time()
+        try:
+            policy = self.policy if isinstance(job.request, SweepRequest) \
+                else ExecutionPolicy(jobs=1, timeout=None)
+            result = api_submit(job.request, cache=self.cache, policy=policy)
+            job.result_text = result.text
+            job.cache_hit = result.cache_hit
+            job.state = "done"
+        except Exception as exc:  # noqa: BLE001 - shipped to the client
+            job.cache_hit = False
+            job.error = {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "exit_code": exit_code_for(exc),
+            }
+            job.state = "failed"
+        finally:
+            job.finished = time.time()
+            job.done_event.set()
+
+    # ------------------------------------------------------------------ #
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise ExperimentError(f"unknown job {job_id!r}") from None
+
+    def job_doc(self, job_id: str) -> Dict[str, Any]:
+        return self.get(job_id).to_doc()
+
+    def result_text(self, job_id: str) -> str:
+        job = self.get(job_id)
+        if job.state == "failed":
+            assert job.error is not None
+            raise ExperimentError(
+                f"job {job_id} failed: {job.error['type']}: "
+                f"{job.error['message']}")
+        if job.state != "done" or job.result_text is None:
+            raise ExperimentError(
+                f"job {job_id} has no result yet (state {job.state})")
+        return job.result_text
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> Job:
+        job = self.get(job_id)
+        if not job.done_event.wait(timeout):
+            raise ExperimentError(
+                f"timed out waiting for job {job_id} (state {job.state})")
+        return job
+
+    # ------------------------------------------------------------------ #
+    def health(self) -> Dict[str, Any]:
+        counts = dict.fromkeys(_STATES, 0)
+        with self._lock:
+            for job in self._jobs.values():
+                counts[job.state] += 1
+        return {
+            "status": "ok",
+            "workers": self.workers,
+            "sweep_jobs": self.policy.jobs,
+            "jobs": counts,
+            "cache": self.cache.counters(),
+        }
+
+    def shutdown(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._pool.shutdown(wait=True, cancel_futures=True)

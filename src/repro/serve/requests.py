@@ -1,0 +1,348 @@
+"""The service's stable wire format: frozen, canonical request objects.
+
+A request names *what to simulate* — application, machine, scale,
+processor count(s), optimization switches, seed, fault spec — and nothing
+about *how the host executes it* (worker counts, timeouts, retry budgets
+are execution policy, owned by the caller or the server).  That split is
+what makes the content-addressed cache sound: two requests with equal
+fields denote the same deterministic simulation, so the SHA-256 of a
+request's canonical JSON (:meth:`cache_key`) is a complete address for
+its result document.
+
+Requests are frozen dataclasses that validate on construction (raising
+:class:`~repro.errors.ExperimentError`, the bad-arguments class of the
+exit-code taxonomy), serialize with :func:`repro.util.canon.canonical_json`
+via :meth:`to_json`, and round-trip through :func:`request_from_json`.
+Unknown fields are rejected rather than ignored — a typo that silently
+vanished from the cache key would alias two different experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ExperimentError
+from repro.faults import FaultSpec, NodeSlowdown, NodeStall
+from repro.runtime import RuntimeOptions
+from repro.runtime.options import LocalityLevel
+from repro.util.canon import canonical_json, content_key
+
+_MACHINES = ("dash", "ipsc860")
+_SCALES = ("tiny", "paper")
+_LEVELS = tuple(level.value for level in LocalityLevel)
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ExperimentError(message)
+
+
+def _check_app(app: Any) -> None:
+    from repro.apps import ALL_APPLICATIONS
+
+    _require(isinstance(app, str) and app in ALL_APPLICATIONS,
+             f"unknown application {app!r}; valid applications: "
+             f"{', '.join(sorted(ALL_APPLICATIONS))}")
+
+
+def fault_spec_from_json(payload: Any) -> FaultSpec:
+    """Rebuild a :class:`FaultSpec` from its ``to_json`` dict (strict)."""
+    _require(isinstance(payload, dict), "fault spec must be a JSON object")
+    known = {"seed", "drop_rate", "duplicate_rate", "delay_rate", "delay_us",
+             "degrade_rate", "degrade_multiplier", "slowdowns", "stalls"}
+    unknown = set(payload) - known
+    _require(not unknown,
+             f"unknown fault spec field(s): {', '.join(sorted(unknown))}")
+    slowdowns = tuple(
+        NodeSlowdown(node=s["node"], factor=s["factor"],
+                     start=s["start"], end=s["end"])
+        for s in payload.get("slowdowns", ())
+    )
+    stalls = tuple(
+        NodeStall(node=s["node"], start=s["start"], end=s["end"])
+        for s in payload.get("stalls", ())
+    )
+    return FaultSpec(
+        seed=payload.get("seed", 0),
+        drop_rate=payload.get("drop_rate", 0.0),
+        duplicate_rate=payload.get("duplicate_rate", 0.0),
+        delay_rate=payload.get("delay_rate", 0.0),
+        delay_us=payload.get("delay_us", 200.0),
+        degrade_rate=payload.get("degrade_rate", 0.0),
+        degrade_multiplier=payload.get("degrade_multiplier", 4.0),
+        slowdowns=slowdowns,
+        stalls=stalls,
+    )
+
+
+class _Request:
+    """Shared canonical-serialization surface of the request kinds."""
+
+    #: Overridden per subclass; serialized into every request document,
+    #: so requests of different kinds can never collide in the cache.
+    kind = ""
+
+    def to_json(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def canonical(self) -> str:
+        """The compact canonical JSON text this request hashes as."""
+        return canonical_json(self.to_json())
+
+    def cache_key(self) -> str:
+        """SHA-256 of the canonical request: the content address of its
+        result document.  Stable across processes and hosts; any single
+        field change — including nested fault-spec fields — changes it."""
+        return content_key(self.to_json())
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class RunRequest(_Request):
+    """One simulated execution: ``repro run`` as data."""
+
+    app: str
+    machine: str = "ipsc860"
+    scale: str = "paper"
+    procs: int = 8
+    level: str = "locality"
+    replication: bool = True
+    adaptive_broadcast: bool = True
+    concurrent_fetches: bool = True
+    target_tasks: int = 1
+    eager_update: bool = False
+    work_free: bool = False
+    seed: int = 0
+    max_sim_time: Optional[float] = None
+    faults: Optional[FaultSpec] = None
+
+    kind = "run"
+
+    def __post_init__(self) -> None:
+        _check_app(self.app)
+        _require(self.machine in _MACHINES,
+                 f"unknown machine {self.machine!r}; valid: "
+                 f"{', '.join(_MACHINES)}")
+        _require(self.scale in _SCALES,
+                 f"unknown scale {self.scale!r}; valid: {', '.join(_SCALES)}")
+        _require(self.level in _LEVELS,
+                 f"unknown locality level {self.level!r}; valid: "
+                 f"{', '.join(_LEVELS)}")
+        _require(isinstance(self.procs, int) and self.procs >= 1,
+                 f"procs must be a positive integer, got {self.procs!r}")
+        _require(self.faults is None or self.machine == "ipsc860",
+                 "fault injection requires the ipsc860 machine")
+        try:
+            self.options()  # RuntimeOptions re-validates the switches
+        except ValueError as exc:
+            raise ExperimentError(str(exc)) from None
+
+    def options(self) -> RuntimeOptions:
+        """The :class:`RuntimeOptions` this request denotes."""
+        return RuntimeOptions(
+            locality=LocalityLevel(self.level),
+            replication=self.replication,
+            adaptive_broadcast=self.adaptive_broadcast,
+            concurrent_fetches=self.concurrent_fetches,
+            target_tasks_per_processor=self.target_tasks,
+            eager_update=self.eager_update,
+            work_free=self.work_free,
+            seed=self.seed,
+            max_sim_time=self.max_sim_time,
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "app": self.app,
+            "machine": self.machine,
+            "scale": self.scale,
+            "procs": self.procs,
+            "level": self.level,
+            "replication": self.replication,
+            "adaptive_broadcast": self.adaptive_broadcast,
+            "concurrent_fetches": self.concurrent_fetches,
+            "target_tasks": self.target_tasks,
+            "eager_update": self.eager_update,
+            "work_free": self.work_free,
+            "seed": self.seed,
+            "max_sim_time": self.max_sim_time,
+            "faults": self.faults.to_json() if self.faults else None,
+        }
+
+    def describe(self) -> str:
+        text = (f"run {self.app} on {self.machine}, {self.procs} processors "
+                f"({self.scale} scale) [{self.options().describe()}]")
+        if self.faults is not None:
+            text += f" faults[{self.faults.describe()}]"
+        return text
+
+
+@dataclass(frozen=True)
+class SweepRequest(_Request):
+    """A locality-level sweep: ``repro sweep`` as data.
+
+    ``procs`` is the processor-count axis; the level axis is derived from
+    the application (§5.2), exactly as the CLI does.  Worker counts and
+    timeout/retry budgets are deliberately absent: they never change the
+    result bytes (the fleet determinism contract), so they must not
+    change the cache key.
+    """
+
+    app: str
+    machine: str = "ipsc860"
+    scale: str = "paper"
+    procs: Tuple[int, ...] = ()
+
+    kind = "sweep"
+
+    def __post_init__(self) -> None:
+        _check_app(self.app)
+        _require(self.machine in _MACHINES,
+                 f"unknown machine {self.machine!r}; valid: "
+                 f"{', '.join(_MACHINES)}")
+        _require(self.scale in _SCALES,
+                 f"unknown scale {self.scale!r}; valid: {', '.join(_SCALES)}")
+        procs = tuple(self.procs)
+        _require(bool(procs), "sweep requires at least one processor count")
+        _require(all(isinstance(p, int) and p >= 1 for p in procs),
+                 f"procs must be positive integers, got {self.procs!r}")
+        object.__setattr__(self, "procs", procs)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "app": self.app,
+            "machine": self.machine,
+            "scale": self.scale,
+            "procs": list(self.procs),
+        }
+
+    def describe(self) -> str:
+        procs = ",".join(str(p) for p in self.procs)
+        return (f"sweep {self.app} on {self.machine}, procs [{procs}] "
+                f"({self.scale} scale)")
+
+
+@dataclass(frozen=True)
+class ChaosRequest(_Request):
+    """A chaos verification: ``repro chaos`` as data.
+
+    Three runs (fault-free reference plus two same-seed faulty runs) with
+    coherence and determinism verdicts; iPSC/860 only, because faults
+    perturb the message fabric.
+    """
+
+    app: str
+    procs: int = 4
+    scale: str = "tiny"
+    faults: FaultSpec = field(default_factory=FaultSpec)
+    max_sim_time: Optional[float] = None
+
+    kind = "chaos"
+
+    def __post_init__(self) -> None:
+        _check_app(self.app)
+        _require(self.scale in _SCALES,
+                 f"unknown scale {self.scale!r}; valid: {', '.join(_SCALES)}")
+        _require(isinstance(self.procs, int) and self.procs >= 1,
+                 f"procs must be a positive integer, got {self.procs!r}")
+        try:
+            RuntimeOptions(max_sim_time=self.max_sim_time)
+        except ValueError as exc:
+            raise ExperimentError(str(exc)) from None
+
+    @property
+    def machine(self) -> str:
+        return "ipsc860"
+
+    def options(self) -> RuntimeOptions:
+        return RuntimeOptions(max_sim_time=self.max_sim_time)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "app": self.app,
+            "machine": self.machine,
+            "scale": self.scale,
+            "procs": self.procs,
+            "max_sim_time": self.max_sim_time,
+            "faults": self.faults.to_json(),
+        }
+
+    def describe(self) -> str:
+        return (f"chaos {self.app} on ipsc860, {self.procs} processors "
+                f"({self.scale} scale) [{self.faults.describe()}]")
+
+
+def run_request_from_args(args) -> RunRequest:
+    """Build the :class:`RunRequest` a ``repro run`` / ``repro profile``
+    argparse namespace denotes (the two subcommands share switches;
+    ``--work-free`` exists only on ``run``)."""
+    return RunRequest(
+        app=args.app,
+        machine=args.machine,
+        scale=args.scale,
+        procs=args.procs,
+        level=args.level,
+        adaptive_broadcast=not args.no_broadcast,
+        replication=not args.no_replication,
+        concurrent_fetches=not args.serial_fetches,
+        target_tasks=args.target_tasks,
+        eager_update=args.eager_update,
+        work_free=getattr(args, "work_free", False),
+        max_sim_time=args.max_sim_time,
+    )
+
+
+_KINDS = {"run": RunRequest, "sweep": SweepRequest, "chaos": ChaosRequest}
+
+
+def request_from_json(doc: Any) -> _Request:
+    """Parse a request document (the ``POST /v1/jobs`` body).
+
+    Accepts either the enveloped form ``{"kind": ..., "request": {...}}``
+    or a flat dict carrying its own ``"kind"`` field.  Unknown kinds and
+    unknown fields raise :class:`ExperimentError` (HTTP 400 / exit 2).
+    """
+    _require(isinstance(doc, dict), "request must be a JSON object")
+    payload = doc
+    if isinstance(doc.get("request"), dict):
+        payload = dict(doc["request"])
+        if "kind" not in payload and "kind" in doc:
+            payload["kind"] = doc["kind"]
+    else:
+        payload = dict(payload)
+    kind = payload.pop("kind", None)
+    _require(kind in _KINDS,
+             f"unknown request kind {kind!r}; valid: "
+             f"{', '.join(sorted(_KINDS))}")
+    cls = _KINDS[kind]
+    if kind == "chaos":
+        # ``machine`` is a derived property (chaos is ipsc860-only); the
+        # round-trip through to_json carries it, so accept exactly that.
+        machine = payload.pop("machine", "ipsc860")
+        _require(machine == "ipsc860",
+                 "chaos requests require the ipsc860 machine — fault "
+                 "injection perturbs the message fabric, which only the "
+                 "iPSC/860 model has")
+    allowed = {f.name for f in fields(cls)}
+    unknown = set(payload) - allowed
+    _require(not unknown,
+             f"unknown {kind} request field(s): {', '.join(sorted(unknown))}")
+    if "faults" in payload and payload["faults"] is not None:
+        payload["faults"] = fault_spec_from_json(payload["faults"])
+    elif "faults" in payload:
+        del payload["faults"]
+    if kind == "sweep" and "procs" in payload:
+        procs = payload["procs"]
+        _require(isinstance(procs, (list, tuple)),
+                 f"sweep procs must be a list, got {procs!r}")
+        payload["procs"] = tuple(procs)
+    try:
+        return cls(**payload)
+    except TypeError as exc:
+        raise ExperimentError(f"malformed {kind} request: {exc}") from None

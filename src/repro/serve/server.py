@@ -1,0 +1,260 @@
+"""The stdlib-only asyncio HTTP front end: ``repro serve``.
+
+A deliberately small HTTP/1.1 implementation over ``asyncio.start_server``
+— no third-party web framework, matching the repo's no-new-dependencies
+constraint.  The event loop only parses requests and reads job state;
+every simulation runs on the :class:`~repro.serve.jobs.JobManager`'s
+worker pool, so a slow sweep never blocks health checks or status polls.
+
+Endpoints (all JSON):
+
+* ``POST /v1/jobs`` — body ``{"kind": ..., "request": {...}}`` (or a flat
+  request dict with ``kind``); returns the job document.  Cache hits come
+  back already ``done`` with ``"cache": "hit"``.
+* ``GET /v1/jobs/{id}`` — the job document.
+* ``GET /v1/jobs/{id}/result`` — the finished job's ``repro.serve/1``
+  document, byte-for-byte as stored (plus an ``X-Repro-Cache`` header);
+  202 while queued/running, error document with the taxonomy code once
+  failed.
+* ``GET /v1/health`` — job counts, cache hit/miss counters, worker sizes.
+* ``GET /v1/describe`` — the machine-readable catalog (identical to
+  ``repro describe --json``).
+
+Error mapping follows the exit-code taxonomy: bad requests (exit 2) are
+HTTP 400, simulation failures (exit 3) are HTTP 500, unknown jobs/paths
+are 404; every error body is ``{"error", "type", "exit_code"}``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import EXIT_BAD_REQUEST, ExperimentError
+from repro.serve.cache import ResultCache
+from repro.serve.jobs import JobManager
+from repro.serve.requests import request_from_json
+
+_MAX_BODY = 4 * 1024 * 1024  # a request document is small; refuse floods
+_STATUS_TEXT = {200: "OK", 202: "Accepted", 400: "Bad Request",
+                404: "Not Found", 405: "Method Not Allowed",
+                413: "Payload Too Large", 500: "Internal Server Error"}
+
+
+def _error_body(message: str, exc_type: str, exit_code: int) -> bytes:
+    return (json.dumps({"error": message, "type": exc_type,
+                        "exit_code": exit_code}, sort_keys=True) +
+            "\n").encode("utf-8")
+
+
+def _http_status(exit_code: int) -> int:
+    return 400 if exit_code == EXIT_BAD_REQUEST else 500
+
+
+class ServeServer:
+    """The HTTP server: owns a :class:`JobManager` and an asyncio loop.
+
+    ``start_background`` runs the loop on a daemon thread (tests, library
+    embedding); :meth:`run` blocks the calling thread (the CLI).  With
+    ``port=0`` the OS assigns a free port, published as :attr:`port` once
+    the socket is bound.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8753,
+                 cache: Optional[ResultCache] = None, workers: int = 2,
+                 sweep_jobs: int = 1, timeout: Optional[float] = None,
+                 max_jobs: int = 10_000) -> None:
+        self.host = host
+        self.port = port
+        self.manager = JobManager(cache=cache, workers=workers,
+                                  sweep_jobs=sweep_jobs, timeout=timeout,
+                                  max_jobs=max_jobs)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._failed: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------ #
+    # request handling (runs on the event loop)
+    # ------------------------------------------------------------------ #
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            status, headers, body = await self._respond(reader)
+        except Exception as exc:  # noqa: BLE001 - defensive: keep serving
+            status = 500
+            headers = {}
+            body = _error_body(f"internal error: {exc}",
+                               type(exc).__name__, 3)
+        try:
+            writer.write(self._render(status, headers, body))
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    def _render(self, status: int, headers: Dict[str, str],
+                body: bytes) -> bytes:
+        lines = [f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}"]
+        base = {"Content-Type": "application/json",
+                "Content-Length": str(len(body)),
+                "Connection": "close"}
+        base.update(headers)
+        lines.extend(f"{key}: {value}" for key, value in base.items())
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+
+    async def _respond(
+        self, reader: asyncio.StreamReader,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            return 400, {}, _error_body("empty request", "ProtocolError", 2)
+        parts = request_line.split()
+        if len(parts) != 3:
+            return 400, {}, _error_body(
+                f"malformed request line {request_line!r}",
+                "ProtocolError", 2)
+        method, path, _version = parts
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > _MAX_BODY:
+            return 413, {}, _error_body(
+                f"request body of {length} bytes exceeds {_MAX_BODY}",
+                "ProtocolError", 2)
+        body = await reader.readexactly(length) if length else b""
+        return self._route(method, path.rstrip("/") or "/", body)
+
+    def _route(self, method: str, path: str,
+               body: bytes) -> Tuple[int, Dict[str, str], bytes]:
+        if path == "/v1/jobs" and method == "POST":
+            return self._post_job(body)
+        if path.startswith("/v1/jobs/"):
+            if method != "GET":
+                return 405, {}, _error_body(
+                    f"{method} not allowed on {path}", "ProtocolError", 2)
+            tail = path[len("/v1/jobs/"):]
+            if tail.endswith("/result"):
+                return self._get_result(tail[:-len("/result")])
+            if "/" not in tail:
+                return self._get_job(tail)
+        if path == "/v1/health" and method == "GET":
+            return self._json(200, self.manager.health())
+        if path == "/v1/describe" and method == "GET":
+            from repro.serve.api import describe_catalog
+
+            return self._json(200, describe_catalog())
+        return 404, {}, _error_body(f"no such endpoint: {method} {path}",
+                                    "NotFound", 2)
+
+    def _json(self, status: int, payload: Any,
+              headers: Optional[Dict[str, str]] = None
+              ) -> Tuple[int, Dict[str, str], bytes]:
+        body = (json.dumps(payload, sort_keys=True, indent=2) +
+                "\n").encode("utf-8")
+        return status, headers or {}, body
+
+    def _post_job(self, body: bytes) -> Tuple[int, Dict[str, str], bytes]:
+        try:
+            doc = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return 400, {}, _error_body(f"request body is not JSON: {exc}",
+                                        type(exc).__name__, 2)
+        try:
+            request = request_from_json(doc)
+            job = self.manager.submit(request)
+        except ExperimentError as exc:
+            return 400, {}, _error_body(str(exc), type(exc).__name__, 2)
+        return self._json(200, job.to_doc())
+
+    def _get_job(self, job_id: str) -> Tuple[int, Dict[str, str], bytes]:
+        try:
+            doc = self.manager.job_doc(job_id)
+        except ExperimentError as exc:
+            return 404, {}, _error_body(str(exc), type(exc).__name__, 2)
+        return self._json(200, doc)
+
+    def _get_result(self, job_id: str) -> Tuple[int, Dict[str, str], bytes]:
+        try:
+            job = self.manager.get(job_id)
+        except ExperimentError as exc:
+            return 404, {}, _error_body(str(exc), type(exc).__name__, 2)
+        if job.state in ("queued", "running"):
+            return self._json(202, {"id": job.id, "state": job.state})
+        if job.state == "failed":
+            assert job.error is not None
+            return (_http_status(job.error["exit_code"]), {},
+                    _error_body(job.error["message"], job.error["type"],
+                                job.error["exit_code"]))
+        assert job.result_text is not None
+        cache_header = "hit" if job.cache_hit else "miss"
+        return (200, {"X-Repro-Cache": cache_header},
+                job.result_text.encode("utf-8"))
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        try:
+            server = await asyncio.start_server(self._handle, self.host,
+                                                self.port)
+        except OSError as exc:
+            self._failed = exc
+            self._ready.set()
+            raise
+        self.port = server.sockets[0].getsockname()[1]
+        self._ready.set()
+        async with server:
+            await self._stop.wait()
+        self.manager.shutdown()
+
+    def run(self) -> None:
+        """Serve until interrupted (the ``repro serve`` foreground path)."""
+        try:
+            asyncio.run(self._main())
+        except KeyboardInterrupt:
+            self.manager.shutdown()
+
+    def start_background(self, timeout: float = 10.0) -> None:
+        """Serve on a daemon thread; returns once the socket is bound."""
+        self._thread = threading.Thread(target=self.run, daemon=True,
+                                        name="repro-serve-loop")
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise ExperimentError("serve loop failed to start in time")
+        if self._failed is not None:
+            raise ExperimentError(
+                f"cannot bind {self.host}:{self.port}: {self._failed}")
+
+    def join(self) -> None:
+        """Block until the background serve thread exits (the CLI path)."""
+        if self._thread is not None:
+            self._thread.join()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._loop is not None and self._stop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass  # loop already closed
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"

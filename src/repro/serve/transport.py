@@ -1,0 +1,160 @@
+"""The ``Transport`` interface: one surface, pluggable protocol backends.
+
+Modeled on openmas's ``BaseCommunicator`` (SNIPPETS.md §2): a small
+abstract class defines the job-lifecycle surface — submit, status,
+result, health, describe — and each protocol backend implements it.
+Backends are *lazy-loaded* by name through :func:`create_transport` and
+``importlib``, so the core stays stdlib-only: the in-process and HTTP
+backends always work, while gRPC/MQTT are registry entries whose modules
+import their third-party dependencies only when actually requested and
+raise a :class:`~repro.errors.ExperimentError` naming the missing extra
+otherwise.  A future remote-fleet backend (ROADMAP item 3) slots in as
+one more registry line.
+"""
+
+from __future__ import annotations
+
+import importlib
+import time
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Optional
+
+from repro.errors import ExperimentError
+from repro.serve.requests import _Request
+
+#: Backend registry: name -> "module:Class".  Extending the service with
+#: a new protocol means adding a line here, not touching the callers.
+TRANSPORTS = {
+    "inprocess": "repro.serve.transport:InProcessTransport",
+    "http": "repro.serve.client:HttpTransport",
+    "grpc": "repro.serve.extras:GrpcTransport",
+    "mqtt": "repro.serve.extras:MqttTransport",
+}
+
+
+def available_transports() -> Dict[str, str]:
+    """The registry, name -> implementation path (for describe/docs)."""
+    return dict(TRANSPORTS)
+
+
+def create_transport(kind: str, **options: Any) -> "Transport":
+    """Instantiate a transport backend by registry name (lazy import)."""
+    try:
+        target = TRANSPORTS[kind]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown transport {kind!r}; valid: "
+            f"{', '.join(sorted(TRANSPORTS))}") from None
+    module_name, _, class_name = target.partition(":")
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise ExperimentError(
+            f"transport {kind!r} could not be loaded ({exc}); it may "
+            "require an optional dependency") from exc
+    cls = getattr(module, class_name)
+    return cls(**options)
+
+
+class Transport(ABC):
+    """The job-lifecycle surface every backend implements.
+
+    ``submit`` returns a *job document* — a plain dict with at least
+    ``id``, ``state`` (``queued``/``running``/``done``/``failed``),
+    ``kind``, ``cache_key`` and, once known, ``cache`` (``"hit"`` or
+    ``"miss"``) and ``error`` (with its taxonomy ``exit_code``).
+    ``result_text`` returns the result document's exact bytes-text so
+    callers can do byte-identity comparisons; ``result`` parses it.
+    """
+
+    #: Registry name of the backend (informational).
+    kind = ""
+
+    @abstractmethod
+    def submit(self, request: _Request) -> Dict[str, Any]:
+        """Enqueue a request; return its job document."""
+
+    @abstractmethod
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """The current job document for ``job_id``."""
+
+    @abstractmethod
+    def result_text(self, job_id: str) -> str:
+        """The finished job's ``repro.serve/1`` document text (exact
+        bytes).  Raises :class:`ExperimentError` if the job is not done."""
+
+    @abstractmethod
+    def health(self) -> Dict[str, Any]:
+        """Server liveness document: job counts, cache counters, workers."""
+
+    @abstractmethod
+    def describe(self) -> Dict[str, Any]:
+        """The machine-readable catalog (``describe_catalog``)."""
+
+    # ------------------------------------------------------------------ #
+    def result(self, job_id: str) -> Dict[str, Any]:
+        import json
+
+        return json.loads(self.result_text(job_id))
+
+    def wait(self, job_id: str, timeout: Optional[float] = None,
+             poll: float = 0.05) -> Dict[str, Any]:
+        """Poll until the job leaves the queued/running states."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            doc = self.status(job_id)
+            if doc["state"] not in ("queued", "running"):
+                return doc
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ExperimentError(
+                    f"timed out after {timeout:g}s waiting for job "
+                    f"{job_id} (state {doc['state']})")
+            time.sleep(poll)
+
+    def close(self) -> None:
+        """Release backend resources (idempotent)."""
+
+
+class InProcessTransport(Transport):
+    """The reference backend: a :class:`~repro.serve.jobs.JobManager`
+    in this process — same lifecycle semantics as the HTTP server, no
+    sockets.  Useful for tests, notebooks and library embedding."""
+
+    kind = "inprocess"
+
+    def __init__(self, cache=None, workers: int = 2, sweep_jobs: int = 1,
+                 timeout: Optional[float] = None) -> None:
+        from repro.serve.jobs import JobManager
+
+        self._manager = JobManager(cache=cache, workers=workers,
+                                   sweep_jobs=sweep_jobs, timeout=timeout)
+
+    @property
+    def manager(self):
+        return self._manager
+
+    def submit(self, request: _Request) -> Dict[str, Any]:
+        return self._manager.submit(request).to_doc()
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._manager.job_doc(job_id)
+
+    def result_text(self, job_id: str) -> str:
+        return self._manager.result_text(job_id)
+
+    def health(self) -> Dict[str, Any]:
+        return self._manager.health()
+
+    def describe(self) -> Dict[str, Any]:
+        from repro.serve.api import describe_catalog
+
+        return describe_catalog()
+
+    def wait(self, job_id: str, timeout: Optional[float] = None,
+             poll: float = 0.05) -> Dict[str, Any]:
+        # The manager exposes a real completion event; no need to poll.
+        self._manager.wait(job_id, timeout=timeout)
+        return self.status(job_id)
+
+    def close(self) -> None:
+        self._manager.shutdown()

@@ -5,6 +5,7 @@ comes from an explicit counter (no global state shared between simulations)
 and every random stream is derived from an explicit seed.
 """
 
+from repro.util.canon import canonical_json, content_key
 from repro.util.ids import IdAllocator
 from repro.util.units import (
     KB,
@@ -25,6 +26,8 @@ __all__ = [
     "MSEC",
     "CYCLES",
     "bytes_human",
+    "canonical_json",
+    "content_key",
     "seconds_human",
     "substream",
 ]

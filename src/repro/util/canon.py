@@ -1,0 +1,83 @@
+"""Canonical JSON: one byte layout per value, everywhere.
+
+Every place the repo compares serialized documents for equality — the
+parallel-vs-serial sweep contract, the chaos determinism verdict, the
+content-addressed result cache of :mod:`repro.serve` — must serialize
+through a single code path, or "byte-identical" silently degrades into
+"byte-identical except for formatting".  :func:`canonical_json` is that
+code path:
+
+* keys are sorted at every nesting level;
+* floats use CPython's shortest-round-trip ``repr`` (deterministic for a
+  given IEEE-754 double across processes and platforms), with ``-0.0``
+  normalized to ``0.0`` so the two equal zeros cannot produce two
+  different byte strings;
+* NaN and the infinities are rejected outright — RFC 8259 has no spelling
+  for them, and an ``Infinity`` literal from an empty accumulator is
+  exactly the silent corruption the snapshot validator exists to catch;
+* only JSON-native types are accepted (tuples serialize as arrays); any
+  other object is an error, never a lossy ``str()`` fallback.
+
+:func:`content_key` layers SHA-256 on top, giving the stable
+content-addressed key the serve cache and the cache-key tests rely on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import Any
+
+
+def _normalize(obj: Any, path: str) -> Any:
+    """Recursively validate/normalize ``obj`` for canonical serialization."""
+    if obj is None or isinstance(obj, (bool, str)):
+        return obj
+    if isinstance(obj, int):
+        return obj
+    if isinstance(obj, float):
+        if not math.isfinite(obj):
+            raise ValueError(
+                f"canonical JSON forbids non-finite float {obj!r} at {path}")
+        # -0.0 == 0.0 but repr()s differently; collapse to one spelling.
+        return 0.0 if obj == 0.0 else obj
+    if isinstance(obj, dict):
+        out = {}
+        for key, value in obj.items():
+            if not isinstance(key, str):
+                raise ValueError(
+                    f"canonical JSON requires string keys, got {key!r} "
+                    f"at {path}")
+            out[key] = _normalize(value, f"{path}.{key}")
+        return out
+    if isinstance(obj, (list, tuple)):
+        return [_normalize(v, f"{path}[{i}]") for i, v in enumerate(obj)]
+    raise ValueError(
+        f"canonical JSON cannot serialize {type(obj).__name__} at {path}")
+
+
+def canonical_json(obj: Any, *, indent: "int | None" = None) -> str:
+    """Serialize ``obj`` to canonical JSON text.
+
+    ``indent=None`` (the default) produces the compact single-line form
+    used for hashing; an integer indent produces the human-readable form
+    the snapshot writers emit.  Both forms sort keys and normalize floats
+    identically — they differ only in whitespace.
+    """
+    normalized = _normalize(obj, "$")
+    separators = (",", ": ") if indent is not None else (",", ":")
+    return json.dumps(normalized, indent=indent, sort_keys=True,
+                      allow_nan=False, separators=separators,
+                      ensure_ascii=True)
+
+
+def content_key(obj: Any) -> str:
+    """SHA-256 hex digest of ``obj``'s compact canonical JSON.
+
+    The content-addressed cache key of :mod:`repro.serve`: equal values
+    (after float normalization) always hash equal, across processes and
+    hosts; any differing field — however deeply nested — changes the key.
+    """
+    text = canonical_json(obj)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

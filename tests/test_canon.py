@@ -1,0 +1,92 @@
+"""Canonical JSON and content keys (repro.util.canon).
+
+One byte layout per value is the foundation the serve cache's soundness
+argument rests on, so these tests pin the layout down: key ordering,
+float spelling, the -0.0 collapse, rejection of non-finite floats and
+non-JSON types, and hash stability.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.util import canonical_json, content_key
+
+
+def test_keys_sorted_at_every_level():
+    text = canonical_json({"b": {"z": 1, "a": 2}, "a": [{"y": 1, "x": 2}]})
+    assert text == '{"a":[{"x":2,"y":1}],"b":{"a":2,"z":1}}'
+
+
+def test_compact_and_indented_differ_only_in_whitespace():
+    doc = {"b": [1.5, {"k": True}], "a": None}
+    compact = canonical_json(doc)
+    pretty = canonical_json(doc, indent=2)
+    strip = lambda s: "".join(s.split())  # noqa: E731
+    assert compact != pretty
+    assert strip(compact) == strip(pretty)
+    assert json.loads(compact) == json.loads(pretty)
+
+
+def test_floats_use_shortest_roundtrip_repr():
+    assert canonical_json(0.1) == "0.1"
+    assert canonical_json(1e300) == "1e+300"
+    assert canonical_json(1.0) == "1.0"
+    # ints stay ints: 1 and 1.0 are different byte strings.
+    assert canonical_json(1) == "1"
+
+
+def test_negative_zero_collapses_to_positive_zero():
+    assert canonical_json(-0.0) == "0.0"
+    assert canonical_json({"x": -0.0}) == canonical_json({"x": 0.0})
+    assert content_key([-0.0]) == content_key([0.0])
+
+
+@pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+def test_non_finite_floats_rejected(bad):
+    with pytest.raises(ValueError, match="non-finite"):
+        canonical_json({"v": bad})
+
+
+def test_non_string_keys_rejected():
+    with pytest.raises(ValueError, match="string keys"):
+        canonical_json({1: "x"})
+
+
+def test_non_json_types_rejected_not_stringified():
+    with pytest.raises(ValueError, match="cannot serialize"):
+        canonical_json({"v": object()})
+    with pytest.raises(ValueError, match="cannot serialize"):
+        canonical_json({"v": {1, 2}})
+
+
+def test_tuples_serialize_as_arrays():
+    assert canonical_json((1, 2, 3)) == "[1,2,3]"
+    assert content_key((1, 2)) == content_key([1, 2])
+
+
+def test_error_paths_name_the_location():
+    with pytest.raises(ValueError, match=r"\$\.outer\[1\]\.bad"):
+        canonical_json({"outer": [{}, {"bad": math.inf}]})
+
+
+def test_content_key_is_sha256_of_compact_form():
+    import hashlib
+
+    doc = {"a": 1, "b": [2.5, None]}
+    expected = hashlib.sha256(
+        canonical_json(doc).encode("utf-8")).hexdigest()
+    assert content_key(doc) == expected
+    assert len(content_key(doc)) == 64
+
+
+def test_content_key_insensitive_to_dict_insertion_order():
+    assert content_key({"a": 1, "b": 2}) == content_key({"b": 2, "a": 1})
+
+
+def test_content_key_sensitive_to_values_and_shape():
+    base = content_key({"a": 1})
+    assert content_key({"a": 2}) != base
+    assert content_key({"a": 1.0}) != base  # 1 vs 1.0 spell differently
+    assert content_key({"a": 1, "b": None}) != base

@@ -219,3 +219,76 @@ def test_profile_command_reports_critical_path_and_attribution(capsys):
     assert "critical path" in out
     assert "per-optimization attribution" in out
     assert "main processor" in out
+
+
+def test_describe_json_is_the_service_catalog(capsys):
+    import json
+
+    from repro.serve.api import describe_catalog
+
+    assert main(["describe", "--json"]) == 0
+    out = capsys.readouterr().out
+    assert json.loads(out) == describe_catalog()
+    # Canonical form: re-serializing sorted changes nothing.
+    assert json.loads(out) == json.loads(
+        json.dumps(json.loads(out), sort_keys=True))
+
+
+def test_check_snapshot_mode(tmp_path, capsys):
+    import json
+
+    from repro.serve import RunRequest, submit
+
+    path = tmp_path / "serve.json"
+    path.write_text(submit(RunRequest(app="water", scale="tiny",
+                                      procs=2)).text)
+    assert main(["check", "--snapshot", str(path)]) == 0
+    assert "repro.serve/1" in capsys.readouterr().out
+
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": "repro.serve/1"}))
+    assert main(["check", "--snapshot", str(bad)]) == 1
+    assert "FAILED" in capsys.readouterr().out
+
+    assert main(["check", "--snapshot", str(tmp_path / "missing.json")]) == 2
+
+
+def test_check_without_app_or_snapshot_is_exit_2(capsys):
+    assert main(["check"]) == 2
+    assert "--app" in capsys.readouterr().err
+
+
+def test_serve_parser_validates_arguments(capsys):
+    assert main(["serve", "--workers", "0"]) == 2
+    assert "--workers" in capsys.readouterr().err
+    assert main(["serve", "--sweep-jobs", "0"]) == 2
+    assert "--sweep-jobs" in capsys.readouterr().err
+    assert main(["serve", "--timeout", "0"]) == 2
+    assert "--timeout" in capsys.readouterr().err
+
+
+def test_serve_foreground_announces_url(capsys):
+    # Run the real CLI path with the serve thread stopped from a timer:
+    # it must print the bound URL before blocking.
+    import re
+    import threading
+
+    import repro.serve.server as server_mod
+
+    started = []
+    original_join = server_mod.ServeServer.join
+
+    def join_and_stop(self):
+        started.append(self)
+        threading.Timer(0.05, self.stop).start()
+        original_join(self)
+
+    server_mod.ServeServer.join = join_and_stop
+    try:
+        assert main(["serve", "--port", "0", "--workers", "1"]) == 0
+    finally:
+        server_mod.ServeServer.join = original_join
+    out = capsys.readouterr().out
+    match = re.search(r"listening on (http://127\.0\.0\.1:\d+)", out)
+    assert match, out
+    assert started and started[0].port != 0

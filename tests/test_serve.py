@@ -1,0 +1,347 @@
+"""The serve subsystem: requests, cache keys, the result cache, submit.
+
+The load-bearing properties:
+
+* cache keys are stable across processes (satellite 3's first half) and
+  change whenever *any* request field changes, including nested
+  fault-spec fields (the second half);
+* ``submit`` returns byte-identical text for cached and fresh paths;
+* request parsing is strict — unknown kinds/fields are exit-2 errors,
+  never silently dropped fields that would alias cache entries.
+"""
+
+import dataclasses
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import (
+    EXIT_BAD_REQUEST,
+    EXIT_SIMULATION_RAISED,
+    ExperimentError,
+    exit_code_for,
+)
+from repro.faults import FaultSpec, NodeSlowdown, NodeStall
+from repro.obs.schema import SERVE_SCHEMA, validate_snapshot
+from repro.serve import (
+    ChaosRequest,
+    ResultCache,
+    RunRequest,
+    SweepRequest,
+    request_from_json,
+    submit,
+)
+from repro.serve.api import ExecutionPolicy, describe_catalog, result_doc
+
+TINY_RUN = dict(app="water", machine="ipsc860", scale="tiny", procs=2)
+
+
+# ---------------------------------------------------------------------- #
+# request construction and validation
+# ---------------------------------------------------------------------- #
+def test_run_request_rejects_unknown_app_naming_valid_ones():
+    with pytest.raises(ExperimentError, match="valid applications"):
+        RunRequest(app="nonesuch")
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(machine="cray"),
+    dict(scale="huge"),
+    dict(level="psychic"),
+    dict(procs=0),
+    dict(procs="four"),
+    dict(machine="dash", faults=FaultSpec(drop_rate=0.1)),
+])
+def test_run_request_rejects_bad_fields(kwargs):
+    with pytest.raises(ExperimentError):
+        RunRequest(app="water", **kwargs)
+
+
+def test_sweep_request_requires_procs():
+    with pytest.raises(ExperimentError, match="at least one"):
+        SweepRequest(app="water")
+    with pytest.raises(ExperimentError):
+        SweepRequest(app="water", procs=(0,))
+
+
+def test_chaos_request_machine_is_always_ipsc860():
+    req = ChaosRequest(app="water")
+    assert req.machine == "ipsc860"
+    assert req.to_json()["machine"] == "ipsc860"
+
+
+def test_requests_are_frozen():
+    req = RunRequest(**TINY_RUN)
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        req.procs = 4
+
+
+# ---------------------------------------------------------------------- #
+# round-trip through JSON (the POST /v1/jobs body format)
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("request_obj", [
+    RunRequest(**TINY_RUN),
+    RunRequest(app="ocean", machine="dash", scale="tiny", procs=4,
+               level="task_placement", replication=False, target_tasks=2),
+    RunRequest(app="water", scale="tiny", procs=2,
+               faults=FaultSpec(seed=3, drop_rate=0.05)),
+    SweepRequest(app="string", machine="dash", scale="tiny", procs=(1, 2)),
+    ChaosRequest(app="water", procs=2,
+                 faults=FaultSpec(duplicate_rate=0.1,
+                                  slowdowns=(NodeSlowdown(
+                                      node=1, factor=2.0, start=0.0,
+                                      end=1.0),),
+                                  stalls=(NodeStall(node=0, start=0.1,
+                                                    end=0.2),))),
+])
+def test_round_trip_preserves_request_and_key(request_obj):
+    rebuilt = request_from_json(request_obj.to_json())
+    assert rebuilt == request_obj
+    assert rebuilt.cache_key() == request_obj.cache_key()
+    # The enveloped form ({"kind", "request"}) parses identically.
+    enveloped = {"kind": request_obj.kind, "request": request_obj.to_json()}
+    assert request_from_json(enveloped) == request_obj
+
+
+def test_request_from_json_rejects_unknown_kind_and_fields():
+    with pytest.raises(ExperimentError, match="unknown request kind"):
+        request_from_json({"kind": "teleport", "app": "water"})
+    with pytest.raises(ExperimentError, match="unknown run request field"):
+        request_from_json({"kind": "run", "app": "water", "spice": 1})
+    with pytest.raises(ExperimentError, match="unknown fault spec field"):
+        request_from_json({"kind": "run", "app": "water", "scale": "tiny",
+                           "faults": {"drop_rat": 0.5}})
+    with pytest.raises(ExperimentError, match="ipsc860"):
+        request_from_json({"kind": "chaos", "app": "water",
+                           "machine": "dash"})
+
+
+# ---------------------------------------------------------------------- #
+# satellite 3: cache-key stability
+# ---------------------------------------------------------------------- #
+def test_cache_key_stable_across_processes():
+    req = RunRequest(app="water", machine="ipsc860", scale="paper", procs=8,
+                     faults=FaultSpec(seed=7, drop_rate=0.01))
+    code = (
+        "from repro.serve import RunRequest\n"
+        "from repro.faults import FaultSpec\n"
+        "req = RunRequest(app='water', machine='ipsc860', scale='paper',\n"
+        "                 procs=8, faults=FaultSpec(seed=7, drop_rate=0.01))\n"
+        "print(req.cache_key())\n"
+    )
+    out = subprocess.run([sys.executable, "-c", code], capture_output=True,
+                         text=True, check=True)
+    assert out.stdout.strip() == req.cache_key()
+
+
+def test_cache_key_changes_with_every_run_field():
+    base = RunRequest(app="water", machine="ipsc860", scale="tiny", procs=2,
+                      level="locality", replication=True,
+                      adaptive_broadcast=True, concurrent_fetches=True,
+                      target_tasks=1, eager_update=False, work_free=False,
+                      seed=0, max_sim_time=None, faults=None)
+    perturbations = dict(
+        app="string", machine="dash", scale="paper", procs=4,
+        level="no_locality", replication=False, adaptive_broadcast=False,
+        concurrent_fetches=False, target_tasks=2, eager_update=True,
+        work_free=True, seed=1, max_sim_time=100.0,
+        faults=FaultSpec(drop_rate=0.01),
+    )
+    assert set(perturbations) == {f.name for f in dataclasses.fields(base)}
+    keys = {base.cache_key(): "base"}
+    for name, value in perturbations.items():
+        changed = dataclasses.replace(base, **{name: value})
+        key = changed.cache_key()
+        assert key not in keys, \
+            f"changing {name} collided with {keys[key]}"
+        keys[key] = name
+
+
+def test_cache_key_changes_with_nested_fault_spec_fields():
+    base_spec = FaultSpec(seed=0, drop_rate=0.0, duplicate_rate=0.0,
+                          delay_rate=0.0, delay_us=200.0, degrade_rate=0.0,
+                          degrade_multiplier=4.0)
+    base = ChaosRequest(app="water", procs=2, faults=base_spec)
+    perturbations = dict(
+        seed=1, drop_rate=0.01, duplicate_rate=0.01, delay_rate=0.01,
+        delay_us=300.0, degrade_rate=0.01, degrade_multiplier=2.0,
+        slowdowns=(NodeSlowdown(node=0, factor=2.0, start=0.0, end=1.0),),
+        stalls=(NodeStall(node=0, start=0.0, end=0.1),),
+    )
+    spec_fields = {f.name for f in dataclasses.fields(FaultSpec)}
+    assert set(perturbations) <= spec_fields
+    assert spec_fields - set(perturbations) == set(), \
+        "new FaultSpec field is missing a perturbation case"
+    keys = {base.cache_key(): "base"}
+    for name, value in perturbations.items():
+        spec = dataclasses.replace(base_spec, **{name: value})
+        key = dataclasses.replace(base, faults=spec).cache_key()
+        assert key not in keys, \
+            f"changing faults.{name} collided with {keys[key]}"
+        keys[key] = name
+
+
+def test_cache_key_differs_across_kinds_with_same_fields():
+    # The "kind" tag is serialized, so a run and a chaos request over the
+    # same app/procs/scale can never alias one cache entry.
+    run = RunRequest(app="water", scale="tiny", procs=2)
+    chaos = ChaosRequest(app="water", scale="tiny", procs=2)
+    assert run.cache_key() != chaos.cache_key()
+
+
+# ---------------------------------------------------------------------- #
+# the result cache
+# ---------------------------------------------------------------------- #
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+
+
+def test_cache_memory_tier_hit_miss_counters():
+    cache = ResultCache()
+    assert cache.get(KEY_A) is None
+    cache.put(KEY_A, "text-a\n")
+    assert cache.get(KEY_A) == "text-a\n"
+    assert cache.counters() == {"hits": 1, "misses": 1, "stores": 1,
+                                "entries": 1}
+
+
+def test_cache_rejects_malformed_keys():
+    cache = ResultCache()
+    with pytest.raises(ValueError, match="malformed cache key"):
+        cache.get("short")
+    with pytest.raises(ValueError, match="malformed cache key"):
+        cache.put("A" * 64, "upper-case is not a sha256 hexdigest")
+
+
+def test_cache_disk_tier_survives_restart(tmp_path):
+    first = ResultCache(directory=str(tmp_path))
+    first.put(KEY_A, "persisted\n", schema=SERVE_SCHEMA)
+    # A fresh instance over the same directory re-warms from disk.
+    second = ResultCache(directory=str(tmp_path))
+    assert KEY_A in second
+    assert second.get(KEY_A) == "persisted\n"
+    meta = second.meta(KEY_A)
+    assert meta["schema"] == SERVE_SCHEMA
+    assert meta["key"] == KEY_A
+    assert "stored_at" in meta
+    # The on-disk entry is the exact text, directly inspectable.
+    assert (tmp_path / f"{KEY_A}.json").read_text() == "persisted\n"
+
+
+def test_cache_memory_eviction_keeps_disk_entries(tmp_path):
+    cache = ResultCache(directory=str(tmp_path), max_entries=1)
+    cache.put(KEY_A, "a\n")
+    cache.put(KEY_B, "b\n")  # evicts KEY_A from the memory tier
+    assert cache._memory == {KEY_B: "b\n"}
+    # ...but the disk tier still serves it.
+    assert cache.get(KEY_A) == "a\n"
+    assert len(cache) == 2
+
+
+def test_cache_contains_does_not_count():
+    cache = ResultCache()
+    assert KEY_A not in cache
+    assert cache.counters()["misses"] == 0
+
+
+# ---------------------------------------------------------------------- #
+# submit: the cached and fresh paths return identical bytes
+# ---------------------------------------------------------------------- #
+def test_submit_miss_then_hit_byte_identical():
+    cache = ResultCache()
+    request = RunRequest(**TINY_RUN)
+    first = submit(request, cache=cache)
+    second = submit(request, cache=cache)
+    fresh = submit(request)  # no cache at all: recompute from scratch
+    assert not first.cache_hit
+    assert second.cache_hit
+    assert not fresh.cache_hit
+    assert first.text == second.text == fresh.text
+    assert first.cache_key == request.cache_key()
+    assert cache.counters()["hits"] == 1
+
+
+def test_submit_document_is_schema_valid_and_canonical():
+    result = submit(RunRequest(**TINY_RUN))
+    doc = json.loads(result.text)
+    assert doc["schema"] == SERVE_SCHEMA
+    assert doc["kind"] == "run"
+    assert doc["cache_key"] == result.cache_key
+    assert validate_snapshot(doc) == []
+    # No wall-clock fields anywhere: the document must be reproducible.
+    assert set(doc) == {"schema", "kind", "request", "cache_key", "result"}
+
+
+def test_submit_sweep_matches_serial_snapshot_doc():
+    from repro.apps import MachineKind
+    from repro.fleet import sweep_snapshot_doc
+    from repro.lab import locality_sweep
+
+    request = SweepRequest(app="water", machine="ipsc860", scale="tiny",
+                           procs=(1, 2))
+    result = submit(request, policy=ExecutionPolicy(jobs=2))
+    rows = locality_sweep("water", MachineKind("ipsc860"), [1, 2], "tiny")
+    expected = sweep_snapshot_doc("water", "ipsc860", "tiny", rows)
+    assert result.doc["result"] == expected
+
+
+def test_result_doc_rejected_if_payload_corrupted():
+    request = RunRequest(**TINY_RUN)
+    doc = result_doc(request, {"not": "metrics"})
+    assert any("result" in p for p in validate_snapshot(doc))
+
+
+# ---------------------------------------------------------------------- #
+# the exit-code taxonomy
+# ---------------------------------------------------------------------- #
+def test_exit_code_taxonomy():
+    from repro.errors import JadeError, SimulationError
+
+    assert exit_code_for(ExperimentError("bad args")) == EXIT_BAD_REQUEST
+    assert exit_code_for(SimulationError("boom")) == EXIT_SIMULATION_RAISED
+    assert exit_code_for(JadeError("boom")) == EXIT_SIMULATION_RAISED
+    assert exit_code_for(RuntimeError("boom")) == EXIT_SIMULATION_RAISED
+
+
+def test_sim_time_limit_is_simulation_raised_not_bad_request():
+    from repro.errors import SimTimeLimitError
+
+    exc = SimTimeLimitError("past the guard")
+    assert exit_code_for(exc) == EXIT_SIMULATION_RAISED
+
+
+def test_execution_policy_validates():
+    with pytest.raises(ExperimentError):
+        ExecutionPolicy(jobs=0)
+    with pytest.raises(ExperimentError):
+        ExecutionPolicy(timeout=0.0)
+    with pytest.raises(ExperimentError):
+        ExecutionPolicy(retries=-1)
+
+
+# ---------------------------------------------------------------------- #
+# the describe catalog
+# ---------------------------------------------------------------------- #
+def test_describe_catalog_shape():
+    catalog = describe_catalog()
+    assert set(catalog["applications"]) == {"cholesky", "ocean", "string",
+                                            "water"}
+    for info in catalog["applications"].values():
+        assert set(info) == {"levels", "scales", "supports_task_placement"}
+        assert "locality" in info["levels"]
+    assert catalog["request_kinds"] == ["run", "sweep", "chaos"]
+    assert SERVE_SCHEMA in catalog["schemas"]
+    assert "replication" in catalog["switches"]
+    # Only apps that support task placement offer the level (§5.2).
+    assert ("task_placement" in catalog["applications"]["ocean"]["levels"]) \
+        == catalog["applications"]["ocean"]["supports_task_placement"]
+
+
+def test_describe_catalog_matches_cli_json(capsys):
+    from repro.__main__ import main
+
+    assert main(["describe", "--json"]) == 0
+    printed = json.loads(capsys.readouterr().out)
+    assert printed == describe_catalog()

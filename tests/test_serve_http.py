@@ -1,0 +1,286 @@
+"""Job lifecycle, transports and the HTTP server end-to-end.
+
+One module-scoped server fixture on an OS-assigned port keeps the suite
+fast; every HTTP test drives the real asyncio server through the real
+``HttpTransport`` (plus raw ``urllib`` where headers matter).
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.serve import (
+    ChaosRequest,
+    ResultCache,
+    RunRequest,
+    SweepRequest,
+    available_transports,
+    create_transport,
+    submit,
+)
+from repro.serve.client import HttpTransport
+from repro.serve.jobs import JobManager
+from repro.serve.server import ServeServer
+from repro.serve.transport import InProcessTransport
+
+TINY_RUN = dict(app="water", machine="ipsc860", scale="tiny", procs=2)
+
+
+# ---------------------------------------------------------------------- #
+# the job manager
+# ---------------------------------------------------------------------- #
+def test_job_manager_lifecycle_and_cache_hit():
+    manager = JobManager(workers=1)
+    try:
+        request = RunRequest(**TINY_RUN)
+        job = manager.submit(request)
+        assert job.id == "j000001"
+        assert job.cache_key == request.cache_key()
+        done = manager.wait(job.id, timeout=120)
+        assert done.state == "done"
+        assert done.cache_hit is False
+        text = manager.result_text(job.id)
+        # The second submission completes synchronously from the cache,
+        # with byte-identical result text.
+        again = manager.submit(request)
+        assert again.state == "done"
+        assert again.cache_hit is True
+        assert again.result_text == text
+        doc = again.to_doc()
+        assert doc["cache"] == "hit"
+        assert doc["state"] == "done"
+    finally:
+        manager.shutdown()
+
+
+def test_job_manager_failure_keeps_taxonomy():
+    manager = JobManager(workers=1)
+    try:
+        # The guard fires mid-simulation: a *simulation* failure (exit 3),
+        # not a malformed request.
+        request = RunRequest(app="water", scale="tiny", procs=2,
+                             max_sim_time=1e-9)
+        job = manager.submit(request)
+        done = manager.wait(job.id, timeout=120)
+        assert done.state == "failed"
+        assert done.error["exit_code"] == 3
+        assert done.error["type"] == "SimTimeLimitError"
+        with pytest.raises(ExperimentError, match="failed"):
+            manager.result_text(job.id)
+        # A failure is never cached: nothing was stored under the key.
+        assert request.cache_key() not in manager.cache
+    finally:
+        manager.shutdown()
+
+
+def test_job_manager_unknown_job_and_shutdown():
+    manager = JobManager(workers=1)
+    with pytest.raises(ExperimentError, match="unknown job"):
+        manager.get("j999999")
+    manager.shutdown()
+    with pytest.raises(ExperimentError, match="shut down"):
+        manager.submit(RunRequest(**TINY_RUN))
+
+
+def test_job_manager_table_limit():
+    manager = JobManager(workers=1, max_jobs=1)
+    try:
+        manager.submit(RunRequest(**TINY_RUN))
+        with pytest.raises(ExperimentError, match="job table full"):
+            manager.submit(RunRequest(app="water", scale="tiny", procs=4))
+    finally:
+        manager.shutdown()
+
+
+# ---------------------------------------------------------------------- #
+# the transport registry
+# ---------------------------------------------------------------------- #
+def test_registry_lists_all_backends():
+    assert set(available_transports()) == {"inprocess", "http", "grpc",
+                                           "mqtt"}
+
+
+def test_create_transport_unknown_kind():
+    with pytest.raises(ExperimentError, match="unknown transport"):
+        create_transport("carrier-pigeon")
+
+
+@pytest.mark.parametrize("kind,module", [("grpc", "grpc"),
+                                         ("mqtt", "paho.mqtt")])
+def test_optional_transports_name_their_missing_extra(kind, module):
+    # The container deliberately ships without these packages; the stubs
+    # must fail with a message naming the extra, not an ImportError.
+    with pytest.raises(ExperimentError) as exc_info:
+        create_transport(kind)
+    assert kind in str(exc_info.value)
+    message = str(exc_info.value)
+    assert module in message or "registry stub" in message
+
+
+def test_inprocess_transport_round_trip():
+    transport = create_transport("inprocess", workers=1)
+    try:
+        assert isinstance(transport, InProcessTransport)
+        request = RunRequest(**TINY_RUN)
+        job = transport.submit(request)
+        done = transport.wait(job["id"], timeout=120)
+        assert done["state"] == "done"
+        text = transport.result_text(job["id"])
+        assert transport.result(job["id"]) == json.loads(text)
+        # Byte-identical to a direct library submission.
+        assert text == submit(request).text
+        health = transport.health()
+        assert health["status"] == "ok"
+        assert health["jobs"]["done"] == 1
+    finally:
+        transport.close()
+
+
+# ---------------------------------------------------------------------- #
+# the HTTP server, end to end
+# ---------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def server():
+    srv = ServeServer(port=0, cache=ResultCache(), workers=2)
+    srv.start_background()
+    yield srv
+    srv.stop()
+
+
+@pytest.fixture()
+def client(server):
+    return HttpTransport(server.url, request_timeout=120)
+
+
+def _raw(server, method, path, body=None):
+    req = urllib.request.Request(f"{server.url}{path}", data=body,
+                                 method=method)
+    try:
+        with urllib.request.urlopen(req, timeout=120) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()
+
+
+def test_http_submit_twice_second_is_cache_hit(server, client):
+    request = RunRequest(**TINY_RUN)
+    first = client.submit(request)
+    assert first["kind"] == "run"
+    assert first["cache_key"] == request.cache_key()
+    done = client.wait(first["id"], timeout=120)
+    assert done["state"] == "done"
+    assert done["cache"] == "miss"
+
+    second = client.submit(request)
+    assert second["state"] == "done"  # synchronous: no worker involved
+    assert second["cache"] == "hit"
+
+    # Result documents are byte-identical, and the X-Repro-Cache header
+    # tells the two apart.
+    status1, headers1, body1 = _raw(server, "GET",
+                                    f"/v1/jobs/{first['id']}/result")
+    status2, headers2, body2 = _raw(server, "GET",
+                                    f"/v1/jobs/{second['id']}/result")
+    assert status1 == status2 == 200
+    assert headers1["X-Repro-Cache"] == "miss"
+    assert headers2["X-Repro-Cache"] == "hit"
+    assert body1 == body2
+    assert body1 == submit(request).text.encode("utf-8")
+
+
+def test_http_enveloped_and_flat_bodies_equivalent(server, client):
+    request = SweepRequest(app="water", machine="ipsc860", scale="tiny",
+                           procs=(1, 2))
+    flat = client.submit(request)
+    client.wait(flat["id"], timeout=300)
+    status, _, body = _raw(
+        server, "POST", "/v1/jobs",
+        json.dumps({"kind": "sweep",
+                    "request": request.to_json()}).encode("utf-8"))
+    assert status == 200
+    enveloped = json.loads(body)
+    assert enveloped["cache_key"] == flat["cache_key"]
+    assert enveloped["cache"] == "hit"
+
+
+def test_http_chaos_request_runs(server, client):
+    from repro.faults import FaultSpec
+
+    request = ChaosRequest(app="water", procs=2,
+                           faults=FaultSpec(drop_rate=0.02, seed=1))
+    job = client.submit(request)
+    done = client.wait(job["id"], timeout=300)
+    assert done["state"] == "done"
+    doc = client.result(job["id"])
+    assert doc["kind"] == "chaos"
+    assert doc["result"]["verdicts"] == {"coherent": True,
+                                         "deterministic": True}
+
+
+def test_http_bad_request_is_400_with_taxonomy(server, client):
+    status, _, body = _raw(server, "POST", "/v1/jobs",
+                           json.dumps({"kind": "run",
+                                       "app": "nonesuch"}).encode("utf-8"))
+    assert status == 400
+    doc = json.loads(body)
+    assert doc["exit_code"] == 2
+    assert "valid applications" in doc["error"]
+    # The transport surfaces the server-side message.
+    with pytest.raises(ExperimentError, match="valid applications"):
+        client.submit.__self__._call("POST", "/v1/jobs",
+                                     {"kind": "run", "app": "nonesuch"})
+
+
+def test_http_non_json_body_is_400(server):
+    status, _, body = _raw(server, "POST", "/v1/jobs", b"this is not json")
+    assert status == 400
+    assert json.loads(body)["exit_code"] == 2
+
+
+def test_http_unknown_job_is_404(server):
+    for path in ("/v1/jobs/j999999", "/v1/jobs/j999999/result"):
+        status, _, body = _raw(server, "GET", path)
+        assert status == 404
+        assert "unknown job" in json.loads(body)["error"]
+
+
+def test_http_unknown_endpoint_is_404_and_bad_method_405(server):
+    status, _, _ = _raw(server, "GET", "/v1/teleport")
+    assert status == 404
+    status, _, body = _raw(server, "POST", "/v1/jobs/j000001")
+    assert status == 405
+    assert json.loads(body)["exit_code"] == 2
+
+
+def test_http_failed_job_maps_exit_code_to_500(server, client):
+    request = RunRequest(app="water", scale="tiny", procs=2,
+                         max_sim_time=1e-9)
+    job = client.submit(request)
+    done = client.wait(job["id"], timeout=120)
+    assert done["state"] == "failed"
+    assert done["error"]["exit_code"] == 3
+    status, _, body = _raw(server, "GET", f"/v1/jobs/{job['id']}/result")
+    assert status == 500
+    doc = json.loads(body)
+    assert doc["exit_code"] == 3
+    assert doc["type"] == "SimTimeLimitError"
+
+
+def test_http_health_and_describe(server, client):
+    from repro.serve.api import describe_catalog
+
+    health = client.health()
+    assert health["status"] == "ok"
+    assert health["workers"] == 2
+    assert set(health["cache"]) == {"hits", "misses", "stores", "entries"}
+    # GET /v1/describe is the same catalog the CLI prints (satellite 1).
+    assert client.describe() == describe_catalog()
+
+
+def test_http_transport_unreachable_server():
+    client = HttpTransport("http://127.0.0.1:9", request_timeout=2)
+    with pytest.raises(ExperimentError, match="cannot reach"):
+        client.health()
