@@ -13,6 +13,7 @@ Commands
 ``check``      validate access specs, detect races, verify determinism
 ``describe``   list applications, machines, optimization switches
 ``serve``      run the HTTP job server (async queue + result cache)
+``status``     one-shot text dashboard for a running serve instance
 
 Exit codes: 0 success, 1 a verification/regression failed, 2 bad
 arguments or configuration, 3 the simulation itself raised (coherence
@@ -126,6 +127,11 @@ def cmd_sweep(args) -> int:
     machine = MachineKind(args.machine)
     procs = args.procs or PAPER_PROCS
     jobs = default_jobs() if args.jobs is None else args.jobs
+    # Heartbeats (sweep_progress events) only appear when asked for:
+    # the default warning level keeps plain sweeps byte-quiet.
+    from repro.telemetry.log import configure_from_args
+
+    configure_from_args(args, default_level="warning")
     if jobs < 1:
         print(f"error: --jobs must be >= 1, got {jobs}", file=sys.stderr)
         return 2
@@ -271,6 +277,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="degraded mode: keep completed units and "
                               "report failures instead of aborting the "
                               "whole sweep (exit 1 when any unit failed)")
+    from repro.telemetry.log import add_logging_args
+
+    add_logging_args(sweep_p)
     sweep_p.set_defaults(func=cmd_sweep)
 
     an_p = sub.add_parser("analyze", help="static concurrency analysis")
@@ -282,13 +291,14 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.faults.cli import add_chaos_parser
     from repro.obs.benchdiff import add_benchdiff_parser
     from repro.obs.cli import add_profile_parser
-    from repro.serve.cli import add_serve_parser
+    from repro.serve.cli import add_serve_parser, add_status_parser
 
     add_check_parser(sub)
     add_profile_parser(sub)
     add_benchdiff_parser(sub)
     add_chaos_parser(sub)
     add_serve_parser(sub)
+    add_status_parser(sub)
 
     de_p = sub.add_parser("describe", help="list apps/machines/switches")
     de_p.add_argument("--json", action="store_true",

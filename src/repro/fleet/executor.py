@@ -44,8 +44,10 @@ configuration.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
+import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeout
@@ -58,6 +60,10 @@ from repro.errors import ExperimentError
 from repro.lab.experiments import ExperimentRow, levels_for, run_app
 from repro.runtime import RunMetrics, RuntimeOptions
 from repro.runtime.options import LocalityLevel
+from repro.telemetry.log import get_logger, log_event
+from repro.telemetry.metrics import MetricsRegistry, default_registry
+
+_log = get_logger("fleet")
 
 
 @dataclass(frozen=True)
@@ -117,6 +123,8 @@ class _WorkerResult:
     metrics: Optional[RunMetrics] = None
     error: Optional[str] = None
     trace: Optional[str] = None
+    #: Worker process that ran the unit (per-worker progress accounting).
+    pid: int = 0
 
 
 def _run_unit(indexed: Any) -> _WorkerResult:
@@ -136,10 +144,10 @@ def _run_unit(indexed: Any) -> _WorkerResult:
         # Raw simulation state: excluded from every snapshot, and the only
         # RunMetrics field whose pickled size scales with the data set.
         metrics.final_store = None
-        return _WorkerResult(index, metrics=metrics)
+        return _WorkerResult(index, metrics=metrics, pid=os.getpid())
     except BaseException as exc:  # noqa: BLE001 - shipped to the parent
         return _WorkerResult(index, error=f"{type(exc).__name__}: {exc}",
-                             trace=traceback.format_exc())
+                             trace=traceback.format_exc(), pid=os.getpid())
 
 
 def _mp_context():
@@ -194,6 +202,92 @@ class SweepOutcome:
         return sum(m is not None for m in self.metrics)
 
 
+def _fleet_instruments(registry: Optional[MetricsRegistry]) -> Dict[str, Any]:
+    """The fleet's counters on ``registry`` (default: process-wide)."""
+    registry = registry if registry is not None else default_registry()
+    return {
+        "dispatched": registry.counter(
+            "repro_fleet_units_dispatched_total",
+            "Sweep units handed to workers (requeued units re-count)"),
+        "completed": registry.counter(
+            "repro_fleet_units_completed_total",
+            "Sweep units that produced metrics"),
+        "timed_out": registry.counter(
+            "repro_fleet_units_timed_out_total",
+            "Sweep units killed by the per-unit wall-clock budget"),
+        "retried": registry.counter(
+            "repro_fleet_units_retried_total",
+            "Sweep units requeued onto a fresh pool after a pool death"),
+        "pool_restarts": registry.counter(
+            "repro_fleet_pool_restarts_total",
+            "Fresh pools built after a worker died outright"),
+    }
+
+
+class _Progress:
+    """Throttled sweep heartbeats: completed/total, ETA, per-worker counts.
+
+    Emits a ``sweep_progress`` JSONL-able log event at most once per
+    ``interval`` seconds (0 emits on every completion — tests), plus one
+    final ``sweep_complete`` event.  Logging only: never touches unit
+    results, so the byte-identical parallel-vs-serial contract holds with
+    heartbeats enabled.
+    """
+
+    def __init__(self, total: int, interval: float,
+                 instruments: Dict[str, Any]) -> None:
+        self.total = total
+        self.interval = interval
+        self.completed = 0
+        self.failed = 0
+        self.per_worker: Dict[int, int] = {}
+        self.instruments = instruments
+        self._t0 = time.monotonic()
+        self._last = self._t0
+
+    def _worker_doc(self) -> Dict[str, int]:
+        return {str(pid): count
+                for pid, count in sorted(self.per_worker.items())}
+
+    def record(self, result: _WorkerResult) -> None:
+        if result.error is None:
+            self.completed += 1
+            self.instruments["completed"].inc()
+        else:
+            self.failed += 1
+        if result.pid:
+            self.per_worker[result.pid] = \
+                self.per_worker.get(result.pid, 0) + 1
+        self._maybe_emit()
+
+    def timed_out(self) -> None:
+        self.failed += 1
+        self.instruments["timed_out"].inc()
+        self._maybe_emit()
+
+    def _maybe_emit(self) -> None:
+        now = time.monotonic()
+        if now - self._last < self.interval:
+            return
+        self._last = now
+        elapsed = now - self._t0
+        done = self.completed + self.failed
+        eta = (elapsed / done) * (self.total - done) if done else None
+        log_event(_log, logging.INFO, "sweep_progress",
+                  completed=self.completed, failed=self.failed,
+                  total=self.total, elapsed_s=round(elapsed, 3),
+                  eta_s=round(eta, 3) if eta is not None else None,
+                  per_worker=self._worker_doc())
+
+    def complete(self, outcome: "SweepOutcome") -> None:
+        log_event(_log, logging.INFO, "sweep_complete",
+                  completed=outcome.completed,
+                  failed=len(outcome.failures), total=self.total,
+                  elapsed_s=round(time.monotonic() - self._t0, 3),
+                  pool_restarts=outcome.pool_restarts,
+                  per_worker=self._worker_doc())
+
+
 def _kill_pool(pool: ProcessPoolExecutor) -> None:
     """Tear a pool down *now*: terminate workers, abandon queued work.
 
@@ -212,6 +306,7 @@ def _harvest(
     futures: List[Tuple[Tuple[int, SweepUnit], Any]],
     start: int,
     results: List[_WorkerResult],
+    progress: _Progress,
 ) -> List[Tuple[int, SweepUnit]]:
     """Collect finished results from ``futures[start:]``; return the rest.
 
@@ -224,6 +319,7 @@ def _harvest(
         if fut.done():
             try:
                 results.append(fut.result(timeout=0))
+                progress.record(results[-1])
                 continue
             except BaseException:  # noqa: BLE001 - crashed with the pool
                 pass
@@ -238,6 +334,7 @@ def _pooled_results(
     retries: int,
     partial: bool,
     outcome: SweepOutcome,
+    progress: _Progress,
 ) -> List[_WorkerResult]:
     """The hardened pool loop: submit, await in order, recover, requeue."""
     results: List[_WorkerResult] = []
@@ -247,12 +344,14 @@ def _pooled_results(
         pool = ProcessPoolExecutor(
             max_workers=min(jobs, len(pending)), mp_context=_mp_context())
         futures = [(pair, pool.submit(_run_unit, pair)) for pair in pending]
+        progress.instruments["dispatched"].inc(len(pending))
         requeue: Optional[List[Tuple[int, SweepUnit]]] = None
         try:
             for position, (pair, fut) in enumerate(futures):
                 index, unit = pair
                 try:
                     results.append(fut.result(timeout=timeout))
+                    progress.record(results[-1])
                 except FuturesTimeout:
                     if not partial:
                         raise ExperimentError(
@@ -264,7 +363,12 @@ def _pooled_results(
                         index, unit.describe(), "timeout",
                         f"exceeded the {timeout:g}s per-unit wall-clock "
                         "budget; worker killed"))
-                    requeue = _harvest(futures, position + 1, results)
+                    progress.timed_out()
+                    log_event(_log, logging.WARNING, "unit_timeout",
+                              unit=unit.describe(), index=index,
+                              timeout_s=timeout)
+                    requeue = _harvest(futures, position + 1, results,
+                                       progress)
                     break
                 except BrokenProcessPool as exc:
                     if restarts_left <= 0:
@@ -291,10 +395,15 @@ def _pooled_results(
                         ) from exc
                     restarts_left -= 1
                     outcome.pool_restarts += 1
+                    progress.instruments["pool_restarts"].inc()
                     # The current unit is requeued too: pool death is a
                     # host-side event, not a property of the unit.
                     requeue = [pair] + _harvest(futures, position + 1,
-                                                results)
+                                                results, progress)
+                    progress.instruments["retried"].inc(len(requeue))
+                    log_event(_log, logging.WARNING, "pool_restart",
+                              requeued=len(requeue),
+                              restarts_left=restarts_left)
                     break
         finally:
             _kill_pool(pool)
@@ -310,6 +419,8 @@ def run_units_resilient(
     timeout: Optional[float] = None,
     retries: int = 1,
     partial: bool = False,
+    registry: Optional[MetricsRegistry] = None,
+    progress_interval: float = 30.0,
 ) -> SweepOutcome:
     """Execute every unit with timeout/retry/partial hardening.
 
@@ -329,6 +440,10 @@ def run_units_resilient(
     * ``partial`` — degraded mode: failed units become typed
       :class:`UnitFailure` entries and every completed unit's metrics are
       still returned, instead of one failure discarding the whole sweep.
+    * ``progress_interval`` — minimum seconds between ``sweep_progress``
+      heartbeat log events (completed/total, ETA, per-worker unit
+      counts); a final ``sweep_complete`` event always fires.  Logging
+      only — heartbeats never touch results.
     """
     jobs = default_jobs() if jobs is None else jobs
     if jobs < 1:
@@ -339,11 +454,17 @@ def run_units_resilient(
         raise ExperimentError(f"retries must be >= 0, got {retries}")
     outcome = SweepOutcome(metrics=[None] * len(units))
     indexed = list(enumerate(units))
+    progress = _Progress(len(units), progress_interval,
+                         _fleet_instruments(registry))
     if jobs == 1 or len(units) <= 1:
-        results = [_run_unit(pair) for pair in indexed]
+        progress.instruments["dispatched"].inc(len(indexed))
+        results = []
+        for pair in indexed:
+            results.append(_run_unit(pair))
+            progress.record(results[-1])
     else:
         results = _pooled_results(indexed, jobs, timeout, retries, partial,
-                                  outcome)
+                                  outcome, progress)
     for result in results:
         if result.error is not None:
             unit = units[result.index]
@@ -357,6 +478,7 @@ def run_units_resilient(
                 f"{result.trace}")
         outcome.metrics[result.index] = result.metrics
     outcome.failures.sort(key=lambda failure: failure.index)
+    progress.complete(outcome)
     return outcome
 
 

@@ -20,7 +20,12 @@ Three document kinds are versioned:
 * ``repro.serve/1`` — the result document the service returns for a job:
   the canonical request, its content-addressed cache key, and the
   kind-specific result payload.  Deliberately free of wall-clock fields,
-  so a cache hit is byte-identical to the fresh computation.
+  so a cache hit is byte-identical to the fresh computation;
+* ``repro.telemetry/1`` — the metrics snapshot ``GET /v1/metrics``
+  serves alongside the Prometheus text exposition: every metric family
+  (counter/gauge/histogram) with its samples, in deterministic
+  name-then-label order.  Values are operational and wall-clock
+  dependent; the *layout* is canonical.
 
 The validator is hand-rolled (structural checks, no external dependency)
 so it runs in the minimal CI image; it returns a list of human-readable
@@ -40,6 +45,7 @@ BENCH_SCHEMA = "repro.bench/1"
 CHAOS_SCHEMA = "repro.chaos/1"
 SWEEP_SCHEMA = "repro.sweep/1"
 SERVE_SCHEMA = "repro.serve/1"
+TELEMETRY_SCHEMA = "repro.telemetry/1"
 
 #: The request kinds a ``repro.serve/1`` document may carry.
 SERVE_KINDS = ("run", "sweep", "chaos")
@@ -398,8 +404,128 @@ def validate_serve(doc: Any) -> List[str]:
     return problems
 
 
+_TELEMETRY_TYPES = ("counter", "gauge", "histogram")
+
+
+def _validate_telemetry_sample(index: int, sindex: int, entry: Dict[str, Any],
+                               sample: Any, problems: List[str]) -> None:
+    prefix = f"metrics[{index}].samples[{sindex}]"
+    if not isinstance(sample, dict):
+        problems.append(f"{prefix} is not an object")
+        return
+    labels = sample.get("labels")
+    if not isinstance(labels, dict):
+        problems.append(f"{prefix}.labels missing or not an object")
+    else:
+        names = entry.get("label_names")
+        if isinstance(names, list) and sorted(labels) != sorted(names):
+            problems.append(
+                f"{prefix}.labels {sorted(labels)} do not match "
+                f"label_names {sorted(names)}")
+        if any(not isinstance(v, str) for v in labels.values()):
+            problems.append(f"{prefix}.labels has non-string values")
+    if entry.get("type") in ("counter", "gauge"):
+        value = sample.get("value")
+        if not _finite(value):
+            problems.append(f"{prefix}.value missing or not finite")
+        elif entry.get("type") == "counter" and value < 0:
+            problems.append(f"{prefix}.value is a negative counter")
+        return
+    # histogram
+    count = sample.get("count")
+    if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+        problems.append(f"{prefix}.count missing or not a non-negative int")
+        count = None
+    if not _finite(sample.get("sum")):
+        problems.append(f"{prefix}.sum missing or not finite")
+    buckets = sample.get("buckets")
+    if not isinstance(buckets, list):
+        problems.append(f"{prefix}.buckets missing or not a list")
+        return
+    last_le, last_count = -math.inf, 0
+    for bindex, bucket in enumerate(buckets):
+        if not isinstance(bucket, dict) or not _finite(bucket.get("le")) \
+                or not isinstance(bucket.get("count"), int):
+            problems.append(f"{prefix}.buckets[{bindex}] malformed")
+            return
+        if bucket["le"] <= last_le:
+            problems.append(
+                f"{prefix}.buckets[{bindex}].le not strictly increasing")
+        if bucket["count"] < last_count:
+            problems.append(
+                f"{prefix}.buckets[{bindex}].count decreased "
+                "(buckets are cumulative)")
+        last_le, last_count = bucket["le"], bucket["count"]
+    if count is not None and buckets and last_count > count:
+        problems.append(
+            f"{prefix}: largest bucket count {last_count} exceeds "
+            f"total count {count}")
+
+
+def validate_telemetry(doc: Any) -> List[str]:
+    """Structurally validate a ``repro.telemetry/1`` metrics snapshot.
+
+    Beyond per-field checks, the *deterministic layout* contract is
+    enforced: family names strictly ascending, and each family's samples
+    strictly ascending by label-value tuple (in ``label_names`` order).
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["snapshot is not a JSON object"]
+    if doc.get("schema") != TELEMETRY_SCHEMA:
+        problems.append(
+            f"schema is {doc.get('schema')!r}, expected {TELEMETRY_SCHEMA!r}")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, list):
+        problems.append("'metrics' missing or not a list")
+        return problems
+    last_name = ""
+    for index, entry in enumerate(metrics):
+        if not isinstance(entry, dict):
+            problems.append(f"metrics[{index}] is not an object")
+            continue
+        name = entry.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append(f"metrics[{index}].name missing")
+        else:
+            if last_name and name <= last_name:
+                problems.append(
+                    f"metrics[{index}].name {name!r} not sorted after "
+                    f"{last_name!r} (deterministic ordering violated)")
+            last_name = name
+        if entry.get("type") not in _TELEMETRY_TYPES:
+            problems.append(
+                f"metrics[{index}].type is {entry.get('type')!r}, expected "
+                f"one of {list(_TELEMETRY_TYPES)!r}")
+        if not isinstance(entry.get("help"), str):
+            problems.append(f"metrics[{index}].help missing")
+        names = entry.get("label_names")
+        if not isinstance(names, list) \
+                or any(not isinstance(n, str) for n in names):
+            problems.append(
+                f"metrics[{index}].label_names missing or malformed")
+        samples = entry.get("samples")
+        if not isinstance(samples, list):
+            problems.append(f"metrics[{index}].samples missing or not a list")
+            continue
+        last_key: Any = None
+        for sindex, sample in enumerate(samples):
+            _validate_telemetry_sample(index, sindex, entry, sample, problems)
+            if isinstance(sample, dict) and isinstance(names, list) \
+                    and isinstance(sample.get("labels"), dict):
+                key = tuple(str(sample["labels"].get(n, "")) for n in names)
+                if last_key is not None and key <= last_key:
+                    problems.append(
+                        f"metrics[{index}].samples[{sindex}] labels not "
+                        "sorted (deterministic ordering violated)")
+                last_key = key
+    return problems
+
+
 def validate_snapshot(doc: Any) -> List[str]:
     """Validate any snapshot kind, dispatching on the schema tag."""
+    if isinstance(doc, dict) and doc.get("schema") == TELEMETRY_SCHEMA:
+        return validate_telemetry(doc)
     if isinstance(doc, dict) and doc.get("schema") == BENCH_SCHEMA:
         return validate_bench(doc)
     if isinstance(doc, dict) and doc.get("schema") == CHAOS_SCHEMA:

@@ -197,10 +197,16 @@ def chaos_verdict(request: ChaosRequest) -> Tuple[Dict[str, Any], Any, Any]:
 # the uniform entry points
 # ---------------------------------------------------------------------- #
 def execute(request: _Request,
-            policy: Optional[ExecutionPolicy] = None) -> Dict[str, Any]:
-    """Run ``request`` synchronously; return the kind-specific payload."""
+            policy: Optional[ExecutionPolicy] = None,
+            tracer=None) -> Dict[str, Any]:
+    """Run ``request`` synchronously; return the kind-specific payload.
+
+    ``tracer`` (a :class:`repro.sim.trace.Tracer`) applies to run
+    requests only — it records the simulation's event timeline without
+    touching its numerics, so tracing never changes the payload.
+    """
     if isinstance(request, RunRequest):
-        return run_metrics(request).to_json()
+        return run_metrics(request, tracer=tracer).to_json()
     if isinstance(request, SweepRequest):
         from repro.fleet import sweep_snapshot_doc
 
@@ -238,14 +244,16 @@ class SubmitResult:
 
 def submit(request: _Request,
            cache: Optional[ResultCache] = None,
-           policy: Optional[ExecutionPolicy] = None) -> SubmitResult:
+           policy: Optional[ExecutionPolicy] = None,
+           tracer=None) -> SubmitResult:
     """The service entry point: execute (or recall) one request.
 
     With a cache, the request's content address is consulted first; a hit
     returns the stored text verbatim (determinism makes it byte-identical
     to recomputation).  A miss executes, validates the ``repro.serve/1``
     document against :mod:`repro.obs.schema`, serializes it canonically,
-    stores the bytes, and returns them.
+    stores the bytes, and returns them.  ``tracer`` rides along to
+    :func:`execute` for run requests; it is never part of the cache key.
     """
     import json as _json
 
@@ -257,7 +265,7 @@ def submit(request: _Request,
         if text is not None:
             return SubmitResult(doc=_json.loads(text), text=text,
                                 cache_key=key, cache_hit=True)
-    payload = execute(request, policy)
+    payload = execute(request, policy, tracer=tracer)
     doc = result_doc(request, payload)
     assert_valid(doc)
     text = dump_json(doc) + "\n"
@@ -284,6 +292,7 @@ def describe_catalog() -> Dict[str, Any]:
         CHAOS_SCHEMA,
         PROFILE_SCHEMA,
         SWEEP_SCHEMA,
+        TELEMETRY_SCHEMA,
     )
     from repro.runtime import RuntimeOptions
 
@@ -315,5 +324,5 @@ def describe_catalog() -> Dict[str, Any]:
         "switches": switches,
         "request_kinds": ["run", "sweep", "chaos"],
         "schemas": [PROFILE_SCHEMA, BENCH_SCHEMA, SWEEP_SCHEMA, CHAOS_SCHEMA,
-                    SERVE_SCHEMA],
+                    SERVE_SCHEMA, TELEMETRY_SCHEMA],
     }

@@ -20,6 +20,11 @@ Two tiers share one interface:
 Writes are atomic (temp file + rename) and idempotent: two racing
 workers computing the same key store byte-identical text, so last-write
 wins is harmless.  All operations are thread-safe.
+
+Telemetry: every cache carries hit/miss/store/eviction counters both as
+plain ints (``counters()``/``stats()``, the ``/v1/health`` payload) and
+as :mod:`repro.telemetry` instruments on the process registry, so a
+``GET /v1/metrics`` scrape and a health poll always tell the same story.
 """
 
 from __future__ import annotations
@@ -28,7 +33,9 @@ import json
 import os
 import threading
 import time
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple
+
+from repro.telemetry.metrics import MetricsRegistry, default_registry
 
 
 def _is_key(key: str) -> bool:
@@ -40,7 +47,8 @@ class ResultCache:
     """Thread-safe content-addressed store of result-document text."""
 
     def __init__(self, directory: Optional[str] = None,
-                 max_entries: Optional[int] = None) -> None:
+                 max_entries: Optional[int] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.directory = directory
@@ -50,6 +58,23 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.evictions = 0
+        registry = registry if registry is not None else default_registry()
+        self._m_hits = registry.counter(
+            "repro_cache_hits_total",
+            "Result-cache lookups answered from a tier")
+        self._m_misses = registry.counter(
+            "repro_cache_misses_total",
+            "Result-cache lookups that required computation")
+        self._m_stores = registry.counter(
+            "repro_cache_stores_total", "Result documents stored")
+        self._m_evictions = registry.counter(
+            "repro_cache_evictions_total",
+            "Memory-tier entries evicted (FIFO; disk tier never evicts)")
+        self._g_entries = registry.gauge(
+            "repro_cache_entries", "Distinct cached result documents")
+        self._g_disk_bytes = registry.gauge(
+            "repro_cache_disk_bytes", "Bytes held by the disk tier")
         if directory:
             os.makedirs(directory, exist_ok=True)
 
@@ -80,8 +105,10 @@ class ResultCache:
                     self._memory[key] = text
             if text is None:
                 self.misses += 1
+                self._m_misses.inc()
                 return None
             self.hits += 1
+            self._m_hits.inc()
             return text
 
     def put(self, key: str, text: str, schema: Optional[str] = None) -> None:
@@ -95,8 +122,11 @@ class ResultCache:
                 # FIFO eviction from the memory tier only: disk entries
                 # are the durable record and stay put.
                 self._memory.pop(next(iter(self._memory)))
+                self.evictions += 1
+                self._m_evictions.inc()
             self._memory[key] = text
             self.stores += 1
+            self._m_stores.inc()
             if self.directory:
                 self._write_atomic(self._path(key), text)
                 meta = {"key": key, "stored_at": time.time()}
@@ -147,3 +177,44 @@ class ResultCache:
             hits, misses, stores = self.hits, self.misses, self.stores
         return {"hits": hits, "misses": misses, "stores": stores,
                 "entries": len(self)}
+
+    def _disk_usage(self) -> Tuple[int, int]:
+        """``(entries, bytes)`` of the disk tier (0, 0 when memory-only)."""
+        if not self.directory:
+            return 0, 0
+        entries = size = 0
+        try:
+            with os.scandir(self.directory) as it:
+                for item in it:
+                    if not item.is_file():
+                        continue
+                    try:
+                        size += item.stat().st_size
+                    except OSError:
+                        continue
+                    if item.name.endswith(".json") \
+                            and not item.name.endswith(".meta.json") \
+                            and _is_key(item.name[:-5]):
+                        entries += 1
+        except OSError:
+            return 0, 0
+        return entries, size
+
+    def stats(self) -> Dict[str, int]:
+        """:meth:`counters` plus eviction and disk-tier pressure numbers.
+
+        The ``/v1/health`` cache section: operators see eviction pressure
+        (``evictions`` climbing means ``max_entries`` is too small) and
+        disk-tier growth (``disk_bytes``) without a metrics stack.  Also
+        refreshes the entry/disk gauges, so a metrics scrape that calls
+        here reports the same numbers.
+        """
+        stats = self.counters()
+        with self._lock:
+            stats["evictions"] = self.evictions
+        disk_entries, disk_bytes = self._disk_usage()
+        stats["disk_entries"] = disk_entries
+        stats["disk_bytes"] = disk_bytes
+        self._g_entries.set(stats["entries"])
+        self._g_disk_bytes.set(disk_bytes)
+        return stats

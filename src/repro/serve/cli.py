@@ -1,8 +1,10 @@
-"""The ``repro serve`` subcommand: run the HTTP job server."""
+"""The ``repro serve`` and ``repro status`` subcommands."""
 
 from __future__ import annotations
 
 import sys
+
+from repro.telemetry.log import add_logging_args, configure_from_args
 
 
 def add_serve_parser(sub) -> None:
@@ -32,7 +34,42 @@ def add_serve_parser(sub) -> None:
                         "default is in-memory only")
     p.add_argument("--max-jobs", type=int, default=10_000, metavar="N",
                    help="job-table capacity guard (default 10000)")
+    p.add_argument("--trace-dir", metavar="PATH", default=None,
+                   help="write each run job's simulation event timeline to "
+                        "PATH/<job_id>.trace.json (observation only)")
+    add_logging_args(p)
     p.set_defaults(func=cmd_serve)
+
+
+def add_status_parser(sub) -> None:
+    """Register the ``status`` subcommand on an argparse subparsers object."""
+    p = sub.add_parser(
+        "status",
+        help="one-shot text dashboard for a running repro serve instance",
+        description="Fetch /v1/health and /v1/metrics from a running "
+                    "server and render jobs, latency, cache and HTTP "
+                    "traffic as one terminal screen.",
+    )
+    p.add_argument("url", help="server base URL, e.g. http://127.0.0.1:8753")
+    p.add_argument("--timeout", type=float, default=10.0, metavar="SECONDS",
+                   help="per-request timeout (default 10)")
+    p.set_defaults(func=cmd_status)
+
+
+def cmd_status(args) -> int:
+    from repro.errors import ExperimentError
+    from repro.serve.client import HttpTransport
+    from repro.telemetry.dashboard import render_dashboard
+
+    transport = HttpTransport(args.url, request_timeout=args.timeout)
+    try:
+        health = transport.health()
+        snapshot = transport.metrics_json()
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_dashboard(transport.base_url, health, snapshot))
+    return 0
 
 
 def cmd_serve(args) -> int:
@@ -52,11 +89,13 @@ def cmd_serve(args) -> int:
         print(f"error: --timeout must be positive, got {args.timeout}",
               file=sys.stderr)
         return 2
+    configure_from_args(args, default_level="info")
     try:
         cache = ResultCache(directory=args.cache_dir)
         server = ServeServer(host=args.host, port=args.port, cache=cache,
                              workers=args.workers, sweep_jobs=args.sweep_jobs,
-                             timeout=args.timeout, max_jobs=args.max_jobs)
+                             timeout=args.timeout, max_jobs=args.max_jobs,
+                             trace_dir=args.trace_dir)
     except (OSError, ValueError, ExperimentError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

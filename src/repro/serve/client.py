@@ -74,5 +74,13 @@ class HttpTransport(Transport):
     def health(self) -> Dict[str, Any]:
         return self._call_json("GET", "/v1/health")
 
+    def metrics_text(self) -> str:
+        """The server's Prometheus text exposition."""
+        return self._call("GET", "/v1/metrics").decode("utf-8")
+
+    def metrics_json(self) -> Dict[str, Any]:
+        """The server's ``repro.telemetry/1`` JSON snapshot."""
+        return self._call_json("GET", "/v1/metrics?format=json")
+
     def describe(self) -> Dict[str, Any]:
         return self._call_json("GET", "/v1/describe")

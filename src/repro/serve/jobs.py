@@ -18,10 +18,21 @@ request, 3 simulation raised), which the HTTP layer maps onto status
 codes.  Timestamps are host wall-clock for operators; they live only in
 job documents, never in result documents — result bytes stay
 deterministic.
+
+Telemetry: the manager counts submissions/completions/failures per kind
+and observes submit-to-finish latency into a per-kind histogram; every
+lifecycle log line a job emits — including the fleet heartbeats running
+on its worker thread — carries the job's id via
+:func:`repro.telemetry.log.job_context`.  With ``trace_dir`` set, run
+jobs additionally write their simulation event timeline to
+``<trace_dir>/<job_id>.trace.json`` (observation only: tracing never
+changes result bytes).
 """
 
 from __future__ import annotations
 
+import logging
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -31,9 +42,17 @@ from typing import Any, Dict, Optional
 from repro.errors import ExperimentError, exit_code_for
 from repro.serve.api import ExecutionPolicy, submit as api_submit
 from repro.serve.cache import ResultCache
-from repro.serve.requests import SweepRequest, _Request
+from repro.serve.requests import RunRequest, SweepRequest, _Request
+from repro.telemetry.log import get_logger, job_context, log_event
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    default_registry,
+)
 
 _STATES = ("queued", "running", "done", "failed")
+
+_log = get_logger("serve.jobs")
 
 
 @dataclass
@@ -79,7 +98,9 @@ class JobManager:
 
     def __init__(self, cache: Optional[ResultCache] = None, workers: int = 2,
                  sweep_jobs: int = 1, timeout: Optional[float] = None,
-                 max_jobs: int = 10_000) -> None:
+                 max_jobs: int = 10_000,
+                 registry: Optional[MetricsRegistry] = None,
+                 trace_dir: Optional[str] = None) -> None:
         if workers < 1:
             raise ExperimentError(f"workers must be >= 1, got {workers}")
         self.cache = cache if cache is not None else ResultCache()
@@ -87,10 +108,36 @@ class JobManager:
         #: Process fan-out each sweep job may use (fleet worker pool).
         self.policy = ExecutionPolicy(jobs=max(1, sweep_jobs),
                                       timeout=timeout)
+        self.trace_dir = trace_dir
+        if trace_dir:
+            os.makedirs(trace_dir, exist_ok=True)
         self._max_jobs = max_jobs
         self._lock = threading.Lock()
         self._jobs: Dict[str, Job] = {}
         self._counter = 0
+        self._started = time.time()
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        registry = registry if registry is not None else default_registry()
+        self._m_submitted = registry.counter(
+            "repro_jobs_submitted_total", "Jobs accepted by the manager",
+            labels=("kind",))
+        self._m_completed = registry.counter(
+            "repro_jobs_completed_total", "Jobs finished successfully",
+            labels=("kind", "cache"))
+        self._m_failed = registry.counter(
+            "repro_jobs_failed_total", "Jobs that raised", labels=("kind",))
+        self._g_queued = registry.gauge(
+            "repro_jobs_queued",
+            "Jobs waiting for a worker (refreshed at scrape time)")
+        self._g_running = registry.gauge(
+            "repro_jobs_running",
+            "Jobs currently executing (refreshed at scrape time)")
+        self._h_latency = registry.histogram(
+            "repro_job_latency_seconds",
+            "Submit-to-finish wall-clock seconds", labels=("kind",),
+            buckets=DEFAULT_LATENCY_BUCKETS)
         self._pool = ThreadPoolExecutor(max_workers=workers,
                                         thread_name_prefix="repro-serve")
         self._closed = False
@@ -110,6 +157,10 @@ class JobManager:
             job = Job(id=f"j{self._counter:06d}", request=request,
                       cache_key=key)
             self._jobs[job.id] = job
+            self._submitted += 1
+        self._m_submitted.inc(kind=request.kind)
+        log_event(_log, logging.INFO, "job_submitted", job_id=job.id,
+                  kind=request.kind, cache_key=key)
         # Peek before get: the worker path consults the cache again via
         # ``api_submit``, so only count one miss per actual computation.
         cached = self.cache.get(key) if key in self.cache else None
@@ -118,32 +169,81 @@ class JobManager:
             job.cache_hit = True
             job.result_text = cached
             job.started = job.finished = time.time()
+            self._finish(job)
             job.done_event.set()
             return job
         self._pool.submit(self._run, job)
         return job
 
+    def _finish(self, job: Job) -> None:
+        """Count one finished job (completed or failed) into telemetry."""
+        kind = job.request.kind
+        assert job.finished is not None
+        duration = job.finished - job.created
+        self._h_latency.observe(duration, kind=kind)
+        if job.state == "failed":
+            with self._lock:
+                self._failed += 1
+            self._m_failed.inc(kind=kind)
+            assert job.error is not None
+            log_event(_log, logging.ERROR, "job_failed", job_id=job.id,
+                      kind=kind, duration_s=round(duration, 6),
+                      error_type=job.error["type"],
+                      error=job.error["message"],
+                      exit_code=job.error["exit_code"])
+        else:
+            cache = "hit" if job.cache_hit else "miss"
+            with self._lock:
+                self._completed += 1
+            self._m_completed.inc(kind=kind, cache=cache)
+            log_event(_log, logging.INFO, "job_completed", job_id=job.id,
+                      kind=kind, cache=cache, duration_s=round(duration, 6))
+
+    def _tracer_for(self, job: Job):
+        """A fresh tracer for run jobs when ``trace_dir`` is set."""
+        if not self.trace_dir or not isinstance(job.request, RunRequest):
+            return None
+        from repro.sim.trace import Tracer
+
+        return Tracer(enabled=True)
+
     def _run(self, job: Job) -> None:
-        job.state = "running"
-        job.started = time.time()
-        try:
-            policy = self.policy if isinstance(job.request, SweepRequest) \
-                else ExecutionPolicy(jobs=1, timeout=None)
-            result = api_submit(job.request, cache=self.cache, policy=policy)
-            job.result_text = result.text
-            job.cache_hit = result.cache_hit
-            job.state = "done"
-        except Exception as exc:  # noqa: BLE001 - shipped to the client
-            job.cache_hit = False
-            job.error = {
-                "type": type(exc).__name__,
-                "message": str(exc),
-                "exit_code": exit_code_for(exc),
-            }
-            job.state = "failed"
-        finally:
-            job.finished = time.time()
-            job.done_event.set()
+        with job_context(job.id):
+            job.state = "running"
+            job.started = time.time()
+            log_event(_log, logging.INFO, "job_started",
+                      kind=job.request.kind)
+            tracer = self._tracer_for(job)
+            try:
+                policy = self.policy \
+                    if isinstance(job.request, SweepRequest) \
+                    else ExecutionPolicy(jobs=1, timeout=None)
+                result = api_submit(job.request, cache=self.cache,
+                                    policy=policy, tracer=tracer)
+                job.result_text = result.text
+                job.cache_hit = result.cache_hit
+                # Persist the trace before the job becomes visible as
+                # done, so a client that polled to completion can read it.
+                if tracer is not None and len(tracer) \
+                        and not result.cache_hit:
+                    path = os.path.join(self.trace_dir,
+                                        f"{job.id}.trace.json")
+                    tracer.write(path)
+                    log_event(_log, logging.INFO, "job_trace_written",
+                              path=path, events=len(tracer))
+                job.state = "done"
+            except Exception as exc:  # noqa: BLE001 - shipped to the client
+                job.cache_hit = False
+                job.error = {
+                    "type": type(exc).__name__,
+                    "message": str(exc),
+                    "exit_code": exit_code_for(exc),
+                }
+                job.state = "failed"
+            finally:
+                job.finished = time.time()
+                self._finish(job)
+                job.done_event.set()
 
     # ------------------------------------------------------------------ #
     def get(self, job_id: str) -> Job:
@@ -176,17 +276,41 @@ class JobManager:
         return job
 
     # ------------------------------------------------------------------ #
-    def health(self) -> Dict[str, Any]:
+    def _state_counts(self) -> Dict[str, int]:
         counts = dict.fromkeys(_STATES, 0)
         with self._lock:
             for job in self._jobs.values():
                 counts[job.state] += 1
+        return counts
+
+    def counters(self) -> Dict[str, int]:
+        """Monotonic job totals since manager start (health reports)."""
+        with self._lock:
+            return {"submitted": self._submitted,
+                    "completed": self._completed,
+                    "failed": self._failed}
+
+    def refresh_metrics(self) -> None:
+        """Recompute scrape-time gauges (queue depth, cache entry/disk).
+
+        Gauges that mirror internal state are set from the truth at
+        scrape time rather than maintained incrementally — there is
+        nothing to drift.
+        """
+        counts = self._state_counts()
+        self._g_queued.set(counts["queued"])
+        self._g_running.set(counts["running"])
+        self.cache.stats()
+
+    def health(self) -> Dict[str, Any]:
         return {
             "status": "ok",
+            "uptime": round(time.time() - self._started, 3),
             "workers": self.workers,
             "sweep_jobs": self.policy.jobs,
-            "jobs": counts,
-            "cache": self.cache.counters(),
+            "jobs": self._state_counts(),
+            "counters": self.counters(),
+            "cache": self.cache.stats(),
         }
 
     def shutdown(self) -> None:

@@ -16,26 +16,42 @@ Endpoints (all JSON):
   document, byte-for-byte as stored (plus an ``X-Repro-Cache`` header);
   202 while queued/running, error document with the taxonomy code once
   failed.
-* ``GET /v1/health`` — job counts, cache hit/miss counters, worker sizes.
+* ``GET /v1/health`` — uptime, job counts and monotonic totals, cache
+  stats (hits/misses/evictions plus disk-tier usage), worker sizes.
+* ``GET /v1/metrics`` — the process metrics registry: Prometheus text by
+  default, the ``repro.telemetry/1`` JSON snapshot with ``?format=json``.
 * ``GET /v1/describe`` — the machine-readable catalog (identical to
   ``repro describe --json``).
 
 Error mapping follows the exit-code taxonomy: bad requests (exit 2) are
 HTTP 400, simulation failures (exit 3) are HTTP 500, unknown jobs/paths
 are 404; every error body is ``{"error", "type", "exit_code"}``.
+
+Every request emits one structured ``http_request`` access-log line
+(method, path, status, duration; error responses add the taxonomy exit
+code) and counts into ``repro_http_requests_total`` under a normalized
+route label, so one noisy client polling a job id cannot explode label
+cardinality.  Job-scoped responses carry ``X-Repro-Job`` so the access
+log correlates with the job lifecycle events.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import logging
 import threading
+import time
 from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import EXIT_BAD_REQUEST, ExperimentError
 from repro.serve.cache import ResultCache
 from repro.serve.jobs import JobManager
 from repro.serve.requests import request_from_json
+from repro.telemetry.log import get_logger, log_event
+from repro.telemetry.metrics import MetricsRegistry, default_registry
+
+_log = get_logger("serve.http")
 
 _MAX_BODY = 4 * 1024 * 1024  # a request document is small; refuse floods
 _STATUS_TEXT = {200: "OK", 202: "Accepted", 400: "Bad Request",
@@ -65,16 +81,32 @@ class ServeServer:
     def __init__(self, host: str = "127.0.0.1", port: int = 8753,
                  cache: Optional[ResultCache] = None, workers: int = 2,
                  sweep_jobs: int = 1, timeout: Optional[float] = None,
-                 max_jobs: int = 10_000) -> None:
+                 max_jobs: int = 10_000,
+                 registry: Optional[MetricsRegistry] = None,
+                 trace_dir: Optional[str] = None) -> None:
         self.host = host
         self.port = port
+        self._registry = registry if registry is not None \
+            else default_registry()
         self.manager = JobManager(cache=cache, workers=workers,
                                   sweep_jobs=sweep_jobs, timeout=timeout,
-                                  max_jobs=max_jobs)
+                                  max_jobs=max_jobs,
+                                  registry=self._registry,
+                                  trace_dir=trace_dir)
+        self._m_requests = self._registry.counter(
+            "repro_http_requests_total",
+            "HTTP requests served, by normalized route",
+            labels=("route", "method", "status"))
+        self._g_in_flight = self._registry.gauge(
+            "repro_http_requests_in_flight",
+            "Requests currently being handled")
+        self._started = time.time()
+        self._summary_logged = False
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop: Optional[asyncio.Event] = None
         self._thread: Optional[threading.Thread] = None
         self._ready = threading.Event()
+        self._done = threading.Event()
         self._failed: Optional[BaseException] = None
 
     # ------------------------------------------------------------------ #
@@ -82,24 +114,60 @@ class ServeServer:
     # ------------------------------------------------------------------ #
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
+        started = time.monotonic()
+        self._g_in_flight.inc()
+        method = path = "?"
         try:
-            status, headers, body = await self._respond(reader)
-        except Exception as exc:  # noqa: BLE001 - defensive: keep serving
-            status = 500
-            headers = {}
-            body = _error_body(f"internal error: {exc}",
-                               type(exc).__name__, 3)
-        try:
-            writer.write(self._render(status, headers, body))
-            await writer.drain()
-        except (ConnectionError, BrokenPipeError):
-            pass
+            try:
+                method, path, status, headers, body = \
+                    await self._respond(reader)
+            except Exception as exc:  # noqa: BLE001 - keep serving
+                status = 500
+                headers = {}
+                body = _error_body(f"internal error: {exc}",
+                                   type(exc).__name__, 3)
+            self._observe_request(method, path, status, headers,
+                                  len(body), started)
+            try:
+                writer.write(self._render(status, headers, body))
+                await writer.drain()
+            except (ConnectionError, BrokenPipeError):
+                pass
         finally:
+            self._g_in_flight.dec()
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionError, BrokenPipeError):
                 pass
+
+    def _route_label(self, path: str) -> str:
+        """Bounded-cardinality route label for the request counter."""
+        if path.startswith("/v1/jobs/"):
+            return "/v1/jobs/{id}/result" if path.endswith("/result") \
+                else "/v1/jobs/{id}"
+        if path in ("/v1/jobs", "/v1/health", "/v1/describe", "/v1/metrics"):
+            return path
+        return "other"
+
+    def _observe_request(self, method: str, path: str, status: int,
+                         headers: Dict[str, str], body_bytes: int,
+                         started: float) -> None:
+        """One access-log line and one request-counter tick per request."""
+        self._m_requests.inc(route=self._route_label(path), method=method,
+                             status=str(status))
+        fields: Dict[str, Any] = {
+            "method": method, "path": path, "status": status,
+            "duration_s": round(time.monotonic() - started, 6),
+            "bytes": body_bytes,
+        }
+        if status >= 400:
+            # The inverse of _http_status: the taxonomy code the error
+            # body carries (2 = bad request, 3 = simulation failure).
+            fields["exit_code"] = 2 if status < 500 else 3
+        log_event(_log, logging.INFO if status < 500 else logging.ERROR,
+                  "http_request", job_id=headers.get("X-Repro-Job"),
+                  **fields)
 
     def _render(self, status: int, headers: Dict[str, str],
                 body: bytes) -> bytes:
@@ -113,16 +181,19 @@ class ServeServer:
 
     async def _respond(
         self, reader: asyncio.StreamReader,
-    ) -> Tuple[int, Dict[str, str], bytes]:
+    ) -> Tuple[str, str, int, Dict[str, str], bytes]:
         request_line = (await reader.readline()).decode("latin-1").strip()
         if not request_line:
-            return 400, {}, _error_body("empty request", "ProtocolError", 2)
+            return "?", "?", 400, {}, _error_body(
+                "empty request", "ProtocolError", 2)
         parts = request_line.split()
         if len(parts) != 3:
-            return 400, {}, _error_body(
+            return "?", "?", 400, {}, _error_body(
                 f"malformed request line {request_line!r}",
                 "ProtocolError", 2)
-        method, path, _version = parts
+        method, target, _version = parts
+        raw_path, _, query = target.partition("?")
+        path = raw_path.rstrip("/") or "/"
         headers: Dict[str, str] = {}
         while True:
             line = await reader.readline()
@@ -132,13 +203,15 @@ class ServeServer:
             headers[name.strip().lower()] = value.strip()
         length = int(headers.get("content-length", "0") or "0")
         if length > _MAX_BODY:
-            return 413, {}, _error_body(
+            return method, path, 413, {}, _error_body(
                 f"request body of {length} bytes exceeds {_MAX_BODY}",
                 "ProtocolError", 2)
         body = await reader.readexactly(length) if length else b""
-        return self._route(method, path.rstrip("/") or "/", body)
+        status, response_headers, payload = self._route(method, path,
+                                                        query, body)
+        return method, path, status, response_headers, payload
 
-    def _route(self, method: str, path: str,
+    def _route(self, method: str, path: str, query: str,
                body: bytes) -> Tuple[int, Dict[str, str], bytes]:
         if path == "/v1/jobs" and method == "POST":
             return self._post_job(body)
@@ -153,12 +226,29 @@ class ServeServer:
                 return self._get_job(tail)
         if path == "/v1/health" and method == "GET":
             return self._json(200, self.manager.health())
+        if path == "/v1/metrics" and method == "GET":
+            return self._get_metrics(query)
         if path == "/v1/describe" and method == "GET":
             from repro.serve.api import describe_catalog
 
             return self._json(200, describe_catalog())
         return 404, {}, _error_body(f"no such endpoint: {method} {path}",
                                     "NotFound", 2)
+
+    def _get_metrics(self, query: str) -> Tuple[int, Dict[str, str], bytes]:
+        self.manager.refresh_metrics()
+        params = dict(part.partition("=")[::2]
+                      for part in query.split("&") if part)
+        if params.get("format") == "json":
+            return (200, {},
+                    self._registry.snapshot_text().encode("utf-8"))
+        if params.get("format") not in (None, "", "prometheus", "text"):
+            return 400, {}, _error_body(
+                f"unknown metrics format {params['format']!r} "
+                "(expected 'prometheus' or 'json')", "ProtocolError", 2)
+        return (200,
+                {"Content-Type": "text/plain; version=0.0.4; charset=utf-8"},
+                self._registry.render_prometheus().encode("utf-8"))
 
     def _json(self, status: int, payload: Any,
               headers: Optional[Dict[str, str]] = None
@@ -178,30 +268,33 @@ class ServeServer:
             job = self.manager.submit(request)
         except ExperimentError as exc:
             return 400, {}, _error_body(str(exc), type(exc).__name__, 2)
-        return self._json(200, job.to_doc())
+        return self._json(200, job.to_doc(),
+                          headers={"X-Repro-Job": job.id})
 
     def _get_job(self, job_id: str) -> Tuple[int, Dict[str, str], bytes]:
         try:
             doc = self.manager.job_doc(job_id)
         except ExperimentError as exc:
             return 404, {}, _error_body(str(exc), type(exc).__name__, 2)
-        return self._json(200, doc)
+        return self._json(200, doc, headers={"X-Repro-Job": job_id})
 
     def _get_result(self, job_id: str) -> Tuple[int, Dict[str, str], bytes]:
         try:
             job = self.manager.get(job_id)
         except ExperimentError as exc:
             return 404, {}, _error_body(str(exc), type(exc).__name__, 2)
+        job_header = {"X-Repro-Job": job.id}
         if job.state in ("queued", "running"):
-            return self._json(202, {"id": job.id, "state": job.state})
+            return self._json(202, {"id": job.id, "state": job.state},
+                              headers=job_header)
         if job.state == "failed":
             assert job.error is not None
-            return (_http_status(job.error["exit_code"]), {},
+            return (_http_status(job.error["exit_code"]), job_header,
                     _error_body(job.error["message"], job.error["type"],
                                 job.error["exit_code"]))
         assert job.result_text is not None
         cache_header = "hit" if job.cache_hit else "miss"
-        return (200, {"X-Repro-Cache": cache_header},
+        return (200, {"X-Repro-Cache": cache_header, **job_header},
                 job.result_text.encode("utf-8"))
 
     # ------------------------------------------------------------------ #
@@ -219,9 +312,30 @@ class ServeServer:
             raise
         self.port = server.sockets[0].getsockname()[1]
         self._ready.set()
+        log_event(_log, logging.INFO, "serve_started", host=self.host,
+                  port=self.port, workers=self.manager.workers,
+                  sweep_jobs=self.manager.policy.jobs)
         async with server:
             await self._stop.wait()
         self.manager.shutdown()
+        self._log_summary()
+
+    def _log_summary(self) -> None:
+        """One final stats line on shutdown (idempotent across paths)."""
+        if self._summary_logged:
+            return
+        self._summary_logged = True
+        counters = self.manager.counters()
+        cache = self.manager.cache.stats()
+        lookups = cache["hits"] + cache["misses"]
+        log_event(_log, logging.INFO, "serve_stopped",
+                  uptime_s=round(time.time() - self._started, 3),
+                  jobs_submitted=counters["submitted"],
+                  jobs_completed=counters["completed"],
+                  jobs_failed=counters["failed"],
+                  cache_hits=cache["hits"], cache_misses=cache["misses"],
+                  cache_hit_ratio=round(cache["hits"] / lookups, 4)
+                  if lookups else None)
 
     def run(self) -> None:
         """Serve until interrupted (the ``repro serve`` foreground path)."""
@@ -229,6 +343,9 @@ class ServeServer:
             asyncio.run(self._main())
         except KeyboardInterrupt:
             self.manager.shutdown()
+            self._log_summary()
+        finally:
+            self._done.set()
 
     def start_background(self, timeout: float = 10.0) -> None:
         """Serve on a daemon thread; returns once the socket is bound."""
@@ -253,6 +370,13 @@ class ServeServer:
             except RuntimeError:
                 pass  # loop already closed
         if self._thread is not None:
+            # A SIGINT delivered while the main thread was blocked in
+            # Thread.join() can leave the thread falsely marked stopped
+            # (the interrupted join releases the still-running thread's
+            # tstate lock), making a plain join() return before the serve
+            # loop has run its shutdown tail. Wait on our own event, which
+            # run() sets only after the final summary is logged.
+            self._done.wait(timeout)
             self._thread.join(timeout)
 
     @property

@@ -1,0 +1,55 @@
+"""``repro.telemetry`` — runtime metrics and structured logging.
+
+The observability layer for the *production-facing* half of the repo
+(the simulator's own observability is :mod:`repro.obs`):
+
+* :mod:`repro.telemetry.metrics` — a thread-safe metrics registry
+  (counters, gauges, fixed-bucket histograms) with two expositions:
+  Prometheus text and the schema-versioned ``repro.telemetry/1`` JSON
+  snapshot (deterministic layout via :mod:`repro.util.canon`);
+* :mod:`repro.telemetry.log` — structured (JSONL-capable) logging with
+  a per-job correlation-id context, shared by the HTTP access log, the
+  job lifecycle events and the fleet heartbeats;
+* :mod:`repro.telemetry.dashboard` — the ``repro status <url>`` one-shot
+  text dashboard over ``/v1/health`` + ``/v1/metrics``.
+
+The hard invariant, inherited from every prior subsystem: telemetry
+*observes* and never perturbs — no metric, log line or correlation id
+may change a simulation's result bytes or a request's cache key.
+"""
+
+from repro.telemetry.log import (
+    configure_logging,
+    current_job_id,
+    get_logger,
+    job_context,
+    log_event,
+    reset_logging,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    parse_prometheus_text,
+    sample_value,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "configure_logging",
+    "current_job_id",
+    "default_registry",
+    "get_logger",
+    "job_context",
+    "log_event",
+    "parse_prometheus_text",
+    "reset_logging",
+    "sample_value",
+]

@@ -1,0 +1,137 @@
+"""The one-shot text dashboard behind ``repro status <url>``.
+
+Renders a running server's ``GET /v1/health`` document and
+``GET /v1/metrics?format=json`` snapshot as a few fixed sections —
+jobs, latency, cache, HTTP traffic, fleet — so an operator can read a
+server's state in one terminal screen without a metrics stack.  Pure
+formatting: no network, no mutation, trivially testable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+
+def _family(snapshot: Dict[str, Any], name: str) -> Optional[Dict[str, Any]]:
+    for entry in snapshot.get("metrics", ()):
+        if entry.get("name") == name:
+            return entry
+    return None
+
+
+def _total(snapshot: Dict[str, Any], name: str, **labels: Any) -> float:
+    """Sum of a family's samples whose labels are a superset of ``labels``."""
+    family = _family(snapshot, name)
+    if family is None:
+        return 0.0
+    want = {k: str(v) for k, v in labels.items()}
+    total = 0.0
+    for sample in family.get("samples", ()):
+        got = sample.get("labels", {})
+        if all(got.get(k) == v for k, v in want.items()):
+            total += sample.get("value", sample.get("count", 0))
+    return total
+
+
+def _histogram_summary(snapshot: Dict[str, Any], name: str,
+                       **labels: Any) -> Optional[str]:
+    """``count N, mean X s, p95 <= B s`` from a histogram sample."""
+    family = _family(snapshot, name)
+    if family is None:
+        return None
+    want = {k: str(v) for k, v in labels.items()}
+    for sample in family.get("samples", ()):
+        if sample.get("labels", {}) != want:
+            continue
+        count = sample.get("count", 0)
+        if not count:
+            return None
+        mean = sample.get("sum", 0.0) / count
+        p95 = "> largest bucket"
+        threshold = 0.95 * count
+        for bucket in sample.get("buckets", ()):
+            if bucket["count"] >= threshold:
+                p95 = f"<= {bucket['le']:g} s"
+                break
+        return f"count {count}, mean {mean:.4g} s, p95 {p95}"
+    return None
+
+
+def _ratio(hits: float, misses: float) -> str:
+    total = hits + misses
+    return f"{100.0 * hits / total:.1f}%" if total else "n/a"
+
+
+def _bytes(value: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024 or unit == "GiB":
+            return f"{value:.0f} {unit}" if unit == "B" \
+                else f"{value:.1f} {unit}"
+        value /= 1024.0
+    return f"{value:.1f} GiB"  # pragma: no cover - unreachable
+
+
+def render_dashboard(url: str, health: Dict[str, Any],
+                     snapshot: Dict[str, Any]) -> str:
+    """The ``repro status`` text: health + metrics in one screen."""
+    lines: List[str] = []
+    uptime = health.get("uptime")
+    head = f"repro serve @ {url} — status {health.get('status', '?')}"
+    if uptime is not None:
+        head += f", uptime {uptime:.0f}s"
+    head += (f", workers {health.get('workers', '?')} "
+             f"(sweep fan-out {health.get('sweep_jobs', '?')})")
+    lines.append(head)
+    lines.append("")
+
+    jobs = health.get("jobs", {})
+    counters = health.get("counters", {})
+    lines.append(
+        "jobs      "
+        + "  ".join(f"{state} {jobs.get(state, 0)}"
+                    for state in ("queued", "running", "done", "failed"))
+        + f"   (submitted {counters.get('submitted', 0)}, "
+          f"completed {counters.get('completed', 0)}, "
+          f"failed {counters.get('failed', 0)})")
+    for kind in ("run", "sweep", "chaos"):
+        summary = _histogram_summary(snapshot, "repro_job_latency_seconds",
+                                     kind=kind)
+        if summary:
+            lines.append(f"latency   {kind}: {summary}")
+
+    cache = health.get("cache", {})
+    lines.append(
+        f"cache     hits {cache.get('hits', 0)}  "
+        f"misses {cache.get('misses', 0)}  "
+        f"hit ratio {_ratio(cache.get('hits', 0), cache.get('misses', 0))}  "
+        f"stores {cache.get('stores', 0)}  "
+        f"evictions {cache.get('evictions', 0)}")
+    lines.append(
+        f"          entries {cache.get('entries', 0)}  "
+        f"disk {cache.get('disk_entries', 0)} entries / "
+        f"{_bytes(cache.get('disk_bytes', 0))}")
+
+    requests = _family(snapshot, "repro_http_requests_total")
+    in_flight = _total(snapshot, "repro_http_requests_in_flight")
+    total_requests = _total(snapshot, "repro_http_requests_total")
+    lines.append(f"http      requests {total_requests:g}  "
+                 f"in flight {in_flight:g}")
+    if requests is not None:
+        for sample in requests.get("samples", ()):
+            labels = sample.get("labels", {})
+            lines.append(
+                f"          {labels.get('method', '?'):<4} "
+                f"{labels.get('route', '?'):<22} "
+                f"[{labels.get('status', '?')}] {sample.get('value', 0):g}")
+
+    dispatched = _total(snapshot, "repro_fleet_units_dispatched_total")
+    if dispatched:
+        lines.append(
+            "fleet     units: "
+            f"dispatched {dispatched:g}  "
+            f"completed {_total(snapshot, 'repro_fleet_units_completed_total'):g}  "
+            f"timed out {_total(snapshot, 'repro_fleet_units_timed_out_total'):g}  "
+            f"retried {_total(snapshot, 'repro_fleet_units_retried_total'):g}; "
+            f"pool restarts "
+            f"{_total(snapshot, 'repro_fleet_pool_restarts_total'):g}")
+    return "\n".join(lines)

@@ -1,0 +1,191 @@
+"""Structured logging with job-correlated context.
+
+Until this PR there was not a single ``logging`` call in ``src/`` — the
+serve and fleet layers ran silently.  This module gives them one logging
+surface with two properties the rest of the repo's observability already
+has:
+
+* **Machine-readable first.**  ``--log-json`` switches every line to a
+  single JSON object (``ts``, ``level``, ``logger``, ``event``, plus the
+  event's structured fields), so server access logs, job lifecycle
+  events and fleet heartbeats are greppable/joinable JSONL streams, not
+  prose.  The default text formatter renders the same fields as
+  ``key=value`` pairs for humans.
+* **One correlation id per job.**  :func:`job_context` binds a job id
+  into a :class:`contextvars.ContextVar`; every log line emitted inside
+  the context — the HTTP access log, the job lifecycle events, the fleet
+  unit logs running on the worker thread — carries the same ``job_id``
+  field, so a job's whole path through the service is one grep.
+
+Nothing here may perturb simulation results: log timestamps are host
+wall clock and live only on stderr, never in result documents, and an
+unconfigured process emits nothing below WARNING (the stdlib's
+last-resort handler), so library users and tests stay quiet by default.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import logging
+import sys
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+_JOB_ID: "contextvars.ContextVar[Optional[str]]" = contextvars.ContextVar(
+    "repro_job_id", default=None)
+
+#: Accepted ``--log-level`` spellings (lowercase), mapped onto stdlib levels.
+LOG_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+def current_job_id() -> Optional[str]:
+    """The correlation id bound to the current context, if any."""
+    return _JOB_ID.get()
+
+
+@contextmanager
+def job_context(job_id: str) -> Iterator[None]:
+    """Bind ``job_id`` as the correlation id for every log line inside."""
+    token = _JOB_ID.set(job_id)
+    try:
+        yield
+    finally:
+        _JOB_ID.reset(token)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro.`` namespace (``get_logger('serve')``)."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def log_event(logger: logging.Logger, level: int, event: str,
+              job_id: Optional[str] = None, **fields: Any) -> None:
+    """Emit one structured event: a short name plus typed fields.
+
+    ``fields`` with value ``None`` are dropped (an absent fact reads
+    better than ``eta_s=None``); ``job_id`` defaults to the bound
+    context id, so callers inside :func:`job_context` need not pass it.
+    """
+    if not logger.isEnabledFor(level):
+        return
+    extra: Dict[str, Any] = {
+        "fields": {k: v for k, v in fields.items() if v is not None}}
+    if job_id is not None:
+        extra["job_id"] = job_id
+    logger.log(level, event, extra=extra)
+
+
+class _ContextFilter(logging.Filter):
+    """Stamp the bound correlation id onto every record at emit time."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        if getattr(record, "job_id", None) is None:
+            record.job_id = current_job_id()
+        if not hasattr(record, "fields"):
+            record.fields = {}
+        return True
+
+
+_RESERVED = ("ts", "level", "logger", "event", "job_id")
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per line: the JSONL stream ``--log-json`` emits."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc: Dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        job_id = getattr(record, "job_id", None)
+        if job_id is not None:
+            doc["job_id"] = job_id
+        for key, value in getattr(record, "fields", {}).items():
+            if key not in _RESERVED:
+                doc[key] = value
+        if record.exc_info:
+            doc["exc"] = self.formatException(record.exc_info)
+        return json.dumps(doc, sort_keys=True, default=str)
+
+
+class TextLogFormatter(logging.Formatter):
+    """Human-readable rendering of the same structured fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = self.formatTime(record, "%H:%M:%S")
+        line = (f"{stamp} {record.levelname.lower():<7} "
+                f"{record.name}: {record.getMessage()}")
+        job_id = getattr(record, "job_id", None)
+        if job_id is not None:
+            line += f" job={job_id}"
+        for key, value in getattr(record, "fields", {}).items():
+            if key not in _RESERVED:
+                line += f" {key}={value!r}" if isinstance(value, str) \
+                    else f" {key}={value}"
+        if record.exc_info:
+            line += "\n" + self.formatException(record.exc_info)
+        return line
+
+
+def configure_logging(json_mode: bool = False, level: str = "info",
+                      stream: Any = None) -> logging.Handler:
+    """Install (or replace) the ``repro`` logging handler.
+
+    Idempotent: a previous handler installed by this function is removed
+    first, so re-configuration (tests, embedded servers) never stacks
+    duplicate handlers.  Returns the installed handler (tests use it to
+    capture and to tear down via :func:`reset_logging`).
+    """
+    if level not in LOG_LEVELS:
+        raise ValueError(
+            f"unknown log level {level!r}; valid: "
+            f"{', '.join(sorted(LOG_LEVELS))}")
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_telemetry", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None
+                                    else sys.stderr)
+    handler._repro_telemetry = True  # type: ignore[attr-defined]
+    handler.addFilter(_ContextFilter())
+    handler.setFormatter(JsonLogFormatter() if json_mode
+                         else TextLogFormatter())
+    root.addHandler(handler)
+    root.setLevel(LOG_LEVELS[level])
+    return handler
+
+
+def reset_logging() -> None:
+    """Remove handlers installed by :func:`configure_logging` (tests)."""
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_telemetry", False):
+            root.removeHandler(handler)
+    root.setLevel(logging.NOTSET)
+
+
+def add_logging_args(parser) -> None:
+    """Register the shared ``--log-json`` / ``--log-level`` flags."""
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit structured JSONL logs on stderr "
+                             "(one JSON object per line)")
+    parser.add_argument("--log-level", default=None,
+                        choices=sorted(LOG_LEVELS),
+                        help="log verbosity (default: info for serve, "
+                             "warning for sweep)")
+
+
+def configure_from_args(args, default_level: str = "info") -> None:
+    """Apply the shared logging flags from an argparse namespace."""
+    configure_logging(json_mode=getattr(args, "log_json", False),
+                      level=getattr(args, "log_level", None) or default_level)

@@ -1,0 +1,389 @@
+"""Thread-safe runtime metrics: counters, gauges, histograms.
+
+The serve/fleet layers need live operational counters (ROADMAP items 1,
+3 and the self-adaptive runtime of item 5 all consume them), but nothing
+here may perturb a simulation: metrics are host-side observation only,
+they never enter a request's cache key, a result document, or an RNG
+stream.  The registry is therefore deliberately boring — plain dicts
+behind locks — and deliberately deterministic where it matters:
+
+* **Deterministic exposition order.**  Families render sorted by metric
+  name and series sorted by label-value tuple, and the JSON snapshot is
+  serialized through :func:`repro.util.canon.canonical_json`, so two
+  registries holding equal counts produce byte-identical snapshots.
+  (The *values* are operational and wall-clock-dependent; the *layout*
+  never is.)
+* **Fixed histogram bucket bounds.**  Buckets are chosen at metric
+  creation and immutable, so scrapes are comparable across the life of
+  a process and across processes.
+* **Two expositions, one truth.**  :meth:`MetricsRegistry.render_prometheus`
+  emits the Prometheus text format (``# HELP``/``# TYPE`` + samples);
+  :meth:`MetricsRegistry.snapshot` emits the schema-versioned
+  ``repro.telemetry/1`` JSON document validated by
+  :func:`repro.obs.schema.validate_telemetry`.  Both read the same
+  series under the same locks.
+
+Instrument lookup is get-or-create: ``registry.counter(name, ...)``
+returns the existing family when one is already registered under
+``name`` (and raises if the existing family has a different type or
+label names — a silent mismatch would split one logical counter across
+two series).
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Fixed latency bucket bounds (seconds) shared by every duration
+#: histogram in the repo — sub-millisecond cache hits through multi-minute
+#: paper-scale sweeps.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0,
+)
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample spelling: integral values render without ``.0``."""
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _unescape_label(value: str) -> str:
+    out: List[str] = []
+    it = iter(value)
+    for ch in it:
+        if ch != "\\":
+            out.append(ch)
+            continue
+        nxt = next(it, "")
+        out.append({"n": "\n", '"': '"', "\\": "\\"}.get(nxt, nxt))
+    return "".join(out)
+
+
+class _Family:
+    """One named metric family: shared name/help/label schema, N series."""
+
+    kind = ""
+
+    def __init__(self, name: str, help: str,
+                 label_names: Tuple[str, ...]) -> None:
+        self.name = name
+        self.help = help
+        self.label_names = label_names
+        self._lock = threading.Lock()
+        self._series: Dict[Tuple[str, ...], Any] = {}
+
+    def _key(self, labels: Dict[str, Any]) -> Tuple[str, ...]:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name} takes labels "
+                f"{list(self.label_names)}, got {sorted(labels)}")
+        return tuple(str(labels[name]) for name in self.label_names)
+
+    # Rendered forms -------------------------------------------------- #
+    def _sorted_series(self) -> List[Tuple[Tuple[str, ...], Any]]:
+        with self._lock:
+            return sorted(self._series.items())
+
+    def sample_docs(self) -> List[Dict[str, Any]]:
+        raise NotImplementedError
+
+    def prometheus_lines(self) -> List[str]:
+        raise NotImplementedError
+
+    def _label_text(self, key: Tuple[str, ...]) -> str:
+        if not self.label_names:
+            return ""
+        pairs = ",".join(
+            f'{name}="{_escape_label(value)}"'
+            for name, value in zip(self.label_names, key))
+        return "{" + pairs + "}"
+
+    def _label_doc(self, key: Tuple[str, ...]) -> Dict[str, str]:
+        return dict(zip(self.label_names, key))
+
+
+class Counter(_Family):
+    """A monotonically increasing count (events since process start)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name} cannot decrease (inc {amount})")
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._series.get(key, 0.0)
+
+    def sample_docs(self) -> List[Dict[str, Any]]:
+        return [{"labels": self._label_doc(key), "value": value}
+                for key, value in self._sorted_series()]
+
+    def prometheus_lines(self) -> List[str]:
+        return [f"{self.name}{self._label_text(key)} {_format_value(value)}"
+                for key, value in self._sorted_series()]
+
+
+class Gauge(Counter):
+    """An instantaneous level (queue depth, in-flight requests)."""
+
+    kind = "gauge"
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def set(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = float(value)
+
+
+class Histogram(_Family):
+    """A distribution over fixed, immutable bucket bounds.
+
+    Series state is ``[per-bucket counts..., overflow]`` plus running sum
+    and count; cumulative bucket counts are computed at exposition time,
+    matching the Prometheus ``le``-cumulative convention (the implicit
+    ``+Inf`` bucket equals the total count).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str, label_names: Tuple[str, ...],
+                 buckets: Sequence[float]) -> None:
+        super().__init__(name, help, label_names)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(
+                f"histogram {name} buckets must be strictly increasing, "
+                f"got {list(buckets)}")
+        self.buckets = bounds
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = {
+                    "counts": [0] * (len(self.buckets) + 1),
+                    "sum": 0.0, "count": 0}
+            series["counts"][index] += 1
+            series["sum"] += float(value)
+            series["count"] += 1
+
+    def _cumulative(self, series: Dict[str, Any]) -> List[int]:
+        out, running = [], 0
+        for count in series["counts"][:-1]:
+            running += count
+            out.append(running)
+        return out
+
+    def sample_docs(self) -> List[Dict[str, Any]]:
+        docs = []
+        for key, series in self._sorted_series():
+            docs.append({
+                "labels": self._label_doc(key),
+                "buckets": [
+                    {"le": bound, "count": cum}
+                    for bound, cum in zip(self.buckets,
+                                          self._cumulative(series))
+                ],
+                "count": series["count"],
+                "sum": series["sum"],
+            })
+        return docs
+
+    def prometheus_lines(self) -> List[str]:
+        lines = []
+        for key, series in self._sorted_series():
+            labels = list(zip(self.label_names, key))
+            for bound, cum in zip(self.buckets, self._cumulative(series)):
+                pairs = labels + [("le", _format_value(bound))]
+                text = ",".join(f'{n}="{_escape_label(v)}"'
+                                for n, v in pairs)
+                lines.append(f"{self.name}_bucket{{{text}}} {cum}")
+            pairs = labels + [("le", "+Inf")]
+            text = ",".join(f'{n}="{_escape_label(v)}"' for n, v in pairs)
+            lines.append(f"{self.name}_bucket{{{text}}} {series['count']}")
+            suffix = self._label_text(key)
+            lines.append(
+                f"{self.name}_sum{suffix} {_format_value(series['sum'])}")
+            lines.append(f"{self.name}_count{suffix} {series['count']}")
+        return lines
+
+
+class MetricsRegistry:
+    """A set of named metric families with deterministic exposition."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._families: Dict[str, _Family] = {}
+
+    # Instrument lookup (get-or-create) ------------------------------- #
+    def _get_or_create(self, cls, name: str, help: str,
+                       labels: Sequence[str], **kwargs: Any) -> Any:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        label_names = tuple(labels)
+        for label in label_names:
+            if not _LABEL_RE.match(label):
+                raise ValueError(
+                    f"invalid label name {label!r} on metric {name}")
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if (type(family) is not cls
+                        or family.label_names != label_names):
+                    raise ValueError(
+                        f"metric {name} already registered as "
+                        f"{family.kind}{list(family.label_names)}; cannot "
+                        f"re-register as {cls.kind}{list(label_names)}")
+                return family
+            family = cls(name, help, label_names, **kwargs)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help: str = "",
+                labels: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "",
+              labels: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  labels: Sequence[str] = (),
+                  buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+                  ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels,
+                                   buckets=buckets)
+
+    # Exposition ------------------------------------------------------ #
+    def _sorted_families(self) -> List[_Family]:
+        with self._lock:
+            return [self._families[name]
+                    for name in sorted(self._families)]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The ``repro.telemetry/1`` document: every family, every series,
+        in deterministic (name, label-tuple) order."""
+        from repro.obs.schema import TELEMETRY_SCHEMA
+
+        return {
+            "schema": TELEMETRY_SCHEMA,
+            "metrics": [
+                {
+                    "name": family.name,
+                    "type": family.kind,
+                    "help": family.help,
+                    "label_names": list(family.label_names),
+                    "samples": family.sample_docs(),
+                }
+                for family in self._sorted_families()
+            ],
+        }
+
+    def snapshot_text(self) -> str:
+        """The snapshot serialized canonically (byte-stable layout)."""
+        from repro.util.canon import canonical_json
+
+        return canonical_json(self.snapshot(), indent=2) + "\n"
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition (version 0.0.4)."""
+        lines: List[str] = []
+        for family in self._sorted_families():
+            help_text = family.help.replace("\\", "\\\\").replace("\n", "\\n")
+            lines.append(f"# HELP {family.name} {help_text}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            lines.extend(family.prometheus_lines())
+        return "\n".join(lines) + "\n"
+
+    def reset(self) -> None:
+        """Drop every family (tests only — production counters are
+        process-lifetime monotonic)."""
+        with self._lock:
+            self._families.clear()
+
+
+#: The process-wide default registry: serve, fleet and the CLI all
+#: instrument against this unless handed an explicit registry, so one
+#: ``GET /v1/metrics`` scrape sees the whole process.
+_DEFAULT = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-wide default :class:`MetricsRegistry`."""
+    return _DEFAULT
+
+
+# --------------------------------------------------------------------- #
+# Prometheus text parsing (round-trip tests, `repro status`)
+# --------------------------------------------------------------------- #
+def parse_prometheus_text(text: str) -> Dict[str, Any]:
+    """Parse exposition text into ``{"types": {...}, "samples": {...}}``.
+
+    ``samples`` maps ``(name, ((label, value), ...))`` — labels sorted by
+    name — to the numeric sample value, so equality is insensitive to
+    label ordering.  A strict inverse of :meth:`render_prometheus` for
+    the subset of the format this module emits.
+    """
+    types: Dict[str, str] = {}
+    samples: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, name, kind = line.split(None, 3)
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        labels: List[Tuple[str, str]] = []
+        name = name_part
+        if "{" in name_part:
+            name, _, rest = name_part.partition("{")
+            body = rest.rstrip("}")
+            for match in re.finditer(r'([a-zA-Z_][a-zA-Z0-9_]*)='
+                                     r'"((?:[^"\\]|\\.)*)"', body):
+                labels.append((match.group(1),
+                               _unescape_label(match.group(2))))
+        value = float("inf") if value_part == "+Inf" else float(value_part)
+        samples[(name, tuple(sorted(labels)))] = value
+    return {"types": types, "samples": samples}
+
+
+def sample_value(parsed: Dict[str, Any], name: str,
+                 **labels: Any) -> Optional[float]:
+    """The parsed sample for ``name`` with exactly ``labels`` (or None)."""
+    key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+    return parsed["samples"].get(key)

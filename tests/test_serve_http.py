@@ -187,6 +187,9 @@ def test_http_submit_twice_second_is_cache_hit(server, client):
     assert status1 == status2 == 200
     assert headers1["X-Repro-Cache"] == "miss"
     assert headers2["X-Repro-Cache"] == "hit"
+    # Job-scoped responses name their job for access-log correlation.
+    assert headers1["X-Repro-Job"] == first["id"]
+    assert headers2["X-Repro-Job"] == second["id"]
     assert body1 == body2
     assert body1 == submit(request).text.encode("utf-8")
 
@@ -275,7 +278,16 @@ def test_http_health_and_describe(server, client):
     health = client.health()
     assert health["status"] == "ok"
     assert health["workers"] == 2
-    assert set(health["cache"]) == {"hits", "misses", "stores", "entries"}
+    assert health["uptime"] >= 0
+    assert set(health["cache"]) == {"hits", "misses", "stores", "entries",
+                                    "evictions", "disk_entries",
+                                    "disk_bytes"}
+    assert set(health["counters"]) == {"submitted", "completed", "failed"}
+    # Monotonic totals reconcile with the state counts: every job this
+    # module submitted either finished or is still in flight.
+    jobs = health["jobs"]
+    assert (health["counters"]["completed"] + health["counters"]["failed"]
+            == jobs["done"] + jobs["failed"])
     # GET /v1/describe is the same catalog the CLI prints (satellite 1).
     assert client.describe() == describe_catalog()
 
@@ -284,3 +296,177 @@ def test_http_transport_unreachable_server():
     client = HttpTransport("http://127.0.0.1:9", request_timeout=2)
     with pytest.raises(ExperimentError, match="cannot reach"):
         client.health()
+
+
+# ---------------------------------------------------------------------- #
+# telemetry: /v1/metrics, repro status, access log, per-job traces
+# ---------------------------------------------------------------------- #
+def test_http_metrics_both_formats_reconcile(tmp_path):
+    """A fresh server + registry: after two submissions of the same run,
+    both metric expositions show exactly one cache hit and reconcile
+    with the health document."""
+    from repro.obs.schema import TELEMETRY_SCHEMA, validate_snapshot
+    from repro.telemetry.metrics import (
+        MetricsRegistry,
+        parse_prometheus_text,
+        sample_value,
+    )
+
+    registry = MetricsRegistry()
+    cache = ResultCache(directory=str(tmp_path / "cache"), registry=registry)
+    srv = ServeServer(port=0, cache=cache, workers=1, registry=registry)
+    srv.start_background()
+    try:
+        transport = HttpTransport(srv.url, request_timeout=120)
+        request = RunRequest(**TINY_RUN)
+        first = transport.submit(request)
+        transport.wait(first["id"], timeout=120)
+        second = transport.submit(request)
+        assert second["cache"] == "hit"
+
+        status, headers, body = _raw(srv, "GET", "/v1/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        parsed = parse_prometheus_text(body.decode("utf-8"))
+        assert parsed["types"]["repro_cache_hits_total"] == "counter"
+        assert parsed["types"]["repro_job_latency_seconds"] == "histogram"
+        assert sample_value(parsed, "repro_cache_hits_total") == 1
+        assert sample_value(parsed, "repro_cache_misses_total") == 1
+        assert sample_value(parsed, "repro_jobs_submitted_total",
+                            kind="run") == 2
+        assert sample_value(parsed, "repro_jobs_completed_total",
+                            kind="run", cache="miss") == 1
+        assert sample_value(parsed, "repro_jobs_completed_total",
+                            kind="run", cache="hit") == 1
+        assert sample_value(parsed, "repro_job_latency_seconds_count",
+                            kind="run") == 2
+        assert sample_value(parsed, "repro_jobs_queued") == 0
+        assert sample_value(parsed, "repro_jobs_running") == 0
+
+        snapshot = transport.metrics_json()
+        assert snapshot["schema"] == TELEMETRY_SCHEMA
+        assert validate_snapshot(snapshot) == []
+        # The JSON exposition agrees with the Prometheus one, the health
+        # document and the cache's own stats.
+        health = transport.health()
+        by_name = {entry["name"]: entry for entry in snapshot["metrics"]}
+        assert by_name["repro_cache_hits_total"]["samples"][0]["value"] \
+            == health["cache"]["hits"] == 1
+        assert by_name["repro_cache_entries"]["samples"][0]["value"] \
+            == health["cache"]["entries"] == 1
+        assert by_name["repro_cache_disk_bytes"]["samples"][0]["value"] \
+            == health["cache"]["disk_bytes"] > 0
+        assert health["counters"] == {"submitted": 2, "completed": 2,
+                                      "failed": 0}
+    finally:
+        srv.stop()
+
+
+def test_http_metrics_unknown_format_is_400(server):
+    status, _, body = _raw(server, "GET", "/v1/metrics?format=xml")
+    assert status == 400
+    assert json.loads(body)["exit_code"] == 2
+
+
+def test_http_access_log_and_job_correlation(server, caplog):
+    import logging
+
+    with caplog.at_level(logging.INFO, logger="repro.serve.http"):
+        request = RunRequest(**TINY_RUN)
+        job = server.manager.submit(request)
+        server.manager.wait(job.id, timeout=120)
+        _raw(server, "GET", f"/v1/jobs/{job.id}")
+        _raw(server, "GET", "/v1/nonesuch")
+    events = [(r.getMessage(), getattr(r, "fields", {}),
+               getattr(r, "job_id", None)) for r in caplog.records]
+    by_path = {fields.get("path"): (fields, job_id)
+               for event, fields, job_id in events if event == "http_request"}
+    fields, job_id = by_path[f"/v1/jobs/{job.id}"]
+    assert fields["method"] == "GET"
+    assert fields["status"] == 200
+    assert fields["duration_s"] >= 0
+    assert job_id == job.id  # correlation via X-Repro-Job
+    fields, _ = by_path["/v1/nonesuch"]
+    assert fields["status"] == 404
+    assert fields["exit_code"] == 2  # the taxonomy code of the error body
+
+
+def test_serve_writes_per_job_trace(tmp_path):
+    trace_dir = tmp_path / "traces"
+    srv = ServeServer(port=0, cache=ResultCache(), workers=1,
+                      trace_dir=str(trace_dir))
+    srv.start_background()
+    try:
+        transport = HttpTransport(srv.url, request_timeout=120)
+        job = transport.submit(RunRequest(**TINY_RUN))
+        transport.wait(job["id"], timeout=120)
+        trace_path = trace_dir / f"{job['id']}.trace.json"
+        assert trace_path.exists()
+        events = json.loads(trace_path.read_text())
+        assert events  # the run produced a non-empty event timeline
+        # Tracing is observation only: the traced result is byte-identical
+        # to an untraced submission of the same request.
+        assert transport.result_text(job["id"]) \
+            == submit(RunRequest(**TINY_RUN)).text
+    finally:
+        srv.stop()
+
+
+def test_repro_status_dashboard(server, capsys):
+    from repro.__main__ import main
+
+    assert main(["status", server.url]) == 0
+    out = capsys.readouterr().out
+    assert f"repro serve @ {server.url}" in out
+    assert "jobs" in out and "cache" in out and "http" in out
+    assert "hit ratio" in out
+
+
+def test_repro_status_unreachable_is_exit_2(capsys):
+    from repro.__main__ import main
+
+    assert main(["status", "http://127.0.0.1:9", "--timeout", "2"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_sigint_emits_shutdown_summary():
+    # The real Ctrl-C path: a SIGINT delivered while `repro serve` blocks
+    # in Thread.join() used to falsely mark the serve thread stopped, so
+    # the process exited before the loop ran its shutdown tail and the
+    # serve_stopped summary was lost.
+    import os
+    import signal
+    import subprocess
+    import sys
+    import time
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(os.path.dirname(__file__), "..", "src"),
+                    env.get("PYTHONPATH")) if p)
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--workers", "1", "--log-json"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, env=env)
+    try:
+        deadline = time.time() + 30
+        banner = b""
+        while time.time() < deadline and b"listening on" not in banner:
+            time.sleep(0.1)
+            banner += proc.stdout.read1(65536) if hasattr(
+                proc.stdout, "read1") else b""
+            if proc.poll() is not None:
+                break
+        assert proc.poll() is None, banner
+        # Let the main thread settle into server.join() — the banner is
+        # printed just before the KeyboardInterrupt guard is entered.
+        time.sleep(0.5)
+        proc.send_signal(signal.SIGINT)
+        rest, _ = proc.communicate(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    out = banner + rest
+    assert proc.returncode == 0, out
+    assert b'"event": "serve_stopped"' in out, out

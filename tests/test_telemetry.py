@@ -1,0 +1,350 @@
+"""The telemetry layer: metrics registry, structured logging, heartbeats.
+
+The load-bearing properties: thread-safety of the counters, deterministic
+exposition layout (same counts -> same bytes), a faithful Prometheus
+text/JSON round-trip, the schema-versioned snapshot validating, and —
+above all — zero perturbation: instrumented runs produce byte-identical
+results.
+"""
+
+import io
+import json
+import logging
+import threading
+
+import pytest
+
+from repro.obs.schema import (
+    TELEMETRY_SCHEMA,
+    validate_snapshot,
+    validate_telemetry,
+)
+from repro.telemetry.log import (
+    JsonLogFormatter,
+    configure_logging,
+    current_job_id,
+    get_logger,
+    job_context,
+    log_event,
+    reset_logging,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    default_registry,
+    parse_prometheus_text,
+    sample_value,
+)
+
+
+# ---------------------------------------------------------------------- #
+# the registry
+# ---------------------------------------------------------------------- #
+def test_counter_gauge_histogram_basics():
+    reg = MetricsRegistry()
+    jobs = reg.counter("jobs_total", "jobs", labels=("kind",))
+    jobs.inc(kind="run")
+    jobs.inc(2, kind="sweep")
+    assert jobs.value(kind="run") == 1
+    assert jobs.value(kind="sweep") == 2
+    with pytest.raises(ValueError, match="cannot decrease"):
+        jobs.inc(-1, kind="run")
+
+    depth = reg.gauge("queue_depth", "depth")
+    depth.set(5)
+    depth.dec(2)
+    assert depth.value() == 3
+
+    lat = reg.histogram("latency_seconds", "latency", buckets=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.5, 5.0, 50.0):
+        lat.observe(value)
+    [sample] = lat.sample_docs()
+    assert [b["count"] for b in sample["buckets"]] == [1, 2, 3]  # cumulative
+    assert sample["count"] == 4  # the implicit +Inf bucket
+    assert sample["sum"] == pytest.approx(55.55)
+
+
+def test_label_schema_is_enforced():
+    reg = MetricsRegistry()
+    c = reg.counter("hits_total", "hits", labels=("route",))
+    with pytest.raises(ValueError, match="takes labels"):
+        c.inc(method="GET")
+    # Get-or-create: same schema returns the same family...
+    assert reg.counter("hits_total", "hits", labels=("route",)) is c
+    # ...different type or labels is a hard error, not a silent split.
+    with pytest.raises(ValueError, match="already registered"):
+        reg.gauge("hits_total", "hits", labels=("route",))
+    with pytest.raises(ValueError, match="already registered"):
+        reg.counter("hits_total", "hits", labels=("route", "method"))
+    with pytest.raises(ValueError, match="invalid metric name"):
+        reg.counter("bad name", "x")
+    with pytest.raises(ValueError, match="strictly increasing"):
+        reg.histogram("h", "x", buckets=(1.0, 1.0))
+
+
+def test_counter_is_thread_safe():
+    reg = MetricsRegistry()
+    c = reg.counter("spins_total", "spins")
+
+    def spin():
+        for _ in range(1000):
+            c.inc()
+
+    threads = [threading.Thread(target=spin) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert c.value() == 8000
+
+
+def test_exposition_layout_is_deterministic():
+    """Same counts, different registration/increment order -> same bytes."""
+    def build(order):
+        reg = MetricsRegistry()
+        c = reg.counter("requests_total", "req", labels=("route", "status"))
+        g = reg.gauge("depth", "d")
+        for route, status in order:
+            c.inc(route=route, status=status)
+        g.set(2)
+        return reg
+
+    a = build([("/a", "200"), ("/b", "404"), ("/a", "200")])
+    b = build([("/a", "200"), ("/a", "200"), ("/b", "404")])
+    assert a.snapshot_text() == b.snapshot_text()
+    assert a.render_prometheus() == b.render_prometheus()
+    # Samples come out sorted by label-value tuple.
+    [family] = [f for f in a.snapshot()["metrics"]
+                if f["name"] == "requests_total"]
+    assert [s["labels"]["route"] for s in family["samples"]] == ["/a", "/b"]
+
+
+def test_prometheus_text_round_trip():
+    reg = MetricsRegistry()
+    reg.counter("hits_total", "hits", labels=("route",)).inc(
+        3, route='/v1/jobs "quoted"\nline')
+    reg.gauge("in_flight", "now").set(1.5)
+    hist = reg.histogram("lat_seconds", "lat", buckets=(0.5, 2.0))
+    hist.observe(0.1)
+    hist.observe(1.0)
+    hist.observe(9.0)
+
+    parsed = parse_prometheus_text(reg.render_prometheus())
+    assert parsed["types"] == {"hits_total": "counter", "in_flight": "gauge",
+                               "lat_seconds": "histogram"}
+    assert sample_value(parsed, "hits_total",
+                        route='/v1/jobs "quoted"\nline') == 3
+    assert sample_value(parsed, "in_flight") == 1.5
+    assert sample_value(parsed, "lat_seconds_bucket", le="0.5") == 1
+    assert sample_value(parsed, "lat_seconds_bucket", le="2") == 2
+    assert sample_value(parsed, "lat_seconds_bucket", le="+Inf") == 3
+    assert sample_value(parsed, "lat_seconds_count") == 3
+    assert sample_value(parsed, "lat_seconds_sum") == pytest.approx(10.1)
+
+
+def test_snapshot_validates_and_rejects_disorder():
+    reg = MetricsRegistry()
+    reg.counter("b_total", "b").inc()
+    reg.counter("a_total", "a", labels=("k",)).inc(k="x")
+    reg.histogram("h_seconds", "h").observe(0.2)
+    snap = reg.snapshot()
+    assert snap["schema"] == TELEMETRY_SCHEMA
+    assert validate_telemetry(snap) == []
+    # validate_snapshot dispatches on the schema tag (repro check path).
+    assert validate_snapshot(snap) == []
+
+    broken = json.loads(json.dumps(snap))
+    broken["metrics"].reverse()  # names no longer ascending
+    assert validate_telemetry(broken) != []
+    negative = json.loads(json.dumps(snap))
+    negative["metrics"][0]["samples"][0]["value"] = -1
+    assert validate_telemetry(negative) != []
+
+
+def test_default_registry_is_a_process_singleton():
+    assert default_registry() is default_registry()
+    assert DEFAULT_LATENCY_BUCKETS[0] < DEFAULT_LATENCY_BUCKETS[-1]
+
+
+# ---------------------------------------------------------------------- #
+# structured logging
+# ---------------------------------------------------------------------- #
+@pytest.fixture()
+def log_stream():
+    stream = io.StringIO()
+    yield stream
+    reset_logging()
+
+
+def test_job_context_binds_and_restores():
+    assert current_job_id() is None
+    with job_context("j000001"):
+        assert current_job_id() == "j000001"
+        with job_context("j000002"):
+            assert current_job_id() == "j000002"
+        assert current_job_id() == "j000001"
+    assert current_job_id() is None
+
+
+def test_json_log_lines_carry_context_and_fields(log_stream):
+    configure_logging(json_mode=True, level="info", stream=log_stream)
+    logger = get_logger("serve.test")
+    with job_context("j000042"):
+        log_event(logger, logging.INFO, "job_started", kind="run",
+                  skipped=None)
+    doc = json.loads(log_stream.getvalue())
+    assert doc["event"] == "job_started"
+    assert doc["logger"] == "repro.serve.test"
+    assert doc["level"] == "info"
+    assert doc["job_id"] == "j000042"  # stamped from the bound context
+    assert doc["kind"] == "run"
+    assert "skipped" not in doc  # None fields are dropped
+    assert doc["ts"] > 0
+
+
+def test_text_log_lines_render_fields(log_stream):
+    configure_logging(json_mode=False, level="debug", stream=log_stream)
+    log_event(get_logger("fleet"), logging.DEBUG, "sweep_progress",
+              job_id="j000007", completed=3, total=8)
+    line = log_stream.getvalue()
+    assert "repro.fleet: sweep_progress" in line
+    assert "job=j000007" in line
+    assert "completed=3" in line and "total=8" in line
+
+
+def test_configure_logging_is_idempotent_and_validates(log_stream):
+    configure_logging(stream=log_stream)
+    configure_logging(stream=log_stream)
+    root = logging.getLogger("repro")
+    ours = [h for h in root.handlers
+            if getattr(h, "_repro_telemetry", False)]
+    assert len(ours) == 1
+    with pytest.raises(ValueError, match="unknown log level"):
+        configure_logging(level="loud")
+
+
+def test_unconfigured_logging_is_silent_below_warning(capsys):
+    reset_logging()
+    log_event(get_logger("serve.jobs"), logging.INFO, "job_started")
+    assert capsys.readouterr().err == ""
+
+
+def test_json_formatter_includes_exceptions():
+    import sys
+
+    formatter = JsonLogFormatter()
+    try:
+        raise RuntimeError("boom")
+    except RuntimeError:
+        record = logging.LogRecord("repro.t", logging.ERROR, __file__, 1,
+                                   "job_failed", (),
+                                   exc_info=sys.exc_info())
+    doc = json.loads(formatter.format(record))
+    assert "RuntimeError: boom" in doc["exc"]
+
+
+# ---------------------------------------------------------------------- #
+# fleet heartbeats
+# ---------------------------------------------------------------------- #
+def test_fleet_progress_heartbeats_and_counters(caplog):
+    from repro.fleet import run_units_resilient, sweep_units
+    from repro.apps import MachineKind
+
+    registry = MetricsRegistry()
+    units = sweep_units("water", MachineKind("ipsc860"), [1, 2],
+                        scale="tiny")[:2]
+    with caplog.at_level(logging.INFO, logger="repro.fleet"):
+        outcome = run_units_resilient(units, jobs=1, registry=registry,
+                                      progress_interval=0.0)
+    assert outcome.ok
+    events = [(r.getMessage(), r.fields) for r in caplog.records]
+    progress = [f for e, f in events if e == "sweep_progress"]
+    assert len(progress) == 2  # interval 0: one heartbeat per completion
+    assert progress[0]["completed"] == 1 and progress[0]["total"] == 2
+    assert progress[0]["eta_s"] >= 0
+    assert progress[1]["per_worker"]  # serial path: everything on one pid
+    [complete] = [f for e, f in events if e == "sweep_complete"]
+    assert complete["completed"] == 2
+    assert complete["pool_restarts"] == 0
+
+    parsed = parse_prometheus_text(registry.render_prometheus())
+    assert sample_value(parsed, "repro_fleet_units_dispatched_total") == 2
+    assert sample_value(parsed, "repro_fleet_units_completed_total") == 2
+
+
+# ---------------------------------------------------------------------- #
+# the no-perturbation invariant
+# ---------------------------------------------------------------------- #
+def test_instrumented_run_output_is_byte_identical(capsys):
+    """Telemetry observes, never perturbs: a fault-free run prints the
+    same bytes with logging and metrics fully enabled."""
+    from repro.__main__ import main
+
+    argv = ["run", "--app", "water", "--scale", "tiny", "--procs", "2"]
+    assert main(argv) == 0
+    quiet = capsys.readouterr().out
+    try:
+        configure_logging(json_mode=True, level="debug")
+        default_registry().counter("repro_test_noise_total", "noise").inc()
+        assert main(argv) == 0
+        noisy = capsys.readouterr().out
+    finally:
+        reset_logging()
+    assert noisy == quiet
+
+
+def test_cache_key_untouched_by_telemetry():
+    """Cache keys hash the request's canonical JSON only — no telemetry
+    state can leak into the content address."""
+    from repro.serve import RunRequest
+
+    request = RunRequest(app="water", machine="ipsc860", scale="tiny",
+                         procs=2)
+    before = request.cache_key()
+    configure_logging(json_mode=True, level="debug")
+    try:
+        with job_context("j999999"):
+            assert RunRequest(app="water", machine="ipsc860", scale="tiny",
+                              procs=2).cache_key() == before
+    finally:
+        reset_logging()
+
+
+# ---------------------------------------------------------------------- #
+# the status dashboard renderer
+# ---------------------------------------------------------------------- #
+def test_render_dashboard_sections():
+    from repro.telemetry.dashboard import render_dashboard
+
+    health = {
+        "status": "ok", "uptime": 12.0, "workers": 2, "sweep_jobs": 4,
+        "jobs": {"queued": 0, "running": 1, "done": 3, "failed": 1},
+        "counters": {"submitted": 5, "completed": 3, "failed": 1},
+        "cache": {"hits": 3, "misses": 1, "stores": 1, "entries": 1,
+                  "evictions": 0, "disk_entries": 1, "disk_bytes": 2048},
+    }
+    snapshot = {
+        "schema": TELEMETRY_SCHEMA,
+        "metrics": [
+            {"name": "repro_fleet_units_dispatched_total", "type": "counter",
+             "help": "", "label_names": [],
+             "samples": [{"labels": {}, "value": 8}]},
+            {"name": "repro_http_requests_total", "type": "counter",
+             "help": "", "label_names": ["route", "method", "status"],
+             "samples": [{"labels": {"route": "/v1/jobs", "method": "POST",
+                                     "status": "200"}, "value": 5}]},
+            {"name": "repro_job_latency_seconds", "type": "histogram",
+             "help": "", "label_names": ["kind"],
+             "samples": [{"labels": {"kind": "run"},
+                          "buckets": [{"le": 1.0, "count": 2}],
+                          "count": 2, "sum": 0.8}]},
+        ],
+    }
+    text = render_dashboard("http://h:1", health, snapshot)
+    assert "status ok, uptime 12s" in text
+    assert "running 1" in text and "submitted 5" in text
+    assert "run: count 2, mean 0.4 s, p95 <= 1 s" in text
+    assert "hit ratio 75.0%" in text
+    assert "disk 1 entries / 2.0 KiB" in text
+    assert "POST /v1/jobs" in text
+    assert "dispatched 8" in text  # the fleet section appears when non-zero
