@@ -1,0 +1,100 @@
+"""repro.fleet baseline: remote unit dispatch vs in-process execution.
+
+The distributed fleet's value is scaling past one host, not raw speed —
+over loopback, HTTP dispatch can only *add* overhead to an in-process
+sweep.  This benchmark pins down what that overhead is for a tiny sweep
+against one in-process ``repro worker``:
+
+* **local_wall_s** — the sweep on the in-process serial path;
+* **remote_wall_s** — the same units dispatched over HTTP to a loopback
+  worker (dedup ledger, sequence numbers, the full protocol);
+* **dispatch_overhead_s** — per-unit cost of the wire (request
+  serialization, one HTTP round-trip, response parsing);
+* byte-identity of the remote snapshot against the serial one is
+  asserted, not just measured — the protocol must never perturb results.
+
+The gate is deliberately loose (overhead under one second per unit, and
+remote within 20x of local): loopback latency varies wildly across CI
+hosts, and the contract worth enforcing is "small constant per unit",
+not a specific microsecond count.
+"""
+
+import os
+import time
+
+from repro.apps import MachineKind
+from repro.fleet import (
+    RemoteBackend,
+    run_units_resilient,
+    sweep_snapshot_doc,
+    sweep_units,
+)
+from repro.fleet.worker import WorkerServer
+from repro.lab.experiments import ExperimentRow, locality_sweep
+from repro.obs.snapshot import dump_json
+
+from _support import once, show, snapshot
+
+
+def _bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "tiny")
+
+
+def _snapshot_text(units, metrics_list, scale):
+    rows = [ExperimentRow("water", u.machine, u.level, u.procs, m)
+            for u, m in zip(units, metrics_list)]
+    return dump_json(sweep_snapshot_doc("water", "ipsc860", scale, rows))
+
+
+def test_remote_dispatch_overhead(benchmark):
+    scale = _bench_scale()
+    procs = [1, 2]
+    units = sweep_units("water", MachineKind.IPSC860, procs, scale)
+
+    server = WorkerServer(port=0)
+    server.start_background()
+    try:
+        def measure():
+            start = time.perf_counter()
+            local = run_units_resilient(units, jobs=1)
+            local_wall = time.perf_counter() - start
+            start = time.perf_counter()
+            remote = run_units_resilient(
+                units, jobs=1, backend=RemoteBackend([server.url]))
+            remote_wall = time.perf_counter() - start
+            return local, remote, local_wall, remote_wall
+
+        local, remote, local_wall, remote_wall = once(benchmark, measure)
+    finally:
+        server.stop()
+
+    assert local.ok and remote.ok
+    remote_text = _snapshot_text(units, remote.metrics, scale)
+    serial_rows = locality_sweep("water", MachineKind.IPSC860, procs, scale)
+    serial_text = dump_json(sweep_snapshot_doc("water", "ipsc860", scale,
+                                               serial_rows))
+    assert remote_text == serial_text, \
+        "remote dispatch perturbed the sweep snapshot"
+
+    overhead = max(0.0, remote_wall - local_wall) / len(units)
+    show(f"remote dispatch: {len(units)} units of water/{scale} "
+         f"over loopback HTTP\n"
+         f"  local     {local_wall * 1e3:10.2f} ms\n"
+         f"  remote    {remote_wall * 1e3:10.2f} ms\n"
+         f"  overhead  {overhead * 1e3:10.2f} ms/unit")
+    snapshot(
+        "remote_dispatch",
+        {
+            "local_wall_s": local_wall,
+            "remote_wall_s": remote_wall,
+            "dispatch_overhead_s": overhead,
+            "units": len(units),
+        },
+        meta={"app": "water", "scale": scale, "procs": procs},
+    )
+    assert overhead < 1.0, (
+        f"per-unit dispatch overhead {overhead:.3f}s >= 1s — the wire "
+        "protocol is doing more than one round-trip per unit")
+    assert remote_wall < local_wall * 20 + 2.0, (
+        f"remote sweep {remote_wall:.3f}s vs local {local_wall:.3f}s — "
+        "loopback dispatch should cost a small constant per unit")

@@ -14,6 +14,7 @@ Commands
 ``describe``   list applications, machines, optimization switches
 ``serve``      run the HTTP job server (async queue + result cache)
 ``status``     one-shot text dashboard for a running serve instance
+``worker``     run a fleet unit-executor (remote sweep worker)
 
 Exit codes: 0 success, 1 a verification/regression failed, 2 bad
 arguments or configuration, 3 the simulation itself raised (coherence
@@ -143,15 +144,32 @@ def cmd_sweep(args) -> int:
         print(f"error: --retries must be >= 0, got {args.retries}",
               file=sys.stderr)
         return 2
+    if args.workers and args.backend != "remote":
+        print("error: --workers only applies to --backend remote",
+              file=sys.stderr)
+        return 2
+    backend = None
+    if args.backend == "remote":
+        if not args.workers:
+            print("error: --backend remote requires at least one "
+                  "--workers URL (start one with `repro worker`)",
+                  file=sys.stderr)
+            return 2
+        from repro.fleet import RemoteBackend
+
+        backend = RemoteBackend(args.workers)
     outcome = None
     try:
         request = SweepRequest(app=args.app, machine=args.machine,
                                scale=args.scale, procs=tuple(procs))
-        if jobs > 1 or args.partial:
+        if (jobs > 1 or args.partial or backend is not None
+                or args.checkpoint):
             policy = api.ExecutionPolicy(jobs=jobs, timeout=args.timeout,
                                          retries=args.retries)
             rows, outcome = api.sweep_rows(request, policy,
-                                           partial=args.partial)
+                                           partial=args.partial,
+                                           backend=backend,
+                                           checkpoint=args.checkpoint)
         else:
             rows = locality_sweep(args.app, machine, procs, args.scale)
     except ExperimentError as exc:
@@ -181,14 +199,31 @@ def cmd_sweep(args) -> int:
             f"{args.app} on {args.machine}: task locality (%)", procs, pct,
             fmt=lambda v: f"{v:.1f}"))
     if args.json:
-        from repro.fleet import sweep_snapshot_doc
-        from repro.obs.snapshot import dump_json
-
-        doc = sweep_snapshot_doc(args.app, args.machine, args.scale, rows)
         try:
-            with open(args.json, "w", encoding="utf-8") as fh:
-                fh.write(dump_json(doc) + "\n")
-        except (ValueError, OSError) as exc:
+            if args.checkpoint and not degraded:
+                # Streaming merge: render the snapshot row-by-row from
+                # the journal (byte-identical to the in-memory path)
+                # instead of holding every unit's metrics at once.
+                from repro.fleet import sweep_units
+                from repro.fleet.checkpoint import (
+                    CheckpointJournal,
+                    write_sweep_snapshot_stream,
+                )
+
+                units = sweep_units(args.app, machine, list(procs),
+                                    args.scale)
+                write_sweep_snapshot_stream(
+                    args.json, args.app, args.machine, args.scale, units,
+                    CheckpointJournal(args.checkpoint))
+            else:
+                from repro.fleet import sweep_snapshot_doc
+                from repro.obs.snapshot import dump_json
+
+                doc = sweep_snapshot_doc(args.app, args.machine,
+                                         args.scale, rows)
+                with open(args.json, "w", encoding="utf-8") as fh:
+                    fh.write(dump_json(doc) + "\n")
+        except (ValueError, OSError, ExperimentError) as exc:
             print(f"error: cannot write sweep JSON to {args.json}: {exc}",
                   file=sys.stderr)
             return 2
@@ -277,6 +312,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="degraded mode: keep completed units and "
                               "report failures instead of aborting the "
                               "whole sweep (exit 1 when any unit failed)")
+    sweep_p.add_argument("--backend", default="process",
+                         choices=["process", "remote"],
+                         help="where units execute: this host's process "
+                              "pool, or remote `repro worker` hosts "
+                              "(requires --workers; output is "
+                              "byte-identical either way)")
+    sweep_p.add_argument("--workers", metavar="URL", nargs="+", default=None,
+                         help="worker base URLs for --backend remote, "
+                              "e.g. http://10.0.0.2:8764")
+    sweep_p.add_argument("--checkpoint", metavar="DIR", default=None,
+                         help="journal every completed unit here and "
+                              "resume a killed sweep by skipping "
+                              "journaled units")
     from repro.telemetry.log import add_logging_args
 
     add_logging_args(sweep_p)
@@ -289,6 +337,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     from repro.check.cli import add_check_parser
     from repro.faults.cli import add_chaos_parser
+    from repro.fleet.worker import add_worker_parser
     from repro.obs.benchdiff import add_benchdiff_parser
     from repro.obs.cli import add_profile_parser
     from repro.serve.cli import add_serve_parser, add_status_parser
@@ -299,6 +348,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_chaos_parser(sub)
     add_serve_parser(sub)
     add_status_parser(sub)
+    add_worker_parser(sub)
 
     de_p = sub.add_parser("describe", help="list apps/machines/switches")
     de_p.add_argument("--json", action="store_true",

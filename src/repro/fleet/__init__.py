@@ -1,11 +1,29 @@
-"""``repro.fleet`` — parallel sweep execution across host processes.
+"""``repro.fleet`` — parallel sweep execution across hosts and processes.
 
-Fans independent sweep configurations out over a process pool, merges the
-results deterministically in configuration order, and guarantees the
-merged output is byte-identical to the serial path (see
-:mod:`repro.fleet.executor` for the determinism contract).
+Fans independent sweep configurations out over a pluggable
+:class:`~repro.fleet.backends.FleetBackend` — this host's process pool,
+remote ``repro worker`` hosts over HTTP, either wrapped in a resumable
+on-disk checkpoint journal — merges the results deterministically in
+configuration order, and guarantees the merged output is byte-identical
+to the serial path (see :mod:`repro.fleet.executor` for the determinism
+contract).
 """
 
+from repro.fleet.backends import (
+    FLEET_BACKENDS,
+    BackendConfig,
+    CheckpointBackend,
+    FleetBackend,
+    PayloadMetrics,
+    ProcessPoolBackend,
+    RemoteBackend,
+    create_backend,
+)
+from repro.fleet.checkpoint import (
+    CheckpointJournal,
+    iter_sweep_snapshot_chunks,
+    write_sweep_snapshot_stream,
+)
 from repro.fleet.executor import (
     SweepOutcome,
     SweepUnit,
@@ -21,10 +39,20 @@ from repro.fleet.executor import (
 )
 
 __all__ = [
+    "BackendConfig",
+    "CheckpointBackend",
+    "CheckpointJournal",
+    "FLEET_BACKENDS",
+    "FleetBackend",
+    "PayloadMetrics",
+    "ProcessPoolBackend",
+    "RemoteBackend",
     "SweepOutcome",
     "SweepUnit",
     "UnitFailure",
+    "create_backend",
     "default_jobs",
+    "iter_sweep_snapshot_chunks",
     "parallel_locality_sweep",
     "resilient_locality_sweep",
     "run_units",
@@ -32,4 +60,5 @@ __all__ = [
     "sweep_snapshot_doc",
     "sweep_units",
     "verify_parallel_matches_serial",
+    "write_sweep_snapshot_stream",
 ]

@@ -1,0 +1,553 @@
+"""Fleet execution backends: where sweep units actually run.
+
+:func:`repro.fleet.executor.run_units_resilient` owns *what* to run (the
+canonical unit list) and *how to account for it* (the
+:class:`~repro.fleet.executor._Progress` hub and the merge back into unit
+order); a :class:`FleetBackend` owns *where* the units execute:
+
+* :class:`ProcessPoolBackend` — this host's fork-based
+  :class:`~concurrent.futures.ProcessPoolExecutor`, the original fleet
+  semantics byte-for-byte (timeout kill, pool-restart budget, partial
+  degraded mode);
+* :class:`RemoteBackend` — units dispatched over HTTP to ``repro
+  worker`` hosts.  The dispatch protocol is the go-back-ARQ design of
+  :mod:`repro.runtime.reliable` applied host-side: every attempt carries
+  a sweep-unique sequence number, workers dedup on ``(sweep, index)`` so
+  a re-dispatched unit is computed once and joined by every duplicate
+  request, a lost or timed-out dispatch is requeued for the next free
+  worker (bounded by ``len(workers) + retries`` attempts per unit), and
+  a worker that strikes out repeatedly is dropped from the rotation;
+* :class:`CheckpointBackend` — a wrapper around either of the above that
+  journals every completed unit's metrics to disk
+  (:mod:`repro.fleet.checkpoint`) *as it completes* and recovers
+  journaled units instead of re-running them, so a sweep killed mid-run
+  resumes where it left off with byte-identical final output.
+
+Like :data:`repro.serve.transport.TRANSPORTS`, backends are registry
+entries (:data:`FLEET_BACKENDS`) lazy-loaded by :func:`create_backend`,
+so ``--backend remote`` is one dict line away from any future scheduler.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import threading
+import uuid
+from abc import ABC, abstractmethod
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ExperimentError
+from repro.fleet import executor as _executor
+from repro.fleet.executor import (
+    SweepOutcome,
+    SweepUnit,
+    UnitFailure,
+    _Progress,
+    _WorkerResult,
+)
+from repro.telemetry.log import get_logger, log_event
+
+_log = get_logger("fleet")
+
+#: Backend registry: name -> "module:Class" (mirrors serve's TRANSPORTS).
+FLEET_BACKENDS = {
+    "process": "repro.fleet.backends:ProcessPoolBackend",
+    "remote": "repro.fleet.backends:RemoteBackend",
+}
+
+
+def create_backend(name: str, **options: Any) -> "FleetBackend":
+    """Instantiate a fleet backend by registry name (lazy import)."""
+    import importlib
+
+    try:
+        target = FLEET_BACKENDS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown fleet backend {name!r}; valid: "
+            f"{', '.join(sorted(FLEET_BACKENDS))}") from None
+    module_name, _, class_name = target.partition(":")
+    module = importlib.import_module(module_name)
+    cls = getattr(module, class_name)
+    return cls(**options)
+
+
+@dataclass(frozen=True)
+class BackendConfig:
+    """The per-sweep execution knobs a backend receives (never mutated)."""
+
+    jobs: int = 1
+    timeout: Optional[float] = None
+    retries: int = 1
+    partial: bool = False
+
+
+class FleetBackend(ABC):
+    """Executes ``(index, SweepUnit)`` pairs somewhere; returns results.
+
+    ``execute`` may return results in any order (the executor merges by
+    index), must route every result through ``progress.record`` (or
+    ``progress.resumed`` for journal recoveries) exactly once, and must
+    append a typed :class:`UnitFailure` to ``outcome.failures`` for every
+    unit it abandons in ``partial`` mode.  Simulation errors are *data*
+    (``_WorkerResult.error``), never exceptions: the executor applies the
+    partial/strict policy uniformly.
+    """
+
+    #: Registry name (labels the per-backend telemetry counters).
+    name = ""
+
+    @abstractmethod
+    def execute(
+        self,
+        indexed: List[Tuple[int, SweepUnit]],
+        config: BackendConfig,
+        outcome: SweepOutcome,
+        progress: _Progress,
+    ) -> List[_WorkerResult]:
+        """Run every pair in ``indexed``; return their results."""
+
+
+class PayloadMetrics:
+    """A journaled/remote metrics payload wearing the ``RunMetrics`` hat.
+
+    Results that cross a wire or a journal arrive as the ``to_json()``
+    dict, not the live object.  Re-hydrating a real :class:`RunMetrics`
+    would be lossy guesswork; instead this wrapper returns the payload
+    *verbatim* from :meth:`to_json` — which is all the snapshot builder
+    consumes, so byte-identity with a fresh run follows from canonical
+    JSON's exact float round-trip — and answers attribute reads
+    (``elapsed``, ``task_locality_pct``, ...) from the payload's top
+    level or its ``derived`` block for the CLI tables.
+    """
+
+    __slots__ = ("_payload",)
+
+    def __init__(self, payload: Dict[str, Any]) -> None:
+        self._payload = payload
+
+    def to_json(self) -> Dict[str, Any]:
+        return self._payload
+
+    def __getattr__(self, name: str):
+        payload = self._payload
+        if name in payload:
+            return payload[name]
+        derived = payload.get("derived")
+        if isinstance(derived, dict) and name in derived:
+            return derived[name]
+        raise AttributeError(
+            f"metrics payload has no field {name!r}")
+
+
+# ---------------------------------------------------------------------- #
+# this host: the hardened process pool
+# ---------------------------------------------------------------------- #
+def _mp_context():
+    """Fork where available (cheap, inherits the warmed interpreter)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down *now*: terminate workers, abandon queued work.
+
+    ``ProcessPoolExecutor`` cannot cancel a future that is already
+    running, so a hung worker would make a plain ``shutdown`` block
+    forever; terminating the worker processes first makes the shutdown
+    non-blocking (terminating an already-exited process is a no-op).
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        proc.terminate()
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _harvest(
+    futures: List[Tuple[Tuple[int, SweepUnit], Any]],
+    start: int,
+    results: List[_WorkerResult],
+    progress: _Progress,
+) -> List[Tuple[int, SweepUnit]]:
+    """Collect finished results from ``futures[start:]``; return the rest.
+
+    Called while abandoning a pool: completed work is kept (never re-run),
+    everything queued or in flight is returned for requeueing on a fresh
+    pool.
+    """
+    requeue: List[Tuple[int, SweepUnit]] = []
+    for pair, fut in futures[start:]:
+        if fut.done():
+            try:
+                results.append(fut.result(timeout=0))
+                progress.record(results[-1])
+                continue
+            except BaseException:  # noqa: BLE001 - crashed with the pool
+                pass
+        requeue.append(pair)
+    return requeue
+
+
+class ProcessPoolBackend(FleetBackend):
+    """The original fleet path: a fork pool on this host.
+
+    ``jobs == 1`` (or a single unit) runs in-process with no pool — the
+    reference serial path, whose output every other backend must match
+    byte-for-byte.
+    """
+
+    name = "process"
+
+    def execute(self, indexed, config, outcome, progress):
+        if config.jobs == 1 or len(indexed) <= 1:
+            return self._serial(indexed, config, progress)
+        return self._pooled(indexed, config, outcome, progress)
+
+    def _serial(self, indexed, config, progress):
+        if config.timeout is not None:
+            # Nothing can preempt an in-process simulation: say so loudly
+            # instead of silently ignoring the budget (unattended sweeps).
+            log_event(_log, logging.WARNING, "timeout_unenforced",
+                      timeout_s=config.timeout, jobs=config.jobs,
+                      reason="in-process execution cannot preempt a "
+                             "running unit; use --jobs >= 2 to enforce "
+                             "the per-unit budget")
+        progress.dispatch(len(indexed), self.name)
+        results: List[_WorkerResult] = []
+        for pair in indexed:
+            results.append(_executor._run_unit(pair))
+            progress.record(results[-1])
+        return results
+
+    def _pooled(self, indexed, config, outcome, progress):
+        """The hardened pool loop: submit, await in order, recover, requeue."""
+        timeout, partial = config.timeout, config.partial
+        results: List[_WorkerResult] = []
+        pending = list(indexed)
+        restarts_left = config.retries
+        while pending:
+            pool = ProcessPoolExecutor(
+                max_workers=min(config.jobs, len(pending)),
+                mp_context=_mp_context())
+            futures = [(pair, pool.submit(_executor._run_unit, pair))
+                       for pair in pending]
+            progress.dispatch(len(pending), self.name)
+            requeue: Optional[List[Tuple[int, SweepUnit]]] = None
+            try:
+                for position, (pair, fut) in enumerate(futures):
+                    index, unit = pair
+                    try:
+                        results.append(fut.result(timeout=timeout))
+                        progress.record(results[-1])
+                    except FuturesTimeout:
+                        if not partial:
+                            raise ExperimentError(
+                                f"sweep unit timed out after {timeout:g}s of "
+                                f"wall-clock: {unit.describe()} — raise "
+                                "--timeout, or pass --partial to skip hung "
+                                "units and keep the rest") from None
+                        outcome.failures.append(UnitFailure(
+                            index, unit.describe(), "timeout",
+                            f"exceeded the {timeout:g}s per-unit wall-clock "
+                            "budget; worker killed"))
+                        progress.timed_out()
+                        log_event(_log, logging.WARNING, "unit_timeout",
+                                  unit=unit.describe(), index=index,
+                                  timeout_s=timeout)
+                        requeue = _harvest(futures, position + 1, results,
+                                           progress)
+                        progress.requeue(len(requeue), self.name)
+                        break
+                    except BrokenProcessPool as exc:
+                        if restarts_left <= 0:
+                            if partial:
+                                for lost_pair, lost_fut in futures[position:]:
+                                    if (lost_fut.done()
+                                            and not lost_fut.cancelled()):
+                                        try:
+                                            results.append(
+                                                lost_fut.result(timeout=0))
+                                            progress.record(results[-1])
+                                            continue
+                                        except BaseException:  # noqa: BLE001
+                                            pass
+                                    lost_index, lost_unit = lost_pair
+                                    outcome.failures.append(UnitFailure(
+                                        lost_index, lost_unit.describe(),
+                                        "pool",
+                                        f"worker pool died ({exc}) with the "
+                                        "restart budget exhausted"))
+                                    progress.lost()
+                                requeue = []
+                                break
+                            raise ExperimentError(
+                                f"sweep worker pool died mid-sweep ({exc}); "
+                                "a worker was killed or crashed outside "
+                                "Python — rerun with --jobs 1 to reproduce "
+                                "serially") from exc
+                        restarts_left -= 1
+                        outcome.pool_restarts += 1
+                        progress.instruments["pool_restarts"].inc()
+                        # The current unit is requeued too: pool death is a
+                        # host-side event, not a property of the unit.
+                        requeue = [pair] + _harvest(futures, position + 1,
+                                                    results, progress)
+                        progress.requeue(len(requeue), self.name)
+                        log_event(_log, logging.WARNING, "pool_restart",
+                                  requeued=len(requeue),
+                                  restarts_left=restarts_left)
+                        break
+            finally:
+                _kill_pool(pool)
+            if requeue is None:
+                break
+            pending = requeue
+        return results
+
+
+# ---------------------------------------------------------------------- #
+# remote hosts: units over HTTP to ``repro worker`` processes
+# ---------------------------------------------------------------------- #
+class RemoteBackend(FleetBackend):
+    """Dispatch units to ``repro worker`` hosts (go-back-ARQ, host-side).
+
+    One dispatcher thread per worker URL pulls units from a shared queue:
+    the natural work-stealing schedule (fast workers take more units)
+    without any result-order dependence — results merge by index.  Each
+    dispatch carries a fresh sequence number; the worker side deduplicates
+    on ``(sweep, index)``, so a unit re-dispatched after a timeout is
+    computed once even if the first request is still running there.
+
+    A failed attempt (connection refused, HTTP error, timeout) requeues
+    the unit for the next free worker, up to ``len(workers) +
+    config.retries`` attempts; the worker that failed it accrues a
+    strike and leaves the rotation at ``max_strikes``.  When every
+    attempt is exhausted — or every worker has left — the unit becomes a
+    :class:`UnitFailure` (reason ``"timeout"`` or ``"remote"``): partial
+    mode keeps going, strict mode aborts the sweep.
+    """
+
+    name = "remote"
+
+    def __init__(self, workers: Sequence[str],
+                 request_timeout: float = 300.0,
+                 max_strikes: int = 3) -> None:
+        if not workers:
+            raise ExperimentError(
+                "remote backend needs at least one worker URL")
+        if max_strikes < 1:
+            raise ExperimentError(
+                f"max_strikes must be >= 1, got {max_strikes}")
+        self.workers = [url.rstrip("/") for url in workers]
+        self.request_timeout = request_timeout
+        self.max_strikes = max_strikes
+
+    def execute(self, indexed, config, outcome, progress):
+        from repro.fleet.worker import WorkerClient, WorkerError
+
+        for _, unit in indexed:
+            if unit.options is not None:
+                raise ExperimentError(
+                    "remote backend cannot ship explicit RuntimeOptions; "
+                    "workers derive options from the unit's locality "
+                    f"level (offending unit: {unit.describe()})")
+        sweep_id = uuid.uuid4().hex
+        max_attempts = len(self.workers) + config.retries
+        timeout = config.timeout if config.timeout is not None \
+            else self.request_timeout
+
+        lock = threading.Lock()
+        queue: deque = deque((pair, 0, None) for pair in indexed)
+        results: List[_WorkerResult] = []
+        done = threading.Event()
+        abort: List[ExperimentError] = []
+        state = {"remaining": len(indexed), "live": len(self.workers),
+                 "seq": 0}
+
+        def resolve_failure(index, unit, attempts, exc):
+            # lock held.  The unit's dispatch budget is spent: record the
+            # typed failure and, in strict mode, arm the abort.
+            if getattr(exc, "timed_out", False):
+                outcome.failures.append(UnitFailure(
+                    index, unit.describe(), "timeout",
+                    f"no worker finished the unit within {timeout:g}s "
+                    f"({attempts} attempt(s))"))
+                progress.timed_out()
+            else:
+                outcome.failures.append(UnitFailure(
+                    index, unit.describe(), "remote",
+                    f"every dispatch failed after {attempts} attempt(s); "
+                    f"last error: {exc}"))
+                progress.lost()
+            state["remaining"] -= 1
+            if not config.partial:
+                abort.append(ExperimentError(
+                    f"remote sweep unit failed after {attempts} "
+                    f"attempt(s): {unit.describe()} — last error: {exc}"))
+                done.set()
+            elif state["remaining"] == 0:
+                done.set()
+
+        def pump(url: str) -> None:
+            client = WorkerClient(url, timeout=timeout)
+            strikes = 0
+            while not done.is_set():
+                with lock:
+                    item = queue.popleft() if queue else None
+                    if item is not None and item[2] == url \
+                            and state["live"] > 1:
+                        # This worker just failed this very unit.  While
+                        # another worker is still live, hand the unit
+                        # over instead of re-trying here: a fast-failing
+                        # dead host must not burn the unit's whole
+                        # attempt budget before a slow healthy one gets
+                        # a chance.
+                        queue.append(item)
+                        item = None
+                    if item is not None:
+                        state["seq"] += 1
+                        seq = state["seq"]
+                        progress.dispatch(1, RemoteBackend.name)
+                        prev = item[2]
+                        if prev is not None and prev != url:
+                            progress.steal(1, RemoteBackend.name)
+                if item is None:
+                    # Queue drained but units may still be in flight on
+                    # other workers (and may yet requeue here).
+                    done.wait(0.02)
+                    continue
+                pair, attempts, _prev = item
+                index, unit = pair
+                try:
+                    doc = client.run_unit(sweep_id, seq, index, unit)
+                except WorkerError as exc:
+                    strikes += 1
+                    attempts += 1
+                    log_event(_log, logging.WARNING, "remote_dispatch_failed",
+                              worker=url, unit=unit.describe(), index=index,
+                              attempts=attempts, strikes=strikes,
+                              error=str(exc))
+                    with lock:
+                        if attempts >= max_attempts:
+                            resolve_failure(index, unit, attempts, exc)
+                        else:
+                            queue.append((pair, attempts, url))
+                            progress.requeue(1, RemoteBackend.name)
+                    if strikes >= self.max_strikes:
+                        break
+                    continue
+                strikes = 0
+                metrics = PayloadMetrics(doc["metrics"]) \
+                    if doc.get("metrics") is not None else None
+                result = _WorkerResult(
+                    index, metrics=metrics, error=doc.get("error"),
+                    trace=doc.get("trace"), pid=doc.get("pid", 0))
+                with lock:
+                    if abort:
+                        break  # sweep already failed; drop late results
+                    results.append(result)
+                    progress.record(result)
+                    state["remaining"] -= 1
+                    if state["remaining"] == 0:
+                        done.set()
+            with lock:
+                state["live"] -= 1
+                if state["live"] == 0 and not done.is_set():
+                    # Every worker struck out: drain what's left as typed
+                    # failures instead of hanging the sweep.
+                    while queue:
+                        (idx, u), att, _ = queue.popleft()
+                        outcome.failures.append(UnitFailure(
+                            idx, u.describe(), "remote",
+                            "every remote worker became unreachable "
+                            f"(after {att} attempt(s) on this unit)"))
+                        progress.lost()
+                        state["remaining"] -= 1
+                    if not config.partial:
+                        abort.append(ExperimentError(
+                            "every remote worker became unreachable; "
+                            "rerun with live workers or --backend process"))
+                    done.set()
+            log_event(_log, logging.INFO, "remote_worker_done", worker=url,
+                      strikes=strikes)
+
+        threads = [threading.Thread(target=pump, args=(url,), daemon=True,
+                                    name=f"fleet-dispatch-{i}")
+                   for i, url in enumerate(self.workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if abort:
+            raise abort[0]
+        return results
+
+
+# ---------------------------------------------------------------------- #
+# the checkpoint wrapper: journal completions, resume by skipping them
+# ---------------------------------------------------------------------- #
+class CheckpointBackend(FleetBackend):
+    """Wrap any backend with a per-unit disk journal.
+
+    Before executing, units already present in the journal are recovered
+    as :class:`PayloadMetrics` (counted ``resumed``, never dispatched);
+    the rest run on the inner backend with a ``progress.sink`` hook that
+    journals each unit's metrics *the moment it completes* — so a sweep
+    killed mid-run has journaled exactly its completed units, and a rerun
+    with the same directory picks up from there.  Failed units are never
+    journaled (they re-run on resume: errors may be environmental).
+    """
+
+    name = "checkpoint"
+
+    def __init__(self, inner: FleetBackend, journal: Any) -> None:
+        from repro.fleet.checkpoint import CheckpointJournal
+
+        if not isinstance(journal, CheckpointJournal):
+            journal = CheckpointJournal(str(journal))
+        self.inner = inner
+        self.journal = journal
+
+    def execute(self, indexed, config, outcome, progress):
+        units = {index: unit for index, unit in indexed}
+        self.journal.open_sweep([unit for _, unit in indexed])
+        journaled = self.journal.completed_indices()
+        results: List[_WorkerResult] = []
+        fresh: List[Tuple[int, SweepUnit]] = []
+        for pair in indexed:
+            index, unit = pair
+            if index in journaled:
+                payload = self.journal.load(index, unit)
+                result = _WorkerResult(index,
+                                       metrics=PayloadMetrics(payload))
+                results.append(result)
+                progress.resumed(result)
+            else:
+                fresh.append(pair)
+        if journaled:
+            log_event(_log, logging.INFO, "sweep_resumed",
+                      journal=self.journal.directory,
+                      resumed=len(results), fresh=len(fresh))
+        if not fresh:
+            return results
+        prev_sink = progress.sink
+
+        def journaling_sink(result: _WorkerResult) -> None:
+            if prev_sink is not None:
+                prev_sink(result)
+            self.journal.record(result.index, units[result.index],
+                                result.metrics.to_json())
+
+        progress.sink = journaling_sink
+        try:
+            results.extend(self.inner.execute(fresh, config, outcome,
+                                              progress))
+        finally:
+            progress.sink = prev_sink
+        return results

@@ -1,0 +1,200 @@
+"""Per-unit sweep checkpointing: journal completions, resume by replay.
+
+A sweep is a list of pure deterministic units, so crash recovery does
+not need write-ahead logging or distributed consensus — it needs exactly
+one fact per unit: *these metrics came out of this configuration*.  The
+:class:`CheckpointJournal` stores that fact as one canonical-JSON file
+per completed unit, written atomically the moment the unit finishes
+(``tmp`` + ``os.replace``), keyed by both the unit's position and its
+content address:
+
+* ``MANIFEST.json`` — ``{"schema": "repro.fleet.checkpoint/1",
+  "sweep_key": <content_key of the full unit list>, "total": N}``.
+  Opening a journal against a *different* sweep (changed app, procs,
+  scale, options — anything) fails loudly instead of resuming into a
+  silently mixed result.
+* ``unit-NNNNNN.json`` — ``{"index", "unit": <unit doc>, "unit_key",
+  "metrics": <RunMetrics.to_json()>}``.  ``unit_key`` is re-checked on
+  load, so an index collision between two different sweeps can never
+  smuggle the wrong metrics into a resumed run.
+
+Because :mod:`repro.util.canon` floats round-trip exactly, a payload
+read back from the journal re-serializes to the same bytes a fresh run
+would produce — the resume path inherits the byte-identical contract.
+
+:func:`iter_sweep_snapshot_chunks` is the streaming merge: it renders
+the exact bytes of ``dump_json(sweep_snapshot_doc(...))`` one row at a
+time straight from the journal, so writing a million-unit snapshot never
+holds more than one unit's metrics in memory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterator, List, Sequence, Set
+
+from repro.errors import ExperimentError
+from repro.fleet.executor import SweepUnit
+from repro.util.canon import canonical_json, content_key
+
+CHECKPOINT_SCHEMA = "repro.fleet.checkpoint/1"
+
+_MANIFEST = "MANIFEST.json"
+_UNIT_FMT = "unit-%06d.json"
+
+
+def sweep_key(units: Sequence[SweepUnit]) -> str:
+    """Content address of an entire sweep (its ordered unit list)."""
+    return content_key([unit.to_json() for unit in units])
+
+
+class CheckpointJournal:
+    """One sweep's on-disk completion journal (a directory)."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        self._total = 0
+
+    # -- lifecycle ------------------------------------------------------ #
+    def open_sweep(self, units: Sequence[SweepUnit]) -> None:
+        """Bind the journal to this sweep; create or validate the manifest.
+
+        A fresh directory gets a manifest; an existing one must describe
+        *exactly* this unit list, or resuming would merge metrics from a
+        different experiment.
+        """
+        os.makedirs(self.directory, exist_ok=True)
+        key = sweep_key(units)
+        self._total = len(units)
+        manifest_path = os.path.join(self.directory, _MANIFEST)
+        if os.path.exists(manifest_path):
+            with open(manifest_path, "r", encoding="utf-8") as fh:
+                manifest = json.load(fh)
+            if manifest.get("schema") != CHECKPOINT_SCHEMA:
+                raise ExperimentError(
+                    f"{manifest_path} is not a fleet checkpoint manifest "
+                    f"(schema {manifest.get('schema')!r})")
+            if manifest.get("sweep_key") != key:
+                raise ExperimentError(
+                    f"checkpoint directory {self.directory} belongs to a "
+                    "different sweep (manifest sweep_key "
+                    f"{manifest.get('sweep_key')!r} != {key!r}); point "
+                    "--checkpoint at a fresh directory or rerun the "
+                    "original configuration")
+            return
+        self._write_atomic(manifest_path, canonical_json(
+            {"schema": CHECKPOINT_SCHEMA, "sweep_key": key,
+             "total": len(units)}, indent=2) + "\n")
+
+    # -- queries -------------------------------------------------------- #
+    def completed_indices(self) -> Set[int]:
+        """Indices with a journaled result (resume skips these)."""
+        done: Set[int] = set()
+        try:
+            names = os.listdir(self.directory)
+        except FileNotFoundError:
+            return done
+        for name in names:
+            if name.startswith("unit-") and name.endswith(".json"):
+                try:
+                    done.add(int(name[5:-5]))
+                except ValueError:
+                    continue
+        return done
+
+    def load(self, index: int, unit: SweepUnit) -> Dict[str, Any]:
+        """The journaled metrics payload for ``unit`` at ``index``.
+
+        Validates the stored ``unit_key`` against the unit being resumed;
+        a mismatch means the directory holds some other sweep's data.
+        """
+        path = os.path.join(self.directory, _UNIT_FMT % index)
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        expected = unit.unit_key()
+        if doc.get("unit_key") != expected:
+            raise ExperimentError(
+                f"checkpoint entry {path} was journaled for a different "
+                f"unit (unit_key {doc.get('unit_key')!r} != {expected!r})")
+        return doc["metrics"]
+
+    # -- writes --------------------------------------------------------- #
+    def record(self, index: int, unit: SweepUnit,
+               payload: Dict[str, Any]) -> None:
+        """Journal one completed unit (atomic: tmp + rename)."""
+        path = os.path.join(self.directory, _UNIT_FMT % index)
+        self._write_atomic(path, canonical_json(
+            {"index": index, "unit": unit.to_json(),
+             "unit_key": unit.unit_key(), "metrics": payload},
+            indent=2) + "\n")
+
+    def _write_atomic(self, path: str, text: str) -> None:
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+
+
+# ---------------------------------------------------------------------- #
+# streaming merge: journal -> exact snapshot bytes, one row at a time
+# ---------------------------------------------------------------------- #
+def iter_sweep_snapshot_chunks(
+    app: str,
+    machine: str,
+    scale: str,
+    units: Sequence[SweepUnit],
+    journal: CheckpointJournal,
+) -> Iterator[str]:
+    """Yield the exact text of ``dump_json(sweep_snapshot_doc(...))``.
+
+    Reads one journaled unit at a time, in canonical unit order, and
+    renders each row with the same ``canonical_json(indent=2)`` layout
+    the in-memory builder uses — concatenating the chunks reproduces the
+    document byte-for-byte (asserted by the fleet tests), without ever
+    materializing the full row list.
+    """
+    from repro.obs.schema import SWEEP_SCHEMA
+
+    header = ('{\n'
+              f'  "app": {canonical_json(app)},\n'
+              f'  "machine": {canonical_json(machine)},\n'
+              '  "rows": ')
+    if not units:
+        yield header + "[],\n"
+    else:
+        yield header + "[\n"
+        last = len(units) - 1
+        for index, unit in enumerate(units):
+            row = {"level": unit.level, "procs": unit.procs,
+                   "metrics": journal.load(index, unit)}
+            text = canonical_json(row, indent=2)
+            body = "\n".join("    " + line for line in text.splitlines())
+            yield body + (",\n" if index != last else "\n")
+        yield "  ],\n"
+    yield (f'  "scale": {canonical_json(scale)},\n'
+           f'  "schema": {canonical_json(SWEEP_SCHEMA)}\n'
+           '}')
+
+
+def write_sweep_snapshot_stream(
+    path: str,
+    app: str,
+    machine: str,
+    scale: str,
+    units: Sequence[SweepUnit],
+    journal: CheckpointJournal,
+) -> None:
+    """Stream the ``repro.sweep/1`` snapshot from the journal to ``path``.
+
+    Output is byte-identical to the in-memory
+    ``dump_json(sweep_snapshot_doc(...)) + "\\n"`` write the CLI uses
+    without a checkpoint.
+    """
+    with open(path, "w", encoding="utf-8") as fh:
+        for chunk in iter_sweep_snapshot_chunks(app, machine, scale, units,
+                                                journal):
+            fh.write(chunk)
+        fh.write("\n")

@@ -40,20 +40,28 @@ always safe), and a ``partial`` degraded mode that records failed units
 as typed :class:`UnitFailure` entries and returns everything that did
 complete instead of discarding an entire overnight sweep for one bad
 configuration.
+
+Execution itself is pluggable: :func:`run_units_resilient` hands the
+unit list to a :class:`repro.fleet.backends.FleetBackend` — the default
+:class:`~repro.fleet.backends.ProcessPoolBackend` (this host's process
+pool, the original semantics byte-for-byte), the
+:class:`~repro.fleet.backends.RemoteBackend` (units dispatched over HTTP
+to ``repro worker`` hosts with sequence numbers, dedup and re-dispatch),
+and the :class:`~repro.fleet.backends.CheckpointBackend` wrapper
+(per-unit journal on disk via :mod:`repro.fleet.checkpoint`, so a killed
+sweep resumes by skipping journaled units).  All of them feed results
+through the same :class:`_Progress` accounting hub, so the telemetry
+counters reconcile identically regardless of where units ran.
 """
 
 from __future__ import annotations
 
 import logging
-import multiprocessing
 import os
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FuturesTimeout
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.apps import MachineKind
 from repro.errors import ExperimentError
@@ -85,6 +93,30 @@ class SweepUnit:
     def describe(self) -> str:
         return (f"{self.app} on {self.machine} at {self.level}, "
                 f"{self.procs} processors ({self.scale} scale)")
+
+    def to_json(self) -> Dict[str, Any]:
+        """The unit as a wire/journal document.
+
+        ``options`` serializes as its stable one-line description — enough
+        to make two units with different explicit options hash differently
+        (checkpoint journals key on this), though only units *without*
+        explicit options can be shipped to a remote worker (the worker
+        reconstructs options from the level, exactly like ``run_app``).
+        """
+        return {
+            "app": self.app,
+            "machine": self.machine,
+            "level": self.level,
+            "procs": self.procs,
+            "scale": self.scale,
+            "options": self.options.describe() if self.options else None,
+        }
+
+    def unit_key(self) -> str:
+        """Content address of this unit (journal/dedup identity)."""
+        from repro.util.canon import content_key
+
+        return content_key(self.to_json())
 
 
 def default_jobs() -> int:
@@ -150,21 +182,16 @@ def _run_unit(indexed: Any) -> _WorkerResult:
                              trace=traceback.format_exc(), pid=os.getpid())
 
 
-def _mp_context():
-    """Fork where available (cheap, inherits the warmed interpreter)."""
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else None)
-
-
 @dataclass(frozen=True)
 class UnitFailure:
     """One sweep unit that did not produce metrics, and why.
 
     ``reason`` is one of ``"error"`` (the simulation raised — a
     deterministic failure, never retried), ``"timeout"`` (the worker
-    exceeded the per-unit wall-clock budget and was killed) or ``"pool"``
+    exceeded the per-unit wall-clock budget and was killed), ``"pool"``
     (the worker pool died and the restart budget was exhausted before the
-    unit could be re-run).
+    unit could be re-run) or ``"remote"`` (every remote worker became
+    unreachable before the unit's dispatch budget ran out).
     """
 
     index: int
@@ -203,7 +230,21 @@ class SweepOutcome:
 
 
 def _fleet_instruments(registry: Optional[MetricsRegistry]) -> Dict[str, Any]:
-    """The fleet's counters on ``registry`` (default: process-wide)."""
+    """The fleet's counters on ``registry`` (default: process-wide).
+
+    Accounting identity (asserted by the fleet tests): every dispatch
+    resolves as exactly one of completed, failed, timed-out or retried
+    (requeued for re-dispatch), so
+
+        dispatched == completed + failed + timed_out + retried
+
+    where ``failed`` counts both units whose simulation raised and units
+    abandoned outright (pool restart budget exhausted, every remote
+    worker unreachable) — always reported as typed ``UnitFailure``
+    entries, never silently.  ``resumed`` units come from a checkpoint
+    journal and are deliberately *outside* the identity — they were
+    never dispatched in this process.
+    """
     registry = registry if registry is not None else default_registry()
     return {
         "dispatched": registry.counter(
@@ -212,15 +253,37 @@ def _fleet_instruments(registry: Optional[MetricsRegistry]) -> Dict[str, Any]:
         "completed": registry.counter(
             "repro_fleet_units_completed_total",
             "Sweep units that produced metrics"),
+        "failed": registry.counter(
+            "repro_fleet_units_failed_total",
+            "Sweep units that failed (simulation raised, or a remote "
+            "dispatch was abandoned)"),
         "timed_out": registry.counter(
             "repro_fleet_units_timed_out_total",
             "Sweep units killed by the per-unit wall-clock budget"),
         "retried": registry.counter(
             "repro_fleet_units_retried_total",
-            "Sweep units requeued onto a fresh pool after a pool death"),
+            "Sweep units requeued for re-dispatch (fresh pool or another "
+            "remote worker)"),
+        "resumed": registry.counter(
+            "repro_fleet_units_resumed_total",
+            "Sweep units recovered from a checkpoint journal instead of "
+            "re-running"),
         "pool_restarts": registry.counter(
             "repro_fleet_pool_restarts_total",
             "Fresh pools built after a worker died outright"),
+        "backend_dispatch": registry.counter(
+            "repro_fleet_backend_dispatch_total",
+            "Unit dispatch attempts, by fleet backend",
+            labels=("backend",)),
+        "backend_requeue": registry.counter(
+            "repro_fleet_backend_requeue_total",
+            "Units requeued after a lost/failed dispatch, by fleet backend",
+            labels=("backend",)),
+        "backend_steal": registry.counter(
+            "repro_fleet_backend_steal_total",
+            "Requeued units picked up by a different worker than their "
+            "previous attempt, by fleet backend",
+            labels=("backend",)),
     }
 
 
@@ -240,8 +303,13 @@ class _Progress:
         self.interval = interval
         self.completed = 0
         self.failed = 0
+        self.resumed_count = 0
         self.per_worker: Dict[int, int] = {}
         self.instruments = instruments
+        #: Optional per-result hook (checkpoint journaling).  Invoked for
+        #: every *successful* result as it is recorded, so a sweep killed
+        #: mid-run has journaled exactly the units that completed.
+        self.sink: Optional[Callable[[_WorkerResult], None]] = None
         self._t0 = time.monotonic()
         self._last = self._t0
 
@@ -249,20 +317,49 @@ class _Progress:
         return {str(pid): count
                 for pid, count in sorted(self.per_worker.items())}
 
+    # Dispatch-side accounting (called by the backends) ----------------- #
+    def dispatch(self, count: int, backend: str) -> None:
+        self.instruments["dispatched"].inc(count)
+        self.instruments["backend_dispatch"].inc(count, backend=backend)
+
+    def requeue(self, count: int, backend: str) -> None:
+        self.instruments["retried"].inc(count)
+        self.instruments["backend_requeue"].inc(count, backend=backend)
+
+    def steal(self, count: int, backend: str) -> None:
+        self.instruments["backend_steal"].inc(count, backend=backend)
+
+    # Result-side accounting -------------------------------------------- #
     def record(self, result: _WorkerResult) -> None:
         if result.error is None:
             self.completed += 1
             self.instruments["completed"].inc()
+            if self.sink is not None:
+                self.sink(result)
         else:
             self.failed += 1
+            self.instruments["failed"].inc()
         if result.pid:
             self.per_worker[result.pid] = \
                 self.per_worker.get(result.pid, 0) + 1
         self._maybe_emit()
 
+    def resumed(self, result: _WorkerResult) -> None:
+        """One unit recovered from a checkpoint journal (not dispatched)."""
+        self.completed += 1
+        self.resumed_count += 1
+        self.instruments["resumed"].inc()
+        self._maybe_emit()
+
     def timed_out(self) -> None:
         self.failed += 1
         self.instruments["timed_out"].inc()
+        self._maybe_emit()
+
+    def lost(self) -> None:
+        """One unit abandoned (remote dispatch exhausted every worker)."""
+        self.failed += 1
+        self.instruments["failed"].inc()
         self._maybe_emit()
 
     def _maybe_emit(self) -> None:
@@ -275,7 +372,8 @@ class _Progress:
         eta = (elapsed / done) * (self.total - done) if done else None
         log_event(_log, logging.INFO, "sweep_progress",
                   completed=self.completed, failed=self.failed,
-                  total=self.total, elapsed_s=round(elapsed, 3),
+                  total=self.total, resumed=self.resumed_count,
+                  elapsed_s=round(elapsed, 3),
                   eta_s=round(eta, 3) if eta is not None else None,
                   per_worker=self._worker_doc())
 
@@ -283,134 +381,10 @@ class _Progress:
         log_event(_log, logging.INFO, "sweep_complete",
                   completed=outcome.completed,
                   failed=len(outcome.failures), total=self.total,
+                  resumed=self.resumed_count,
                   elapsed_s=round(time.monotonic() - self._t0, 3),
                   pool_restarts=outcome.pool_restarts,
                   per_worker=self._worker_doc())
-
-
-def _kill_pool(pool: ProcessPoolExecutor) -> None:
-    """Tear a pool down *now*: terminate workers, abandon queued work.
-
-    ``ProcessPoolExecutor`` cannot cancel a future that is already
-    running, so a hung worker would make a plain ``shutdown`` block
-    forever; terminating the worker processes first makes the shutdown
-    non-blocking (terminating an already-exited process is a no-op).
-    """
-    processes = getattr(pool, "_processes", None) or {}
-    for proc in list(processes.values()):
-        proc.terminate()
-    pool.shutdown(wait=False, cancel_futures=True)
-
-
-def _harvest(
-    futures: List[Tuple[Tuple[int, SweepUnit], Any]],
-    start: int,
-    results: List[_WorkerResult],
-    progress: _Progress,
-) -> List[Tuple[int, SweepUnit]]:
-    """Collect finished results from ``futures[start:]``; return the rest.
-
-    Called while abandoning a pool: completed work is kept (never re-run),
-    everything queued or in flight is returned for requeueing on a fresh
-    pool.
-    """
-    requeue: List[Tuple[int, SweepUnit]] = []
-    for pair, fut in futures[start:]:
-        if fut.done():
-            try:
-                results.append(fut.result(timeout=0))
-                progress.record(results[-1])
-                continue
-            except BaseException:  # noqa: BLE001 - crashed with the pool
-                pass
-        requeue.append(pair)
-    return requeue
-
-
-def _pooled_results(
-    indexed: List[Tuple[int, SweepUnit]],
-    jobs: int,
-    timeout: Optional[float],
-    retries: int,
-    partial: bool,
-    outcome: SweepOutcome,
-    progress: _Progress,
-) -> List[_WorkerResult]:
-    """The hardened pool loop: submit, await in order, recover, requeue."""
-    results: List[_WorkerResult] = []
-    pending = list(indexed)
-    restarts_left = retries
-    while pending:
-        pool = ProcessPoolExecutor(
-            max_workers=min(jobs, len(pending)), mp_context=_mp_context())
-        futures = [(pair, pool.submit(_run_unit, pair)) for pair in pending]
-        progress.instruments["dispatched"].inc(len(pending))
-        requeue: Optional[List[Tuple[int, SweepUnit]]] = None
-        try:
-            for position, (pair, fut) in enumerate(futures):
-                index, unit = pair
-                try:
-                    results.append(fut.result(timeout=timeout))
-                    progress.record(results[-1])
-                except FuturesTimeout:
-                    if not partial:
-                        raise ExperimentError(
-                            f"sweep unit timed out after {timeout:g}s of "
-                            f"wall-clock: {unit.describe()} — raise "
-                            "--timeout, or pass --partial to skip hung "
-                            "units and keep the rest") from None
-                    outcome.failures.append(UnitFailure(
-                        index, unit.describe(), "timeout",
-                        f"exceeded the {timeout:g}s per-unit wall-clock "
-                        "budget; worker killed"))
-                    progress.timed_out()
-                    log_event(_log, logging.WARNING, "unit_timeout",
-                              unit=unit.describe(), index=index,
-                              timeout_s=timeout)
-                    requeue = _harvest(futures, position + 1, results,
-                                       progress)
-                    break
-                except BrokenProcessPool as exc:
-                    if restarts_left <= 0:
-                        if partial:
-                            for lost_pair, lost_fut in futures[position:]:
-                                if lost_fut.done() and not lost_fut.cancelled():
-                                    try:
-                                        results.append(
-                                            lost_fut.result(timeout=0))
-                                        continue
-                                    except BaseException:  # noqa: BLE001
-                                        pass
-                                lost_index, lost_unit = lost_pair
-                                outcome.failures.append(UnitFailure(
-                                    lost_index, lost_unit.describe(), "pool",
-                                    f"worker pool died ({exc}) with the "
-                                    "restart budget exhausted"))
-                            requeue = []
-                            break
-                        raise ExperimentError(
-                            f"sweep worker pool died mid-sweep ({exc}); a "
-                            "worker was killed or crashed outside Python — "
-                            "rerun with --jobs 1 to reproduce serially"
-                        ) from exc
-                    restarts_left -= 1
-                    outcome.pool_restarts += 1
-                    progress.instruments["pool_restarts"].inc()
-                    # The current unit is requeued too: pool death is a
-                    # host-side event, not a property of the unit.
-                    requeue = [pair] + _harvest(futures, position + 1,
-                                                results, progress)
-                    progress.instruments["retried"].inc(len(requeue))
-                    log_event(_log, logging.WARNING, "pool_restart",
-                              requeued=len(requeue),
-                              restarts_left=restarts_left)
-                    break
-        finally:
-            _kill_pool(pool)
-        if requeue is None:
-            break
-        pending = requeue
-    return results
 
 
 def run_units_resilient(
@@ -421,6 +395,8 @@ def run_units_resilient(
     partial: bool = False,
     registry: Optional[MetricsRegistry] = None,
     progress_interval: float = 30.0,
+    backend: Optional[Any] = None,
+    checkpoint: Optional[Any] = None,
 ) -> SweepOutcome:
     """Execute every unit with timeout/retry/partial hardening.
 
@@ -431,12 +407,14 @@ def run_units_resilient(
       worker killed; with ``partial`` it is recorded as a failure and the
       sweep continues on a fresh pool, otherwise the sweep aborts.  Not
       enforceable on the in-process ``jobs=1`` path (nothing can preempt
-      the simulation there).
+      the simulation there) — that path logs a ``timeout_unenforced``
+      WARNING instead of silently ignoring the budget.
     * ``retries`` — how many times a *pool death* (worker killed outright:
       segfault, OOM kill) may be answered with a fresh pool re-running the
       lost units.  Units are pure deterministic functions, so re-running
       is always safe; a unit that *raises* is never retried — the same
-      configuration would raise again.
+      configuration would raise again.  On the remote backend the same
+      budget extends each unit's dispatch-attempt allowance.
     * ``partial`` — degraded mode: failed units become typed
       :class:`UnitFailure` entries and every completed unit's metrics are
       still returned, instead of one failure discarding the whole sweep.
@@ -444,7 +422,17 @@ def run_units_resilient(
       heartbeat log events (completed/total, ETA, per-worker unit
       counts); a final ``sweep_complete`` event always fires.  Logging
       only — heartbeats never touch results.
+    * ``backend`` — a :class:`repro.fleet.backends.FleetBackend` (default:
+      this host's :class:`ProcessPoolBackend`, the original semantics).
+    * ``checkpoint`` — a directory path or
+      :class:`repro.fleet.checkpoint.CheckpointJournal`: every completed
+      unit's metrics are journaled as canonical JSON, already-journaled
+      units are recovered instead of re-run, and the merged output stays
+      byte-identical to an uninterrupted serial sweep.
     """
+    from repro.fleet.backends import (BackendConfig, CheckpointBackend,
+                                      ProcessPoolBackend)
+
     jobs = default_jobs() if jobs is None else jobs
     if jobs < 1:
         raise ExperimentError(f"jobs must be >= 1, got {jobs}")
@@ -452,19 +440,17 @@ def run_units_resilient(
         raise ExperimentError(f"timeout must be positive, got {timeout}")
     if retries < 0:
         raise ExperimentError(f"retries must be >= 0, got {retries}")
+    if backend is None:
+        backend = ProcessPoolBackend()
+    if checkpoint is not None:
+        backend = CheckpointBackend(backend, checkpoint)
+    config = BackendConfig(jobs=jobs, timeout=timeout, retries=retries,
+                           partial=partial)
     outcome = SweepOutcome(metrics=[None] * len(units))
     indexed = list(enumerate(units))
     progress = _Progress(len(units), progress_interval,
                          _fleet_instruments(registry))
-    if jobs == 1 or len(units) <= 1:
-        progress.instruments["dispatched"].inc(len(indexed))
-        results = []
-        for pair in indexed:
-            results.append(_run_unit(pair))
-            progress.record(results[-1])
-    else:
-        results = _pooled_results(indexed, jobs, timeout, retries, partial,
-                                  outcome, progress)
+    results = backend.execute(indexed, config, outcome, progress)
     for result in results:
         if result.error is not None:
             unit = units[result.index]
@@ -529,17 +515,21 @@ def resilient_locality_sweep(
     timeout: Optional[float] = None,
     retries: int = 1,
     partial: bool = False,
+    backend: Optional[Any] = None,
+    checkpoint: Optional[Any] = None,
 ) -> Tuple[List[ExperimentRow], SweepOutcome]:
     """:func:`parallel_locality_sweep` with the hardened executor underneath.
 
     Returns ``(rows, outcome)``: rows for every unit that completed (in
     canonical unit order — identical to the serial rows when nothing
     failed) plus the :class:`SweepOutcome` recording failures and pool
-    restarts.
+    restarts.  ``backend``/``checkpoint`` pass straight through to
+    :func:`run_units_resilient`.
     """
     units = sweep_units(app, machine, list(procs), scale, options)
     outcome = run_units_resilient(units, jobs=jobs, timeout=timeout,
-                                  retries=retries, partial=partial)
+                                  retries=retries, partial=partial,
+                                  backend=backend, checkpoint=checkpoint)
     rows = [
         ExperimentRow(app, unit.machine, unit.level, unit.procs, metrics)
         for unit, metrics in zip(units, outcome.metrics)

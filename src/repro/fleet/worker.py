@@ -1,0 +1,430 @@
+"""``repro worker``: turn any host into a fleet unit-executor.
+
+The worker is the receive side of the fleet's host-level ARQ (the
+dispatch side lives in :class:`repro.fleet.backends.RemoteBackend`): a
+small stdlib :class:`~http.server.ThreadingHTTPServer` with three
+endpoints —
+
+* ``POST /v1/units`` — execute one :class:`SweepUnit`.  The body carries
+  the sweep id, a dispatcher sequence number, the unit index, the unit
+  document and its ``unit_key``.  Execution is deduplicated on
+  ``(sweep, index)``: a re-dispatched unit (the dispatcher timed out and
+  tried again, exactly like a retransmitted packet) *joins* the original
+  computation instead of re-running it, and both requests return the
+  same response — the simulation is pure, so at-most-once execution with
+  at-least-once delivery composes into exactly-once results.
+* ``POST /v1/jobs`` — execute one :mod:`repro.serve` request
+  synchronously and return its ``repro.serve/1`` document, which lets
+  the worker double as a minimal Transport backend
+  (:class:`FleetWorkerTransport`, registry name ``"worker"``).
+* ``GET /v1/health`` — liveness plus the dedup counters.
+
+Errors keep the uniform taxonomy: a malformed body is HTTP 400
+(exit code 2), a simulation failure inside ``/v1/jobs`` is HTTP 500
+(exit code 3).  A unit whose simulation raises is *not* an HTTP error —
+the error ships as data in the response, exactly like the process-pool
+path's :class:`~repro.fleet.executor._WorkerResult`.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import socket
+import sys
+import threading
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import (
+    EXIT_BAD_REQUEST,
+    EXIT_SIMULATION_RAISED,
+    ExperimentError,
+    exit_code_for,
+)
+from repro.fleet import executor as _executor
+from repro.fleet.executor import SweepUnit
+from repro.serve.transport import Transport
+from repro.telemetry.log import get_logger, log_event
+
+_log = get_logger("fleet.worker")
+
+
+class WorkerError(ExperimentError):
+    """A dispatch attempt that did not produce a unit result.
+
+    ``timed_out`` distinguishes a blown deadline (the unit may still be
+    running on the worker — the dedup ledger makes a re-dispatch safe)
+    from a transport failure; ``exit_code`` carries the taxonomy code of
+    a structured error body when the worker returned one.
+    """
+
+    def __init__(self, message: str, timed_out: bool = False,
+                 exit_code: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.timed_out = timed_out
+        self.exit_code = exit_code
+
+
+# ---------------------------------------------------------------------- #
+# server
+# ---------------------------------------------------------------------- #
+class _LedgerEntry:
+    """One (sweep, index) computation: an event plus its response doc."""
+
+    __slots__ = ("event", "response")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.response: Optional[Dict[str, Any]] = None
+
+
+class WorkerServer:
+    """A unit-executor HTTP server (thread-per-request, port 0 = free)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8764) -> None:
+        self._lock = threading.Lock()
+        self._ledger: Dict[Tuple[str, int], _LedgerEntry] = {}
+        self.units_executed = 0
+        self.duplicates_joined = 0
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start_background(self) -> None:
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="fleet-worker-http",
+                                        daemon=True)
+        self._thread.start()
+        log_event(_log, logging.INFO, "worker_started", url=self.url,
+                  pid=os.getpid())
+
+    def join(self) -> None:
+        if self._thread is not None:
+            self._thread.join()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    # -- endpoint logic (called from handler threads) ------------------- #
+    def run_unit(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        try:
+            sweep = str(body["sweep"])
+            seq = int(body["seq"])
+            index = int(body["index"])
+            unit_doc = body["unit"]
+            unit = SweepUnit(
+                app=str(unit_doc["app"]), machine=str(unit_doc["machine"]),
+                level=str(unit_doc["level"]), procs=int(unit_doc["procs"]),
+                scale=str(unit_doc.get("scale", "paper")))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ExperimentError(f"malformed unit request: {exc}") from exc
+        if unit_doc.get("options") is not None:
+            raise ExperimentError(
+                "workers cannot reconstruct explicit RuntimeOptions; "
+                "ship units without options (the level determines them)")
+        claimed = body.get("unit_key")
+        if claimed is not None and claimed != unit.unit_key():
+            raise ExperimentError(
+                f"unit_key mismatch for unit {index}: the unit document "
+                "was corrupted in transit")
+        key = (sweep, index)
+        with self._lock:
+            entry = self._ledger.get(key)
+            owner = entry is None
+            if owner:
+                entry = self._ledger[key] = _LedgerEntry()
+            else:
+                self.duplicates_joined += 1
+        if not owner:
+            # ARQ dedup: this is a retransmission — join the original
+            # computation and return its (identical) response.
+            log_event(_log, logging.INFO, "unit_joined", sweep=sweep,
+                      index=index, seq=seq)
+            entry.event.wait()
+            return dict(entry.response)
+        result = _executor._run_unit((index, unit))
+        response = {
+            "index": index,
+            "seq": seq,
+            "pid": result.pid,
+            "metrics": result.metrics.to_json() if result.metrics else None,
+            "error": result.error,
+            "trace": result.trace,
+        }
+        with self._lock:
+            entry.response = response
+            self.units_executed += 1
+        entry.event.set()
+        log_event(_log, logging.INFO, "unit_executed", sweep=sweep,
+                  index=index, seq=seq, ok=result.error is None)
+        return dict(response)
+
+    def run_job(self, body: Dict[str, Any]) -> str:
+        from repro.serve import api
+        from repro.serve.requests import request_from_json
+
+        request = request_from_json(body)
+        return api.submit(request).text
+
+    def health_doc(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "status": "ok",
+                "kind": "worker",
+                "pid": os.getpid(),
+                "units_executed": self.units_executed,
+                "duplicates_joined": self.duplicates_joined,
+            }
+
+
+def _make_handler(server: WorkerServer):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, fmt, *args):  # noqa: D102 - silence stderr
+            pass
+
+        def _send(self, status: int, text: str) -> None:
+            payload = text.encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(payload)))
+            self.end_headers()
+            self.wfile.write(payload)
+
+        def _send_error(self, exc: BaseException) -> None:
+            code = exit_code_for(exc)
+            status = 400 if code == EXIT_BAD_REQUEST else 500
+            self._send(status, json.dumps({
+                "error": str(exc), "type": type(exc).__name__,
+                "exit_code": code}))
+
+        def _body(self) -> Dict[str, Any]:
+            length = int(self.headers.get("Content-Length", 0))
+            raw = self.rfile.read(length) if length else b""
+            try:
+                doc = json.loads(raw.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as exc:
+                raise ExperimentError(f"request body is not JSON: {exc}") \
+                    from exc
+            if not isinstance(doc, dict):
+                raise ExperimentError("request body must be a JSON object")
+            return doc
+
+        def do_GET(self):  # noqa: N802 - http.server API
+            if self.path == "/v1/health":
+                self._send(200, json.dumps(server.health_doc()))
+                return
+            self._send(404, json.dumps({
+                "error": f"no such endpoint: {self.path}",
+                "type": "ExperimentError",
+                "exit_code": EXIT_BAD_REQUEST}))
+
+        def do_POST(self):  # noqa: N802 - http.server API
+            try:
+                if self.path == "/v1/units":
+                    self._send(200, json.dumps(server.run_unit(self._body())))
+                elif self.path == "/v1/jobs":
+                    self._send(200, server.run_job(self._body()))
+                else:
+                    self._send(404, json.dumps({
+                        "error": f"no such endpoint: {self.path}",
+                        "type": "ExperimentError",
+                        "exit_code": EXIT_BAD_REQUEST}))
+            except BaseException as exc:  # noqa: BLE001 - wire boundary
+                self._send_error(exc)
+
+    return Handler
+
+
+# ---------------------------------------------------------------------- #
+# client
+# ---------------------------------------------------------------------- #
+class WorkerClient:
+    """Blocking urllib client for one worker (dispatcher + tests)."""
+
+    def __init__(self, base_url: str, timeout: float = 300.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[Dict[str, Any]] = None) -> str:
+        data = None
+        headers = {}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(self.base_url + path, data=data,
+                                     headers=headers, method=method)
+        url = self.base_url + path
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", "replace")
+            exit_code = None
+            try:
+                exit_code = json.loads(detail).get("exit_code")
+                detail = json.loads(detail).get("error", detail)
+            except ValueError:
+                pass
+            raise WorkerError(
+                f"worker {url} returned HTTP {exc.code}: {detail}",
+                exit_code=exit_code) from exc
+        except urllib.error.URLError as exc:
+            timed_out = isinstance(exc.reason, (socket.timeout, TimeoutError))
+            raise WorkerError(
+                f"worker {url} unreachable: {exc.reason}",
+                timed_out=timed_out) from exc
+        except (socket.timeout, TimeoutError) as exc:
+            raise WorkerError(f"worker {url} timed out: {exc}",
+                              timed_out=True) from exc
+        except (ConnectionError, OSError) as exc:
+            raise WorkerError(f"worker {url} failed: {exc}") from exc
+
+    def run_unit(self, sweep: str, seq: int, index: int,
+                 unit: SweepUnit) -> Dict[str, Any]:
+        """Dispatch one unit; returns the worker's result document."""
+        text = self._request("POST", "/v1/units", {
+            "sweep": sweep, "seq": seq, "index": index,
+            "unit": unit.to_json(), "unit_key": unit.unit_key()})
+        return json.loads(text)
+
+    def submit_job(self, request_doc: Dict[str, Any]) -> str:
+        """Execute a serve request synchronously; returns the exact text."""
+        return self._request("POST", "/v1/jobs", request_doc)
+
+    def health(self) -> Dict[str, Any]:
+        return json.loads(self._request("GET", "/v1/health"))
+
+
+# ---------------------------------------------------------------------- #
+# Transport adapter (serve registry name: "worker")
+# ---------------------------------------------------------------------- #
+class FleetWorkerTransport(Transport):
+    """A worker as a (synchronous) serve Transport.
+
+    ``submit`` executes the request on the worker before returning, so
+    every job document is already terminal; there is no queue and no
+    cache — the worker recomputes every request (``cache: "miss"``).
+    Useful where a full ``repro serve`` is overkill but remote execution
+    over the one wire format is wanted.
+    """
+
+    kind = "worker"
+
+    def __init__(self, base_url: str,
+                 request_timeout: float = 300.0) -> None:
+        self._client = WorkerClient(base_url, timeout=request_timeout)
+        self._jobs: Dict[str, Tuple[Dict[str, Any], Optional[str]]] = {}
+        self._counter = 0
+        self._lock = threading.Lock()
+
+    def _job_id(self) -> str:
+        with self._lock:
+            self._counter += 1
+            return f"wk-{self._counter:06d}"
+
+    def submit(self, request) -> Dict[str, Any]:
+        job_id = self._job_id()
+        doc: Dict[str, Any] = {
+            "id": job_id, "kind": request.kind, "state": "done",
+            "cache_key": request.cache_key(), "cache": "miss",
+            "error": None,
+        }
+        text: Optional[str] = None
+        try:
+            text = self._client.submit_job(request.to_json())
+        except WorkerError as exc:
+            doc["state"] = "failed"
+            doc["cache"] = None
+            doc["error"] = {
+                "message": str(exc),
+                "exit_code": exc.exit_code
+                if exc.exit_code is not None else EXIT_SIMULATION_RAISED,
+            }
+        with self._lock:
+            self._jobs[job_id] = (doc, text)
+        return dict(doc)
+
+    def _entry(self, job_id: str) -> Tuple[Dict[str, Any], Optional[str]]:
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise ExperimentError(f"unknown job {job_id!r}") from None
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return dict(self._entry(job_id)[0])
+
+    def result_text(self, job_id: str) -> str:
+        doc, text = self._entry(job_id)
+        if text is None:
+            raise ExperimentError(
+                f"job {job_id} did not produce a result "
+                f"(state {doc['state']})")
+        return text
+
+    def health(self) -> Dict[str, Any]:
+        return self._client.health()
+
+    def describe(self) -> Dict[str, Any]:
+        from repro.serve.api import describe_catalog
+
+        return describe_catalog()
+
+
+# ---------------------------------------------------------------------- #
+# CLI: ``repro worker``
+# ---------------------------------------------------------------------- #
+def add_worker_parser(sub) -> None:
+    """Register the ``worker`` subcommand on an argparse subparsers object."""
+    from repro.telemetry.log import add_logging_args
+
+    p = sub.add_parser(
+        "worker",
+        help="run a fleet unit-executor (remote sweep worker)",
+        description="Serve POST /v1/units (deduplicated sweep-unit "
+                    "execution for `repro sweep --backend remote`), "
+                    "POST /v1/jobs (synchronous serve requests) and "
+                    "GET /v1/health over HTTP.",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8764,
+                   help="bind port; 0 picks a free port (default 8764)")
+    add_logging_args(p)
+    p.set_defaults(func=cmd_worker)
+
+
+def cmd_worker(args) -> int:
+    from repro.telemetry.log import configure_from_args
+
+    configure_from_args(args, default_level="info")
+    try:
+        server = WorkerServer(host=args.host, port=args.port)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_BAD_REQUEST
+    server.start_background()
+    print(f"repro worker listening on {server.url}", flush=True)
+    try:
+        server.join()
+    except KeyboardInterrupt:
+        print("\nshutting down", file=sys.stderr)
+        server.stop()
+    return 0

@@ -107,7 +107,9 @@ def profile_metrics(request: RunRequest, tracer=None, interval=None,
 
 def sweep_rows(request: SweepRequest,
                policy: Optional[ExecutionPolicy] = None,
-               partial: bool = False):
+               partial: bool = False,
+               backend=None,
+               checkpoint=None):
     """Execute a :class:`SweepRequest`; returns ``(rows, outcome)``.
 
     Fan-out is delegated to :func:`repro.fleet.run_units_resilient`
@@ -116,6 +118,9 @@ def sweep_rows(request: SweepRequest,
     resulting document is byte-identical to the serial path.  ``partial``
     is the CLI's degraded mode — the service always runs strict
     (``partial=False``), because a cached document must be complete.
+    ``backend`` (a :class:`repro.fleet.FleetBackend`) and ``checkpoint``
+    (a journal directory) pass straight through to the fleet executor —
+    like ``policy``, they shape *where* units run, never the cache key.
     """
     from repro.apps import MachineKind
     from repro.fleet import resilient_locality_sweep
@@ -124,7 +129,8 @@ def sweep_rows(request: SweepRequest,
     return resilient_locality_sweep(
         request.app, MachineKind(request.machine), list(request.procs),
         request.scale, jobs=policy.jobs, timeout=policy.timeout,
-        retries=policy.retries, partial=partial)
+        retries=policy.retries, partial=partial,
+        backend=backend, checkpoint=checkpoint)
 
 
 def chaos_verdict(request: ChaosRequest) -> Tuple[Dict[str, Any], Any, Any]:

@@ -27,6 +27,7 @@ from repro.serve.requests import _Request
 TRANSPORTS = {
     "inprocess": "repro.serve.transport:InProcessTransport",
     "http": "repro.serve.client:HttpTransport",
+    "worker": "repro.fleet.worker:FleetWorkerTransport",
     "grpc": "repro.serve.extras:GrpcTransport",
     "mqtt": "repro.serve.extras:MqttTransport",
 }

@@ -130,8 +130,10 @@ def render_dashboard(url: str, health: Dict[str, Any],
             "fleet     units: "
             f"dispatched {dispatched:g}  "
             f"completed {_total(snapshot, 'repro_fleet_units_completed_total'):g}  "
+            f"failed {_total(snapshot, 'repro_fleet_units_failed_total'):g}  "
             f"timed out {_total(snapshot, 'repro_fleet_units_timed_out_total'):g}  "
-            f"retried {_total(snapshot, 'repro_fleet_units_retried_total'):g}; "
+            f"retried {_total(snapshot, 'repro_fleet_units_retried_total'):g}  "
+            f"resumed {_total(snapshot, 'repro_fleet_units_resumed_total'):g}; "
             f"pool restarts "
             f"{_total(snapshot, 'repro_fleet_pool_restarts_total'):g}")
     return "\n".join(lines)

@@ -248,6 +248,118 @@ def test_pool_death_past_budget_partial_reports_lost_units(monkeypatch):
 
 
 # --------------------------------------------------------------------- #
+# fleet accounting: the dispatch identity and its regression tests
+# --------------------------------------------------------------------- #
+def _identity_holds(registry) -> bool:
+    """dispatched == completed + failed + timed_out + retried."""
+    def val(name):
+        return registry.counter(name, "").value()
+
+    return val("repro_fleet_units_dispatched_total") == (
+        val("repro_fleet_units_completed_total")
+        + val("repro_fleet_units_failed_total")
+        + val("repro_fleet_units_timed_out_total")
+        + val("repro_fleet_units_retried_total"))
+
+
+def _crash_slow_or_fake(indexed):
+    """Worker stand-in: the 'crash' unit sleeps, then kills its worker.
+
+    The sleep lets the other worker finish its fast units first, so when
+    the pool dies there are *done* futures queued behind the crash — the
+    exact shape the exhausted-budget recovery branch handles.
+    """
+    import os
+    import time
+
+    from repro.fleet.executor import _WorkerResult
+
+    index, unit = indexed
+    if unit.app == "crash":
+        time.sleep(1.0)
+        os._exit(13)
+    return _WorkerResult(index, metrics={"unit": index}, pid=os.getpid())
+
+
+@pytest.mark.skipif(not _HAS_FORK, reason="worker-control tests rely on fork")
+def test_exhausted_budget_recovered_units_are_counted(monkeypatch):
+    """Regression: units recovered after the restart budget ran out used
+    to bypass ``progress.record``, undercounting the completed counter."""
+    from repro.fleet import executor
+    from repro.telemetry.metrics import MetricsRegistry
+
+    monkeypatch.setattr(executor, "_run_unit", _crash_slow_or_fake)
+    registry = MetricsRegistry()
+    units = _fake_units(["crash", "ok", "ok"])
+    outcome = executor.run_units_resilient(units, jobs=2, retries=0,
+                                           partial=True, registry=registry)
+    assert not outcome.ok
+    assert outcome.completed == 2
+    assert [f.reason for f in outcome.failures] == ["pool"]
+    completed = registry.counter("repro_fleet_units_completed_total", "")
+    assert completed.value() == 2  # the recovered units count
+    assert _identity_holds(registry)
+
+
+def test_errored_units_bump_failed_counter_and_identity_holds():
+    """Regression: a unit whose simulation raised incremented no fleet
+    metric, so dispatched never reconciled with the outcome counters."""
+    from repro.fleet import run_units_resilient
+    from repro.telemetry.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    good = SweepUnit("water", "ipsc860", "locality", 1, "tiny")
+    bad = SweepUnit("no-such-app", "ipsc860", "locality", 2, "tiny")
+    outcome = run_units_resilient([good, bad], jobs=1, partial=True,
+                                  registry=registry)
+    assert not outcome.ok and outcome.completed == 1
+    assert registry.counter(
+        "repro_fleet_units_failed_total", "").value() == 1
+    assert registry.counter(
+        "repro_fleet_units_dispatched_total", "").value() == 2
+    assert _identity_holds(registry)
+
+
+@pytest.mark.skipif(not _HAS_FORK, reason="worker-control tests rely on fork")
+def test_identity_holds_across_timeout_and_requeue(monkeypatch):
+    from repro.fleet import executor
+    from repro.telemetry.metrics import MetricsRegistry
+
+    monkeypatch.setattr(executor, "_run_unit", _hang_or_fake)
+    registry = MetricsRegistry()
+    units = _fake_units(["ok", "hang", "ok"])
+    outcome = executor.run_units_resilient(units, jobs=2, timeout=2.0,
+                                           retries=0, partial=True,
+                                           registry=registry)
+    assert not outcome.ok
+    assert _identity_holds(registry)
+
+
+def test_jobs_one_timeout_warns_instead_of_silently_ignoring(caplog):
+    """Regression: ``jobs=1, timeout=...`` dropped the budget without a
+    trace; unattended sweeps deserve a WARNING."""
+    import logging
+
+    from repro.fleet import run_units_resilient
+
+    units = _fake_units(["water"])
+    units = [SweepUnit("water", "ipsc860", "locality", 1, "tiny")]
+    with caplog.at_level(logging.WARNING, logger="repro.fleet"):
+        outcome = run_units_resilient(units, jobs=1, timeout=5.0)
+    assert outcome.ok
+    warned = [r for r in caplog.records
+              if r.getMessage() == "timeout_unenforced"]
+    assert len(warned) == 1
+    assert warned[0].fields["timeout_s"] == 5.0
+
+    caplog.clear()
+    with caplog.at_level(logging.WARNING, logger="repro.fleet"):
+        run_units_resilient(units, jobs=1, timeout=None)
+    assert not [r for r in caplog.records
+                if r.getMessage() == "timeout_unenforced"]
+
+
+# --------------------------------------------------------------------- #
 # CLI integration
 # --------------------------------------------------------------------- #
 def test_cli_sweep_parallel_snapshot_byte_identical(tmp_path, capsys):

@@ -1,0 +1,416 @@
+"""Tests for distributed resumable sweeps: checkpoint journal, remote
+workers, streaming merge, and the byte-identity contract across all of
+them.
+
+The worker server runs in-process (port 0) — real HTTP over loopback,
+no subprocess management.  The kill/resume test forks a child that
+hard-exits mid-sweep, exactly like a host losing power between units.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.apps import MachineKind
+from repro.errors import ExperimentError
+from repro.fleet import executor
+from repro.fleet import (
+    CheckpointJournal,
+    PayloadMetrics,
+    RemoteBackend,
+    SweepUnit,
+    create_backend,
+    run_units_resilient,
+    sweep_snapshot_doc,
+    sweep_units,
+    write_sweep_snapshot_stream,
+)
+from repro.fleet.checkpoint import iter_sweep_snapshot_chunks
+from repro.fleet.worker import WorkerClient, WorkerError, WorkerServer
+from repro.lab.experiments import ExperimentRow, locality_sweep
+from repro.obs.snapshot import dump_json
+from repro.telemetry.metrics import MetricsRegistry
+from repro.__main__ import main
+
+_HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+#: A port from the discard-service range: connection refused, fast.
+_DEAD_URL = "http://127.0.0.1:9"
+
+
+@pytest.fixture(scope="module")
+def worker():
+    server = WorkerServer(port=0)
+    server.start_background()
+    yield server
+    server.stop()
+
+
+def _serial_text(app="water", procs=(1, 2), scale="tiny"):
+    rows = locality_sweep(app, MachineKind.IPSC860, list(procs), scale)
+    return dump_json(sweep_snapshot_doc(app, "ipsc860", scale, rows)) + "\n"
+
+
+def _rows_for(units, outcome):
+    return [ExperimentRow("water", u.machine, u.level, u.procs, m)
+            for u, m in zip(units, outcome.metrics) if m is not None]
+
+
+def _text_for(units, outcome, scale="tiny"):
+    return dump_json(sweep_snapshot_doc(
+        "water", "ipsc860", scale, _rows_for(units, outcome))) + "\n"
+
+
+# --------------------------------------------------------------------- #
+# checkpoint journal
+# --------------------------------------------------------------------- #
+def test_journal_rejects_a_different_sweep(tmp_path):
+    journal = CheckpointJournal(str(tmp_path / "j"))
+    units_a = sweep_units("water", MachineKind.IPSC860, [1, 2], "tiny")
+    units_b = sweep_units("water", MachineKind.IPSC860, [1, 4], "tiny")
+    journal.open_sweep(units_a)
+    journal.open_sweep(units_a)  # same sweep: idempotent
+    with pytest.raises(ExperimentError, match="different sweep"):
+        journal.open_sweep(units_b)
+
+
+def test_journal_load_validates_unit_key(tmp_path):
+    journal = CheckpointJournal(str(tmp_path / "j"))
+    units = sweep_units("water", MachineKind.IPSC860, [1], "tiny")
+    journal.open_sweep(units)
+    journal.record(0, units[0], {"elapsed": 1.5})
+    assert journal.load(0, units[0]) == {"elapsed": 1.5}
+    other = SweepUnit("water", "ipsc860", "locality", 64, "tiny")
+    with pytest.raises(ExperimentError, match="different unit"):
+        journal.load(0, other)
+
+
+def test_checkpointed_sweep_is_byte_identical_to_serial(tmp_path):
+    units = sweep_units("water", MachineKind.IPSC860, [1, 2], "tiny")
+    outcome = run_units_resilient(units, jobs=1,
+                                  checkpoint=str(tmp_path / "j"))
+    assert outcome.ok
+    assert _text_for(units, outcome) == _serial_text()
+
+
+def test_completed_journal_resumes_without_dispatching(tmp_path):
+    ckpt = str(tmp_path / "j")
+    units = sweep_units("water", MachineKind.IPSC860, [1, 2], "tiny")
+    run_units_resilient(units, jobs=1, checkpoint=ckpt)
+    registry = MetricsRegistry()
+    outcome = run_units_resilient(units, jobs=1, checkpoint=ckpt,
+                                  registry=registry)
+    assert outcome.ok
+    assert registry.counter(
+        "repro_fleet_units_resumed_total", "").value() == len(units)
+    assert registry.counter(
+        "repro_fleet_units_dispatched_total", "").value() == 0
+    assert _text_for(units, outcome) == _serial_text()
+
+
+def test_streaming_snapshot_matches_in_memory_builder(tmp_path):
+    ckpt = str(tmp_path / "j")
+    units = sweep_units("water", MachineKind.IPSC860, [1, 2], "tiny")
+    run_units_resilient(units, jobs=1, checkpoint=ckpt)
+    path = str(tmp_path / "stream.json")
+    write_sweep_snapshot_stream(path, "water", "ipsc860", "tiny", units,
+                                CheckpointJournal(ckpt))
+    with open(path, "r", encoding="utf-8") as fh:
+        assert fh.read() == _serial_text()
+
+
+def test_streaming_snapshot_empty_rows(tmp_path):
+    journal = CheckpointJournal(str(tmp_path / "j"))
+    text = "".join(iter_sweep_snapshot_chunks("water", "ipsc860", "tiny",
+                                              [], journal))
+    assert text == dump_json(sweep_snapshot_doc("water", "ipsc860",
+                                                "tiny", []))
+
+
+@pytest.mark.skipif(not _HAS_FORK, reason="kill/resume test relies on fork")
+def test_killed_sweep_resumes_from_journal_byte_identical(tmp_path):
+    """The acceptance scenario: hard-kill a sweep after two units, resume
+    from the journal, and get exactly the uninterrupted serial bytes —
+    without re-running the journaled units."""
+    ckpt = str(tmp_path / "j")
+    units = sweep_units("water", MachineKind.IPSC860, [1, 2], "tiny")
+    assert len(units) == 4
+
+    def child():
+        from repro.fleet import executor
+
+        real = executor._run_unit
+        state = {"n": 0}
+
+        def run_two_then_die(indexed):
+            if state["n"] >= 2:
+                os._exit(9)  # power loss between units
+            state["n"] += 1
+            return real(indexed)
+
+        executor._run_unit = run_two_then_die
+        run_units_resilient(units, jobs=1, checkpoint=ckpt)
+
+    ctx = multiprocessing.get_context("fork")
+    proc = ctx.Process(target=child)
+    proc.start()
+    proc.join(timeout=300)
+    assert proc.exitcode == 9
+    # Exactly the completed units were journaled, atomically.
+    assert CheckpointJournal(ckpt).completed_indices() == {0, 1}
+
+    registry = MetricsRegistry()
+    outcome = run_units_resilient(units, jobs=1, checkpoint=ckpt,
+                                  registry=registry)
+    assert outcome.ok
+    assert registry.counter(
+        "repro_fleet_units_resumed_total", "").value() == 2
+    assert registry.counter(
+        "repro_fleet_units_dispatched_total", "").value() == 2
+    assert _text_for(units, outcome) == _serial_text()
+    # The streaming merge over the (now complete) journal agrees too.
+    path = str(tmp_path / "resumed.json")
+    write_sweep_snapshot_stream(path, "water", "ipsc860", "tiny", units,
+                                CheckpointJournal(ckpt))
+    with open(path, "r", encoding="utf-8") as fh:
+        assert fh.read() == _serial_text()
+
+
+# --------------------------------------------------------------------- #
+# worker server + remote backend
+# --------------------------------------------------------------------- #
+def test_worker_health_and_unit_execution(worker):
+    client = WorkerClient(worker.url)
+    health = client.health()
+    assert health["status"] == "ok" and health["kind"] == "worker"
+    unit = SweepUnit("water", "ipsc860", "locality", 2, "tiny")
+    doc = client.run_unit("sweep-x", 1, 0, unit)
+    assert doc["index"] == 0 and doc["error"] is None
+    assert doc["metrics"]["elapsed"] > 0
+
+
+def test_worker_dedups_redispatched_units(worker):
+    client = WorkerClient(worker.url)
+    unit = SweepUnit("water", "ipsc860", "locality", 1, "tiny")
+    before = client.health()
+    first = client.run_unit("sweep-dup", 1, 7, unit)
+    second = client.run_unit("sweep-dup", 2, 7, unit)  # retransmission
+    after = client.health()
+    assert first["metrics"] == second["metrics"]
+    assert after["units_executed"] == before["units_executed"] + 1
+    assert after["duplicates_joined"] == before["duplicates_joined"] + 1
+
+
+def test_worker_ships_simulation_errors_as_data(worker):
+    client = WorkerClient(worker.url)
+    bad = SweepUnit("no-such-app", "ipsc860", "locality", 2, "tiny")
+    doc = client.run_unit("sweep-err", 1, 0, bad)
+    assert doc["metrics"] is None
+    assert "no-such-app" in doc["error"]
+
+
+def test_worker_rejects_malformed_unit_request(worker):
+    client = WorkerClient(worker.url)
+    with pytest.raises(WorkerError, match="malformed unit request"):
+        client._request("POST", "/v1/units", {"sweep": "s"})
+
+
+def test_remote_sweep_is_byte_identical_to_serial(worker):
+    registry = MetricsRegistry()
+    units = sweep_units("water", MachineKind.IPSC860, [1, 2], "tiny")
+    outcome = run_units_resilient(units, jobs=1,
+                                  backend=RemoteBackend([worker.url]),
+                                  registry=registry)
+    assert outcome.ok
+    assert _text_for(units, outcome) == _serial_text()
+    assert registry.counter(
+        "repro_fleet_backend_dispatch_total", "",
+        labels=("backend",)).value(backend="remote") == len(units)
+
+
+def test_remote_error_unit_strict_aborts_partial_keeps_rest(worker):
+    good = SweepUnit("water", "ipsc860", "locality", 1, "tiny")
+    bad = SweepUnit("no-such-app", "ipsc860", "locality", 2, "tiny")
+    with pytest.raises(ExperimentError, match="no-such-app"):
+        run_units_resilient([good, bad], jobs=1,
+                            backend=RemoteBackend([worker.url]))
+    outcome = run_units_resilient([good, bad], jobs=1, partial=True,
+                                  backend=RemoteBackend([worker.url]))
+    assert not outcome.ok and outcome.completed == 1
+    assert outcome.failures[0].reason == "error"
+
+
+def test_remote_requeues_from_dead_worker_to_live_one(worker):
+    registry = MetricsRegistry()
+    units = sweep_units("water", MachineKind.IPSC860, [1, 2], "tiny")
+    backend = RemoteBackend([_DEAD_URL, worker.url])
+    outcome = run_units_resilient(units, jobs=1, backend=backend,
+                                  retries=1, registry=registry)
+    assert outcome.ok
+    assert _text_for(units, outcome) == _serial_text()
+    requeued = registry.counter(
+        "repro_fleet_backend_requeue_total", "",
+        labels=("backend",)).value(backend="remote")
+    stolen = registry.counter(
+        "repro_fleet_backend_steal_total", "",
+        labels=("backend",)).value(backend="remote")
+    assert requeued >= 1  # the dead worker lost at least one dispatch
+    assert stolen >= 1    # ...and the live one picked it up
+
+
+def test_dead_worker_cannot_burn_unit_attempt_budget(worker, monkeypatch):
+    # Regression: with one dead and one live worker, the dead pump fails
+    # instantly (connection refused) while the live one is mid-request.
+    # It must hand a unit it just failed over to the live worker, not
+    # retry it itself until the unit's attempt budget is exhausted.  The
+    # in-process worker shares this interpreter, so slowing _run_unit
+    # here slows the live worker and makes the race deterministic.
+    real = executor._run_unit
+
+    def slow(pair):
+        time.sleep(0.3)
+        return real(pair)
+
+    monkeypatch.setattr(executor, "_run_unit", slow)
+    # Two units: the live worker holds one for 0.3s, which leaves the
+    # dead pump alone with the other.  retries=0 → a budget of
+    # len(workers) == 2 attempts per unit, so two back-to-back failures
+    # on the dead worker abort the sweep — unless it hands over.
+    units = sweep_units("water", MachineKind.IPSC860, [1], "tiny")
+    outcome = run_units_resilient(units, jobs=1, retries=0,
+                                  backend=RemoteBackend(
+                                      [_DEAD_URL, worker.url]))
+    assert outcome.ok
+    assert _text_for(units, outcome) == _serial_text(procs=(1,))
+
+
+def test_remote_all_workers_dead_partial_reports_remote_failures():
+    units = sweep_units("water", MachineKind.IPSC860, [1, 2], "tiny")
+    outcome = run_units_resilient(units, jobs=1, retries=0, partial=True,
+                                  backend=RemoteBackend([_DEAD_URL]))
+    assert not outcome.ok and outcome.completed == 0
+    assert len(outcome.failures) == len(units)
+    assert all(f.reason == "remote" for f in outcome.failures)
+
+
+def test_remote_all_workers_dead_strict_raises():
+    units = sweep_units("water", MachineKind.IPSC860, [1], "tiny")
+    with pytest.raises(ExperimentError, match="remote"):
+        run_units_resilient(units, jobs=1, retries=0,
+                            backend=RemoteBackend([_DEAD_URL]))
+
+
+def test_remote_rejects_explicit_options():
+    from repro.runtime import RuntimeOptions
+
+    unit = SweepUnit("water", "ipsc860", "locality", 1, "tiny",
+                     RuntimeOptions())
+    with pytest.raises(ExperimentError, match="RuntimeOptions"):
+        run_units_resilient([unit], jobs=1,
+                            backend=RemoteBackend([_DEAD_URL]))
+
+
+def test_remote_backend_requires_workers():
+    with pytest.raises(ExperimentError, match="worker URL"):
+        RemoteBackend([])
+    with pytest.raises(ExperimentError, match="unknown fleet backend"):
+        create_backend("carrier-pigeon")
+    backend = create_backend("remote", workers=[_DEAD_URL])
+    assert backend.name == "remote"
+
+
+def test_payload_metrics_answers_table_fields():
+    payload = {"elapsed": 2.5, "derived": {"task_locality_pct": 87.5}}
+    metrics = PayloadMetrics(payload)
+    assert metrics.elapsed == 2.5
+    assert metrics.task_locality_pct == 87.5
+    assert metrics.to_json() is payload
+    with pytest.raises(AttributeError):
+        metrics.no_such_field
+
+
+# --------------------------------------------------------------------- #
+# worker as a serve transport
+# --------------------------------------------------------------------- #
+def test_worker_transport_matches_local_submit_bytes(worker):
+    from repro.serve import RunRequest, api
+    from repro.serve.transport import create_transport
+
+    request = RunRequest(app="water", machine="ipsc860", scale="tiny",
+                         procs=2)
+    transport = create_transport("worker", base_url=worker.url)
+    job = transport.submit(request)
+    assert job["state"] == "done" and job["cache"] == "miss"
+    assert transport.result_text(job["id"]) == api.submit(request).text
+    assert transport.health()["kind"] == "worker"
+
+
+def test_worker_transport_maps_bad_requests_to_failed_jobs(worker):
+    from repro.serve.transport import create_transport
+
+    transport = create_transport("worker", base_url=worker.url)
+
+    class FakeRequest:
+        kind = "run"
+
+        def cache_key(self):
+            return "bogus"
+
+        def to_json(self):
+            return {"kind": "no-such-kind"}
+
+    job = transport.submit(FakeRequest())
+    assert job["state"] == "failed"
+    assert job["error"]["exit_code"] == 2
+    with pytest.raises(ExperimentError, match="did not produce"):
+        transport.result_text(job["id"])
+
+
+# --------------------------------------------------------------------- #
+# CLI integration
+# --------------------------------------------------------------------- #
+def test_cli_sweep_remote_checkpoint_byte_identical(worker, tmp_path,
+                                                    capsys):
+    """The acceptance criterion end-to-end: ``repro sweep --backend
+    remote --checkpoint DIR`` against a live worker produces the same
+    bytes as the plain serial CLI path."""
+    remote_path = tmp_path / "remote.json"
+    serial_path = tmp_path / "serial.json"
+    assert main(["sweep", "--app", "water", "--scale", "tiny",
+                 "--procs", "1", "2", "--jobs", "1",
+                 "--backend", "remote", "--workers", worker.url,
+                 "--checkpoint", str(tmp_path / "ckpt"),
+                 "--json", str(remote_path)]) == 0
+    assert main(["sweep", "--app", "water", "--scale", "tiny",
+                 "--procs", "1", "2", "--jobs", "1",
+                 "--json", str(serial_path)]) == 0
+    capsys.readouterr()
+    assert remote_path.read_bytes() == serial_path.read_bytes()
+
+
+def test_cli_sweep_checkpoint_only_byte_identical(tmp_path, capsys):
+    ckpt_path = tmp_path / "ckpt.json"
+    serial_path = tmp_path / "serial.json"
+    assert main(["sweep", "--app", "water", "--scale", "tiny",
+                 "--procs", "1", "--jobs", "1",
+                 "--checkpoint", str(tmp_path / "ckpt"),
+                 "--json", str(ckpt_path)]) == 0
+    assert main(["sweep", "--app", "water", "--scale", "tiny",
+                 "--procs", "1", "--jobs", "1",
+                 "--json", str(serial_path)]) == 0
+    capsys.readouterr()
+    assert ckpt_path.read_bytes() == serial_path.read_bytes()
+
+
+def test_cli_sweep_remote_requires_workers(capsys):
+    assert main(["sweep", "--app", "water", "--scale", "tiny",
+                 "--procs", "1", "--backend", "remote"]) == 2
+    assert "--workers" in capsys.readouterr().err
+
+
+def test_cli_sweep_workers_require_remote_backend(capsys):
+    assert main(["sweep", "--app", "water", "--scale", "tiny",
+                 "--procs", "1", "--workers", "http://x:1"]) == 2
+    assert "--backend remote" in capsys.readouterr().err

@@ -99,8 +99,8 @@ def test_job_manager_table_limit():
 # the transport registry
 # ---------------------------------------------------------------------- #
 def test_registry_lists_all_backends():
-    assert set(available_transports()) == {"inprocess", "http", "grpc",
-                                           "mqtt"}
+    assert set(available_transports()) == {"inprocess", "http", "worker",
+                                           "grpc", "mqtt"}
 
 
 def test_create_transport_unknown_kind():
