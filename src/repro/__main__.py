@@ -78,9 +78,20 @@ def cmd_run(args) -> int:
         tracer = Tracer(enabled=True)
 
     want_profile = args.profile or args.profile_json
+    flight = None
+    if getattr(args, "flight", False):
+        if not want_profile:
+            print("error: --flight requires --profile or --profile-json "
+                  "(the flight series ships in the profile snapshot)",
+                  file=sys.stderr)
+            return 2
+        from repro.obs.flight import FlightRecorder
+
+        flight = FlightRecorder()
     try:
         if want_profile:
-            metrics, profile = api.profile_metrics(request, tracer=tracer)
+            metrics, profile = api.profile_metrics(request, tracer=tracer,
+                                                   flight=flight)
         else:
             profile = None
             metrics = api.run_metrics(request, tracer=tracer)
@@ -148,7 +159,21 @@ def cmd_sweep(args) -> int:
         print("error: --workers only applies to --backend remote",
               file=sys.stderr)
         return 2
+    if args.trace_out and args.backend != "remote":
+        print("error: --trace-out merges a fleet timeline and requires "
+              "--backend remote (single runs trace via `repro run "
+              "--trace-out`)", file=sys.stderr)
+        return 2
+    if args.fleet and args.backend != "remote":
+        print("error: --fleet scrapes remote workers and requires "
+              "--backend remote", file=sys.stderr)
+        return 2
+    if args.fleet and not args.json:
+        print("error: --fleet embeds worker telemetry in the sweep "
+              "snapshot and requires --json PATH", file=sys.stderr)
+        return 2
     backend = None
+    trace_collector = None
     if args.backend == "remote":
         if not args.workers:
             print("error: --backend remote requires at least one "
@@ -157,7 +182,17 @@ def cmd_sweep(args) -> int:
             return 2
         from repro.fleet import RemoteBackend
 
-        backend = RemoteBackend(args.workers)
+        if args.trace_out:
+            from repro.telemetry.fleet import FleetTraceCollector
+
+            try:
+                open(args.trace_out, "w").close()
+            except OSError as exc:
+                print(f"error: cannot write trace to {args.trace_out}: "
+                      f"{exc}", file=sys.stderr)
+                return 2
+            trace_collector = FleetTraceCollector()
+        backend = RemoteBackend(args.workers, trace=trace_collector)
     outcome = None
     try:
         request = SweepRequest(app=args.app, machine=args.machine,
@@ -200,7 +235,7 @@ def cmd_sweep(args) -> int:
             fmt=lambda v: f"{v:.1f}"))
     if args.json:
         try:
-            if args.checkpoint and not degraded:
+            if args.checkpoint and not degraded and not args.fleet:
                 # Streaming merge: render the snapshot row-by-row from
                 # the journal (byte-identical to the in-memory path)
                 # instead of holding every unit's metrics at once.
@@ -216,11 +251,23 @@ def cmd_sweep(args) -> int:
                     args.json, args.app, args.machine, args.scale, units,
                     CheckpointJournal(args.checkpoint))
             else:
-                from repro.fleet import sweep_snapshot_doc
                 from repro.obs.snapshot import dump_json
 
-                doc = sweep_snapshot_doc(args.app, args.machine,
-                                         args.scale, rows)
+                if args.fleet:
+                    # repro.sweep/2: the same rows plus the scraped
+                    # per-worker telemetry and the host's own counters.
+                    from repro.fleet import fleet_sweep_doc
+                    from repro.telemetry.metrics import default_registry
+
+                    fleet = backend.scrape_fleet()
+                    fleet["host"] = default_registry().snapshot()
+                    doc = fleet_sweep_doc(args.app, args.machine,
+                                          args.scale, rows, fleet)
+                else:
+                    from repro.fleet import sweep_snapshot_doc
+
+                    doc = sweep_snapshot_doc(args.app, args.machine,
+                                             args.scale, rows)
                 with open(args.json, "w", encoding="utf-8") as fh:
                     fh.write(dump_json(doc) + "\n")
         except (ValueError, OSError, ExperimentError) as exc:
@@ -228,6 +275,21 @@ def cmd_sweep(args) -> int:
                   file=sys.stderr)
             return 2
         print(f"\nsweep JSON -> {args.json}")
+    if trace_collector is not None:
+        from repro.obs.snapshot import dump_json
+        from repro.telemetry.fleet import merge_timeline
+
+        timeline = merge_timeline(trace_collector.records,
+                                  sweep=trace_collector.sweep)
+        try:
+            with open(args.trace_out, "w", encoding="utf-8") as fh:
+                fh.write(dump_json(timeline) + "\n")
+        except OSError as exc:
+            print(f"error: cannot write trace to {args.trace_out}: {exc}",
+                  file=sys.stderr)
+            return 2
+        spans = sum(e.get("ph") != "M" for e in timeline["traceEvents"])
+        print(f"fleet trace: {spans} events -> {args.trace_out}")
     return 1 if degraded else 0
 
 
@@ -284,8 +346,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--profile", action="store_true",
                        help="attach the profiler and print the full report")
     run_p.add_argument("--profile-json", metavar="PATH", default=None,
-                       help="attach the profiler and write the repro.obs/3 "
+                       help="attach the profiler and write the repro.obs/4 "
                             "snapshot here")
+    run_p.add_argument("--flight", action="store_true",
+                       help="attach the engine flight recorder (requires "
+                            "--profile/--profile-json; adds the 'flight' "
+                            "time series to the snapshot)")
     run_p.add_argument("--max-sim-time", type=float, default=None,
                        metavar="SECONDS",
                        help="runaway guard: abort (exit 3) if simulated time "
@@ -325,6 +391,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="journal every completed unit here and "
                               "resume a killed sweep by skipping "
                               "journaled units")
+    sweep_p.add_argument("--trace-out", metavar="PATH", default=None,
+                         help="write the merged fleet timeline "
+                              "(Chrome/Perfetto JSON, one process track "
+                              "per worker; requires --backend remote)")
+    sweep_p.add_argument("--fleet", action="store_true",
+                         help="scrape every worker's /v1/metrics after the "
+                              "sweep and embed the per-worker fleet section "
+                              "in the snapshot (repro.sweep/2; requires "
+                              "--backend remote and --json)")
     from repro.telemetry.log import add_logging_args
 
     add_logging_args(sweep_p)

@@ -12,10 +12,11 @@ Exit status is 0 only when every stage is clean — so the command doubles
 as a validity control in scripts and CI.
 
 ``--snapshot PATH`` is a separate mode: validate an on-disk snapshot
-document (any schema :mod:`repro.obs.schema` knows — ``repro.obs/3``,
-``repro.bench/1``, ``repro.sweep/1``, ``repro.chaos/1``,
-``repro.serve/1``) instead of running an application.  CI uses it to
-check the documents the service returns.
+document (any schema :mod:`repro.obs.schema` knows — ``repro.obs/4``,
+``repro.bench/1``, ``repro.sweep/1``, ``repro.sweep/2``,
+``repro.chaos/1``, ``repro.serve/1``, ``repro.fleet.trace/1``) instead
+of running an application.  CI uses it to check the documents the
+service returns and the fleet artifacts a distributed sweep writes.
 """
 
 from __future__ import annotations
@@ -41,9 +42,10 @@ def add_check_parser(sub) -> None:
     parser.add_argument("--app", required=False, default=None,
                         choices=checkable_applications())
     parser.add_argument("--snapshot", metavar="PATH", default=None,
-                        help="validate a snapshot document (repro.obs/3, "
-                             "repro.bench/1, repro.sweep/1, repro.chaos/1 "
-                             "or repro.serve/1) instead of checking an app")
+                        help="validate a snapshot document (repro.obs/4, "
+                             "repro.bench/1, repro.sweep/1-2, repro.chaos/1, "
+                             "repro.serve/1 or repro.fleet.trace/1) instead "
+                             "of checking an app")
     parser.add_argument("--machine", default="both",
                         choices=["dash", "ipsc860", "both"])
     parser.add_argument("--procs", type=int, default=4)

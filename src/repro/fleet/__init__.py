@@ -28,6 +28,7 @@ from repro.fleet.executor import (
     SweepOutcome,
     SweepUnit,
     UnitFailure,
+    fleet_sweep_doc,
     default_jobs,
     parallel_locality_sweep,
     resilient_locality_sweep,
@@ -52,6 +53,7 @@ __all__ = [
     "UnitFailure",
     "create_backend",
     "default_jobs",
+    "fleet_sweep_doc",
     "iter_sweep_snapshot_chunks",
     "parallel_locality_sweep",
     "resilient_locality_sweep",

@@ -33,6 +33,7 @@ from __future__ import annotations
 import logging
 import multiprocessing
 import threading
+import time
 import uuid
 from abc import ABC, abstractmethod
 from collections import deque
@@ -331,13 +332,20 @@ class RemoteBackend(FleetBackend):
     attempt is exhausted — or every worker has left — the unit becomes a
     :class:`UnitFailure` (reason ``"timeout"`` or ``"remote"``): partial
     mode keeps going, strict mode aborts the sweep.
+
+    An optional :class:`~repro.telemetry.fleet.FleetTraceCollector`
+    (``trace``) receives one record per dispatch round-trip, failure,
+    requeue and steal — the raw material ``repro sweep --trace-out``
+    merges into a fleet timeline.  Recording is host-side observation
+    only; sweep output bytes are identical with or without it.
     """
 
     name = "remote"
 
     def __init__(self, workers: Sequence[str],
                  request_timeout: float = 300.0,
-                 max_strikes: int = 3) -> None:
+                 max_strikes: int = 3,
+                 trace: Optional[Any] = None) -> None:
         if not workers:
             raise ExperimentError(
                 "remote backend needs at least one worker URL")
@@ -347,6 +355,7 @@ class RemoteBackend(FleetBackend):
         self.workers = [url.rstrip("/") for url in workers]
         self.request_timeout = request_timeout
         self.max_strikes = max_strikes
+        self.trace = trace
 
     def execute(self, indexed, config, outcome, progress):
         from repro.fleet.worker import WorkerClient, WorkerError
@@ -358,6 +367,9 @@ class RemoteBackend(FleetBackend):
                     "workers derive options from the unit's locality "
                     f"level (offending unit: {unit.describe()})")
         sweep_id = uuid.uuid4().hex
+        trace = self.trace
+        if trace is not None:
+            trace.sweep = sweep_id
         max_attempts = len(self.workers) + config.retries
         timeout = config.timeout if config.timeout is not None \
             else self.request_timeout
@@ -417,6 +429,10 @@ class RemoteBackend(FleetBackend):
                         prev = item[2]
                         if prev is not None and prev != url:
                             progress.steal(1, RemoteBackend.name)
+                            if trace is not None:
+                                trace.record_steal(
+                                    url, item[0][0], item[1],
+                                    time.monotonic())
                 if item is None:
                     # Queue drained but units may still be in flight on
                     # other workers (and may yet requeue here).
@@ -424,9 +440,14 @@ class RemoteBackend(FleetBackend):
                     continue
                 pair, attempts, _prev = item
                 index, unit = pair
+                t_send = time.monotonic()
                 try:
-                    doc = client.run_unit(sweep_id, seq, index, unit)
+                    doc = client.run_unit(sweep_id, seq, index, unit,
+                                          attempt=attempts)
                 except WorkerError as exc:
+                    if trace is not None:
+                        trace.record_failure(url, index, attempts, t_send,
+                                             time.monotonic(), str(exc))
                     strikes += 1
                     attempts += 1
                     log_event(_log, logging.WARNING, "remote_dispatch_failed",
@@ -439,15 +460,24 @@ class RemoteBackend(FleetBackend):
                         else:
                             queue.append((pair, attempts, url))
                             progress.requeue(1, RemoteBackend.name)
+                            if trace is not None:
+                                trace.record_requeue(url, index, attempts,
+                                                     time.monotonic())
                     if strikes >= self.max_strikes:
                         break
                     continue
+                t_arrive = time.monotonic()
+                if trace is not None:
+                    trace.record_dispatch(url, index, attempts, seq,
+                                          t_send, t_arrive, doc)
                 strikes = 0
+                exec_window = doc.get("exec") or {}
                 metrics = PayloadMetrics(doc["metrics"]) \
                     if doc.get("metrics") is not None else None
                 result = _WorkerResult(
                     index, metrics=metrics, error=doc.get("error"),
-                    trace=doc.get("trace"), pid=doc.get("pid", 0))
+                    trace=doc.get("trace"), pid=doc.get("pid", 0),
+                    seconds=exec_window.get("seconds", t_arrive - t_send))
                 with lock:
                     if abort:
                         break  # sweep already failed; drop late results
@@ -487,6 +517,29 @@ class RemoteBackend(FleetBackend):
         if abort:
             raise abort[0]
         return results
+
+    def scrape_fleet(self, timeout: float = 10.0) -> Dict[str, Any]:
+        """Scrape every worker's health and telemetry snapshot.
+
+        One entry per configured worker, in URL order; a worker that
+        cannot be reached yields ``metrics: null`` plus an ``error``
+        string rather than failing the scrape — the sweep already
+        finished, observability must not un-finish it.
+        """
+        from repro.fleet.worker import WorkerClient, WorkerError
+
+        entries: List[Dict[str, Any]] = []
+        for url in sorted(self.workers):
+            client = WorkerClient(url, timeout=timeout)
+            entry: Dict[str, Any] = {"url": url, "health": None,
+                                     "metrics": None}
+            try:
+                entry["health"] = client.health()
+                entry["metrics"] = client.metrics_json()
+            except WorkerError as exc:
+                entry["error"] = str(exc)
+            entries.append(entry)
+        return {"workers": entries}
 
 
 # ---------------------------------------------------------------------- #

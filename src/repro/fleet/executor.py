@@ -157,6 +157,9 @@ class _WorkerResult:
     trace: Optional[str] = None
     #: Worker process that ran the unit (per-worker progress accounting).
     pid: int = 0
+    #: Wall-clock seconds the unit's execution took (latency histogram);
+    #: 0.0 for journal recoveries, which ran in some earlier process.
+    seconds: float = 0.0
 
 
 def _run_unit(indexed: Any) -> _WorkerResult:
@@ -168,6 +171,7 @@ def _run_unit(indexed: Any) -> _WorkerResult:
     the configuration that caused them.
     """
     index, unit = indexed
+    t0 = time.monotonic()
     try:
         metrics = run_app(
             unit.app, unit.procs, MachineKind(unit.machine),
@@ -176,10 +180,12 @@ def _run_unit(indexed: Any) -> _WorkerResult:
         # Raw simulation state: excluded from every snapshot, and the only
         # RunMetrics field whose pickled size scales with the data set.
         metrics.final_store = None
-        return _WorkerResult(index, metrics=metrics, pid=os.getpid())
+        return _WorkerResult(index, metrics=metrics, pid=os.getpid(),
+                             seconds=time.monotonic() - t0)
     except BaseException as exc:  # noqa: BLE001 - shipped to the parent
         return _WorkerResult(index, error=f"{type(exc).__name__}: {exc}",
-                             trace=traceback.format_exc(), pid=os.getpid())
+                             trace=traceback.format_exc(), pid=os.getpid(),
+                             seconds=time.monotonic() - t0)
 
 
 @dataclass(frozen=True)
@@ -284,6 +290,12 @@ def _fleet_instruments(registry: Optional[MetricsRegistry]) -> Dict[str, Any]:
             "Requeued units picked up by a different worker than their "
             "previous attempt, by fleet backend",
             labels=("backend",)),
+        "unit_seconds": registry.histogram(
+            "repro_fleet_unit_seconds",
+            "Wall-clock seconds per recorded sweep unit, by fleet backend "
+            "(one observation per completed or error unit; timed-out, "
+            "lost and journal-resumed units are not observed)",
+            labels=("backend",)),
     }
 
 
@@ -310,6 +322,10 @@ class _Progress:
         #: every *successful* result as it is recorded, so a sweep killed
         #: mid-run has journaled exactly the units that completed.
         self.sink: Optional[Callable[[_WorkerResult], None]] = None
+        #: Which backend last dispatched — labels the latency histogram
+        #: (set on every dispatch, so the checkpoint wrapper's inner
+        #: backend labels its own results).
+        self.backend = "process"
         self._t0 = time.monotonic()
         self._last = self._t0
 
@@ -319,6 +335,7 @@ class _Progress:
 
     # Dispatch-side accounting (called by the backends) ----------------- #
     def dispatch(self, count: int, backend: str) -> None:
+        self.backend = backend
         self.instruments["dispatched"].inc(count)
         self.instruments["backend_dispatch"].inc(count, backend=backend)
 
@@ -331,6 +348,8 @@ class _Progress:
 
     # Result-side accounting -------------------------------------------- #
     def record(self, result: _WorkerResult) -> None:
+        self.instruments["unit_seconds"].observe(result.seconds,
+                                                 backend=self.backend)
         if result.error is None:
             self.completed += 1
             self.instruments["completed"].inc()
@@ -563,6 +582,30 @@ def sweep_snapshot_doc(
             for row in rows
         ],
     }
+
+
+def fleet_sweep_doc(
+    app: str,
+    machine: str,
+    scale: str,
+    rows: Sequence[ExperimentRow],
+    fleet: Dict[str, Any],
+) -> Dict[str, Any]:
+    """The ``repro.sweep/2`` document: a sweep plus its fleet section.
+
+    The rows serialize exactly as :func:`sweep_snapshot_doc` would — only
+    the schema tag and the appended ``fleet`` section differ, so the
+    simulated results inside a fleet-annotated snapshot remain comparable
+    byte-for-byte with a plain ``repro.sweep/1`` of the same sweep.
+    ``fleet`` is the :meth:`RemoteBackend.scrape_fleet` document plus a
+    ``host`` key holding the dispatching host's own telemetry snapshot.
+    """
+    from repro.obs.schema import SWEEP_FLEET_SCHEMA
+
+    doc = sweep_snapshot_doc(app, machine, scale, rows)
+    doc["schema"] = SWEEP_FLEET_SCHEMA
+    doc["fleet"] = fleet
+    return doc
 
 
 def verify_parallel_matches_serial(

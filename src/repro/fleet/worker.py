@@ -18,6 +18,18 @@ endpoints —
   the worker double as a minimal Transport backend
   (:class:`FleetWorkerTransport`, registry name ``"worker"``).
 * ``GET /v1/health`` — liveness plus the dedup counters.
+* ``GET /v1/metrics`` — the worker's :class:`~repro.telemetry.metrics.
+  MetricsRegistry` in Prometheus text (default) or the
+  ``repro.telemetry/1`` JSON snapshot (``?format=json``), so a fleet's
+  workers are scrapeable exactly like a ``repro serve`` instance.
+
+For fleet-wide observability every unit response additionally carries a
+``telemetry`` section (worker-monotonic receive/reply anchors, the NTP
+inputs for the host's clock-offset estimate) and an ``exec`` section
+(the owner's execution window — a dedup join returns the *original*
+window, so the merged timeline shows one span per computation), and the
+worker's access log carries the ``(sweep, index, attempt)`` correlation
+fields the same way serve's access log carries ``job_id``.
 
 Errors keep the uniform taxonomy: a malformed body is HTTP 400
 (exit code 2), a simulation failure inside ``/v1/jobs`` is HTTP 500
@@ -34,6 +46,7 @@ import os
 import socket
 import sys
 import threading
+import time
 import urllib.error
 import urllib.request
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -49,6 +62,7 @@ from repro.fleet import executor as _executor
 from repro.fleet.executor import SweepUnit
 from repro.serve.transport import Transport
 from repro.telemetry.log import get_logger, log_event
+from repro.telemetry.metrics import MetricsRegistry, default_registry
 
 _log = get_logger("fleet.worker")
 
@@ -85,11 +99,23 @@ class _LedgerEntry:
 class WorkerServer:
     """A unit-executor HTTP server (thread-per-request, port 0 = free)."""
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8764) -> None:
+    def __init__(self, host: str = "127.0.0.1", port: int = 8764,
+                 registry: Optional[MetricsRegistry] = None) -> None:
         self._lock = threading.Lock()
         self._ledger: Dict[Tuple[str, int], _LedgerEntry] = {}
         self.units_executed = 0
         self.duplicates_joined = 0
+        self.registry = registry if registry is not None \
+            else default_registry()
+        self._units_total = self.registry.counter(
+            "repro_worker_units_executed_total",
+            "Sweep units this worker executed (owner computations only).")
+        self._joins_total = self.registry.counter(
+            "repro_worker_duplicates_joined_total",
+            "Re-dispatched units that joined an in-progress computation.")
+        self._unit_seconds = self.registry.histogram(
+            "repro_worker_unit_seconds",
+            "Wall-clock seconds per owner unit execution.")
         handler = _make_handler(self)
         self._httpd = ThreadingHTTPServer((host, port), handler)
         self._httpd.daemon_threads = True
@@ -121,10 +147,12 @@ class WorkerServer:
 
     # -- endpoint logic (called from handler threads) ------------------- #
     def run_unit(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        t_recv = time.monotonic()
         try:
             sweep = str(body["sweep"])
             seq = int(body["seq"])
             index = int(body["index"])
+            attempt = int(body.get("attempt", 0) or 0)
             unit_doc = body["unit"]
             unit = SweepUnit(
                 app=str(unit_doc["app"]), machine=str(unit_doc["machine"]),
@@ -151,12 +179,17 @@ class WorkerServer:
                 self.duplicates_joined += 1
         if not owner:
             # ARQ dedup: this is a retransmission — join the original
-            # computation and return its (identical) response.
+            # computation and return its (identical) response.  The
+            # telemetry anchors are per *request* (this exchange's clock
+            # sample), while the cached exec window stays the owner's.
+            self._joins_total.inc()
             log_event(_log, logging.INFO, "unit_joined", sweep=sweep,
-                      index=index, seq=seq)
+                      index=index, seq=seq, attempt=attempt)
             entry.event.wait()
-            return dict(entry.response)
+            return self._stamped(entry.response, t_recv)
+        t0 = time.monotonic()
         result = _executor._run_unit((index, unit))
+        t1 = time.monotonic()
         response = {
             "index": index,
             "seq": seq,
@@ -164,14 +197,24 @@ class WorkerServer:
             "metrics": result.metrics.to_json() if result.metrics else None,
             "error": result.error,
             "trace": result.trace,
+            "exec": {"t0": t0, "t1": t1, "seconds": t1 - t0},
         }
         with self._lock:
             entry.response = response
             self.units_executed += 1
+        self._units_total.inc()
+        self._unit_seconds.observe(t1 - t0)
         entry.event.set()
         log_event(_log, logging.INFO, "unit_executed", sweep=sweep,
-                  index=index, seq=seq, ok=result.error is None)
-        return dict(response)
+                  index=index, seq=seq, attempt=attempt,
+                  ok=result.error is None)
+        return self._stamped(response, t_recv)
+
+    @staticmethod
+    def _stamped(response: Dict[str, Any], t_recv: float) -> Dict[str, Any]:
+        out = dict(response)
+        out["telemetry"] = {"t_recv": t_recv, "t_reply": time.monotonic()}
+        return out
 
     def run_job(self, body: Dict[str, Any]) -> str:
         from repro.serve import api
@@ -198,13 +241,25 @@ def _make_handler(server: WorkerServer):
         def log_message(self, fmt, *args):  # noqa: D102 - silence stderr
             pass
 
-        def _send(self, status: int, text: str) -> None:
+        def _send(self, status: int, text: str,
+                  content_type: str = "application/json") -> None:
             payload = text.encode("utf-8")
             self.send_response(status)
-            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(payload)))
             self.end_headers()
             self.wfile.write(payload)
+            self._access_log(status)
+
+        def _access_log(self, status: int) -> None:
+            # One access line per request; unit requests carry the
+            # (sweep, index, attempt) correlation fields the way serve's
+            # access log carries job_id (log_event drops None fields).
+            body = getattr(self, "_request_body", None) or {}
+            log_event(_log, logging.INFO, "http_request",
+                      method=self.command, path=self.path, status=status,
+                      sweep=body.get("sweep"), index=body.get("index"),
+                      attempt=body.get("attempt"))
 
         def _send_error(self, exc: BaseException) -> None:
             code = exit_code_for(exc)
@@ -223,11 +278,20 @@ def _make_handler(server: WorkerServer):
                     from exc
             if not isinstance(doc, dict):
                 raise ExperimentError("request body must be a JSON object")
+            self._request_body = doc
             return doc
 
         def do_GET(self):  # noqa: N802 - http.server API
+            self._request_body = None  # keep-alive: don't log stale fields
             if self.path == "/v1/health":
                 self._send(200, json.dumps(server.health_doc()))
+                return
+            if self.path in ("/v1/metrics", "/v1/metrics?format=json"):
+                if self.path.endswith("format=json"):
+                    self._send(200, server.registry.snapshot_text())
+                else:
+                    self._send(200, server.registry.render_prometheus(),
+                               content_type="text/plain; version=0.0.4")
                 return
             self._send(404, json.dumps({
                 "error": f"no such endpoint: {self.path}",
@@ -235,6 +299,7 @@ def _make_handler(server: WorkerServer):
                 "exit_code": EXIT_BAD_REQUEST}))
 
         def do_POST(self):  # noqa: N802 - http.server API
+            self._request_body = None  # keep-alive: don't log stale fields
             try:
                 if self.path == "/v1/units":
                     self._send(200, json.dumps(server.run_unit(self._body())))
@@ -297,12 +362,20 @@ class WorkerClient:
             raise WorkerError(f"worker {url} failed: {exc}") from exc
 
     def run_unit(self, sweep: str, seq: int, index: int,
-                 unit: SweepUnit) -> Dict[str, Any]:
+                 unit: SweepUnit, attempt: int = 0) -> Dict[str, Any]:
         """Dispatch one unit; returns the worker's result document."""
         text = self._request("POST", "/v1/units", {
-            "sweep": sweep, "seq": seq, "index": index,
+            "sweep": sweep, "seq": seq, "index": index, "attempt": attempt,
             "unit": unit.to_json(), "unit_key": unit.unit_key()})
         return json.loads(text)
+
+    def metrics_text(self) -> str:
+        """The worker's Prometheus exposition (``GET /v1/metrics``)."""
+        return self._request("GET", "/v1/metrics")
+
+    def metrics_json(self) -> Dict[str, Any]:
+        """The worker's ``repro.telemetry/1`` snapshot."""
+        return json.loads(self._request("GET", "/v1/metrics?format=json"))
 
     def submit_job(self, request_doc: Dict[str, Any]) -> str:
         """Execute a serve request synchronously; returns the exact text."""
@@ -400,8 +473,8 @@ def add_worker_parser(sub) -> None:
         help="run a fleet unit-executor (remote sweep worker)",
         description="Serve POST /v1/units (deduplicated sweep-unit "
                     "execution for `repro sweep --backend remote`), "
-                    "POST /v1/jobs (synchronous serve requests) and "
-                    "GET /v1/health over HTTP.",
+                    "POST /v1/jobs (synchronous serve requests), "
+                    "GET /v1/health and GET /v1/metrics over HTTP.",
     )
     p.add_argument("--host", default="127.0.0.1",
                    help="bind address (default 127.0.0.1)")

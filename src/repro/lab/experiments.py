@@ -91,6 +91,7 @@ def run_app(
     tracer=None,
     profiler=None,
     faults=None,
+    flight=None,
 ) -> RunMetrics:
     """Build and execute one application configuration.
 
@@ -100,7 +101,9 @@ def run_app(
     :func:`profile_app` for the assembled result); ``faults`` attaches a
     :class:`repro.faults.FaultSpec` — a fresh :class:`repro.faults.
     FaultPlan` is built per run (plan RNG state is the run's fault
-    history), iPSC/860 only.
+    history), iPSC/860 only; ``flight`` installs a
+    :class:`~repro.obs.flight.FlightRecorder` on the machine's simulator
+    (read-only sampling, never perturbs the run).
     """
     app = make_application(name, scale)
     program = app.build(procs, machine=machine, level=level)
@@ -114,10 +117,11 @@ def run_app(
                 "fault injection models an unreliable message fabric; the "
                 "DASH machine has no message layer to perturb — use the "
                 "ipsc860 machine")
-        return run_shared_memory(
-            program, procs, options,
-            machine=DashMachine(procs, dash_params(), tracer=tracer,
-                                profiler=profiler))
+        machine_obj = DashMachine(procs, dash_params(), tracer=tracer,
+                                  profiler=profiler)
+        if flight is not None:
+            flight.install(machine_obj.sim)
+        return run_shared_memory(program, procs, options, machine=machine_obj)
     plan = None
     if faults is not None:
         from repro.faults import FaultPlan
@@ -125,6 +129,8 @@ def run_app(
         plan = FaultPlan(faults)
     hw = Ipsc860Machine(procs, ipsc_params(), tracer=tracer, profiler=profiler,
                         faults=plan)
+    if flight is not None:
+        flight.install(hw.sim)
     runtime_metrics = _run_mp(program, hw, options)
     return runtime_metrics
 
@@ -140,6 +146,7 @@ def profile_app(
     interval: Optional[float] = None,
     samples: int = 50,
     faults=None,
+    flight=None,
 ):
     """Run one configuration with the profiler attached.
 
@@ -158,9 +165,11 @@ def profile_app(
     if tracer is None:
         tracer = Tracer(enabled=True)
     metrics = run_app(name, procs, machine, level, options, scale,
-                      tracer=tracer, profiler=collector, faults=faults)
+                      tracer=tracer, profiler=collector, faults=faults,
+                      flight=flight)
     profile = build_profile(metrics, collector, interval=interval,
-                            samples=samples, scale=scale, tracer=tracer)
+                            samples=samples, scale=scale, tracer=tracer,
+                            flight=flight)
     return metrics, profile
 
 

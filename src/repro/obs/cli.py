@@ -36,7 +36,7 @@ def add_profile_parser(sub) -> None:
     p.add_argument("--target-tasks", type=int, default=1)
     p.add_argument("--eager-update", action="store_true")
     p.add_argument("--json", metavar="PATH", default=None,
-                   help="write the validated repro.obs/3 snapshot here")
+                   help="write the validated repro.obs/4 snapshot here")
     p.add_argument("--max-sim-time", type=float, default=None,
                    metavar="SECONDS",
                    help="runaway guard: abort (exit 3) if simulated time "
@@ -49,6 +49,13 @@ def add_profile_parser(sub) -> None:
     p.add_argument("--sample-interval", type=float, default=None,
                    help="time-series sample spacing in simulated seconds "
                         "(overrides --samples)")
+    p.add_argument("--flight", action="store_true",
+                   help="attach the engine flight recorder (bounded "
+                        "queue-depth/in-flight/attribution time series in "
+                        "the snapshot's 'flight' section)")
+    p.add_argument("--flight-capacity", type=int, default=256,
+                   metavar="N", help="flight-recorder sample capacity "
+                                     "(default 256)")
     p.set_defaults(func=cmd_profile)
 
 
@@ -80,11 +87,21 @@ def cmd_profile(args) -> int:
                   file=sys.stderr)
             return 2
         tracer = Tracer(enabled=True)
+    flight = None
+    if getattr(args, "flight", False):
+        from repro.obs.flight import FlightRecorder
+
+        try:
+            flight = FlightRecorder(capacity=args.flight_capacity)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     try:
         _metrics, profile = api.profile_metrics(
             request, tracer=tracer,
             interval=args.sample_interval, samples=args.samples,
+            flight=flight,
         )
     except (SimulationError, JadeError, MachineError) as exc:
         # Exit 3: the simulation itself raised (SimTimeLimitError included),

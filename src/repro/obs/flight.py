@@ -1,0 +1,127 @@
+"""Engine flight recorder: a bounded interval sampler inside the Simulator.
+
+The profile snapshot already carries *end-of-run* aggregates (totals,
+per-optimization attribution, critical path), but nothing answers "what
+was the engine doing at t=0.8s?" — was the event queue deep, were many
+messages in flight, had the broadcast optimization kicked in yet?  A
+:class:`FlightRecorder` answers that with a time series sampled as the
+simulation runs, exported as the ``flight`` section of a ``repro.obs/4``
+profile snapshot.
+
+Two properties drive the design:
+
+**Zero perturbation.**  The recorder only ever *reads* simulator state —
+it never schedules events, touches an RNG, or feeds anything back into
+the run.  Attaching one therefore cannot change what the simulation
+computes, and :mod:`tests.test_flight` enforces this with byte-identity:
+the metrics document of a run with a recorder attached must equal, byte
+for byte, the document of a run without one.  The hook itself follows
+the ``sim.perturb`` precedent — a single ``is not None`` predicate in
+:meth:`Simulator.step`, so runs without a recorder pay one branch.
+
+**Bounded memory with full-run coverage.**  A fixed-capacity buffer that
+simply stops sampling would only show the start of a long run; a true
+ring buffer would only show the end.  Instead the recorder *decimates*:
+when the buffer fills, every other sample is dropped and the sampling
+interval doubles.  The result always spans the whole run at the finest
+resolution that fits in ``capacity`` samples — the classic adaptive
+trick of flight-data recorders.  Decimation is a deterministic function
+of simulated time, so identical runs produce identical sample series.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+
+class FlightRecorder:
+    """Samples engine state at a (self-adapting) simulated-time interval.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of retained samples.  When the buffer fills, the
+        recorder halves it (keeping every other sample) and doubles the
+        sampling interval, so memory stays bounded while the series
+        always covers the whole run.
+    interval:
+        Initial sampling interval in simulated seconds.  The default is
+        effectively "every event" until decimation finds the run's
+        natural timescale; pass something coarser to start wide.
+
+    Usage: ``recorder.install(machine.sim)`` before the run; the runtime
+    calls :meth:`attach` with its :class:`~repro.runtime.metrics.RunMetrics`
+    (for attribution counters) and the machine's profile collector (for
+    the in-flight message gauge) when available.  After the run,
+    :meth:`to_dict` yields the ``flight`` section for the snapshot.
+    """
+
+    def __init__(self, capacity: int = 256, interval: float = 1e-6) -> None:
+        if capacity < 2:
+            raise ValueError(f"capacity must be >= 2, got {capacity!r}")
+        if interval <= 0.0:
+            raise ValueError(f"interval must be > 0, got {interval!r}")
+        self.capacity = int(capacity)
+        self.interval = float(interval)
+        self.decimations = 0
+        self.samples: List[Dict[str, Any]] = []
+        self.metrics: Optional[Any] = None
+        self.collector: Optional[Any] = None
+        self._next = 0.0
+
+    # ------------------------------------------------------------------ #
+    # wiring
+    # ------------------------------------------------------------------ #
+    def install(self, sim: Any) -> "FlightRecorder":
+        """Point ``sim.flight`` at this recorder; returns self."""
+        sim.flight = self
+        return self
+
+    def attach(self, metrics: Any = None, collector: Any = None) -> None:
+        """Give the recorder read-only views of runtime state.
+
+        Called by the runtime once its :class:`RunMetrics` exists (and by
+        whoever owns a :class:`ProfileCollector`).  Both are optional —
+        samples taken before/without them carry ``None`` for the fields
+        they back.
+        """
+        if metrics is not None:
+            self.metrics = metrics
+        if collector is not None:
+            self.collector = collector
+
+    # ------------------------------------------------------------------ #
+    # sampling (called from Simulator.step after each fired event)
+    # ------------------------------------------------------------------ #
+    def on_event(self, sim: Any) -> None:
+        if sim.now < self._next:
+            return
+        sample: Dict[str, Any] = {
+            "t": sim.now,
+            "events_fired": sim.events_fired,
+            "queue_depth": sim.pending_events,
+            "inflight": (self.collector._inflight_count
+                         if self.collector is not None else None),
+            "attribution": (dict(self.metrics.attribution())
+                            if self.metrics is not None else None),
+        }
+        self.samples.append(sample)
+        self._next = sim.now + self.interval
+        if len(self.samples) >= self.capacity:
+            # Keep every other sample and sample half as often from here
+            # on: the series still spans t=0..now, at half the resolution.
+            self.samples = self.samples[::2]
+            self.interval *= 2.0
+            self.decimations += 1
+
+    # ------------------------------------------------------------------ #
+    # export
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """The ``flight`` section of a ``repro.obs/4`` profile snapshot."""
+        return {
+            "interval": self.interval,
+            "capacity": self.capacity,
+            "decimations": self.decimations,
+            "samples": [dict(sample) for sample in self.samples],
+        }

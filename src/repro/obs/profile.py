@@ -188,6 +188,9 @@ class Profile:
     scale: Optional[str] = None
     #: Critical-path attribution, present when the run was traced.
     critical: Optional[CriticalPath] = None
+    #: Flight-recorder time series (``FlightRecorder.to_dict()``), present
+    #: when a recorder was installed on the run's simulator.
+    flight: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -230,6 +233,7 @@ class Profile:
             "utilization": self.utilization,
             "timeline": self.timeline,
             "critical_path": self.critical.to_dict() if self.critical else None,
+            "flight": self.flight,
         }
 
     def format(self) -> str:
@@ -245,12 +249,15 @@ def build_profile(
     samples: int = 50,
     scale: Optional[str] = None,
     tracer: Optional[Tracer] = None,
+    flight: Optional["object"] = None,
 ) -> Profile:
     """Assemble the post-run :class:`Profile` from the collector's records.
 
     When ``tracer`` holds a span trace of the run, the critical-path
     analyzer (:mod:`repro.obs.critical`) runs over it and the resulting
-    bucket attribution joins the snapshot as ``critical_path``.
+    bucket attribution joins the snapshot as ``critical_path``.  When
+    ``flight`` holds the run's :class:`~repro.obs.flight.FlightRecorder`,
+    its sampled time series joins as the ``flight`` section.
     """
     n = metrics.num_processors
     comm_messages = [[0] * n for _ in range(n)]
@@ -317,4 +324,5 @@ def build_profile(
         network=network,
         scale=scale,
         critical=critical,
+        flight=flight.to_dict() if flight is not None else None,
     )

@@ -2,21 +2,33 @@
 
 Three document kinds are versioned:
 
-* ``repro.obs/3`` — the full run-profile snapshot written by
+* ``repro.obs/4`` — the full run-profile snapshot written by
   ``repro profile --json`` / ``repro run --profile-json``.  Version 2
   added the ``metrics.attribution`` per-optimization counters and the
   ``critical_path`` section (``null`` when the run was not traced);
   version 3 adds the fault/reliable-delivery counters to the
-  attribution block and the ``recovery`` critical-path bucket.  Versions
-  1 and 2 are still accepted by the validator, each against its own
-  requirements;
+  attribution block and the ``recovery`` critical-path bucket; version 4
+  adds the ``flight`` section — the engine flight recorder's bounded
+  time series of queue depth, in-flight messages and attribution
+  counters (``null`` when no recorder was attached).  Versions 1–3 are
+  still accepted by the validator, each against its own requirements;
 * ``repro.bench/1`` — the lighter ``BENCH_*.json`` envelope the benchmark
   suite writes around its table/figure series;
 * ``repro.chaos/1`` — the verdict document ``repro chaos`` writes: the
   fault spec, the two runs' fault/recovery counters, and the
   coherence/determinism verdicts;
-* ``repro.sweep/1`` — the row document ``repro sweep --json`` writes (one
-  metrics dict per level x procs configuration, in canonical unit order);
+* ``repro.sweep/2`` — the row document ``repro sweep --json`` writes (one
+  metrics dict per level x procs configuration, in canonical unit order).
+  Version 2 adds the ``fleet`` section — per-worker health and scraped
+  ``repro.telemetry/1`` snapshots plus the host's own fleet counters —
+  and is emitted only when ``--fleet`` asked for it: a sweep without a
+  fleet section still writes byte-identical ``repro.sweep/1`` documents;
+* ``repro.fleet.trace/1`` — the merged fleet timeline ``repro sweep
+  --trace-out`` writes for remote sweeps: a Chrome/Perfetto trace
+  (``traceEvents`` with one process track per worker, host dispatch /
+  requeue / steal events on process 0) plus the ``schema`` tag and the
+  per-worker clock-offset estimates (Perfetto ignores unknown keys, so
+  the file loads directly);
 * ``repro.serve/1`` — the result document the service returns for a job:
   the canonical request, its content-addressed cache key, and the
   kind-specific result payload.  Deliberately free of wall-clock fields,
@@ -38,14 +50,20 @@ from __future__ import annotations
 import math
 from typing import Any, Dict, List
 
-PROFILE_SCHEMA = "repro.obs/3"
+PROFILE_SCHEMA = "repro.obs/4"
 #: Older profile snapshots the validator still accepts (read compatibility).
-PROFILE_SCHEMAS = ("repro.obs/1", "repro.obs/2", PROFILE_SCHEMA)
+PROFILE_SCHEMAS = ("repro.obs/1", "repro.obs/2", "repro.obs/3",
+                   PROFILE_SCHEMA)
 BENCH_SCHEMA = "repro.bench/1"
 CHAOS_SCHEMA = "repro.chaos/1"
 SWEEP_SCHEMA = "repro.sweep/1"
+#: The fleet-annotated sweep snapshot (``--fleet``); plain sweeps keep
+#: emitting ``repro.sweep/1`` so their bytes never move.
+SWEEP_FLEET_SCHEMA = "repro.sweep/2"
+SWEEP_SCHEMAS = (SWEEP_SCHEMA, SWEEP_FLEET_SCHEMA)
 SERVE_SCHEMA = "repro.serve/1"
 TELEMETRY_SCHEMA = "repro.telemetry/1"
+FLEET_TRACE_SCHEMA = "repro.fleet.trace/1"
 
 #: The request kinds a ``repro.serve/1`` document may carry.
 SERVE_KINDS = ("run", "sweep", "chaos")
@@ -219,6 +237,65 @@ def validate_profile(doc: Any) -> List[str]:
             if critical is not None:
                 problems.extend(_validate_critical(critical, version))
 
+    if version >= 4:
+        if "flight" not in doc:
+            problems.append(
+                "flight missing (required by repro.obs/4; null when no "
+                "flight recorder was attached)")
+        elif doc["flight"] is not None:
+            problems.extend(_validate_flight(doc["flight"]))
+
+    return problems
+
+
+_FLIGHT_KEYS = ("interval", "capacity", "decimations", "samples")
+_FLIGHT_SAMPLE_KEYS = ("t", "events_fired", "queue_depth")
+
+
+def _validate_flight(flight: Any) -> List[str]:
+    """Validate a non-null ``flight`` section of a v4+ snapshot."""
+    problems: List[str] = []
+    if not isinstance(flight, dict):
+        return ["flight is not an object"]
+    for key in _FLIGHT_KEYS:
+        if key not in flight:
+            problems.append(f"flight.{key} missing")
+    samples = flight.get("samples")
+    if not isinstance(samples, list):
+        if "samples" in flight:
+            problems.append("flight.samples is not a list")
+        return problems
+    capacity = flight.get("capacity")
+    if isinstance(capacity, int) and len(samples) > capacity:
+        problems.append(
+            f"flight has {len(samples)} samples, exceeding its declared "
+            f"capacity {capacity} (the ring buffer is bounded)")
+    last = -math.inf
+    for index, row in enumerate(samples):
+        if not isinstance(row, dict):
+            problems.append(f"flight.samples[{index}] is not an object")
+            continue
+        for key in _FLIGHT_SAMPLE_KEYS:
+            value = row.get(key)
+            if not _finite(value) or value < 0:
+                problems.append(
+                    f"flight.samples[{index}].{key} missing or not a "
+                    "non-negative finite number")
+        t = row.get("t")
+        if _finite(t):
+            if t <= last:
+                problems.append(
+                    f"flight.samples[{index}].t not strictly increasing")
+            last = t
+        attribution = row.get("attribution")
+        if attribution is not None:
+            if not isinstance(attribution, dict):
+                problems.append(
+                    f"flight.samples[{index}].attribution is not an object")
+            elif any(not _finite(v) for v in attribution.values()):
+                problems.append(
+                    f"flight.samples[{index}].attribution has non-finite "
+                    "values")
     return problems
 
 
@@ -315,13 +392,21 @@ def validate_chaos(doc: Any) -> List[str]:
 
 
 def validate_sweep(doc: Any) -> List[str]:
-    """Structurally validate a ``repro.sweep/1`` row document."""
+    """Structurally validate a ``repro.sweep/*`` row document.
+
+    Version 1 is the plain row document; version 2 additionally requires
+    the ``fleet`` section (per-worker scrape results plus the host's own
+    telemetry snapshot) a ``repro sweep --fleet`` run embeds.
+    """
     problems: List[str] = []
     if not isinstance(doc, dict):
         return ["snapshot is not a JSON object"]
-    if doc.get("schema") != SWEEP_SCHEMA:
+    if doc.get("schema") not in SWEEP_SCHEMAS:
         problems.append(
-            f"schema is {doc.get('schema')!r}, expected {SWEEP_SCHEMA!r}")
+            f"schema is {doc.get('schema')!r}, expected one of "
+            f"{list(SWEEP_SCHEMAS)!r}")
+    if doc.get("schema") == SWEEP_FLEET_SCHEMA:
+        problems.extend(_validate_fleet_section(doc.get("fleet")))
     for key in ("app", "machine", "scale"):
         if not isinstance(doc.get(key), str) or not doc.get(key):
             problems.append(f"missing {key!r}")
@@ -344,6 +429,39 @@ def validate_sweep(doc: Any) -> List[str]:
                         f"rows[{index}].metrics.{key} missing or not finite")
         elif "metrics" in row:
             problems.append(f"rows[{index}].metrics is not an object")
+    return problems
+
+
+def _validate_fleet_section(fleet: Any) -> List[str]:
+    """Validate the ``fleet`` section of a ``repro.sweep/2`` document."""
+    problems: List[str] = []
+    if not isinstance(fleet, dict):
+        return ["fleet section missing or not an object (required by "
+                f"{SWEEP_FLEET_SCHEMA})"]
+    workers = fleet.get("workers")
+    if not isinstance(workers, list) or not workers:
+        problems.append("fleet.workers missing or empty")
+        workers = []
+    for index, entry in enumerate(workers):
+        if not isinstance(entry, dict):
+            problems.append(f"fleet.workers[{index}] is not an object")
+            continue
+        if not isinstance(entry.get("url"), str) or not entry.get("url"):
+            problems.append(f"fleet.workers[{index}].url missing")
+        if "metrics" not in entry:
+            problems.append(
+                f"fleet.workers[{index}].metrics missing (null when the "
+                "scrape failed)")
+        elif entry["metrics"] is not None:
+            problems.extend(
+                f"fleet.workers[{index}].metrics: {p}"
+                for p in validate_telemetry(entry["metrics"]))
+    host = fleet.get("host")
+    if "host" not in fleet:
+        problems.append("fleet.host missing (the dispatching host's own "
+                        "telemetry snapshot)")
+    elif host is not None:
+        problems.extend(f"fleet.host: {p}" for p in validate_telemetry(host))
     return problems
 
 
@@ -522,6 +640,62 @@ def validate_telemetry(doc: Any) -> List[str]:
     return problems
 
 
+_TRACE_PHASES = ("X", "B", "E", "i", "M")
+
+
+def validate_fleet_trace(doc: Any) -> List[str]:
+    """Structurally validate a ``repro.fleet.trace/1`` merged timeline.
+
+    The document is Chrome-trace JSON plus the ``schema`` tag: Perfetto
+    loads it directly (unknown top-level keys are ignored), and this
+    validator enforces the merge contract — every timestamp normalized to
+    a non-negative microsecond offset from the sweep's first event, every
+    duration non-negative, and the clock-offset table covering one entry
+    per worker process.
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["snapshot is not a JSON object"]
+    if doc.get("schema") != FLEET_TRACE_SCHEMA:
+        problems.append(
+            f"schema is {doc.get('schema')!r}, expected "
+            f"{FLEET_TRACE_SCHEMA!r}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        problems.append("'traceEvents' missing or not a list")
+        return problems
+    if doc.get("displayTimeUnit") not in ("ms", "ns"):
+        problems.append("'displayTimeUnit' missing or not 'ms'/'ns'")
+    offsets = doc.get("offsets")
+    if not isinstance(offsets, dict):
+        problems.append("'offsets' missing or not an object "
+                        "(per-worker clock-offset estimates)")
+    for index, event in enumerate(events):
+        prefix = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{prefix} is not an object")
+            continue
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{prefix}.name missing")
+        phase = event.get("ph")
+        if phase not in _TRACE_PHASES:
+            problems.append(
+                f"{prefix}.ph is {phase!r}, expected one of "
+                f"{list(_TRACE_PHASES)!r}")
+        if not isinstance(event.get("pid"), int):
+            problems.append(f"{prefix}.pid missing or not an int")
+        if phase == "M":
+            continue
+        ts = event.get("ts")
+        if not _finite(ts) or ts < 0:
+            problems.append(
+                f"{prefix}.ts missing or negative (timestamps must be "
+                "normalized to the sweep's first event)")
+        if "dur" in event and (not _finite(event["dur"]) or event["dur"] < 0):
+            problems.append(f"{prefix}.dur negative or not finite")
+    return problems
+
+
 def validate_snapshot(doc: Any) -> List[str]:
     """Validate any snapshot kind, dispatching on the schema tag."""
     if isinstance(doc, dict) and doc.get("schema") == TELEMETRY_SCHEMA:
@@ -530,10 +704,12 @@ def validate_snapshot(doc: Any) -> List[str]:
         return validate_bench(doc)
     if isinstance(doc, dict) and doc.get("schema") == CHAOS_SCHEMA:
         return validate_chaos(doc)
-    if isinstance(doc, dict) and doc.get("schema") == SWEEP_SCHEMA:
+    if isinstance(doc, dict) and doc.get("schema") in SWEEP_SCHEMAS:
         return validate_sweep(doc)
     if isinstance(doc, dict) and doc.get("schema") == SERVE_SCHEMA:
         return validate_serve(doc)
+    if isinstance(doc, dict) and doc.get("schema") == FLEET_TRACE_SCHEMA:
+        return validate_fleet_trace(doc)
     return validate_profile(doc)
 
 

@@ -83,6 +83,11 @@ class MessagePassingRuntime:
             options=self.options,
         )
         self.metrics.tasks_per_processor = [0] * machine.num_processors
+        # A flight recorder installed on the simulator gets read-only views
+        # of the run's metrics and profile collector for its samples.
+        flight = getattr(self.sim, "flight", None)
+        if flight is not None:
+            flight.attach(metrics=self.metrics, collector=machine.profiler)
         #: The message surface the runtime and communicator send through.
         #: With a message-perturbing fault plan installed this is a
         #: :class:`repro.runtime.reliable.ReliableNetwork` (sequence

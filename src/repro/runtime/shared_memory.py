@@ -80,6 +80,11 @@ class SharedMemoryRuntime:
             num_processors=machine.num_processors,
             options=self.options,
         )
+        # A flight recorder installed on the simulator gets read-only views
+        # of the run's metrics and profile collector for its samples.
+        flight = getattr(self.sim, "flight", None)
+        if flight is not None:
+            flight.attach(metrics=self.metrics, collector=machine.profiler)
         if self.options.locality is LocalityLevel.NO_LOCALITY:
             self.scheduler: SmScheduler = SingleQueueScheduler(machine.num_processors)
         else:

@@ -85,13 +85,14 @@ def run_metrics(request: RunRequest, tracer=None, profiler=None):
 
 
 def profile_metrics(request: RunRequest, tracer=None, interval=None,
-                    samples=50):
+                    samples=50, flight=None):
     """Execute a :class:`RunRequest` with the profiler attached.
 
     Returns ``(metrics, profile)`` — the ``repro run --profile`` /
     ``repro profile`` core.  ``interval``/``samples`` control the
-    profiler's time-series sampling; they shape the observation, not the
-    simulation, so they live outside the request.
+    profiler's time-series sampling and ``flight`` optionally installs an
+    engine :class:`~repro.obs.flight.FlightRecorder`; all three shape the
+    observation, not the simulation, so they live outside the request.
     """
     from repro.apps import MachineKind
     from repro.lab.experiments import profile_app
@@ -102,7 +103,7 @@ def profile_metrics(request: RunRequest, tracer=None, interval=None,
                        MachineKind(request.machine),
                        LocalityLevel(request.level), options, request.scale,
                        tracer=tracer, interval=interval, samples=samples,
-                       faults=request.faults)
+                       faults=request.faults, flight=flight)
 
 
 def sweep_rows(request: SweepRequest,
@@ -296,7 +297,9 @@ def describe_catalog() -> Dict[str, Any]:
     from repro.obs.schema import (
         BENCH_SCHEMA,
         CHAOS_SCHEMA,
+        FLEET_TRACE_SCHEMA,
         PROFILE_SCHEMA,
+        SWEEP_FLEET_SCHEMA,
         SWEEP_SCHEMA,
         TELEMETRY_SCHEMA,
     )
@@ -329,6 +332,7 @@ def describe_catalog() -> Dict[str, Any]:
         },
         "switches": switches,
         "request_kinds": ["run", "sweep", "chaos"],
-        "schemas": [PROFILE_SCHEMA, BENCH_SCHEMA, SWEEP_SCHEMA, CHAOS_SCHEMA,
-                    SERVE_SCHEMA, TELEMETRY_SCHEMA],
+        "schemas": [PROFILE_SCHEMA, BENCH_SCHEMA, SWEEP_SCHEMA,
+                    SWEEP_FLEET_SCHEMA, CHAOS_SCHEMA, SERVE_SCHEMA,
+                    TELEMETRY_SCHEMA, FLEET_TRACE_SCHEMA],
     }

@@ -48,9 +48,20 @@ def add_status_parser(sub) -> None:
         help="one-shot text dashboard for a running repro serve instance",
         description="Fetch /v1/health and /v1/metrics from a running "
                     "server and render jobs, latency, cache and HTTP "
-                    "traffic as one terminal screen.",
+                    "traffic as one terminal screen.  With --fleet, "
+                    "scrape a set of repro worker hosts instead and "
+                    "render an aggregated per-worker dashboard.",
     )
-    p.add_argument("url", help="server base URL, e.g. http://127.0.0.1:8753")
+    p.add_argument("url", nargs="?", default=None,
+                   help="server base URL, e.g. http://127.0.0.1:8753")
+    p.add_argument("--fleet", nargs="+", metavar="URL", default=None,
+                   help="scrape these repro worker base URLs "
+                        "(GET /v1/health + /v1/metrics) instead of a "
+                        "serve instance")
+    p.add_argument("--json", action="store_true",
+                   help="emit the raw telemetry snapshot (aggregated "
+                        "across workers with --fleet) as canonical JSON "
+                        "instead of the text dashboard")
     p.add_argument("--timeout", type=float, default=10.0, metavar="SECONDS",
                    help="per-request timeout (default 10)")
     p.set_defaults(func=cmd_status)
@@ -58,6 +69,15 @@ def add_status_parser(sub) -> None:
 
 def cmd_status(args) -> int:
     from repro.errors import ExperimentError
+
+    if args.fleet is not None:
+        return _status_fleet(args)
+    if args.url is None:
+        print("error: status needs a server URL or --fleet URL...",
+              file=sys.stderr)
+        return 2
+
+    from repro.obs.snapshot import dump_json
     from repro.serve.client import HttpTransport
     from repro.telemetry.dashboard import render_dashboard
 
@@ -68,8 +88,41 @@ def cmd_status(args) -> int:
     except ExperimentError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.json:
+        print(dump_json(snapshot))
+        return 0
     print(render_dashboard(transport.base_url, health, snapshot))
     return 0
+
+
+def _status_fleet(args) -> int:
+    """``repro status --fleet URL...``: scrape workers, aggregate, render."""
+    from repro.fleet.worker import WorkerClient, WorkerError
+    from repro.obs.snapshot import dump_json
+    from repro.telemetry.dashboard import render_fleet_dashboard
+    from repro.telemetry.fleet import aggregate_snapshots
+
+    entries = []
+    for url in args.fleet:
+        client = WorkerClient(url, timeout=args.timeout)
+        try:
+            entries.append({"url": client.base_url,
+                            "health": client.health(),
+                            "metrics": client.metrics_json()})
+        except WorkerError as exc:
+            entries.append({"url": client.base_url, "health": None,
+                            "metrics": None, "error": str(exc)})
+    if args.json:
+        snapshots = [e["metrics"] for e in entries if e["metrics"]]
+        try:
+            print(dump_json(aggregate_snapshots(snapshots)))
+        except ValueError as exc:
+            print(f"error: cannot aggregate fleet metrics: {exc}",
+                  file=sys.stderr)
+            return 2
+        return 0
+    print(render_fleet_dashboard(entries))
+    return 1 if any(e["metrics"] is None for e in entries) else 0
 
 
 def cmd_serve(args) -> int:

@@ -106,6 +106,12 @@ class Simulator:
         #: (see :mod:`repro.faults`); ``None`` — the overwhelmingly common
         #: case — makes :meth:`at_perturbed` behave exactly like :meth:`at`.
         self.perturb: Optional[Callable[[Any, float], Tuple[bool, float]]] = None
+        #: Optional flight recorder (see :mod:`repro.obs.flight`), sampled
+        #: after each fired event.  Like :attr:`perturb`, ``None`` — the
+        #: overwhelmingly common case — costs one predicate per event; a
+        #: recorder only ever *reads* simulator state, so attaching one can
+        #: never change what the simulation computes.
+        self.flight: Optional[Any] = None
 
     # ------------------------------------------------------------------ #
     # scheduling primitives
@@ -183,6 +189,8 @@ class Simulator:
             self.now = event.time
             self._events_fired += 1
             event.fn(*event.args)
+            if self.flight is not None:
+                self.flight.on_event(self)
             return True
         return False
 

@@ -11,7 +11,11 @@ The observability layer for the *production-facing* half of the repo
   a per-job correlation-id context, shared by the HTTP access log, the
   job lifecycle events and the fleet heartbeats;
 * :mod:`repro.telemetry.dashboard` — the ``repro status <url>`` one-shot
-  text dashboard over ``/v1/health`` + ``/v1/metrics``.
+  text dashboard over ``/v1/health`` + ``/v1/metrics``;
+* :mod:`repro.telemetry.fleet` — cross-host trace correlation (NTP-style
+  clock-offset estimation, merged Chrome/Perfetto timelines) and fleet
+  metrics aggregation behind ``repro sweep --trace-out`` and
+  ``repro status --fleet``.
 
 The hard invariant, inherited from every prior subsystem: telemetry
 *observes* and never perturbs — no metric, log line or correlation id
@@ -25,6 +29,12 @@ from repro.telemetry.log import (
     job_context,
     log_event,
     reset_logging,
+)
+from repro.telemetry.fleet import (
+    FleetTraceCollector,
+    aggregate_snapshots,
+    estimate_offsets,
+    merge_timeline,
 )
 from repro.telemetry.metrics import (
     DEFAULT_LATENCY_BUCKETS,
@@ -40,10 +50,14 @@ from repro.telemetry.metrics import (
 __all__ = [
     "Counter",
     "DEFAULT_LATENCY_BUCKETS",
+    "FleetTraceCollector",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "aggregate_snapshots",
     "configure_logging",
+    "estimate_offsets",
+    "merge_timeline",
     "current_job_id",
     "default_registry",
     "get_logger",

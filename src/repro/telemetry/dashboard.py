@@ -137,3 +137,38 @@ def render_dashboard(url: str, health: Dict[str, Any],
             f"pool restarts "
             f"{_total(snapshot, 'repro_fleet_pool_restarts_total'):g}")
     return "\n".join(lines)
+
+
+def render_fleet_dashboard(entries: List[Dict[str, Any]]) -> str:
+    """The ``repro status --fleet`` text: one row per scraped worker.
+
+    ``entries`` is a list of ``{"url", "health", "metrics"}`` dicts (the
+    shape :meth:`RemoteBackend.scrape_fleet` produces); an unreachable
+    worker has ``metrics: None`` plus an ``error`` string and renders as
+    a ``DOWN`` row instead of being dropped.
+    """
+    lines: List[str] = []
+    lines.append(f"repro fleet — {len(entries)} workers")
+    lines.append("")
+    total_units = 0.0
+    total_joins = 0.0
+    for entry in entries:
+        url = entry.get("url", "?")
+        snapshot = entry.get("metrics")
+        if snapshot is None:
+            lines.append(f"  {url}  DOWN  ({entry.get('error', 'no data')})")
+            continue
+        units = _total(snapshot, "repro_worker_units_executed_total")
+        joins = _total(snapshot, "repro_worker_duplicates_joined_total")
+        total_units += units
+        total_joins += joins
+        health = entry.get("health") or {}
+        row = (f"  {url}  {health.get('status', 'up')}  "
+               f"units {units:g}  joined {joins:g}")
+        summary = _histogram_summary(snapshot, "repro_worker_unit_seconds")
+        if summary:
+            row += f"  ({summary})"
+        lines.append(row)
+    lines.append("")
+    lines.append(f"total     units {total_units:g}  joined {total_joins:g}")
+    return "\n".join(lines)

@@ -1,0 +1,355 @@
+"""Fleet-wide trace correlation and metrics aggregation.
+
+After PR 8 a sweep's units execute on remote workers whose clocks the
+host cannot read: each worker reports times from its *own*
+``time.monotonic()`` domain, which is not even the same epoch as another
+worker's (monotonic clocks start at an arbitrary zero).  This module
+turns those disjoint per-worker observations into one coherent picture:
+
+* :class:`FleetTraceCollector` — the host-side record sink the
+  :class:`~repro.fleet.backends.RemoteBackend` feeds as it dispatches,
+  requeues and steals units.  Records are plain dicts so the merge is a
+  pure function over JSON-safe data.
+* :func:`estimate_offsets` — NTP's classic two-sample clock sync: every
+  dispatch carries four timestamps (host send, worker receive, worker
+  reply, host arrive), giving ``offset = ((t_recv - t_send) +
+  (t_reply - t_arrive)) / 2`` with error bounded by half the round-trip
+  time.  The minimum-RTT exchange per worker gives the tightest bound,
+  exactly as NTP selects its sample.
+* :func:`merge_timeline` — folds host spans and offset-corrected worker
+  spans into one Chrome/Perfetto trace (``repro.fleet.trace/1``): host
+  dispatch/requeue/steal activity on process 0 with one thread row per
+  worker, each worker's unit executions on its own process track.  The
+  merge is deterministic: events sort by content, timestamps normalize
+  to the sweep's first event, and the document serializes canonically —
+  so two merges over the same records are byte-identical regardless of
+  the thread interleaving that produced them.
+* :func:`aggregate_snapshots` — sums a fleet of ``repro.telemetry/1``
+  snapshots (scraped from each worker's ``GET /v1/metrics``) into one
+  valid snapshot, for ``repro status --fleet`` and the ``fleet`` section
+  of a ``repro.sweep/2`` document.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.schema import FLEET_TRACE_SCHEMA, TELEMETRY_SCHEMA
+from repro.util.canon import canonical_json
+
+#: Seconds → Chrome-trace microseconds.
+_US = 1e6
+
+
+class FleetTraceCollector:
+    """Host-side sink for per-unit dispatch/outcome records.
+
+    The RemoteBackend's pump threads call the ``record_*`` methods
+    concurrently; each appends one plain dict under a lock.  Nothing is
+    interpreted at record time — :func:`merge_timeline` does all the
+    work later, so a dropped collector costs the sweep nothing but the
+    appends.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.records: List[Dict[str, Any]] = []
+        #: The sweep id the backend stamped on this run's dispatches.
+        self.sweep: Optional[str] = None
+
+    def _add(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            self.records.append(record)
+
+    def record_dispatch(self, worker: str, index: int, attempt: int,
+                        seq: int, t_send: float, t_arrive: float,
+                        doc: Dict[str, Any]) -> None:
+        """A unit round-trip completed (successfully) on ``worker``.
+
+        ``doc`` is the worker's response: its ``telemetry`` section holds
+        the worker-clock receive/reply anchors and its ``exec`` section
+        the owner's execution window (both optional — older workers
+        simply yield records without offset anchors or unit spans).
+        """
+        telemetry = doc.get("telemetry") or {}
+        exec_window = doc.get("exec") or {}
+        self._add({
+            "kind": "dispatch",
+            "worker": worker, "index": index, "attempt": attempt,
+            "seq": seq, "t_send": t_send, "t_arrive": t_arrive,
+            "t_recv": telemetry.get("t_recv"),
+            "t_reply": telemetry.get("t_reply"),
+            "t0": exec_window.get("t0"), "t1": exec_window.get("t1"),
+            "error": doc.get("error"),
+        })
+
+    def record_failure(self, worker: str, index: int, attempt: int,
+                       t_send: float, t_arrive: float, error: str) -> None:
+        """A dispatch to ``worker`` failed at the transport level."""
+        self._add({
+            "kind": "failure",
+            "worker": worker, "index": index, "attempt": attempt,
+            "t_send": t_send, "t_arrive": t_arrive, "error": error,
+        })
+
+    def record_requeue(self, worker: str, index: int, attempt: int,
+                       t: float) -> None:
+        """The host put a failed unit back on the shared queue."""
+        self._add({"kind": "requeue", "worker": worker, "index": index,
+                   "attempt": attempt, "t": t})
+
+    def record_steal(self, worker: str, index: int, attempt: int,
+                     t: float) -> None:
+        """``worker`` picked up a unit another worker failed to finish."""
+        self._add({"kind": "steal", "worker": worker, "index": index,
+                   "attempt": attempt, "t": t})
+
+
+# --------------------------------------------------------------------- #
+# clock-offset estimation
+# --------------------------------------------------------------------- #
+def estimate_offsets(records: Sequence[Dict[str, Any]]
+                     ) -> Dict[str, Dict[str, Optional[float]]]:
+    """Per-worker clock offset from the minimum-RTT dispatch exchange.
+
+    For each dispatch carrying worker anchors, the NTP estimate is::
+
+        offset = ((t_recv - t_send) + (t_reply - t_arrive)) / 2
+        rtt    = (t_arrive - t_send) - (t_reply - t_recv)
+
+    where ``offset`` maps worker time into host time as
+    ``t_host = t_worker - offset`` and the estimate's error is bounded
+    by ``rtt / 2``.  The sample with the smallest RTT per worker wins
+    (ties broken by earliest send, so the choice is deterministic).
+    Workers that never returned anchors get ``{"offset": 0.0,
+    "rtt": None}`` — their spans merge uncorrected, which is the best
+    available statement.
+    """
+    best: Dict[str, Tuple[float, float, float]] = {}
+    workers = set()
+    for record in records:
+        worker = record.get("worker")
+        if not worker:
+            continue
+        workers.add(worker)
+        if record.get("kind") != "dispatch":
+            continue
+        t_send, t_arrive = record.get("t_send"), record.get("t_arrive")
+        t_recv, t_reply = record.get("t_recv"), record.get("t_reply")
+        if None in (t_send, t_arrive, t_recv, t_reply):
+            continue
+        rtt = (t_arrive - t_send) - (t_reply - t_recv)
+        if rtt < 0.0:
+            rtt = 0.0
+        offset = ((t_recv - t_send) + (t_reply - t_arrive)) / 2.0
+        key = (rtt, t_send, offset)
+        if worker not in best or key < best[worker]:
+            best[worker] = key
+    out: Dict[str, Dict[str, Optional[float]]] = {}
+    for worker in sorted(workers):
+        if worker in best:
+            rtt, _, offset = best[worker]
+            out[worker] = {"offset": offset, "rtt": rtt}
+        else:
+            out[worker] = {"offset": 0.0, "rtt": None}
+    return out
+
+
+# --------------------------------------------------------------------- #
+# timeline merge
+# --------------------------------------------------------------------- #
+def _event_sort_key(event: Dict[str, Any]) -> Tuple:
+    return (event.get("ts", 0.0), event.get("pid", 0), event.get("tid", 0),
+            event.get("name", ""), canonical_json(event.get("args", {})))
+
+
+def merge_timeline(records: Sequence[Dict[str, Any]],
+                   sweep: Optional[str] = None) -> Dict[str, Any]:
+    """One Chrome/Perfetto timeline from a sweep's fleet trace records.
+
+    Track layout: process 0 is the host, with one named thread row per
+    worker showing what the host did *toward* that worker (dispatch
+    round-trips as ``X`` spans, requeues and steals as instants);
+    processes 1..N are the workers, sorted by URL, each showing its unit
+    executions mapped into host time via :func:`estimate_offsets`.
+    Dead-worker hand-over therefore reads directly off the host track: a
+    ``dispatch`` span that ends in failure, a ``requeue`` instant, then
+    a ``steal`` instant on the surviving worker's row.
+
+    Determinism contract (test-enforced): the output depends only on the
+    *set* of records — events are sorted by content, all timestamps are
+    normalized so the earliest is 0, and unit spans are deduplicated by
+    ``(worker, index, t0)`` so a dedup-joined retry (which returns the
+    owner's execution window verbatim) adds no second span.
+    """
+    offsets = estimate_offsets(records)
+    workers = sorted(offsets)
+    pid_of = {worker: pid for pid, worker in enumerate(workers, start=1)}
+
+    spans: List[Dict[str, Any]] = []
+    seen_units = set()
+    for record in records:
+        worker = record.get("worker")
+        pid = pid_of.get(worker)
+        if pid is None:
+            continue
+        kind = record.get("kind")
+        index, attempt = record.get("index"), record.get("attempt")
+        if kind == "dispatch":
+            spans.append({
+                "name": f"dispatch unit {index}",
+                "ph": "X", "pid": 0, "tid": pid,
+                "ts": record["t_send"],
+                "dur": max(0.0, record["t_arrive"] - record["t_send"]),
+                "args": {"worker": worker, "index": index,
+                         "attempt": attempt, "seq": record.get("seq")},
+            })
+            offset = offsets[worker]["offset"] or 0.0
+            t0, t1 = record.get("t0"), record.get("t1")
+            unit_key = (worker, index, t0)
+            if t0 is not None and t1 is not None \
+                    and unit_key not in seen_units:
+                seen_units.add(unit_key)
+                spans.append({
+                    "name": f"unit {index}",
+                    "ph": "X", "pid": pid, "tid": 0,
+                    "ts": t0 - offset,
+                    "dur": max(0.0, t1 - t0),
+                    "args": {"worker": worker, "index": index,
+                             "attempt": attempt},
+                })
+        elif kind == "failure":
+            spans.append({
+                "name": f"failed dispatch unit {index}",
+                "ph": "X", "pid": 0, "tid": pid,
+                "ts": record["t_send"],
+                "dur": max(0.0, record["t_arrive"] - record["t_send"]),
+                "args": {"worker": worker, "index": index,
+                         "attempt": attempt,
+                         "error": record.get("error")},
+            })
+        elif kind in ("requeue", "steal"):
+            spans.append({
+                "name": f"{kind} unit {index}",
+                "ph": "i", "pid": 0, "tid": pid, "s": "t",
+                "ts": record["t"],
+                "args": {"worker": worker, "index": index,
+                         "attempt": attempt},
+            })
+
+    # Normalize: the sweep's earliest event is t=0, everything in µs.
+    t_min = min((span["ts"] for span in spans), default=0.0)
+    for span in spans:
+        span["ts"] = (span["ts"] - t_min) * _US
+        if "dur" in span:
+            span["dur"] = span["dur"] * _US
+    spans.sort(key=_event_sort_key)
+
+    meta: List[Dict[str, Any]] = [{
+        "name": "process_name", "ph": "M", "pid": 0,
+        "args": {"name": "host"},
+    }]
+    for worker in workers:
+        pid = pid_of[worker]
+        meta.append({"name": "process_name", "ph": "M", "pid": pid,
+                     "args": {"name": f"worker {worker}"}})
+        meta.append({"name": "thread_name", "ph": "M", "pid": 0, "tid": pid,
+                     "args": {"name": f"to {worker}"}})
+
+    return {
+        "schema": FLEET_TRACE_SCHEMA,
+        "sweep": sweep,
+        "offsets": offsets,
+        "displayTimeUnit": "ms",
+        "traceEvents": meta + spans,
+    }
+
+
+# --------------------------------------------------------------------- #
+# fleet metrics aggregation
+# --------------------------------------------------------------------- #
+def aggregate_snapshots(snapshots: Sequence[Dict[str, Any]]
+                        ) -> Dict[str, Any]:
+    """Sum ``repro.telemetry/1`` snapshots into one valid snapshot.
+
+    Counters and gauges sum per (name, label-values) series; histograms
+    sum per-bucket cumulative counts, totals and sums (bucket bounds
+    must agree — they are fixed at metric creation, so a mismatch means
+    genuinely incompatible fleets and raises).  Output families and
+    samples are sorted, so the aggregate obeys the same deterministic-
+    exposition contract as a single registry's snapshot.
+    """
+    families: Dict[str, Dict[str, Any]] = {}
+    merged: Dict[str, Dict[Tuple[str, ...], Dict[str, Any]]] = {}
+    for snapshot in snapshots:
+        for family in snapshot.get("metrics", ()):
+            name = family.get("name")
+            existing = families.get(name)
+            if existing is None:
+                families[name] = {
+                    "name": name,
+                    "type": family.get("type"),
+                    "help": family.get("help", ""),
+                    "label_names": list(family.get("label_names", ())),
+                }
+                merged[name] = {}
+            else:
+                if existing["type"] != family.get("type") or \
+                        existing["label_names"] != \
+                        list(family.get("label_names", ())):
+                    raise ValueError(
+                        f"metric {name} disagrees across the fleet: "
+                        f"{existing['type']}{existing['label_names']} vs "
+                        f"{family.get('type')}"
+                        f"{list(family.get('label_names', ()))}")
+                if not existing["help"]:
+                    existing["help"] = family.get("help", "")
+            label_names = families[name]["label_names"]
+            for sample in family.get("samples", ()):
+                labels = sample.get("labels", {})
+                key = tuple(str(labels.get(k, "")) for k in label_names)
+                slot = merged[name].get(key)
+                if families[name]["type"] == "histogram":
+                    if slot is None:
+                        merged[name][key] = {
+                            "labels": dict(labels),
+                            "buckets": [dict(b) for b in
+                                        sample.get("buckets", ())],
+                            "count": sample.get("count", 0),
+                            "sum": sample.get("sum", 0.0),
+                        }
+                        continue
+                    bounds = [b["le"] for b in slot["buckets"]]
+                    if bounds != [b["le"] for b in
+                                  sample.get("buckets", ())]:
+                        raise ValueError(
+                            f"histogram {name} bucket bounds disagree "
+                            "across the fleet")
+                    for mine, theirs in zip(slot["buckets"],
+                                            sample.get("buckets", ())):
+                        mine["count"] += theirs.get("count", 0)
+                    slot["count"] += sample.get("count", 0)
+                    slot["sum"] += sample.get("sum", 0.0)
+                else:
+                    if slot is None:
+                        merged[name][key] = {
+                            "labels": dict(labels),
+                            "value": sample.get("value", 0.0),
+                        }
+                    else:
+                        slot["value"] += sample.get("value", 0.0)
+    return {
+        "schema": TELEMETRY_SCHEMA,
+        "metrics": [
+            {
+                "name": name,
+                "type": families[name]["type"],
+                "help": families[name]["help"],
+                "label_names": families[name]["label_names"],
+                "samples": [merged[name][key]
+                            for key in sorted(merged[name])],
+            }
+            for name in sorted(families)
+        ],
+    }

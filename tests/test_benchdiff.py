@@ -138,7 +138,7 @@ def test_cli_negative_threshold_exits_two(tmp_path, capsys):
 
 
 def test_cli_profile_snapshots_round_trip(tmp_path, capsys):
-    # End-to-end over real repro.obs/3 snapshots from identical runs.
+    # End-to-end over real repro.obs/4 snapshots from identical runs.
     a = tmp_path / "p1.json"
     b = tmp_path / "p2.json"
     for path in (a, b):

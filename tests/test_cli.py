@@ -92,7 +92,7 @@ def test_profile_command(tmp_path, capsys):
     assert "communication matrix" in out
     assert "hot objects" in out
     doc = json.loads(snap.read_text())
-    assert doc["schema"] == "repro.obs/3"
+    assert doc["schema"] == "repro.obs/4"
     assert doc["comm_matrix"]["total_messages"] == \
         doc["metrics"]["total_messages"]
     chrome = json.loads(trace.read_text())
@@ -115,7 +115,7 @@ def test_run_profile_flags(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "elapsed" in out                  # the normal metrics block
     assert "communication matrix" in out     # plus the profile report
-    assert json.loads(snap.read_text())["schema"] == "repro.obs/3"
+    assert json.loads(snap.read_text())["schema"] == "repro.obs/4"
 
 
 def test_sweep_json(tmp_path, capsys):

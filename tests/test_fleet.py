@@ -335,6 +335,55 @@ def test_identity_holds_across_timeout_and_requeue(monkeypatch):
     assert _identity_holds(registry)
 
 
+def _unit_seconds_count(registry, backend="process"):
+    """Total observations in the repro_fleet_unit_seconds histogram."""
+    for family in registry.snapshot()["metrics"]:
+        if family["name"] != "repro_fleet_unit_seconds":
+            continue
+        return sum(s["count"] for s in family["samples"]
+                   if s["labels"].get("backend") == backend)
+    return 0
+
+
+def test_unit_seconds_histogram_reconciles_with_identity():
+    """Every unit that ran to an outcome (completed or errored) is one
+    histogram observation: count == completed + failed-by-error."""
+    from repro.fleet import run_units_resilient
+    from repro.telemetry.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    good = SweepUnit("water", "ipsc860", "locality", 1, "tiny")
+    bad = SweepUnit("no-such-app", "ipsc860", "locality", 2, "tiny")
+    outcome = run_units_resilient([good, bad], jobs=1, partial=True,
+                                  registry=registry)
+    assert outcome.completed == 1
+    completed = registry.counter(
+        "repro_fleet_units_completed_total", "").value()
+    failed = registry.counter("repro_fleet_units_failed_total", "").value()
+    assert _unit_seconds_count(registry) == completed + failed == 2
+    assert _identity_holds(registry)
+
+
+@pytest.mark.skipif(not _HAS_FORK, reason="worker-control tests rely on fork")
+def test_unit_seconds_histogram_skips_timed_out_units(monkeypatch):
+    """A timed-out unit has no execution window, so it is not observed;
+    the histogram still reconciles with the completed/failed counters."""
+    from repro.fleet import executor
+    from repro.telemetry.metrics import MetricsRegistry
+
+    monkeypatch.setattr(executor, "_run_unit", _hang_or_fake)
+    registry = MetricsRegistry()
+    units = _fake_units(["ok", "hang", "ok"])
+    executor.run_units_resilient(units, jobs=2, timeout=2.0, retries=0,
+                                 partial=True, registry=registry)
+    completed = registry.counter(
+        "repro_fleet_units_completed_total", "").value()
+    failed = registry.counter("repro_fleet_units_failed_total", "").value()
+    assert _unit_seconds_count(registry) == completed + failed
+    assert registry.counter(
+        "repro_fleet_units_timed_out_total", "").value() >= 1
+
+
 def test_jobs_one_timeout_warns_instead_of_silently_ignoring(caplog):
     """Regression: ``jobs=1, timeout=...`` dropped the budget without a
     trace; unattended sweeps deserve a WARNING."""

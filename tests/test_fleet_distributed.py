@@ -414,3 +414,234 @@ def test_cli_sweep_workers_require_remote_backend(capsys):
     assert main(["sweep", "--app", "water", "--scale", "tiny",
                  "--procs", "1", "--workers", "http://x:1"]) == 2
     assert "--backend remote" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------- #
+# fleet observability: metrics endpoint, trace correlation, status CLI
+# --------------------------------------------------------------------- #
+def test_worker_metrics_endpoint_prometheus_and_json(worker):
+    from repro.telemetry.metrics import parse_prometheus_text, sample_value
+    from repro.obs.schema import validate_telemetry
+
+    client = WorkerClient(worker.url)
+    unit = SweepUnit("water", "ipsc860", "locality", 1, "tiny")
+    client.run_unit("sweep-metrics", 1, 0, unit)
+    text = client.metrics_text()
+    families = parse_prometheus_text(text)
+    assert sample_value(families, "repro_worker_units_executed_total") >= 1
+    snapshot = client.metrics_json()
+    assert snapshot["schema"] == "repro.telemetry/1"
+    assert validate_telemetry(snapshot) == []
+    names = {f["name"] for f in snapshot["metrics"]}
+    assert {"repro_worker_units_executed_total",
+            "repro_worker_duplicates_joined_total",
+            "repro_worker_unit_seconds"} <= names
+
+
+def test_worker_response_carries_exec_and_telemetry_sections(worker):
+    client = WorkerClient(worker.url)
+    unit = SweepUnit("water", "ipsc860", "locality", 1, "tiny")
+    doc = client.run_unit("sweep-anchors", 1, 0, unit, attempt=2)
+    assert doc["exec"]["t0"] <= doc["exec"]["t1"]
+    assert doc["exec"]["seconds"] == pytest.approx(
+        doc["exec"]["t1"] - doc["exec"]["t0"])
+    assert doc["telemetry"]["t_recv"] <= doc["telemetry"]["t_reply"]
+    # A join returns the owner's exec window but fresh clock anchors.
+    joined = client.run_unit("sweep-anchors", 2, 0, unit, attempt=3)
+    assert joined["exec"] == doc["exec"]
+    assert joined["telemetry"]["t_recv"] >= doc["telemetry"]["t_reply"]
+
+
+def test_worker_logs_carry_correlation_fields(worker, caplog):
+    import logging
+
+    client = WorkerClient(worker.url)
+    unit = SweepUnit("water", "ipsc860", "locality", 1, "tiny")
+    with caplog.at_level(logging.INFO, logger="repro.fleet.worker"):
+        client.run_unit("sweep-log", 1, 5, unit, attempt=1)
+        time.sleep(0.2)  # the access line lands after the response
+    mine = [(r.getMessage(), r.fields) for r in caplog.records
+            if r.fields.get("sweep") == "sweep-log"]
+    events = dict(mine)
+    assert events["unit_executed"]["index"] == 5
+    assert events["unit_executed"]["attempt"] == 1
+    access = events["http_request"]
+    assert access["index"] == 5
+    assert access["attempt"] == 1 and access["status"] == 200
+
+
+def test_scrape_fleet_reports_live_and_dead_workers(worker):
+    backend = RemoteBackend([worker.url, _DEAD_URL])
+    fleet = backend.scrape_fleet(timeout=5.0)
+    by_url = {e["url"]: e for e in fleet["workers"]}
+    assert set(by_url) == {worker.url, _DEAD_URL}
+    live = by_url[worker.url]
+    assert live["health"]["status"] == "ok"
+    assert live["metrics"]["schema"] == "repro.telemetry/1"
+    dead = by_url[_DEAD_URL]
+    assert dead["metrics"] is None and "error" in dead
+
+
+def test_fleet_sweep_doc_validates_as_sweep2(worker):
+    from repro.fleet import fleet_sweep_doc
+    from repro.obs.schema import validate_snapshot
+    from repro.telemetry.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    backend = RemoteBackend([worker.url])
+    units = sweep_units("water", MachineKind.IPSC860, [1], "tiny")
+    outcome = run_units_resilient(units, jobs=1, backend=backend,
+                                  registry=registry)
+    fleet = backend.scrape_fleet(timeout=5.0)
+    fleet["host"] = registry.snapshot()
+    doc = fleet_sweep_doc("water", "ipsc860", "tiny",
+                          _rows_for(units, outcome), fleet)
+    assert doc["schema"] == "repro.sweep/2"
+    assert validate_snapshot(doc) == []
+
+
+def test_remote_sweep_trace_merges_host_and_worker_tracks(worker):
+    from repro.obs.schema import validate_snapshot
+    from repro.telemetry.fleet import FleetTraceCollector, merge_timeline
+
+    trace = FleetTraceCollector()
+    units = sweep_units("water", MachineKind.IPSC860, [1, 2], "tiny")
+    outcome = run_units_resilient(
+        units, jobs=1, backend=RemoteBackend([worker.url], trace=trace))
+    assert outcome.ok
+    assert trace.sweep is not None
+    doc = merge_timeline(trace.records, sweep=trace.sweep)
+    assert validate_snapshot(doc) == []
+    spans = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+    host = [e for e in spans if e["pid"] == 0]
+    remote = [e for e in spans if e["pid"] == 1]
+    assert len(host) == len(units)       # one dispatch span per unit
+    assert len(remote) == len(units)     # one unit span per unit
+    assert doc["offsets"][worker.url]["rtt"] is not None
+
+
+def test_trace_merge_is_reproducible_after_resume(worker, tmp_path):
+    """A checkpoint-resumed sweep yields records only for the units it
+    actually dispatched, and merging them is deterministic."""
+    from repro.fleet.backends import CheckpointBackend
+    from repro.fleet.checkpoint import CheckpointJournal
+    from repro.obs.snapshot import dump_json as _dump
+    from repro.telemetry.fleet import FleetTraceCollector, merge_timeline
+
+    units = sweep_units("water", MachineKind.IPSC860, [1], "tiny")
+    assert len(units) == 2
+    # Simulate a sweep killed after unit 0: the journal holds exactly
+    # that unit's metrics.
+    journal = CheckpointJournal(str(tmp_path / "j"))
+    journal.open_sweep(units)
+    first = executor._run_unit((0, units[0]))
+    journal.record(0, units[0], first.metrics.to_json())
+    # Resume over the full unit list: unit 0 replays from the journal,
+    # only unit 1 is dispatched and traced.
+    trace = FleetTraceCollector()
+    outcome = run_units_resilient(
+        units, jobs=1,
+        backend=CheckpointBackend(
+            RemoteBackend([worker.url], trace=trace),
+            CheckpointJournal(str(tmp_path / "j"))))
+    assert outcome.ok
+    dispatched = {r["index"] for r in trace.records}
+    assert dispatched == {1}
+    once = _dump(merge_timeline(trace.records, sweep=trace.sweep))
+    again = _dump(merge_timeline(list(reversed(trace.records)),
+                                 sweep=trace.sweep))
+    assert once == again
+
+
+def test_cli_sweep_trace_out_writes_perfetto_timeline(worker, tmp_path,
+                                                      capsys):
+    import json as _json
+
+    from repro.obs.schema import validate_snapshot
+
+    trace_path = tmp_path / "trace.json"
+    plain_path = tmp_path / "plain.json"
+    remote_path = tmp_path / "remote.json"
+    assert main(["sweep", "--app", "water", "--scale", "tiny",
+                 "--procs", "1", "2", "--jobs", "1",
+                 "--backend", "remote", "--workers", worker.url,
+                 "--trace-out", str(trace_path),
+                 "--json", str(remote_path)]) == 0
+    assert main(["sweep", "--app", "water", "--scale", "tiny",
+                 "--procs", "1", "2", "--jobs", "1",
+                 "--json", str(plain_path)]) == 0
+    out = capsys.readouterr().out
+    assert "fleet trace:" in out
+    # Tracing must not change the sweep snapshot: still repro.sweep/1,
+    # byte-identical to the serial path.
+    assert remote_path.read_bytes() == plain_path.read_bytes()
+    doc = _json.loads(trace_path.read_text())
+    assert doc["schema"] == "repro.fleet.trace/1"
+    assert validate_snapshot(doc) == []
+    pids = {e["pid"] for e in doc["traceEvents"]}
+    assert pids == {0, 1}
+
+
+def test_cli_sweep_trace_out_requires_remote_backend(capsys, tmp_path):
+    assert main(["sweep", "--app", "water", "--scale", "tiny",
+                 "--procs", "1", "--trace-out",
+                 str(tmp_path / "t.json")]) == 2
+    assert "--backend remote" in capsys.readouterr().err
+
+
+def test_cli_sweep_fleet_requires_remote_and_json(capsys, tmp_path):
+    assert main(["sweep", "--app", "water", "--scale", "tiny",
+                 "--procs", "1", "--fleet"]) == 2
+    assert "--backend remote" in capsys.readouterr().err
+    assert main(["sweep", "--app", "water", "--scale", "tiny",
+                 "--procs", "1", "--backend", "remote",
+                 "--workers", "http://x:1", "--fleet"]) == 2
+    assert "--json" in capsys.readouterr().err
+
+
+def test_cli_sweep_fleet_embeds_worker_metrics(worker, tmp_path, capsys):
+    import json as _json
+
+    from repro.obs.schema import validate_snapshot
+
+    out_path = tmp_path / "fleet.json"
+    assert main(["sweep", "--app", "water", "--scale", "tiny",
+                 "--procs", "1", "--jobs", "1",
+                 "--backend", "remote", "--workers", worker.url,
+                 "--fleet", "--json", str(out_path)]) == 0
+    capsys.readouterr()
+    doc = _json.loads(out_path.read_text())
+    assert doc["schema"] == "repro.sweep/2"
+    assert validate_snapshot(doc) == []
+    assert [w["url"] for w in doc["fleet"]["workers"]] == [worker.url]
+    assert doc["fleet"]["workers"][0]["metrics"]["schema"] \
+        == "repro.telemetry/1"
+    assert doc["fleet"]["host"]["schema"] == "repro.telemetry/1"
+
+
+def test_cli_status_fleet_dashboard_and_json(worker, capsys):
+    import json as _json
+
+    from repro.obs.schema import validate_telemetry
+
+    assert main(["status", "--fleet", worker.url]) == 0
+    out = capsys.readouterr().out
+    assert "repro fleet — 1 workers" in out
+    assert worker.url in out and "units" in out
+
+    assert main(["status", "--fleet", worker.url, "--json"]) == 0
+    snapshot = _json.loads(capsys.readouterr().out)
+    assert snapshot["schema"] == "repro.telemetry/1"
+    assert validate_telemetry(snapshot) == []
+
+
+def test_cli_status_fleet_marks_dead_workers(worker, capsys):
+    assert main(["status", "--fleet", worker.url, _DEAD_URL,
+                 "--timeout", "5"]) == 1
+    out = capsys.readouterr().out
+    assert "DOWN" in out and worker.url in out
+
+
+def test_cli_status_requires_url_or_fleet(capsys):
+    assert main(["status"]) == 2
+    assert "--fleet" in capsys.readouterr().err

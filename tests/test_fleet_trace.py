@@ -1,0 +1,227 @@
+"""Tests for fleet trace correlation: NTP offset math, deterministic
+timeline merges, and the end-to-end remote sweep trace."""
+
+import random
+
+import pytest
+
+from repro.obs.schema import FLEET_TRACE_SCHEMA, validate_snapshot
+from repro.obs.snapshot import dump_json
+from repro.telemetry.fleet import (
+    FleetTraceCollector,
+    aggregate_snapshots,
+    estimate_offsets,
+    merge_timeline,
+)
+
+W1 = "http://w1:1"
+W2 = "http://w2:2"
+
+
+def _dispatch(worker, index, t_send, t_arrive, t_recv, t_reply,
+              t0=None, t1=None, attempt=0, seq=0):
+    return {"kind": "dispatch", "worker": worker, "index": index,
+            "attempt": attempt, "seq": seq, "t_send": t_send,
+            "t_arrive": t_arrive, "t_recv": t_recv, "t_reply": t_reply,
+            "t0": t0, "t1": t1, "error": None}
+
+
+# --------------------------------------------------------------------- #
+# clock-offset estimation
+# --------------------------------------------------------------------- #
+def test_offset_exact_for_symmetric_exchange():
+    # Worker clock runs 100s ahead of the host; network delay is a
+    # symmetric 0.5s each way.  NTP recovers the offset exactly.
+    rec = _dispatch(W1, 0, t_send=10.0, t_arrive=13.0,
+                    t_recv=110.5, t_reply=112.5)
+    out = estimate_offsets([rec])
+    assert out[W1]["offset"] == pytest.approx(100.0)
+    assert out[W1]["rtt"] == pytest.approx(1.0)
+
+
+def test_offset_uses_minimum_rtt_sample():
+    # The 2s-RTT exchange is noisier than the 0.2s one; the estimate
+    # must come from the tight exchange.
+    loose = _dispatch(W1, 0, t_send=0.0, t_arrive=3.0,
+                      t_recv=51.8, t_reply=52.8)   # rtt 2.0, offset 50.8
+    tight = _dispatch(W1, 1, t_send=5.0, t_arrive=5.4,
+                      t_recv=55.1, t_reply=55.3)   # rtt 0.2, offset 50.0
+    for order in ([loose, tight], [tight, loose]):
+        out = estimate_offsets(order)
+        assert out[W1]["offset"] == pytest.approx(50.0)
+        assert out[W1]["rtt"] == pytest.approx(0.2)
+
+
+def test_offset_without_anchors_defaults_to_zero():
+    rec = _dispatch(W1, 0, t_send=0.0, t_arrive=1.0,
+                    t_recv=None, t_reply=None)
+    out = estimate_offsets([rec])
+    assert out[W1] == {"offset": 0.0, "rtt": None}
+
+
+def test_offset_clamps_negative_rtt():
+    # Worker anchors can straddle host anchors under clock weirdness;
+    # rtt must never go negative.
+    rec = _dispatch(W1, 0, t_send=0.0, t_arrive=1.0,
+                    t_recv=100.0, t_reply=101.5)
+    out = estimate_offsets([rec])
+    assert out[W1]["rtt"] == 0.0
+
+
+# --------------------------------------------------------------------- #
+# timeline merge
+# --------------------------------------------------------------------- #
+def _records():
+    recs = [
+        _dispatch(W1, 0, 0.0, 1.0, 100.2, 100.8, t0=100.3, t1=100.7,
+                  seq=0),
+        _dispatch(W2, 1, 0.1, 1.3, 200.4, 201.0, t0=200.5, t1=200.9,
+                  seq=1),
+        {"kind": "failure", "worker": W1, "index": 2, "attempt": 0,
+         "t_send": 1.1, "t_arrive": 1.2, "error": "boom"},
+        {"kind": "requeue", "worker": W1, "index": 2, "attempt": 0,
+         "t": 1.25},
+        {"kind": "steal", "worker": W2, "index": 2, "attempt": 1,
+         "t": 1.3},
+        _dispatch(W2, 2, 1.3, 2.0, 201.6, 202.0, t0=201.7, t1=201.9,
+                  attempt=1, seq=2),
+    ]
+    return recs
+
+
+def test_merge_is_deterministic_under_record_shuffle():
+    base = merge_timeline(_records(), sweep="s")
+    rng = random.Random(7)
+    for _ in range(5):
+        shuffled = _records()
+        rng.shuffle(shuffled)
+        assert dump_json(merge_timeline(shuffled, sweep="s")) \
+            == dump_json(base)
+
+
+def test_merge_normalizes_timestamps_non_negative():
+    doc = merge_timeline(_records(), sweep="s")
+    spans = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+    assert spans
+    assert min(e["ts"] for e in spans) == 0.0
+    assert all(e["ts"] >= 0.0 for e in spans)
+    assert all(e.get("dur", 0.0) >= 0.0 for e in spans)
+
+
+def test_merge_track_layout():
+    doc = merge_timeline(_records(), sweep="sweep-1")
+    assert doc["schema"] == FLEET_TRACE_SCHEMA
+    assert doc["sweep"] == "sweep-1"
+    assert validate_snapshot(doc) == []
+    events = doc["traceEvents"]
+    # Host dispatch spans live on pid 0, one tid per worker; worker unit
+    # spans live on their own pids (sorted by URL: W1 -> 1, W2 -> 2).
+    dispatch = [e for e in events if e["name"].startswith("dispatch")]
+    assert {e["pid"] for e in dispatch} == {0}
+    assert {e["tid"] for e in dispatch} == {1, 2}
+    units = [e for e in events if e["name"].startswith("unit")]
+    assert {e["pid"] for e in units} == {1, 2}
+    names = {e["name"] for e in events}
+    assert "failed dispatch unit 2" in names
+    assert "requeue unit 2" in names and "steal unit 2" in names
+    process_names = {e["args"]["name"] for e in events
+                     if e["ph"] == "M" and e["name"] == "process_name"}
+    assert process_names == {"host", f"worker {W1}", f"worker {W2}"}
+
+
+def test_merge_maps_worker_spans_into_host_time():
+    doc = merge_timeline(_records(), sweep="s")
+    units = {e["args"]["index"]: e for e in doc["traceEvents"]
+             if e["name"].startswith("unit ")}
+    dispatches = {e["args"]["index"]: e for e in doc["traceEvents"]
+                  if e["name"].startswith("dispatch ")}
+    # Offset-corrected unit spans must land inside their dispatch
+    # round-trip window (the worker executed between send and arrive).
+    for index, unit in units.items():
+        d = dispatches[index]
+        assert d["ts"] <= unit["ts"]
+        assert unit["ts"] + unit["dur"] <= d["ts"] + d["dur"] + 1e-6
+
+
+def test_merge_dedupes_joined_unit_spans():
+    # A dedup-joined retry returns the owner's exec window verbatim;
+    # the timeline must show the computation once.
+    first = _dispatch(W1, 0, 0.0, 1.0, 100.2, 100.8, t0=100.3, t1=100.7)
+    joined = _dispatch(W1, 0, 2.0, 2.5, 102.2, 102.4, t0=100.3, t1=100.7,
+                       attempt=1)
+    doc = merge_timeline([first, joined])
+    units = [e for e in doc["traceEvents"] if e["name"] == "unit 0"]
+    assert len(units) == 1
+    dispatches = [e for e in doc["traceEvents"]
+                  if e["name"] == "dispatch unit 0"]
+    assert len(dispatches) == 2
+
+
+def test_merge_empty_records():
+    doc = merge_timeline([])
+    assert validate_snapshot(doc) == []
+    assert all(e["ph"] == "M" for e in doc["traceEvents"])
+
+
+# --------------------------------------------------------------------- #
+# collector
+# --------------------------------------------------------------------- #
+def test_collector_extracts_worker_sections():
+    collector = FleetTraceCollector()
+    collector.record_dispatch(
+        W1, 3, 0, 7, 1.0, 2.0,
+        {"telemetry": {"t_recv": 10.0, "t_reply": 11.0},
+         "exec": {"t0": 10.2, "t1": 10.8, "seconds": 0.6}})
+    collector.record_dispatch(W1, 4, 0, 8, 3.0, 4.0, {})  # old worker
+    assert collector.records[0]["t_recv"] == 10.0
+    assert collector.records[0]["t0"] == 10.2
+    assert collector.records[1]["t_recv"] is None
+    doc = merge_timeline(collector.records)
+    assert validate_snapshot(doc) == []
+
+
+# --------------------------------------------------------------------- #
+# metrics aggregation
+# --------------------------------------------------------------------- #
+def _counter_snap(value):
+    return {"schema": "repro.telemetry/1", "metrics": [
+        {"name": "repro_worker_units_executed_total", "type": "counter",
+         "help": "units", "label_names": [],
+         "samples": [{"labels": {}, "value": value}]}]}
+
+
+def test_aggregate_sums_counters():
+    agg = aggregate_snapshots([_counter_snap(3), _counter_snap(4)])
+    assert agg["schema"] == "repro.telemetry/1"
+    [family] = agg["metrics"]
+    assert family["samples"][0]["value"] == 7
+
+
+def test_aggregate_sums_histograms():
+    def snap(counts, total, s):
+        return {"schema": "repro.telemetry/1", "metrics": [
+            {"name": "repro_worker_unit_seconds", "type": "histogram",
+             "help": "", "label_names": [],
+             "samples": [{"labels": {},
+                          "buckets": [{"le": 1.0, "count": counts[0]},
+                                      {"le": 5.0, "count": counts[1]}],
+                          "count": total, "sum": s}]}]}
+    agg = aggregate_snapshots([snap((1, 2), 2, 0.5), snap((0, 3), 3, 4.0)])
+    [family] = agg["metrics"]
+    [sample] = family["samples"]
+    assert [b["count"] for b in sample["buckets"]] == [1, 5]
+    assert sample["count"] == 5
+    assert sample["sum"] == pytest.approx(4.5)
+
+
+def test_aggregate_rejects_incompatible_fleets():
+    bad = _counter_snap(1)
+    bad["metrics"][0]["type"] = "gauge"
+    with pytest.raises(ValueError):
+        aggregate_snapshots([_counter_snap(1), bad])
+
+
+def test_aggregate_is_deterministic():
+    snaps = [_counter_snap(1), _counter_snap(2)]
+    assert dump_json(aggregate_snapshots(snaps)) \
+        == dump_json(aggregate_snapshots(list(reversed(snaps))))

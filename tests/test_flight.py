@@ -1,0 +1,142 @@
+"""Tests for the engine flight recorder: zero perturbation (byte
+identity), bounded memory via decimation, and repro.obs/4 validation."""
+
+import pytest
+
+from repro.apps import MachineKind
+from repro.lab.experiments import profile_app, run_app
+from repro.obs.flight import FlightRecorder
+from repro.obs.schema import PROFILE_SCHEMA, validate_profile
+from repro.obs.snapshot import dump_json
+from repro.runtime.options import LocalityLevel
+
+
+def _run(**kwargs):
+    return run_app("water", 4, MachineKind.IPSC860,
+                   LocalityLevel.LOCALITY, scale="tiny", **kwargs)
+
+
+# --------------------------------------------------------------------- #
+# zero perturbation
+# --------------------------------------------------------------------- #
+def test_flight_recorder_does_not_perturb_run():
+    # The metrics document of a run with a recorder attached must be
+    # byte-identical to a run without one: observation never feeds back.
+    plain = _run()
+    recorded = _run(flight=FlightRecorder())
+    assert dump_json(plain.to_json()) == dump_json(
+        recorded.to_json())
+
+
+def test_flight_recorder_does_not_perturb_profile():
+    _, plain = profile_app("water", 4, MachineKind.IPSC860,
+                           LocalityLevel.LOCALITY, scale="tiny")
+    recorder = FlightRecorder()
+    _, recorded = profile_app("water", 4, MachineKind.IPSC860,
+                              LocalityLevel.LOCALITY, scale="tiny",
+                              flight=recorder)
+    plain_doc = plain.to_dict()
+    recorded_doc = recorded.to_dict()
+    assert recorded_doc["flight"] is not None
+    # Everything except the flight section itself is untouched.
+    recorded_doc["flight"] = None
+    assert dump_json(plain_doc) == dump_json(recorded_doc)
+
+
+def test_flight_series_is_deterministic():
+    a = FlightRecorder()
+    b = FlightRecorder()
+    _run(flight=a)
+    _run(flight=b)
+    assert dump_json(a.to_dict()) == dump_json(b.to_dict())
+
+
+# --------------------------------------------------------------------- #
+# sampling and decimation
+# --------------------------------------------------------------------- #
+def test_flight_samples_cover_run_within_capacity():
+    recorder = FlightRecorder(capacity=32)
+    metrics = _run(flight=recorder)
+    doc = recorder.to_dict()
+    assert 0 < len(doc["samples"]) < 32
+    times = [s["t"] for s in doc["samples"]]
+    assert times == sorted(times)
+    assert len(set(times)) == len(times)
+    # The series spans the run: first sample at the start, last near the
+    # end (within one final sampling interval of it).
+    assert times[0] <= doc["interval"]
+    assert times[-1] <= metrics.elapsed
+    assert doc["decimations"] >= 1  # tiny interval forces decimation
+    assert doc["interval"] == pytest.approx(1e-6 * 2 ** doc["decimations"])
+
+
+def test_flight_samples_carry_engine_and_runtime_state():
+    recorder = FlightRecorder()
+    _run(flight=recorder)
+    sample = recorder.samples[-1]
+    assert sample["events_fired"] > 0
+    assert sample["queue_depth"] >= 0
+    assert isinstance(sample["attribution"], dict)
+    assert "locality_hits" in sample["attribution"]
+
+
+def test_flight_inflight_gauge_needs_a_profiled_run():
+    # Plain runs have no ProfileCollector, so the in-flight gauge is
+    # None; profiled runs attach the collector and the gauge fills in.
+    plain = FlightRecorder()
+    _run(flight=plain)
+    assert all(s["inflight"] is None for s in plain.samples)
+    profiled = FlightRecorder()
+    profile_app("water", 4, MachineKind.IPSC860, LocalityLevel.LOCALITY,
+                scale="tiny", flight=profiled)
+    assert any(s["inflight"] is not None for s in profiled.samples)
+
+
+def test_flight_recorder_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        FlightRecorder(capacity=1)
+    with pytest.raises(ValueError):
+        FlightRecorder(interval=0.0)
+
+
+# --------------------------------------------------------------------- #
+# schema
+# --------------------------------------------------------------------- #
+def test_profile_with_flight_validates_as_obs4():
+    recorder = FlightRecorder()
+    _, profile = profile_app("water", 4, MachineKind.IPSC860,
+                             LocalityLevel.LOCALITY, scale="tiny",
+                             flight=recorder)
+    doc = profile.to_dict()
+    assert doc["schema"] == PROFILE_SCHEMA == "repro.obs/4"
+    assert validate_profile(doc) == []
+
+
+def test_obs4_requires_flight_key():
+    _, profile = profile_app("water", 2, MachineKind.IPSC860,
+                             LocalityLevel.LOCALITY, scale="tiny")
+    doc = profile.to_dict()
+    assert doc["flight"] is None
+    assert validate_profile(doc) == []
+    del doc["flight"]
+    assert any("flight" in p for p in validate_profile(doc))
+
+
+def test_older_profile_schemas_still_validate():
+    _, profile = profile_app("water", 2, MachineKind.IPSC860,
+                             LocalityLevel.LOCALITY, scale="tiny")
+    doc = profile.to_dict()
+    del doc["flight"]
+    for version in ("repro.obs/1", "repro.obs/2", "repro.obs/3"):
+        doc["schema"] = version
+        assert validate_profile(doc) == [], version
+
+
+def test_flight_section_validation_catches_corruption():
+    recorder = FlightRecorder()
+    _, profile = profile_app("water", 2, MachineKind.IPSC860,
+                             LocalityLevel.LOCALITY, scale="tiny",
+                             flight=recorder)
+    doc = profile.to_dict()
+    doc["flight"]["samples"][0]["t"] = -1.0
+    assert validate_profile(doc)

@@ -168,7 +168,7 @@ def test_snapshot_validates_and_serializes():
     doc = profile.to_dict()
     assert validate_profile(doc) == []
     text = dump_json(doc)  # allow_nan=False: raises on Infinity/NaN
-    assert '"schema": "repro.obs/3"' in text
+    assert '"schema": "repro.obs/4"' in text
 
 
 def test_snapshot_validator_catches_corruption():

@@ -422,6 +422,16 @@ def test_repro_status_dashboard(server, capsys):
     assert "hit ratio" in out
 
 
+def test_repro_status_json_emits_raw_validated_snapshot(server, capsys):
+    from repro.obs.schema import validate_snapshot
+    from repro.__main__ import main
+
+    assert main(["status", server.url, "--json"]) == 0
+    snapshot = json.loads(capsys.readouterr().out)
+    assert snapshot["schema"] == "repro.telemetry/1"
+    assert validate_snapshot(snapshot) == []
+
+
 def test_repro_status_unreachable_is_exit_2(capsys):
     from repro.__main__ import main
 

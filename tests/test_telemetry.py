@@ -348,3 +348,38 @@ def test_render_dashboard_sections():
     assert "disk 1 entries / 2.0 KiB" in text
     assert "POST /v1/jobs" in text
     assert "dispatched 8" in text  # the fleet section appears when non-zero
+
+
+def test_render_fleet_dashboard_rows_and_totals():
+    from repro.telemetry.dashboard import render_fleet_dashboard
+
+    def snap(units, joined):
+        return {
+            "schema": TELEMETRY_SCHEMA,
+            "metrics": [
+                {"name": "repro_worker_units_executed_total",
+                 "type": "counter", "help": "", "label_names": [],
+                 "samples": [{"labels": {}, "value": units}]},
+                {"name": "repro_worker_duplicates_joined_total",
+                 "type": "counter", "help": "", "label_names": [],
+                 "samples": [{"labels": {}, "value": joined}]},
+                {"name": "repro_worker_unit_seconds", "type": "histogram",
+                 "help": "", "label_names": [],
+                 "samples": [{"labels": {},
+                              "buckets": [{"le": 1.0, "count": units}],
+                              "count": units, "sum": 0.5 * units}]},
+            ],
+        }
+
+    entries = [
+        {"url": "http://a:1", "health": {"status": "ok"},
+         "metrics": snap(3, 1)},
+        {"url": "http://b:2", "health": None, "metrics": None,
+         "error": "unreachable"},
+    ]
+    text = render_fleet_dashboard(entries)
+    assert "repro fleet — 2 workers" in text
+    assert "http://a:1  ok  units 3  joined 1" in text
+    assert "count 3, mean 0.5 s" in text
+    assert "http://b:2  DOWN  (unreachable)" in text
+    assert "total     units 3  joined 1" in text
