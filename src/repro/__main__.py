@@ -9,6 +9,8 @@ Commands
                critical path, per-optimization attribution
 ``bench-diff`` compare two bench/profile snapshots; nonzero on regression
 ``chaos``      run under a seeded fault plan; verify coherence/determinism
+``chaos-proxy`` fault-injecting HTTP proxy in front of a repro worker
+``chaos-fleet`` sweep through chaos proxies; verify bytes survive
 ``analyze``    static concurrency analysis of an application's program
 ``check``      validate access specs, detect races, verify determinism
 ``describe``   list applications, machines, optimization switches
@@ -411,7 +413,9 @@ def build_parser() -> argparse.ArgumentParser:
     an_p.set_defaults(func=cmd_analyze)
 
     from repro.check.cli import add_check_parser
+    from repro.faults.chaosfleet import add_chaos_fleet_parser
     from repro.faults.cli import add_chaos_parser
+    from repro.faults.proxy import add_chaos_proxy_parser
     from repro.fleet.worker import add_worker_parser
     from repro.obs.benchdiff import add_benchdiff_parser
     from repro.obs.cli import add_profile_parser
@@ -421,6 +425,8 @@ def build_parser() -> argparse.ArgumentParser:
     add_profile_parser(sub)
     add_benchdiff_parser(sub)
     add_chaos_parser(sub)
+    add_chaos_proxy_parser(sub)
+    add_chaos_fleet_parser(sub)
     add_serve_parser(sub)
     add_status_parser(sub)
     add_worker_parser(sub)

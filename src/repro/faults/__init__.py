@@ -15,8 +15,22 @@ hook so retracted deliveries are ordinary cancelled events).  Surviving a
 plan with a nonzero drop rate requires the reliable-delivery layer
 (:mod:`repro.runtime.reliable`); the ``repro chaos`` CLI wires the two
 together and asserts the coherence invariant still holds.
+
+:mod:`repro.faults.infra` applies the same seeded-spec discipline one
+layer up, to the *real* HTTP transport between a sweep host and its
+``repro worker`` fleet: :class:`InfraFaultSpec` drives the ``repro
+chaos-proxy`` man-in-the-middle, and ``repro chaos-fleet``
+(:mod:`repro.faults.chaosfleet`) verifies the hardened dispatch path
+survives it byte-for-byte.
 """
 
+from repro.faults.infra import (
+    NAMED_INFRA_PLANS,
+    InfraFaultPlan,
+    InfraFaultSpec,
+    RequestStall,
+    named_infra_spec,
+)
 from repro.faults.schedule import (
     FaultPlan,
     FaultSpec,
@@ -31,10 +45,15 @@ from repro.faults.schedule import (
 __all__ = [
     "FaultPlan",
     "FaultSpec",
+    "InfraFaultPlan",
+    "InfraFaultSpec",
     "LinkDegrade",
     "MessageDelay",
     "MessageDrop",
     "MessageDuplicate",
+    "NAMED_INFRA_PLANS",
     "NodeSlowdown",
     "NodeStall",
+    "RequestStall",
+    "named_infra_spec",
 ]

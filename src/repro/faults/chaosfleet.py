@@ -1,0 +1,392 @@
+"""``repro chaos-fleet``: chaos-engineer the distributed sweep path.
+
+The command stands up a miniature production fleet *inside one process*
+— N ``repro worker`` servers, each behind a fault-injecting
+:class:`~repro.faults.proxy.ChaosProxy` — and pushes a real sweep
+through it with the hardened :class:`~repro.fleet.backends.RemoteBackend`
+(circuit breakers, integrity verification, requeue-on-failure).  Two
+verdicts come out, mirroring ``repro chaos``'s coherence/determinism
+pair at the infrastructure layer:
+
+* **completed** — every unit produced metrics despite refused
+  connections, injected 503s, truncated and corrupted bodies, stall
+  windows and (optionally) one worker draining mid-sweep;
+* **byte_identical** — the merged sweep snapshot is byte-for-byte the
+  clean serial run's output.  Corruption may cost retries; it must never
+  cost a byte.
+
+The verdicts, the fault spec and three counter groups (host survival
+counters, proxy injection counters, worker observation counters) are
+emitted as a validated ``repro.chaos/2`` document.  Exit status: 0 both
+verdicts hold, 1 a verdict failed, 2 bad arguments, 3 the simulation
+raised.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+import threading
+import time
+from dataclasses import replace
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import (
+    EXIT_BAD_REQUEST,
+    EXIT_VERIFICATION_FAILED,
+    ExperimentError,
+    exit_code_for,
+)
+from repro.faults.infra import InfraFaultSpec
+from repro.telemetry.log import get_logger, log_event
+
+_log = get_logger("faults.chaosfleet")
+
+
+def _counter(registry, name: str, labels=()) -> Any:
+    """Fetch an existing instrument by name (help text is ignored)."""
+    return registry.counter(name, "", labels=tuple(labels))
+
+
+def _host_counters(registry) -> Dict[str, int]:
+    """The host-side survival counters a chaos run is judged by."""
+    breaker = _counter(registry, "repro_fleet_breaker_transitions_total",
+                       labels=("state",))
+    probes = _counter(registry, "repro_fleet_health_probes_total",
+                      labels=("outcome",))
+    return {
+        "units_dispatched": int(_counter(
+            registry, "repro_fleet_units_dispatched_total").value()),
+        "units_completed": int(_counter(
+            registry, "repro_fleet_units_completed_total").value()),
+        "units_failed": int(_counter(
+            registry, "repro_fleet_units_failed_total").value()),
+        "units_timed_out": int(_counter(
+            registry, "repro_fleet_units_timed_out_total").value()),
+        "units_retried": int(_counter(
+            registry, "repro_fleet_units_retried_total").value()),
+        "corrupt_responses": int(_counter(
+            registry, "repro_fleet_corrupt_responses_total").value()),
+        "checkpoint_quarantined": int(_counter(
+            registry, "repro_fleet_checkpoint_quarantined_total").value()),
+        "drained_dispatches": int(_counter(
+            registry, "repro_fleet_drained_dispatches_total").value()),
+        "breaker_opened": int(breaker.value(state="open")),
+        "breaker_half_open": int(breaker.value(state="half_open")),
+        "breaker_closed": int(breaker.value(state="closed")),
+        "probes_ok": int(probes.value(outcome="ok")),
+        "probes_failed": int(probes.value(outcome="failed")),
+    }
+
+
+def _worker_counters(workers: Sequence[Any]) -> Dict[str, int]:
+    """Sum what the workers themselves observed (their own registries)."""
+    totals = {
+        "units_executed": 0,
+        "duplicates_joined": 0,
+        "drain_refusals": 0,
+        "client_disconnects": 0,
+        "ledger_evicted_sweeps": 0,
+    }
+    names = {
+        "units_executed": "repro_worker_units_executed_total",
+        "duplicates_joined": "repro_worker_duplicates_joined_total",
+        "drain_refusals": "repro_worker_drain_refusals_total",
+        "client_disconnects": "repro_client_disconnects_total",
+        "ledger_evicted_sweeps": "repro_worker_ledger_evicted_sweeps_total",
+    }
+    for worker in workers:
+        for key, metric in names.items():
+            totals[key] += int(_counter(worker.registry, metric).value())
+    return totals
+
+
+def _proxy_counters(proxies: Sequence[Any]) -> Dict[str, int]:
+    """Sum the injection counters across every proxy's fault plan."""
+    totals: Dict[str, int] = {}
+    for proxy in proxies:
+        for key, value in proxy.plan.summary().items():
+            totals[key] = totals.get(key, 0) + int(value)
+    return totals
+
+
+class _DrainTrigger:
+    """Drain one worker mid-sweep, once N units have completed.
+
+    Polls the host's completed-units counter (observation only — the
+    counter moves exactly once per merged unit) and calls
+    ``worker.drain()``, the same method the worker's SIGTERM handler
+    runs: in-flight units finish, new dispatches get 503 + Retry-After,
+    the host requeues them on the surviving workers.
+    """
+
+    def __init__(self, worker: Any, registry: Any, after_units: int) -> None:
+        self.worker = worker
+        self.after_units = after_units
+        self.fired = False
+        self._completed = _counter(registry,
+                                   "repro_fleet_units_completed_total")
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run,
+                                        name="chaos-drain-trigger",
+                                        daemon=True)
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            if self._completed.value() >= self.after_units:
+                self.fired = True
+                log_event(_log, logging.INFO, "chaos_drain_triggered",
+                          worker=self.worker.url,
+                          after_units=self.after_units)
+                self.worker.drain(timeout=60.0)
+                return
+            self._stop.wait(0.01)
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+def run_chaos_fleet(
+    app: str,
+    machine: "Any",
+    procs: Sequence[int],
+    scale: str,
+    spec: InfraFaultSpec,
+    n_workers: int = 2,
+    retries: int = 8,
+    request_timeout: float = 300.0,
+    drain_after: Optional[int] = None,
+    trace: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """One full chaos-fleet verification; returns the ``repro.chaos/2`` doc.
+
+    ``drain_after`` > 0 drains one worker after that many units complete
+    (requires ``n_workers >= 2`` so the sweep can finish on the rest);
+    ``None`` picks half the sweep, ``0`` disables the drain.  Each proxy
+    gets the spec re-seeded with ``spec.seed + proxy index`` so the
+    fleet's workers do not suffer identical fault sequences, while the
+    whole injection pattern stays a pure function of the seed.
+    """
+    from repro.fleet.backends import RemoteBackend
+    from repro.fleet.executor import (
+        run_units_resilient,
+        sweep_snapshot_doc,
+        sweep_units,
+    )
+    from repro.fleet.worker import WorkerServer
+    from repro.lab.experiments import ExperimentRow
+    from repro.faults.proxy import ChaosProxy
+    from repro.obs.schema import CHAOS_FLEET_SCHEMA
+    from repro.obs.snapshot import dump_json
+    from repro.telemetry.metrics import MetricsRegistry
+
+    if n_workers < 1:
+        raise ExperimentError(
+            f"chaos-fleet needs at least one worker, got {n_workers}")
+    units = sweep_units(app, machine, list(procs), scale)
+    if drain_after is None:
+        drain_after = len(units) // 2 if n_workers >= 2 else 0
+    if drain_after and n_workers < 2:
+        raise ExperimentError(
+            "draining a worker mid-sweep needs --workers >= 2 (the "
+            "remaining workers must finish the sweep)")
+
+    # The clean reference: the serial path whose bytes every backend
+    # must reproduce.
+    serial = run_units_resilient(units, jobs=1,
+                                 registry=MetricsRegistry())
+    serial_rows = [
+        ExperimentRow(app, unit.machine, unit.level, unit.procs, metrics)
+        for unit, metrics in zip(units, serial.metrics)
+    ]
+    serial_text = dump_json(sweep_snapshot_doc(
+        app, machine.value, scale, serial_rows)) + "\n"
+
+    workers: List[WorkerServer] = []
+    proxies: List[ChaosProxy] = []
+    trigger: Optional[_DrainTrigger] = None
+    registry = MetricsRegistry()
+    try:
+        for i in range(n_workers):
+            worker = WorkerServer(port=0, registry=MetricsRegistry())
+            worker.start_background()
+            workers.append(worker)
+            proxy = ChaosProxy(worker.url,
+                               replace(spec, seed=spec.seed + i),
+                               request_timeout=request_timeout)
+            proxy.start_background()
+            proxies.append(proxy)
+        if drain_after:
+            trigger = _DrainTrigger(workers[-1], registry, drain_after)
+            trigger.start()
+        backend = RemoteBackend([proxy.url for proxy in proxies],
+                                request_timeout=request_timeout,
+                                trace=trace)
+        outcome = run_units_resilient(
+            units, jobs=1, retries=retries, partial=True,
+            registry=registry, backend=backend)
+    finally:
+        if trigger is not None:
+            trigger.stop()
+        for proxy in proxies:
+            proxy.stop()
+        for worker in workers:
+            if not worker.draining:
+                worker.stop()
+
+    completed = outcome.ok and all(m is not None for m in outcome.metrics)
+    byte_identical = False
+    if completed:
+        rows = [
+            ExperimentRow(app, unit.machine, unit.level, unit.procs,
+                          metrics)
+            for unit, metrics in zip(units, outcome.metrics)
+        ]
+        chaos_text = dump_json(sweep_snapshot_doc(
+            app, machine.value, scale, rows)) + "\n"
+        byte_identical = chaos_text == serial_text
+
+    return {
+        "schema": CHAOS_FLEET_SCHEMA,
+        "sweep": {
+            "app": app,
+            "machine": machine.value,
+            "scale": scale,
+            "units": len(units),
+            "workers": n_workers,
+            "drain_after": drain_after,
+            "drained": bool(trigger is not None and trigger.fired),
+            "failures": [f.describe() for f in outcome.failures],
+        },
+        "fault_spec": spec.to_json(),
+        "counters": {
+            "host": _host_counters(registry),
+            "proxy": _proxy_counters(proxies),
+            "worker": _worker_counters(workers),
+        },
+        "verdicts": {
+            "completed": completed,
+            "byte_identical": byte_identical,
+        },
+    }
+
+
+# ---------------------------------------------------------------------- #
+# CLI: ``repro chaos-fleet``
+# ---------------------------------------------------------------------- #
+def add_chaos_fleet_parser(sub) -> None:
+    """Register ``chaos-fleet`` on an argparse subparsers object."""
+    from repro.apps import ALL_APPLICATIONS
+    from repro.faults.proxy import add_infra_spec_args
+    from repro.telemetry.log import add_logging_args
+
+    p = sub.add_parser(
+        "chaos-fleet",
+        help="sweep through fault-injecting proxies; verify bytes survive",
+        description="Run a sweep against in-process workers fronted by "
+                    "chaos proxies under a seeded infrastructure fault "
+                    "plan, and verify the merged snapshot is byte-"
+                    "identical to the clean serial run. Emits a validated "
+                    "repro.chaos/2 verdict document.",
+    )
+    p.add_argument("--app", default="water",
+                   choices=sorted(ALL_APPLICATIONS))
+    p.add_argument("--machine", default="ipsc860",
+                   choices=["ipsc860", "dash"])
+    p.add_argument("--scale", default="tiny", choices=["tiny", "paper"],
+                   help="chaos-fleet defaults to tiny: the sweep runs "
+                        "twice (clean serial + chaos)")
+    p.add_argument("--procs", type=int, nargs="+", default=[1, 2])
+    p.add_argument("--workers", type=int, default=2,
+                   help="in-process repro workers, one chaos proxy each "
+                        "(default 2)")
+    p.add_argument("--retries", type=int, default=8,
+                   help="extra dispatch attempts per unit beyond one per "
+                        "worker (default 8 — chaos burns attempts)")
+    p.add_argument("--request-timeout", type=float, default=300.0)
+    p.add_argument("--drain-after", type=int, default=None,
+                   help="drain one worker after this many completed units "
+                        "(default: half the sweep; 0 disables)")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="write the validated repro.chaos/2 verdict "
+                        "document")
+    p.add_argument("--trace-out", metavar="PATH", default=None,
+                   help="write the merged fleet trace timeline "
+                        "(Chrome/Perfetto JSON)")
+    add_infra_spec_args(p, default_plan="nasty")
+    add_logging_args(p)
+    p.set_defaults(func=cmd_chaos_fleet)
+
+
+def cmd_chaos_fleet(args) -> int:
+    from repro.apps import MachineKind
+    from repro.errors import ReproError
+    from repro.faults.proxy import spec_from_args
+    from repro.obs.schema import assert_valid
+    from repro.obs.snapshot import dump_json
+    from repro.telemetry.fleet import FleetTraceCollector, merge_timeline
+    from repro.telemetry.log import configure_from_args
+
+    configure_from_args(args, default_level="info")
+    try:
+        spec = spec_from_args(args)
+        machine = MachineKind(args.machine)
+        if args.workers < 1 or args.retries < 0:
+            raise ExperimentError(
+                "--workers must be >= 1 and --retries >= 0")
+    except (ExperimentError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_BAD_REQUEST
+
+    trace = FleetTraceCollector() if args.trace_out else None
+    t0 = time.monotonic()
+    try:
+        doc = run_chaos_fleet(
+            args.app, machine, args.procs, args.scale, spec,
+            n_workers=args.workers, retries=args.retries,
+            request_timeout=args.request_timeout,
+            drain_after=args.drain_after, trace=trace)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
+    assert_valid(doc)
+    elapsed = time.monotonic() - t0
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(dump_json(doc) + "\n")
+    if args.trace_out and trace is not None:
+        timeline = merge_timeline(trace.records, sweep=trace.sweep)
+        with open(args.trace_out, "w", encoding="utf-8") as fh:
+            fh.write(dump_json(timeline) + "\n")
+
+    host = doc["counters"]["host"]
+    proxy = doc["counters"]["proxy"]
+    verdicts = doc["verdicts"]
+    print(f"chaos-fleet: {args.app} on {args.machine} ({args.scale}), "
+          f"{doc['sweep']['units']} units across {args.workers} workers "
+          f"[{spec.describe()}] in {elapsed:.1f}s")
+    print(f"  injected: {proxy.get('connections_refused', 0)} refused, "
+          f"{proxy.get('responses_errored', 0)} errored, "
+          f"{proxy.get('responses_truncated', 0)} truncated, "
+          f"{proxy.get('responses_corrupted', 0)} corrupted, "
+          f"{proxy.get('requests_stalled', 0)} stalled")
+    print(f"  survived: {host['units_retried']} requeued, "
+          f"{host['corrupt_responses']} corrupt responses rejected, "
+          f"{host['drained_dispatches']} drained dispatches, "
+          f"{host['breaker_opened']} breaker opens, "
+          f"{host['probes_ok']} probes ok")
+    print(f"  completed: {str(verdicts['completed']).lower()}  "
+          f"byte_identical: {str(verdicts['byte_identical']).lower()}")
+    if verdicts["completed"] and verdicts["byte_identical"]:
+        print("chaos-fleet verdict: PASS — every injected fault was "
+              "survived and no byte changed")
+        return 0
+    for failure in doc["sweep"]["failures"]:
+        print(f"  failure: {failure}", file=sys.stderr)
+    print("chaos-fleet verdict: FAIL", file=sys.stderr)
+    return EXIT_VERIFICATION_FAILED

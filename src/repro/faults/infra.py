@@ -1,0 +1,288 @@
+"""Infrastructure fault model: what a real network does to HTTP.
+
+:mod:`repro.faults.schedule` perturbs the *simulated* message fabric;
+this module perturbs the *real* dispatch transport between a sweep host
+and its ``repro worker`` processes — the faults PR 8's fleet will
+actually meet at scale.  Same design rules as :class:`FaultSpec`:
+
+* :class:`InfraFaultSpec` is declarative and immutable — a seed, one
+  probability per fault type, and explicit worker-stall windows over the
+  proxy's request ordinals.
+* :class:`InfraFaultPlan` is one proxy's live instance: per-fault RNG
+  substreams (``infra.refuse``, ``infra.error``, ...) drawn in request
+  order, so the decision sequence is a pure function of the spec and the
+  request count.  **Zero-rate fault types draw no RNG**: enabling one
+  fault never shifts another's decision stream, and an all-zero spec is
+  contractually a byte-transparent proxy.
+
+The fault taxonomy, applied by :class:`repro.faults.proxy.ChaosProxy`
+to unit dispatches:
+
+* **refuse** — the connection is closed before any response bytes
+  (looks like a worker that died between accept and reply);
+* **error** — an injected HTTP 503 with a structured error body (a
+  worker or load balancer shedding load);
+* **delay** — the response is held for an exponentially-distributed
+  extra beat (congestion);
+* **truncate** — correct headers, then the body stops early (a worker
+  killed mid-write; the advertised Content-Length never arrives);
+* **corrupt** — one byte of the response body is flipped (the fault the
+  host's checksum verification exists to catch);
+* **stall windows** — every request whose ordinal falls inside
+  ``[start, end)`` is held for ``hold_s`` wall seconds before
+  forwarding (a worker that froze mid-sweep and came back).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ExperimentError
+from repro.util.rng import substream
+
+
+@dataclass(frozen=True)
+class RequestStall:
+    """Requests with ordinal in ``[start, end)`` are held ``hold_s``."""
+
+    start: int
+    end: int
+    hold_s: float
+
+
+@dataclass(frozen=True)
+class InfraDecision:
+    """The plan's verdict for one proxied request (at most one mutation).
+
+    ``refuse`` and ``error`` preempt forwarding entirely; ``truncate``
+    and ``corrupt`` are mutually exclusive (a truncated body already
+    fails integrity, corrupting it too would double-count); ``delay_s``
+    and ``stall_s`` compose with anything.
+    """
+
+    refuse: bool = False
+    error: Optional[int] = None
+    delay_s: float = 0.0
+    truncate: bool = False
+    corrupt: bool = False
+    stall_s: float = 0.0
+
+    @property
+    def clean(self) -> bool:
+        return (not self.refuse and self.error is None
+                and self.delay_s == 0.0 and not self.truncate
+                and not self.corrupt and self.stall_s == 0.0)
+
+
+@dataclass(frozen=True)
+class InfraFaultSpec:
+    """Declarative transport fault model: seed + rates + stall windows.
+
+    All rates are per-request probabilities in ``[0, 1]``.  An all-zero
+    spec is valid and injects nothing — by contract a proxy under it
+    forwards byte-verbatim and draws no RNG at all.
+    """
+
+    seed: int = 0
+    #: Probability the connection is closed before any response bytes.
+    refuse_rate: float = 0.0
+    #: Probability an HTTP 503 is injected instead of forwarding.
+    error_rate: float = 0.0
+    #: Probability the response is delayed, and the mean extra delay (ms).
+    delay_rate: float = 0.0
+    delay_ms: float = 20.0
+    #: Probability the response body is cut off mid-stream.
+    truncate_rate: float = 0.0
+    #: Probability one byte of the response body is flipped.
+    corrupt_rate: float = 0.0
+    #: Worker-stall windows over the proxy's request ordinals.
+    stalls: Tuple[RequestStall, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("refuse_rate", "error_rate", "delay_rate",
+                     "truncate_rate", "corrupt_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ExperimentError(
+                    f"infra fault {name} must be in [0, 1], got {rate!r}")
+        if self.delay_ms < 0:
+            raise ExperimentError(
+                f"infra fault delay_ms must be >= 0, got {self.delay_ms!r}")
+        for stall in self.stalls:
+            if stall.end <= stall.start or stall.start < 0 \
+                    or stall.hold_s < 0:
+                raise ExperimentError(
+                    f"malformed request-stall window {stall!r}")
+
+    # ------------------------------------------------------------------ #
+    @property
+    def perturbs_requests(self) -> bool:
+        """True when any per-request fault can fire."""
+        return (self.refuse_rate > 0.0 or self.error_rate > 0.0
+                or self.delay_rate > 0.0 or self.truncate_rate > 0.0
+                or self.corrupt_rate > 0.0)
+
+    @property
+    def any_faults(self) -> bool:
+        return self.perturbs_requests or bool(self.stalls)
+
+    def describe(self) -> str:
+        """Short stable description for logs and snapshot provenance."""
+        bits = [f"seed={self.seed}"]
+        for name, rate in (("refuse", self.refuse_rate),
+                           ("error", self.error_rate),
+                           ("delay", self.delay_rate),
+                           ("truncate", self.truncate_rate),
+                           ("corrupt", self.corrupt_rate)):
+            if rate > 0.0:
+                bits.append(f"{name}={rate:g}")
+        if self.stalls:
+            bits.append(f"stalls={len(self.stalls)}")
+        return ",".join(bits)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "refuse_rate": self.refuse_rate,
+            "error_rate": self.error_rate,
+            "delay_rate": self.delay_rate,
+            "delay_ms": self.delay_ms,
+            "truncate_rate": self.truncate_rate,
+            "corrupt_rate": self.corrupt_rate,
+            "stalls": [
+                {"start": s.start, "end": s.end, "hold_s": s.hold_s}
+                for s in self.stalls
+            ],
+        }
+
+
+#: Named plans for ``repro chaos-proxy --plan`` / ``repro chaos-fleet
+#: --plan``.  Rates are deliberately modest: the point is that the fleet
+#: *completes identically* under them, not that it suffers maximally.
+NAMED_INFRA_PLANS: Dict[str, InfraFaultSpec] = {
+    "none": InfraFaultSpec(),
+    "flaky": InfraFaultSpec(refuse_rate=0.10, delay_rate=0.20,
+                            delay_ms=10.0),
+    "lossy": InfraFaultSpec(truncate_rate=0.10, corrupt_rate=0.10),
+    "nasty": InfraFaultSpec(refuse_rate=0.08, error_rate=0.06,
+                            delay_rate=0.12, delay_ms=8.0,
+                            truncate_rate=0.06, corrupt_rate=0.06,
+                            stalls=(RequestStall(3, 5, 0.3),)),
+}
+
+
+def named_infra_spec(name: str, seed: int = 0) -> InfraFaultSpec:
+    """The named preset re-seeded with ``seed``."""
+    try:
+        base = NAMED_INFRA_PLANS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown infra fault plan {name!r}; valid: "
+            f"{', '.join(sorted(NAMED_INFRA_PLANS))}") from None
+    return replace(base, seed=seed)
+
+
+class InfraFaultPlan:
+    """One proxy's fault decisions, drawn deterministically from a spec.
+
+    :meth:`decide` is called once per faultable request, in arrival
+    order, under the plan's own lock (the proxy serves threads
+    concurrently; the decision *sequence* stays deterministic, which
+    request draws which decision follows arrival order).  Per-fault
+    substreams keep the streams independent: turning a fault type on or
+    off never changes any other type's draws.
+    """
+
+    def __init__(self, spec: InfraFaultSpec) -> None:
+        self.spec = spec
+        self._lock = threading.Lock()
+        self._ordinal = 0
+        self._refuse_rng = substream(spec.seed, "infra.refuse")
+        self._error_rng = substream(spec.seed, "infra.error")
+        self._delay_rng = substream(spec.seed, "infra.delay")
+        self._truncate_rng = substream(spec.seed, "infra.truncate")
+        self._corrupt_rng = substream(spec.seed, "infra.corrupt")
+        self._corrupt_byte_rng = substream(spec.seed, "infra.corrupt.byte")
+        self.counters: Dict[str, int] = {
+            "requests_seen": 0,
+            "connections_refused": 0,
+            "responses_errored": 0,
+            "responses_delayed": 0,
+            "responses_truncated": 0,
+            "responses_corrupted": 0,
+            "requests_stalled": 0,
+        }
+
+    # ------------------------------------------------------------------ #
+    def decide(self) -> InfraDecision:
+        """Draw the fault verdict for the next request.
+
+        Zero-rate fault types consume no RNG draws.  A refused or
+        errored request still consumes this ordinal's draws for the
+        delivery faults — the decision stream per fault type depends
+        only on how many requests were seen, never on which earlier
+        faults fired.
+        """
+        spec = self.spec
+        with self._lock:
+            ordinal = self._ordinal
+            self._ordinal += 1
+            self.counters["requests_seen"] += 1
+            stall_s = 0.0
+            for stall in spec.stalls:
+                if stall.start <= ordinal < stall.end:
+                    stall_s = max(stall_s, stall.hold_s)
+            if stall_s > 0.0:
+                self.counters["requests_stalled"] += 1
+            refuse = (spec.refuse_rate > 0.0
+                      and self._refuse_rng.random() < spec.refuse_rate)
+            error = (spec.error_rate > 0.0
+                     and self._error_rng.random() < spec.error_rate)
+            delay_s = 0.0
+            if spec.delay_rate > 0.0 \
+                    and self._delay_rng.random() < spec.delay_rate:
+                delay_s = (float(self._delay_rng.exponential(spec.delay_ms))
+                           * 1e-3 if spec.delay_ms > 0 else 0.0)
+            truncate = (spec.truncate_rate > 0.0
+                        and self._truncate_rng.random() < spec.truncate_rate)
+            corrupt = (spec.corrupt_rate > 0.0
+                       and self._corrupt_rng.random() < spec.corrupt_rate)
+            if truncate and corrupt:
+                corrupt = False
+            if refuse:
+                error, delay_s, truncate, corrupt = False, 0.0, False, False
+                self.counters["connections_refused"] += 1
+                return InfraDecision(refuse=True, stall_s=stall_s)
+            if error:
+                delay_s, truncate, corrupt = 0.0, False, False
+                self.counters["responses_errored"] += 1
+                return InfraDecision(error=503, stall_s=stall_s)
+            if delay_s > 0.0:
+                self.counters["responses_delayed"] += 1
+            if truncate:
+                self.counters["responses_truncated"] += 1
+            if corrupt:
+                self.counters["responses_corrupted"] += 1
+            return InfraDecision(delay_s=delay_s, truncate=truncate,
+                                 corrupt=corrupt, stall_s=stall_s)
+
+    def corrupt_body(self, body: bytes) -> bytes:
+        """Flip one seeded-random byte of ``body`` (unchanged if empty)."""
+        if not body:
+            return body
+        with self._lock:
+            offset = int(self._corrupt_byte_rng.integers(0, len(body)))
+        mutated = bytearray(body)
+        mutated[offset] ^= 0x01
+        return bytes(mutated)
+
+    # ------------------------------------------------------------------ #
+    def summary(self) -> Dict[str, int]:
+        """The injection counters (exact totals)."""
+        with self._lock:
+            return dict(self.counters)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<InfraFaultPlan {self.spec.describe()} {self.counters}>"

@@ -1,0 +1,331 @@
+"""``repro chaos-proxy``: a fault-injecting HTTP man-in-the-middle.
+
+The proxy sits between a sweep host and one ``repro worker`` and applies
+an :class:`~repro.faults.infra.InfraFaultPlan` to the dispatch path —
+the *real* dispatch path: the host speaks to the proxy exactly as it
+would to a worker, the worker never knows the proxy exists, and every
+fault the host survives is therefore survived by the production code,
+not by a test double.
+
+Scope: faults apply only to ``POST /v1/units`` (the dispatch path whose
+integrity the fleet's hardening defends).  Health and metrics requests
+forward untouched — the breaker's half-open probes must measure the
+*worker*, and observability must not be able to un-finish a sweep.
+With an all-zero spec every request (units included) forwards
+byte-verbatim and no RNG is drawn: ``chaos-proxy --plan none`` is
+contractually a transparent TCP relay at the HTTP layer.
+
+The proxy's own counters are served at ``GET /chaos/v1/counters`` (a
+path no worker endpoint occupies), so CI can scrape what was injected
+without touching the plan object.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import socket
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import EXIT_BAD_REQUEST, ExperimentError
+from repro.faults.infra import (
+    NAMED_INFRA_PLANS,
+    InfraFaultPlan,
+    InfraFaultSpec,
+    RequestStall,
+    named_infra_spec,
+)
+from repro.telemetry.log import get_logger, log_event
+
+_log = get_logger("faults.proxy")
+
+#: The proxy's own management prefix (never forwarded).
+_CHAOS_PREFIX = "/chaos/v1/"
+
+
+class ChaosProxy:
+    """One worker's fault-injecting reverse proxy (port 0 = free port)."""
+
+    def __init__(self, upstream: str, spec: InfraFaultSpec,
+                 host: str = "127.0.0.1", port: int = 0,
+                 request_timeout: float = 300.0) -> None:
+        self.upstream = upstream.rstrip("/")
+        self.plan = InfraFaultPlan(spec)
+        self.request_timeout = request_timeout
+        handler = _make_handler(self)
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def url(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start_background(self) -> None:
+        self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                        name="chaos-proxy-http",
+                                        daemon=True)
+        self._thread.start()
+        log_event(_log, logging.INFO, "chaos_proxy_started", url=self.url,
+                  upstream=self.upstream, spec=self.plan.spec.describe())
+
+    def join(self) -> None:
+        if self._thread is not None:
+            self._thread.join()
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    # ------------------------------------------------------------------ #
+    def forward(self, method: str, path: str, body: Optional[bytes],
+                content_type: Optional[str]
+                ) -> Tuple[int, str, bytes, Optional[str]]:
+        """Relay one request upstream; returns (status, ctype, body, retry).
+
+        An upstream HTTP error is a *response* (its status and body relay
+        verbatim — the host's error taxonomy must survive the proxy); an
+        unreachable upstream becomes a 502 with a structured body.
+        """
+        headers: Dict[str, str] = {}
+        if content_type:
+            headers["Content-Type"] = content_type
+        req = urllib.request.Request(self.upstream + path, data=body,
+                                     headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(
+                    req, timeout=self.request_timeout) as resp:
+                return (resp.status,
+                        resp.headers.get("Content-Type",
+                                         "application/json"),
+                        resp.read(),
+                        resp.headers.get("Retry-After"))
+        except urllib.error.HTTPError as exc:
+            return (exc.code,
+                    exc.headers.get("Content-Type", "application/json"),
+                    exc.read(),
+                    exc.headers.get("Retry-After"))
+        except (urllib.error.URLError, socket.timeout, OSError) as exc:
+            payload = json.dumps({
+                "error": f"chaos proxy upstream {self.upstream} "
+                         f"unreachable: {exc}",
+                "type": "ExperimentError",
+                "exit_code": EXIT_BAD_REQUEST,
+            }).encode("utf-8")
+            return 502, "application/json", payload, None
+
+    def counters_doc(self) -> Dict[str, Any]:
+        return {
+            "upstream": self.upstream,
+            "spec": self.plan.spec.to_json(),
+            "counters": self.plan.summary(),
+        }
+
+
+def _make_handler(proxy: ChaosProxy):
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        def log_message(self, fmt, *args):  # noqa: D102 - silence stderr
+            pass
+
+        # -- plumbing --------------------------------------------------- #
+        def _reply(self, status: int, ctype: str, body: bytes,
+                   retry_after: Optional[str] = None,
+                   truncate: bool = False) -> None:
+            try:
+                self.send_response(status)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                if retry_after is not None:
+                    self.send_header("Retry-After", retry_after)
+                if truncate:
+                    # The advertised length will never arrive: close the
+                    # connection after the partial write so the client
+                    # sees IncompleteRead, exactly like a worker killed
+                    # mid-response.
+                    self.send_header("Connection", "close")
+                self.end_headers()
+                self.wfile.write(body[:len(body) // 2] if truncate
+                                 else body)
+            except (BrokenPipeError, ConnectionResetError):
+                pass  # the client gave up first; nothing to salvage
+            if truncate:
+                self.close_connection = True
+
+        def _refuse(self) -> None:
+            """Abort the connection with no response bytes at all."""
+            try:
+                self.connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self.close_connection = True
+
+        def _read_body(self) -> bytes:
+            length = int(self.headers.get("Content-Length", 0))
+            return self.rfile.read(length) if length else b""
+
+        def _relay(self, faultable: bool) -> None:
+            body = self._read_body() if self.command == "POST" else None
+            decision = proxy.plan.decide() if faultable else None
+            if decision is not None and decision.stall_s > 0.0:
+                time.sleep(decision.stall_s)
+            if decision is not None and decision.refuse:
+                log_event(_log, logging.INFO, "chaos_refused",
+                          path=self.path)
+                self._refuse()
+                return
+            if decision is not None and decision.error is not None:
+                log_event(_log, logging.INFO, "chaos_errored",
+                          path=self.path, status=decision.error)
+                self._reply(decision.error, "application/json", json.dumps({
+                    "error": "chaos proxy injected a server error",
+                    "type": "ExperimentError",
+                    "exit_code": EXIT_BAD_REQUEST,
+                }).encode("utf-8"))
+                return
+            status, ctype, payload, retry_after = proxy.forward(
+                self.command, self.path, body,
+                self.headers.get("Content-Type"))
+            if decision is not None and decision.delay_s > 0.0:
+                time.sleep(decision.delay_s)
+            if decision is not None and decision.corrupt:
+                log_event(_log, logging.INFO, "chaos_corrupted",
+                          path=self.path, nbytes=len(payload))
+                payload = proxy.plan.corrupt_body(payload)
+            truncate = bool(decision is not None and decision.truncate
+                            and payload)
+            if truncate:
+                log_event(_log, logging.INFO, "chaos_truncated",
+                          path=self.path, nbytes=len(payload))
+            self._reply(status, ctype, payload, retry_after=retry_after,
+                        truncate=truncate)
+
+        # -- verbs ------------------------------------------------------ #
+        def do_GET(self):  # noqa: N802 - http.server API
+            if self.path == _CHAOS_PREFIX + "counters":
+                self._reply(200, "application/json",
+                            json.dumps(proxy.counters_doc()).encode("utf-8"))
+                return
+            self._relay(faultable=False)
+
+        def do_POST(self):  # noqa: N802 - http.server API
+            self._relay(faultable=self.path == "/v1/units")
+
+    return Handler
+
+
+# ---------------------------------------------------------------------- #
+# CLI: ``repro chaos-proxy``
+# ---------------------------------------------------------------------- #
+def add_infra_spec_args(p, default_plan: str = "none") -> None:
+    """The shared ``--plan``/rate flags (chaos-proxy and chaos-fleet)."""
+    p.add_argument("--plan", default=default_plan,
+                   choices=sorted(NAMED_INFRA_PLANS),
+                   help=f"named fault plan (default {default_plan})")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--refuse-rate", type=float, default=None)
+    p.add_argument("--error-rate", type=float, default=None)
+    p.add_argument("--delay-rate", type=float, default=None)
+    p.add_argument("--delay-ms", type=float, default=None)
+    p.add_argument("--truncate-rate", type=float, default=None)
+    p.add_argument("--corrupt-rate", type=float, default=None)
+    p.add_argument("--stall", action="append", default=None,
+                   metavar="START:END:HOLD_S",
+                   help="hold requests with ordinal in [START, END) for "
+                        "HOLD_S seconds (repeatable; overrides the plan's "
+                        "windows)")
+
+
+def spec_from_args(args) -> InfraFaultSpec:
+    """Resolve the named plan plus explicit rate overrides."""
+    from dataclasses import replace
+
+    spec = named_infra_spec(args.plan, seed=args.seed)
+    overrides: Dict[str, Any] = {}
+    for flag, field in (("refuse_rate", "refuse_rate"),
+                        ("error_rate", "error_rate"),
+                        ("delay_rate", "delay_rate"),
+                        ("delay_ms", "delay_ms"),
+                        ("truncate_rate", "truncate_rate"),
+                        ("corrupt_rate", "corrupt_rate")):
+        value = getattr(args, flag)
+        if value is not None:
+            overrides[field] = value
+    if args.stall is not None:
+        windows = []
+        for text in args.stall:
+            parts = text.split(":")
+            if len(parts) != 3:
+                raise ExperimentError(
+                    f"--stall expects START:END:HOLD_S, got {text!r}")
+            try:
+                windows.append(RequestStall(int(parts[0]), int(parts[1]),
+                                            float(parts[2])))
+            except ValueError as exc:
+                raise ExperimentError(
+                    f"--stall expects START:END:HOLD_S, got {text!r}: "
+                    f"{exc}") from exc
+        overrides["stalls"] = tuple(windows)
+    return replace(spec, **overrides) if overrides else spec
+
+
+def add_chaos_proxy_parser(sub) -> None:
+    """Register ``chaos-proxy`` on an argparse subparsers object."""
+    from repro.telemetry.log import add_logging_args
+
+    p = sub.add_parser(
+        "chaos-proxy",
+        help="fault-injecting HTTP proxy in front of a repro worker",
+        description="Relay requests to an upstream `repro worker`, "
+                    "applying a seeded infrastructure fault plan to unit "
+                    "dispatches (POST /v1/units). The proxy's injection "
+                    "counters are served at GET /chaos/v1/counters.",
+    )
+    p.add_argument("--upstream", required=True,
+                   help="the worker URL to relay to")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=0,
+                   help="bind port; 0 picks a free port (default 0)")
+    p.add_argument("--request-timeout", type=float, default=300.0,
+                   help="upstream request timeout in seconds")
+    add_infra_spec_args(p, default_plan="none")
+    add_logging_args(p)
+    p.set_defaults(func=cmd_chaos_proxy)
+
+
+def cmd_chaos_proxy(args) -> int:
+    from repro.telemetry.log import configure_from_args
+
+    configure_from_args(args, default_level="info")
+    try:
+        spec = spec_from_args(args)
+        proxy = ChaosProxy(args.upstream, spec, host=args.host,
+                           port=args.port,
+                           request_timeout=args.request_timeout)
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_BAD_REQUEST
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_BAD_REQUEST
+    proxy.start_background()
+    print(f"repro chaos-proxy listening on {proxy.url} -> {args.upstream} "
+          f"[{spec.describe()}]", flush=True)
+    try:
+        proxy.join()
+    except KeyboardInterrupt:
+        print("\nshutting down", file=sys.stderr)
+        proxy.stop()
+    return 0

@@ -19,7 +19,13 @@ from repro.fleet.backends import (
     RemoteBackend,
     create_backend,
 )
+from repro.fleet.breaker import (
+    BackoffSchedule,
+    CircuitBreaker,
+    retry_after_s,
+)
 from repro.fleet.checkpoint import (
+    CheckpointCorruption,
     CheckpointJournal,
     iter_sweep_snapshot_chunks,
     write_sweep_snapshot_stream,
@@ -41,8 +47,11 @@ from repro.fleet.executor import (
 
 __all__ = [
     "BackendConfig",
+    "BackoffSchedule",
     "CheckpointBackend",
+    "CheckpointCorruption",
     "CheckpointJournal",
+    "CircuitBreaker",
     "FLEET_BACKENDS",
     "FleetBackend",
     "PayloadMetrics",
@@ -57,6 +66,7 @@ __all__ = [
     "iter_sweep_snapshot_chunks",
     "parallel_locality_sweep",
     "resilient_locality_sweep",
+    "retry_after_s",
     "run_units",
     "run_units_resilient",
     "sweep_snapshot_doc",

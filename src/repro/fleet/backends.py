@@ -16,7 +16,12 @@ order); a :class:`FleetBackend` owns *where* the units execute:
   a re-dispatched unit is computed once and joined by every duplicate
   request, a lost or timed-out dispatch is requeued for the next free
   worker (bounded by ``len(workers) + retries`` attempts per unit), and
-  a worker that strikes out repeatedly is dropped from the rotation;
+  a worker that fails repeatedly trips a per-worker circuit breaker
+  (:mod:`repro.fleet.breaker`): it leaves the rotation for a seeded
+  exponential backoff, is re-admitted by a successful half-open health
+  probe, and is removed permanently only after ``max_opens`` cycles
+  without one.  Every response is integrity-verified (``unit_key`` echo
+  plus payload checksum) before it can touch the merge;
 * :class:`CheckpointBackend` — a wrapper around either of the above that
   journals every completed unit's metrics to disk
   (:mod:`repro.fleet.checkpoint`) *as it completes* and recovers
@@ -325,19 +330,32 @@ class RemoteBackend(FleetBackend):
     on ``(sweep, index)``, so a unit re-dispatched after a timeout is
     computed once even if the first request is still running there.
 
-    A failed attempt (connection refused, HTTP error, timeout) requeues
-    the unit for the next free worker, up to ``len(workers) +
-    config.retries`` attempts; the worker that failed it accrues a
-    strike and leaves the rotation at ``max_strikes``.  When every
-    attempt is exhausted — or every worker has left — the unit becomes a
-    :class:`UnitFailure` (reason ``"timeout"`` or ``"remote"``): partial
-    mode keeps going, strict mode aborts the sweep.
+    A failed attempt (connection refused, HTTP error, timeout, or a
+    response that fails integrity verification) requeues the unit for
+    the next free worker, up to ``len(workers) + config.retries``
+    attempts, and counts against the failing worker's
+    :class:`~repro.fleet.breaker.CircuitBreaker`: ``max_strikes``
+    consecutive failures open the breaker, the worker sits out a seeded
+    exponential backoff, and each expiry admits exactly one ``GET
+    /v1/health`` probe — a healthy answer (``status == "ok"``; a
+    draining worker reports ``"draining"`` and stays out) re-admits the
+    worker, ``max_opens`` cycles without one removes it permanently.
+    When every attempt is exhausted — or every worker has left — the
+    unit becomes a :class:`UnitFailure` (reason ``"timeout"`` or
+    ``"remote"``): partial mode keeps going, strict mode aborts.
+
+    Integrity: every response must echo the dispatched ``unit_key`` and
+    carry a ``checksum`` matching
+    :func:`repro.fleet.worker.response_checksum` over its result fields.
+    A mismatch (or an undecodable/truncated body) is a transport failure
+    — the unit requeues and recomputes; corrupt bytes never merge.
 
     An optional :class:`~repro.telemetry.fleet.FleetTraceCollector`
     (``trace``) receives one record per dispatch round-trip, failure,
-    requeue and steal — the raw material ``repro sweep --trace-out``
-    merges into a fleet timeline.  Recording is host-side observation
-    only; sweep output bytes are identical with or without it.
+    requeue, steal and breaker transition — the raw material ``repro
+    sweep --trace-out`` merges into a fleet timeline.  Recording is
+    host-side observation only; sweep output bytes are identical with or
+    without it.
     """
 
     name = "remote"
@@ -345,7 +363,11 @@ class RemoteBackend(FleetBackend):
     def __init__(self, workers: Sequence[str],
                  request_timeout: float = 300.0,
                  max_strikes: int = 3,
-                 trace: Optional[Any] = None) -> None:
+                 trace: Optional[Any] = None,
+                 breaker_seed: int = 0,
+                 max_opens: int = 6,
+                 backoff_base_s: float = 0.05,
+                 backoff_max_s: float = 2.0) -> None:
         if not workers:
             raise ExperimentError(
                 "remote backend needs at least one worker URL")
@@ -356,9 +378,36 @@ class RemoteBackend(FleetBackend):
         self.request_timeout = request_timeout
         self.max_strikes = max_strikes
         self.trace = trace
+        self.breaker_seed = breaker_seed
+        self.max_opens = max_opens
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
+
+    def _make_breaker(self, url: str, progress: _Progress
+                      ) -> "CircuitBreaker":
+        from repro.fleet.breaker import BackoffSchedule, CircuitBreaker
+
+        trace = self.trace
+
+        def note(state: str) -> None:
+            progress.breaker(state)
+            if trace is not None:
+                trace.record_breaker(url, state, time.monotonic())
+            log_event(_log, logging.INFO, "breaker_transition",
+                      worker=url, state=state)
+
+        return CircuitBreaker(
+            BackoffSchedule(seed=self.breaker_seed,
+                            label=f"breaker.{url}",
+                            base_s=self.backoff_base_s,
+                            max_s=self.backoff_max_s),
+            failure_threshold=self.max_strikes,
+            max_opens=self.max_opens,
+            on_transition=note)
 
     def execute(self, indexed, config, outcome, progress):
-        from repro.fleet.worker import WorkerClient, WorkerError
+        from repro.fleet.worker import (WorkerClient, WorkerError,
+                                        response_checksum)
 
         for _, unit in indexed:
             if unit.options is not None:
@@ -406,10 +455,65 @@ class RemoteBackend(FleetBackend):
             elif state["remaining"] == 0:
                 done.set()
 
+        def verify_response(url: str, index: int, unit: SweepUnit,
+                            doc: Dict[str, Any]) -> None:
+            # A response only enters the merge if the worker echoed the
+            # unit we dispatched and its result fields hash to the
+            # checksum it stamped; anything else is a transport failure
+            # (reason ``corrupt``) and the unit recomputes elsewhere.
+            expected_key = unit.unit_key()
+            if doc.get("unit_key") != expected_key:
+                raise WorkerError(
+                    f"worker {url} answered unit {index} with unit_key "
+                    f"{doc.get('unit_key')!r} (expected {expected_key!r})",
+                    corrupt=True)
+            stamped = doc.get("checksum")
+            if stamped != response_checksum(doc):
+                raise WorkerError(
+                    f"worker {url} response for unit {index} fails its "
+                    f"payload checksum (stamped {stamped!r}); the body "
+                    "was corrupted in transit", corrupt=True)
+
+        def probe(url: str, client, breaker, now: float) -> None:
+            # The single half-open admission: one cheap health round-trip
+            # decides re-admission.  A draining worker reports
+            # ``status: "draining"`` — truthfully alive, but refusing
+            # work — so only ``"ok"`` closes the breaker.
+            error: Optional[str] = None
+            try:
+                health = client.health()
+                if health.get("status") != "ok":
+                    error = f"worker status {health.get('status')!r}"
+            except WorkerError as exc:
+                error = str(exc)
+            t_done = time.monotonic()
+            if error is None:
+                breaker.record_success(t_done)
+                progress.probe("ok")
+                log_event(_log, logging.INFO, "remote_worker_readmitted",
+                          worker=url)
+            else:
+                breaker.record_failure(t_done)
+                progress.probe("failed")
+                log_event(_log, logging.WARNING, "remote_probe_failed",
+                          worker=url, error=error, opens=breaker.opens)
+
         def pump(url: str) -> None:
             client = WorkerClient(url, timeout=timeout)
-            strikes = 0
+            breaker = self._make_breaker(url, progress)
             while not done.is_set():
+                now = time.monotonic()
+                if not breaker.allow_dispatch(now):
+                    if breaker.exhausted:
+                        log_event(_log, logging.WARNING,
+                                  "remote_worker_removed", worker=url,
+                                  opens=breaker.opens)
+                        break
+                    if breaker.allow_probe(now):
+                        probe(url, client, breaker, now)
+                        continue
+                    done.wait(min(0.05, max(0.005, breaker.wait_s(now))))
+                    continue
                 with lock:
                     item = queue.popleft() if queue else None
                     if item is not None and item[2] == url \
@@ -444,16 +548,24 @@ class RemoteBackend(FleetBackend):
                 try:
                     doc = client.run_unit(sweep_id, seq, index, unit,
                                           attempt=attempts)
+                    verify_response(url, index, unit, doc)
                 except WorkerError as exc:
+                    t_fail = time.monotonic()
                     if trace is not None:
                         trace.record_failure(url, index, attempts, t_send,
-                                             time.monotonic(), str(exc))
-                    strikes += 1
+                                             t_fail, str(exc))
+                    if exc.corrupt:
+                        progress.corrupt()
+                    elif exc.status == 503 and (
+                            exc.retry_after is not None
+                            or "draining" in str(exc)):
+                        progress.drained_dispatch()
+                    breaker.record_failure(t_fail)
                     attempts += 1
                     log_event(_log, logging.WARNING, "remote_dispatch_failed",
                               worker=url, unit=unit.describe(), index=index,
-                              attempts=attempts, strikes=strikes,
-                              error=str(exc))
+                              attempts=attempts, corrupt=exc.corrupt,
+                              breaker=breaker.state, error=str(exc))
                     with lock:
                         if attempts >= max_attempts:
                             resolve_failure(index, unit, attempts, exc)
@@ -463,14 +575,12 @@ class RemoteBackend(FleetBackend):
                             if trace is not None:
                                 trace.record_requeue(url, index, attempts,
                                                      time.monotonic())
-                    if strikes >= self.max_strikes:
-                        break
                     continue
                 t_arrive = time.monotonic()
                 if trace is not None:
                     trace.record_dispatch(url, index, attempts, seq,
                                           t_send, t_arrive, doc)
-                strikes = 0
+                breaker.record_success(t_arrive)
                 exec_window = doc.get("exec") or {}
                 metrics = PayloadMetrics(doc["metrics"]) \
                     if doc.get("metrics") is not None else None
@@ -505,7 +615,7 @@ class RemoteBackend(FleetBackend):
                             "rerun with live workers or --backend process"))
                     done.set()
             log_event(_log, logging.INFO, "remote_worker_done", worker=url,
-                      strikes=strikes)
+                      breaker=breaker.state, opens=breaker.opens)
 
         threads = [threading.Thread(target=pump, args=(url,), daemon=True,
                                     name=f"fleet-dispatch-{i}")
@@ -573,20 +683,28 @@ class CheckpointBackend(FleetBackend):
         journaled = self.journal.completed_indices()
         results: List[_WorkerResult] = []
         fresh: List[Tuple[int, SweepUnit]] = []
+        quarantined = 0
         for pair in indexed:
             index, unit = pair
-            if index in journaled:
-                payload = self.journal.load(index, unit)
+            payload = self.journal.recover(index, unit) \
+                if index in journaled else None
+            if payload is not None:
                 result = _WorkerResult(index,
                                        metrics=PayloadMetrics(payload))
                 results.append(result)
                 progress.resumed(result)
             else:
+                if index in journaled:
+                    # The file existed but could not be trusted: recover()
+                    # quarantined it, and the unit re-runs like any other.
+                    quarantined += 1
+                    progress.quarantined()
                 fresh.append(pair)
         if journaled:
             log_event(_log, logging.INFO, "sweep_resumed",
                       journal=self.journal.directory,
-                      resumed=len(results), fresh=len(fresh))
+                      resumed=len(results), fresh=len(fresh),
+                      quarantined=quarantined)
         if not fresh:
             return results
         prev_sink = progress.sink

@@ -1,0 +1,199 @@
+"""Circuit breakers and seeded backoff: the fleet's self-healing core.
+
+A dead or draining worker must neither hang a sweep (every dispatch to
+it waiting out the full request timeout) nor be thrown away forever on
+the first hiccup (a worker mid-restart is back in seconds).  The classic
+answer is a per-worker circuit breaker:
+
+* **closed** — dispatches flow; consecutive failures are counted.
+* **open** — after ``failure_threshold`` consecutive failures the
+  breaker opens and the worker leaves the dispatch rotation for a
+  backoff interval (exponential in the number of open cycles).
+* **half-open** — when the interval expires, exactly one cheap health
+  probe is allowed.  Success closes the breaker (the worker re-enters
+  the rotation); failure re-opens it with a deeper backoff.  After
+  ``max_opens`` consecutive open cycles without a successful probe the
+  breaker is **exhausted** and the worker is removed permanently.
+
+Backoff delays come from :class:`BackoffSchedule` — exponential growth
+with *seeded* jitter drawn from a :func:`repro.util.rng.substream`, so
+two runs with the same seed back off identically (the repo's
+determinism-by-construction rule applies to recovery timing too, which
+is what makes breaker tests exact instead of sleep-and-hope).  The same
+primitive prices the ``Retry-After`` header of the serve layer's
+overload shedding, so every "come back later" the system emits is drawn
+from one schedule family.
+
+Nothing here is transport-specific: the breaker sees only
+``record_success``/``record_failure`` calls and answers "may I dispatch
+/ probe now?" — :class:`repro.fleet.backends.RemoteBackend` owns the
+wiring.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from repro.errors import ExperimentError
+from repro.util.rng import substream
+
+#: Breaker states (stable strings: they label telemetry counters and
+#: fleet-trace instants).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class BackoffSchedule:
+    """Deterministic exponential backoff with seeded jitter.
+
+    ``delay(cycle)`` returns ``base * factor**cycle`` capped at ``max_s``,
+    multiplied by ``1 + jitter * u`` where ``u`` is the next draw from
+    the ``(seed, label)`` substream.  Distinct labels (one per worker
+    URL) give independent jitter streams, so a fleet's workers do not
+    retry in lockstep, yet the whole timing pattern is a pure function
+    of the seed.  ``jitter=0`` draws no RNG at all.
+    """
+
+    def __init__(self, seed: int = 0, label: str = "backoff",
+                 base_s: float = 0.05, factor: float = 2.0,
+                 max_s: float = 5.0, jitter: float = 0.5) -> None:
+        if base_s <= 0 or max_s < base_s:
+            raise ExperimentError(
+                f"backoff needs 0 < base_s <= max_s, got "
+                f"base_s={base_s!r} max_s={max_s!r}")
+        if factor < 1.0:
+            raise ExperimentError(
+                f"backoff factor must be >= 1, got {factor!r}")
+        if not 0.0 <= jitter <= 1.0:
+            raise ExperimentError(
+                f"backoff jitter must be in [0, 1], got {jitter!r}")
+        self.base_s = base_s
+        self.factor = factor
+        self.max_s = max_s
+        self.jitter = jitter
+        self._rng = substream(seed, f"backoff.{label}")
+
+    def delay(self, cycle: int) -> float:
+        """Seconds to wait after the ``cycle``-th consecutive failure."""
+        raw = min(self.base_s * (self.factor ** max(0, cycle)), self.max_s)
+        if self.jitter > 0.0:
+            raw *= 1.0 + self.jitter * float(self._rng.random())
+        return raw
+
+
+class CircuitBreaker:
+    """One worker's closed/open/half-open dispatch gate.
+
+    Thread-safe (the pump thread and observers may race), but designed
+    for a single driving thread: :meth:`allow_probe` admits exactly one
+    probe per open cycle.  ``on_transition`` (if given) fires with the
+    new state name on every state change — the backends hang telemetry
+    counters and trace instants off it.
+    """
+
+    def __init__(self, backoff: BackoffSchedule,
+                 failure_threshold: int = 3, max_opens: int = 8,
+                 on_transition: Optional[Callable[[str], None]] = None
+                 ) -> None:
+        if failure_threshold < 1:
+            raise ExperimentError(
+                f"failure_threshold must be >= 1, got {failure_threshold}")
+        if max_opens < 1:
+            raise ExperimentError(
+                f"max_opens must be >= 1, got {max_opens}")
+        self.backoff = backoff
+        self.failure_threshold = failure_threshold
+        self.max_opens = max_opens
+        self.on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opens = 0          # consecutive open cycles without success
+        self._open_until = 0.0
+        self._probe_admitted = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    @property
+    def opens(self) -> int:
+        """Consecutive open cycles since the last success."""
+        with self._lock:
+            return self._opens
+
+    @property
+    def exhausted(self) -> bool:
+        """True once ``max_opens`` cycles passed without a good probe."""
+        with self._lock:
+            return self._opens >= self.max_opens
+
+    def _transition(self, state: str) -> None:
+        # lock held by caller
+        self._state = state
+        if self.on_transition is not None:
+            self.on_transition(state)
+
+    # ------------------------------------------------------------------ #
+    def allow_dispatch(self, now: float) -> bool:
+        """May a real unit be dispatched right now? (closed state only)"""
+        with self._lock:
+            if self._state == OPEN and now >= self._open_until:
+                self._probe_admitted = False
+                self._transition(HALF_OPEN)
+            return self._state == CLOSED
+
+    def allow_probe(self, now: float) -> bool:
+        """May a health probe go out? True exactly once per half-open."""
+        with self._lock:
+            if self._state == OPEN and now >= self._open_until:
+                self._probe_admitted = False
+                self._transition(HALF_OPEN)
+            if self._state == HALF_OPEN and not self._probe_admitted:
+                self._probe_admitted = True
+                return True
+            return False
+
+    def wait_s(self, now: float) -> float:
+        """Seconds until the open interval expires (0 when not open)."""
+        with self._lock:
+            if self._state != OPEN:
+                return 0.0
+            return max(0.0, self._open_until - now)
+
+    # ------------------------------------------------------------------ #
+    def record_success(self, now: float) -> None:
+        """A dispatch or probe succeeded: close and reset everything."""
+        with self._lock:
+            self._failures = 0
+            self._opens = 0
+            if self._state != CLOSED:
+                self._transition(CLOSED)
+
+    def record_failure(self, now: float) -> None:
+        """A dispatch or probe failed: count, open at the threshold."""
+        with self._lock:
+            self._failures += 1
+            if self._state == HALF_OPEN \
+                    or (self._state == CLOSED
+                        and self._failures >= self.failure_threshold):
+                self._failures = 0
+                self._open_until = now + self.backoff.delay(self._opens)
+                self._opens += 1
+                self._transition(OPEN)
+
+
+def retry_after_s(schedule: BackoffSchedule, cycle: int) -> int:
+    """An integer ``Retry-After`` value (>= 1 s) from a backoff schedule.
+
+    Shared by the worker's drain refusals and the serve layer's 429
+    shedding: whole seconds because the header is specified as integer
+    seconds, floored at 1 so a client never busy-loops on zero.
+    """
+    import math
+
+    return max(1, int(math.ceil(schedule.delay(cycle))))

@@ -31,17 +31,34 @@ holds more than one unit's metrics in memory.
 from __future__ import annotations
 
 import json
+import logging
 import os
-from typing import Any, Dict, Iterator, List, Sequence, Set
+from typing import Any, Dict, Iterator, Optional, Sequence, Set
 
 from repro.errors import ExperimentError
 from repro.fleet.executor import SweepUnit
+from repro.telemetry.log import get_logger, log_event
 from repro.util.canon import canonical_json, content_key
+
+_log = get_logger("fleet.checkpoint")
 
 CHECKPOINT_SCHEMA = "repro.fleet.checkpoint/1"
 
 _MANIFEST = "MANIFEST.json"
 _UNIT_FMT = "unit-%06d.json"
+_QUARANTINE_DIR = "quarantine"
+
+
+class CheckpointCorruption(ExperimentError):
+    """A journaled unit file that cannot be trusted.
+
+    Raised by :meth:`CheckpointJournal.load` for torn/truncated JSON, a
+    checksum that does not match the payload, a missing checksum, or a
+    ``unit_key`` naming a different unit.  The resume path
+    (:meth:`CheckpointJournal.recover`) answers it by quarantining the
+    file and recomputing the unit — corruption costs one re-run, never a
+    crash and never a silently merged wrong result.
+    """
 
 
 def sweep_key(units: Sequence[SweepUnit]) -> str:
@@ -106,27 +123,92 @@ class CheckpointJournal:
     def load(self, index: int, unit: SweepUnit) -> Dict[str, Any]:
         """The journaled metrics payload for ``unit`` at ``index``.
 
-        Validates the stored ``unit_key`` against the unit being resumed;
-        a mismatch means the directory holds some other sweep's data.
+        Strict: torn/truncated JSON, a payload that does not hash to the
+        stored ``checksum`` (or has none), or a ``unit_key`` naming a
+        different unit all raise :class:`CheckpointCorruption` — the
+        streaming merge must never emit a byte it cannot vouch for.  Use
+        :meth:`recover` on the resume path to quarantine-and-recompute
+        instead of failing.
         """
         path = os.path.join(self.directory, _UNIT_FMT % index)
-        with open(path, "r", encoding="utf-8") as fh:
-            doc = json.load(fh)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise CheckpointCorruption(
+                f"checkpoint entry {path} is torn or truncated: "
+                f"{exc}") from exc
+        if not isinstance(doc, dict) or "metrics" not in doc:
+            raise CheckpointCorruption(
+                f"checkpoint entry {path} is not a unit document")
         expected = unit.unit_key()
         if doc.get("unit_key") != expected:
-            raise ExperimentError(
+            raise CheckpointCorruption(
                 f"checkpoint entry {path} was journaled for a different "
                 f"unit (unit_key {doc.get('unit_key')!r} != {expected!r})")
+        checksum = doc.get("checksum")
+        computed = content_key(doc["metrics"])
+        if checksum != computed:
+            raise CheckpointCorruption(
+                f"checkpoint entry {path} fails its payload checksum "
+                f"(stored {checksum!r} != computed {computed!r}); the "
+                "file was corrupted on disk")
         return doc["metrics"]
+
+    # -- corruption recovery -------------------------------------------- #
+    def quarantine(self, index: int) -> str:
+        """Move a corrupt unit file into ``quarantine/``; return the path.
+
+        The original bytes are preserved for post-mortem (never deleted,
+        never re-read by a resume); a later re-record of the same index
+        writes a fresh file in the journal proper.
+        """
+        src = os.path.join(self.directory, _UNIT_FMT % index)
+        qdir = os.path.join(self.directory, _QUARANTINE_DIR)
+        os.makedirs(qdir, exist_ok=True)
+        dest = os.path.join(qdir, _UNIT_FMT % index)
+        n = 0
+        while os.path.exists(dest):
+            n += 1
+            dest = os.path.join(qdir, _UNIT_FMT % index + f".{n}")
+        os.replace(src, dest)
+        return dest
+
+    def recover(self, index: int, unit: SweepUnit
+                ) -> Optional[Dict[str, Any]]:
+        """Resume-path load: the payload, or ``None`` after quarantining.
+
+        A missing file returns ``None`` (nothing to recover); a corrupt
+        one is quarantined and logged, and the caller recomputes the
+        unit — the recomputed result re-journals through the normal
+        sink, so the final snapshot is byte-identical to an undamaged
+        run.
+        """
+        try:
+            return self.load(index, unit)
+        except FileNotFoundError:
+            return None
+        except CheckpointCorruption as exc:
+            quarantined = self.quarantine(index)
+            log_event(_log, logging.WARNING, "checkpoint_quarantined",
+                      index=index, quarantined=quarantined,
+                      error=str(exc))
+            return None
 
     # -- writes --------------------------------------------------------- #
     def record(self, index: int, unit: SweepUnit,
                payload: Dict[str, Any]) -> None:
-        """Journal one completed unit (atomic: tmp + rename)."""
+        """Journal one completed unit (atomic: tmp + rename).
+
+        ``checksum`` is the payload's content address — cheap at write
+        time, and the difference between detecting a torn or bit-flipped
+        file on resume and silently merging garbage.
+        """
         path = os.path.join(self.directory, _UNIT_FMT % index)
         self._write_atomic(path, canonical_json(
             {"index": index, "unit": unit.to_json(),
-             "unit_key": unit.unit_key(), "metrics": payload},
+             "unit_key": unit.unit_key(), "metrics": payload,
+             "checksum": content_key(payload)},
             indent=2) + "\n")
 
     def _write_atomic(self, path: str, text: str) -> None:

@@ -290,6 +290,28 @@ def _fleet_instruments(registry: Optional[MetricsRegistry]) -> Dict[str, Any]:
             "Requeued units picked up by a different worker than their "
             "previous attempt, by fleet backend",
             labels=("backend",)),
+        "corrupt": registry.counter(
+            "repro_fleet_corrupt_responses_total",
+            "Worker responses rejected by integrity verification "
+            "(checksum or unit_key mismatch, truncated/unparseable body) "
+            "and requeued — corrupt bytes are never merged"),
+        "quarantined": registry.counter(
+            "repro_fleet_checkpoint_quarantined_total",
+            "Checkpoint journal entries quarantined on resume "
+            "(torn/truncated/bad-checksum files; the unit recomputes)"),
+        "breaker_transitions": registry.counter(
+            "repro_fleet_breaker_transitions_total",
+            "Per-worker circuit breaker state transitions, by new state",
+            labels=("state",)),
+        "drained": registry.counter(
+            "repro_fleet_drained_dispatches_total",
+            "Dispatches refused by a draining worker (503 + Retry-After; "
+            "the unit requeues elsewhere)"),
+        "probes": registry.counter(
+            "repro_fleet_health_probes_total",
+            "Half-open breaker health probes, by outcome (ok readmits the "
+            "worker, failed deepens the backoff)",
+            labels=("outcome",)),
         "unit_seconds": registry.histogram(
             "repro_fleet_unit_seconds",
             "Wall-clock seconds per recorded sweep unit, by fleet backend "
@@ -345,6 +367,27 @@ class _Progress:
 
     def steal(self, count: int, backend: str) -> None:
         self.instruments["backend_steal"].inc(count, backend=backend)
+
+    # Self-healing accounting (remote backend + checkpoint recovery) ---- #
+    def corrupt(self) -> None:
+        """One worker response failed integrity verification (requeued)."""
+        self.instruments["corrupt"].inc()
+
+    def quarantined(self) -> None:
+        """One corrupt checkpoint entry quarantined (unit recomputes)."""
+        self.instruments["quarantined"].inc()
+
+    def breaker(self, state: str) -> None:
+        """One circuit-breaker state transition."""
+        self.instruments["breaker_transitions"].inc(state=state)
+
+    def drained_dispatch(self) -> None:
+        """One dispatch refused by a draining worker (503, requeued)."""
+        self.instruments["drained"].inc()
+
+    def probe(self, outcome: str) -> None:
+        """One half-open health probe resolved (``ok`` or ``failed``)."""
+        self.instruments["probes"].inc(outcome=outcome)
 
     # Result-side accounting -------------------------------------------- #
     def record(self, result: _WorkerResult) -> None:

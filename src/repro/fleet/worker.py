@@ -40,15 +40,18 @@ path's :class:`~repro.fleet.executor._WorkerResult`.
 
 from __future__ import annotations
 
+import http.client
 import json
 import logging
 import os
+import signal
 import socket
 import sys
 import threading
 import time
 import urllib.error
 import urllib.request
+from collections import OrderedDict
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 
@@ -73,14 +76,47 @@ class WorkerError(ExperimentError):
     ``timed_out`` distinguishes a blown deadline (the unit may still be
     running on the worker — the dedup ledger makes a re-dispatch safe)
     from a transport failure; ``exit_code`` carries the taxonomy code of
-    a structured error body when the worker returned one.
+    a structured error body when the worker returned one.  ``status`` is
+    the HTTP status when there was one (503 = the worker is draining or
+    shedding — requeue elsewhere, honoring ``retry_after``); ``corrupt``
+    marks a response that arrived but failed integrity verification
+    (undecodable, truncated, or checksum/unit_key mismatch) — never
+    merged, always recomputed.
     """
 
     def __init__(self, message: str, timed_out: bool = False,
-                 exit_code: Optional[int] = None) -> None:
+                 exit_code: Optional[int] = None,
+                 status: Optional[int] = None,
+                 retry_after: Optional[float] = None,
+                 corrupt: bool = False) -> None:
         super().__init__(message)
         self.timed_out = timed_out
         self.exit_code = exit_code
+        self.status = status
+        self.retry_after = retry_after
+        self.corrupt = corrupt
+
+
+def response_checksum(doc: Dict[str, Any]) -> str:
+    """Content address of a unit response's result-bearing fields.
+
+    Covers exactly the fields the host merges into sweep results
+    (``index``, ``metrics``, ``error``, ``trace``, ``pid``) — the worker
+    stamps it on every response, the host recomputes it on arrival, and
+    a mismatch is a transport failure, never a silent corruption.  The
+    per-request ``telemetry``/``exec`` anchors are deliberately outside
+    the checksum: they are observability, re-stamped per exchange, and
+    corrupting them cannot change any merged byte.
+    """
+    from repro.util.canon import content_key
+
+    return content_key({
+        "index": doc.get("index"),
+        "metrics": doc.get("metrics"),
+        "error": doc.get("error"),
+        "trace": doc.get("trace"),
+        "pid": doc.get("pid"),
+    })
 
 
 # ---------------------------------------------------------------------- #
@@ -96,15 +132,49 @@ class _LedgerEntry:
         self.response: Optional[Dict[str, Any]] = None
 
 
+class _QuietHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that treats client disconnects as data.
+
+    A client that goes away mid-response (killed host, chaos proxy
+    refusing the connection) raises BrokenPipeError/ConnectionResetError
+    out of the handler; the stock ``handle_error`` prints a traceback per
+    occurrence, which under churn floods the log with non-errors.  Count
+    them instead (``disconnect_hook``) and stay quiet; anything else
+    still reports normally.
+    """
+
+    daemon_threads = True
+    disconnect_hook: Optional[Any] = None
+
+    def handle_error(self, request, client_address):  # noqa: D102
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (BrokenPipeError, ConnectionResetError)):
+            if self.disconnect_hook is not None:
+                self.disconnect_hook()
+            return
+        super().handle_error(request, client_address)
+
+
 class WorkerServer:
     """A unit-executor HTTP server (thread-per-request, port 0 = free)."""
+
+    #: Sweeps retained in the dedup ledger.  A long-lived worker sees an
+    #: unbounded stream of sweeps but only the most recent few can still
+    #: produce late duplicate dispatches; older *fully-completed* sweeps
+    #: are evicted LRU (a sweep with an in-flight computation is never
+    #: evicted — a join may still be waiting on its event).
+    MAX_LEDGER_SWEEPS = 4
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8764,
                  registry: Optional[MetricsRegistry] = None) -> None:
         self._lock = threading.Lock()
-        self._ledger: Dict[Tuple[str, int], _LedgerEntry] = {}
+        self._ledger: "OrderedDict[str, Dict[int, _LedgerEntry]]" = \
+            OrderedDict()
         self.units_executed = 0
         self.duplicates_joined = 0
+        self._draining = False
+        self._inflight = 0
+        self._drained = threading.Event()
         self.registry = registry if registry is not None \
             else default_registry()
         self._units_total = self.registry.counter(
@@ -116,9 +186,22 @@ class WorkerServer:
         self._unit_seconds = self.registry.histogram(
             "repro_worker_unit_seconds",
             "Wall-clock seconds per owner unit execution.")
+        self._evictions_total = self.registry.counter(
+            "repro_worker_ledger_evicted_sweeps_total",
+            "Completed sweeps evicted from the dedup ledger (LRU bound).")
+        self._ledger_entries = self.registry.gauge(
+            "repro_worker_ledger_entries",
+            "Unit computations currently held in the dedup ledger.")
+        self._drain_refusals = self.registry.counter(
+            "repro_worker_drain_refusals_total",
+            "Unit dispatches refused with 503 while draining.")
+        self._disconnects = self.registry.counter(
+            "repro_client_disconnects_total",
+            "HTTP clients that disconnected mid-response (suppressed, "
+            "not errors).")
         handler = _make_handler(self)
-        self._httpd = ThreadingHTTPServer((host, port), handler)
-        self._httpd.daemon_threads = True
+        self._httpd = _QuietHTTPServer((host, port), handler)
+        self._httpd.disconnect_hook = self.note_disconnect
         self._thread: Optional[threading.Thread] = None
 
     @property
@@ -145,6 +228,66 @@ class WorkerServer:
             self._thread.join(timeout=5.0)
             self._thread = None
 
+    # -- graceful drain (the SIGTERM protocol) -------------------------- #
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_unit(self) -> bool:
+        """Admit one unit dispatch; False once draining (send 503)."""
+        with self._lock:
+            if self._draining:
+                self._drain_refusals.inc()
+                return False
+            self._inflight += 1
+            return True
+
+    def end_unit(self) -> None:
+        with self._lock:
+            self._inflight -= 1
+            if self._draining and self._inflight == 0:
+                self._drained.set()
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Graceful shutdown: finish in-flight units, refuse new ones.
+
+        The SIGTERM protocol: new ``POST /v1/units`` get 503 +
+        ``Retry-After`` (the host requeues them on another worker),
+        in-flight units run to completion and their responses are
+        delivered, then the server stops.  Idempotent.
+        """
+        with self._lock:
+            already = self._draining
+            self._draining = True
+            inflight = self._inflight
+            if inflight == 0:
+                self._drained.set()
+        if already:
+            return
+        log_event(_log, logging.INFO, "worker_draining", url=self.url,
+                  inflight=inflight)
+        self._drained.wait(timeout)
+        self.stop()
+        log_event(_log, logging.INFO, "worker_drained", url=self.url)
+
+    def note_disconnect(self) -> None:
+        self._disconnects.inc()
+
+    # -- the dedup ledger (bounded) ------------------------------------- #
+    def _evict_ledger_locked(self) -> None:
+        while len(self._ledger) > self.MAX_LEDGER_SWEEPS:
+            oldest = next(iter(self._ledger))
+            entries = self._ledger[oldest]
+            if any(not e.event.is_set() for e in entries.values()):
+                break  # a join may still be blocked on this computation
+            del self._ledger[oldest]
+            self._evictions_total.inc()
+            log_event(_log, logging.INFO, "ledger_sweep_evicted",
+                      sweep=oldest, units=len(entries))
+
+    def _ledger_size_locked(self) -> int:
+        return sum(len(m) for m in self._ledger.values())
+
     # -- endpoint logic (called from handler threads) ------------------- #
     def run_unit(self, body: Dict[str, Any]) -> Dict[str, Any]:
         t_recv = time.monotonic()
@@ -169,14 +312,20 @@ class WorkerServer:
             raise ExperimentError(
                 f"unit_key mismatch for unit {index}: the unit document "
                 "was corrupted in transit")
-        key = (sweep, index)
         with self._lock:
-            entry = self._ledger.get(key)
+            sweep_map = self._ledger.get(sweep)
+            if sweep_map is None:
+                sweep_map = self._ledger[sweep] = {}
+                self._evict_ledger_locked()
+            else:
+                self._ledger.move_to_end(sweep)
+            entry = sweep_map.get(index)
             owner = entry is None
             if owner:
-                entry = self._ledger[key] = _LedgerEntry()
+                entry = sweep_map[index] = _LedgerEntry()
             else:
                 self.duplicates_joined += 1
+            self._ledger_entries.set(self._ledger_size_locked())
         if not owner:
             # ARQ dedup: this is a retransmission — join the original
             # computation and return its (identical) response.  The
@@ -198,7 +347,11 @@ class WorkerServer:
             "error": result.error,
             "trace": result.trace,
             "exec": {"t0": t0, "t1": t1, "seconds": t1 - t0},
+            # Integrity envelope: the host rejects any response whose
+            # unit_key echo or result checksum does not verify.
+            "unit_key": unit.unit_key(),
         }
+        response["checksum"] = response_checksum(response)
         with self._lock:
             entry.response = response
             self.units_executed += 1
@@ -226,11 +379,13 @@ class WorkerServer:
     def health_doc(self) -> Dict[str, Any]:
         with self._lock:
             return {
-                "status": "ok",
+                "status": "draining" if self._draining else "ok",
                 "kind": "worker",
                 "pid": os.getpid(),
                 "units_executed": self.units_executed,
                 "duplicates_joined": self.duplicates_joined,
+                "inflight": self._inflight,
+                "ledger_entries": self._ledger_size_locked(),
             }
 
 
@@ -242,13 +397,24 @@ def _make_handler(server: WorkerServer):
             pass
 
         def _send(self, status: int, text: str,
-                  content_type: str = "application/json") -> None:
+                  content_type: str = "application/json",
+                  retry_after: Optional[str] = None) -> None:
             payload = text.encode("utf-8")
-            self.send_response(status)
-            self.send_header("Content-Type", content_type)
-            self.send_header("Content-Length", str(len(payload)))
-            self.end_headers()
-            self.wfile.write(payload)
+            try:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(payload)))
+                if retry_after is not None:
+                    self.send_header("Retry-After", retry_after)
+                self.end_headers()
+                self.wfile.write(payload)
+            except (BrokenPipeError, ConnectionResetError):
+                # The client hung up mid-response: count it, stay quiet
+                # (the computation already happened and is in the dedup
+                # ledger — a re-dispatch joins it for free).
+                server.note_disconnect()
+                self.close_connection = True
+                return
             self._access_log(status)
 
         def _access_log(self, status: int) -> None:
@@ -302,7 +468,19 @@ def _make_handler(server: WorkerServer):
             self._request_body = None  # keep-alive: don't log stale fields
             try:
                 if self.path == "/v1/units":
-                    self._send(200, json.dumps(server.run_unit(self._body())))
+                    if not server.begin_unit():
+                        self._send(503, json.dumps({
+                            "error": "worker is draining: finishing "
+                                     "in-flight units, accepting no new "
+                                     "dispatches",
+                            "type": "WorkerDraining",
+                            "exit_code": None}), retry_after="1")
+                        return
+                    try:
+                        self._send(200,
+                                   json.dumps(server.run_unit(self._body())))
+                    finally:
+                        server.end_unit()
                 elif self.path == "/v1/jobs":
                     self._send(200, server.run_job(self._body()))
                 else:
@@ -347,9 +525,18 @@ class WorkerClient:
                 detail = json.loads(detail).get("error", detail)
             except ValueError:
                 pass
+            retry_after = None
+            raw_retry = exc.headers.get("Retry-After") \
+                if exc.headers is not None else None
+            if raw_retry is not None:
+                try:
+                    retry_after = float(raw_retry)
+                except ValueError:
+                    pass
             raise WorkerError(
                 f"worker {url} returned HTTP {exc.code}: {detail}",
-                exit_code=exit_code) from exc
+                exit_code=exit_code, status=exc.code,
+                retry_after=retry_after) from exc
         except urllib.error.URLError as exc:
             timed_out = isinstance(exc.reason, (socket.timeout, TimeoutError))
             raise WorkerError(
@@ -358,6 +545,12 @@ class WorkerClient:
         except (socket.timeout, TimeoutError) as exc:
             raise WorkerError(f"worker {url} timed out: {exc}",
                               timed_out=True) from exc
+        except http.client.HTTPException as exc:
+            # Truncated or garbled response stream (IncompleteRead, a
+            # mangled status line): the response cannot be trusted.
+            raise WorkerError(
+                f"worker {url} sent a malformed response: "
+                f"{type(exc).__name__}: {exc}", corrupt=True) from exc
         except (ConnectionError, OSError) as exc:
             raise WorkerError(f"worker {url} failed: {exc}") from exc
 
@@ -367,7 +560,17 @@ class WorkerClient:
         text = self._request("POST", "/v1/units", {
             "sweep": sweep, "seq": seq, "index": index, "attempt": attempt,
             "unit": unit.to_json(), "unit_key": unit.unit_key()})
-        return json.loads(text)
+        try:
+            doc = json.loads(text)
+        except ValueError as exc:
+            raise WorkerError(
+                f"worker {self.base_url} returned an undecodable unit "
+                f"response: {exc}", corrupt=True) from exc
+        if not isinstance(doc, dict):
+            raise WorkerError(
+                f"worker {self.base_url} returned a non-object unit "
+                "response", corrupt=True)
+        return doc
 
     def metrics_text(self) -> str:
         """The worker's Prometheus exposition (``GET /v1/metrics``)."""
@@ -495,6 +698,19 @@ def cmd_worker(args) -> int:
         return EXIT_BAD_REQUEST
     server.start_background()
     print(f"repro worker listening on {server.url}", flush=True)
+    if hasattr(signal, "SIGTERM"):
+        def _on_sigterm(signum, frame):
+            # Signal context: hand the blocking drain to a thread.  New
+            # dispatches get 503 + Retry-After immediately; in-flight
+            # units finish and deliver before the server stops.
+            print("draining: finishing in-flight units, refusing new "
+                  "dispatches", file=sys.stderr, flush=True)
+            threading.Thread(target=server.drain, name="worker-drain",
+                             daemon=True).start()
+        try:
+            signal.signal(signal.SIGTERM, _on_sigterm)
+        except ValueError:  # pragma: no cover - not the main thread
+            pass
     try:
         server.join()
     except KeyboardInterrupt:

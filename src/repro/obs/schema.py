@@ -56,6 +56,7 @@ PROFILE_SCHEMAS = ("repro.obs/1", "repro.obs/2", "repro.obs/3",
                    PROFILE_SCHEMA)
 BENCH_SCHEMA = "repro.bench/1"
 CHAOS_SCHEMA = "repro.chaos/1"
+CHAOS_FLEET_SCHEMA = "repro.chaos/2"
 SWEEP_SCHEMA = "repro.sweep/1"
 #: The fleet-annotated sweep snapshot (``--fleet``); plain sweeps keep
 #: emitting ``repro.sweep/1`` so their bytes never move.
@@ -88,6 +89,12 @@ _FAULT_COUNTER_KEYS = ("messages_dropped", "retransmissions",
                        "recovery_stall_us")
 _CHAOS_KEYS = ("schema", "run", "fault_spec", "counters", "verdicts")
 _CHAOS_VERDICT_KEYS = ("coherent", "deterministic")
+_CHAOS_FLEET_KEYS = ("schema", "sweep", "fault_spec", "counters",
+                     "verdicts")
+_CHAOS_FLEET_VERDICT_KEYS = ("completed", "byte_identical")
+#: The counter groups a ``repro.chaos/2`` verdict must attribute:
+#: what the host survived, what the proxies injected, what the workers saw.
+_CHAOS_FLEET_COUNTER_GROUPS = ("host", "proxy", "worker")
 
 
 def _profile_version(doc: Dict[str, Any]) -> int:
@@ -384,6 +391,58 @@ def validate_chaos(doc: Any) -> List[str]:
     verdicts = doc.get("verdicts")
     if isinstance(verdicts, dict):
         for key in _CHAOS_VERDICT_KEYS:
+            if not isinstance(verdicts.get(key), bool):
+                problems.append(f"verdicts.{key} missing or not a boolean")
+    elif "verdicts" in doc:
+        problems.append("'verdicts' is not an object")
+    return problems
+
+
+def validate_chaos_fleet(doc: Any) -> List[str]:
+    """Structurally validate a ``repro.chaos/2`` fleet-chaos verdict.
+
+    Written by ``repro chaos-fleet``: a sweep pushed through fault-
+    injecting proxies, with counter groups attributing what the host
+    survived (breaker transitions, corrupt responses, drained and
+    requeued dispatches), what the proxies injected, and what the
+    workers observed — plus the two verdicts the exit code reports
+    (``completed``, ``byte_identical`` vs the clean serial run).
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["snapshot is not a JSON object"]
+    if doc.get("schema") != CHAOS_FLEET_SCHEMA:
+        problems.append(
+            f"schema is {doc.get('schema')!r}, expected "
+            f"{CHAOS_FLEET_SCHEMA!r}")
+    for key in _CHAOS_FLEET_KEYS:
+        if key not in doc:
+            problems.append(f"missing {key!r}")
+    sweep = doc.get("sweep")
+    if isinstance(sweep, dict):
+        for key in ("app", "machine", "scale", "units", "workers"):
+            if key not in sweep:
+                problems.append(f"sweep.{key} missing")
+    elif "sweep" in doc:
+        problems.append("'sweep' is not an object")
+    counters = doc.get("counters")
+    if isinstance(counters, dict):
+        for group in _CHAOS_FLEET_COUNTER_GROUPS:
+            block = counters.get(group)
+            if not isinstance(block, dict):
+                problems.append(
+                    f"counters.{group} missing or not an object")
+                continue
+            for key, value in block.items():
+                if not _finite(value) or value < 0:
+                    problems.append(
+                        f"counters.{group}.{key} not a non-negative "
+                        "finite number")
+    elif "counters" in doc:
+        problems.append("'counters' is not an object")
+    verdicts = doc.get("verdicts")
+    if isinstance(verdicts, dict):
+        for key in _CHAOS_FLEET_VERDICT_KEYS:
             if not isinstance(verdicts.get(key), bool):
                 problems.append(f"verdicts.{key} missing or not a boolean")
     elif "verdicts" in doc:
@@ -704,6 +763,8 @@ def validate_snapshot(doc: Any) -> List[str]:
         return validate_bench(doc)
     if isinstance(doc, dict) and doc.get("schema") == CHAOS_SCHEMA:
         return validate_chaos(doc)
+    if isinstance(doc, dict) and doc.get("schema") == CHAOS_FLEET_SCHEMA:
+        return validate_chaos_fleet(doc)
     if isinstance(doc, dict) and doc.get("schema") in SWEEP_SCHEMAS:
         return validate_sweep(doc)
     if isinstance(doc, dict) and doc.get("schema") == SERVE_SCHEMA:

@@ -22,6 +22,7 @@ The layering (DESIGN.md "Service" section):
 
 from repro.serve.api import SubmitResult, describe_catalog, execute, submit
 from repro.serve.cache import ResultCache
+from repro.serve.jobs import OverloadedError
 from repro.serve.requests import (
     ChaosRequest,
     RunRequest,
@@ -32,6 +33,7 @@ from repro.serve.transport import Transport, available_transports, create_transp
 
 __all__ = [
     "ChaosRequest",
+    "OverloadedError",
     "ResultCache",
     "RunRequest",
     "SubmitResult",

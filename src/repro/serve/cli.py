@@ -34,6 +34,10 @@ def add_serve_parser(sub) -> None:
                         "default is in-memory only")
     p.add_argument("--max-jobs", type=int, default=10_000, metavar="N",
                    help="job-table capacity guard (default 10000)")
+    p.add_argument("--max-queue", type=int, default=64, metavar="N",
+                   help="shed new cache-miss submissions with 429 + "
+                        "Retry-After once this many jobs sit unstarted "
+                        "(0 = unbounded; default 64)")
     p.add_argument("--trace-dir", metavar="PATH", default=None,
                    help="write each run job's simulation event timeline to "
                         "PATH/<job_id>.trace.json (observation only)")
@@ -57,7 +61,7 @@ def add_status_parser(sub) -> None:
     p.add_argument("--fleet", nargs="+", metavar="URL", default=None,
                    help="scrape these repro worker base URLs "
                         "(GET /v1/health + /v1/metrics) instead of a "
-                        "serve instance")
+                        "serve instance; exits 2 if any worker is down")
     p.add_argument("--json", action="store_true",
                    help="emit the raw telemetry snapshot (aggregated "
                         "across workers with --fleet) as canonical JSON "
@@ -112,6 +116,9 @@ def _status_fleet(args) -> int:
         except WorkerError as exc:
             entries.append({"url": client.base_url, "health": None,
                             "metrics": None, "error": str(exc)})
+    # Exit 2 when any worker is DOWN (both modes) so cron/CI probes can
+    # alert on a degraded fleet without parsing the dashboard.
+    down = [e["url"] for e in entries if e["metrics"] is None]
     if args.json:
         snapshots = [e["metrics"] for e in entries if e["metrics"]]
         try:
@@ -120,9 +127,13 @@ def _status_fleet(args) -> int:
             print(f"error: cannot aggregate fleet metrics: {exc}",
                   file=sys.stderr)
             return 2
+        if down:
+            print(f"error: {len(down)} worker(s) down: {', '.join(down)}",
+                  file=sys.stderr)
+            return 2
         return 0
     print(render_fleet_dashboard(entries))
-    return 1 if any(e["metrics"] is None for e in entries) else 0
+    return 2 if down else 0
 
 
 def cmd_serve(args) -> int:
@@ -142,12 +153,17 @@ def cmd_serve(args) -> int:
         print(f"error: --timeout must be positive, got {args.timeout}",
               file=sys.stderr)
         return 2
+    if args.max_queue < 0:
+        print(f"error: --max-queue must be >= 0 (0 = unbounded), got "
+              f"{args.max_queue}", file=sys.stderr)
+        return 2
     configure_from_args(args, default_level="info")
     try:
         cache = ResultCache(directory=args.cache_dir)
         server = ServeServer(host=args.host, port=args.port, cache=cache,
                              workers=args.workers, sweep_jobs=args.sweep_jobs,
                              timeout=args.timeout, max_jobs=args.max_jobs,
+                             max_queue=args.max_queue,
                              trace_dir=args.trace_dir)
     except (OSError, ValueError, ExperimentError) as exc:
         print(f"error: {exc}", file=sys.stderr)

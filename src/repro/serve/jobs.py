@@ -12,6 +12,14 @@ Cache hits are resolved synchronously at submit time: a hit never
 occupies a worker, so a warmed cache turns heavy repeat traffic into
 dictionary lookups (the scaling story of ROADMAP item 1).
 
+Admission is bounded: once ``max_queue`` jobs sit unstarted, further
+cache-miss submissions are shed with :class:`OverloadedError` — HTTP
+429 upstairs — carrying a ``Retry-After`` advice priced by the same
+seeded :class:`repro.fleet.breaker.BackoffSchedule` the fleet's circuit
+breakers use (consecutive sheds deepen the advice; an admitted job
+resets it).  Cache hits are always admitted: they cost a dictionary
+lookup, not a worker.
+
 Failures keep their taxonomy: a job that fails records the exception
 type, message and :func:`repro.errors.exit_code_for` code (2 bad
 request, 3 simulation raised), which the HTTP layer maps onto status
@@ -40,6 +48,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from repro.errors import ExperimentError, exit_code_for
+from repro.fleet.breaker import BackoffSchedule, retry_after_s
 from repro.serve.api import ExecutionPolicy, submit as api_submit
 from repro.serve.cache import ResultCache
 from repro.serve.requests import RunRequest, SweepRequest, _Request
@@ -53,6 +62,21 @@ from repro.telemetry.metrics import (
 _STATES = ("queued", "running", "done", "failed")
 
 _log = get_logger("serve.jobs")
+
+
+class OverloadedError(ExperimentError):
+    """The job queue is full; the client should back off and retry.
+
+    Carries the advised wait (seconds) the HTTP layer surfaces as a
+    ``Retry-After`` header on the 429 response.  The advice is priced by
+    the same :class:`repro.fleet.breaker.BackoffSchedule` the fleet's
+    circuit breakers use: consecutive sheds deepen the advised backoff,
+    and any admitted job resets the streak.
+    """
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 @dataclass
@@ -98,11 +122,14 @@ class JobManager:
 
     def __init__(self, cache: Optional[ResultCache] = None, workers: int = 2,
                  sweep_jobs: int = 1, timeout: Optional[float] = None,
-                 max_jobs: int = 10_000,
+                 max_jobs: int = 10_000, max_queue: int = 64,
                  registry: Optional[MetricsRegistry] = None,
                  trace_dir: Optional[str] = None) -> None:
         if workers < 1:
             raise ExperimentError(f"workers must be >= 1, got {workers}")
+        if max_queue < 0:
+            raise ExperimentError(
+                f"max_queue must be >= 0 (0 = unbounded), got {max_queue}")
         self.cache = cache if cache is not None else ResultCache()
         self.workers = workers
         #: Process fan-out each sweep job may use (fleet worker pool).
@@ -112,6 +139,7 @@ class JobManager:
         if trace_dir:
             os.makedirs(trace_dir, exist_ok=True)
         self._max_jobs = max_jobs
+        self._max_queue = max_queue
         self._lock = threading.Lock()
         self._jobs: Dict[str, Job] = {}
         self._counter = 0
@@ -119,6 +147,13 @@ class JobManager:
         self._submitted = 0
         self._completed = 0
         self._failed = 0
+        self._shed = 0
+        self._shed_streak = 0
+        # Retry-After pricing shares the fleet's backoff primitive; zero
+        # jitter keeps the advice deterministic for a given shed streak.
+        self._shed_backoff = BackoffSchedule(seed=0, label="serve.shed",
+                                             base_s=1.0, max_s=60.0,
+                                             jitter=0.0)
         registry = registry if registry is not None else default_registry()
         self._m_submitted = registry.counter(
             "repro_jobs_submitted_total", "Jobs accepted by the manager",
@@ -128,6 +163,10 @@ class JobManager:
             labels=("kind", "cache"))
         self._m_failed = registry.counter(
             "repro_jobs_failed_total", "Jobs that raised", labels=("kind",))
+        self._m_shed = registry.counter(
+            "repro_jobs_shed_total",
+            "Submissions refused with 429 because the queue was full",
+            labels=("kind",))
         self._g_queued = registry.gauge(
             "repro_jobs_queued",
             "Jobs waiting for a worker (refreshed at scrape time)")
@@ -144,8 +183,17 @@ class JobManager:
 
     # ------------------------------------------------------------------ #
     def submit(self, request: _Request) -> Job:
-        """Enqueue ``request``; cache hits complete before returning."""
+        """Enqueue ``request``; cache hits complete before returning.
+
+        Raises :class:`OverloadedError` (HTTP 429 upstairs) when the
+        queue already holds ``max_queue`` unstarted jobs and the request
+        is not a cache hit — hits never occupy a worker, so they are
+        always admitted.
+        """
         key = request.cache_key()
+        will_hit = key in self.cache
+        shed_retry: Optional[float] = None
+        queued = 0
         with self._lock:
             if self._closed:
                 raise ExperimentError("job manager is shut down")
@@ -153,11 +201,30 @@ class JobManager:
                 raise ExperimentError(
                     f"job table full ({self._max_jobs} jobs); restart the "
                     "server or raise --max-jobs")
-            self._counter += 1
-            job = Job(id=f"j{self._counter:06d}", request=request,
-                      cache_key=key)
-            self._jobs[job.id] = job
-            self._submitted += 1
+            if self._max_queue and not will_hit:
+                queued = sum(1 for j in self._jobs.values()
+                             if j.state == "queued")
+                if queued >= self._max_queue:
+                    self._shed += 1
+                    self._shed_streak += 1
+                    shed_retry = retry_after_s(self._shed_backoff,
+                                               self._shed_streak - 1)
+            if shed_retry is None:
+                self._shed_streak = 0
+                self._counter += 1
+                job = Job(id=f"j{self._counter:06d}", request=request,
+                          cache_key=key)
+                self._jobs[job.id] = job
+                self._submitted += 1
+        if shed_retry is not None:
+            self._m_shed.inc(kind=request.kind)
+            log_event(_log, logging.WARNING, "job_shed", kind=request.kind,
+                      queued=queued, max_queue=self._max_queue,
+                      retry_after_s=shed_retry)
+            raise OverloadedError(
+                f"job queue full ({queued} queued >= --max-queue "
+                f"{self._max_queue}); retry after {shed_retry}s",
+                retry_after=shed_retry)
         self._m_submitted.inc(kind=request.kind)
         log_event(_log, logging.INFO, "job_submitted", job_id=job.id,
                   kind=request.kind, cache_key=key)
@@ -310,8 +377,15 @@ class JobManager:
             "sweep_jobs": self.policy.jobs,
             "jobs": self._state_counts(),
             "counters": self.counters(),
+            "queue": self.queue_stats(),
             "cache": self.cache.stats(),
         }
+
+    def queue_stats(self) -> Dict[str, int]:
+        """Admission-control state (bound, sheds, current streak)."""
+        with self._lock:
+            return {"max_queue": self._max_queue, "shed": self._shed,
+                    "shed_streak": self._shed_streak}
 
     def shutdown(self) -> None:
         with self._lock:

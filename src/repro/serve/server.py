@@ -25,7 +25,12 @@ Endpoints (all JSON):
 
 Error mapping follows the exit-code taxonomy: bad requests (exit 2) are
 HTTP 400, simulation failures (exit 3) are HTTP 500, unknown jobs/paths
-are 404; every error body is ``{"error", "type", "exit_code"}``.
+are 404; every error body is ``{"error", "type", "exit_code"}``.  A full
+job queue sheds new cache-miss submissions with 429 plus a ``Retry-After``
+header priced by the fleet's seeded backoff schedule (see
+:class:`repro.serve.jobs.OverloadedError`); clients that disconnect
+mid-response are counted into ``repro_client_disconnects_total`` and
+suppressed, never tracebacks.
 
 Every request emits one structured ``http_request`` access-log line
 (method, path, status, duration; error responses add the taxonomy exit
@@ -46,7 +51,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import EXIT_BAD_REQUEST, ExperimentError
 from repro.serve.cache import ResultCache
-from repro.serve.jobs import JobManager
+from repro.serve.jobs import JobManager, OverloadedError
 from repro.serve.requests import request_from_json
 from repro.telemetry.log import get_logger, log_event
 from repro.telemetry.metrics import MetricsRegistry, default_registry
@@ -56,7 +61,8 @@ _log = get_logger("serve.http")
 _MAX_BODY = 4 * 1024 * 1024  # a request document is small; refuse floods
 _STATUS_TEXT = {200: "OK", 202: "Accepted", 400: "Bad Request",
                 404: "Not Found", 405: "Method Not Allowed",
-                413: "Payload Too Large", 500: "Internal Server Error"}
+                413: "Payload Too Large", 429: "Too Many Requests",
+                500: "Internal Server Error", 503: "Service Unavailable"}
 
 
 def _error_body(message: str, exc_type: str, exit_code: int) -> bytes:
@@ -81,7 +87,7 @@ class ServeServer:
     def __init__(self, host: str = "127.0.0.1", port: int = 8753,
                  cache: Optional[ResultCache] = None, workers: int = 2,
                  sweep_jobs: int = 1, timeout: Optional[float] = None,
-                 max_jobs: int = 10_000,
+                 max_jobs: int = 10_000, max_queue: int = 64,
                  registry: Optional[MetricsRegistry] = None,
                  trace_dir: Optional[str] = None) -> None:
         self.host = host
@@ -90,7 +96,7 @@ class ServeServer:
             else default_registry()
         self.manager = JobManager(cache=cache, workers=workers,
                                   sweep_jobs=sweep_jobs, timeout=timeout,
-                                  max_jobs=max_jobs,
+                                  max_jobs=max_jobs, max_queue=max_queue,
                                   registry=self._registry,
                                   trace_dir=trace_dir)
         self._m_requests = self._registry.counter(
@@ -100,6 +106,10 @@ class ServeServer:
         self._g_in_flight = self._registry.gauge(
             "repro_http_requests_in_flight",
             "Requests currently being handled")
+        self._m_disconnects = self._registry.counter(
+            "repro_client_disconnects_total",
+            "HTTP clients that disconnected mid-response (suppressed, "
+            "not errors).")
         self._started = time.time()
         self._summary_logged = False
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -132,7 +142,9 @@ class ServeServer:
                 writer.write(self._render(status, headers, body))
                 await writer.drain()
             except (ConnectionError, BrokenPipeError):
-                pass
+                # The client hung up mid-response: data, not an error —
+                # count it and keep serving, no traceback.
+                self._m_disconnects.inc()
         finally:
             self._g_in_flight.dec()
             writer.close()
@@ -266,6 +278,11 @@ class ServeServer:
         try:
             request = request_from_json(doc)
             job = self.manager.submit(request)
+        except OverloadedError as exc:
+            # Shed load instead of queueing unboundedly: 429 plus a
+            # Retry-After priced by the fleet's seeded backoff schedule.
+            return (429, {"Retry-After": str(exc.retry_after)},
+                    _error_body(str(exc), type(exc).__name__, 2))
         except ExperimentError as exc:
             return 400, {}, _error_body(str(exc), type(exc).__name__, 2)
         return self._json(200, job.to_doc(),

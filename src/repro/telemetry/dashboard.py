@@ -93,6 +93,13 @@ def render_dashboard(url: str, health: Dict[str, Any],
         + f"   (submitted {counters.get('submitted', 0)}, "
           f"completed {counters.get('completed', 0)}, "
           f"failed {counters.get('failed', 0)})")
+    queue = health.get("queue")
+    if queue:
+        bound = queue.get("max_queue", 0)
+        lines.append(
+            f"queue     bound {bound if bound else 'unbounded'}  "
+            f"shed {queue.get('shed', 0)}  "
+            f"shed streak {queue.get('shed_streak', 0)}")
     for kind in ("run", "sweep", "chaos"):
         summary = _histogram_summary(snapshot, "repro_job_latency_seconds",
                                      kind=kind)
@@ -136,6 +143,20 @@ def render_dashboard(url: str, health: Dict[str, Any],
             f"resumed {_total(snapshot, 'repro_fleet_units_resumed_total'):g}; "
             f"pool restarts "
             f"{_total(snapshot, 'repro_fleet_pool_restarts_total'):g}")
+        corrupt = _total(snapshot, "repro_fleet_corrupt_responses_total")
+        quarantined = _total(snapshot,
+                             "repro_fleet_checkpoint_quarantined_total")
+        drained = _total(snapshot, "repro_fleet_drained_dispatches_total")
+        breaker = _total(snapshot, "repro_fleet_breaker_transitions_total")
+        probes = _total(snapshot, "repro_fleet_health_probes_total")
+        if corrupt or quarantined or drained or breaker or probes:
+            lines.append(
+                "          hardening: "
+                f"corrupt rejected {corrupt:g}  "
+                f"quarantined {quarantined:g}  "
+                f"drained {drained:g}  "
+                f"breaker transitions {breaker:g}  "
+                f"probes {probes:g}")
     return "\n".join(lines)
 
 
@@ -165,6 +186,15 @@ def render_fleet_dashboard(entries: List[Dict[str, Any]]) -> str:
         health = entry.get("health") or {}
         row = (f"  {url}  {health.get('status', 'up')}  "
                f"units {units:g}  joined {joins:g}")
+        refusals = _total(snapshot, "repro_worker_drain_refusals_total")
+        disconnects = _total(snapshot, "repro_client_disconnects_total")
+        evicted = _total(snapshot, "repro_worker_ledger_evicted_sweeps_total")
+        if refusals:
+            row += f"  drain refusals {refusals:g}"
+        if disconnects:
+            row += f"  disconnects {disconnects:g}"
+        if evicted:
+            row += f"  ledger evictions {evicted:g}"
         summary = _histogram_summary(snapshot, "repro_worker_unit_seconds")
         if summary:
             row += f"  ({summary})"

@@ -105,6 +105,11 @@ class FleetTraceCollector:
         self._add({"kind": "steal", "worker": worker, "index": index,
                    "attempt": attempt, "t": t})
 
+    def record_breaker(self, worker: str, state: str, t: float) -> None:
+        """``worker``'s circuit breaker changed state (host-side view)."""
+        self._add({"kind": "breaker", "worker": worker, "state": state,
+                   "t": t})
+
 
 # --------------------------------------------------------------------- #
 # clock-offset estimation
@@ -236,6 +241,14 @@ def merge_timeline(records: Sequence[Dict[str, Any]],
                 "ts": record["t"],
                 "args": {"worker": worker, "index": index,
                          "attempt": attempt},
+            })
+        elif kind == "breaker":
+            spans.append({
+                "name": f"breaker {record.get('state')}",
+                "ph": "i", "pid": 0, "tid": pid, "s": "t",
+                "ts": record["t"],
+                "args": {"worker": worker,
+                         "state": record.get("state")},
             })
 
     # Normalize: the sweep's earliest event is t=0, everything in µs.

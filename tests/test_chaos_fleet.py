@@ -1,0 +1,276 @@
+"""Tests for the self-healing fleet: checkpoint corruption recovery,
+response integrity verification, graceful drain, and the end-to-end
+``repro chaos-fleet`` verdict (byte-identity under injected faults).
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.apps import MachineKind
+from repro.errors import ExperimentError
+from repro.faults import InfraFaultSpec, named_infra_spec
+from repro.fleet import (
+    CheckpointCorruption,
+    CheckpointJournal,
+    RemoteBackend,
+    SweepUnit,
+    run_units_resilient,
+    sweep_units,
+)
+from repro.fleet.worker import WorkerClient, WorkerError, WorkerServer
+from repro.telemetry.metrics import MetricsRegistry
+from repro.__main__ import main
+
+from tests.test_fleet_distributed import _serial_text, _text_for
+
+
+# --------------------------------------------------------------------- #
+# checkpoint corruption recovery
+# --------------------------------------------------------------------- #
+def _truncate_file(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text[: len(text) // 2])
+
+
+def _bitflip_metrics(path):
+    """Valid JSON, valid unit_key, but the payload no longer matches the
+    stored checksum — a bit flip that survives the JSON parser."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    doc["metrics"]["elapsed"] = doc["metrics"]["elapsed"] + 1.0
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+
+
+def test_journal_load_raises_on_torn_and_bitflipped_files(tmp_path):
+    journal = CheckpointJournal(str(tmp_path / "j"))
+    units = sweep_units("water", MachineKind.IPSC860, [1, 2], "tiny")
+    journal.open_sweep(units)
+    journal.record(0, units[0], {"elapsed": 1.5})
+    journal.record(1, units[1], {"elapsed": 2.5})
+    _truncate_file(str(tmp_path / "j" / "unit-000000.json"))
+    _bitflip_metrics(str(tmp_path / "j" / "unit-000001.json"))
+    with pytest.raises(CheckpointCorruption, match="torn or truncated"):
+        journal.load(0, units[0])
+    with pytest.raises(CheckpointCorruption, match="checksum"):
+        journal.load(1, units[1])
+    # CheckpointCorruption stays inside the repo's error taxonomy.
+    assert isinstance(CheckpointCorruption("x"), ExperimentError)
+
+
+def test_recover_quarantines_and_returns_none(tmp_path):
+    journal = CheckpointJournal(str(tmp_path / "j"))
+    units = sweep_units("water", MachineKind.IPSC860, [1], "tiny")
+    journal.open_sweep(units)
+    journal.record(0, units[0], {"elapsed": 1.5})
+    _truncate_file(str(tmp_path / "j" / "unit-000000.json"))
+    assert journal.recover(0, units[0]) is None
+    # The corrupt bytes are preserved for post-mortem, out of the
+    # journal proper; the index no longer counts as completed.
+    assert (tmp_path / "j" / "quarantine" / "unit-000000.json").exists()
+    assert 0 not in journal.completed_indices()
+    # A fresh record makes the index loadable again.
+    journal.record(0, units[0], {"elapsed": 1.5})
+    assert journal.load(0, units[0]) == {"elapsed": 1.5}
+    # Quarantining the same index twice never clobbers evidence.
+    _truncate_file(str(tmp_path / "j" / "unit-000000.json"))
+    assert journal.recover(0, units[0]) is None
+    assert (tmp_path / "j" / "quarantine" / "unit-000000.json.1").exists()
+
+
+def test_resume_recovers_corrupt_unit_files_byte_identical(tmp_path):
+    """The acceptance scenario: a resume over a journal with one torn
+    and one bit-flipped unit file quarantines both, recomputes exactly
+    those units, and still produces the serial snapshot byte-for-byte;
+    the quarantine counter reconciles with the recomputed-unit count."""
+    ckpt = str(tmp_path / "j")
+    units = sweep_units("water", MachineKind.IPSC860, [1, 2], "tiny")
+    run_units_resilient(units, jobs=1, checkpoint=ckpt)
+    _truncate_file(str(tmp_path / "j" / "unit-000000.json"))
+    _bitflip_metrics(str(tmp_path / "j" / "unit-000002.json"))
+
+    registry = MetricsRegistry()
+    outcome = run_units_resilient(units, jobs=1, checkpoint=ckpt,
+                                  registry=registry)
+    assert outcome.ok
+
+    def count(name):
+        return registry.counter(name, "").value()
+
+    quarantined = count("repro_fleet_checkpoint_quarantined_total")
+    dispatched = count("repro_fleet_units_dispatched_total")
+    assert quarantined == dispatched == 2  # exactly the damaged units
+    assert count("repro_fleet_units_resumed_total") == len(units) - 2
+    assert _text_for(units, outcome) == _serial_text()
+    quarantine_dir = tmp_path / "j" / "quarantine"
+    assert sorted(p.name for p in quarantine_dir.iterdir()) == [
+        "unit-000000.json", "unit-000002.json"]
+
+
+# --------------------------------------------------------------------- #
+# response integrity: corrupted responses are never merged
+# --------------------------------------------------------------------- #
+def test_corrupt_responses_are_rejected_never_merged():
+    from repro.faults.proxy import ChaosProxy
+
+    worker = WorkerServer(port=0, registry=MetricsRegistry())
+    worker.start_background()
+    proxy = ChaosProxy(worker.url, InfraFaultSpec(corrupt_rate=1.0))
+    proxy.start_background()
+    registry = MetricsRegistry()
+    try:
+        units = sweep_units("water", MachineKind.IPSC860, [1], "tiny")
+        backend = RemoteBackend([proxy.url])
+        outcome = run_units_resilient(units, jobs=1, retries=0,
+                                      partial=True, registry=registry,
+                                      backend=backend)
+    finally:
+        proxy.stop()
+        worker.stop()
+    # Every response was corrupted in transit; every one was rejected by
+    # checksum verification and none produced merged metrics.
+    assert not outcome.ok
+    assert all(m is None for m in outcome.metrics)
+    corrupt = registry.counter(
+        "repro_fleet_corrupt_responses_total", "").value()
+    dispatched = registry.counter(
+        "repro_fleet_units_dispatched_total", "").value()
+    assert corrupt == dispatched == len(units)
+    assert registry.counter(
+        "repro_fleet_units_completed_total", "").value() == 0
+
+
+# --------------------------------------------------------------------- #
+# graceful drain: 503 + Retry-After, in-flight units finish
+# --------------------------------------------------------------------- #
+def test_draining_worker_refuses_with_503_retry_after():
+    worker = WorkerServer(port=0, registry=MetricsRegistry())
+    worker.start_background()
+    try:
+        assert worker.begin_unit()  # an in-flight unit holds the drain
+        drainer = threading.Thread(target=worker.drain,
+                                   kwargs={"timeout": 30.0})
+        drainer.start()
+        try:
+            client = WorkerClient(worker.url, timeout=10)
+            unit = SweepUnit("water", "ipsc860", "locality", 1, "tiny")
+            with pytest.raises(WorkerError) as info:
+                client.run_unit("sweep-drain", 1, 0, unit)
+            assert info.value.status == 503
+            assert info.value.retry_after == 1
+            assert "draining" in str(info.value).lower()
+            assert worker.registry.counter(
+                "repro_worker_drain_refusals_total", "").value() == 1
+        finally:
+            worker.end_unit()  # the in-flight unit completes
+            drainer.join(timeout=30)
+        assert not drainer.is_alive()
+    finally:
+        if not worker.draining:
+            worker.stop()
+
+
+def test_sweep_survives_mid_sweep_drain_byte_identical():
+    """Drain one of two (clean, un-proxied) workers mid-sweep: the host
+    requeues the refused dispatches on the survivor and the merged bytes
+    do not change."""
+    from repro.faults.chaosfleet import run_chaos_fleet
+
+    doc = run_chaos_fleet("water", MachineKind.IPSC860, [1, 2], "tiny",
+                          InfraFaultSpec(), n_workers=2, retries=4,
+                          drain_after=1)
+    assert doc["verdicts"] == {"completed": True, "byte_identical": True}
+    assert doc["sweep"]["drained"] is True
+    host = doc["counters"]["host"]
+    worker = doc["counters"]["worker"]
+    # The drain was observed on both sides of the wire, or the sweep
+    # finished on the survivor before any dispatch was refused.
+    assert host["drained_dispatches"] == worker["drain_refusals"]
+
+
+# --------------------------------------------------------------------- #
+# end-to-end: repro chaos-fleet
+# --------------------------------------------------------------------- #
+def test_chaos_fleet_under_faults_is_byte_identical():
+    from repro.faults.chaosfleet import run_chaos_fleet
+    from repro.obs.schema import validate_snapshot
+
+    spec = named_infra_spec("lossy", seed=3)  # truncate + corrupt
+    doc = run_chaos_fleet("water", MachineKind.IPSC860, [1, 2], "tiny",
+                          spec, n_workers=2, retries=8, drain_after=0)
+    assert validate_snapshot(doc) == []
+    assert doc["schema"] == "repro.chaos/2"
+    assert doc["verdicts"] == {"completed": True, "byte_identical": True}
+    host = doc["counters"]["host"]
+    proxy = doc["counters"]["proxy"]
+    # Reconciliation: with healthy upstreams every truncated or
+    # corrupted relay is exactly one host-side checksum rejection.
+    assert host["corrupt_responses"] == (proxy["responses_corrupted"]
+                                         + proxy["responses_truncated"])
+    # Every rejected response was retried back to success.
+    assert host["units_retried"] >= host["corrupt_responses"]
+    assert host["units_completed"] == doc["sweep"]["units"]
+    assert doc["counters"]["worker"]["units_executed"] >= \
+        doc["sweep"]["units"]
+
+
+def test_chaos_fleet_validates_arguments():
+    from repro.faults.chaosfleet import run_chaos_fleet
+
+    with pytest.raises(ExperimentError, match="at least one worker"):
+        run_chaos_fleet("water", MachineKind.IPSC860, [1], "tiny",
+                        InfraFaultSpec(), n_workers=0)
+    with pytest.raises(ExperimentError, match="workers >= 2"):
+        run_chaos_fleet("water", MachineKind.IPSC860, [1], "tiny",
+                        InfraFaultSpec(), n_workers=1, drain_after=1)
+
+
+def test_chaos_fleet_schema_validation_rejects_malformed_docs():
+    from repro.obs.schema import validate_chaos_fleet
+
+    valid = {
+        "schema": "repro.chaos/2",
+        "sweep": {"app": "water", "machine": "ipsc860", "scale": "tiny",
+                  "units": 4, "workers": 2},
+        "fault_spec": {"seed": 0},
+        "counters": {"host": {"units_dispatched": 4}, "proxy": {},
+                     "worker": {}},
+        "verdicts": {"completed": True, "byte_identical": True},
+    }
+    assert validate_chaos_fleet(valid) == []
+    missing_group = json.loads(json.dumps(valid))
+    del missing_group["counters"]["proxy"]
+    assert validate_chaos_fleet(missing_group)
+    negative = json.loads(json.dumps(valid))
+    negative["counters"]["host"]["units_dispatched"] = -1
+    assert validate_chaos_fleet(negative)
+    bad_verdict = json.loads(json.dumps(valid))
+    bad_verdict["verdicts"]["completed"] = "yes"
+    assert validate_chaos_fleet(bad_verdict)
+
+
+def test_cli_chaos_fleet_smoke(tmp_path, capsys):
+    out = tmp_path / "verdict.json"
+    trace = tmp_path / "trace.json"
+    assert main(["chaos-fleet", "--app", "water", "--scale", "tiny",
+                 "--procs", "1", "2", "--plan", "flaky", "--seed", "1",
+                 "--retries", "8", "--drain-after", "0",
+                 "--json", str(out), "--trace-out", str(trace)]) == 0
+    printed = capsys.readouterr().out
+    assert "chaos-fleet verdict: PASS" in printed
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == "repro.chaos/2"
+    assert doc["verdicts"] == {"completed": True, "byte_identical": True}
+    timeline = json.loads(trace.read_text())
+    assert timeline["traceEvents"]
+
+
+def test_cli_chaos_fleet_rejects_bad_arguments(capsys):
+    assert main(["chaos-fleet", "--workers", "0"]) == 2
+    assert "--workers" in capsys.readouterr().err
+    assert main(["chaos-fleet", "--stall", "nonsense"]) == 2
+    assert "START:END:HOLD_S" in capsys.readouterr().err

@@ -637,9 +637,22 @@ def test_cli_status_fleet_dashboard_and_json(worker, capsys):
 
 def test_cli_status_fleet_marks_dead_workers(worker, capsys):
     assert main(["status", "--fleet", worker.url, _DEAD_URL,
-                 "--timeout", "5"]) == 1
+                 "--timeout", "5"]) == 2
     out = capsys.readouterr().out
     assert "DOWN" in out and worker.url in out
+
+
+def test_cli_status_fleet_json_dead_worker_exits_2(worker, capsys):
+    import json as _json
+
+    assert main(["status", "--fleet", worker.url, _DEAD_URL,
+                 "--timeout", "5", "--json"]) == 2
+    captured = capsys.readouterr()
+    # The aggregate over live workers still prints; the exit code flags
+    # the outage for cron/CI probes.
+    snapshot = _json.loads(captured.out)
+    assert snapshot["schema"] == "repro.telemetry/1"
+    assert "down" in captured.err
 
 
 def test_cli_status_requires_url_or_fleet(capsys):

@@ -1,0 +1,276 @@
+"""Tests for the infrastructure fault layer: spec validation, seeded
+decision streams (including the zero-RNG contract for zero-rate fault
+types), the chaos proxy's transparency under ``--plan none``, and the
+circuit breaker / backoff primitives the fleet's self-healing uses.
+"""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.faults import (
+    InfraFaultPlan,
+    InfraFaultSpec,
+    NAMED_INFRA_PLANS,
+    RequestStall,
+    named_infra_spec,
+)
+from repro.fleet.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BackoffSchedule,
+    CircuitBreaker,
+    retry_after_s,
+)
+
+
+# --------------------------------------------------------------------- #
+# InfraFaultSpec validation and presets
+# --------------------------------------------------------------------- #
+def test_spec_rejects_out_of_range_rates():
+    with pytest.raises(ExperimentError, match="refuse_rate"):
+        InfraFaultSpec(refuse_rate=1.5)
+    with pytest.raises(ExperimentError, match="corrupt_rate"):
+        InfraFaultSpec(corrupt_rate=-0.1)
+    with pytest.raises(ExperimentError, match="delay_ms"):
+        InfraFaultSpec(delay_ms=-1.0)
+    with pytest.raises(ExperimentError, match="stall"):
+        InfraFaultSpec(stalls=(RequestStall(5, 5, 0.1),))
+    with pytest.raises(ExperimentError, match="stall"):
+        InfraFaultSpec(stalls=(RequestStall(-1, 2, 0.1),))
+
+
+def test_named_plans_are_valid_and_reseedable():
+    assert set(NAMED_INFRA_PLANS) == {"none", "flaky", "lossy", "nasty"}
+    assert not NAMED_INFRA_PLANS["none"].any_faults
+    assert NAMED_INFRA_PLANS["nasty"].stalls
+    spec = named_infra_spec("flaky", seed=42)
+    assert spec.seed == 42
+    assert spec.refuse_rate == NAMED_INFRA_PLANS["flaky"].refuse_rate
+    with pytest.raises(ExperimentError, match="unknown infra fault plan"):
+        named_infra_spec("cursed")
+
+
+def test_spec_describe_and_json_round_trip():
+    spec = named_infra_spec("nasty", seed=7)
+    text = spec.describe()
+    assert "seed=7" in text and "refuse=" in text and "stalls=1" in text
+    doc = spec.to_json()
+    rebuilt = InfraFaultSpec(
+        seed=doc["seed"], refuse_rate=doc["refuse_rate"],
+        error_rate=doc["error_rate"], delay_rate=doc["delay_rate"],
+        delay_ms=doc["delay_ms"], truncate_rate=doc["truncate_rate"],
+        corrupt_rate=doc["corrupt_rate"],
+        stalls=tuple(RequestStall(s["start"], s["end"], s["hold_s"])
+                     for s in doc["stalls"]))
+    assert rebuilt == spec
+
+
+# --------------------------------------------------------------------- #
+# InfraFaultPlan decision streams
+# --------------------------------------------------------------------- #
+def test_decision_stream_is_deterministic():
+    spec = named_infra_spec("nasty", seed=3)
+    plan_a, plan_b = InfraFaultPlan(spec), InfraFaultPlan(spec)
+    seq_a = [plan_a.decide() for _ in range(64)]
+    seq_b = [plan_b.decide() for _ in range(64)]
+    assert seq_a == seq_b
+    assert plan_a.summary() == plan_b.summary()
+    assert plan_a.summary()["requests_seen"] == 64
+
+
+def test_zero_rate_plan_draws_no_rng():
+    """The transparency contract: an all-zero spec consumes no RNG at
+    all, so ``--plan none`` cannot perturb anything downstream."""
+    plan = InfraFaultPlan(InfraFaultSpec(seed=11))
+    streams = (plan._refuse_rng, plan._error_rng, plan._delay_rng,
+               plan._truncate_rng, plan._corrupt_rng,
+               plan._corrupt_byte_rng)
+    before = [s.bit_generator.state for s in streams]
+    decisions = [plan.decide() for _ in range(50)]
+    assert all(d.clean for d in decisions)
+    assert [s.bit_generator.state for s in streams] == before
+    assert plan.summary()["requests_seen"] == 50
+    assert sum(v for k, v in plan.summary().items()
+               if k != "requests_seen") == 0
+
+
+def test_fault_streams_are_independent():
+    """Enabling one fault type never shifts another's decision stream."""
+    plan_alone = InfraFaultPlan(InfraFaultSpec(seed=5, refuse_rate=0.5))
+    plan_mixed = InfraFaultPlan(InfraFaultSpec(seed=5, refuse_rate=0.5,
+                                               corrupt_rate=0.9))
+    seq_alone = [plan_alone.decide().refuse for _ in range(64)]
+    seq_mixed = [plan_mixed.decide().refuse for _ in range(64)]
+    assert seq_alone == seq_mixed
+    assert any(seq_alone)  # the stream actually fires at rate 0.5
+
+
+def test_refuse_preempts_and_truncate_excludes_corrupt():
+    refuse = InfraFaultPlan(InfraFaultSpec(refuse_rate=1.0, error_rate=1.0,
+                                           truncate_rate=1.0)).decide()
+    assert refuse.refuse and refuse.error is None and not refuse.truncate
+    both = InfraFaultPlan(InfraFaultSpec(truncate_rate=1.0,
+                                         corrupt_rate=1.0)).decide()
+    assert both.truncate and not both.corrupt
+
+
+def test_stall_windows_cover_exact_ordinals():
+    plan = InfraFaultPlan(InfraFaultSpec(
+        stalls=(RequestStall(1, 3, 0.05),)))
+    holds = [plan.decide().stall_s for _ in range(5)]
+    assert holds == [0.0, 0.05, 0.05, 0.0, 0.0]
+    assert plan.summary()["requests_stalled"] == 2
+
+
+def test_corrupt_body_flips_exactly_one_byte_deterministically():
+    spec = InfraFaultSpec(seed=9, corrupt_rate=1.0)
+    body = b"0123456789" * 4
+    mutated_a = InfraFaultPlan(spec).corrupt_body(body)
+    mutated_b = InfraFaultPlan(spec).corrupt_body(body)
+    assert mutated_a == mutated_b != body
+    assert len(mutated_a) == len(body)
+    assert sum(1 for x, y in zip(mutated_a, body) if x != y) == 1
+    assert InfraFaultPlan(spec).corrupt_body(b"") == b""
+
+
+# --------------------------------------------------------------------- #
+# chaos proxy transparency (plan none) and counters endpoint
+# --------------------------------------------------------------------- #
+def test_proxy_plan_none_is_transparent_and_counts():
+    from repro.faults.proxy import ChaosProxy
+    from repro.fleet import SweepUnit
+    from repro.fleet.worker import WorkerClient, WorkerServer
+
+    worker = WorkerServer(port=0)
+    worker.start_background()
+    proxy = ChaosProxy(worker.url, InfraFaultSpec())
+    proxy.start_background()
+    try:
+        direct = WorkerClient(worker.url)
+        proxied = WorkerClient(proxy.url)
+        # Health forwards untouched (and is never faultable).
+        assert proxied.health()["kind"] == direct.health()["kind"] \
+            == "worker"
+        unit = SweepUnit("water", "ipsc860", "locality", 1, "tiny")
+        doc = proxied.run_unit("sweep-proxy", 1, 0, unit)
+        # The host-side integrity fields survive the relay byte-exact:
+        # the checksum the worker stamped still verifies.
+        from repro.fleet.worker import response_checksum
+
+        assert doc["checksum"] == response_checksum(doc)
+        assert doc["metrics"]["elapsed"] > 0
+        with urllib.request.urlopen(proxy.url + "/chaos/v1/counters",
+                                    timeout=10) as resp:
+            counters = json.loads(resp.read())
+        assert counters["counters"]["requests_seen"] == 1
+        assert counters["counters"]["responses_corrupted"] == 0
+        assert counters["spec"] == InfraFaultSpec().to_json()
+    finally:
+        proxy.stop()
+        worker.stop()
+
+
+def test_proxy_injects_503_with_taxonomy_body():
+    from repro.faults.proxy import ChaosProxy
+    from repro.fleet import SweepUnit
+    from repro.fleet.worker import WorkerClient, WorkerError, WorkerServer
+
+    worker = WorkerServer(port=0)
+    worker.start_background()
+    proxy = ChaosProxy(worker.url, InfraFaultSpec(error_rate=1.0))
+    proxy.start_background()
+    try:
+        client = WorkerClient(proxy.url)
+        unit = SweepUnit("water", "ipsc860", "locality", 1, "tiny")
+        with pytest.raises(WorkerError) as info:
+            client.run_unit("sweep-503", 1, 0, unit)
+        assert info.value.status == 503
+        # An injected 503 is distinguishable from a draining worker's:
+        # no Retry-After, no "draining" marker.
+        assert info.value.retry_after is None
+        assert "draining" not in str(info.value)
+    finally:
+        proxy.stop()
+        worker.stop()
+
+
+# --------------------------------------------------------------------- #
+# backoff + circuit breaker
+# --------------------------------------------------------------------- #
+def test_backoff_schedule_is_seeded_and_validated():
+    a = BackoffSchedule(seed=1, label="w", base_s=0.1, max_s=5.0)
+    b = BackoffSchedule(seed=1, label="w", base_s=0.1, max_s=5.0)
+    assert [a.delay(i) for i in range(6)] == [b.delay(i) for i in range(6)]
+    flat = BackoffSchedule(base_s=1.0, max_s=4.0, jitter=0.0)
+    assert [flat.delay(i) for i in range(4)] == [1.0, 2.0, 4.0, 4.0]
+    with pytest.raises(ExperimentError, match="base_s"):
+        BackoffSchedule(base_s=0.0)
+    with pytest.raises(ExperimentError, match="factor"):
+        BackoffSchedule(factor=0.5)
+    with pytest.raises(ExperimentError, match="jitter"):
+        BackoffSchedule(jitter=2.0)
+    assert retry_after_s(flat, 0) == 1
+    assert retry_after_s(flat, 2) == 4
+    assert retry_after_s(BackoffSchedule(base_s=0.01, max_s=0.02,
+                                         jitter=0.0), 0) == 1  # floor
+
+
+def test_breaker_open_half_open_closed_cycle():
+    """The scripted acceptance transition: strikes open the breaker,
+    the backoff expires into half-open, one probe is admitted, and a
+    good probe closes it again."""
+    transitions = []
+    breaker = CircuitBreaker(
+        BackoffSchedule(base_s=10.0, max_s=10.0, jitter=0.0),
+        failure_threshold=3, max_opens=4,
+        on_transition=transitions.append)
+    now = 100.0
+    assert breaker.state == CLOSED and breaker.allow_dispatch(now)
+    breaker.record_failure(now)
+    breaker.record_failure(now)
+    assert breaker.state == CLOSED  # under the threshold
+    breaker.record_failure(now)
+    assert breaker.state == OPEN and breaker.opens == 1
+    assert not breaker.allow_dispatch(now)
+    assert not breaker.allow_probe(now)          # interval not expired
+    assert breaker.wait_s(now) == pytest.approx(10.0)
+    # Backoff expired: half-open admits exactly one probe.
+    later = now + 10.0
+    assert breaker.allow_probe(later)
+    assert breaker.state == HALF_OPEN
+    assert not breaker.allow_probe(later)        # second probe refused
+    assert not breaker.allow_dispatch(later)     # still not dispatching
+    breaker.record_success(later)
+    assert breaker.state == CLOSED and breaker.opens == 0
+    assert breaker.allow_dispatch(later)
+    assert transitions == [OPEN, HALF_OPEN, CLOSED]
+
+
+def test_breaker_failed_probe_deepens_backoff_until_exhausted():
+    breaker = CircuitBreaker(
+        BackoffSchedule(base_s=1.0, max_s=8.0, jitter=0.0),
+        failure_threshold=1, max_opens=3)
+    now = 0.0
+    waits = []
+    for _ in range(3):
+        breaker.record_failure(now)
+        assert breaker.state == OPEN
+        waits.append(breaker.wait_s(now))
+        now += waits[-1]
+        assert breaker.allow_probe(now)
+        # probe fails: a half-open failure re-opens immediately.
+    assert waits == [1.0, 2.0, 4.0]  # exponential per open cycle
+    assert breaker.exhausted
+    assert not breaker.allow_dispatch(now)
+
+
+def test_breaker_validates_construction():
+    backoff = BackoffSchedule(jitter=0.0)
+    with pytest.raises(ExperimentError, match="failure_threshold"):
+        CircuitBreaker(backoff, failure_threshold=0)
+    with pytest.raises(ExperimentError, match="max_opens"):
+        CircuitBreaker(backoff, max_opens=0)

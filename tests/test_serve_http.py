@@ -480,3 +480,72 @@ def test_sigint_emits_shutdown_summary():
     out = banner + rest
     assert proc.returncode == 0, out
     assert b'"event": "serve_stopped"' in out, out
+
+
+# ---------------------------------------------------------------------- #
+# overload shedding (bounded queue, 429 + Retry-After)
+# ---------------------------------------------------------------------- #
+def test_job_manager_sheds_when_queue_full():
+    from repro.serve.jobs import Job, OverloadedError
+
+    manager = JobManager(workers=1, max_queue=1)
+    try:
+        # Pin a queued job in the table (no pool involvement: the shed
+        # decision is pure admission control, so the test is exact).
+        filler = RunRequest(**TINY_RUN)
+        manager._jobs["j-pinned"] = Job(id="j-pinned", request=filler,
+                                        cache_key=filler.cache_key())
+        probe = RunRequest(app="water", scale="tiny", procs=4)
+        with pytest.raises(OverloadedError) as first:
+            manager.submit(probe)
+        assert first.value.retry_after == 1
+        # Consecutive sheds deepen the advice along the backoff schedule.
+        with pytest.raises(OverloadedError) as second:
+            manager.submit(probe)
+        assert second.value.retry_after == 2
+        stats = manager.queue_stats()
+        assert stats == {"max_queue": 1, "shed": 2, "shed_streak": 2}
+        # A cache hit bypasses the queue entirely and resets the streak.
+        hit = RunRequest(app="water", scale="tiny", procs=8)
+        manager.cache.put(hit.cache_key(), '{"cached": true}\n')
+        job = manager.submit(hit)
+        assert job.state == "done" and job.cache_hit
+        assert manager.queue_stats()["shed_streak"] == 0
+        assert "queue" in manager.health()
+    finally:
+        manager.shutdown()
+
+
+def test_job_manager_rejects_negative_max_queue():
+    with pytest.raises(ExperimentError, match="max_queue"):
+        JobManager(workers=1, max_queue=-1)
+
+
+def test_http_full_queue_is_429_with_retry_after():
+    from repro.serve.jobs import Job
+    from repro.telemetry.metrics import MetricsRegistry
+
+    srv = ServeServer(port=0, cache=ResultCache(), workers=1, max_queue=1,
+                      registry=MetricsRegistry())
+    srv.start_background()
+    try:
+        filler = RunRequest(**TINY_RUN)
+        srv.manager._jobs["j-pinned"] = Job(id="j-pinned", request=filler,
+                                            cache_key=filler.cache_key())
+        body = json.dumps({"kind": "run", "app": "water", "scale": "tiny",
+                           "procs": 4}).encode("utf-8")
+        status, headers, payload = _raw(srv, "POST", "/v1/jobs", body)
+        assert status == 429
+        assert headers["Retry-After"] == "1"
+        doc = json.loads(payload)
+        assert doc["type"] == "OverloadedError"
+        assert doc["exit_code"] == 2
+        assert "queue full" in doc["error"]
+        # The shed is visible in the metrics registry.
+        status, _, metrics = _raw(srv, "GET", "/v1/metrics?format=json")
+        assert status == 200
+        families = {m["name"]: m for m in json.loads(metrics)["metrics"]}
+        shed = families["repro_jobs_shed_total"]["samples"]
+        assert sum(s["value"] for s in shed) == 1
+    finally:
+        srv.stop()
